@@ -1,0 +1,67 @@
+// Ablation: how the bootstrap parameters (number of repetitions b, subsample
+// size) shape BOAT's behaviour. More repetitions mean stricter agreement
+// (each extra tree is another chance to disagree => more kills) but wider,
+// safer confidence intervals from the surviving nodes; larger subsamples
+// stabilize each tree. Averaged over several seeds; reported per
+// configuration: coarse-tree size, sampling-phase kills, verification
+// failures, in-interval retention, and total construction time.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace boat;
+  using namespace boat::bench;
+
+  const PaperSetup setup{ScaleFromEnv()};
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+  auto temp = TempFileManager::Create();
+  CheckOk(temp.status());
+
+  const int64_t n = 5 * setup.scale;
+  const std::string table = temp->NewPath("ablation-b");
+  AgrawalConfig config;
+  config.function = 7;  // smooth linear concept: agreement is attainable
+  config.noise = 0.05;
+  config.seed = 5001;
+  CheckOk(GenerateAgrawalTable(config, static_cast<uint64_t>(n), table));
+
+  const int kSeeds = 3;
+  std::printf("Ablation: bootstrap parameters (F7, 5%% noise, n = %lld, "
+              "averages over %d seeds)\n\n",
+              static_cast<long long>(n), kSeeds);
+  std::printf("%4s %10s | %8s %7s %7s %10s | %8s\n", "b", "subsample",
+              "coarse", "kills", "failed", "retained", "time(s)");
+  std::printf("----------------+---------------------------------------+"
+              "---------\n");
+
+  for (const int b : {5, 10, 20, 40}) {
+    for (const int64_t subsample :
+         {setup.scale / 40, setup.scale / 20, setup.scale / 10}) {
+      double coarse = 0, kills = 0, failed = 0, retained = 0, seconds = 0;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        BoatOptions options = setup.Boat(1000 + static_cast<uint64_t>(seed));
+        options.bootstrap_count = b;
+        options.bootstrap_subsample = static_cast<size_t>(subsample);
+
+        auto source = TableScanSource::Open(table, schema);
+        CheckOk(source.status());
+        BoatStats stats;
+        Stopwatch watch;
+        auto tree = BuildTreeBoat(source->get(), *selector, options, &stats);
+        CheckOk(tree.status());
+        seconds += watch.ElapsedSeconds();
+        coarse += static_cast<double>(stats.coarse_nodes);
+        kills += static_cast<double>(stats.bootstrap_kills);
+        failed += static_cast<double>(stats.failed_checks);
+        retained += static_cast<double>(stats.retained_tuples);
+      }
+      std::printf("%4d %10lld | %8.1f %7.1f %7.1f %10.0f | %8.2f\n", b,
+                  static_cast<long long>(subsample), coarse / kSeeds,
+                  kills / kSeeds, failed / kSeeds, retained / kSeeds,
+                  seconds / kSeeds);
+    }
+  }
+  std::remove(table.c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: the discretization budget (buckets per numerical attribute per
+// node). Too few buckets make the Lemma 3.1 lower bounds crude, triggering
+// spurious coarse-criterion failures and costly rebuild scans — exactly the
+// trade-off Section 3.4 discusses. Too many buckets only cost memory.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace boat;
+  using namespace boat::bench;
+
+  const PaperSetup setup{ScaleFromEnv()};
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+  auto temp = TempFileManager::Create();
+  CheckOk(temp.status());
+
+  const int64_t n = 5 * setup.scale;
+  const std::string table = temp->NewPath("ablation-k");
+  AgrawalConfig config;
+  // F2 splits on salary inside age strata: the salary landscape at those
+  // nodes is where bound tightness matters.
+  config.function = 2;
+  config.noise = 0.02;
+  config.seed = 5002;
+  CheckOk(GenerateAgrawalTable(config, static_cast<uint64_t>(n), table));
+
+  const int kSeeds = 3;
+  std::printf("Ablation: discretization bucket budget (F2, n = %lld, "
+              "averages over %d seeds)\n\n",
+              static_cast<long long>(n), kSeeds);
+  std::printf("%12s | %7s %9s %13s | %8s\n", "max buckets", "failed",
+              "rebuilds", "extra scans", "time(s)");
+  std::printf("-------------+---------------------------------+---------\n");
+
+  for (const int buckets : {4, 8, 16, 32, 64, 128, 256}) {
+    double failed = 0, rebuilds = 0, scans = 0, seconds = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      BoatOptions options = setup.Boat(2000 + static_cast<uint64_t>(seed));
+      options.max_buckets_per_attr = buckets;
+      auto source = TableScanSource::Open(table, schema);
+      CheckOk(source.status());
+      BoatStats stats;
+      Stopwatch watch;
+      auto tree = BuildTreeBoat(source->get(), *selector, options, &stats);
+      CheckOk(tree.status());
+      seconds += watch.ElapsedSeconds();
+      failed += static_cast<double>(stats.failed_checks);
+      rebuilds += static_cast<double>(stats.subtree_rebuilds);
+      scans += static_cast<double>(stats.rebuild_scans);
+    }
+    std::printf("%12d | %7.1f %9.1f %13.1f | %8.2f\n", buckets,
+                failed / kSeeds, rebuilds / kSeeds, scans / kSeeds,
+                seconds / kSeeds);
+  }
+  std::remove(table.c_str());
+  return 0;
+}

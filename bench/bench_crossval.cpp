@@ -1,0 +1,114 @@
+// Cross-validation speedup (Section 2.1: "our techniques can be used to
+// speed up cross-validation for large training datasets as well").
+//
+// Compares k-fold cross-validation done three ways:
+//   * BOAT shared-scan CV  — 3 physical scans total (this library's
+//     BoatCrossValidate);
+//   * k independent BOAT builds  — 2k build scans + k evaluation scans;
+//   * k independent RF-Hybrid builds — k * levels scans + k evaluations.
+// All three produce identical fold trees (same split selection pipeline).
+
+#include "bench_common.h"
+#include "boat/crossval.h"
+#include "tree/evaluation.h"
+
+int main() {
+  using namespace boat;
+  using namespace boat::bench;
+
+  const PaperSetup setup{ScaleFromEnv()};
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+  auto temp = TempFileManager::Create();
+  CheckOk(temp.status());
+
+  const int64_t n = 5 * setup.scale;
+  const std::string table = temp->NewPath("cv");
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  config.seed = 6001;
+  CheckOk(GenerateAgrawalTable(config, static_cast<uint64_t>(n), table));
+
+  std::printf("Cross-validation speedup (F6, n = %lld)\n\n",
+              static_cast<long long>(n));
+  std::printf("%6s | %9s %11s %9s | %9s %11s %9s | %9s %11s %9s\n", "folds",
+              "CV(s)", "tuples", "model(s)", "kxBOAT(s)", "tuples",
+              "model(s)", "kxRF-H(s)", "tuples", "model(s)");
+  std::printf("-------+---------------------------------+------------------"
+              "---------------+---------------------------------\n");
+
+  for (const int folds : {3, 5, 10}) {
+    // Shared-scan CV.
+    RunResult shared;
+    {
+      auto source = TableScanSource::Open(table, schema);
+      CheckOk(source.status());
+      ResetIoStats();
+      Stopwatch watch;
+      auto cv = BoatCrossValidate(source->get(), folds, *selector,
+                                  setup.Boat());
+      CheckOk(cv.status());
+      shared.seconds = watch.ElapsedSeconds();
+      const IoStats io = GetIoStats();
+      shared.tuples_read = io.tuples_read;
+      shared.bytes_read = io.bytes_read;
+    }
+
+    // k independent builds + evaluations, BOAT and RF-Hybrid.
+    auto independent = [&](auto&& build_one) {
+      RunResult r;
+      ResetIoStats();
+      Stopwatch watch;
+      const uint64_t fold_seed = setup.Boat().seed * 1000003 + 17;
+      for (int f = 0; f < folds; ++f) {
+        auto source = TableScanSource::Open(table, schema);
+        CheckOk(source.status());
+        FilterSource complement(
+            std::move(source).ValueOrDie(), [&, f](const Tuple& t) {
+              return CrossValidationFold(t, folds, fold_seed) != f;
+            });
+        DecisionTree tree = build_one(&complement);
+        // Evaluation scan over the held-out fold.
+        auto eval_source = TableScanSource::Open(table, schema);
+        CheckOk(eval_source.status());
+        Tuple t;
+        int64_t dummy = 0;
+        while ((*eval_source)->Next(&t)) {
+          if (CrossValidationFold(t, folds, fold_seed) == f) {
+            dummy += tree.Classify(t);
+          }
+        }
+        if (dummy == -1) std::printf("impossible\n");
+      }
+      r.seconds = watch.ElapsedSeconds();
+      const IoStats io = GetIoStats();
+      r.tuples_read = io.tuples_read;
+      r.bytes_read = io.bytes_read;
+      return r;
+    };
+
+    const RunResult independent_boat = independent([&](TupleSource* src) {
+      auto tree = BuildTreeBoat(src, *selector, setup.Boat());
+      CheckOk(tree.status());
+      return std::move(tree).ValueOrDie();
+    });
+    const RunResult independent_rf = independent([&](TupleSource* src) {
+      auto tree = BuildTreeRFHybrid(src, *selector, setup.RFHybrid(n));
+      CheckOk(tree.status());
+      return std::move(tree).ValueOrDie();
+    });
+
+    std::printf(
+        "%6d | %9.2f %11llu %9.2f | %9.2f %11llu %9.2f | %9.2f %11llu "
+        "%9.2f\n",
+        folds, shared.seconds,
+        static_cast<unsigned long long>(shared.tuples_read),
+        shared.ModeledSeconds(), independent_boat.seconds,
+        static_cast<unsigned long long>(independent_boat.tuples_read),
+        independent_boat.ModeledSeconds(), independent_rf.seconds,
+        static_cast<unsigned long long>(independent_rf.tuples_read),
+        independent_rf.ModeledSeconds());
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figures 4-6: overall construction time versus training-database size for
+// classification functions F1, F6 and F7, comparing BOAT against RF-Hybrid
+// and RF-Vertical with the paper's parameterization (scaled; see
+// bench_common.h). The paper reports BOAT ~3x faster than the RainForest
+// algorithms on F1/F6 and ~2x on F7, with the gap growing in database size.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace boat;
+  using namespace boat::bench;
+
+  const PaperSetup setup{ScaleFromEnv()};
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+  auto temp = TempFileManager::Create();
+  CheckOk(temp.status());
+
+  std::printf("Figures 4-6: overall time vs database size "
+              "(scale unit = %lld tuples per paper-million)\n\n",
+              static_cast<long long>(setup.scale));
+
+  for (const int function : {1, 6, 7}) {
+    std::printf("=== Function %d (Figure %d) ===\n", function,
+                function == 1 ? 4 : (function == 6 ? 5 : 6));
+    PrintSeriesHeader("n (millions)");
+    for (const int millions : {2, 4, 6, 8, 10}) {
+      const int64_t n = millions * setup.scale;
+      const std::string table = temp->NewPath("fig456");
+      AgrawalConfig config;
+      config.function = function;
+      config.seed = 1000 + static_cast<uint64_t>(function * 10 + millions);
+      CheckOk(GenerateAgrawalTable(config, static_cast<uint64_t>(n), table));
+
+      const RunResult boat =
+          RunBoat(table, schema, *selector, setup.Boat());
+      const RunResult hybrid =
+          RunRFHybrid(table, schema, *selector, setup.RFHybrid(n));
+      const RunResult vertical =
+          RunRFVertical(table, schema, *selector, setup.RFVertical(n));
+      PrintSeriesRow(std::to_string(millions), boat, hybrid, vertical);
+      std::remove(table.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

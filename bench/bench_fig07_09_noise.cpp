@@ -1,0 +1,46 @@
+// Figures 7-9: overall construction time versus the level of label noise
+// (2%..10%) at a fixed database size of 5 paper-millions, for F1, F6 and F7.
+// The paper's finding: BOAT's running time does not depend on the noise
+// level (noise mainly affects the lower tree levels, which are below the
+// stop threshold).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace boat;
+  using namespace boat::bench;
+
+  const PaperSetup setup{ScaleFromEnv()};
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+  auto temp = TempFileManager::Create();
+  CheckOk(temp.status());
+  const int64_t n = 5 * setup.scale;
+
+  std::printf("Figures 7-9: time vs noise at n = 5 units (%lld tuples)\n\n",
+              static_cast<long long>(n));
+
+  for (const int function : {1, 6, 7}) {
+    std::printf("=== Function %d (Figure %d) ===\n", function,
+                function == 1 ? 7 : (function == 6 ? 8 : 9));
+    PrintSeriesHeader("noise (%)");
+    for (const int noise_pct : {2, 4, 6, 8, 10}) {
+      const std::string table = temp->NewPath("fig789");
+      AgrawalConfig config;
+      config.function = function;
+      config.noise = noise_pct / 100.0;
+      config.seed = 2000 + static_cast<uint64_t>(function * 10 + noise_pct);
+      CheckOk(GenerateAgrawalTable(config, static_cast<uint64_t>(n), table));
+
+      const RunResult boat = RunBoat(table, schema, *selector, setup.Boat());
+      const RunResult hybrid =
+          RunRFHybrid(table, schema, *selector, setup.RFHybrid(n));
+      const RunResult vertical =
+          RunRFVertical(table, schema, *selector, setup.RFVertical(n));
+      PrintSeriesRow(std::to_string(noise_pct), boat, hybrid, vertical);
+      std::remove(table.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figures 10-11: overall construction time when extra attributes with random
+// values are appended to the records (0..6 extras) at a fixed database size
+// of 5 paper-millions, for F1 and F6. The paper's finding: the extra
+// attributes never become splitting attributes, and construction time grows
+// roughly linearly with the number of attributes to process.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace boat;
+  using namespace boat::bench;
+
+  const PaperSetup setup{ScaleFromEnv()};
+  auto selector = MakeGiniSelector();
+  auto temp = TempFileManager::Create();
+  CheckOk(temp.status());
+  const int64_t n = 5 * setup.scale;
+
+  std::printf(
+      "Figures 10-11: time vs extra random attributes at n = %lld tuples\n\n",
+      static_cast<long long>(n));
+
+  for (const int function : {1, 6}) {
+    std::printf("=== Function %d (Figure %d) ===\n", function,
+                function == 1 ? 10 : 11);
+    PrintSeriesHeader("extra attrs");
+    for (const int extras : {0, 2, 4, 6}) {
+      const Schema schema = MakeAgrawalSchema(extras);
+      const std::string table = temp->NewPath("fig1011");
+      AgrawalConfig config;
+      config.function = function;
+      config.extra_numeric_attrs = extras;
+      config.seed = 3000 + static_cast<uint64_t>(function * 10 + extras);
+      CheckOk(GenerateAgrawalTable(config, static_cast<uint64_t>(n), table));
+
+      const RunResult boat = RunBoat(table, schema, *selector, setup.Boat());
+      const RunResult hybrid =
+          RunRFHybrid(table, schema, *selector, setup.RFHybrid(n, extras));
+      const RunResult vertical =
+          RunRFVertical(table, schema, *selector, setup.RFVertical(n, extras));
+      PrintSeriesRow(std::to_string(extras), boat, hybrid, vertical);
+      std::remove(table.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 15: incremental update cost as a function of the arrival chunk
+// size. The same total volume of new data (8 units of F1) is incorporated
+// either in chunks of 1 unit or in chunks of 2 units; the paper reports the
+// two cumulative-cost curves to be nearly identical (the update cost is
+// linear in the volume of arriving data, not in the number of batches).
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace boat;
+using namespace boat::bench;
+
+// Returns cumulative seconds after each `report_every` tuples inserted.
+std::vector<double> RunWithChunkSize(const PaperSetup& setup,
+                                     int64_t chunk_tuples,
+                                     int64_t total_tuples,
+                                     int64_t report_every) {
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 61;  // base data noiseless; arriving chunks carry 10% noise
+
+  BoatOptions options = setup.Boat();
+  options.enable_updates = true;
+  std::vector<Tuple> base =
+      GenerateAgrawal(config, static_cast<uint64_t>(2 * setup.scale));
+  VectorSource source(schema, base);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  CheckOk(classifier.status());
+
+  std::vector<double> cumulative;
+  double elapsed = 0;
+  int64_t inserted = 0;
+  uint64_t seed = 6100;
+  Stopwatch watch;
+  while (inserted < total_tuples) {
+    AgrawalConfig chunk_config = config;
+    chunk_config.noise = 0.1;
+    chunk_config.seed = seed++;
+    std::vector<Tuple> chunk =
+        GenerateAgrawal(chunk_config, static_cast<uint64_t>(chunk_tuples));
+    watch.Restart();
+    CheckOk((*classifier)->InsertChunk(chunk));
+    elapsed += watch.ElapsedSeconds();
+    inserted += chunk_tuples;
+    if (inserted % report_every == 0) cumulative.push_back(elapsed);
+  }
+  return cumulative;
+}
+
+}  // namespace
+
+int main() {
+  const PaperSetup setup{ScaleFromEnv()};
+  const int64_t unit = setup.scale;
+  const int64_t total = 8 * unit;
+
+  std::printf("Figure 15: cumulative update cost, 1-unit vs 2-unit chunks "
+              "(unit = %lld tuples)\n\n", static_cast<long long>(unit));
+
+  const std::vector<double> small =
+      RunWithChunkSize(setup, unit, total, 2 * unit);
+  const std::vector<double> large =
+      RunWithChunkSize(setup, 2 * unit, total, 2 * unit);
+
+  std::printf("%-18s | %18s | %18s\n", "inserted (units)", "chunks of 1 (s)",
+              "chunks of 2 (s)");
+  std::printf("-------------------+--------------------+------------------\n");
+  for (size_t i = 0; i < small.size() && i < large.size(); ++i) {
+    std::printf("%-18zu | %18.2f | %18.2f\n", (i + 1) * 2, small[i], large[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: impurity
+// evaluation, numeric split search, AVC construction, corner lower bounds,
+// table scan throughput, and data generation.
+
+#include <benchmark/benchmark.h>
+
+#include "boat/bounds.h"
+#include "boat/builder.h"
+#include "boat/discretization.h"
+#include "tree/inmem_builder.h"
+#include "datagen/agrawal.h"
+#include "split/numeric_search.h"
+#include "split/selector.h"
+#include "storage/table_file.h"
+#include "storage/temp_file.h"
+
+namespace boat {
+namespace {
+
+void BM_GiniEval(benchmark::State& state) {
+  GiniImpurity gini;
+  const int64_t left[2] = {123, 456};
+  const int64_t right[2] = {789, 12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gini.Eval(left, right, 2, 1380));
+  }
+}
+BENCHMARK(BM_GiniEval);
+
+void BM_EntropyEval(benchmark::State& state) {
+  EntropyImpurity entropy;
+  const int64_t left[2] = {123, 456};
+  const int64_t right[2] = {789, 12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entropy.Eval(left, right, 2, 1380));
+  }
+}
+BENCHMARK(BM_EntropyEval);
+
+NumericAvc MakeAvc(int64_t values) {
+  Rng rng(1);
+  NumericAvc avc(2);
+  for (int64_t i = 0; i < values * 4; ++i) {
+    const double v = static_cast<double>(rng.UniformInt(0, values - 1));
+    avc.Add(v, rng.Bernoulli(v / static_cast<double>(values)) ? 1 : 0);
+  }
+  avc.Finalize();
+  return avc;
+}
+
+void BM_NumericSplitSearch(benchmark::State& state) {
+  const NumericAvc avc = MakeAvc(state.range(0));
+  GiniImpurity gini;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BestNumericSplit(avc, 0, gini));
+  }
+  state.SetItemsProcessed(state.iterations() * avc.num_values());
+}
+BENCHMARK(BM_NumericSplitSearch)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_AvcGroupBuild(benchmark::State& state) {
+  AgrawalConfig config;
+  config.function = 6;
+  const std::vector<Tuple> tuples =
+      GenerateAgrawal(config, static_cast<uint64_t>(state.range(0)));
+  const Schema schema = MakeAgrawalSchema();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildAvcGroup(schema, tuples));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AvcGroupBuild)->Arg(1000)->Arg(10000);
+
+void BM_CornerLowerBound(benchmark::State& state) {
+  GiniImpurity gini;
+  const int k = static_cast<int>(state.range(0));
+  std::vector<int64_t> lo(k), hi(k), totals(k);
+  int64_t total = 0;
+  for (int c = 0; c < k; ++c) {
+    lo[c] = 10 * c;
+    hi[c] = 10 * c + 50;
+    totals[c] = 200;
+    total += totals[c];
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CornerLowerBound(gini, lo, hi, totals, total));
+  }
+}
+BENCHMARK(BM_CornerLowerBound)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TableScan(benchmark::State& state) {
+  auto temp = TempFileManager::Create();
+  CheckOk(temp.status());
+  const std::string path = temp->NewPath("scan");
+  AgrawalConfig config;
+  config.function = 1;
+  CheckOk(GenerateAgrawalTable(config, static_cast<uint64_t>(state.range(0)),
+                               path));
+  const Schema schema = MakeAgrawalSchema();
+  auto reader = TableReader::Open(path, schema);
+  CheckOk(reader.status());
+  for (auto _ : state) {
+    CheckOk((*reader)->Reset());
+    Tuple t;
+    int64_t n = 0;
+    while ((*reader)->Next(&t)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() * state.range(0) *
+                          static_cast<int64_t>(schema.RecordWidth()));
+}
+BENCHMARK(BM_TableScan)->Arg(10000)->Arg(100000);
+
+void BM_AgrawalGenerate(benchmark::State& state) {
+  AgrawalConfig config;
+  config.function = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateAgrawal(config, static_cast<uint64_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AgrawalGenerate)->Arg(10000);
+
+void BM_BucketCountsAdd(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> boundaries;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    boundaries.push_back(static_cast<double>(i * 100));
+  }
+  BucketCounts bc(Discretization(std::move(boundaries)), 2);
+  std::vector<std::pair<double, int32_t>> values;
+  for (int i = 0; i < 4096; ++i) {
+    values.push_back({rng.UniformDouble(0, state.range(0) * 100.0),
+                      static_cast<int32_t>(rng.UniformInt(0, 1))});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [v, label] = values[i++ & 4095];
+    bc.Add(v, label);
+  }
+}
+BENCHMARK(BM_BucketCountsAdd)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_BoatSamplingPhase(benchmark::State& state) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  AgrawalGenerator gen(config, static_cast<uint64_t>(state.range(0)));
+  auto selector = MakeGiniSelector();
+  SamplingPhaseOptions opts;
+  opts.sample_size = static_cast<size_t>(state.range(0) / 10);
+  opts.bootstrap_count = 20;
+  opts.bootstrap_subsample = opts.sample_size / 4;
+  opts.frontier_threshold = state.range(0) / 10;
+  for (auto _ : state) {
+    Rng rng(7);
+    auto phase = RunSamplingPhase(&gen, *selector, opts, &rng);
+    CheckOk(phase.status());
+    benchmark::DoNotOptimize(phase->coarse_root);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BoatSamplingPhase)->Arg(20000)->Arg(100000);
+
+void BM_BoatFullBuild(benchmark::State& state) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  AgrawalGenerator gen(config, n);
+  auto selector = MakeGiniSelector();
+  BoatOptions options;
+  options.sample_size = n / 10;
+  options.bootstrap_count = 20;
+  options.bootstrap_subsample = n / 40;
+  options.inmem_threshold = static_cast<int64_t>(n / 10);
+  options.limits.stop_family_size = static_cast<int64_t>(n / 10);
+  for (auto _ : state) {
+    auto tree = BuildTreeBoat(&gen, *selector, options);
+    CheckOk(tree.status());
+    benchmark::DoNotOptimize(tree->num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BoatFullBuild)->Arg(20000)->Arg(100000);
+
+void BM_TreeClassify(benchmark::State& state) {
+  AgrawalConfig config;
+  config.function = 7;
+  config.noise = 0.05;
+  auto data = GenerateAgrawal(config, 20000);
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(MakeAgrawalSchema(), data, *selector);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Classify(data[i++ % data.size()]));
+  }
+}
+BENCHMARK(BM_TreeClassify);
+
+}  // namespace
+}  // namespace boat
+
+BENCHMARK_MAIN();

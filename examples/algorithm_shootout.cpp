@@ -1,0 +1,129 @@
+// Side-by-side comparison of every construction algorithm in the library on
+// the same disk-resident training database: the in-memory reference,
+// RF-Hybrid, RF-Vertical, and BOAT — with two split selection methods
+// (gini and the QUEST-style selector). Verifies at the end that all
+// algorithms grew the identical tree.
+//
+//   $ ./algorithm_shootout [num_tuples]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "boat/builder.h"
+#include "common/io_stats.h"
+#include "common/timer.h"
+#include "datagen/agrawal.h"
+#include "rainforest/rainforest.h"
+#include "split/quest.h"
+#include "tree/inmem_builder.h"
+
+namespace {
+
+struct RunResult {
+  const char* name;
+  double seconds;
+  uint64_t scans;
+  uint64_t tuples_read;
+};
+
+void Print(const RunResult& r, const boat::DecisionTree& tree, bool same) {
+  std::printf("  %-12s %8.2fs  %4llu scans  %12llu tuples read  %s\n", r.name,
+              r.seconds, (unsigned long long)r.scans,
+              (unsigned long long)r.tuples_read,
+              same ? "tree: identical" : "tree: DIFFERENT (bug!)");
+  (void)tree;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace boat;
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+
+  const Schema schema = MakeAgrawalSchema();
+  auto temp = TempFileManager::Create();
+  CheckOk(temp.status());
+  const std::string db = temp->NewPath("shootout-db");
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  config.seed = 7;
+  CheckOk(GenerateAgrawalTable(config, n, db));
+  std::printf("training database: %llu tuples (function 6, 5%% noise)\n",
+              (unsigned long long)n);
+
+  GrowthLimits limits;
+  limits.stop_family_size = static_cast<int64_t>(n / 20);
+
+  std::unique_ptr<SplitSelector> selectors[2];
+  selectors[0] = MakeGiniSelector();
+  selectors[1] = std::make_unique<QuestSelector>();
+
+  for (const auto& selector : selectors) {
+    std::printf("\nsplit selection method: %s\n", selector->name().c_str());
+
+    // Reference (loads everything into memory).
+    auto data = ReadTable(db, schema);
+    CheckOk(data.status());
+    Stopwatch watch;
+    DecisionTree reference =
+        BuildTreeInMemory(schema, std::move(*data), *selector, limits);
+    std::printf("  %-12s %8.2fs  (requires the whole database in memory)\n",
+                "in-memory", watch.ElapsedSeconds());
+
+    auto open = [&]() {
+      auto source = TableScanSource::Open(db, schema);
+      CheckOk(source.status());
+      return std::move(source).ValueOrDie();
+    };
+
+    {
+      auto source = open();
+      RainForestOptions options;
+      options.avc_buffer_entries = static_cast<int64_t>(0.3 * n);
+      options.inmem_threshold = static_cast<int64_t>(n / 20);
+      options.limits = limits;
+      ResetIoStats();
+      watch.Restart();
+      auto tree = BuildTreeRFHybrid(source.get(), *selector, options);
+      CheckOk(tree.status());
+      const IoStats io = GetIoStats();
+      Print({"RF-Hybrid", watch.ElapsedSeconds(), io.scans_started,
+             io.tuples_read},
+            *tree, tree->StructurallyEqual(reference));
+    }
+    {
+      auto source = open();
+      RainForestOptions options;
+      options.avc_buffer_entries = static_cast<int64_t>(0.18 * n);
+      options.inmem_threshold = static_cast<int64_t>(n / 20);
+      options.limits = limits;
+      ResetIoStats();
+      watch.Restart();
+      auto tree = BuildTreeRFVertical(source.get(), *selector, options);
+      CheckOk(tree.status());
+      const IoStats io = GetIoStats();
+      Print({"RF-Vertical", watch.ElapsedSeconds(), io.scans_started,
+             io.tuples_read},
+            *tree, tree->StructurallyEqual(reference));
+    }
+    {
+      auto source = open();
+      BoatOptions options;
+      options.sample_size = static_cast<size_t>(n / 10);
+      options.bootstrap_count = 20;
+      options.bootstrap_subsample = static_cast<size_t>(n / 40);
+      options.inmem_threshold = static_cast<int64_t>(n / 20);
+      options.limits = limits;
+      ResetIoStats();
+      watch.Restart();
+      auto tree = BuildTreeBoat(source.get(), *selector, options);
+      CheckOk(tree.status());
+      const IoStats io = GetIoStats();
+      Print({"BOAT", watch.ElapsedSeconds(), io.scans_started,
+             io.tuples_read},
+            *tree, tree->StructurallyEqual(reference));
+    }
+  }
+  return 0;
+}

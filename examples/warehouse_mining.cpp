@@ -1,0 +1,97 @@
+// Mining a decision tree over a data-warehouse query WITHOUT materializing
+// the training database (Section 1: "BOAT enables mining of decision trees
+// from any star-join query without materializing the training set").
+//
+// The "warehouse" here is a fact table on disk; the training database is
+// defined by a selection query over it (e.g. "customers from the eastern
+// region with an active loan"). Traditional level-per-scan algorithms would
+// want the query result materialized; BOAT only needs (a) sequential scans
+// of the query and (b) random samples from it — both available through the
+// FilterSource view. The example also contrasts the scan volume with
+// RF-Hybrid over the same non-materialized view.
+
+#include <cstdio>
+
+#include "boat/builder.h"
+#include "common/io_stats.h"
+#include "common/timer.h"
+#include "datagen/agrawal.h"
+#include "rainforest/rainforest.h"
+
+int main() {
+  using namespace boat;
+  const Schema schema = MakeAgrawalSchema();
+
+  // The warehouse fact table: 400k customer records on disk.
+  auto temp = TempFileManager::Create();
+  CheckOk(temp.status());
+  const std::string fact_table = temp->NewPath("warehouse-fact");
+  AgrawalConfig config;
+  config.function = 7;
+  config.noise = 0.02;
+  config.seed = 77;
+  CheckOk(GenerateAgrawalTable(config, 400'000, fact_table));
+
+  // The training database is a *query*: zipcodes 0..3 with loan > 100k.
+  auto query_predicate = [](const Tuple& t) {
+    return t.category(kZipcode) <= 3 && t.value(kLoan) > 100'000;
+  };
+  auto make_view = [&]() -> std::unique_ptr<TupleSource> {
+    auto scan = TableScanSource::Open(fact_table, schema);
+    CheckOk(scan.status());
+    return std::make_unique<FilterSource>(std::move(scan).ValueOrDie(),
+                                          query_predicate);
+  };
+
+  {
+    auto view = make_view();
+    auto all = Materialize(view.get());
+    CheckOk(all.status());
+    std::printf("query selects %zu of 400000 fact rows (never materialized "
+                "for training)\n\n", all->size());
+  }
+
+  auto selector = MakeGiniSelector();
+
+  // BOAT over the query view: one sampling scan + one cleanup scan.
+  {
+    auto view = make_view();
+    BoatOptions options;
+    options.sample_size = 10'000;
+    options.bootstrap_count = 20;
+    options.bootstrap_subsample = 2'500;
+    options.inmem_threshold = 5'000;
+    ResetIoStats();
+    Stopwatch watch;
+    auto tree = BuildTreeBoat(view.get(), *selector, options);
+    CheckOk(tree.status());
+    const IoStats io = GetIoStats();
+    std::printf("BOAT      : %.2fs, %llu scans of the fact table, "
+                "%llu tuples read, tree=%zu nodes\n",
+                watch.ElapsedSeconds(),
+                (unsigned long long)io.scans_started,
+                (unsigned long long)io.tuples_read, tree->num_nodes());
+  }
+
+  // RF-Hybrid over the same view: one scan per tree level.
+  {
+    auto view = make_view();
+    RainForestOptions options;
+    options.avc_buffer_entries = 2'000'000;
+    options.inmem_threshold = 5'000;
+    ResetIoStats();
+    Stopwatch watch;
+    auto tree = BuildTreeRFHybrid(view.get(), *selector, options);
+    CheckOk(tree.status());
+    const IoStats io = GetIoStats();
+    std::printf("RF-Hybrid : %.2fs, %llu scans of the fact table, "
+                "%llu tuples read, tree=%zu nodes\n",
+                watch.ElapsedSeconds(),
+                (unsigned long long)io.scans_started,
+                (unsigned long long)io.tuples_read, tree->num_nodes());
+  }
+
+  std::printf("\nEvery scan above re-evaluates the query; fewer scans mean "
+              "the warehouse does proportionally less work.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The sampling phase of BOAT (Section 3.2): draw an in-memory sample D' of
+// the training database, grow b bootstrap trees from with-replacement
+// subsamples of D', and combine them top-down into a coarse tree with
+// confidence intervals for numerical split points.
+
+#ifndef BOAT_BOAT_BOOTSTRAP_PHASE_H_
+#define BOAT_BOAT_BOOTSTRAP_PHASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "boat/coarse.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "split/selector.h"
+#include "storage/tuple_source.h"
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+/// \brief Parameters of the sampling phase (a subset of BoatOptions).
+struct SamplingPhaseOptions {
+  size_t sample_size = 20000;        ///< |D'|
+  int bootstrap_count = 20;          ///< b
+  size_t bootstrap_subsample = 5000; ///< |D_i| (drawn with replacement)
+  /// Families estimated at or below this size become frontier nodes.
+  int64_t frontier_threshold = 10000;
+  GrowthLimits limits;               ///< shared growth limits
+  int max_buckets_per_attr = 64;     ///< discretization budget
+  /// Exact mode (used for maintenance-time subtree rebuilds): D' is the
+  /// whole database and the coarse tree is the single exact tree built from
+  /// it — no bootstrap disagreement, no kills, and every criterion is
+  /// correct by construction. Numerical intervals are widened by
+  /// `exact_interval_widen` (fraction of the node's distinct values per
+  /// side) so that moderate future drift stays inside them.
+  bool exact_coarse = false;
+  double exact_interval_widen = 0.02;
+  /// Schema of the tuples; set automatically by RunSamplingPhase, required
+  /// when calling BuildCoarseFromSample directly.
+  const Schema* schema = nullptr;
+};
+
+/// \brief Output of the sampling phase.
+struct SamplingPhaseResult {
+  std::vector<Tuple> sample;              ///< D'
+  uint64_t db_size = 0;                   ///< |D|, counted during the scan
+  std::unique_ptr<CoarseNode> coarse_root;
+  uint64_t bootstrap_kills = 0;  ///< subtrees removed by disagreement
+};
+
+/// \brief Runs the sampling phase: one scan over `db` (reservoir sampling),
+/// b in-memory bootstrap tree constructions, top-down combination, and (in
+/// impurity mode) per-node adaptive discretizations.
+Result<SamplingPhaseResult> RunSamplingPhase(TupleSource* db,
+                                             const SplitSelector& selector,
+                                             const SamplingPhaseOptions& opts,
+                                             Rng* rng);
+
+/// \brief The sampling phase minus the scan: builds the coarse tree from an
+/// already-materialized sample (used by drivers that share one physical scan
+/// among several engines, e.g. cross-validation).
+Result<SamplingPhaseResult> BuildCoarseFromSample(
+    std::vector<Tuple> sample, uint64_t db_size,
+    const SplitSelector& selector, const SamplingPhaseOptions& opts,
+    Rng* rng);
+
+/// \brief Combines b bootstrap trees into a coarse tree (exposed for tests).
+/// Nodes where the trees disagree on the splitting attribute (or on the
+/// splitting subset, for categorical attributes) become frontier nodes.
+std::unique_ptr<CoarseNode> CombineBootstrapTrees(
+    const std::vector<DecisionTree>& trees, uint64_t* kills);
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_BOOTSTRAP_PHASE_H_

@@ -1,0 +1,30 @@
+#include "boat/bounds.h"
+
+#include <limits>
+
+#include "common/status.h"
+
+namespace boat {
+
+double CornerLowerBound(const ImpurityFunction& imp,
+                        const std::vector<int64_t>& lo,
+                        const std::vector<int64_t>& hi,
+                        const std::vector<int64_t>& node_totals,
+                        int64_t total) {
+  const int k = static_cast<int>(node_totals.size());
+  if (k > 24) FatalError("CornerLowerBound: too many classes");
+  std::vector<int64_t> left(k), right(k);
+  double best = std::numeric_limits<double>::infinity();
+  const uint32_t corners = 1u << k;
+  for (uint32_t mask = 0; mask < corners; ++mask) {
+    for (int c = 0; c < k; ++c) {
+      left[c] = ((mask >> c) & 1u) ? hi[c] : lo[c];
+      right[c] = node_totals[c] - left[c];
+    }
+    const double v = imp.Eval(left.data(), right.data(), k, total);
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+}  // namespace boat

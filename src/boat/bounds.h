@@ -1,0 +1,32 @@
+// Lemma 3.1: concavity-based lower bound on the impurity of any split whose
+// stamp point lies in the hyper-rectangle spanned by two stamp points.
+
+#ifndef BOAT_BOAT_BOUNDS_H_
+#define BOAT_BOAT_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "split/impurity.h"
+
+namespace boat {
+
+/// \brief Lower bound on imp_S over the box [lo, hi] (componentwise), where
+/// a stamp point s induces the partition (s | node_totals - s).
+///
+/// Because the impurity is concave in the stamp point, its minimum over the
+/// box is attained at one of the 2^k corners (Mangasarian / Lemma 3.1);
+/// this evaluates all corners and returns the smallest value.
+///
+/// \param lo, hi       stamp points (k entries each), lo <= hi componentwise
+/// \param node_totals  per-class totals N^i of the node family
+/// \param total        total family size |F_n|
+double CornerLowerBound(const ImpurityFunction& imp,
+                        const std::vector<int64_t>& lo,
+                        const std::vector<int64_t>& hi,
+                        const std::vector<int64_t>& node_totals,
+                        int64_t total);
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_BOUNDS_H_

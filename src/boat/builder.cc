@@ -1,0 +1,53 @@
+#include "boat/builder.h"
+
+namespace boat {
+
+void BoatStats::MergeFrom(const BoatStats& other) {
+  bootstrap_kills += other.bootstrap_kills;
+  coarse_nodes += other.coarse_nodes;
+  cleanup_scans += other.cleanup_scans;
+  failed_checks += other.failed_checks;
+  leafized_nodes += other.leafized_nodes;
+  retained_tuples += other.retained_tuples;
+  frontier_inmem += other.frontier_inmem;
+  frontier_recursive += other.frontier_recursive;
+  rebuild_scans += other.rebuild_scans;
+  side_switch_tuples += other.side_switch_tuples;
+  subtree_rebuilds += other.subtree_rebuilds;
+}
+
+Result<std::unique_ptr<BoatClassifier>> BoatClassifier::Train(
+    TupleSource* db, const SplitSelector* selector, const BoatOptions& options,
+    BoatStats* stats) {
+  BOAT_RETURN_NOT_OK(db->schema().Validate());
+  auto engine = std::make_unique<BoatEngine>(db->schema(), selector, options);
+  BOAT_RETURN_NOT_OK(engine->Build(db, stats));
+  DecisionTree tree = engine->ExtractDecisionTree();
+  return std::unique_ptr<BoatClassifier>(
+      new BoatClassifier(std::move(engine), std::move(tree)));
+}
+
+Status BoatClassifier::InsertChunk(const std::vector<Tuple>& chunk,
+                                   BoatStats* stats) {
+  BOAT_RETURN_NOT_OK(engine_->InsertChunk(chunk, stats));
+  tree_ = engine_->ExtractDecisionTree();
+  return Status::OK();
+}
+
+Status BoatClassifier::DeleteChunk(const std::vector<Tuple>& chunk,
+                                   BoatStats* stats) {
+  BOAT_RETURN_NOT_OK(engine_->DeleteChunk(chunk, stats));
+  tree_ = engine_->ExtractDecisionTree();
+  return Status::OK();
+}
+
+Result<DecisionTree> BuildTreeBoat(TupleSource* db,
+                                   const SplitSelector& selector,
+                                   const BoatOptions& options,
+                                   BoatStats* stats) {
+  BoatEngine engine(db->schema(), &selector, options);
+  BOAT_RETURN_NOT_OK(engine.Build(db, stats));
+  return engine.ExtractDecisionTree();
+}
+
+}  // namespace boat

@@ -1,0 +1,82 @@
+// Public entry points of the BOAT library.
+//
+// Quickstart:
+//
+//   auto selector = boat::MakeGiniSelector();
+//   boat::BoatOptions options;
+//   auto classifier =
+//       boat::BoatClassifier::Train(&my_source, selector.get(), options);
+//   int32_t label = classifier->tree().Classify(record);
+//
+// Train() is guaranteed to return exactly the tree a traditional in-memory
+// algorithm (BuildTreeInMemory with the same selector and limits) would
+// produce on the same data — while scanning the training database only
+// twice in the common case. With enable_updates, InsertChunk/DeleteChunk
+// maintain that guarantee as the training database changes.
+
+#ifndef BOAT_BOAT_BUILDER_H_
+#define BOAT_BOAT_BUILDER_H_
+
+#include <memory>
+
+#include "boat/cleanup.h"
+#include "boat/options.h"
+#include "common/result.h"
+#include "storage/tuple_source.h"
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+/// \brief A trained BOAT classifier: the final decision tree plus (when
+/// updates are enabled) the persistent model that supports incremental
+/// insertion and deletion of training data.
+class BoatClassifier {
+ public:
+  /// \brief Trains a classifier on a training database. `selector` must
+  /// outlive the classifier.
+  static Result<std::unique_ptr<BoatClassifier>> Train(
+      TupleSource* db, const SplitSelector* selector,
+      const BoatOptions& options, BoatStats* stats = nullptr);
+
+  /// \brief The current decision tree.
+  const DecisionTree& tree() const { return tree_; }
+
+  /// \brief Incorporates new training records; afterwards tree() equals a
+  /// from-scratch build on the enlarged database. Requires enable_updates.
+  Status InsertChunk(const std::vector<Tuple>& chunk,
+                     BoatStats* stats = nullptr);
+
+  /// \brief Removes training records (which must be present); afterwards
+  /// tree() equals a from-scratch build on the reduced database. Requires
+  /// enable_updates.
+  Status DeleteChunk(const std::vector<Tuple>& chunk,
+                     BoatStats* stats = nullptr);
+
+  /// \brief The underlying engine (model introspection, tests).
+  const BoatEngine& engine() const { return *engine_; }
+
+  /// \brief Wraps an already-built engine (used by the persistence layer).
+  static std::unique_ptr<BoatClassifier> FromEngine(
+      std::unique_ptr<BoatEngine> engine) {
+    DecisionTree tree = engine->ExtractDecisionTree();
+    return std::unique_ptr<BoatClassifier>(
+        new BoatClassifier(std::move(engine), std::move(tree)));
+  }
+
+ private:
+  BoatClassifier(std::unique_ptr<BoatEngine> engine, DecisionTree tree)
+      : engine_(std::move(engine)), tree_(std::move(tree)) {}
+
+  std::unique_ptr<BoatEngine> engine_;
+  DecisionTree tree_;
+};
+
+/// \brief One-shot convenience: builds just the decision tree with BOAT.
+Result<DecisionTree> BuildTreeBoat(TupleSource* db,
+                                   const SplitSelector& selector,
+                                   const BoatOptions& options,
+                                   BoatStats* stats = nullptr);
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_BUILDER_H_

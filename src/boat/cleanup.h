@@ -1,0 +1,144 @@
+// BoatEngine: the cleanup phase, verification machinery and incremental
+// maintenance of BOAT (Sections 3.3-3.5 and 4 of the paper).
+//
+// Lifecycle: Build() runs the sampling phase, constructs the model skeleton
+// from the coarse tree, performs the single cleanup scan, finalizes the tree
+// top-down (verifying every coarse criterion and computing the exact
+// splitting criteria), and repairs any failed subtrees. Afterwards
+// ExtractDecisionTree() yields a tree guaranteed to be identical to the one
+// the in-memory reference builder would produce on the same data.
+// InsertChunk()/DeleteChunk() maintain that guarantee under updates when the
+// engine was built with enable_updates.
+
+#ifndef BOAT_BOAT_CLEANUP_H_
+#define BOAT_BOAT_CLEANUP_H_
+
+#include <memory>
+#include <vector>
+
+#include "boat/bootstrap_phase.h"
+#include "boat/model.h"
+#include "boat/options.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace boat {
+
+class ModelSerializer;  // persistence layer (boat/persistence.h)
+
+/// \brief The BOAT construction and maintenance engine.
+class BoatEngine {
+  friend class ModelSerializer;
+
+ public:
+  /// \param temp  optional shared scratch manager (used by recursive
+  ///              invocations); the engine creates its own when null.
+  BoatEngine(Schema schema, const SplitSelector* selector, BoatOptions options,
+             TempFileManager* temp = nullptr, int recursion_depth = 0);
+  ~BoatEngine();
+
+  BoatEngine(BoatEngine&&) = delete;
+  BoatEngine& operator=(BoatEngine&&) = delete;
+
+  /// \brief Builds the tree from the training database in two scans (plus
+  /// repair scans when coarse criteria fail).
+  Status Build(TupleSource* db, BoatStats* stats);
+
+  /// \brief Incrementally incorporates a chunk of new training records; the
+  /// resulting tree equals a from-scratch build on the enlarged database.
+  /// Requires enable_updates.
+  Status InsertChunk(const std::vector<Tuple>& chunk, BoatStats* stats);
+
+  /// \brief Incrementally removes a chunk of training records (which must be
+  /// present in the database). Requires enable_updates.
+  Status DeleteChunk(const std::vector<Tuple>& chunk, BoatStats* stats);
+
+  // --- piecewise build (shared-scan drivers, e.g. cross-validation) --------
+  // BuildFromParts splits Build() so an external driver can share physical
+  // scans among several engines: the driver supplies the in-memory sample
+  // (PreparePhase), streams every tuple itself (InjectExternal), then
+  // finalizes (FinalizeExternal with a repair source).
+
+  /// \brief Runs the sampling phase on an already-materialized sample.
+  Status PreparePhase(std::vector<Tuple> sample, uint64_t db_size,
+                      BoatStats* stats);
+  /// \brief Streams one training tuple (the driver's shared cleanup scan).
+  Status InjectExternal(const Tuple& tuple);
+  /// \brief Verifies and finalizes; `repair_source` is scanned only if some
+  /// coarse criterion failed.
+  Status FinalizeExternal(TupleSource* repair_source, BoatStats* stats);
+
+  /// \brief The final decision tree (Build must have succeeded).
+  DecisionTree ExtractDecisionTree() const;
+
+  const ModelNode& model_root() const { return *root_; }
+  const Schema& schema() const { return schema_; }
+
+  /// \brief Releases the model root (used by recursive invocations to graft
+  /// a sub-model into the parent's tree).
+  std::unique_ptr<ModelNode> ReleaseRoot() { return std::move(root_); }
+
+ private:
+  enum class Outcome { kPass, kLeafize, kFail };
+  struct CheckResult {
+    Outcome outcome = Outcome::kFail;
+    std::optional<Split> split;  // set when kPass
+  };
+
+  // --- skeleton -------------------------------------------------------------
+  std::unique_ptr<ModelNode> MakeSkeleton(const CoarseNode& coarse, int depth);
+  std::unique_ptr<SpillableTupleStore> NewStore(const char* hint);
+
+  // --- streaming ------------------------------------------------------------
+  Status Inject(ModelNode* node, const Tuple& t, int64_t weight);
+  void UpdateNodeStats(ModelNode* node, const Tuple& t, int64_t weight);
+
+  // --- finalize / verification ----------------------------------------------
+  Status FinalizeSubtree(ModelNode* node, std::vector<ModelNode*>* failed,
+                         BoatStats* stats);
+  Result<CheckResult> CheckNode(const ModelNode& node);
+  Result<CheckResult> CheckNodeImpurity(const ModelNode& node);
+  Result<CheckResult> CheckNodeQuest(const ModelNode& node);
+  bool StopRuleSaysLeaf(const ModelNode& node) const;
+  Status DistributePending(ModelNode* node, BoatStats* stats);
+  Status SideSwitch(ModelNode* node, const Split& old_split,
+                    const Split& new_split, BoatStats* stats);
+  /// Turns an internal node whose exact statistics say "leaf" into a
+  /// frontier node over its locally collected family (or a count-only
+  /// frontier when some descendant did not collect tuples).
+  Status Leafize(ModelNode* node, BoatStats* stats);
+  /// Appends every tuple of `node`'s family that is recoverable from the
+  /// model's own stores (pending stores along each tuple's path, frontier
+  /// family stores) to `out`. Returns false if some descendant did not
+  /// collect its tuples, in which case `out` is incomplete.
+  Result<bool> CollectSubtreeFamily(const ModelNode& node,
+                                    SpillableTupleStore* out);
+
+  // --- frontier / repair ----------------------------------------------------
+  Status ResolveFrontier(ModelNode* node, BoatStats* stats);
+  /// Builds a subtree for `node` from its family store, in memory or by a
+  /// recursive BOAT invocation (grafting the sub-model when updates are on).
+  Status BuildFromFamily(ModelNode* node, BoatStats* stats);
+  Status RepairFailures(std::vector<ModelNode*> failed,
+                        TupleSource* build_source, BoatStats* stats);
+
+  Schema schema_;
+  const SplitSelector* selector_;
+  const ImpurityFunction* impurity_ = nullptr;  // null in QUEST mode
+  BoatOptions options_;
+  std::unique_ptr<TempFileManager> owned_temp_;
+  TempFileManager* temp_;
+  int recursion_depth_;
+  Rng rng_;
+  uint64_t db_size_ = 0;
+  /// |D| / |D'| — scales sample family sizes to full-data estimates.
+  double sample_scale_ = 1.0;
+  std::unique_ptr<ModelNode> root_;
+  std::unique_ptr<DatasetArchive> archive_;
+  /// Pending archive writes during a (possibly externally driven) build.
+  std::vector<Tuple> archive_buffer_;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_CLEANUP_H_

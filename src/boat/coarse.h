@@ -1,0 +1,63 @@
+// Coarse splitting criteria and the coarse tree (output of the sampling
+// phase, Section 3.2 / Figure 2 of the paper).
+
+#ifndef BOAT_BOAT_COARSE_H_
+#define BOAT_BOAT_COARSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "boat/discretization.h"
+#include "split/split.h"
+
+namespace boat {
+
+/// \brief The coarse splitting criterion at a node (Figure 2): the splitting
+/// attribute plus, for numerical attributes, a confidence interval
+/// [interval_lo, interval_hi] containing the final split point with high
+/// probability, or, for categorical attributes, the exact splitting subset.
+struct CoarseCriterion {
+  int attribute = -1;
+  bool is_numerical = true;
+  double interval_lo = 0.0;
+  double interval_hi = 0.0;
+  std::vector<int32_t> subset;  ///< canonical, for categorical attributes
+
+  /// \brief Whether a value of the splitting attribute falls inside the
+  /// confidence interval (only meaningful for numerical criteria).
+  bool InInterval(double v) const {
+    return v > interval_lo && v <= interval_hi;
+  }
+};
+
+/// \brief A node of the coarse tree. Internal nodes carry a coarse criterion
+/// and, in impurity mode, a discretization per numerical attribute (for the
+/// Lemma 3.1 checks); frontier nodes (no criterion) are where the optimistic
+/// construction stopped — bootstrap disagreement or an estimated family
+/// small enough for in-memory processing.
+struct CoarseNode {
+  std::optional<CoarseCriterion> criterion;
+  /// Per-attribute discretizations (index = attribute; empty entries for
+  /// categorical attributes). Populated for internal nodes in impurity mode.
+  std::vector<Discretization> discretizations;
+  /// Number of sample tuples that reached this node (diagnostics and
+  /// frontier estimation).
+  int64_t sample_family = 0;
+  /// Whether the sample tuples reaching this node all carry one class label
+  /// (predicts a purity-rule leaf in the final tree).
+  bool sample_pure = false;
+  int depth = 0;
+  std::unique_ptr<CoarseNode> left;
+  std::unique_ptr<CoarseNode> right;
+
+  bool is_frontier() const { return !criterion.has_value(); }
+};
+
+/// \brief Counts nodes of a coarse tree (diagnostics).
+int64_t CountCoarseNodes(const CoarseNode& root);
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_COARSE_H_

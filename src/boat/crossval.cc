@@ -1,0 +1,156 @@
+#include "boat/crossval.h"
+
+#include <cmath>
+#include <functional>
+
+#include "storage/sampling.h"
+#include "storage/tuple_store.h"
+
+namespace boat {
+
+namespace {
+
+// Non-owning filtered view over a shared source (repairs of one fold must
+// not consume the caller's source object).
+class FoldComplementSource : public TupleSource {
+ public:
+  FoldComplementSource(TupleSource* inner, int fold, int folds, uint64_t seed)
+      : inner_(inner), fold_(fold), folds_(folds), seed_(seed) {}
+
+  bool Next(Tuple* tuple) override {
+    while (inner_->Next(tuple)) {
+      if (CrossValidationFold(*tuple, folds_, seed_) != fold_) return true;
+    }
+    return false;
+  }
+  Status Reset() override { return inner_->Reset(); }
+  const Schema& schema() const override { return inner_->schema(); }
+
+ private:
+  TupleSource* inner_;
+  int fold_;
+  int folds_;
+  uint64_t seed_;
+};
+
+}  // namespace
+
+int CrossValidationFold(const Tuple& tuple, int folds, uint64_t seed) {
+  // FNV-1a over the tuple bytes, mixed with the seed.
+  const std::string key = TupleKeyBytes(tuple);
+  uint64_t h = 0xcbf29ce484222325ULL ^ (seed * 0x9e3779b97f4a7c15ULL);
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  return static_cast<int>(h % static_cast<uint64_t>(folds));
+}
+
+Result<BoatCrossValidationResult> BoatCrossValidate(
+    TupleSource* db, int folds, const SplitSelector& selector,
+    const BoatOptions& options) {
+  if (folds < 2) {
+    return Status::InvalidArgument("cross-validation needs >= 2 folds");
+  }
+  const Schema& schema = db->schema();
+  BOAT_RETURN_NOT_OK(schema.Validate());
+  const uint64_t fold_seed = options.seed * 1000003 + 17;
+
+  BoatCrossValidationResult result;
+
+  // ---- Scan 1: shared reservoir sample + per-fold counts ------------------
+  Rng rng(options.seed);
+  uint64_t db_size = 0;
+  // Sample enough that each fold-complement keeps ~sample_size tuples.
+  const size_t shared_sample_size =
+      options.sample_size * static_cast<size_t>(folds) /
+      static_cast<size_t>(folds - 1);
+  std::vector<uint64_t> fold_counts(static_cast<size_t>(folds), 0);
+  std::vector<Tuple> sample;
+  {
+    BOAT_RETURN_NOT_OK(db->Reset());
+    Tuple t;
+    uint64_t seen = 0;
+    while (db->Next(&t)) {
+      ++seen;
+      ++fold_counts[CrossValidationFold(t, folds, fold_seed)];
+      if (sample.size() < shared_sample_size) {
+        sample.push_back(t);
+      } else {
+        const uint64_t j = static_cast<uint64_t>(
+            rng.UniformInt(0, static_cast<int64_t>(seen) - 1));
+        if (j < shared_sample_size) sample[j] = t;
+      }
+    }
+    db_size = seen;
+  }
+  result.db_size = db_size;
+
+  // ---- Per-fold engines from the shared sample ----------------------------
+  BoatOptions fold_options = options;
+  fold_options.enable_updates = false;
+  std::vector<std::unique_ptr<BoatEngine>> engines;
+  engines.reserve(static_cast<size_t>(folds));
+  for (int f = 0; f < folds; ++f) {
+    fold_options.seed = options.seed + static_cast<uint64_t>(f) + 1;
+    engines.push_back(
+        std::make_unique<BoatEngine>(schema, &selector, fold_options));
+    std::vector<Tuple> fold_sample;
+    fold_sample.reserve(sample.size());
+    for (const Tuple& t : sample) {
+      if (CrossValidationFold(t, folds, fold_seed) != f) {
+        fold_sample.push_back(t);
+      }
+    }
+    BOAT_RETURN_NOT_OK(engines[f]->PreparePhase(
+        std::move(fold_sample), db_size - fold_counts[f], nullptr));
+  }
+
+  // ---- Scan 2: the shared cleanup scan -------------------------------------
+  {
+    BOAT_RETURN_NOT_OK(db->Reset());
+    Tuple t;
+    while (db->Next(&t)) {
+      const int f = CrossValidationFold(t, folds, fold_seed);
+      for (int e = 0; e < folds; ++e) {
+        if (e != f) {
+          BOAT_RETURN_NOT_OK(engines[e]->InjectExternal(t));
+        }
+      }
+    }
+  }
+  for (int f = 0; f < folds; ++f) {
+    FoldComplementSource repair(db, f, folds, fold_seed);
+    BOAT_RETURN_NOT_OK(engines[f]->FinalizeExternal(&repair, nullptr));
+    result.fold_trees.push_back(engines[f]->ExtractDecisionTree());
+  }
+
+  // ---- Scan 3: held-out evaluation -----------------------------------------
+  for (int f = 0; f < folds; ++f) {
+    result.fold_confusion.emplace_back(schema.num_classes());
+  }
+  {
+    BOAT_RETURN_NOT_OK(db->Reset());
+    Tuple t;
+    while (db->Next(&t)) {
+      const int f = CrossValidationFold(t, folds, fold_seed);
+      result.fold_confusion[f].Add(t.label(),
+                                   result.fold_trees[f].Classify(t));
+    }
+  }
+  double sum = 0;
+  for (const ConfusionMatrix& cm : result.fold_confusion) {
+    sum += cm.Accuracy();
+  }
+  result.mean_accuracy = sum / static_cast<double>(folds);
+  double var = 0;
+  for (const ConfusionMatrix& cm : result.fold_confusion) {
+    const double d = cm.Accuracy() - result.mean_accuracy;
+    var += d * d;
+  }
+  result.stddev_accuracy = std::sqrt(var / static_cast<double>(folds));
+  return result;
+}
+
+}  // namespace boat

@@ -1,0 +1,196 @@
+#include "boat/discretization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "boat/bounds.h"
+#include "common/status.h"
+
+namespace boat {
+
+// -------------------------------------------------------------- Discretization
+
+Discretization::Discretization(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  if (!std::is_sorted(boundaries_.begin(), boundaries_.end())) {
+    FatalError("Discretization boundaries must be ascending");
+  }
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+}
+
+int Discretization::BucketOf(double v) const {
+  // Bucket b holds values in (boundary[b-1], boundary[b]]; the first bucket
+  // is (-inf, boundary[0]] and the last (boundary[m-1], +inf).
+  return static_cast<int>(
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), v) -
+      boundaries_.begin());
+}
+
+int Discretization::BoundaryIndex(double v) const {
+  auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), v);
+  if (it == boundaries_.end() || *it != v) return -1;
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+void Discretization::AddBoundary(double v) {
+  auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), v);
+  if (it != boundaries_.end() && *it == v) return;
+  boundaries_.insert(it, v);
+}
+
+// ---------------------------------------------------------------- BucketCounts
+
+BucketCounts::BucketCounts(Discretization disc, int num_classes)
+    : disc_(std::move(disc)),
+      k_(num_classes),
+      counts_(static_cast<size_t>(disc_.num_buckets()) * num_classes, 0),
+      mins_(static_cast<size_t>(disc_.num_buckets())),
+      maxes_(static_cast<size_t>(disc_.num_buckets())) {}
+
+int64_t BucketCounts::BucketTotal(int b) const {
+  const int64_t* row = bucket_counts(b);
+  int64_t total = 0;
+  for (int c = 0; c < k_; ++c) total += row[c];
+  return total;
+}
+
+namespace {
+
+// Updates one extreme tracker (is_min selects direction) for a weighted add.
+// `bucket_now_empty` re-arms a lost tracker once nothing is left to track.
+void UpdateExtreme(BucketCounts::ExtremeTrack* t, bool is_min, double value,
+                   int32_t label, int64_t weight, int k,
+                   bool bucket_now_empty) {
+  if (weight > 0) {
+    if (t->lost) return;
+    const bool improves =
+        t->counts.empty() || (is_min ? value < t->value : value > t->value);
+    if (improves) {
+      t->value = value;
+      t->counts.assign(static_cast<size_t>(k), 0);
+      t->counts[label] = weight;
+    } else if (value == t->value) {
+      t->counts[label] += weight;
+    }
+    return;
+  }
+  if (bucket_now_empty) {
+    t->lost = false;
+    t->counts.clear();
+    return;
+  }
+  if (!t->lost && !t->counts.empty() && value == t->value) {
+    t->counts[label] += weight;
+    int64_t remaining = 0;
+    for (const int64_t c : t->counts) remaining += c;
+    if (remaining == 0) {
+      // The tracked extreme vanished; its successor is unknown.
+      t->lost = true;
+      t->counts.clear();
+    }
+  }
+}
+
+}  // namespace
+
+void BucketCounts::Add(double value, int32_t label, int64_t weight) {
+  const int b = disc_.BucketOf(value);
+  counts_[static_cast<size_t>(b) * k_ + label] += weight;
+  const bool bucket_now_empty = weight < 0 && BucketTotal(b) == 0;
+  UpdateExtreme(&mins_[b], /*is_min=*/true, value, label, weight, k_,
+                bucket_now_empty);
+  UpdateExtreme(&maxes_[b], /*is_min=*/false, value, label, weight, k_,
+                bucket_now_empty);
+}
+
+std::optional<std::vector<int64_t>> BucketCounts::MinValueCounts(int b) const {
+  const ExtremeTrack& mt = mins_[b];
+  if (mt.lost || mt.counts.empty()) return std::nullopt;
+  return mt.counts;
+}
+
+std::optional<std::pair<double, std::vector<int64_t>>>
+BucketCounts::MaxValueInfo(int b) const {
+  const ExtremeTrack& mt = maxes_[b];
+  if (mt.lost || mt.counts.empty()) return std::nullopt;
+  return std::make_pair(mt.value, mt.counts);
+}
+
+std::vector<int64_t> BucketCounts::StampAtUpperBoundary(int b) const {
+  std::vector<int64_t> stamp(k_, 0);
+  for (int i = 0; i <= b; ++i) {
+    const int64_t* row = bucket_counts(i);
+    for (int c = 0; c < k_; ++c) stamp[c] += row[c];
+  }
+  return stamp;
+}
+
+std::vector<int64_t> BucketCounts::Totals() const {
+  return StampAtUpperBoundary(disc_.num_buckets() - 1);
+}
+
+// -------------------------------------------------- BuildAdaptiveDiscretization
+
+Discretization BuildAdaptiveDiscretization(const NumericAvc& sample_avc,
+                                           const ImpurityFunction& imp,
+                                           int max_buckets) {
+  const int k = sample_avc.num_classes();
+  const int64_t n_values = sample_avc.num_values();
+  if (n_values == 0) return Discretization(std::vector<double>{});
+  const std::vector<int64_t> totals = sample_avc.Totals();
+  int64_t total = 0;
+  for (const int64_t c : totals) total += c;
+
+  // Pass 1: exact impurity at every candidate split (prefix stamp) to find
+  // the estimated global minimum and the node impurity.
+  std::vector<int64_t> stamp(k, 0);
+  std::vector<int64_t> right(k, 0);
+  double min_impurity = std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < n_values; ++i) {
+    const int64_t* row = sample_avc.counts(i);
+    for (int c = 0; c < k; ++c) {
+      stamp[c] += row[c];
+      right[c] = totals[c] - stamp[c];
+    }
+    if (i + 1 == n_values) break;  // degenerate full split
+    const double v = imp.Eval(stamp.data(), right.data(), k, total);
+    if (v < min_impurity) min_impurity = v;
+  }
+  std::vector<int64_t> zeros(k, 0);
+  const double node_impurity = imp.EvalNode(totals.data(), k, total);
+  // A bucket whose corner bound falls below this is in "dangerous" territory:
+  // close it immediately so the cleanup-phase bound stays tight there.
+  const double tight_threshold =
+      min_impurity + 0.05 * std::max(node_impurity - min_impurity, 1e-12);
+
+  const int64_t quota =
+      std::max<int64_t>(1, (total + max_buckets - 1) / max_buckets);
+  const int hard_cap = 4 * max_buckets;
+
+  std::vector<double> boundaries;
+  std::vector<int64_t> bucket_lo(k, 0);  // stamp at current bucket's lower edge
+  std::fill(stamp.begin(), stamp.end(), 0);
+  int64_t in_bucket = 0;
+  for (int64_t i = 0; i < n_values; ++i) {
+    const int64_t* row = sample_avc.counts(i);
+    for (int c = 0; c < k; ++c) stamp[c] += row[c];
+    for (int c = 0; c < k; ++c) in_bucket += row[c];
+    if (i + 1 == n_values) break;  // last value needs no upper boundary
+
+    bool close = in_bucket >= quota;
+    if (!close && static_cast<int>(boundaries.size()) < hard_cap) {
+      const double lb = CornerLowerBound(imp, bucket_lo, stamp, totals, total);
+      close = lb <= tight_threshold;
+    }
+    if (close && static_cast<int>(boundaries.size()) < hard_cap) {
+      boundaries.push_back(sample_avc.value(i));
+      bucket_lo = stamp;
+      in_bucket = 0;
+    }
+  }
+  return Discretization(std::move(boundaries));
+}
+
+}  // namespace boat

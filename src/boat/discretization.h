@@ -1,0 +1,133 @@
+// Discretizations of numerical attributes (Section 3.4 of the paper).
+//
+// At each node BOAT keeps, for every numerical predictor attribute, a
+// discretization computed from the in-memory sample. During the cleanup scan
+// only per-bucket class counts are maintained (not full AVC-sets); the
+// cumulative counts at bucket boundaries are the "stamp points" that feed
+// the Lemma 3.1 corner lower bounds.
+//
+// Beyond the paper's plain corner bound we additionally track, per bucket,
+// the smallest attribute value present and its class counts. Every candidate
+// split inside a bucket has a stamp point that dominates
+// stamp(lower boundary) + min_value_counts, so the bound box can be
+// tightened to [stamp(x1) + min_counts, stamp(x2)]. This keeps the bound
+// exact for buckets holding a single distinct value — in particular for
+// attributes that are constant within a family (e.g. commission == 0 for
+// salary >= 75000 in the Agrawal data), where the plain box [stamp(x1),
+// stamp(x2)] would dip to zero impurity and force a spurious rebuild on
+// every check. Buckets containing no family tuples hold no candidate splits
+// and are skipped altogether.
+
+#ifndef BOAT_BOAT_DISCRETIZATION_H_
+#define BOAT_BOAT_DISCRETIZATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "split/counts.h"
+#include "split/impurity.h"
+
+namespace boat {
+
+class ModelSerializer;  // persistence layer (boat/persistence.h)
+
+/// \brief A discretization of a numerical domain: ascending boundary values
+/// b_1 < ... < b_m defining buckets (-inf, b_1], (b_1, b_2], ..., (b_m, inf).
+class Discretization {
+ public:
+  Discretization() = default;
+  explicit Discretization(std::vector<double> boundaries);
+
+  int num_buckets() const {
+    return static_cast<int>(boundaries_.size()) + 1;
+  }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// \brief Index of the bucket containing v (0-based).
+  int BucketOf(double v) const;
+
+  /// \brief Index of a boundary value, or -1 if not a boundary.
+  int BoundaryIndex(double v) const;
+
+  /// \brief Inserts an extra boundary (no-op if already present). Used to
+  /// force boundaries at the confidence-interval endpoints of the coarse
+  /// splitting attribute so every bucket lies entirely inside or outside the
+  /// interval.
+  void AddBoundary(double v);
+
+  bool operator==(const Discretization&) const = default;
+
+ private:
+  std::vector<double> boundaries_;
+};
+
+/// \brief Per-bucket, per-class tuple counts of one numerical attribute at
+/// one node, plus the per-bucket minimum-value tracking used to tighten the
+/// corner bounds. Supports weighted add (weight -1 = delete).
+class BucketCounts {
+ public:
+  BucketCounts() = default;
+  BucketCounts(Discretization disc, int num_classes);
+
+  void Add(double value, int32_t label, int64_t weight = 1);
+
+  const Discretization& disc() const { return disc_; }
+  int num_classes() const { return k_; }
+
+  /// \brief Class counts inside bucket `b` (k entries).
+  const int64_t* bucket_counts(int b) const { return &counts_[b * k_]; }
+
+  /// \brief Total tuples in bucket `b`.
+  int64_t BucketTotal(int b) const;
+
+  /// \brief Stamp point at the *upper* boundary of bucket `b`: cumulative
+  /// per-class counts of tuples with value <= b's upper boundary. For the
+  /// last bucket this equals the node's class totals.
+  std::vector<int64_t> StampAtUpperBoundary(int b) const;
+
+  /// \brief Class counts of the tuples carrying the smallest value in bucket
+  /// `b`, if that information is still exact (deleting the tracked minimum
+  /// loses it until the bucket empties). Used to raise the bound box's lower
+  /// corner.
+  std::optional<std::vector<int64_t>> MinValueCounts(int b) const;
+
+  /// \brief The largest value in bucket `b` and its class counts, if exact.
+  /// Used to exclude the boundary candidate vL (whose impurity the cleanup
+  /// phase computes exactly) from the bound box of the bucket containing it.
+  std::optional<std::pair<double, std::vector<int64_t>>> MaxValueInfo(
+      int b) const;
+
+  /// \brief Per-class totals across all buckets.
+  std::vector<int64_t> Totals() const;
+
+  /// Per-bucket extreme-value bookkeeping (public for the implementation's
+  /// free helper; not part of the conceptual API).
+  struct ExtremeTrack {
+    double value = 0.0;
+    std::vector<int64_t> counts;  // class counts at `value`; empty = none
+    bool lost = false;
+  };
+
+ private:
+  friend class ModelSerializer;
+  Discretization disc_;
+  int k_ = 0;
+  std::vector<int64_t> counts_;      // num_buckets x k
+  std::vector<ExtremeTrack> mins_;   // per bucket
+  std::vector<ExtremeTrack> maxes_;  // per bucket
+};
+
+/// \brief Builds the paper's adaptive discretization of one numerical
+/// attribute from the node's *sample* AVC-set: walking attribute values in
+/// ascending order, a bucket is closed early whenever its corner lower bound
+/// comes close to the estimated global impurity minimum (so the bound stays
+/// tight exactly where false alarms would otherwise fire), and otherwise
+/// grows to an equi-depth quota derived from `max_buckets`.
+Discretization BuildAdaptiveDiscretization(const NumericAvc& sample_avc,
+                                           const ImpurityFunction& imp,
+                                           int max_buckets);
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_DISCRETIZATION_H_

@@ -1,0 +1,47 @@
+// Incremental maintenance (Section 4): InsertChunk / DeleteChunk stream the
+// chunk through the model exactly like the cleanup scan, then re-run the
+// top-down verification walk. Nodes whose coarse criteria survive get their
+// exact splitting criteria recomputed (side-switching retained tuples when a
+// split point moves inside its confidence interval); nodes whose criteria
+// fail — a statistically significant change of the underlying distribution —
+// are rebuilt from the archived data, and only those subtrees pay the cost.
+
+#include "boat/cleanup.h"
+
+namespace boat {
+
+namespace {
+Status RequireUpdatesEnabled(const DatasetArchive* archive) {
+  if (archive == nullptr) {
+    return Status::NotSupported(
+        "incremental updates require BoatOptions::enable_updates");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status BoatEngine::InsertChunk(const std::vector<Tuple>& chunk,
+                               BoatStats* stats) {
+  BOAT_RETURN_NOT_OK(RequireUpdatesEnabled(archive_.get()));
+  for (const Tuple& t : chunk) {
+    BOAT_RETURN_NOT_OK(Inject(root_.get(), t, +1));
+  }
+  BOAT_RETURN_NOT_OK(archive_->AddChunk(chunk));
+  std::vector<ModelNode*> failed;
+  BOAT_RETURN_NOT_OK(FinalizeSubtree(root_.get(), &failed, stats));
+  return RepairFailures(std::move(failed), /*build_source=*/nullptr, stats);
+}
+
+Status BoatEngine::DeleteChunk(const std::vector<Tuple>& chunk,
+                               BoatStats* stats) {
+  BOAT_RETURN_NOT_OK(RequireUpdatesEnabled(archive_.get()));
+  for (const Tuple& t : chunk) {
+    BOAT_RETURN_NOT_OK(Inject(root_.get(), t, -1));
+  }
+  BOAT_RETURN_NOT_OK(archive_->RemoveChunk(chunk));
+  std::vector<ModelNode*> failed;
+  BOAT_RETURN_NOT_OK(FinalizeSubtree(root_.get(), &failed, stats));
+  return RepairFailures(std::move(failed), /*build_source=*/nullptr, stats);
+}
+
+}  // namespace boat

@@ -1,0 +1,130 @@
+#include "boat/model.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "storage/table_file.h"
+
+namespace boat {
+
+// -------------------------------------------------------------- ExtremeTracker
+
+void ExtremeTracker::Insert(double v) {
+  if (v > bound_) return;
+  ++qualifying_;
+  if (lost_) return;  // a larger untracked value may exist; stay lost
+  if (count_ == 0 || v > value_) {
+    value_ = v;
+    count_ = 1;
+  } else if (v == value_) {
+    ++count_;
+  }
+}
+
+void ExtremeTracker::Remove(double v) {
+  if (v > bound_) return;
+  --qualifying_;
+  if (qualifying_ == 0) {
+    // Nothing qualifies any more: the (non-existent) extreme is known again.
+    lost_ = false;
+    count_ = 0;
+    return;
+  }
+  if (!lost_ && count_ > 0 && v == value_) {
+    if (--count_ == 0) lost_ = true;
+  }
+}
+
+// ----------------------------------------------------------------- ExtractTree
+
+std::unique_ptr<TreeNode> ExtractTree(const ModelNode& node) {
+  if (node.kind == ModelNode::Kind::kFrontier) {
+    if (node.subtree == nullptr) {
+      FatalError("ExtractTree: unresolved frontier node");
+    }
+    return node.subtree->Clone();
+  }
+  if (!node.final_split.has_value()) {
+    return TreeNode::Leaf(node.class_totals);
+  }
+  return TreeNode::Internal(*node.final_split, node.class_totals,
+                            ExtractTree(*node.left), ExtractTree(*node.right));
+}
+
+ModelShape DescribeModel(const ModelNode& root) {
+  ModelShape shape;
+  if (root.kind == ModelNode::Kind::kFrontier) {
+    ++shape.frontier_nodes;
+    return shape;
+  }
+  ++shape.internal_nodes;
+  if (root.left != nullptr) {
+    const ModelShape l = DescribeModel(*root.left);
+    shape.internal_nodes += l.internal_nodes;
+    shape.frontier_nodes += l.frontier_nodes;
+  }
+  if (root.right != nullptr) {
+    const ModelShape r = DescribeModel(*root.right);
+    shape.internal_nodes += r.internal_nodes;
+    shape.frontier_nodes += r.frontier_nodes;
+  }
+  return shape;
+}
+
+// -------------------------------------------------------------- DatasetArchive
+
+// Tuple keys come from TupleKeyBytes (storage/tuple_store.h).
+
+DatasetArchive::DatasetArchive(Schema schema, TempFileManager* temp)
+    : schema_(std::move(schema)), temp_(temp) {}
+
+Status DatasetArchive::AddChunk(const std::vector<Tuple>& tuples) {
+  if (tuples.empty()) return Status::OK();
+  const std::string path =
+      temp_->NewPath(StrPrintf("archive-%llu",
+                               static_cast<unsigned long long>(next_id_++)));
+  BOAT_RETURN_NOT_OK(WriteTable(path, schema_, tuples));
+  segments_.push_back(path);
+  live_ += static_cast<int64_t>(tuples.size());
+  return Status::OK();
+}
+
+Status DatasetArchive::RemoveChunk(const std::vector<Tuple>& tuples) {
+  if (tuples.empty()) return Status::OK();
+  const std::string path =
+      temp_->NewPath(StrPrintf("tombstone-%llu",
+                               static_cast<unsigned long long>(next_id_++)));
+  BOAT_RETURN_NOT_OK(WriteTable(path, schema_, tuples));
+  tombstones_.push_back(path);
+  live_ -= static_cast<int64_t>(tuples.size());
+  return Status::OK();
+}
+
+Status DatasetArchive::Scan(
+    const std::function<void(const Tuple&)>& fn) const {
+  // Multiset of deleted tuples; each cancels one equal inserted tuple.
+  std::unordered_map<std::string, int64_t> dead;
+  for (const std::string& path : tombstones_) {
+    BOAT_ASSIGN_OR_RETURN(auto reader, TableReader::Open(path, schema_));
+    Tuple t;
+    while (reader->Next(&t)) ++dead[TupleKeyBytes(t)];
+  }
+  for (const std::string& path : segments_) {
+    BOAT_ASSIGN_OR_RETURN(auto reader, TableReader::Open(path, schema_));
+    Tuple t;
+    while (reader->Next(&t)) {
+      if (!dead.empty()) {
+        auto it = dead.find(TupleKeyBytes(t));
+        if (it != dead.end()) {
+          if (--it->second == 0) dead.erase(it);
+          continue;
+        }
+      }
+      fn(t);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace boat

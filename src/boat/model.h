@@ -1,0 +1,175 @@
+// The persistent BOAT model: the per-node state built during the cleanup
+// phase and kept afterwards to support incremental insertions and deletions
+// (Section 4 of the paper).
+//
+// Every internal model node holds exactly the statistics the cleanup scan
+// maintains: per-class totals, categorical AVC-sets, per-bucket counts of
+// every numerical attribute (impurity mode), exact fixed-point moments
+// (QUEST mode), the S_n store of tuples inside the confidence interval, and
+// the boundary tracker realizing the "largest attribute value at or below
+// the interval" candidate. Frontier nodes hold their full family store and
+// the subtree finished from it.
+
+#ifndef BOAT_BOAT_MODEL_H_
+#define BOAT_BOAT_MODEL_H_
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "boat/coarse.h"
+#include "split/quest.h"
+#include "split/selector.h"
+#include "storage/tuple_store.h"
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+class ModelSerializer;  // persistence layer (boat/persistence.h)
+
+/// \brief Tracks the largest attribute value at or below an upper bound,
+/// with multiplicity, so that deletions can be handled exactly: when the
+/// last tuple carrying the tracked value is deleted the true extreme becomes
+/// unknown ("lost") and verification must conservatively fail if it needs
+/// the value. The lost state clears itself when no qualifying tuples remain.
+class ExtremeTracker {
+ public:
+  ExtremeTracker() = default;
+  /// \param upper_bound only values <= upper_bound are tracked
+  ///        (+infinity tracks the overall maximum).
+  explicit ExtremeTracker(double upper_bound) : bound_(upper_bound) {}
+
+  void Insert(double v);
+  void Remove(double v);
+
+  /// \brief Number of tuples with value <= bound (always exact).
+  int64_t qualifying() const { return qualifying_; }
+  /// \brief No qualifying tuples exist (the extreme is known not to exist).
+  bool empty() const { return qualifying_ == 0; }
+  /// \brief Whether the tracked value is trustworthy.
+  bool known() const { return !lost_; }
+  /// \brief The tracked maximum; requires known() && !empty().
+  double value() const { return value_; }
+
+  bool operator==(const ExtremeTracker&) const = default;
+
+ private:
+  friend class ModelSerializer;
+  double bound_ = std::numeric_limits<double>::infinity();
+  int64_t qualifying_ = 0;
+  bool lost_ = false;
+  double value_ = 0.0;
+  int64_t count_ = 0;  // multiplicity of value_; 0 = nothing tracked
+};
+
+/// \brief A node of the persistent BOAT model.
+struct ModelNode {
+  enum class Kind {
+    kInternal,  ///< verified coarse criterion; carries cleanup statistics
+    kFrontier,  ///< optimistic construction stopped; carries the family
+  };
+
+  Kind kind = Kind::kFrontier;
+  int depth = 0;
+
+  // ------------------------------------------------------- internal state
+  CoarseCriterion coarse;
+  /// Per-attribute discretizations / bucket counts (impurity mode; empty
+  /// entries at categorical attribute positions).
+  std::vector<BucketCounts> buckets;
+  /// Per-attribute categorical AVC-sets (empty entries at numerical
+  /// positions; represented by cardinality-0 is invalid, so slot uses
+  /// cardinality of the attribute or 1 when unused).
+  std::vector<CategoricalAvc> cat_avcs;
+  /// Exact fixed-point moments (QUEST mode only).
+  std::optional<MomentSet> moments;
+  std::vector<int64_t> class_totals;
+  /// vL: largest value of the coarse splitting attribute <= interval_lo.
+  ExtremeTracker boundary;
+  /// Overall max of the coarse splitting attribute (QUEST mode only).
+  std::optional<ExtremeTracker> family_max;
+  /// In-interval tuples awaiting top-down distribution.
+  std::unique_ptr<SpillableTupleStore> pending;
+  /// In-interval tuples already distributed to the subtree (the S_n file).
+  std::unique_ptr<SpillableTupleStore> retained;
+  /// Exact per-value class counts of the in-interval tuples (pending and
+  /// retained combined), kept incrementally so verification never has to
+  /// re-read the S_n stores. Keyed by attribute value; zero rows pruned.
+  std::map<double, std::vector<int64_t>> interval_avc;
+  /// The verified exact splitting criterion (unset while unfinalized).
+  std::optional<Split> final_split;
+  std::unique_ptr<ModelNode> left;
+  std::unique_ptr<ModelNode> right;
+
+  // ------------------------------------------------------- frontier state
+  /// Complete family of a frontier node (kept for incremental updates).
+  std::unique_ptr<SpillableTupleStore> family;
+  /// Whether the cleanup scan stores the family's tuples. False only for
+  /// frontier nodes expected to end as stop-rule leaves when updates are
+  /// off: those need nothing but class counts, so the scan skips the
+  /// write-out entirely (the paper's "stop at the in-memory threshold"
+  /// methodology). If the estimate was wrong the node is repaired by an
+  /// extra collecting scan.
+  bool collect_family = true;
+  /// Subtree finished from `family` (in-memory build or recursive BOAT).
+  std::unique_ptr<TreeNode> subtree;
+  /// Statistics or family changed since the node was last finalized; set on
+  /// every node an injection passes through so revalidation can skip
+  /// untouched subtrees.
+  bool dirty = false;
+  /// How often this position's subtree has been rebuilt after verification
+  /// failures. Persistently failing positions (flat impurity landscapes in
+  /// noise regions, where the empirical optimum jitters with every chunk)
+  /// are demoted to plain frontier nodes rebuilt in memory — much cheaper
+  /// per update than re-deriving model statistics that will not survive the
+  /// next chunk anyway.
+  int rebuild_count = 0;
+
+  int64_t total_tuples() const {
+    int64_t n = 0;
+    for (const int64_t c : class_totals) n += c;
+    return n;
+  }
+};
+
+/// \brief Extracts the final decision tree from a finalized model.
+std::unique_ptr<TreeNode> ExtractTree(const ModelNode& node);
+
+/// \brief Counts model nodes by kind (diagnostics).
+struct ModelShape {
+  int64_t internal_nodes = 0;
+  int64_t frontier_nodes = 0;
+};
+ModelShape DescribeModel(const ModelNode& root);
+
+/// \brief Append-only archive of the logical training database, used for
+/// subtree rebuilds during incremental maintenance. Inserted chunks are
+/// stored as table-file segments; deleted chunks as tombstone segments that
+/// cancel equal tuples during scans.
+class DatasetArchive {
+ public:
+  DatasetArchive(Schema schema, TempFileManager* temp);
+
+  Status AddChunk(const std::vector<Tuple>& tuples);
+  Status RemoveChunk(const std::vector<Tuple>& tuples);
+
+  /// \brief Streams every live tuple (inserted and not deleted) to `fn`.
+  Status Scan(const std::function<void(const Tuple&)>& fn) const;
+
+  int64_t live_tuples() const { return live_; }
+
+ private:
+  friend class ModelSerializer;
+  Schema schema_;
+  TempFileManager* temp_;
+  std::vector<std::string> segments_;    // inserted chunks
+  std::vector<std::string> tombstones_;  // deleted chunks
+  int64_t live_ = 0;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_MODEL_H_

@@ -1,0 +1,78 @@
+// Configuration and instrumentation of the BOAT algorithm.
+
+#ifndef BOAT_BOAT_OPTIONS_H_
+#define BOAT_BOAT_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "split/selector.h"
+
+namespace boat {
+
+/// \brief Tuning knobs of BOAT. The defaults mirror the paper's setup
+/// (sample of 200k, 20 bootstrap repetitions of 50k, in-memory switch at
+/// 1.5M tuples) scaled down by 10x for laptop-scale experiments.
+struct BoatOptions {
+  /// Size of the in-memory sample D' drawn in the first scan.
+  size_t sample_size = 20000;
+  /// Number of bootstrap repetitions b.
+  int bootstrap_count = 20;
+  /// Size of each bootstrap subsample (drawn with replacement from D').
+  size_t bootstrap_subsample = 5000;
+  /// Families at or below this size are processed with the in-memory
+  /// builder ("it is always cheaper to run a main-memory algorithm").
+  int64_t inmem_threshold = 10000;
+  GrowthLimits limits;
+  uint64_t seed = 1234;
+  /// Scratch directory base ("" = BOAT_TMPDIR or /tmp).
+  std::string temp_dir;
+  /// In-memory tuple budget per spillable store (S_n files etc.).
+  size_t store_memory_budget = 1 << 16;
+  /// Discretization budget per numerical attribute per node.
+  int max_buckets_per_attr = 128;
+  /// Conservative margin for the Lemma 3.1 failure checks: a subtree is
+  /// discarded whenever an out-of-criterion lower bound comes within this
+  /// epsilon of the in-criterion minimum. Larger values can only cause
+  /// extra rebuilds, never an incorrect tree.
+  double bound_epsilon = 1e-9;
+  /// Keep the model statistics and a dataset archive so the tree can be
+  /// maintained incrementally (InsertChunk / DeleteChunk).
+  bool enable_updates = false;
+  /// Safety cap on recursive BOAT invocations (frontier families larger
+  /// than memory); beyond it families are processed in memory.
+  int max_recursion_depth = 4;
+  /// Internal: derive the coarse tree from one exact in-memory tree over
+  /// the whole (sub-)database instead of bootstrapping. Used by
+  /// maintenance-time subtree rebuilds, where durable model statistics
+  /// matter more than scan savings.
+  bool exact_coarse = false;
+  /// Maintenance-time subtree rebuilds materialize families up to this many
+  /// tuples to derive exact coarse criteria (larger families fall back to
+  /// bootstrap sampling). See DESIGN.md on threshold-crossing frontiers.
+  int64_t exact_rebuild_cap = 4'000'000;
+};
+
+/// \brief Counters describing the work a BOAT build or update performed.
+struct BoatStats {
+  uint64_t db_size = 0;            ///< |D| seen by the sampling scan.
+  uint64_t bootstrap_kills = 0;    ///< Subtrees removed by disagreement.
+  uint64_t coarse_nodes = 0;       ///< Nodes of the coarse tree.
+  uint64_t cleanup_scans = 0;      ///< Full cleanup scans.
+  uint64_t failed_checks = 0;      ///< Coarse criteria rejected (rebuilds).
+  /// Coarse internal nodes whose exact statistics said "leaf" (converted to
+  /// frontier nodes over their collected families).
+  uint64_t leafized_nodes = 0;
+  uint64_t retained_tuples = 0;    ///< Tuples held inside confidence intervals.
+  uint64_t frontier_inmem = 0;     ///< Frontier families finished in memory.
+  uint64_t frontier_recursive = 0; ///< Frontier families via recursive BOAT.
+  uint64_t rebuild_scans = 0;      ///< Extra scans for failed subtrees.
+  uint64_t side_switch_tuples = 0; ///< Update: tuples re-routed on split moves.
+  uint64_t subtree_rebuilds = 0;   ///< Update: subtrees rebuilt.
+
+  void MergeFrom(const BoatStats& other);
+};
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_OPTIONS_H_

@@ -1,0 +1,759 @@
+#include "boat/persistence.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "tree/serialize.h"
+
+namespace boat {
+
+namespace fs = std::filesystem;
+
+// ModelSerializer has friend access to the engine and its component types;
+// everything below lives in its static methods.
+class ModelSerializer {
+ public:
+  // ------------------------------------------------------------------ save
+
+  static Status Save(const BoatEngine& engine, const std::string& dir) {
+    if (engine.root_ == nullptr) {
+      return Status::InvalidArgument("engine has no model (not built)");
+    }
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) return Status::IOError("cannot create model directory: " + dir);
+
+    std::string out;
+    out += "BOATMODEL v1\n";
+    out += "selector " + engine.selector_->name() + "\n";
+
+    // Schema.
+    const Schema& schema = engine.schema_;
+    out += StrPrintf("schema %d %d\n", schema.num_classes(),
+                     schema.num_attributes());
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      const Attribute& attr = schema.attribute(a);
+      out += StrPrintf("attr %c %d %s\n",
+                       attr.type == AttributeType::kNumerical ? 'n' : 'c',
+                       attr.cardinality, attr.name.c_str());
+    }
+
+    // Options (the fields that shape future maintenance).
+    const BoatOptions& o = engine.options_;
+    out += StrPrintf(
+        "options %zu %d %zu %lld %d %lld %lld %zu %d %a %d %d %lld %llu\n",
+        o.sample_size, o.bootstrap_count, o.bootstrap_subsample,
+        static_cast<long long>(o.inmem_threshold), o.limits.max_depth,
+        static_cast<long long>(o.limits.min_tuples_to_split),
+        static_cast<long long>(o.limits.stop_family_size),
+        o.store_memory_budget, o.max_buckets_per_attr, o.bound_epsilon,
+        o.enable_updates ? 1 : 0, o.max_recursion_depth,
+        static_cast<long long>(o.exact_rebuild_cap),
+        static_cast<unsigned long long>(o.seed));
+    out += StrPrintf("dbsize %llu\n",
+                     static_cast<unsigned long long>(engine.db_size_));
+
+    // Archive.
+    int64_t next_store = 0;
+    if (engine.archive_ != nullptr) {
+      const DatasetArchive& archive = *engine.archive_;
+      out += StrPrintf("archive %zu %zu %lld\n", archive.segments_.size(),
+                       archive.tombstones_.size(),
+                       static_cast<long long>(archive.live_));
+      BOAT_RETURN_NOT_OK(CopyFiles(archive.segments_, dir, "archive-seg"));
+      BOAT_RETURN_NOT_OK(CopyFiles(archive.tombstones_, dir, "archive-dead"));
+    } else {
+      out += "noarchive\n";
+    }
+
+    BOAT_RETURN_NOT_OK(
+        SaveNode(*engine.root_, engine, dir, &next_store, &out));
+
+    std::ofstream manifest(dir + "/manifest.boatmodel");
+    manifest << out;
+    if (!manifest) return Status::IOError("cannot write model manifest");
+    return Status::OK();
+  }
+
+  // ------------------------------------------------------------------ load
+
+  static Result<std::unique_ptr<BoatEngine>> Load(
+      const std::string& dir, const SplitSelector* selector) {
+    std::ifstream in(dir + "/manifest.boatmodel");
+    if (!in) return Status::NotFound("no model manifest in " + dir);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(std::move(line));
+    size_t cursor = 0;
+    auto next = [&lines, &cursor]() -> Result<std::string> {
+      if (cursor >= lines.size()) {
+        return Status::Corruption("unexpected end of model manifest");
+      }
+      return lines[cursor++];
+    };
+
+    BOAT_ASSIGN_OR_RETURN(std::string header, next());
+    if (header != "BOATMODEL v1") {
+      return Status::Corruption("bad model header: " + header);
+    }
+    BOAT_ASSIGN_OR_RETURN(std::string selector_line, next());
+    if (selector_line != "selector " + selector->name()) {
+      return Status::InvalidArgument(
+          "model was trained with a different split selection method (" +
+          selector_line + ")");
+    }
+
+    // Schema.
+    BOAT_ASSIGN_OR_RETURN(std::string schema_line, next());
+    int k = 0;
+    int num_attrs = 0;
+    if (std::sscanf(schema_line.c_str(), "schema %d %d", &k, &num_attrs) !=
+        2) {
+      return Status::Corruption("bad schema line");
+    }
+    std::vector<Attribute> attrs;
+    for (int a = 0; a < num_attrs; ++a) {
+      BOAT_ASSIGN_OR_RETURN(std::string attr_line, next());
+      char type = 0;
+      int cardinality = 0;
+      int name_offset = 0;
+      if (std::sscanf(attr_line.c_str(), "attr %c %d %n", &type, &cardinality,
+                      &name_offset) != 2) {
+        return Status::Corruption("bad attr line: " + attr_line);
+      }
+      const std::string name = attr_line.substr(name_offset);
+      attrs.push_back(type == 'n' ? Attribute::Numerical(name)
+                                  : Attribute::Categorical(name, cardinality));
+    }
+    Schema schema(std::move(attrs), k);
+    BOAT_RETURN_NOT_OK(schema.Validate());
+
+    // Options.
+    BOAT_ASSIGN_OR_RETURN(std::string options_line, next());
+    BoatOptions options;
+    {
+      std::istringstream fields(options_line);
+      std::string tag, eps;
+      long long inmem, min_tuples, stop_family, exact_cap;
+      unsigned long long seed;
+      int enable_updates;
+      if (!(fields >> tag >> options.sample_size >> options.bootstrap_count >>
+            options.bootstrap_subsample >> inmem >> options.limits.max_depth >>
+            min_tuples >> stop_family >> options.store_memory_budget >>
+            options.max_buckets_per_attr >> eps >> enable_updates >>
+            options.max_recursion_depth >> exact_cap >> seed) ||
+          tag != "options") {
+        return Status::Corruption("bad options line");
+      }
+      options.inmem_threshold = inmem;
+      options.limits.min_tuples_to_split = min_tuples;
+      options.limits.stop_family_size = stop_family;
+      options.bound_epsilon = std::strtod(eps.c_str(), nullptr);
+      options.enable_updates = enable_updates != 0;
+      options.exact_rebuild_cap = exact_cap;
+      options.seed = seed;
+    }
+
+    auto engine =
+        std::make_unique<BoatEngine>(schema, selector, options);
+
+    BOAT_ASSIGN_OR_RETURN(std::string dbsize_line, next());
+    {
+      unsigned long long n = 0;
+      if (std::sscanf(dbsize_line.c_str(), "dbsize %llu", &n) != 1) {
+        return Status::Corruption("bad dbsize line");
+      }
+      engine->db_size_ = n;
+    }
+
+    // Archive.
+    BOAT_ASSIGN_OR_RETURN(std::string archive_line, next());
+    if (archive_line != "noarchive") {
+      size_t nsegs = 0;
+      size_t ndead = 0;
+      long long live = 0;
+      if (std::sscanf(archive_line.c_str(), "archive %zu %zu %lld", &nsegs,
+                      &ndead, &live) != 3) {
+        return Status::Corruption("bad archive line");
+      }
+      auto archive =
+          std::make_unique<DatasetArchive>(schema, engine->temp_);
+      BOAT_RETURN_NOT_OK(RestoreFiles(dir, "archive-seg", nsegs,
+                                      engine->temp_, &archive->segments_));
+      BOAT_RETURN_NOT_OK(RestoreFiles(dir, "archive-dead", ndead,
+                                      engine->temp_, &archive->tombstones_));
+      archive->live_ = live;
+      archive->next_id_ = nsegs + ndead;
+      engine->archive_ = std::move(archive);
+    }
+
+    BOAT_ASSIGN_OR_RETURN(
+        auto root, LoadNode(next, dir, schema, engine.get()));
+    engine->root_ = std::move(root);
+    return engine;
+  }
+
+ private:
+  // --------------------------------------------------------------- helpers
+
+  static Status CopyFiles(const std::vector<std::string>& paths,
+                          const std::string& dir, const char* prefix) {
+    for (size_t i = 0; i < paths.size(); ++i) {
+      std::error_code ec;
+      fs::copy_file(paths[i], StrPrintf("%s/%s-%zu.tbl", dir.c_str(), prefix,
+                                        i),
+                    fs::copy_options::overwrite_existing, ec);
+      if (ec) return Status::IOError("cannot copy " + paths[i]);
+    }
+    return Status::OK();
+  }
+
+  static Status RestoreFiles(const std::string& dir, const char* prefix,
+                             size_t count, TempFileManager* temp,
+                             std::vector<std::string>* out) {
+    for (size_t i = 0; i < count; ++i) {
+      const std::string src =
+          StrPrintf("%s/%s-%zu.tbl", dir.c_str(), prefix, i);
+      const std::string dst = temp->NewPath(prefix);
+      std::error_code ec;
+      fs::copy_file(src, dst, fs::copy_options::overwrite_existing, ec);
+      if (ec) return Status::IOError("cannot restore " + src);
+      out->push_back(dst);
+    }
+    return Status::OK();
+  }
+
+  // Writes a store's live tuples as store-<id>.tbl; returns the id (-1 for
+  // null/empty stores).
+  static Result<int64_t> SaveStore(const SpillableTupleStore* store,
+                                   const Schema& schema,
+                                   const std::string& dir,
+                                   int64_t* next_store) {
+    if (store == nullptr || store->empty()) return static_cast<int64_t>(-1);
+    const int64_t id = (*next_store)++;
+    BOAT_ASSIGN_OR_RETURN(
+        auto writer,
+        TableWriter::Create(StrPrintf("%s/store-%lld.tbl", dir.c_str(),
+                                      static_cast<long long>(id)),
+                            schema));
+    Status append = Status::OK();
+    BOAT_RETURN_NOT_OK(store->ForEach([&](const Tuple& t) {
+      if (append.ok()) append = writer->Append(t);
+    }));
+    BOAT_RETURN_NOT_OK(append);
+    BOAT_RETURN_NOT_OK(writer->Finish());
+    return id;
+  }
+
+  static Result<std::unique_ptr<SpillableTupleStore>> LoadStore(
+      int64_t id, const std::string& dir, const Schema& schema,
+      BoatEngine* engine, const char* hint) {
+    auto store = engine->NewStore(hint);
+    if (id < 0) return store;
+    BOAT_ASSIGN_OR_RETURN(
+        auto tuples,
+        ReadTable(StrPrintf("%s/store-%lld.tbl", dir.c_str(),
+                            static_cast<long long>(id)),
+                  schema));
+    for (const Tuple& t : tuples) {
+      BOAT_RETURN_NOT_OK(store->Append(t));
+    }
+    return store;
+  }
+
+  static std::string TrackerText(const ExtremeTracker& t) {
+    return StrPrintf("%a %lld %d %a %lld", t.bound_,
+                     static_cast<long long>(t.qualifying_), t.lost_ ? 1 : 0,
+                     t.value_, static_cast<long long>(t.count_));
+  }
+
+  static Result<ExtremeTracker> ParseTracker(std::istringstream* fields) {
+    std::string bound, value;
+    long long qualifying, count;
+    int lost;
+    if (!(*fields >> bound >> qualifying >> lost >> value >> count)) {
+      return Status::Corruption("bad tracker record");
+    }
+    ExtremeTracker t(std::strtod(bound.c_str(), nullptr));
+    t.qualifying_ = qualifying;
+    t.lost_ = lost != 0;
+    t.value_ = std::strtod(value.c_str(), nullptr);
+    t.count_ = count;
+    return t;
+  }
+
+  // ------------------------------------------------------------ node save
+
+  static Status SaveNode(const ModelNode& node, const BoatEngine& engine,
+                         const std::string& dir, int64_t* next_store,
+                         std::string* out) {
+    const Schema& schema = engine.schema_;
+    if (node.kind == ModelNode::Kind::kFrontier) {
+      BOAT_ASSIGN_OR_RETURN(
+          int64_t family_id,
+          SaveStore(node.family.get(), schema, dir, next_store));
+      out->append(StrPrintf("frontier %d %d %d %lld", node.depth,
+                            node.rebuild_count, node.collect_family ? 1 : 0,
+                            static_cast<long long>(family_id)));
+      for (const int64_t c : node.class_totals) {
+        out->append(StrPrintf(" %lld", static_cast<long long>(c)));
+      }
+      out->push_back('\n');
+      if (node.subtree != nullptr) {
+        const std::string sub = SerializeSubtree(*node.subtree);
+        const long long sub_lines =
+            std::count(sub.begin(), sub.end(), '\n');
+        out->append(StrPrintf("subtree %lld\n", sub_lines));
+        out->append(sub);
+      } else {
+        out->append("nosubtree\n");
+      }
+      return Status::OK();
+    }
+
+    out->append(StrPrintf("internal %d %d\n", node.depth, node.rebuild_count));
+    // Coarse criterion.
+    const CoarseCriterion& crit = node.coarse;
+    if (crit.is_numerical) {
+      out->append(StrPrintf("coarse %d n %a %a\n", crit.attribute,
+                            crit.interval_lo, crit.interval_hi));
+    } else {
+      out->append(StrPrintf("coarse %d c %zu", crit.attribute,
+                            crit.subset.size()));
+      for (const int32_t c : crit.subset) out->append(StrPrintf(" %d", c));
+      out->push_back('\n');
+    }
+    // Final split (reuse the tree serialization's line grammar via a
+    // one-node leaf trick is awkward; emit directly).
+    if (node.final_split.has_value()) {
+      const Split& s = *node.final_split;
+      if (s.is_numerical) {
+        out->append(
+            StrPrintf("final %d n %a %a\n", s.attribute, s.value, s.impurity));
+      } else {
+        out->append(StrPrintf("final %d c %zu", s.attribute, s.subset.size()));
+        for (const int32_t c : s.subset) out->append(StrPrintf(" %d", c));
+        out->append(StrPrintf(" %a\n", s.impurity));
+      }
+    } else {
+      out->append("nofinal\n");
+    }
+    // Class totals.
+    out->append("counts");
+    for (const int64_t c : node.class_totals) {
+      out->append(StrPrintf(" %lld", static_cast<long long>(c)));
+    }
+    out->push_back('\n');
+    // Trackers.
+    out->append("boundary " + TrackerText(node.boundary) + "\n");
+    if (node.family_max.has_value()) {
+      out->append("familymax " + TrackerText(*node.family_max) + "\n");
+    } else {
+      out->append("nofamilymax\n");
+    }
+    // Moments (QUEST mode).
+    if (node.moments.has_value()) {
+      out->append("moments");
+      for (const auto& cell : node.moments->cells_) {
+        const __int128 sq = cell.sum_sq;
+        out->append(StrPrintf(
+            " %lld %lld %lld %llu", static_cast<long long>(cell.count),
+            static_cast<long long>(cell.sum),
+            static_cast<long long>(static_cast<int64_t>(sq >> 64)),
+            static_cast<unsigned long long>(
+                static_cast<uint64_t>(sq & ~uint64_t{0}))));
+      }
+      out->push_back('\n');
+    } else {
+      out->append("nomoments\n");
+    }
+    // Categorical AVCs.
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (!schema.IsCategorical(a)) continue;
+      const CategoricalAvc& avc = node.cat_avcs[a];
+      out->append(StrPrintf("catavc %d", a));
+      for (int32_t cat = 0; cat < avc.cardinality(); ++cat) {
+        for (int cls = 0; cls < schema.num_classes(); ++cls) {
+          out->append(
+              StrPrintf(" %lld", static_cast<long long>(avc.count(cat, cls))));
+        }
+      }
+      out->push_back('\n');
+    }
+    // Bucket counts (impurity mode).
+    if (!node.buckets.empty()) {
+      for (int a = 0; a < schema.num_attributes(); ++a) {
+        if (!schema.IsNumerical(a)) continue;
+        const BucketCounts& bc = node.buckets[a];
+        out->append(StrPrintf("bucketdisc %d %zu", a,
+                              bc.disc_.boundaries().size()));
+        for (const double b : bc.disc_.boundaries()) {
+          out->append(StrPrintf(" %a", b));
+        }
+        out->push_back('\n');
+        out->append(StrPrintf("bucketcounts %d", a));
+        for (const int64_t c : bc.counts_) {
+          out->append(StrPrintf(" %lld", static_cast<long long>(c)));
+        }
+        out->push_back('\n');
+        BOAT_RETURN_NOT_OK(SaveTracks("bucketmins", a, bc.mins_, out));
+        BOAT_RETURN_NOT_OK(SaveTracks("bucketmaxes", a, bc.maxes_, out));
+      }
+      out->append("endbuckets\n");
+    } else {
+      out->append("nobuckets\n");
+    }
+    // Stores.
+    BOAT_ASSIGN_OR_RETURN(
+        int64_t pending_id,
+        SaveStore(node.pending.get(), schema, dir, next_store));
+    BOAT_ASSIGN_OR_RETURN(
+        int64_t retained_id,
+        SaveStore(node.retained.get(), schema, dir, next_store));
+    out->append(StrPrintf("stores %lld %lld\n",
+                          static_cast<long long>(pending_id),
+                          static_cast<long long>(retained_id)));
+    BOAT_RETURN_NOT_OK(SaveNode(*node.left, engine, dir, next_store, out));
+    return SaveNode(*node.right, engine, dir, next_store, out);
+  }
+
+  static Status SaveTracks(const char* tag, int attr,
+                           const std::vector<BucketCounts::ExtremeTrack>& ts,
+                           std::string* out) {
+    out->append(StrPrintf("%s %d", tag, attr));
+    for (const auto& t : ts) {
+      out->append(StrPrintf(" %a %d %zu", t.value, t.lost ? 1 : 0,
+                            t.counts.size()));
+      for (const int64_t c : t.counts) {
+        out->append(StrPrintf(" %lld", static_cast<long long>(c)));
+      }
+    }
+    out->push_back('\n');
+    return Status::OK();
+  }
+
+  // ------------------------------------------------------------ node load
+
+  using NextLine = std::function<Result<std::string>()>;
+
+  static Result<std::unique_ptr<ModelNode>> LoadNode(const NextLine& next,
+                                                     const std::string& dir,
+                                                     const Schema& schema,
+                                                     BoatEngine* engine) {
+    BOAT_ASSIGN_OR_RETURN(std::string line, next());
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+
+    auto node = std::make_unique<ModelNode>();
+    if (tag == "frontier") {
+      int collect = 0;
+      long long family_id = -1;
+      if (!(fields >> node->depth >> node->rebuild_count >> collect >>
+            family_id)) {
+        return Status::Corruption("bad frontier record");
+      }
+      node->kind = ModelNode::Kind::kFrontier;
+      node->collect_family = collect != 0;
+      node->class_totals.assign(schema.num_classes(), 0);
+      for (int c = 0; c < schema.num_classes(); ++c) {
+        long long v;
+        if (!(fields >> v)) return Status::Corruption("bad frontier counts");
+        node->class_totals[c] = v;
+      }
+      BOAT_ASSIGN_OR_RETURN(
+          node->family, LoadStore(family_id, dir, schema, engine, "family"));
+      BOAT_ASSIGN_OR_RETURN(std::string sub_line, next());
+      if (sub_line.rfind("subtree ", 0) == 0) {
+        const long long sub_lines =
+            std::strtoll(sub_line.c_str() + 8, nullptr, 10);
+        std::vector<std::string> lines;
+        for (long long i = 0; i < sub_lines; ++i) {
+          BOAT_ASSIGN_OR_RETURN(std::string l, next());
+          lines.push_back(std::move(l));
+        }
+        size_t cursor = 0;
+        BOAT_ASSIGN_OR_RETURN(node->subtree,
+                              DeserializeSubtree(lines, &cursor, schema));
+      } else if (sub_line != "nosubtree") {
+        return Status::Corruption("bad subtree record: " + sub_line);
+      }
+      return node;
+    }
+
+    if (tag != "internal") {
+      return Status::Corruption("unknown model node tag: " + tag);
+    }
+    node->kind = ModelNode::Kind::kInternal;
+    if (!(fields >> node->depth >> node->rebuild_count)) {
+      return Status::Corruption("bad internal record");
+    }
+
+    // Coarse criterion.
+    {
+      BOAT_ASSIGN_OR_RETURN(std::string l, next());
+      std::istringstream f(l);
+      std::string t, type;
+      if (!(f >> t >> node->coarse.attribute >> type) || t != "coarse") {
+        return Status::Corruption("bad coarse record: " + l);
+      }
+      if (type == "n") {
+        std::string lo, hi;
+        if (!(f >> lo >> hi)) return Status::Corruption("bad coarse interval");
+        node->coarse.is_numerical = true;
+        node->coarse.interval_lo = std::strtod(lo.c_str(), nullptr);
+        node->coarse.interval_hi = std::strtod(hi.c_str(), nullptr);
+      } else {
+        size_t m = 0;
+        f >> m;
+        node->coarse.is_numerical = false;
+        node->coarse.subset.resize(m);
+        for (size_t i = 0; i < m; ++i) f >> node->coarse.subset[i];
+        if (!f) return Status::Corruption("bad coarse subset");
+      }
+    }
+    // Final split.
+    {
+      BOAT_ASSIGN_OR_RETURN(std::string l, next());
+      if (l != "nofinal") {
+        std::istringstream f(l);
+        std::string t, type;
+        int attr;
+        if (!(f >> t >> attr >> type) || t != "final") {
+          return Status::Corruption("bad final record: " + l);
+        }
+        if (type == "n") {
+          std::string v, imp;
+          if (!(f >> v >> imp)) return Status::Corruption("bad final split");
+          node->final_split = Split::Numerical(
+              attr, std::strtod(v.c_str(), nullptr),
+              std::strtod(imp.c_str(), nullptr));
+        } else {
+          size_t m = 0;
+          f >> m;
+          std::vector<int32_t> subset(m);
+          for (size_t i = 0; i < m; ++i) f >> subset[i];
+          std::string imp;
+          if (!(f >> imp)) return Status::Corruption("bad final subset");
+          node->final_split = Split::Categorical(
+              attr, std::move(subset), std::strtod(imp.c_str(), nullptr));
+        }
+      }
+    }
+    // Class totals.
+    {
+      BOAT_ASSIGN_OR_RETURN(std::string l, next());
+      std::istringstream f(l);
+      std::string t;
+      f >> t;
+      if (t != "counts") return Status::Corruption("bad counts record");
+      node->class_totals.assign(schema.num_classes(), 0);
+      for (int c = 0; c < schema.num_classes(); ++c) {
+        long long v;
+        if (!(f >> v)) return Status::Corruption("bad counts record");
+        node->class_totals[c] = v;
+      }
+    }
+    // Trackers.
+    {
+      BOAT_ASSIGN_OR_RETURN(std::string l, next());
+      std::istringstream f(l);
+      std::string t;
+      f >> t;
+      if (t != "boundary") return Status::Corruption("bad boundary record");
+      BOAT_ASSIGN_OR_RETURN(node->boundary, ParseTracker(&f));
+    }
+    {
+      BOAT_ASSIGN_OR_RETURN(std::string l, next());
+      if (l != "nofamilymax") {
+        std::istringstream f(l);
+        std::string t;
+        f >> t;
+        if (t != "familymax") return Status::Corruption("bad familymax");
+        BOAT_ASSIGN_OR_RETURN(ExtremeTracker tracker, ParseTracker(&f));
+        node->family_max = tracker;
+      }
+    }
+    // Moments.
+    {
+      BOAT_ASSIGN_OR_RETURN(std::string l, next());
+      if (l != "nomoments") {
+        std::istringstream f(l);
+        std::string t;
+        f >> t;
+        if (t != "moments") return Status::Corruption("bad moments record");
+        MomentSet moments(schema);
+        for (auto& cell : moments.cells_) {
+          long long count, sum, hi;
+          unsigned long long lo;
+          if (!(f >> count >> sum >> hi >> lo)) {
+            return Status::Corruption("bad moments cell");
+          }
+          cell.count = count;
+          cell.sum = sum;
+          cell.sum_sq = (static_cast<__int128>(hi) << 64) |
+                        static_cast<unsigned __int128>(lo);
+        }
+        node->moments = std::move(moments);
+      }
+    }
+    // Categorical AVCs (one record per categorical attribute, in order).
+    node->cat_avcs.reserve(schema.num_attributes());
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      const int card =
+          schema.IsCategorical(a) ? schema.attribute(a).cardinality : 1;
+      node->cat_avcs.emplace_back(card, schema.num_classes());
+    }
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (!schema.IsCategorical(a)) continue;
+      BOAT_ASSIGN_OR_RETURN(std::string l, next());
+      std::istringstream f(l);
+      std::string t;
+      int attr;
+      if (!(f >> t >> attr) || t != "catavc" || attr != a) {
+        return Status::Corruption("bad catavc record: " + l);
+      }
+      for (int32_t cat = 0; cat < schema.attribute(a).cardinality; ++cat) {
+        for (int cls = 0; cls < schema.num_classes(); ++cls) {
+          long long v;
+          if (!(f >> v)) return Status::Corruption("bad catavc counts");
+          node->cat_avcs[a].Add(cat, cls, v);
+        }
+      }
+    }
+    // Buckets.
+    {
+      BOAT_ASSIGN_OR_RETURN(std::string l, next());
+      if (l != "nobuckets") {
+        node->buckets.resize(schema.num_attributes());
+        std::string current = l;
+        while (current != "endbuckets") {
+          std::istringstream f(current);
+          std::string t;
+          int attr;
+          size_t nb;
+          if (!(f >> t >> attr >> nb) || t != "bucketdisc") {
+            return Status::Corruption("bad bucketdisc record: " + current);
+          }
+          std::vector<double> boundaries(nb);
+          for (size_t i = 0; i < nb; ++i) {
+            std::string b;
+            f >> b;
+            boundaries[i] = std::strtod(b.c_str(), nullptr);
+          }
+          if (!f) return Status::Corruption("bad bucket boundaries");
+          BucketCounts bc(Discretization(std::move(boundaries)),
+                          schema.num_classes());
+          BOAT_RETURN_NOT_OK(LoadBucketCounts(next, attr, &bc));
+          BOAT_RETURN_NOT_OK(LoadTracks(next, "bucketmins", attr, &bc.mins_));
+          BOAT_RETURN_NOT_OK(
+              LoadTracks(next, "bucketmaxes", attr, &bc.maxes_));
+          node->buckets[attr] = std::move(bc);
+          BOAT_ASSIGN_OR_RETURN(current, next());
+        }
+      }
+    }
+    // Stores.
+    {
+      BOAT_ASSIGN_OR_RETURN(std::string l, next());
+      long long pending_id, retained_id;
+      if (std::sscanf(l.c_str(), "stores %lld %lld", &pending_id,
+                      &retained_id) != 2) {
+        return Status::Corruption("bad stores record: " + l);
+      }
+      if (node->coarse.is_numerical) {
+        BOAT_ASSIGN_OR_RETURN(
+            node->pending,
+            LoadStore(pending_id, dir, schema, engine, "pending"));
+        BOAT_ASSIGN_OR_RETURN(
+            node->retained,
+            LoadStore(retained_id, dir, schema, engine, "retained"));
+        // interval_avc is derived state: rebuild it from the stores.
+        Status st = Status::OK();
+        auto accumulate = [&](const Tuple& t) {
+          const double v = t.value(node->coarse.attribute);
+          auto [it, inserted] = node->interval_avc.try_emplace(
+              v, std::vector<int64_t>(schema.num_classes(), 0));
+          it->second[t.label()] += 1;
+        };
+        BOAT_RETURN_NOT_OK(node->pending->ForEach(accumulate));
+        BOAT_RETURN_NOT_OK(node->retained->ForEach(accumulate));
+        BOAT_RETURN_NOT_OK(st);
+      }
+    }
+    BOAT_ASSIGN_OR_RETURN(node->left, LoadNode(next, dir, schema, engine));
+    BOAT_ASSIGN_OR_RETURN(node->right, LoadNode(next, dir, schema, engine));
+    return node;
+  }
+
+  static Status LoadBucketCounts(const NextLine& next, int attr,
+                                 BucketCounts* bc) {
+    BOAT_ASSIGN_OR_RETURN(std::string l, next());
+    std::istringstream f(l);
+    std::string t;
+    int a;
+    if (!(f >> t >> a) || t != "bucketcounts" || a != attr) {
+      return Status::Corruption("bad bucketcounts record: " + l);
+    }
+    for (auto& c : bc->counts_) {
+      long long v;
+      if (!(f >> v)) return Status::Corruption("bad bucket count");
+      c = v;
+    }
+    return Status::OK();
+  }
+
+  static Status LoadTracks(const NextLine& next, const char* tag, int attr,
+                           std::vector<BucketCounts::ExtremeTrack>* tracks) {
+    BOAT_ASSIGN_OR_RETURN(std::string l, next());
+    std::istringstream f(l);
+    std::string t;
+    int a;
+    if (!(f >> t >> a) || t != tag || a != attr) {
+      return Status::Corruption(StrPrintf("bad %s record", tag));
+    }
+    for (auto& track : *tracks) {
+      std::string value;
+      int lost;
+      size_t n;
+      if (!(f >> value >> lost >> n)) {
+        return Status::Corruption(StrPrintf("bad %s track", tag));
+      }
+      track.value = std::strtod(value.c_str(), nullptr);
+      track.lost = lost != 0;
+      track.counts.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        long long c;
+        if (!(f >> c)) return Status::Corruption("bad track counts");
+        track.counts[i] = c;
+      }
+    }
+    return Status::OK();
+  }
+};
+
+Status SaveModel(const BoatEngine& engine, const std::string& dir) {
+  return ModelSerializer::Save(engine, dir);
+}
+
+Result<std::unique_ptr<BoatEngine>> LoadModel(const std::string& dir,
+                                              const SplitSelector* selector) {
+  return ModelSerializer::Load(dir, selector);
+}
+
+Status SaveClassifier(const BoatClassifier& classifier,
+                      const std::string& dir) {
+  return SaveModel(classifier.engine(), dir);
+}
+
+Result<std::unique_ptr<BoatClassifier>> LoadClassifier(
+    const std::string& dir, const SplitSelector* selector) {
+  BOAT_ASSIGN_OR_RETURN(auto engine, LoadModel(dir, selector));
+  return BoatClassifier::FromEngine(std::move(engine));
+}
+
+}  // namespace boat

@@ -1,0 +1,41 @@
+// Model persistence: save a trained (and update-capable) BOAT classifier to
+// a directory and load it back in a later process.
+//
+// A saved model directory contains a line-based text manifest plus one table
+// file per tuple store (the S_n files, frontier families, archive segments).
+// Loading reconstructs the full engine state — per-node statistics,
+// trackers, stores, archive — so incremental InsertChunk/DeleteChunk keep
+// working across process restarts with the identical-tree guarantee intact.
+//
+// The split selection method itself is not serialized (it is code); the
+// caller passes the selector again at load time and the manifest verifies it
+// is the same method by name.
+
+#ifndef BOAT_BOAT_PERSISTENCE_H_
+#define BOAT_BOAT_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "boat/builder.h"
+
+namespace boat {
+
+/// \brief Saves a trained engine into `dir` (created if absent; existing
+/// manifest is overwritten).
+Status SaveModel(const BoatEngine& engine, const std::string& dir);
+
+/// \brief Loads an engine saved by SaveModel. `selector` must be the same
+/// split selection method (verified by name) and must outlive the engine.
+Result<std::unique_ptr<BoatEngine>> LoadModel(const std::string& dir,
+                                              const SplitSelector* selector);
+
+/// \brief Convenience wrappers at the classifier level.
+Status SaveClassifier(const BoatClassifier& classifier,
+                      const std::string& dir);
+Result<std::unique_ptr<BoatClassifier>> LoadClassifier(
+    const std::string& dir, const SplitSelector* selector);
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_PERSISTENCE_H_

@@ -1,0 +1,56 @@
+#include "common/io_stats.h"
+
+#include <cstdio>
+
+namespace boat {
+
+namespace {
+// The library is single-threaded by design (as was the paper's system);
+// plain counters keep the hot path free of atomic overhead.
+IoStats g_stats;
+}  // namespace
+
+IoStats IoStats::operator-(const IoStats& other) const {
+  IoStats d;
+  d.tuples_read = tuples_read - other.tuples_read;
+  d.tuples_written = tuples_written - other.tuples_written;
+  d.bytes_read = bytes_read - other.bytes_read;
+  d.bytes_written = bytes_written - other.bytes_written;
+  d.scans_started = scans_started - other.scans_started;
+  return d;
+}
+
+std::string IoStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "tuples_read=%llu bytes_read=%llu tuples_written=%llu "
+                "bytes_written=%llu scans=%llu",
+                static_cast<unsigned long long>(tuples_read),
+                static_cast<unsigned long long>(bytes_read),
+                static_cast<unsigned long long>(tuples_written),
+                static_cast<unsigned long long>(bytes_written),
+                static_cast<unsigned long long>(scans_started));
+  return buf;
+}
+
+IoStats GetIoStats() { return g_stats; }
+
+void ResetIoStats() { g_stats = IoStats(); }
+
+namespace io_internal {
+
+void RecordRead(uint64_t tuples, uint64_t bytes) {
+  g_stats.tuples_read += tuples;
+  g_stats.bytes_read += bytes;
+}
+
+void RecordWrite(uint64_t tuples, uint64_t bytes) {
+  g_stats.tuples_written += tuples;
+  g_stats.bytes_written += bytes;
+}
+
+void RecordScanStart() { g_stats.scans_started += 1; }
+
+}  // namespace io_internal
+
+}  // namespace boat

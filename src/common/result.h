@@ -1,0 +1,69 @@
+// Result<T>: a value or a Status error, in the style of arrow::Result.
+
+#ifndef BOAT_COMMON_RESULT_H_
+#define BOAT_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace boat {
+
+/// \brief Holds either a successfully computed value of type T or a Status
+/// describing why the computation failed.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      FatalError("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the contained value; aborts if not ok().
+  const T& ValueOrDie() const& {
+    if (!ok()) FatalError("ValueOrDie on error Result: " + status_.ToString());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) FatalError("ValueOrDie on error Result: " + status_.ToString());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) FatalError("ValueOrDie on error Result: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace boat
+
+#define BOAT_INTERNAL_CONCAT2(a, b) a##b
+#define BOAT_INTERNAL_CONCAT(a, b) BOAT_INTERNAL_CONCAT2(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define BOAT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  BOAT_ASSIGN_OR_RETURN_IMPL(BOAT_INTERNAL_CONCAT(_boat_res_, __LINE__), lhs, \
+                             rexpr)
+
+#define BOAT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // BOAT_COMMON_RESULT_H_

@@ -1,0 +1,66 @@
+#include "common/rng.h"
+
+namespace boat {
+
+namespace {
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = ~0ULL - (~0ULL % range);
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  // 53 random bits -> [0, 1).
+  const double u = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble(0.0, 1.0) < p;
+}
+
+Rng Rng::Split(uint64_t stream_id) {
+  // Mix the current state with the stream id through splitmix64.
+  uint64_t mix = s_[0] ^ Rotl(s_[3], 13) ^ (stream_id * 0xd1342543de82ef95ULL);
+  return Rng(SplitMix64(&mix));
+}
+
+}  // namespace boat

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace boat {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void FatalError(const std::string& msg) {
+  std::fprintf(stderr, "FATAL: %s\n", msg.c_str());
+  std::abort();
+}
+
+void CheckOk(const Status& status) {
+  if (!status.ok()) FatalError(status.ToString());
+}
+
+}  // namespace boat

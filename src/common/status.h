@@ -1,0 +1,93 @@
+// Status / Result error-handling primitives, in the style of Arrow / RocksDB.
+//
+// All fallible library operations return Status (or Result<T>); exceptions are
+// reserved for programming errors (assertion failures).
+
+#ifndef BOAT_COMMON_STATUS_H_
+#define BOAT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace boat {
+
+/// \brief Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kCorruption,
+  kOutOfMemory,
+  kNotSupported,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: OK, or an error code plus message.
+///
+/// Cheap to copy in the OK case (no allocation). Follows the RocksDB/Arrow
+/// idiom: functions that can fail return Status; callers must check ok().
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Aborts the process with a message; used for unrecoverable
+/// programming errors (never for data-dependent failures).
+[[noreturn]] void FatalError(const std::string& msg);
+
+/// \brief Aborts if `status` is not OK. For call sites where failure is a
+/// programming error (e.g. writing to a temp file we just created).
+void CheckOk(const Status& status);
+
+}  // namespace boat
+
+/// Propagates a non-OK Status to the caller.
+#define BOAT_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::boat::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // BOAT_COMMON_STATUS_H_

@@ -1,0 +1,22 @@
+// Small string formatting helpers (gcc 12 lacks std::format).
+
+#ifndef BOAT_COMMON_STR_UTIL_H_
+#define BOAT_COMMON_STR_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace boat {
+
+/// \brief printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Joins string pieces with a separator.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& sep);
+
+}  // namespace boat
+
+#endif  // BOAT_COMMON_STR_UTIL_H_

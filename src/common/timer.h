@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef BOAT_COMMON_TIMER_H_
+#define BOAT_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace boat {
+
+/// \brief Simple monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// \brief Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_COMMON_TIMER_H_

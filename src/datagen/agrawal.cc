@@ -1,0 +1,187 @@
+#include "datagen/agrawal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace boat {
+
+Schema MakeAgrawalSchema(int extra_numeric_attrs) {
+  std::vector<Attribute> attrs = {
+      Attribute::Numerical("salary"),      Attribute::Numerical("commission"),
+      Attribute::Numerical("age"),         Attribute::Categorical("elevel", 5),
+      Attribute::Categorical("car", 20),   Attribute::Categorical("zipcode", 9),
+      Attribute::Numerical("hvalue"),      Attribute::Numerical("hyears"),
+      Attribute::Numerical("loan"),
+  };
+  for (int i = 0; i < extra_numeric_attrs; ++i) {
+    attrs.push_back(Attribute::Numerical(StrPrintf("extra%d", i)));
+  }
+  return Schema(std::move(attrs), /*num_classes=*/2);
+}
+
+namespace {
+
+// Group membership predicates of [AIS93]; true means Group A (label 0).
+bool GroupA(int function, double salary, double commission, double age,
+            int elevel, double hvalue, double hyears, double loan) {
+  const double sc = salary + commission;
+  switch (function) {
+    case 1:
+      return age < 40 || age >= 60;
+    case 2:
+      return (age < 40 && salary >= 50000 && salary <= 100000) ||
+             (age >= 40 && age < 60 && salary >= 75000 && salary <= 125000) ||
+             (age >= 60 && salary >= 25000 && salary <= 75000);
+    case 3:
+      return (age < 40 && (elevel == 0 || elevel == 1)) ||
+             (age >= 40 && age < 60 && elevel >= 1 && elevel <= 3) ||
+             (age >= 60 && elevel >= 2 && elevel <= 4);
+    case 4:
+      if (age < 40) {
+        return (elevel == 0 || elevel == 1)
+                   ? (salary >= 25000 && salary <= 75000)
+                   : (salary >= 50000 && salary <= 100000);
+      }
+      if (age < 60) {
+        return (elevel >= 1 && elevel <= 3)
+                   ? (salary >= 50000 && salary <= 100000)
+                   : (salary >= 75000 && salary <= 125000);
+      }
+      return (elevel >= 2 && elevel <= 4)
+                 ? (salary >= 50000 && salary <= 100000)
+                 : (salary >= 25000 && salary <= 75000);
+    case 5:
+      if (age < 40) {
+        return (salary >= 50000 && salary <= 100000)
+                   ? (loan >= 100000 && loan <= 300000)
+                   : (loan >= 200000 && loan <= 400000);
+      }
+      if (age < 60) {
+        return (salary >= 75000 && salary <= 125000)
+                   ? (loan >= 200000 && loan <= 400000)
+                   : (loan >= 300000 && loan <= 500000);
+      }
+      return (salary >= 25000 && salary <= 75000)
+                 ? (loan >= 300000 && loan <= 500000)
+                 : (loan >= 100000 && loan <= 300000);
+    case 6:
+      return (age < 40 && sc >= 50000 && sc <= 100000) ||
+             (age >= 40 && age < 60 && sc >= 75000 && sc <= 125000) ||
+             (age >= 60 && sc >= 25000 && sc <= 75000);
+    case 7:
+      return (2.0 / 3.0) * sc - 0.2 * loan - 20000 > 0;
+    case 8:
+      return (2.0 / 3.0) * sc - 5000.0 * elevel - 20000 > 0;
+    case 9:
+      return (2.0 / 3.0) * sc - 5000.0 * elevel - 0.2 * loan - 10000 > 0;
+    case 10: {
+      const double equity = 0.1 * hvalue * std::max(hyears - 20.0, 0.0);
+      return (2.0 / 3.0) * sc - 5000.0 * elevel + 0.2 * equity - 10000 > 0;
+    }
+    default:
+      FatalError(StrPrintf("unknown Agrawal function %d", function));
+  }
+}
+
+}  // namespace
+
+AgrawalGenerator::AgrawalGenerator(AgrawalConfig config, uint64_t num_rows)
+    : config_(config),
+      num_rows_(num_rows),
+      schema_(MakeAgrawalSchema(config.extra_numeric_attrs)),
+      rng_(config.seed) {
+  if (config_.function < 1 || config_.function > 10) {
+    FatalError(StrPrintf("Agrawal function must be 1..10, got %d",
+                         config_.function));
+  }
+}
+
+int32_t AgrawalGenerator::Classify(int function, const Tuple& t) {
+  return GroupA(function, t.value(kSalary), t.value(kCommission),
+                t.value(kAge), t.category(kElevel), t.value(kHvalue),
+                t.value(kHyears), t.value(kLoan))
+             ? 0
+             : 1;
+}
+
+bool AgrawalGenerator::Next(Tuple* tuple) {
+  if (produced_ >= num_rows_) return false;
+  ++produced_;
+
+  // Values are integer-valued, as in the original generator; bounded
+  // domains are what keeps RainForest AVC-sets compact.
+  const double salary =
+      static_cast<double>(rng_.UniformInt(20000, 150000));
+  const double commission =
+      salary >= 75000 ? 0.0
+                      : static_cast<double>(rng_.UniformInt(10000, 75000));
+  const double age = static_cast<double>(rng_.UniformInt(20, 80));
+  const int elevel = static_cast<int>(rng_.UniformInt(0, 4));
+  const int car = static_cast<int>(rng_.UniformInt(0, 19));
+  const int zipcode = static_cast<int>(rng_.UniformInt(0, 8));
+  const int64_t k = zipcode + 1;
+  const double hvalue =
+      static_cast<double>(rng_.UniformInt(50000 * k, 150000 * k));
+  const double hyears = static_cast<double>(rng_.UniformInt(1, 30));
+  const double loan = static_cast<double>(rng_.UniformInt(0, 500000));
+
+  std::vector<double> values = {salary,
+                                commission,
+                                age,
+                                static_cast<double>(elevel),
+                                static_cast<double>(car),
+                                static_cast<double>(zipcode),
+                                hvalue,
+                                hyears,
+                                loan};
+  for (int i = 0; i < config_.extra_numeric_attrs; ++i) {
+    values.push_back(static_cast<double>(rng_.UniformInt(0, 9999)));
+  }
+
+  bool group_a = GroupA(config_.function, salary, commission, age, elevel,
+                        hvalue, hyears, loan);
+  if (config_.drift == Drift::kRelabelOldAge && age >= 60) {
+    group_a = !group_a;
+  }
+  int32_t label = group_a ? 0 : 1;
+  // Label noise: with probability `noise` the label is replaced by a
+  // uniformly random class label. Both random draws happen unconditionally
+  // so that the predictor-attribute stream is identical across noise levels.
+  const double noise_draw = rng_.UniformDouble(0.0, 1.0);
+  const int32_t random_label = static_cast<int32_t>(rng_.UniformInt(0, 1));
+  if (noise_draw < config_.noise) label = random_label;
+
+  *tuple = Tuple(std::move(values), label);
+  return true;
+}
+
+Status AgrawalGenerator::Reset() {
+  rng_ = Rng(config_.seed);
+  produced_ = 0;
+  return Status::OK();
+}
+
+std::vector<Tuple> GenerateAgrawal(const AgrawalConfig& config,
+                                   uint64_t num_rows) {
+  AgrawalGenerator gen(config, num_rows);
+  std::vector<Tuple> out;
+  out.reserve(num_rows);
+  Tuple t;
+  while (gen.Next(&t)) out.push_back(std::move(t));
+  return out;
+}
+
+Status GenerateAgrawalTable(const AgrawalConfig& config, uint64_t num_rows,
+                            const std::string& path) {
+  AgrawalGenerator gen(config, num_rows);
+  BOAT_ASSIGN_OR_RETURN(auto writer, TableWriter::Create(path, gen.schema()));
+  Tuple t;
+  while (gen.Next(&t)) {
+    BOAT_RETURN_NOT_OK(writer->Append(t));
+  }
+  return writer->Finish();
+}
+
+}  // namespace boat

@@ -1,0 +1,157 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace boat {
+
+namespace {
+
+Schema NumericSchema(int dimensions, int num_classes) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(static_cast<size_t>(dimensions));
+  for (int d = 0; d < dimensions; ++d) {
+    attrs.push_back(Attribute::Numerical(StrPrintf("x%d", d)));
+  }
+  return Schema(std::move(attrs), num_classes);
+}
+
+// Box-Muller normal deviate from the deterministic Rng.
+double Normal(Rng* rng, double mean, double stddev) {
+  const double u1 = std::max(rng->UniformDouble(0.0, 1.0), 1e-300);
+  const double u2 = rng->UniformDouble(0.0, 1.0);
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+}  // namespace
+
+// -------------------------------------------------------- HyperplaneGenerator
+
+HyperplaneGenerator::HyperplaneGenerator(HyperplaneConfig config,
+                                         uint64_t num_rows)
+    : config_(std::move(config)),
+      num_rows_(num_rows),
+      schema_(NumericSchema(config_.dimensions, 2)),
+      rng_(config_.seed) {
+  CheckOk(Reset());
+}
+
+Status HyperplaneGenerator::Reset() {
+  rng_ = Rng(config_.seed);
+  produced_ = 0;
+  weights_ = config_.weights;
+  weights_.resize(static_cast<size_t>(config_.dimensions), 1.0);
+  // Center the boundary: theta = sum(w) * E[x].
+  theta_ = 0.0;
+  for (const double w : weights_) {
+    theta_ += w * 0.5 * static_cast<double>(config_.value_range);
+  }
+  return Status::OK();
+}
+
+bool HyperplaneGenerator::Next(Tuple* tuple) {
+  if (produced_ >= num_rows_) return false;
+  // Concept drift: rotate the hyperplane between blocks. The drift draws
+  // come from the same deterministic stream, so Reset() replays everything.
+  if (produced_ > 0 && config_.drift > 0.0 &&
+      produced_ % static_cast<uint64_t>(config_.drift_block) == 0) {
+    theta_ = 0.0;
+    for (double& w : weights_) {
+      w += rng_.UniformDouble(-config_.drift, config_.drift);
+      theta_ += w * 0.5 * static_cast<double>(config_.value_range);
+    }
+  }
+  ++produced_;
+
+  std::vector<double> values(static_cast<size_t>(config_.dimensions));
+  double dot = 0.0;
+  for (int d = 0; d < config_.dimensions; ++d) {
+    values[d] = static_cast<double>(rng_.UniformInt(0, config_.value_range));
+    dot += weights_[d] * values[d];
+  }
+  int32_t label = dot > theta_ ? 1 : 0;
+  const double noise_draw = rng_.UniformDouble(0.0, 1.0);
+  const int32_t random_label = static_cast<int32_t>(rng_.UniformInt(0, 1));
+  if (noise_draw < config_.noise) label = random_label;
+  *tuple = Tuple(std::move(values), label);
+  return true;
+}
+
+// --------------------------------------------------- GaussianMixtureGenerator
+
+GaussianMixtureGenerator::GaussianMixtureGenerator(
+    GaussianMixtureConfig config, uint64_t num_rows)
+    : config_(std::move(config)),
+      num_rows_(num_rows),
+      schema_(NumericSchema(config_.dimensions, config_.num_classes)),
+      rng_(config_.seed) {
+  // Cluster centers are fixed per seed (drawn from a dedicated stream so the
+  // tuple stream below replays identically after Reset).
+  Rng center_rng = Rng(config_.seed).Split(1);
+  centers_.resize(static_cast<size_t>(config_.num_classes));
+  for (auto& per_class : centers_) {
+    per_class.resize(static_cast<size_t>(config_.clusters_per_class));
+    for (auto& center : per_class) {
+      center.resize(static_cast<size_t>(config_.dimensions));
+      for (double& c : center) c = center_rng.UniformDouble(0, config_.spread);
+    }
+  }
+  CheckOk(Reset());
+}
+
+Status GaussianMixtureGenerator::Reset() {
+  rng_ = Rng(config_.seed).Split(2);
+  produced_ = 0;
+  return Status::OK();
+}
+
+bool GaussianMixtureGenerator::Next(Tuple* tuple) {
+  if (produced_ >= num_rows_) return false;
+  ++produced_;
+  const int32_t cls =
+      static_cast<int32_t>(rng_.UniformInt(0, config_.num_classes - 1));
+  const int cluster =
+      static_cast<int>(rng_.UniformInt(0, config_.clusters_per_class - 1));
+  const auto& center = centers_[cls][cluster];
+  std::vector<double> values(static_cast<size_t>(config_.dimensions));
+  for (int d = 0; d < config_.dimensions; ++d) {
+    double v = Normal(&rng_, center[d], config_.stddev);
+    v = std::clamp(v, 0.0, config_.spread);
+    values[d] = std::round(v);
+  }
+  int32_t label = cls;
+  const double noise_draw = rng_.UniformDouble(0.0, 1.0);
+  const int32_t random_label =
+      static_cast<int32_t>(rng_.UniformInt(0, config_.num_classes - 1));
+  if (noise_draw < config_.noise) label = random_label;
+  *tuple = Tuple(std::move(values), label);
+  return true;
+}
+
+// ----------------------------------------------------------------- converters
+
+std::vector<Tuple> GenerateHyperplane(const HyperplaneConfig& config,
+                                      uint64_t num_rows) {
+  HyperplaneGenerator gen(config, num_rows);
+  std::vector<Tuple> out;
+  out.reserve(num_rows);
+  Tuple t;
+  while (gen.Next(&t)) out.push_back(std::move(t));
+  return out;
+}
+
+std::vector<Tuple> GenerateGaussianMixture(const GaussianMixtureConfig& config,
+                                           uint64_t num_rows) {
+  GaussianMixtureGenerator gen(config, num_rows);
+  std::vector<Tuple> out;
+  out.reserve(num_rows);
+  Tuple t;
+  while (gen.Next(&t)) out.push_back(std::move(t));
+  return out;
+}
+
+}  // namespace boat

@@ -1,0 +1,106 @@
+// Additional synthetic workload generators beyond the Agrawal family:
+//
+//  * HyperplaneGenerator — the rotating-hyperplane concept of the data-stream
+//    literature: labels are sign(w . x - theta); the weight vector can drift
+//    per block, giving a controllable gradual concept change (a finer drift
+//    instrument than the Agrawal relabeling used for Figure 14).
+//  * GaussianMixtureGenerator — m Gaussian clusters per class over d
+//    numerical attributes; exercises the multi-class (k > 2) paths end to
+//    end with data that has smooth, non-axis-aligned structure.
+//
+// Both are deterministic, restartable TupleSources like AgrawalGenerator.
+
+#ifndef BOAT_DATAGEN_SYNTHETIC_H_
+#define BOAT_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/tuple_source.h"
+
+namespace boat {
+
+/// \brief Configuration of the rotating-hyperplane generator.
+struct HyperplaneConfig {
+  int dimensions = 5;
+  /// Attribute values are integers in [0, value_range] (bounded domains keep
+  /// AVC-sets realistic, as in the Agrawal generator).
+  int64_t value_range = 1000;
+  /// Initial weights; resized/filled with 1.0 when shorter than dimensions.
+  std::vector<double> weights;
+  /// Weight drift applied after every `drift_block` tuples: each weight
+  /// moves by uniform(-drift, +drift) * value_range.
+  double drift = 0.0;
+  int64_t drift_block = 10'000;
+  /// Label noise probability.
+  double noise = 0.0;
+  uint64_t seed = 7;
+};
+
+/// \brief Labels are 1 iff w . x > theta, where theta centers the boundary.
+class HyperplaneGenerator : public TupleSource {
+ public:
+  HyperplaneGenerator(HyperplaneConfig config, uint64_t num_rows);
+
+  bool Next(Tuple* tuple) override;
+  Status Reset() override;
+  const Schema& schema() const override { return schema_; }
+
+  uint64_t num_rows() const { return num_rows_; }
+
+ private:
+  HyperplaneConfig config_;
+  uint64_t num_rows_;
+  Schema schema_;
+  Rng rng_;
+  std::vector<double> weights_;
+  double theta_ = 0.0;
+  uint64_t produced_ = 0;
+};
+
+/// \brief Configuration of the Gaussian-mixture generator.
+struct GaussianMixtureConfig {
+  int dimensions = 4;
+  int num_classes = 3;
+  int clusters_per_class = 2;
+  /// Cluster centers are drawn uniformly in [0, spread]; values are rounded
+  /// to integers and clamped at [0, spread].
+  double spread = 1000.0;
+  double stddev = 60.0;
+  double noise = 0.0;  ///< label replaced uniformly at random with prob.
+  uint64_t seed = 11;
+};
+
+/// \brief Multi-class Gaussian mixture over numerical attributes.
+class GaussianMixtureGenerator : public TupleSource {
+ public:
+  GaussianMixtureGenerator(GaussianMixtureConfig config, uint64_t num_rows);
+
+  bool Next(Tuple* tuple) override;
+  Status Reset() override;
+  const Schema& schema() const override { return schema_; }
+
+  /// \brief Cluster centers, exposed for tests: [class][cluster][dim].
+  const std::vector<std::vector<std::vector<double>>>& centers() const {
+    return centers_;
+  }
+
+ private:
+  GaussianMixtureConfig config_;
+  uint64_t num_rows_;
+  Schema schema_;
+  Rng rng_;
+  std::vector<std::vector<std::vector<double>>> centers_;
+  uint64_t produced_ = 0;
+};
+
+/// \brief Convenience materializers.
+std::vector<Tuple> GenerateHyperplane(const HyperplaneConfig& config,
+                                      uint64_t num_rows);
+std::vector<Tuple> GenerateGaussianMixture(const GaussianMixtureConfig& config,
+                                           uint64_t num_rows);
+
+}  // namespace boat
+
+#endif  // BOAT_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,492 @@
+#include "rainforest/rainforest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <unordered_map>
+
+#include "storage/table_file.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+
+namespace {
+
+// AVC entry estimates used to pack the AVC buffer. A numerical attribute
+// contributes at most min(family size, distinct values) x classes entries; a
+// categorical one at most cardinality x classes. Distinct-value bounds are
+// inherited from the parent's materialized AVC-sets (a child cannot see more
+// distinct values than its parent did); -1 = unknown.
+int64_t EstimateAttrEntries(const Schema& schema, int attr, int64_t size,
+                            const std::vector<int64_t>* distinct_bounds) {
+  if (schema.IsNumerical(attr)) {
+    int64_t distinct = size;
+    if (distinct_bounds != nullptr && (*distinct_bounds)[attr] >= 0) {
+      distinct = std::min(distinct, (*distinct_bounds)[attr]);
+    }
+    return distinct * schema.num_classes();
+  }
+  return static_cast<int64_t>(schema.attribute(attr).cardinality) *
+         schema.num_classes();
+}
+
+int64_t EstimateGroupEntries(const Schema& schema, int64_t size,
+                             const std::vector<int64_t>* distinct_bounds) {
+  int64_t est = 0;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    est += EstimateAttrEntries(schema, a, size, distinct_bounds);
+  }
+  return est;
+}
+
+// Routes a tuple from `root` through all splits fixed so far; returns the
+// frontier node the tuple currently belongs to.
+TreeNode* Route(TreeNode* root, const Tuple& t) {
+  TreeNode* n = root;
+  while (n->split.has_value()) {
+    n = n->split->SendLeft(t) ? n->left.get() : n->right.get();
+  }
+  return n;
+}
+
+bool IsPureCounts(const std::vector<int64_t>& counts) {
+  int populated = 0;
+  for (const int64_t c : counts) {
+    if (c > 0) ++populated;
+  }
+  return populated <= 1;
+}
+
+// A frontier node awaiting a decision.
+struct Pending {
+  TreeNode* node = nullptr;
+  int depth = 0;
+  int64_t size = 0;        // family size (exact when counts_known)
+  bool counts_known = false;
+};
+
+// Shared helpers for both variants.
+class BuilderBase {
+ public:
+  BuilderBase(const Schema& schema, const SplitSelector& selector,
+              const RainForestOptions& options, TempFileManager* temp,
+              RainForestStats* stats)
+      : schema_(schema),
+        selector_(selector),
+        options_(options),
+        temp_(temp),
+        stats_(stats) {}
+
+ protected:
+  // Per-node, per-attribute distinct-value upper bounds (-1 = unknown),
+  // inherited from parent AVC-sets; entries are erased once consumed.
+  const std::vector<int64_t>* BoundsOf(TreeNode* node) const {
+    auto it = distinct_bounds_.find(node);
+    return it == distinct_bounds_.end() ? nullptr : &it->second;
+  }
+  void SetChildBounds(TreeNode* parent, std::vector<int64_t> bounds) {
+    if (parent->left != nullptr) {
+      distinct_bounds_[parent->left.get()] = bounds;
+      distinct_bounds_[parent->right.get()] = std::move(bounds);
+    }
+  }
+  void DropBounds(TreeNode* node) { distinct_bounds_.erase(node); }
+
+  // GrowthLimits-based stopping decision for a node with known counts.
+  bool ShouldStop(const Pending& p) const {
+    const GrowthLimits& limits = options_.limits;
+    if (p.depth >= limits.max_depth) return true;
+    if (p.size < limits.min_tuples_to_split) return true;
+    if (limits.stop_family_size > 0 && p.size <= limits.stop_family_size) {
+      return true;
+    }
+    return IsPureCounts(p.node->class_counts);
+  }
+
+  bool WantsInMemory(const Pending& p) const {
+    return options_.inmem_threshold > 0 && p.counts_known &&
+           p.size <= options_.inmem_threshold;
+  }
+
+  // Applies `split` to `parent`, creating leaf placeholders for the children
+  // with the given class counts, and queues them as pending.
+  void Attach(TreeNode* parent, Split split, std::vector<int64_t> left_counts,
+              std::vector<int64_t> right_counts, int parent_depth,
+              std::vector<Pending>* out) {
+    parent->split = std::move(split);
+    parent->left = TreeNode::Leaf(std::move(left_counts));
+    parent->right = TreeNode::Leaf(std::move(right_counts));
+    int64_t left_size = 0;
+    for (const int64_t c : parent->left->class_counts) left_size += c;
+    int64_t right_size = 0;
+    for (const int64_t c : parent->right->class_counts) right_size += c;
+    out->push_back({parent->left.get(), parent_depth + 1, left_size, true});
+    out->push_back({parent->right.get(), parent_depth + 1, right_size, true});
+  }
+
+  // Finishes a family in memory from its partition file and splices the
+  // resulting subtree into `node`.
+  Status FinishInMemory(const std::string& path, TreeNode* node, int depth) {
+    BOAT_ASSIGN_OR_RETURN(auto tuples, ReadTable(path, schema_));
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    auto subtree = BuildSubtreeInMemory(schema_, std::move(tuples), selector_,
+                                        options_.limits, depth);
+    *node = std::move(*subtree);
+    if (stats_ != nullptr) ++stats_->inmem_switches;
+    return Status::OK();
+  }
+
+  const Schema& schema_;
+  const SplitSelector& selector_;
+  const RainForestOptions& options_;
+  TempFileManager* temp_;
+  RainForestStats* stats_;
+  std::unordered_map<TreeNode*, std::vector<int64_t>> distinct_bounds_;
+};
+
+// ------------------------------------------------------------------ RF-Hybrid
+
+class HybridBuilder : public BuilderBase {
+ public:
+  using BuilderBase::BuilderBase;
+
+  // Grows the subtree rooted at `root` from the tuples of `src`.
+  Status Build(TupleSource* src, TreeNode* root, int root_depth,
+               bool counts_known, int64_t size_hint) {
+    std::vector<Pending> undecided;
+    undecided.push_back({root, root_depth, size_hint, counts_known});
+
+    while (!undecided.empty()) {
+      if (stats_ != nullptr) ++stats_->levels;
+      // Classify this level's nodes.
+      struct SpillTask {
+        Pending p;
+        std::string path;
+        std::unique_ptr<TableWriter> writer;
+        bool inmem = false;
+      };
+      std::vector<Pending> avc_nodes;
+      std::vector<SpillTask> spill_tasks;
+      int64_t budget = options_.avc_buffer_entries;
+      for (Pending& p : undecided) {
+        if (p.counts_known && ShouldStop(p)) continue;  // final leaf
+        if (WantsInMemory(p)) {
+          spill_tasks.push_back({p, "", nullptr, /*inmem=*/true});
+          continue;
+        }
+        const int64_t est =
+            EstimateGroupEntries(schema_, p.size, BoundsOf(p.node));
+        // The first AVC node is admitted even over budget so that every
+        // level makes progress (the paper assumes the root AVC-group fits).
+        if (est <= budget || avc_nodes.empty()) {
+          budget -= est;
+          avc_nodes.push_back(p);
+        } else {
+          spill_tasks.push_back({p, "", nullptr, /*inmem=*/false});
+          if (stats_ != nullptr) ++stats_->nodes_deferred;
+        }
+      }
+      undecided.clear();
+      if (avc_nodes.empty() && spill_tasks.empty()) break;
+
+      // Open partition writers and index the level's nodes.
+      std::unordered_map<TreeNode*, AvcGroup> avcs;
+      std::unordered_map<TreeNode*, TableWriter*> writers;
+      for (const Pending& p : avc_nodes) {
+        avcs.emplace(p.node, AvcGroup(schema_));
+      }
+      for (SpillTask& task : spill_tasks) {
+        task.path = temp_->NewPath("rf-part");
+        BOAT_ASSIGN_OR_RETURN(task.writer,
+                              TableWriter::Create(task.path, schema_));
+        writers.emplace(task.p.node, task.writer.get());
+      }
+
+      // One scan over this subtree's data for the whole level.
+      BOAT_RETURN_NOT_OK(src->Reset());
+      if (stats_ != nullptr) ++stats_->scans;
+      Tuple t;
+      while (src->Next(&t)) {
+        TreeNode* n = Route(root, t);
+        if (auto it = avcs.find(n); it != avcs.end()) {
+          it->second.Add(t);
+        } else if (auto wit = writers.find(n); wit != writers.end()) {
+          BOAT_RETURN_NOT_OK(wit->second->Append(t));
+          if (stats_ != nullptr) ++stats_->partition_tuples;
+        }
+        // Otherwise the tuple reached a finished leaf: nothing to do.
+      }
+
+      // Decide splits for AVC nodes.
+      for (Pending& p : avc_nodes) {
+        AvcGroup& avc = avcs.at(p.node);
+        avc.Finalize();
+        DropBounds(p.node);
+        if (!p.counts_known) {
+          p.node->class_counts = avc.class_totals();
+          p.size = avc.total_tuples();
+          p.counts_known = true;
+          if (ShouldStop(p)) continue;
+          if (WantsInMemory(p)) {
+            // Rare: the root family was smaller than the in-memory
+            // threshold; fall through to the selector (the AVC is already
+            // built, so splitting here is exact and cheaper than re-reading).
+          }
+        }
+        std::optional<Split> split = selector_.ChooseSplit(avc);
+        if (!split.has_value()) continue;  // leaf
+        auto [left_counts, right_counts] =
+            split->is_numerical
+                ? ChildCountsNumeric(avc.numeric(split->attribute), *split)
+                : ChildCountsCategorical(avc.categorical(split->attribute),
+                                         *split);
+        Attach(p.node, *std::move(split), std::move(left_counts),
+               std::move(right_counts), p.depth, &undecided);
+        // Children see at most as many distinct values as this node did.
+        std::vector<int64_t> bounds(schema_.num_attributes(), -1);
+        for (int a = 0; a < schema_.num_attributes(); ++a) {
+          if (schema_.IsNumerical(a)) bounds[a] = avc.numeric(a).num_values();
+        }
+        SetChildBounds(p.node, std::move(bounds));
+      }
+      avcs.clear();
+
+      // Handle spilled nodes.
+      for (SpillTask& task : spill_tasks) {
+        BOAT_RETURN_NOT_OK(task.writer->Finish());
+        task.writer.reset();
+        if (task.inmem) {
+          BOAT_RETURN_NOT_OK(
+              FinishInMemory(task.path, task.p.node, task.p.depth));
+        } else {
+          BOAT_ASSIGN_OR_RETURN(auto part,
+                                TableScanSource::Open(task.path, schema_));
+          BOAT_RETURN_NOT_OK(Build(part.get(), task.p.node, task.p.depth,
+                                   /*counts_known=*/true, task.p.size));
+          part.reset();
+          std::error_code ec;
+          std::filesystem::remove(task.path, ec);
+        }
+      }
+    }
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------- RF-Vertical
+
+class VerticalBuilder : public BuilderBase {
+ public:
+  using BuilderBase::BuilderBase;
+
+  Status Build(TupleSource* src, TreeNode* root, int root_depth,
+               bool counts_known, int64_t size_hint) {
+    std::vector<Pending> undecided;
+    undecided.push_back({root, root_depth, size_hint, counts_known});
+
+    while (!undecided.empty()) {
+      if (stats_ != nullptr) ++stats_->levels;
+      struct InMemTask {
+        Pending p;
+        std::string path;
+        std::unique_ptr<TableWriter> writer;
+      };
+      struct Candidate {
+        Pending p;
+        std::optional<Split> best;
+        std::vector<int64_t> left_counts;   // children of `best`
+        std::vector<int64_t> right_counts;
+        std::vector<int64_t> child_bounds;  // distinct values seen per attr
+        bool leaf_decided = false;
+      };
+      std::vector<Candidate> candidates;
+      std::vector<InMemTask> inmem_tasks;
+      for (Pending& p : undecided) {
+        if (p.counts_known && ShouldStop(p)) continue;  // final leaf
+        if (WantsInMemory(p)) {
+          inmem_tasks.push_back({p, "", nullptr});
+        } else {
+          candidates.push_back(
+              {p, std::nullopt, {}, {},
+               std::vector<int64_t>(schema_.num_attributes(), -1), false});
+        }
+      }
+      undecided.clear();
+      if (candidates.empty() && inmem_tasks.empty()) break;
+
+      // Pack attributes into groups whose combined (worst-case) AVC size
+      // across all candidate nodes fits the buffer; at least one attribute
+      // per group so every level makes progress.
+      std::vector<std::vector<int>> groups;
+      {
+        int64_t budget = 0;
+        for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+          int64_t est = 0;
+          for (const Candidate& c : candidates) {
+            est += EstimateAttrEntries(schema_, attr, c.p.size,
+                                       BoundsOf(c.p.node));
+          }
+          if (groups.empty() || est > budget) {
+            groups.push_back({attr});
+            budget = options_.avc_buffer_entries - est;
+          } else {
+            groups.back().push_back(attr);
+            budget -= est;
+          }
+        }
+      }
+
+      for (InMemTask& task : inmem_tasks) {
+        task.path = temp_->NewPath("rfv-part");
+        BOAT_ASSIGN_OR_RETURN(task.writer,
+                              TableWriter::Create(task.path, schema_));
+      }
+
+      for (size_t g = 0; g < groups.size(); ++g) {
+        const bool first_group = (g == 0);
+        // Per-candidate AVC sets for this group's attributes.
+        std::unordered_map<TreeNode*, size_t> index;
+        std::vector<std::vector<NumericAvc>> num_avcs(candidates.size());
+        std::vector<std::vector<CategoricalAvc>> cat_avcs(candidates.size());
+        std::vector<std::vector<int64_t>> totals(candidates.size());
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (candidates[i].leaf_decided) continue;
+          index.emplace(candidates[i].p.node, i);
+          totals[i].assign(schema_.num_classes(), 0);
+          for (const int attr : groups[g]) {
+            if (schema_.IsNumerical(attr)) {
+              num_avcs[i].emplace_back(schema_.num_classes());
+              cat_avcs[i].emplace_back(1, schema_.num_classes());
+            } else {
+              num_avcs[i].emplace_back(0);
+              cat_avcs[i].emplace_back(schema_.attribute(attr).cardinality,
+                                       schema_.num_classes());
+            }
+          }
+        }
+        std::unordered_map<TreeNode*, TableWriter*> writers;
+        if (first_group) {
+          for (InMemTask& task : inmem_tasks) {
+            writers.emplace(task.p.node, task.writer.get());
+          }
+        }
+
+        BOAT_RETURN_NOT_OK(src->Reset());
+        if (stats_ != nullptr) ++stats_->scans;
+        Tuple t;
+        while (src->Next(&t)) {
+          TreeNode* n = Route(root, t);
+          if (auto it = index.find(n); it != index.end()) {
+            const size_t i = it->second;
+            for (size_t a = 0; a < groups[g].size(); ++a) {
+              const int attr = groups[g][a];
+              if (schema_.IsNumerical(attr)) {
+                num_avcs[i][a].Add(t.value(attr), t.label());
+              } else {
+                cat_avcs[i][a].Add(t.category(attr), t.label());
+              }
+            }
+            ++totals[i][t.label()];
+          } else if (first_group) {
+            if (auto wit = writers.find(n); wit != writers.end()) {
+              BOAT_RETURN_NOT_OK(wit->second->Append(t));
+              if (stats_ != nullptr) ++stats_->partition_tuples;
+            }
+          }
+        }
+
+        // Fold this group's attributes into each candidate's best split.
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          Candidate& c = candidates[i];
+          if (c.leaf_decided) continue;
+          if (first_group && !c.p.counts_known) {
+            c.p.node->class_counts = totals[i];
+            int64_t size = 0;
+            for (const int64_t cc : totals[i]) size += cc;
+            c.p.size = size;
+            c.p.counts_known = true;
+            if (ShouldStop(c.p)) {
+              c.leaf_decided = true;
+              continue;
+            }
+          }
+          for (size_t a = 0; a < groups[g].size(); ++a) {
+            const int attr = groups[g][a];
+            std::optional<Split> cand;
+            if (schema_.IsNumerical(attr)) {
+              num_avcs[i][a].Finalize();
+              c.child_bounds[attr] = num_avcs[i][a].num_values();
+              cand = selector_.EvaluateNumericAttr(num_avcs[i][a], attr);
+            } else {
+              cand = selector_.EvaluateCategoricalAttr(cat_avcs[i][a], attr);
+            }
+            if (!cand.has_value()) continue;
+            if (!c.best.has_value() || BetterSplit(*cand, *c.best)) {
+              auto counts =
+                  schema_.IsNumerical(attr)
+                      ? ChildCountsNumeric(num_avcs[i][a], *cand)
+                      : ChildCountsCategorical(cat_avcs[i][a], *cand);
+              c.best = std::move(cand);
+              c.left_counts = std::move(counts.first);
+              c.right_counts = std::move(counts.second);
+            }
+          }
+        }
+      }
+
+      // Decide splits.
+      for (Candidate& c : candidates) {
+        DropBounds(c.p.node);
+        if (c.leaf_decided || !c.best.has_value()) continue;
+        if (!selector_.Accept(*c.best, c.p.node->class_counts, c.p.size)) {
+          continue;  // leaf
+        }
+        Attach(c.p.node, *std::move(c.best), std::move(c.left_counts),
+               std::move(c.right_counts), c.p.depth, &undecided);
+        SetChildBounds(c.p.node, std::move(c.child_bounds));
+      }
+
+      for (InMemTask& task : inmem_tasks) {
+        BOAT_RETURN_NOT_OK(task.writer->Finish());
+        task.writer.reset();
+        BOAT_RETURN_NOT_OK(
+            FinishInMemory(task.path, task.p.node, task.p.depth));
+      }
+    }
+    return Status::OK();
+  }
+};
+
+template <typename Builder>
+Result<DecisionTree> BuildWith(TupleSource* db, const SplitSelector& selector,
+                               const RainForestOptions& options,
+                               RainForestStats* stats) {
+  const Schema& schema = db->schema();
+  BOAT_RETURN_NOT_OK(schema.Validate());
+  BOAT_ASSIGN_OR_RETURN(auto temp, TempFileManager::Create(options.temp_dir));
+
+  auto root = TreeNode::Leaf(std::vector<int64_t>(schema.num_classes(), 0));
+  Builder builder(schema, selector, options, &temp, stats);
+  BOAT_RETURN_NOT_OK(builder.Build(db, root.get(), /*root_depth=*/0,
+                                   /*counts_known=*/false,
+                                   /*size_hint=*/1 << 20));
+  return DecisionTree(schema, std::move(root));
+}
+
+}  // namespace
+
+Result<DecisionTree> BuildTreeRFHybrid(TupleSource* db,
+                                       const SplitSelector& selector,
+                                       const RainForestOptions& options,
+                                       RainForestStats* stats) {
+  return BuildWith<HybridBuilder>(db, selector, options, stats);
+}
+
+Result<DecisionTree> BuildTreeRFVertical(TupleSource* db,
+                                         const SplitSelector& selector,
+                                         const RainForestOptions& options,
+                                         RainForestStats* stats) {
+  return BuildWith<VerticalBuilder>(db, selector, options, stats);
+}
+
+}  // namespace boat

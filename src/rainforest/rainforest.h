@@ -1,0 +1,73 @@
+// RainForest scalable decision-tree construction [GRG98] — the baselines the
+// BOAT paper compares against.
+//
+// RainForest grows the tree level by level. For every active (undecided)
+// node it builds the node's AVC-group by scanning the training data once per
+// level and routing each tuple through the splits fixed so far. The variants
+// differ in how they behave when the AVC-groups of a level do not fit into
+// the AVC buffer:
+//
+//   RF-Hybrid  — builds AVC-groups for as many nodes as fit in the buffer in
+//                one scan; the remaining nodes' families are simultaneously
+//                partitioned into temporary files and processed recursively.
+//                Fastest variant, largest memory appetite.
+//   RF-Vertical— keeps only (groups of) single attributes' AVC-sets in
+//                memory, making one scan per attribute group per level.
+//                Smallest memory appetite, slowest.
+//
+// Both produce exactly the same tree as the in-memory reference builder for
+// the same split selection method; this is asserted by the integration
+// tests. When a node's family drops below `inmem_threshold`, construction
+// switches to the in-memory builder on that family (the "smart
+// implementation" switch of the paper's Section 5.1).
+
+#ifndef BOAT_RAINFOREST_RAINFOREST_H_
+#define BOAT_RAINFOREST_RAINFOREST_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "split/selector.h"
+#include "storage/temp_file.h"
+#include "storage/tuple_source.h"
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+/// \brief Tuning knobs for the RainForest algorithms.
+struct RainForestOptions {
+  /// Size of the AVC buffer, in AVC entries (the paper's unit: one
+  /// (attribute-value, class) pair with a nonzero count).
+  int64_t avc_buffer_entries = 3'000'000;
+  /// Switch to the in-memory builder when a family has at most this many
+  /// tuples (0 = never switch; growth then ends via GrowthLimits only).
+  int64_t inmem_threshold = 0;
+  GrowthLimits limits;
+  /// Scratch directory base for partition files ("" = BOAT_TMPDIR or /tmp).
+  std::string temp_dir;
+};
+
+/// \brief Counters describing the work a RainForest build performed.
+struct RainForestStats {
+  uint64_t scans = 0;               ///< Sequential scans (any data) started.
+  uint64_t levels = 0;              ///< Level iterations processed.
+  uint64_t nodes_deferred = 0;      ///< Nodes spilled to partition files.
+  uint64_t partition_tuples = 0;    ///< Tuples written to partition files.
+  uint64_t inmem_switches = 0;      ///< Families finished in memory.
+};
+
+/// \brief Builds a decision tree with RF-Hybrid.
+Result<DecisionTree> BuildTreeRFHybrid(TupleSource* db,
+                                       const SplitSelector& selector,
+                                       const RainForestOptions& options,
+                                       RainForestStats* stats = nullptr);
+
+/// \brief Builds a decision tree with RF-Vertical.
+Result<DecisionTree> BuildTreeRFVertical(TupleSource* db,
+                                         const SplitSelector& selector,
+                                         const RainForestOptions& options,
+                                         RainForestStats* stats = nullptr);
+
+}  // namespace boat
+
+#endif  // BOAT_RAINFOREST_RAINFOREST_H_

@@ -1,0 +1,122 @@
+#include "split/categorical_search.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace boat {
+
+namespace {
+constexpr size_t kExhaustiveLimit = 16;
+}  // namespace
+
+std::optional<Split> BestCategoricalSplit(const CategoricalAvc& avc, int attr,
+                                          const ImpurityFunction& imp) {
+  const int k = avc.num_classes();
+  std::vector<int32_t> present;
+  for (int32_t c = 0; c < avc.cardinality(); ++c) {
+    if (avc.CategoryTotal(c) > 0) present.push_back(c);
+  }
+  const size_t m = present.size();
+  if (m < 2) return std::nullopt;
+
+  const std::vector<int64_t> totals = avc.Totals();
+  int64_t total = 0;
+  for (const int64_t c : totals) total += c;
+
+  std::vector<int64_t> left(k), right(k);
+  auto eval_subset = [&](const std::vector<int32_t>& subset) {
+    std::fill(left.begin(), left.end(), 0);
+    for (const int32_t cat : subset) {
+      const int64_t* row = avc.counts(cat);
+      for (int c = 0; c < k; ++c) left[c] += row[c];
+    }
+    for (int c = 0; c < k; ++c) right[c] = totals[c] - left[c];
+    return imp.Eval(left.data(), right.data(), k, total);
+  };
+
+  std::optional<Split> best;
+  auto consider = [&](std::vector<int32_t> subset) {
+    subset = CanonicalizeSubset(std::move(subset), present);
+    const double impurity = eval_subset(subset);
+    Split candidate = Split::Categorical(attr, std::move(subset), impurity);
+    if (!best.has_value() || BetterSplit(candidate, *best)) {
+      best = std::move(candidate);
+    }
+  };
+
+  if (k == 2) {
+    // Breiman's theorem: order categories by P(class 0 | category); the
+    // optimal subset is a prefix of that order for any concave impurity.
+    std::vector<int32_t> order = present;
+    std::sort(order.begin(), order.end(), [&avc](int32_t a, int32_t b) {
+      // Compare count(a,0)/total(a) < count(b,0)/total(b) with integer
+      // cross-multiplication (exact; no floating point ties).
+      const int64_t lhs = avc.count(a, 0) * avc.CategoryTotal(b);
+      const int64_t rhs = avc.count(b, 0) * avc.CategoryTotal(a);
+      if (lhs != rhs) return lhs < rhs;
+      return a < b;
+    });
+    std::vector<int32_t> prefix;
+    for (size_t i = 0; i + 1 < m; ++i) {
+      prefix.push_back(order[i]);
+      consider(prefix);
+    }
+    return best;
+  }
+
+  if (m <= kExhaustiveLimit) {
+    // All proper subsets containing present[0] (canonical side), i.e. masks
+    // with bit 0 set, excluding the full set.
+    const uint32_t full = (m >= 32) ? ~0u : ((1u << m) - 1);
+    for (uint32_t half = 0; half < (1u << (m - 1)); ++half) {
+      const uint32_t mask = (half << 1) | 1u;
+      if (mask == full) continue;
+      std::vector<int32_t> subset;
+      for (size_t i = 0; i < m; ++i) {
+        if ((mask >> i) & 1u) subset.push_back(present[i]);
+      }
+      consider(std::move(subset));
+    }
+    return best;
+  }
+
+  // Greedy hill-climbing: start from {present[0]}; repeatedly move the single
+  // category whose transfer most reduces impurity (deterministic tie-break by
+  // category id), while keeping both sides non-empty.
+  std::vector<bool> in_left(m, false);
+  in_left[0] = true;
+  size_t left_size = 1;
+  auto current_subset = [&]() {
+    std::vector<int32_t> subset;
+    for (size_t i = 0; i < m; ++i) {
+      if (in_left[i]) subset.push_back(present[i]);
+    }
+    return subset;
+  };
+  double current = eval_subset(current_subset());
+  for (;;) {
+    int best_move = -1;
+    double best_move_imp = current;
+    for (size_t i = 1; i < m; ++i) {  // present[0] is pinned to the left
+      const bool to_left = !in_left[i];
+      if (!to_left && left_size == 1) continue;  // would empty a side
+      if (to_left && left_size == m - 1) continue;
+      in_left[i] = !in_left[i];
+      const double trial = eval_subset(current_subset());
+      in_left[i] = !in_left[i];
+      if (trial < best_move_imp) {
+        best_move_imp = trial;
+        best_move = static_cast<int>(i);
+      }
+    }
+    if (best_move < 0) break;
+    in_left[best_move] = !in_left[best_move];
+    left_size += in_left[best_move] ? 1 : -1;
+    current = best_move_imp;
+  }
+  consider(current_subset());
+  return best;
+}
+
+}  // namespace boat

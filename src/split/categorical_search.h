@@ -1,0 +1,34 @@
+// Exact best-subset search over a categorical attribute.
+
+#ifndef BOAT_SPLIT_CATEGORICAL_SEARCH_H_
+#define BOAT_SPLIT_CATEGORICAL_SEARCH_H_
+
+#include <optional>
+
+#include "split/counts.h"
+#include "split/impurity.h"
+#include "split/split.h"
+
+namespace boat {
+
+/// \brief Finds the best split X in Y over the categories present (nonzero
+/// count) in the AVC-set.
+///
+/// Strategy:
+///  - two classes: Breiman's ordering theorem — sort present categories by
+///    proportion of class 0 (ties by category id) and take the best prefix;
+///    optimal for any concave impurity.
+///  - up to 16 present categories: exhaustive enumeration of the 2^(m-1)-1
+///    proper subsets containing the smallest present category.
+///  - beyond that: deterministic greedy hill-climbing (move the single
+///    category that most improves impurity until a local optimum).
+///
+/// The returned subset is canonical (see CanonicalizeSubset). All algorithms
+/// in the library select categorical splits through this one function, so
+/// identical counts always yield the identical criterion.
+std::optional<Split> BestCategoricalSplit(const CategoricalAvc& avc, int attr,
+                                          const ImpurityFunction& imp);
+
+}  // namespace boat
+
+#endif  // BOAT_SPLIT_CATEGORICAL_SEARCH_H_

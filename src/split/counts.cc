@@ -1,0 +1,192 @@
+#include "split/counts.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace boat {
+
+// ----------------------------------------------------------------- NumericAvc
+
+void NumericAvc::Add(double value, int32_t label, int64_t weight) {
+  finalized_ = false;
+  staged_.push_back({value, label, weight});
+}
+
+void NumericAvc::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Contiguous sort of the staged observations (cache-friendly; this is the
+  // hottest loop of the in-memory builder).
+  std::sort(staged_.begin(), staged_.end(),
+            [](const Observation& a, const Observation& b) {
+              return a.value < b.value;
+            });
+
+  // Merge the staged run with the previously finalized run.
+  std::vector<double> merged_values;
+  std::vector<int64_t> merged_counts;
+  merged_values.reserve(values_.size() + staged_.size());
+  merged_counts.reserve(merged_values.capacity() * k_);
+  size_t old_row = 0;
+  size_t si = 0;
+  auto open_row = [&](double v) {
+    merged_values.push_back(v);
+    merged_counts.resize(merged_values.size() * k_, 0);
+    return &merged_counts[(merged_values.size() - 1) * k_];
+  };
+  int64_t* row = nullptr;
+  while (old_row < values_.size() || si < staged_.size()) {
+    const bool take_old =
+        si >= staged_.size() ||
+        (old_row < values_.size() && values_[old_row] <= staged_[si].value);
+    if (take_old) {
+      const double v = values_[old_row];
+      if (merged_values.empty() || merged_values.back() != v) {
+        row = open_row(v);
+      }
+      for (int c = 0; c < k_; ++c) row[c] += counts_[old_row * k_ + c];
+      ++old_row;
+    } else {
+      const Observation& o = staged_[si++];
+      if (merged_values.empty() || merged_values.back() != o.value) {
+        row = open_row(o.value);
+      }
+      row[o.label] += o.weight;
+    }
+  }
+  staged_.clear();
+  staged_.shrink_to_fit();
+
+  // Drop rows whose counts are all zero (can appear after weighted deletes).
+  std::vector<double> final_values;
+  std::vector<int64_t> final_counts;
+  final_values.reserve(merged_values.size());
+  final_counts.reserve(merged_counts.size());
+  for (size_t i = 0; i < merged_values.size(); ++i) {
+    bool nonzero = false;
+    for (int c = 0; c < k_; ++c) {
+      if (merged_counts[i * k_ + c] != 0) nonzero = true;
+    }
+    if (nonzero) {
+      final_values.push_back(merged_values[i]);
+      for (int c = 0; c < k_; ++c) {
+        final_counts.push_back(merged_counts[i * k_ + c]);
+      }
+    }
+  }
+  values_ = std::move(final_values);
+  counts_ = std::move(final_counts);
+}
+
+std::vector<int64_t> NumericAvc::Totals() const {
+  std::vector<int64_t> totals(k_, 0);
+  for (size_t i = 0; i < counts_.size(); ++i) totals[i % k_] += counts_[i];
+  return totals;
+}
+
+int64_t NumericAvc::EntryCount() const {
+  int64_t entries = 0;
+  for (const int64_t c : counts_) {
+    if (c != 0) ++entries;
+  }
+  return entries;
+}
+
+// ------------------------------------------------------------- CategoricalAvc
+
+int64_t CategoricalAvc::CategoryTotal(int32_t category) const {
+  const int64_t* row = counts(category);
+  int64_t total = 0;
+  for (int c = 0; c < k_; ++c) total += row[c];
+  return total;
+}
+
+std::vector<int64_t> CategoricalAvc::Totals() const {
+  std::vector<int64_t> totals(k_, 0);
+  for (size_t i = 0; i < counts_.size(); ++i) totals[i % k_] += counts_[i];
+  return totals;
+}
+
+int64_t CategoricalAvc::EntryCount() const {
+  int64_t entries = 0;
+  for (const int64_t c : counts_) {
+    if (c != 0) ++entries;
+  }
+  return entries;
+}
+
+// ------------------------------------------------------------------- AvcGroup
+
+AvcGroup::AvcGroup(const Schema& schema)
+    : schema_(&schema), class_totals_(schema.num_classes(), 0) {
+  const int k = schema.num_classes();
+  numeric_.reserve(schema.num_attributes());
+  categorical_.reserve(schema.num_attributes());
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    // One slot per attribute in both vectors keeps indexing trivial; the slot
+    // of the wrong type stays empty.
+    numeric_.emplace_back(k);
+    const int card =
+        schema.IsCategorical(i) ? schema.attribute(i).cardinality : 1;
+    categorical_.emplace_back(card, k);
+  }
+}
+
+void AvcGroup::Add(const Tuple& tuple, int64_t weight) {
+  for (int i = 0; i < schema_->num_attributes(); ++i) {
+    if (schema_->IsNumerical(i)) {
+      numeric_[i].Add(tuple.value(i), tuple.label(), weight);
+    } else {
+      categorical_[i].Add(tuple.category(i), tuple.label(), weight);
+    }
+  }
+  class_totals_[tuple.label()] += weight;
+  total_ += weight;
+}
+
+void AvcGroup::Finalize() {
+  for (int i = 0; i < schema_->num_attributes(); ++i) {
+    if (schema_->IsNumerical(i)) numeric_[i].Finalize();
+  }
+}
+
+const NumericAvc& AvcGroup::numeric(int attr) const {
+  if (!schema_->IsNumerical(attr)) FatalError("numeric() on categorical attr");
+  return numeric_[attr];
+}
+
+const CategoricalAvc& AvcGroup::categorical(int attr) const {
+  if (!schema_->IsCategorical(attr)) {
+    FatalError("categorical() on numerical attr");
+  }
+  return categorical_[attr];
+}
+
+bool AvcGroup::IsPure() const {
+  int nonzero_classes = 0;
+  for (const int64_t c : class_totals_) {
+    if (c > 0) ++nonzero_classes;
+  }
+  return nonzero_classes <= 1;
+}
+
+int64_t AvcGroup::EntryCount() const {
+  int64_t entries = 0;
+  for (int i = 0; i < schema_->num_attributes(); ++i) {
+    entries += schema_->IsNumerical(i) ? numeric_[i].EntryCount()
+                                       : categorical_[i].EntryCount();
+  }
+  return entries;
+}
+
+AvcGroup BuildAvcGroup(const Schema& schema,
+                       const std::vector<Tuple>& tuples) {
+  AvcGroup avc(schema);
+  for (const Tuple& t : tuples) avc.Add(t);
+  avc.Finalize();
+  return avc;
+}
+
+}  // namespace boat

@@ -1,0 +1,142 @@
+// Attribute-Value-Classlabel (AVC) count structures [GRG98].
+//
+// An AVC-set for attribute X at node n aggregates the family F_n into
+// per-(value, class) counts — the sufficient statistic for impurity-based
+// split selection on X. An AVC-group is the set of AVC-sets of all
+// attributes at a node. These structures serve the in-memory reference
+// builder, the RainForest algorithms, and BOAT's categorical bookkeeping.
+
+#ifndef BOAT_SPLIT_COUNTS_H_
+#define BOAT_SPLIT_COUNTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace boat {
+
+/// \brief AVC-set of a numerical attribute: distinct values in ascending
+/// order, each with its per-class tuple counts.
+class NumericAvc {
+ public:
+  explicit NumericAvc(int num_classes) : k_(num_classes) {}
+
+  /// \brief Accumulates one (value, label) observation (unsorted stage).
+  void Add(double value, int32_t label, int64_t weight = 1);
+
+  /// \brief Sorts and merges duplicate values; must be called after the last
+  /// Add and before any read accessor. Idempotent.
+  void Finalize();
+
+  int num_classes() const { return k_; }
+  /// Number of distinct attribute values (after Finalize).
+  int64_t num_values() const { return static_cast<int64_t>(values_.size()); }
+  double value(int64_t i) const { return values_[i]; }
+  /// Class counts of value i (k entries).
+  const int64_t* counts(int64_t i) const { return &counts_[i * k_]; }
+
+  /// \brief Total per-class counts over all values.
+  std::vector<int64_t> Totals() const;
+
+  /// \brief Memory footprint in "entries" (the paper's AVC buffer unit):
+  /// one entry per distinct (value, class) pair with nonzero count.
+  int64_t EntryCount() const;
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  /// One staged observation awaiting Finalize.
+  struct Observation {
+    double value;
+    int32_t label;
+    int64_t weight;
+  };
+
+  int k_;
+  bool finalized_ = true;            // empty AVC counts as finalized
+  std::vector<Observation> staged_;  // accumulated since last Finalize
+  std::vector<double> values_;       // parallel to counts_ rows
+  std::vector<int64_t> counts_;      // row-major num_values x k
+};
+
+/// \brief AVC-set of a categorical attribute: dense cardinality x k matrix.
+class CategoricalAvc {
+ public:
+  CategoricalAvc(int cardinality, int num_classes)
+      : cardinality_(cardinality),
+        k_(num_classes),
+        counts_(static_cast<size_t>(cardinality) * num_classes, 0) {}
+
+  void Add(int32_t category, int32_t label, int64_t weight = 1) {
+    counts_[static_cast<size_t>(category) * k_ + label] += weight;
+  }
+
+  int cardinality() const { return cardinality_; }
+  int num_classes() const { return k_; }
+  const int64_t* counts(int32_t category) const {
+    return &counts_[static_cast<size_t>(category) * k_];
+  }
+  int64_t count(int32_t category, int32_t label) const {
+    return counts_[static_cast<size_t>(category) * k_ + label];
+  }
+
+  /// \brief Total tuples of `category` across classes.
+  int64_t CategoryTotal(int32_t category) const;
+
+  /// \brief Total per-class counts over all categories.
+  std::vector<int64_t> Totals() const;
+
+  int64_t EntryCount() const;
+
+  bool operator==(const CategoricalAvc& other) const = default;
+
+ private:
+  int cardinality_;
+  int k_;
+  std::vector<int64_t> counts_;
+};
+
+/// \brief AVC-group: one AVC-set per predictor attribute at a node, plus the
+/// node's per-class totals.
+class AvcGroup {
+ public:
+  explicit AvcGroup(const Schema& schema);
+
+  /// \brief Accumulates one tuple into all AVC-sets.
+  void Add(const Tuple& tuple, int64_t weight = 1);
+
+  /// \brief Finalizes all numeric AVC-sets (sort + merge).
+  void Finalize();
+
+  const Schema& schema() const { return *schema_; }
+  int num_attributes() const { return schema_->num_attributes(); }
+
+  const NumericAvc& numeric(int attr) const;
+  const CategoricalAvc& categorical(int attr) const;
+
+  /// \brief Per-class totals of the node family.
+  const std::vector<int64_t>& class_totals() const { return class_totals_; }
+  int64_t total_tuples() const { return total_; }
+
+  /// \brief Whether every tuple has the same class label (or is empty).
+  bool IsPure() const;
+
+  /// \brief Total entries across AVC-sets (the RainForest memory unit).
+  int64_t EntryCount() const;
+
+ private:
+  const Schema* schema_;
+  std::vector<NumericAvc> numeric_;          // index: attr (unused slots k=0)
+  std::vector<CategoricalAvc> categorical_;  // index: attr
+  std::vector<int64_t> class_totals_;
+  int64_t total_ = 0;
+};
+
+/// \brief Builds and finalizes the AVC-group of a tuple set.
+AvcGroup BuildAvcGroup(const Schema& schema, const std::vector<Tuple>& tuples);
+
+}  // namespace boat
+
+#endif  // BOAT_SPLIT_COUNTS_H_

@@ -1,0 +1,89 @@
+#include "split/impurity.h"
+
+#include <cmath>
+#include <vector>
+
+namespace boat {
+
+double ImpurityFunction::EvalNode(const int64_t* counts, int k,
+                                  int64_t total) const {
+  // An unsplit node is the degenerate partition (all | nothing); every
+  // implemented impurity gives the node impurity in that case because the
+  // empty side contributes weight zero.
+  static thread_local std::vector<int64_t> zeros;
+  zeros.assign(static_cast<size_t>(k), 0);
+  return Eval(counts, zeros.data(), k, total);
+}
+
+namespace {
+
+// Gini of one side, weighted by side proportion: (n_side/total)*(1-sum p_i^2)
+// computed as (n_side - sum c_i^2 / n_side) / total to keep the arithmetic
+// shape fixed.
+double GiniSide(const int64_t* counts, int k, int64_t total) {
+  int64_t side = 0;
+  for (int i = 0; i < k; ++i) side += counts[i];
+  if (side == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const double c = static_cast<double>(counts[i]);
+    sum_sq += c * c;
+  }
+  const double s = static_cast<double>(side);
+  return (s - sum_sq / s) / static_cast<double>(total);
+}
+
+double EntropySide(const int64_t* counts, int k, int64_t total) {
+  int64_t side = 0;
+  for (int i = 0; i < k; ++i) side += counts[i];
+  if (side == 0) return 0.0;
+  const double s = static_cast<double>(side);
+  double h = 0.0;
+  for (int i = 0; i < k; ++i) {
+    if (counts[i] > 0) {
+      const double p = static_cast<double>(counts[i]) / s;
+      h -= p * std::log2(p);
+    }
+  }
+  return h * (s / static_cast<double>(total));
+}
+
+double MisclassSide(const int64_t* counts, int k, int64_t total) {
+  int64_t side = 0;
+  int64_t maxc = 0;
+  for (int i = 0; i < k; ++i) {
+    side += counts[i];
+    if (counts[i] > maxc) maxc = counts[i];
+  }
+  if (side == 0) return 0.0;
+  return static_cast<double>(side - maxc) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double GiniImpurity::Eval(const int64_t* left, const int64_t* right, int k,
+                          int64_t total) const {
+  return GiniSide(left, k, total) + GiniSide(right, k, total);
+}
+
+double EntropyImpurity::Eval(const int64_t* left, const int64_t* right, int k,
+                             int64_t total) const {
+  return EntropySide(left, k, total) + EntropySide(right, k, total);
+}
+
+double MisclassificationImpurity::Eval(const int64_t* left,
+                                       const int64_t* right, int k,
+                                       int64_t total) const {
+  return MisclassSide(left, k, total) + MisclassSide(right, k, total);
+}
+
+std::unique_ptr<ImpurityFunction> MakeImpurity(const std::string& name) {
+  if (name == "gini") return std::make_unique<GiniImpurity>();
+  if (name == "entropy") return std::make_unique<EntropyImpurity>();
+  if (name == "misclassification") {
+    return std::make_unique<MisclassificationImpurity>();
+  }
+  return nullptr;
+}
+
+}  // namespace boat

@@ -1,0 +1,76 @@
+// Concave impurity functions for binary splits.
+//
+// An impurity-based split selection method evaluates a candidate binary
+// partition (left/right class-count vectors) and picks the split minimizing
+// the weighted impurity. BOAT's failure-detection lemma (Lemma 3.1) requires
+// the impurity to be a concave function of the "stamp point"
+// (n^1_x, ..., n^k_x) — true for all functions implemented here, and
+// property-tested in tests/property_impurity_test.cc.
+//
+// Determinism contract: Eval takes *integer* class counts and performs the
+// same floating-point operations in the same order regardless of caller, so
+// every algorithm that sees the same counts computes bit-identical impurity
+// values. This is what makes "BOAT builds exactly the same tree" testable
+// with exact equality.
+
+#ifndef BOAT_SPLIT_IMPURITY_H_
+#define BOAT_SPLIT_IMPURITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace boat {
+
+/// \brief A concave impurity function over a binary partition.
+class ImpurityFunction {
+ public:
+  virtual ~ImpurityFunction() = default;
+
+  /// \brief Weighted impurity of the partition (left | right).
+  /// \param left   class counts of the left side, k entries
+  /// \param right  class counts of the right side, k entries
+  /// \param k      number of classes
+  /// \param total  total tuple count (sum of both sides); must be > 0
+  virtual double Eval(const int64_t* left, const int64_t* right, int k,
+                      int64_t total) const = 0;
+
+  /// \brief Impurity of an unsplit node (single class-count vector).
+  double EvalNode(const int64_t* counts, int k, int64_t total) const;
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief gini index of CART [BFOS84]: sum_side w_side * (1 - sum_i p_i^2).
+class GiniImpurity : public ImpurityFunction {
+ public:
+  double Eval(const int64_t* left, const int64_t* right, int k,
+              int64_t total) const override;
+  std::string name() const override { return "gini"; }
+};
+
+/// \brief Entropy of C4.5 [Qui86]: sum_side w_side * (-sum_i p_i log2 p_i).
+class EntropyImpurity : public ImpurityFunction {
+ public:
+  double Eval(const int64_t* left, const int64_t* right, int k,
+              int64_t total) const override;
+  std::string name() const override { return "entropy"; }
+};
+
+/// \brief Misclassification error: sum_side w_side * (1 - max_i p_i).
+/// Piecewise linear and concave; included as a third instantiation in the
+/// spirit of the paper's "index of correlation" [MFM+98] alternative.
+class MisclassificationImpurity : public ImpurityFunction {
+ public:
+  double Eval(const int64_t* left, const int64_t* right, int k,
+              int64_t total) const override;
+  std::string name() const override { return "misclassification"; }
+};
+
+/// \brief Creates an impurity function by name ("gini", "entropy",
+/// "misclassification"); returns nullptr for unknown names.
+std::unique_ptr<ImpurityFunction> MakeImpurity(const std::string& name);
+
+}  // namespace boat
+
+#endif  // BOAT_SPLIT_IMPURITY_H_

@@ -1,0 +1,55 @@
+#include "split/numeric_search.h"
+
+#include "common/status.h"
+
+namespace boat {
+
+std::optional<Split> BestNumericSplitRange(
+    const NumericAvc& avc, int attr, const ImpurityFunction& imp,
+    const std::vector<int64_t>& left_base,
+    const std::vector<int64_t>& node_totals,
+    std::optional<double> boundary_value) {
+  if (!avc.finalized()) FatalError("BestNumericSplitRange: AVC not finalized");
+  const int k = avc.num_classes();
+  int64_t total = 0;
+  for (const int64_t c : node_totals) total += c;
+  if (total <= 0) return std::nullopt;
+
+  std::vector<int64_t> left = left_base;
+  std::vector<int64_t> right(k);
+
+  std::optional<Split> best;
+  auto consider = [&](double value) {
+    int64_t left_total = 0;
+    for (int c = 0; c < k; ++c) {
+      right[c] = node_totals[c] - left[c];
+      left_total += left[c];
+    }
+    const int64_t right_total = total - left_total;
+    if (right_total <= 0 || left_total <= 0) return;
+    const double impurity = imp.Eval(left.data(), right.data(), k, total);
+    Split candidate = Split::Numerical(attr, value, impurity);
+    if (!best.has_value() || BetterSplit(candidate, *best)) {
+      best = std::move(candidate);
+    }
+  };
+
+  if (boundary_value.has_value()) {
+    consider(*boundary_value);
+  }
+  for (int64_t i = 0; i < avc.num_values(); ++i) {
+    const int64_t* row = avc.counts(i);
+    for (int c = 0; c < k; ++c) left[c] += row[c];
+    consider(avc.value(i));
+  }
+  return best;
+}
+
+std::optional<Split> BestNumericSplit(const NumericAvc& avc, int attr,
+                                      const ImpurityFunction& imp) {
+  const std::vector<int64_t> totals = avc.Totals();
+  const std::vector<int64_t> zeros(avc.num_classes(), 0);
+  return BestNumericSplitRange(avc, attr, imp, zeros, totals, std::nullopt);
+}
+
+}  // namespace boat

@@ -1,0 +1,50 @@
+// Exact best-split search over a numerical attribute.
+
+#ifndef BOAT_SPLIT_NUMERIC_SEARCH_H_
+#define BOAT_SPLIT_NUMERIC_SEARCH_H_
+
+#include <optional>
+
+#include "split/counts.h"
+#include "split/impurity.h"
+#include "split/split.h"
+
+namespace boat {
+
+/// \brief Finds the best split X <= v over a contiguous *range* of candidate
+/// split values. This single code path serves the in-memory reference
+/// builder and RainForest (full range: empty base, no boundary) as well as
+/// BOAT's cleanup phase (range restricted to a confidence interval, with the
+/// tuples at or below the interval summarized by `left_base`).
+///
+/// Candidates, in ascending order:
+///   1. `boundary_value` (if provided): the largest attribute value of the
+///      family at or below the range's lower boundary; its left side is
+///      exactly `left_base`.
+///   2. each distinct value v in `avc` (which must contain exactly the family
+///      values strictly above the boundary and within the range); its left
+///      side is left_base + prefix counts through v.
+/// A candidate is valid only if its right side is non-empty (the paper's
+/// "X <= max value" degenerate split is excluded). Empty-left candidates
+/// cannot arise because every candidate value occurs in the family.
+///
+/// \param avc          finalized AVC-set of in-range values
+/// \param attr         attribute index (for the returned Split)
+/// \param imp          impurity function
+/// \param left_base    class counts of family tuples below the range
+/// \param node_totals  class totals of the whole family
+/// \param boundary_value candidate value realizing the left_base partition
+/// \return best split, or nullopt if no valid candidate exists
+std::optional<Split> BestNumericSplitRange(
+    const NumericAvc& avc, int attr, const ImpurityFunction& imp,
+    const std::vector<int64_t>& left_base,
+    const std::vector<int64_t>& node_totals,
+    std::optional<double> boundary_value);
+
+/// \brief Best split over the full value range of a family's AVC-set.
+std::optional<Split> BestNumericSplit(const NumericAvc& avc, int attr,
+                                      const ImpurityFunction& imp);
+
+}  // namespace boat
+
+#endif  // BOAT_SPLIT_NUMERIC_SEARCH_H_

@@ -1,0 +1,207 @@
+#include "split/quest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace boat {
+
+namespace {
+constexpr double kScale = 256.0;  // 48.8 fixed point
+
+double FromFixed(int64_t q) { return static_cast<double>(q) / kScale; }
+double FromFixedSq(__int128 q) {
+  return static_cast<double>(q) / (kScale * kScale);
+}
+}  // namespace
+
+int64_t QuantizeValue(double v) {
+  return static_cast<int64_t>(std::llround(v * kScale));
+}
+
+// ------------------------------------------------------------------ MomentSet
+
+MomentSet::MomentSet(const Schema& schema)
+    : schema_(schema),
+      k_(schema.num_classes()),
+      cells_(static_cast<size_t>(schema.num_attributes()) * k_) {}
+
+void MomentSet::Add(const Tuple& tuple, int64_t weight) {
+  for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+    if (!schema_.IsNumerical(attr)) continue;
+    const int64_t q = QuantizeValue(tuple.value(attr));
+    Cell& cell = at(attr, tuple.label());
+    cell.count += weight;
+    cell.sum += weight * q;
+    cell.sum_sq += static_cast<__int128>(weight) * q * q;
+  }
+}
+
+void MomentSet::Merge(const MomentSet& other) {
+  if (cells_.size() != other.cells_.size()) {
+    FatalError("MomentSet::Merge: schema mismatch");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].count += other.cells_[i].count;
+    cells_[i].sum += other.cells_[i].sum;
+    cells_[i].sum_sq += other.cells_[i].sum_sq;
+  }
+}
+
+// -------------------------------------------------------------- QuestSelector
+
+double QuestSelector::NumericScore(const int64_t* count, const int64_t* sum,
+                                   const __int128* sum_sq, int k) {
+  int64_t n = 0;
+  int64_t total_sum_fixed = 0;
+  int populated = 0;
+  for (int i = 0; i < k; ++i) {
+    n += count[i];
+    total_sum_fixed += sum[i];
+    if (count[i] > 0) ++populated;
+  }
+  if (populated < 2 || n < 3) return 0.0;
+
+  // Between-group and within-group sums of squares, from integer moments.
+  const double grand_mean = FromFixed(total_sum_fixed) / static_cast<double>(n);
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  for (int i = 0; i < k; ++i) {
+    if (count[i] <= 0) continue;
+    const double ni = static_cast<double>(count[i]);
+    const double mean_i = FromFixed(sum[i]) / ni;
+    const double dev = mean_i - grand_mean;
+    ss_between += ni * dev * dev;
+    ss_within += FromFixedSq(sum_sq[i]) - ni * mean_i * mean_i;
+  }
+  const double df_between = static_cast<double>(populated - 1);
+  const double df_within = static_cast<double>(n - populated);
+  if (df_within <= 0.0) return 0.0;
+  if (ss_within <= 0.0) {
+    // Classes are point masses; perfect separation iff between-group SS > 0.
+    return ss_between > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return (ss_between / df_between) / (ss_within / df_within);
+}
+
+double QuestSelector::CategoricalScore(const CategoricalAvc& avc) {
+  const int k = avc.num_classes();
+  std::vector<int64_t> class_totals = avc.Totals();
+  int64_t n = 0;
+  int populated_classes = 0;
+  for (const int64_t c : class_totals) {
+    n += c;
+    if (c > 0) ++populated_classes;
+  }
+  int populated_cats = 0;
+  for (int32_t cat = 0; cat < avc.cardinality(); ++cat) {
+    if (avc.CategoryTotal(cat) > 0) ++populated_cats;
+  }
+  if (n == 0 || populated_cats < 2 || populated_classes < 2) return 0.0;
+
+  double chi2 = 0.0;
+  for (int32_t cat = 0; cat < avc.cardinality(); ++cat) {
+    const int64_t row_total = avc.CategoryTotal(cat);
+    if (row_total == 0) continue;
+    for (int cls = 0; cls < k; ++cls) {
+      if (class_totals[cls] == 0) continue;
+      const double expected = static_cast<double>(row_total) *
+                              static_cast<double>(class_totals[cls]) /
+                              static_cast<double>(n);
+      const double observed = static_cast<double>(avc.count(cat, cls));
+      const double dev = observed - expected;
+      chi2 += dev * dev / expected;
+    }
+  }
+  const double dof = static_cast<double>(populated_cats - 1) *
+                     static_cast<double>(populated_classes - 1);
+  return dof > 0.0 ? chi2 / dof : 0.0;
+}
+
+std::optional<double> QuestSelector::Threshold(const int64_t* count,
+                                               const int64_t* sum, int k) {
+  // Superclass A: the most populous class (smallest id on ties); B: the rest.
+  int major = -1;
+  for (int i = 0; i < k; ++i) {
+    if (count[i] > 0 && (major < 0 || count[i] > count[major])) major = i;
+  }
+  if (major < 0) return std::nullopt;
+  int64_t n_a = count[major];
+  int64_t sum_a = sum[major];
+  int64_t n_b = 0;
+  int64_t sum_b = 0;
+  for (int i = 0; i < k; ++i) {
+    if (i == major) continue;
+    n_b += count[i];
+    sum_b += sum[i];
+  }
+  if (n_a == 0 || n_b == 0) return std::nullopt;
+  const double mean_a = FromFixed(sum_a) / static_cast<double>(n_a);
+  const double mean_b = FromFixed(sum_b) / static_cast<double>(n_b);
+  return 0.5 * (mean_a + mean_b);
+}
+
+void QuestSelector::MomentsFromAvc(const NumericAvc& avc,
+                                   std::vector<int64_t>* count,
+                                   std::vector<int64_t>* sum,
+                                   std::vector<__int128>* sum_sq) {
+  const int k = avc.num_classes();
+  count->assign(k, 0);
+  sum->assign(k, 0);
+  sum_sq->assign(k, 0);
+  for (int64_t i = 0; i < avc.num_values(); ++i) {
+    const int64_t q = QuantizeValue(avc.value(i));
+    const int64_t* row = avc.counts(i);
+    for (int cls = 0; cls < k; ++cls) {
+      (*count)[cls] += row[cls];
+      (*sum)[cls] += row[cls] * q;
+      (*sum_sq)[cls] += static_cast<__int128>(row[cls]) * q * q;
+    }
+  }
+}
+
+std::optional<Split> QuestSelector::EvaluateNumericAttr(const NumericAvc& avc,
+                                                        int attr) const {
+  if (avc.num_values() < 2) return std::nullopt;
+  const int k = avc.num_classes();
+  std::vector<int64_t> count, sum;
+  std::vector<__int128> sum_sq;
+  MomentsFromAvc(avc, &count, &sum, &sum_sq);
+  const double score = NumericScore(count.data(), sum.data(), sum_sq.data(), k);
+  if (!(score > 0.0)) return std::nullopt;
+  const std::optional<double> theta = Threshold(count.data(), sum.data(), k);
+  if (!theta.has_value()) return std::nullopt;
+  // Snap to the largest family value <= theta; clamp into the valid
+  // candidate range [min value, second-largest value].
+  double split_value = avc.value(0);
+  for (int64_t i = 0; i < avc.num_values(); ++i) {
+    if (avc.value(i) <= *theta) split_value = avc.value(i);
+  }
+  if (split_value >= avc.value(avc.num_values() - 1)) {
+    split_value = avc.value(avc.num_values() - 2);
+  }
+  return Split::Numerical(attr, split_value, -score);
+}
+
+std::optional<Split> QuestSelector::EvaluateCategoricalAttr(
+    const CategoricalAvc& avc, int attr) const {
+  const double score = CategoricalScore(avc);
+  if (!(score > 0.0)) return std::nullopt;
+  // Subset selection by gini on the chosen attribute only.
+  static const GiniImpurity gini;
+  std::optional<Split> s = BestCategoricalSplit(avc, attr, gini);
+  if (!s.has_value()) return std::nullopt;
+  s->impurity = -score;
+  return s;
+}
+
+bool QuestSelector::Accept(const Split& best,
+                           const std::vector<int64_t>& /*totals*/,
+                           int64_t /*total_tuples*/) const {
+  // Candidates only exist with a positive association score.
+  return best.impurity < 0.0;
+}
+
+}  // namespace boat

@@ -1,0 +1,124 @@
+// A non-impurity split selection method in the spirit of QUEST [LS97].
+//
+// Attribute selection is *unbiased*: each attribute is scored by a
+// statistical association test against the class label (ANOVA F-statistic
+// for numerical attributes, mean-square contingency chi^2/dof for
+// categorical ones) and the highest-scoring attribute wins. The split point
+// of a numerical attribute is the midpoint between the two superclass means
+// (largest class versus the rest), snapped to the largest attribute value at
+// or below it; categorical subsets are chosen by gini on the selected
+// attribute only.
+//
+// Exactness under BOAT: all required statistics are sums over the family —
+// per-(attribute, class) count / sum / sum-of-squares and the categorical
+// contingency tables — so BOAT can compute them exactly in its single
+// cleanup scan. To make the statistics independent of accumulation order
+// (stream order differs between algorithms), values enter the moments in
+// fixed-point form (48.8, via QuantizeValue) and are summed in integer
+// arithmetic; the scores derived from those integers are bit-identical no
+// matter who computed them. The method is *defined* over the quantized
+// values, a documented deviation from textbook QUEST.
+
+#ifndef BOAT_SPLIT_QUEST_H_
+#define BOAT_SPLIT_QUEST_H_
+
+#include <optional>
+
+#include "split/selector.h"
+
+namespace boat {
+
+class ModelSerializer;  // persistence layer (boat/persistence.h)
+
+/// \brief Fixed-point representation used for exact moment accumulation.
+int64_t QuantizeValue(double v);
+
+/// \brief Exact per-class first and second moments of the numerical
+/// attributes of a node family. Supports weighted add (weight -1 = delete)
+/// and merge, all in integer arithmetic (order-independent).
+class MomentSet {
+ public:
+  explicit MomentSet(const Schema& schema);
+
+  /// \brief Accumulates one tuple with the given weight (+1 insert,
+  /// -1 delete).
+  void Add(const Tuple& tuple, int64_t weight = 1);
+
+  /// \brief Adds `other` (same schema) into this.
+  void Merge(const MomentSet& other);
+
+  int num_classes() const { return k_; }
+
+  int64_t count(int attr, int cls) const { return at(attr, cls).count; }
+  int64_t sum(int attr, int cls) const { return at(attr, cls).sum; }
+  __int128 sum_sq(int attr, int cls) const { return at(attr, cls).sum_sq; }
+
+  bool operator==(const MomentSet& other) const = default;
+
+ private:
+  friend class ModelSerializer;
+  struct Cell {
+    int64_t count = 0;
+    int64_t sum = 0;       // sum of quantized values
+    __int128 sum_sq = 0;   // sum of squared quantized values
+
+    bool operator==(const Cell&) const = default;
+  };
+  const Cell& at(int attr, int cls) const {
+    return cells_[static_cast<size_t>(attr) * k_ + cls];
+  }
+  Cell& at(int attr, int cls) {
+    return cells_[static_cast<size_t>(attr) * k_ + cls];
+  }
+
+  Schema schema_;  // by value: MomentSets outlive their creators
+  int k_;
+  std::vector<Cell> cells_;  // num_attributes x k (categorical rows unused)
+};
+
+/// \brief The QUEST-like selector.
+///
+/// Candidate Splits carry the *negated* association score in
+/// Split::impurity, so that BetterSplit's lower-is-better ordering prefers
+/// stronger association (ties broken by attribute index as usual).
+class QuestSelector : public SplitSelector {
+ public:
+  QuestSelector() = default;
+
+  std::optional<Split> EvaluateNumericAttr(const NumericAvc& avc,
+                                           int attr) const override;
+  std::optional<Split> EvaluateCategoricalAttr(const CategoricalAvc& avc,
+                                               int attr) const override;
+  bool Accept(const Split& best, const std::vector<int64_t>& totals,
+              int64_t total_tuples) const override;
+
+  SelectorKind kind() const override { return SelectorKind::kQuest; }
+  std::string name() const override { return "quest"; }
+
+  // --- exact statistics, exposed so BOAT's cleanup phase can verify the
+  // --- coarse criteria from streamed moments -------------------------------
+
+  /// \brief ANOVA F-statistic of one numerical attribute from its per-class
+  /// quantized moments (arrays of k entries).
+  static double NumericScore(const int64_t* count, const int64_t* sum,
+                             const __int128* sum_sq, int k);
+
+  /// \brief chi^2 / dof of a categorical attribute's contingency table.
+  static double CategoricalScore(const CategoricalAvc& avc);
+
+  /// \brief Superclass-mean midpoint threshold for a numerical attribute;
+  /// nullopt when undefined (fewer than two populated classes).
+  static std::optional<double> Threshold(const int64_t* count,
+                                         const int64_t* sum, int k);
+
+  /// \brief Extracts the (count, sum, sum_sq) arrays of attribute `attr`
+  /// from an AVC-group (quantizing values exactly like MomentSet::Add).
+  static void MomentsFromAvc(const NumericAvc& avc,
+                             std::vector<int64_t>* count,
+                             std::vector<int64_t>* sum,
+                             std::vector<__int128>* sum_sq);
+};
+
+}  // namespace boat
+
+#endif  // BOAT_SPLIT_QUEST_H_

@@ -1,0 +1,90 @@
+#include "split/selector.h"
+
+#include <algorithm>
+
+namespace boat {
+
+std::optional<Split> SplitSelector::ChooseSplit(const AvcGroup& avc) const {
+  if (avc.total_tuples() <= 0 || avc.IsPure()) return std::nullopt;
+  const Schema& schema = avc.schema();
+
+  std::optional<Split> best;
+  auto consider = [&best](std::optional<Split> candidate) {
+    if (!candidate.has_value()) return;
+    if (!best.has_value() || BetterSplit(*candidate, *best)) {
+      best = std::move(candidate);
+    }
+  };
+  for (int attr = 0; attr < schema.num_attributes(); ++attr) {
+    if (schema.IsNumerical(attr)) {
+      consider(EvaluateNumericAttr(avc.numeric(attr), attr));
+    } else {
+      consider(EvaluateCategoricalAttr(avc.categorical(attr), attr));
+    }
+  }
+  if (!best.has_value()) return std::nullopt;
+  if (!Accept(*best, avc.class_totals(), avc.total_tuples())) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+std::optional<Split> ImpuritySplitSelector::EvaluateNumericAttr(
+    const NumericAvc& avc, int attr) const {
+  return BestNumericSplit(avc, attr, *impurity_);
+}
+
+std::optional<Split> ImpuritySplitSelector::EvaluateCategoricalAttr(
+    const CategoricalAvc& avc, int attr) const {
+  return BestCategoricalSplit(avc, attr, *impurity_);
+}
+
+bool ImpuritySplitSelector::Accept(const Split& best,
+                                   const std::vector<int64_t>& totals,
+                                   int64_t total_tuples) const {
+  const double node_impurity = impurity_->EvalNode(
+      totals.data(), static_cast<int>(totals.size()), total_tuples);
+  // Require a strict decrease; an uninformative split would only grow the
+  // tree without changing the classifier.
+  return best.impurity < node_impurity;
+}
+
+std::pair<std::vector<int64_t>, std::vector<int64_t>> ChildCountsNumeric(
+    const NumericAvc& avc, const Split& split) {
+  const int k = avc.num_classes();
+  std::vector<int64_t> left(k, 0);
+  std::vector<int64_t> right(k, 0);
+  for (int64_t i = 0; i < avc.num_values(); ++i) {
+    const int64_t* row = avc.counts(i);
+    int64_t* side = (avc.value(i) <= split.value) ? left.data() : right.data();
+    for (int c = 0; c < k; ++c) side[c] += row[c];
+  }
+  return {std::move(left), std::move(right)};
+}
+
+std::pair<std::vector<int64_t>, std::vector<int64_t>> ChildCountsCategorical(
+    const CategoricalAvc& avc, const Split& split) {
+  const int k = avc.num_classes();
+  std::vector<int64_t> left(k, 0);
+  std::vector<int64_t> right(k, 0);
+  for (int32_t cat = 0; cat < avc.cardinality(); ++cat) {
+    const bool to_left = std::binary_search(split.subset.begin(),
+                                            split.subset.end(), cat);
+    const int64_t* row = avc.counts(cat);
+    int64_t* side = to_left ? left.data() : right.data();
+    for (int c = 0; c < k; ++c) side[c] += row[c];
+  }
+  return {std::move(left), std::move(right)};
+}
+
+std::unique_ptr<ImpuritySplitSelector> MakeGiniSelector() {
+  return std::make_unique<ImpuritySplitSelector>(
+      std::make_unique<GiniImpurity>());
+}
+
+std::unique_ptr<ImpuritySplitSelector> MakeEntropySelector() {
+  return std::make_unique<ImpuritySplitSelector>(
+      std::make_unique<EntropyImpurity>());
+}
+
+}  // namespace boat

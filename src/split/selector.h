@@ -1,0 +1,114 @@
+// Split selection methods (the paper's CL parameter).
+//
+// A split selection method examines AVC-sets of a node and either returns
+// the best binary split or declares the node a leaf. The interface is
+// per-attribute so that algorithms which cannot hold a whole AVC-group in
+// memory at once (RF-Vertical) can evaluate attributes across several scans
+// and still select exactly the same split. The library ships two families:
+//   * ImpuritySplitSelector — CART/C4.5-style concave-impurity minimization;
+//     the class BOAT's Lemma 3.1 machinery verifies.
+//   * QuestSelector (quest.h) — a non-impurity method in the spirit of QUEST
+//     [LS97], demonstrating that BOAT generalizes beyond impurity methods.
+
+#ifndef BOAT_SPLIT_SELECTOR_H_
+#define BOAT_SPLIT_SELECTOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "split/categorical_search.h"
+#include "split/counts.h"
+#include "split/impurity.h"
+#include "split/numeric_search.h"
+#include "split/split.h"
+
+namespace boat {
+
+/// \brief Family tag; BOAT dispatches its verification machinery on this.
+enum class SelectorKind { kImpurity, kQuest };
+
+/// \brief Tree-growth stopping limits shared by every construction algorithm.
+struct GrowthLimits {
+  /// Maximum tree depth (root = depth 0); nodes at the limit become leaves.
+  int max_depth = 64;
+  /// Families smaller than this are not split further.
+  int64_t min_tuples_to_split = 2;
+  /// If > 0, stop growing once a family has at most this many tuples — the
+  /// paper's evaluation methodology ("we stopped tree construction for leaf
+  /// nodes whose family would fit in-memory"). 0 disables the rule.
+  int64_t stop_family_size = 0;
+};
+
+/// \brief A split selection method.
+///
+/// Candidate splits carry a selector-specific quality in Split::impurity
+/// (lower is better under BetterSplit); for ImpuritySplitSelector it is the
+/// weighted impurity, for QuestSelector the negated association score.
+class SplitSelector {
+ public:
+  virtual ~SplitSelector() = default;
+
+  /// \brief Best candidate split on one numerical attribute, or nullopt if
+  /// the attribute admits no valid split at this node.
+  virtual std::optional<Split> EvaluateNumericAttr(const NumericAvc& avc,
+                                                   int attr) const = 0;
+
+  /// \brief Best candidate split on one categorical attribute.
+  virtual std::optional<Split> EvaluateCategoricalAttr(
+      const CategoricalAvc& avc, int attr) const = 0;
+
+  /// \brief Whether the best candidate should actually be used to split a
+  /// node with the given class totals (otherwise the node becomes a leaf).
+  virtual bool Accept(const Split& best, const std::vector<int64_t>& totals,
+                      int64_t total_tuples) const = 0;
+
+  /// \brief Chooses the best split for a node given its full AVC-group, or
+  /// nullopt for a leaf. Implemented on top of the per-attribute interface;
+  /// candidates are compared with BetterSplit.
+  std::optional<Split> ChooseSplit(const AvcGroup& avc) const;
+
+  virtual SelectorKind kind() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// \brief Impurity-minimizing split selection (CART with gini, C4.5-style
+/// with entropy, ...). Declares a leaf when the best split does not strictly
+/// decrease the node impurity.
+class ImpuritySplitSelector : public SplitSelector {
+ public:
+  explicit ImpuritySplitSelector(std::unique_ptr<ImpurityFunction> impurity)
+      : impurity_(std::move(impurity)) {}
+
+  std::optional<Split> EvaluateNumericAttr(const NumericAvc& avc,
+                                           int attr) const override;
+  std::optional<Split> EvaluateCategoricalAttr(const CategoricalAvc& avc,
+                                               int attr) const override;
+  bool Accept(const Split& best, const std::vector<int64_t>& totals,
+              int64_t total_tuples) const override;
+
+  SelectorKind kind() const override { return SelectorKind::kImpurity; }
+  std::string name() const override { return "impurity/" + impurity_->name(); }
+
+  const ImpurityFunction& impurity() const { return *impurity_; }
+
+ private:
+  std::unique_ptr<ImpurityFunction> impurity_;
+};
+
+/// \brief Per-class counts of the two children induced by `split`, computed
+/// from the split attribute's AVC-set. Used by the scan-based algorithms to
+/// know child family sizes without touching the data again.
+std::pair<std::vector<int64_t>, std::vector<int64_t>> ChildCountsNumeric(
+    const NumericAvc& avc, const Split& split);
+std::pair<std::vector<int64_t>, std::vector<int64_t>> ChildCountsCategorical(
+    const CategoricalAvc& avc, const Split& split);
+
+/// \brief Convenience: CART-style selector with the gini index.
+std::unique_ptr<ImpuritySplitSelector> MakeGiniSelector();
+/// \brief Convenience: C4.5-style selector with entropy.
+std::unique_ptr<ImpuritySplitSelector> MakeEntropySelector();
+
+}  // namespace boat
+
+#endif  // BOAT_SPLIT_SELECTOR_H_

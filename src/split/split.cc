@@ -1,0 +1,58 @@
+#include "split/split.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace boat {
+
+bool Split::SendLeft(const Tuple& tuple) const {
+  if (is_numerical) return tuple.value(attribute) <= value;
+  return std::binary_search(subset.begin(), subset.end(),
+                            tuple.category(attribute));
+}
+
+bool Split::SameCriterion(const Split& other) const {
+  if (attribute != other.attribute || is_numerical != other.is_numerical) {
+    return false;
+  }
+  return is_numerical ? value == other.value : subset == other.subset;
+}
+
+std::string Split::ToString(const Schema& schema) const {
+  if (attribute < 0) return "<none>";
+  const std::string& name = schema.attribute(attribute).name;
+  if (is_numerical) {
+    return StrPrintf("%s <= %.6g", name.c_str(), value);
+  }
+  std::vector<std::string> cats;
+  cats.reserve(subset.size());
+  for (const int32_t c : subset) cats.push_back(StrPrintf("%d", c));
+  return name + " in {" + StrJoin(cats, ",") + "}";
+}
+
+bool BetterSplit(const Split& a, const Split& b) {
+  if (a.impurity != b.impurity) return a.impurity < b.impurity;
+  if (a.attribute != b.attribute) return a.attribute < b.attribute;
+  if (a.is_numerical != b.is_numerical) return a.is_numerical;  // stable
+  if (a.is_numerical) return a.value < b.value;
+  return std::lexicographical_compare(a.subset.begin(), a.subset.end(),
+                                      b.subset.begin(), b.subset.end());
+}
+
+std::vector<int32_t> CanonicalizeSubset(std::vector<int32_t> subset,
+                                        const std::vector<int32_t>& present) {
+  std::sort(subset.begin(), subset.end());
+  if (present.empty()) return subset;
+  const bool contains_smallest =
+      std::binary_search(subset.begin(), subset.end(), present.front());
+  if (contains_smallest) return subset;
+  // Replace by the complement within `present`.
+  std::vector<int32_t> complement;
+  complement.reserve(present.size() - subset.size());
+  std::set_difference(present.begin(), present.end(), subset.begin(),
+                      subset.end(), std::back_inserter(complement));
+  return complement;
+}
+
+}  // namespace boat

@@ -1,0 +1,75 @@
+// Splitting criteria: splitting attribute + splitting predicate.
+
+#ifndef BOAT_SPLIT_SPLIT_H_
+#define BOAT_SPLIT_SPLIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace boat {
+
+/// \brief A binary splitting criterion at a node.
+///
+/// Numerical attribute: predicate is X <= value (left child on true).
+/// Categorical attribute: predicate is X in subset (left child on true);
+/// `subset` is sorted ascending and canonicalized (see CanonicalizeSubset).
+struct Split {
+  int attribute = -1;
+  bool is_numerical = true;
+  double value = 0.0;
+  std::vector<int32_t> subset;
+  /// Weighted impurity of the induced partition, used for ordering.
+  double impurity = 0.0;
+
+  static Split Numerical(int attr, double split_value, double imp) {
+    Split s;
+    s.attribute = attr;
+    s.is_numerical = true;
+    s.value = split_value;
+    s.impurity = imp;
+    return s;
+  }
+  static Split Categorical(int attr, std::vector<int32_t> split_subset,
+                           double imp) {
+    Split s;
+    s.attribute = attr;
+    s.is_numerical = false;
+    s.subset = std::move(split_subset);
+    s.impurity = imp;
+    return s;
+  }
+
+  /// \brief Whether `tuple` follows the left branch.
+  bool SendLeft(const Tuple& tuple) const;
+
+  /// \brief Structural equality of the criterion (ignores impurity).
+  bool SameCriterion(const Split& other) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief Total order used to break ties between candidate splits so that
+/// every algorithm selects the identical split: lower impurity wins; then
+/// lower attribute index; then smaller split value (numerical) or
+/// lexicographically smaller subset (categorical).
+///
+/// Impurity comparison is exact (no epsilon): all algorithms compute
+/// impurity from identical integer counts through identical code, so equal
+/// partitions yield bitwise-equal doubles.
+bool BetterSplit(const Split& a, const Split& b);
+
+/// \brief Canonical form for a splitting subset: of the two complementary
+/// subsets (relative to the categories present, i.e. with nonzero count at
+/// the node), the criterion stores the one containing the smallest present
+/// category. Guarantees a unique representation of each partition.
+/// \param present  sorted list of categories with nonzero count at the node
+std::vector<int32_t> CanonicalizeSubset(std::vector<int32_t> subset,
+                                        const std::vector<int32_t>& present);
+
+}  // namespace boat
+
+#endif  // BOAT_SPLIT_SPLIT_H_

@@ -1,0 +1,239 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace boat {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t' ||
+                         s[begin] == '\r')) {
+    ++begin;
+  }
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t' ||
+                         s[end - 1] == '\r')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool ParseNumber(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(field.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string EscapeCsv(const std::string& field, char delimiter) {
+  if (field.find(delimiter) == std::string::npos &&
+      field.find('"') == std::string::npos &&
+      field.find('\n') == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty()) {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(Trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(Trim(current));
+  return fields;
+}
+
+Result<CsvDataset> LoadCsv(const std::string& path,
+                           const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line, options.delimiter);
+    if (first && options.has_header) {
+      header = std::move(fields);
+      first = false;
+      continue;
+    }
+    first = false;
+    rows.push_back(std::move(fields));
+  }
+  if (rows.empty()) return Status::InvalidArgument("CSV has no data rows");
+
+  const int num_columns = static_cast<int>(rows.front().size());
+  if (num_columns < 2) {
+    return Status::InvalidArgument(
+        "CSV needs at least one attribute column plus the label");
+  }
+  for (const auto& row : rows) {
+    if (static_cast<int>(row.size()) != num_columns) {
+      return Status::InvalidArgument(StrPrintf(
+          "ragged CSV: expected %d fields, found %zu", num_columns,
+          row.size()));
+    }
+  }
+  int label_column = options.label_column;
+  if (label_column < 0) label_column = num_columns - 1;
+  if (label_column >= num_columns) {
+    return Status::InvalidArgument("label column out of range");
+  }
+
+  // Column type inference: numerical iff every value parses as a number.
+  std::vector<bool> numeric(static_cast<size_t>(num_columns), true);
+  for (const auto& row : rows) {
+    for (int c = 0; c < num_columns; ++c) {
+      double unused;
+      if (numeric[c] && !ParseNumber(row[c], &unused)) numeric[c] = false;
+    }
+  }
+
+  CsvDataset dataset;
+  std::vector<Attribute> attrs;
+  std::vector<int> column_of_attr;
+  std::vector<std::unordered_map<std::string, int32_t>> dicts;
+  for (int c = 0; c < num_columns; ++c) {
+    if (c == label_column) continue;
+    std::string name = (options.has_header && c < static_cast<int>(header.size()))
+                           ? header[c]
+                           : StrPrintf("col%d", c);
+    column_of_attr.push_back(c);
+    if (numeric[c]) {
+      attrs.push_back(Attribute::Numerical(std::move(name)));
+      dicts.emplace_back();
+      dataset.categories.emplace_back();
+    } else {
+      // Build the category dictionary in order of first appearance.
+      std::unordered_map<std::string, int32_t> dict;
+      std::vector<std::string> names;
+      for (const auto& row : rows) {
+        if (dict.emplace(row[c], static_cast<int32_t>(names.size())).second) {
+          names.push_back(row[c]);
+        }
+      }
+      attrs.push_back(
+          Attribute::Categorical(std::move(name),
+                                 static_cast<int32_t>(names.size())));
+      dicts.push_back(std::move(dict));
+      dataset.categories.push_back(std::move(names));
+    }
+  }
+
+  // Label dictionary (strings or numbers alike become class ids).
+  std::unordered_map<std::string, int32_t> label_dict;
+  for (const auto& row : rows) {
+    if (label_dict
+            .emplace(row[label_column],
+                     static_cast<int32_t>(dataset.class_names.size()))
+            .second) {
+      dataset.class_names.push_back(row[label_column]);
+    }
+  }
+  if (dataset.class_names.size() < 2) {
+    return Status::InvalidArgument("CSV label column has fewer than 2 classes");
+  }
+
+  dataset.schema = Schema(std::move(attrs),
+                          static_cast<int>(dataset.class_names.size()));
+  BOAT_RETURN_NOT_OK(dataset.schema.Validate());
+
+  dataset.tuples.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<double> values;
+    values.reserve(column_of_attr.size());
+    for (size_t a = 0; a < column_of_attr.size(); ++a) {
+      const int c = column_of_attr[a];
+      if (dataset.schema.IsNumerical(static_cast<int>(a))) {
+        double v = 0;
+        ParseNumber(row[c], &v);
+        values.push_back(v);
+      } else {
+        values.push_back(static_cast<double>(dicts[a].at(row[c])));
+      }
+    }
+    dataset.tuples.emplace_back(std::move(values),
+                                label_dict.at(row[label_column]));
+  }
+  return dataset;
+}
+
+Status WriteCsv(const std::string& path, const Schema& schema,
+                const std::vector<Tuple>& tuples,
+                const std::vector<std::vector<std::string>>& categories,
+                const std::vector<std::string>& class_names,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot create CSV file: " + path);
+  const char d = options.delimiter;
+  if (options.has_header) {
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      out << EscapeCsv(schema.attribute(a).name, d) << d;
+    }
+    out << "label\n";
+  }
+  for (const Tuple& t : tuples) {
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (schema.IsNumerical(a)) {
+        out << StrPrintf("%.17g", t.value(a));
+      } else if (static_cast<size_t>(a) < categories.size() &&
+                 !categories[a].empty()) {
+        out << EscapeCsv(categories[a][t.category(a)], d);
+      } else {
+        out << t.category(a);
+      }
+      out << d;
+    }
+    if (!class_names.empty()) {
+      out << EscapeCsv(class_names[t.label()], d);
+    } else {
+      out << t.label();
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("short write to CSV file: " + path);
+  return Status::OK();
+}
+
+}  // namespace boat

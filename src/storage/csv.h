@@ -1,0 +1,66 @@
+// CSV import/export: the adoption path for real datasets.
+//
+// LoadCsv reads a delimited text file, infers a schema (columns whose values
+// all parse as numbers become numerical attributes; everything else becomes
+// a categorical attribute with an automatically built category dictionary),
+// maps the label column (by default the last) to class ids, and returns the
+// tuples ready for any builder in the library.
+
+#ifndef BOAT_STORAGE_CSV_H_
+#define BOAT_STORAGE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace boat {
+
+/// \brief CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line holds column names.
+  bool has_header = true;
+  /// Index of the class-label column; -1 = last column.
+  int label_column = -1;
+};
+
+/// \brief A dataset loaded from CSV: schema, tuples, and the string
+/// dictionaries that map categorical ids and class ids back to their
+/// original values.
+struct CsvDataset {
+  Schema schema;
+  std::vector<Tuple> tuples;
+  /// Per attribute: category id -> original string (empty for numericals).
+  std::vector<std::vector<std::string>> categories;
+  /// Class id -> original label string.
+  std::vector<std::string> class_names;
+
+  /// \brief Original string of attribute `attr`'s category `id`.
+  const std::string& CategoryName(int attr, int32_t id) const {
+    return categories[attr][id];
+  }
+};
+
+/// \brief Parses one CSV line into fields (supports double-quoted fields
+/// with embedded delimiters and doubled quotes).
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter);
+
+/// \brief Loads a CSV file, inferring the schema.
+Result<CsvDataset> LoadCsv(const std::string& path,
+                           const CsvOptions& options = CsvOptions());
+
+/// \brief Writes tuples as CSV (header from the schema; categorical values
+/// and labels rendered through the provided dictionaries when non-empty).
+Status WriteCsv(const std::string& path, const Schema& schema,
+                const std::vector<Tuple>& tuples,
+                const std::vector<std::vector<std::string>>& categories = {},
+                const std::vector<std::string>& class_names = {},
+                const CsvOptions& options = CsvOptions());
+
+}  // namespace boat
+
+#endif  // BOAT_STORAGE_CSV_H_

@@ -1,0 +1,62 @@
+#include "storage/sampling.h"
+
+namespace boat {
+
+Result<std::vector<Tuple>> ReservoirSample(TupleSource* source,
+                                           size_t sample_size, Rng* rng,
+                                           uint64_t* stream_size) {
+  if (sample_size == 0) {
+    return Status::InvalidArgument("sample_size must be positive");
+  }
+  BOAT_RETURN_NOT_OK(source->Reset());
+  std::vector<Tuple> reservoir;
+  reservoir.reserve(sample_size);
+  Tuple t;
+  uint64_t seen = 0;
+  while (source->Next(&t)) {
+    ++seen;
+    if (reservoir.size() < sample_size) {
+      reservoir.push_back(t);
+    } else {
+      const uint64_t j = static_cast<uint64_t>(
+          rng->UniformInt(0, static_cast<int64_t>(seen) - 1));
+      if (j < sample_size) reservoir[j] = t;
+    }
+  }
+  if (stream_size != nullptr) *stream_size = seen;
+  return reservoir;
+}
+
+std::vector<Tuple> SampleWithReplacement(const std::vector<Tuple>& population,
+                                         size_t n, Rng* rng) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  if (population.empty()) return out;
+  const int64_t hi = static_cast<int64_t>(population.size()) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(population[rng->UniformInt(0, hi)]);
+  }
+  return out;
+}
+
+std::vector<Tuple> SampleWithoutReplacement(
+    const std::vector<Tuple>& population, size_t n, Rng* rng) {
+  if (n > population.size()) {
+    FatalError("SampleWithoutReplacement: n exceeds population size");
+  }
+  // Partial Fisher-Yates over an index permutation.
+  std::vector<size_t> idx(population.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = static_cast<size_t>(
+        rng->UniformInt(static_cast<int64_t>(i),
+                        static_cast<int64_t>(idx.size()) - 1));
+    std::swap(idx[i], idx[j]);
+    out.push_back(population[idx[i]]);
+  }
+  return out;
+}
+
+}  // namespace boat

@@ -1,0 +1,39 @@
+// Random sampling over tuple streams.
+//
+// The sampling phase of BOAT needs (a) a fixed-size uniform random sample of
+// the training database obtained in one scan (reservoir sampling, Vitter's
+// Algorithm R) and (b) bootstrap resamples drawn with replacement from an
+// in-memory sample.
+
+#ifndef BOAT_STORAGE_SAMPLING_H_
+#define BOAT_STORAGE_SAMPLING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "storage/tuple_source.h"
+
+namespace boat {
+
+/// \brief Draws a uniform random sample of (up to) `sample_size` tuples from
+/// `source` in a single sequential scan (reservoir sampling). If the stream
+/// has fewer tuples than `sample_size`, the whole stream is returned.
+/// If `stream_size` is non-null, it receives the number of tuples scanned.
+Result<std::vector<Tuple>> ReservoirSample(TupleSource* source,
+                                           size_t sample_size, Rng* rng,
+                                           uint64_t* stream_size = nullptr);
+
+/// \brief Draws `n` tuples uniformly with replacement from `population`
+/// (bootstrap resampling).
+std::vector<Tuple> SampleWithReplacement(const std::vector<Tuple>& population,
+                                         size_t n, Rng* rng);
+
+/// \brief Draws `n` distinct indices' tuples uniformly without replacement
+/// from `population` (partial Fisher-Yates). Requires n <= population size.
+std::vector<Tuple> SampleWithoutReplacement(
+    const std::vector<Tuple>& population, size_t n, Rng* rng);
+
+}  // namespace boat
+
+#endif  // BOAT_STORAGE_SAMPLING_H_

@@ -1,0 +1,66 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace boat {
+
+Schema::Schema(std::vector<Attribute> attributes, int num_classes)
+    : attributes_(std::move(attributes)), num_classes_(num_classes) {}
+
+int Schema::FindAttribute(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return -1;
+}
+
+size_t Schema::RecordWidth() const {
+  size_t width = 4;  // class label
+  for (const Attribute& a : attributes_) {
+    width += (a.type == AttributeType::kNumerical) ? 8 : 4;
+  }
+  return width;
+}
+
+uint64_t Schema::Fingerprint() const {
+  // FNV-1a over the structural description.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<uint64_t>(num_classes_));
+  for (const Attribute& a : attributes_) {
+    for (char c : a.name) mix(static_cast<uint8_t>(c));
+    mix(static_cast<uint64_t>(a.type));
+    mix(static_cast<uint64_t>(a.cardinality));
+  }
+  return h;
+}
+
+Status Schema::Validate() const {
+  if (num_classes_ < 2) {
+    return Status::InvalidArgument("schema needs at least 2 classes");
+  }
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  std::unordered_set<std::string> names;
+  for (const Attribute& a : attributes_) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute with empty name");
+    }
+    if (!names.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + a.name);
+    }
+    if (a.type == AttributeType::kCategorical && a.cardinality < 2) {
+      return Status::InvalidArgument(StrPrintf(
+          "categorical attribute %s needs cardinality >= 2", a.name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace boat

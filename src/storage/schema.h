@@ -1,0 +1,81 @@
+// Dataset schema: typed predictor attributes plus a class label.
+
+#ifndef BOAT_STORAGE_SCHEMA_H_
+#define BOAT_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace boat {
+
+/// \brief Type of a predictor attribute.
+enum class AttributeType : uint8_t {
+  kNumerical,   ///< Totally ordered domain; splits are of the form X <= x.
+  kCategorical  ///< Unordered finite domain {0..cardinality-1}; splits X in Y.
+};
+
+/// \brief One predictor attribute of the training database.
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kNumerical;
+  /// Domain size for categorical attributes (values are 0..cardinality-1);
+  /// ignored for numerical attributes.
+  int32_t cardinality = 0;
+
+  static Attribute Numerical(std::string attr_name) {
+    return Attribute{std::move(attr_name), AttributeType::kNumerical, 0};
+  }
+  static Attribute Categorical(std::string attr_name, int32_t card) {
+    return Attribute{std::move(attr_name), AttributeType::kCategorical, card};
+  }
+
+  bool operator==(const Attribute& other) const = default;
+};
+
+/// \brief Schema of a training database: predictor attributes X_1..X_m and
+/// the number of class labels k (labels are 0..k-1).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<Attribute> attributes, int num_classes);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  int num_classes() const { return num_classes_; }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  bool IsNumerical(int i) const {
+    return attributes_[i].type == AttributeType::kNumerical;
+  }
+  bool IsCategorical(int i) const {
+    return attributes_[i].type == AttributeType::kCategorical;
+  }
+
+  /// \brief Index of the attribute with the given name, or -1.
+  int FindAttribute(const std::string& name) const;
+
+  /// \brief On-disk record width in bytes (8 per numerical value, 4 per
+  /// categorical value, 4 for the class label).
+  size_t RecordWidth() const;
+
+  /// \brief Stable 64-bit fingerprint of the schema, stored in table file
+  /// headers to detect schema mismatches when reopening files.
+  uint64_t Fingerprint() const;
+
+  /// \brief Validates attribute definitions (unique names, positive
+  /// categorical cardinalities, at least two classes).
+  Status Validate() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<Attribute> attributes_;
+  int num_classes_ = 0;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_STORAGE_SCHEMA_H_

@@ -1,0 +1,203 @@
+#include "storage/table_file.h"
+
+#include <cstring>
+
+#include "common/io_stats.h"
+#include "common/str_util.h"
+
+namespace boat {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x424f415454424c31ULL;  // "BOATTBL1"
+constexpr size_t kHeaderSize = 24;
+constexpr size_t kIoBufferSize = 1 << 16;
+
+void EncodeU64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+uint64_t DecodeU64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+// Encodes one tuple into buf (which must have RecordWidth() capacity).
+void EncodeRecord(const Schema& schema, const Tuple& t, char* buf) {
+  char* p = buf;
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (schema.IsNumerical(i)) {
+      const double v = t.value(i);
+      std::memcpy(p, &v, 8);
+      p += 8;
+    } else {
+      const int32_t v = t.category(i);
+      std::memcpy(p, &v, 4);
+      p += 4;
+    }
+  }
+  const int32_t label = t.label();
+  std::memcpy(p, &label, 4);
+}
+
+void DecodeRecord(const Schema& schema, const char* buf, Tuple* t) {
+  std::vector<double> values(schema.num_attributes());
+  const char* p = buf;
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (schema.IsNumerical(i)) {
+      double v;
+      std::memcpy(&v, p, 8);
+      values[i] = v;
+      p += 8;
+    } else {
+      int32_t v;
+      std::memcpy(&v, p, 4);
+      values[i] = static_cast<double>(v);
+      p += 4;
+    }
+  }
+  int32_t label;
+  std::memcpy(&label, p, 4);
+  *t = Tuple(std::move(values), label);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TableWriter
+
+TableWriter::TableWriter(std::FILE* file, Schema schema)
+    : file_(file), schema_(std::move(schema)) {
+  encode_buf_.resize(schema_.RecordWidth());
+  std::setvbuf(file_, nullptr, _IOFBF, kIoBufferSize);
+}
+
+Result<std::unique_ptr<TableWriter>> TableWriter::Create(
+    const std::string& path, const Schema& schema) {
+  BOAT_RETURN_NOT_OK(schema.Validate());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create table file: " + path);
+  }
+  char header[kHeaderSize];
+  EncodeU64(header, kMagic);
+  EncodeU64(header + 8, schema.Fingerprint());
+  EncodeU64(header + 16, 0);  // record count, patched by Finish()
+  if (std::fwrite(header, 1, kHeaderSize, f) != kHeaderSize) {
+    std::fclose(f);
+    return Status::IOError("cannot write table header: " + path);
+  }
+  return std::unique_ptr<TableWriter>(new TableWriter(f, schema));
+}
+
+TableWriter::~TableWriter() {
+  if (!finished_) CheckOk(Finish());
+}
+
+Status TableWriter::Append(const Tuple& tuple) {
+  if (finished_) return Status::Internal("Append after Finish");
+  if (tuple.num_values() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        StrPrintf("tuple arity %d does not match schema arity %d",
+                  tuple.num_values(), schema_.num_attributes()));
+  }
+  EncodeRecord(schema_, tuple, encode_buf_.data());
+  if (std::fwrite(encode_buf_.data(), 1, encode_buf_.size(), file_) !=
+      encode_buf_.size()) {
+    return Status::IOError("short write to table file");
+  }
+  ++rows_;
+  io_internal::RecordWrite(1, encode_buf_.size());
+  return Status::OK();
+}
+
+Status TableWriter::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  char count[8];
+  EncodeU64(count, rows_);
+  if (std::fseek(file_, 16, SEEK_SET) != 0 ||
+      std::fwrite(count, 1, 8, file_) != 8 || std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IOError("cannot finalize table file");
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- TableReader
+
+TableReader::TableReader(std::FILE* file, Schema schema, uint64_t num_rows)
+    : file_(file), schema_(std::move(schema)), num_rows_(num_rows) {
+  decode_buf_.resize(schema_.RecordWidth());
+  std::setvbuf(file_, nullptr, _IOFBF, kIoBufferSize);
+  io_internal::RecordScanStart();
+}
+
+Result<std::unique_ptr<TableReader>> TableReader::Open(const std::string& path,
+                                                       const Schema& schema) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open table file: " + path);
+  }
+  char header[kHeaderSize];
+  if (std::fread(header, 1, kHeaderSize, f) != kHeaderSize) {
+    std::fclose(f);
+    return Status::Corruption("truncated table header: " + path);
+  }
+  if (DecodeU64(header) != kMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad table magic: " + path);
+  }
+  if (DecodeU64(header + 8) != schema.Fingerprint()) {
+    std::fclose(f);
+    return Status::InvalidArgument("schema mismatch for table: " + path);
+  }
+  const uint64_t rows = DecodeU64(header + 16);
+  return std::unique_ptr<TableReader>(new TableReader(f, schema, rows));
+}
+
+TableReader::~TableReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool TableReader::Next(Tuple* tuple) {
+  if (cursor_ >= num_rows_) return false;
+  if (std::fread(decode_buf_.data(), 1, decode_buf_.size(), file_) !=
+      decode_buf_.size()) {
+    FatalError("table file truncated mid-record");
+  }
+  DecodeRecord(schema_, decode_buf_.data(), tuple);
+  ++cursor_;
+  io_internal::RecordRead(1, decode_buf_.size());
+  return true;
+}
+
+Status TableReader::Reset() {
+  if (std::fseek(file_, kHeaderSize, SEEK_SET) != 0) {
+    return Status::IOError("cannot seek table file");
+  }
+  cursor_ = 0;
+  io_internal::RecordScanStart();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- convenience
+
+Status WriteTable(const std::string& path, const Schema& schema,
+                  const std::vector<Tuple>& tuples) {
+  BOAT_ASSIGN_OR_RETURN(auto writer, TableWriter::Create(path, schema));
+  for (const Tuple& t : tuples) {
+    BOAT_RETURN_NOT_OK(writer->Append(t));
+  }
+  return writer->Finish();
+}
+
+Result<std::vector<Tuple>> ReadTable(const std::string& path,
+                                     const Schema& schema) {
+  BOAT_ASSIGN_OR_RETURN(auto reader, TableReader::Open(path, schema));
+  std::vector<Tuple> tuples;
+  tuples.reserve(reader->num_rows());
+  Tuple t;
+  while (reader->Next(&t)) tuples.push_back(t);
+  return tuples;
+}
+
+}  // namespace boat

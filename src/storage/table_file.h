@@ -1,0 +1,97 @@
+// Disk-resident training tables: fixed-width binary record files.
+//
+// Layout:
+//   header  : magic (8B) | schema fingerprint (8B) | record count (8B)
+//   records : per attribute, 8B little-endian double (numerical) or
+//             4B int32 (categorical); then 4B int32 class label.
+//
+// The reader performs buffered sequential scans and feeds the global I/O
+// statistics counters, so benchmark harnesses can report scan volume.
+
+#ifndef BOAT_STORAGE_TABLE_FILE_H_
+#define BOAT_STORAGE_TABLE_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace boat {
+
+/// \brief Appends tuples to a binary table file. Call Finish() (or let the
+/// destructor do it) to finalize the header record count.
+class TableWriter {
+ public:
+  /// \brief Creates (truncates) `path` and writes a header for `schema`.
+  static Result<std::unique_ptr<TableWriter>> Create(const std::string& path,
+                                                     const Schema& schema);
+  ~TableWriter();
+
+  TableWriter(const TableWriter&) = delete;
+  TableWriter& operator=(const TableWriter&) = delete;
+
+  /// \brief Appends one tuple; the tuple must match the writer's schema.
+  Status Append(const Tuple& tuple);
+
+  /// \brief Flushes buffered records and patches the record count into the
+  /// header. The writer is unusable afterwards.
+  Status Finish();
+
+  uint64_t rows_written() const { return rows_; }
+
+ private:
+  TableWriter(std::FILE* file, Schema schema);
+
+  std::FILE* file_;
+  Schema schema_;
+  uint64_t rows_ = 0;
+  bool finished_ = false;
+  std::vector<char> encode_buf_;
+};
+
+/// \brief Buffered sequential reader over a table file.
+class TableReader {
+ public:
+  /// \brief Opens `path` and validates header magic and schema fingerprint.
+  static Result<std::unique_ptr<TableReader>> Open(const std::string& path,
+                                                   const Schema& schema);
+  ~TableReader();
+
+  TableReader(const TableReader&) = delete;
+  TableReader& operator=(const TableReader&) = delete;
+
+  /// \brief Reads the next tuple into *tuple. Returns false at end of table.
+  bool Next(Tuple* tuple);
+
+  /// \brief Rewinds to the first record (a new scan; bumps the scan counter).
+  Status Reset();
+
+  uint64_t num_rows() const { return num_rows_; }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  TableReader(std::FILE* file, Schema schema, uint64_t num_rows);
+
+  std::FILE* file_;
+  Schema schema_;
+  uint64_t num_rows_;
+  uint64_t cursor_ = 0;
+  std::vector<char> decode_buf_;
+};
+
+/// \brief Convenience: writes `tuples` to `path` as a table file.
+Status WriteTable(const std::string& path, const Schema& schema,
+                  const std::vector<Tuple>& tuples);
+
+/// \brief Convenience: reads the entire table at `path` into memory.
+Result<std::vector<Tuple>> ReadTable(const std::string& path,
+                                     const Schema& schema);
+
+}  // namespace boat
+
+#endif  // BOAT_STORAGE_TABLE_FILE_H_

@@ -1,0 +1,62 @@
+#include "storage/temp_file.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/str_util.h"
+
+namespace boat {
+
+namespace fs = std::filesystem;
+
+Result<TempFileManager> TempFileManager::Create(const std::string& base_dir) {
+  std::string base = base_dir;
+  if (base.empty()) {
+    const char* env = std::getenv("BOAT_TMPDIR");
+    base = (env != nullptr && env[0] != '\0') ? env : "/tmp";
+  }
+  std::error_code ec;
+  fs::create_directories(base, ec);
+  if (ec) return Status::IOError("cannot create base dir: " + base);
+  // Find an unused subdirectory name.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const std::string candidate =
+        base + StrPrintf("/boat-scratch-%d-%d", static_cast<int>(::getpid()),
+                         attempt);
+    if (fs::create_directory(candidate, ec) && !ec) {
+      return TempFileManager(candidate);
+    }
+  }
+  return Status::IOError("cannot create scratch directory under " + base);
+}
+
+TempFileManager::TempFileManager(TempFileManager&& other) noexcept
+    : dir_(std::move(other.dir_)), counter_(other.counter_) {
+  other.dir_.clear();
+}
+
+TempFileManager& TempFileManager::operator=(TempFileManager&& other) noexcept {
+  if (this != &other) {
+    this->~TempFileManager();
+    dir_ = std::move(other.dir_);
+    counter_ = other.counter_;
+    other.dir_.clear();
+  }
+  return *this;
+}
+
+TempFileManager::~TempFileManager() {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);  // best effort
+  }
+}
+
+std::string TempFileManager::NewPath(const std::string& hint) {
+  return dir_ + StrPrintf("/%s-%llu.tbl", hint.c_str(),
+                          static_cast<unsigned long long>(counter_++));
+}
+
+}  // namespace boat

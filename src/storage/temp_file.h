@@ -1,0 +1,41 @@
+// Temporary-file management for spill files (the S_n files of the paper).
+
+#ifndef BOAT_STORAGE_TEMP_FILE_H_
+#define BOAT_STORAGE_TEMP_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace boat {
+
+/// \brief Hands out unique file paths under a scratch directory and removes
+/// the directory tree on destruction.
+class TempFileManager {
+ public:
+  /// \brief Creates a fresh scratch directory under `base_dir` (defaults to
+  /// the BOAT_TMPDIR environment variable, then /tmp).
+  static Result<TempFileManager> Create(const std::string& base_dir = "");
+
+  TempFileManager(TempFileManager&& other) noexcept;
+  TempFileManager& operator=(TempFileManager&& other) noexcept;
+  TempFileManager(const TempFileManager&) = delete;
+  TempFileManager& operator=(const TempFileManager&) = delete;
+  ~TempFileManager();
+
+  /// \brief Returns a unique path (the file itself is not created).
+  std::string NewPath(const std::string& hint);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit TempFileManager(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;  // empty after move-from
+  uint64_t counter_ = 0;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_STORAGE_TEMP_FILE_H_

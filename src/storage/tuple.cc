@@ -1,0 +1,21 @@
+#include "storage/tuple.h"
+
+#include "common/str_util.h"
+
+namespace boat {
+
+std::string Tuple::ToString(const Schema& schema) const {
+  std::string out = "(";
+  for (int i = 0; i < num_values(); ++i) {
+    if (i > 0) out += ", ";
+    if (i < schema.num_attributes() && schema.IsCategorical(i)) {
+      out += StrPrintf("%d", category(i));
+    } else {
+      out += StrPrintf("%g", value(i));
+    }
+  }
+  out += StrPrintf(") -> %d", label_);
+  return out;
+}
+
+}  // namespace boat

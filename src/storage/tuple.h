@@ -1,0 +1,51 @@
+// Tuple: one training record (predictor values + class label).
+
+#ifndef BOAT_STORAGE_TUPLE_H_
+#define BOAT_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace boat {
+
+/// \brief One training record. Values are stored uniformly as doubles;
+/// categorical values are small non-negative integers (exact in a double).
+///
+/// Tuples are schema-relative: value(i) is the value of attribute i of the
+/// schema the tuple was created against. Equality is exact (bitwise on the
+/// doubles), which is sound because all data flows from deterministic
+/// generators or files, never from lossy re-computation.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::vector<double> values, int32_t label)
+      : values_(std::move(values)), label_(label) {}
+
+  int num_values() const { return static_cast<int>(values_.size()); }
+  double value(int i) const { return values_[i]; }
+  void set_value(int i, double v) { values_[i] = v; }
+
+  /// \brief Categorical accessor: the value as a category index.
+  int32_t category(int i) const { return static_cast<int32_t>(values_[i]); }
+
+  int32_t label() const { return label_; }
+  void set_label(int32_t label) { label_ = label; }
+
+  const std::vector<double>& values() const { return values_; }
+
+  bool operator==(const Tuple& other) const = default;
+
+  /// \brief Debug rendering, e.g. "(23.5, 1, 70000) -> 0".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<double> values_;
+  int32_t label_ = 0;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_STORAGE_TUPLE_H_

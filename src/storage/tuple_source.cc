@@ -1,0 +1,77 @@
+#include "storage/tuple_source.h"
+
+namespace boat {
+
+// --------------------------------------------------------------- VectorSource
+
+VectorSource::VectorSource(Schema schema, std::vector<Tuple> tuples)
+    : schema_(std::move(schema)),
+      tuples_(std::make_shared<const std::vector<Tuple>>(std::move(tuples))) {}
+
+bool VectorSource::Next(Tuple* tuple) {
+  if (cursor_ >= tuples_->size()) return false;
+  *tuple = (*tuples_)[cursor_++];
+  return true;
+}
+
+Status VectorSource::Reset() {
+  cursor_ = 0;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ TableScanSource
+
+Result<std::unique_ptr<TableScanSource>> TableScanSource::Open(
+    const std::string& path, const Schema& schema) {
+  BOAT_ASSIGN_OR_RETURN(auto reader, TableReader::Open(path, schema));
+  return std::unique_ptr<TableScanSource>(
+      new TableScanSource(std::move(reader)));
+}
+
+bool TableScanSource::Next(Tuple* tuple) { return reader_->Next(tuple); }
+
+Status TableScanSource::Reset() { return reader_->Reset(); }
+
+// --------------------------------------------------------------- FilterSource
+
+bool FilterSource::Next(Tuple* tuple) {
+  while (input_->Next(tuple)) {
+    if (pred_(*tuple)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- ChainSource
+
+ChainSource::ChainSource(std::vector<std::unique_ptr<TupleSource>> inputs)
+    : inputs_(std::move(inputs)) {
+  if (inputs_.empty()) FatalError("ChainSource needs at least one input");
+}
+
+bool ChainSource::Next(Tuple* tuple) {
+  while (current_ < inputs_.size()) {
+    if (inputs_[current_]->Next(tuple)) return true;
+    ++current_;
+  }
+  return false;
+}
+
+Status ChainSource::Reset() {
+  for (auto& input : inputs_) {
+    BOAT_RETURN_NOT_OK(input->Reset());
+  }
+  current_ = 0;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- Materialize
+
+Result<std::vector<Tuple>> Materialize(TupleSource* source) {
+  BOAT_RETURN_NOT_OK(source->Reset());
+  std::vector<Tuple> out;
+  Tuple t;
+  while (source->Next(&t)) out.push_back(t);
+  return out;
+}
+
+}  // namespace boat

@@ -1,0 +1,112 @@
+// TupleSource: a restartable stream of tuples.
+//
+// BOAT never requires the training database to be materialized — it only
+// needs (a) sequential scans and (b) random samples. TupleSource is the
+// abstraction both come through: a source can be a disk table, an in-memory
+// vector, a synthetic generator, or a filtered view over another source
+// (simulating a training database defined by a warehouse query).
+
+#ifndef BOAT_STORAGE_TUPLE_SOURCE_H_
+#define BOAT_STORAGE_TUPLE_SOURCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table_file.h"
+#include "storage/tuple.h"
+
+namespace boat {
+
+/// \brief Restartable forward stream of tuples sharing one schema.
+class TupleSource {
+ public:
+  virtual ~TupleSource() = default;
+
+  /// \brief Produces the next tuple; returns false at end of stream.
+  virtual bool Next(Tuple* tuple) = 0;
+
+  /// \brief Restarts the stream from the beginning (a fresh scan).
+  virtual Status Reset() = 0;
+
+  /// \brief The schema all produced tuples conform to.
+  virtual const Schema& schema() const = 0;
+};
+
+/// \brief Source over an in-memory vector of tuples (copies are cheap views
+/// through a shared_ptr so samples can share storage).
+class VectorSource : public TupleSource {
+ public:
+  VectorSource(Schema schema, std::vector<Tuple> tuples);
+
+  bool Next(Tuple* tuple) override;
+  Status Reset() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+  std::shared_ptr<const std::vector<Tuple>> tuples_;
+  size_t cursor_ = 0;
+};
+
+/// \brief Source scanning a table file on disk. Each Reset() is a new scan.
+class TableScanSource : public TupleSource {
+ public:
+  /// \brief Opens the table at `path`; validates against `schema`.
+  static Result<std::unique_ptr<TableScanSource>> Open(const std::string& path,
+                                                       const Schema& schema);
+
+  bool Next(Tuple* tuple) override;
+  Status Reset() override;
+  const Schema& schema() const override { return reader_->schema(); }
+
+  uint64_t num_rows() const { return reader_->num_rows(); }
+
+ private:
+  explicit TableScanSource(std::unique_ptr<TableReader> reader)
+      : reader_(std::move(reader)) {}
+
+  std::unique_ptr<TableReader> reader_;
+};
+
+/// \brief Filtered view over another source; keeps tuples satisfying `pred`.
+/// Simulates a training database defined by a (star-join) selection query
+/// that is never materialized.
+class FilterSource : public TupleSource {
+ public:
+  FilterSource(std::unique_ptr<TupleSource> input,
+               std::function<bool(const Tuple&)> pred)
+      : input_(std::move(input)), pred_(std::move(pred)) {}
+
+  bool Next(Tuple* tuple) override;
+  Status Reset() override { return input_->Reset(); }
+  const Schema& schema() const override { return input_->schema(); }
+
+ private:
+  std::unique_ptr<TupleSource> input_;
+  std::function<bool(const Tuple&)> pred_;
+};
+
+/// \brief Concatenation of several sources with identical schemas; used to
+/// view "base data + arrived chunks" as one logical training database.
+class ChainSource : public TupleSource {
+ public:
+  explicit ChainSource(std::vector<std::unique_ptr<TupleSource>> inputs);
+
+  bool Next(Tuple* tuple) override;
+  Status Reset() override;
+  const Schema& schema() const override { return inputs_.front()->schema(); }
+
+ private:
+  std::vector<std::unique_ptr<TupleSource>> inputs_;
+  size_t current_ = 0;
+};
+
+/// \brief Drains a source into a vector (resets it first).
+Result<std::vector<Tuple>> Materialize(TupleSource* source);
+
+}  // namespace boat
+
+#endif  // BOAT_STORAGE_TUPLE_SOURCE_H_

@@ -1,0 +1,214 @@
+#include "storage/tuple_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+namespace boat {
+
+std::string TupleKeyBytes(const Tuple& tuple) {
+  std::string key;
+  key.resize(tuple.values().size() * sizeof(double) + sizeof(int32_t));
+  char* p = key.data();
+  for (const double v : tuple.values()) {
+    std::memcpy(p, &v, sizeof(double));
+    p += sizeof(double);
+  }
+  const int32_t label = tuple.label();
+  std::memcpy(p, &label, sizeof(int32_t));
+  return key;
+}
+
+SpillableTupleStore::SpillableTupleStore(Schema schema, TempFileManager* temp,
+                                         std::string hint,
+                                         size_t max_in_memory)
+    : schema_(std::move(schema)),
+      temp_(temp),
+      hint_(std::move(hint)),
+      max_in_memory_(std::max<size_t>(max_in_memory, 1)) {}
+
+Status SpillableTupleStore::Append(const Tuple& tuple) {
+  ++live_[TupleKeyBytes(tuple)];
+  mem_.push_back(tuple);
+  ++size_;
+  if (mem_.size() > max_in_memory_) {
+    BOAT_RETURN_NOT_OK(Flush());
+  }
+  return Status::OK();
+}
+
+Status SpillableTupleStore::Flush() {
+  if (mem_.empty()) return Status::OK();
+  const std::string path = temp_->NewPath(hint_);
+  BOAT_ASSIGN_OR_RETURN(auto writer, TableWriter::Create(path, schema_));
+  for (const Tuple& t : mem_) {
+    BOAT_RETURN_NOT_OK(writer->Append(t));
+  }
+  BOAT_RETURN_NOT_OK(writer->Finish());
+  segments_.push_back(path);
+  mem_.clear();
+  return Status::OK();
+}
+
+Status SpillableTupleStore::RemoveOne(const Tuple& tuple) {
+  std::string key = TupleKeyBytes(tuple);
+  auto it = live_.find(key);
+  if (it == live_.end()) {
+    return Status::NotFound("tuple not present in store");
+  }
+  if (--it->second == 0) live_.erase(it);
+  ++dead_[std::move(key)];
+  ++dead_total_;
+  --size_;
+  if (dead_total_ > max_in_memory_ && dead_total_ > size_ / 2) {
+    BOAT_RETURN_NOT_OK(Compact());
+  }
+  return Status::OK();
+}
+
+Status SpillableTupleStore::ForEach(
+    const std::function<void(const Tuple&)>& fn) const {
+  // Tombstones each cancel one equal tuple.
+  std::unordered_map<std::string, int64_t> pending = dead_;
+  auto cancels = [&pending](const Tuple& t) {
+    auto it = pending.find(TupleKeyBytes(t));
+    if (it == pending.end()) return false;
+    if (--it->second == 0) pending.erase(it);
+    return true;
+  };
+  for (const std::string& seg : segments_) {
+    BOAT_ASSIGN_OR_RETURN(auto reader, TableReader::Open(seg, schema_));
+    Tuple t;
+    while (reader->Next(&t)) {
+      if (!pending.empty() && cancels(t)) continue;
+      fn(t);
+    }
+  }
+  for (const Tuple& t : mem_) {
+    if (!pending.empty() && cancels(t)) continue;
+    fn(t);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> SpillableTupleStore::ToVector() const {
+  std::vector<Tuple> out;
+  out.reserve(size_);
+  BOAT_RETURN_NOT_OK(ForEach([&out](const Tuple& t) { out.push_back(t); }));
+  return out;
+}
+
+Status SpillableTupleStore::Clear() {
+  mem_.clear();
+  live_.clear();
+  dead_.clear();
+  dead_total_ = 0;
+  size_ = 0;
+  for (const std::string& seg : segments_) {
+    std::error_code ec;
+    std::filesystem::remove(seg, ec);  // best effort
+  }
+  segments_.clear();
+  return Status::OK();
+}
+
+namespace {
+
+// Streams a store's segments and memory tail, cancelling tombstones.
+class StoreScanSource : public TupleSource {
+ public:
+  StoreScanSource(const Schema& schema,
+                  const std::vector<std::string>* segments,
+                  const std::vector<Tuple>* mem,
+                  const std::unordered_map<std::string, int64_t>* dead)
+      : schema_(schema), segments_(segments), mem_(mem), dead_(dead) {
+    CheckOk(Reset());
+  }
+
+  bool Next(Tuple* tuple) override {
+    while (true) {
+      if (reader_ != nullptr) {
+        if (reader_->Next(tuple)) {
+          if (!pending_.empty() && Cancels(*tuple)) continue;
+          return true;
+        }
+        reader_.reset();
+        ++segment_;
+        if (!OpenCurrentSegment()) return false;
+        continue;
+      }
+      while (mem_cursor_ < mem_->size()) {
+        *tuple = (*mem_)[mem_cursor_++];
+        if (!pending_.empty() && Cancels(*tuple)) continue;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  Status Reset() override {
+    pending_ = *dead_;
+    segment_ = 0;
+    mem_cursor_ = 0;
+    reader_.reset();
+    if (!OpenCurrentSegment()) {
+      return Status::Internal("cannot open store segment");
+    }
+    return Status::OK();
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  bool Cancels(const Tuple& t) {
+    auto it = pending_.find(TupleKeyBytes(t));
+    if (it == pending_.end()) return false;
+    if (--it->second == 0) pending_.erase(it);
+    return true;
+  }
+
+  // Positions the reader at segment_ (or leaves it null when segments are
+  // exhausted); returns false only on open error.
+  bool OpenCurrentSegment() {
+    if (segment_ >= segments_->size()) return true;  // memory tail next
+    auto reader = TableReader::Open((*segments_)[segment_], schema_);
+    if (!reader.ok()) return false;
+    reader_ = std::move(reader).ValueOrDie();
+    return true;
+  }
+
+  Schema schema_;
+  const std::vector<std::string>* segments_;
+  const std::vector<Tuple>* mem_;
+  const std::unordered_map<std::string, int64_t>* dead_;
+  std::unordered_map<std::string, int64_t> pending_;
+  size_t segment_ = 0;
+  size_t mem_cursor_ = 0;
+  std::unique_ptr<TableReader> reader_;
+};
+
+}  // namespace
+
+std::unique_ptr<TupleSource> SpillableTupleStore::MakeSource() const {
+  return std::make_unique<StoreScanSource>(schema_, &segments_, &mem_,
+                                           &dead_);
+}
+
+Status SpillableTupleStore::Compact() {
+  BOAT_ASSIGN_OR_RETURN(auto all, ToVector());
+  for (const std::string& seg : segments_) {
+    std::error_code ec;
+    std::filesystem::remove(seg, ec);
+  }
+  segments_.clear();
+  dead_.clear();
+  dead_total_ = 0;
+  mem_ = std::move(all);
+  // live_ is already correct (it tracks live tuples only).
+  if (mem_.size() > max_in_memory_) {
+    BOAT_RETURN_NOT_OK(Flush());
+  }
+  return Status::OK();
+}
+
+}  // namespace boat

@@ -1,0 +1,95 @@
+// SpillableTupleStore: an append-mostly tuple container that lives in memory
+// while small and transparently spills to temp table files when it grows
+// past a threshold. Implements the paper's per-node S_n files ("the
+// implementation ... writes temporary files to disk to be truly scalable")
+// and the frontier-node family stores.
+
+#ifndef BOAT_STORAGE_TUPLE_STORE_H_
+#define BOAT_STORAGE_TUPLE_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table_file.h"
+#include "storage/temp_file.h"
+#include "storage/tuple.h"
+#include "storage/tuple_source.h"
+
+namespace boat {
+
+/// \brief Serialized byte key of a tuple, used for exact multiset lookups.
+std::string TupleKeyBytes(const Tuple& tuple);
+
+/// \brief Tuple container with bounded in-memory footprint for the tuples
+/// themselves: overflow is flushed to spill segment files; reads stream
+/// through the segments sequentially.
+///
+/// Removal (needed by incremental deletion) is O(1): a hash multiset tracks
+/// the multiplicity of every live tuple, removals record lazy tombstones
+/// that reads cancel and compaction applies. The index costs one hash entry
+/// per distinct stored tuple.
+class SpillableTupleStore {
+ public:
+  /// \param schema        schema of the stored tuples
+  /// \param temp          manager providing spill paths (must outlive this)
+  /// \param hint          name fragment for spill files
+  /// \param max_in_memory in-memory tuple budget before spilling
+  SpillableTupleStore(Schema schema, TempFileManager* temp, std::string hint,
+                      size_t max_in_memory);
+
+  SpillableTupleStore(SpillableTupleStore&&) = default;
+  SpillableTupleStore& operator=(SpillableTupleStore&&) = default;
+
+  /// \brief Appends one tuple.
+  Status Append(const Tuple& tuple);
+
+  /// \brief Removes one tuple equal to `tuple`. Returns NotFound if absent.
+  Status RemoveOne(const Tuple& tuple);
+
+  /// \brief Invokes `fn` on every live tuple (order unspecified).
+  Status ForEach(const std::function<void(const Tuple&)>& fn) const;
+
+  /// \brief Copies all live tuples into a vector.
+  Result<std::vector<Tuple>> ToVector() const;
+
+  /// \brief Number of live tuples.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// \brief Whether the store currently has disk segments.
+  bool spilled() const { return !segments_.empty(); }
+
+  /// \brief Discards all contents (segment files are deleted).
+  Status Clear();
+
+  /// \brief Creates a restartable TupleSource over the store's live tuples.
+  /// The store must outlive the source and must not be mutated while the
+  /// source is in use. Each Reset() streams the disk segments again.
+  std::unique_ptr<TupleSource> MakeSource() const;
+
+ private:
+  Status Flush();    // moves mem_ into a new segment
+  Status Compact();  // rewrites everything, applying tombstones
+
+  Schema schema_;
+  TempFileManager* temp_;
+  std::string hint_;
+  size_t max_in_memory_;
+  size_t size_ = 0;
+  size_t dead_total_ = 0;
+
+  std::vector<Tuple> mem_;             // in-memory tail (may hold dead rows)
+  std::vector<std::string> segments_;  // spill segment files
+  /// Multiplicity of every live tuple (key = TupleKeyBytes).
+  std::unordered_map<std::string, int64_t> live_;
+  /// Pending cancellations against mem_/segments_ rows.
+  std::unordered_map<std::string, int64_t> dead_;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_STORAGE_TUPLE_STORE_H_

@@ -1,0 +1,140 @@
+#include "tree/decision_tree.h"
+
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace boat {
+
+// ------------------------------------------------------------------- TreeNode
+
+int32_t TreeNode::MajorityLabel() const {
+  int32_t best = 0;
+  for (size_t i = 1; i < class_counts.size(); ++i) {
+    if (class_counts[i] > class_counts[best]) best = static_cast<int32_t>(i);
+  }
+  return best;
+}
+
+int64_t TreeNode::family_size() const {
+  int64_t total = 0;
+  for (const int64_t c : class_counts) total += c;
+  return total;
+}
+
+std::unique_ptr<TreeNode> TreeNode::Clone() const {
+  auto copy = std::make_unique<TreeNode>();
+  copy->split = split;
+  copy->class_counts = class_counts;
+  if (left != nullptr) copy->left = left->Clone();
+  if (right != nullptr) copy->right = right->Clone();
+  return copy;
+}
+
+std::unique_ptr<TreeNode> TreeNode::Leaf(std::vector<int64_t> counts) {
+  auto node = std::make_unique<TreeNode>();
+  node->class_counts = std::move(counts);
+  return node;
+}
+
+std::unique_ptr<TreeNode> TreeNode::Internal(Split s,
+                                             std::vector<int64_t> counts,
+                                             std::unique_ptr<TreeNode> l,
+                                             std::unique_ptr<TreeNode> r) {
+  auto node = std::make_unique<TreeNode>();
+  node->split = std::move(s);
+  node->class_counts = std::move(counts);
+  node->left = std::move(l);
+  node->right = std::move(r);
+  return node;
+}
+
+// --------------------------------------------------------------- DecisionTree
+
+DecisionTree::DecisionTree(Schema schema, std::unique_ptr<TreeNode> root)
+    : schema_(std::move(schema)), root_(std::move(root)) {
+  if (root_ == nullptr) FatalError("DecisionTree with null root");
+}
+
+DecisionTree DecisionTree::Clone() const {
+  return DecisionTree(schema_, root_->Clone());
+}
+
+int32_t DecisionTree::Classify(const Tuple& tuple) const {
+  const TreeNode* node = root_.get();
+  while (!node->is_leaf()) {
+    node = node->split->SendLeft(tuple) ? node->left.get() : node->right.get();
+  }
+  return node->MajorityLabel();
+}
+
+double DecisionTree::MisclassificationRate(
+    const std::vector<Tuple>& tuples) const {
+  if (tuples.empty()) return 0.0;
+  int64_t wrong = 0;
+  for (const Tuple& t : tuples) {
+    if (Classify(t) != t.label()) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(tuples.size());
+}
+
+namespace {
+
+size_t CountNodes(const TreeNode& node) {
+  if (node.is_leaf()) return 1;
+  return 1 + CountNodes(*node.left) + CountNodes(*node.right);
+}
+
+size_t CountLeaves(const TreeNode& node) {
+  if (node.is_leaf()) return 1;
+  return CountLeaves(*node.left) + CountLeaves(*node.right);
+}
+
+int Depth(const TreeNode& node) {
+  if (node.is_leaf()) return 0;
+  return 1 + std::max(Depth(*node.left), Depth(*node.right));
+}
+
+void Render(const TreeNode& node, const Schema& schema, int indent,
+            std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  std::vector<std::string> counts;
+  counts.reserve(node.class_counts.size());
+  for (const int64_t c : node.class_counts) {
+    counts.push_back(StrPrintf("%lld", static_cast<long long>(c)));
+  }
+  if (node.is_leaf()) {
+    out->append(StrPrintf("leaf label=%d [%s]\n", node.MajorityLabel(),
+                          StrJoin(counts, " ").c_str()));
+    return;
+  }
+  out->append(StrPrintf("node %s [%s]\n",
+                        node.split->ToString(schema).c_str(),
+                        StrJoin(counts, " ").c_str()));
+  Render(*node.left, schema, indent + 1, out);
+  Render(*node.right, schema, indent + 1, out);
+}
+
+}  // namespace
+
+size_t DecisionTree::num_nodes() const { return CountNodes(*root_); }
+size_t DecisionTree::num_leaves() const { return CountLeaves(*root_); }
+int DecisionTree::depth() const { return Depth(*root_); }
+
+bool SubtreesEqual(const TreeNode& a, const TreeNode& b) {
+  if (a.is_leaf() != b.is_leaf()) return false;
+  if (a.is_leaf()) return a.MajorityLabel() == b.MajorityLabel();
+  if (!a.split->SameCriterion(*b.split)) return false;
+  return SubtreesEqual(*a.left, *b.left) && SubtreesEqual(*a.right, *b.right);
+}
+
+bool DecisionTree::StructurallyEqual(const DecisionTree& other) const {
+  return schema_ == other.schema_ && SubtreesEqual(*root_, *other.root_);
+}
+
+std::string DecisionTree::ToString() const {
+  std::string out;
+  Render(*root_, schema_, 0, &out);
+  return out;
+}
+
+}  // namespace boat

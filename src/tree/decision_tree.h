@@ -1,0 +1,90 @@
+// Binary decision-tree classifier structure.
+
+#ifndef BOAT_TREE_DECISION_TREE_H_
+#define BOAT_TREE_DECISION_TREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "split/split.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace boat {
+
+/// \brief A node of a binary decision tree.
+///
+/// Internal nodes carry a splitting criterion (tuples satisfying it follow
+/// the left edge); leaves carry the majority class label. Every node also
+/// records the class distribution of its family, which determines the leaf
+/// label deterministically (majority, smallest class id on ties).
+struct TreeNode {
+  std::optional<Split> split;        ///< nullopt => leaf
+  std::vector<int64_t> class_counts; ///< family class distribution
+  std::unique_ptr<TreeNode> left;
+  std::unique_ptr<TreeNode> right;
+
+  bool is_leaf() const { return !split.has_value(); }
+
+  /// \brief Majority class of the family (smallest class id wins ties).
+  int32_t MajorityLabel() const;
+
+  /// \brief Total family size (sum of class_counts).
+  int64_t family_size() const;
+
+  /// \brief Deep copy.
+  std::unique_ptr<TreeNode> Clone() const;
+
+  static std::unique_ptr<TreeNode> Leaf(std::vector<int64_t> counts);
+  static std::unique_ptr<TreeNode> Internal(Split s,
+                                            std::vector<int64_t> counts,
+                                            std::unique_ptr<TreeNode> l,
+                                            std::unique_ptr<TreeNode> r);
+};
+
+/// \brief A decision-tree classifier: a tree of TreeNodes plus the schema it
+/// was grown against.
+class DecisionTree {
+ public:
+  DecisionTree(Schema schema, std::unique_ptr<TreeNode> root);
+
+  DecisionTree(DecisionTree&&) = default;
+  DecisionTree& operator=(DecisionTree&&) = default;
+
+  /// \brief Deep copy of the tree.
+  DecisionTree Clone() const;
+
+  /// \brief Predicts the class label of a record.
+  int32_t Classify(const Tuple& tuple) const;
+
+  /// \brief Fraction of `tuples` whose label differs from the prediction.
+  double MisclassificationRate(const std::vector<Tuple>& tuples) const;
+
+  const Schema& schema() const { return schema_; }
+  const TreeNode& root() const { return *root_; }
+  TreeNode* mutable_root() { return root_.get(); }
+
+  size_t num_nodes() const;
+  size_t num_leaves() const;
+  int depth() const;
+
+  /// \brief Exact structural equality: same shape, same splitting criteria,
+  /// same leaf labels. This is the paper's "exactly the same tree" relation.
+  bool StructurallyEqual(const DecisionTree& other) const;
+
+  /// \brief Human-readable rendering (indented, one node per line).
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::unique_ptr<TreeNode> root_;
+};
+
+/// \brief Structural equality on subtrees (criteria + leaf labels).
+bool SubtreesEqual(const TreeNode& a, const TreeNode& b);
+
+}  // namespace boat
+
+#endif  // BOAT_TREE_DECISION_TREE_H_

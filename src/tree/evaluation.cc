@@ -1,0 +1,123 @@
+#include "tree/evaluation.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace boat {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : k_(num_classes),
+      counts_(static_cast<size_t>(num_classes) * num_classes, 0) {}
+
+void ConfusionMatrix::Add(int32_t actual, int32_t predicted, int64_t weight) {
+  counts_[static_cast<size_t>(actual) * k_ + predicted] += weight;
+}
+
+int64_t ConfusionMatrix::total() const {
+  int64_t n = 0;
+  for (const int64_t c : counts_) n += c;
+  return n;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const int64_t n = total();
+  if (n == 0) return 0.0;
+  int64_t correct = 0;
+  for (int c = 0; c < k_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision(int32_t cls) const {
+  int64_t predicted = 0;
+  for (int a = 0; a < k_; ++a) predicted += count(a, cls);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(int32_t cls) const {
+  int64_t actual = 0;
+  for (int p = 0; p < k_; ++p) actual += count(cls, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(actual);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::string out = "actual\\predicted";
+  for (int p = 0; p < k_; ++p) out += StrPrintf("%10d", p);
+  out += "\n";
+  for (int a = 0; a < k_; ++a) {
+    out += StrPrintf("%16d", a);
+    for (int p = 0; p < k_; ++p) {
+      out += StrPrintf("%10lld", static_cast<long long>(count(a, p)));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ConfusionMatrix Evaluate(const DecisionTree& tree,
+                         const std::vector<Tuple>& data) {
+  ConfusionMatrix cm(tree.schema().num_classes());
+  for (const Tuple& t : data) cm.Add(t.label(), tree.Classify(t));
+  return cm;
+}
+
+std::pair<std::vector<Tuple>, std::vector<Tuple>> HoldoutSplit(
+    std::vector<Tuple> data, double test_fraction, Rng* rng) {
+  // Fisher-Yates shuffle, then cut.
+  for (size_t i = data.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(data[i - 1], data[j]);
+  }
+  const size_t test_size = static_cast<size_t>(
+      test_fraction * static_cast<double>(data.size()));
+  std::vector<Tuple> test(data.end() - static_cast<int64_t>(test_size),
+                          data.end());
+  data.resize(data.size() - test_size);
+  return {std::move(data), std::move(test)};
+}
+
+CrossValidationResult CrossValidate(
+    const std::vector<Tuple>& data, int folds, Rng* rng,
+    const std::function<DecisionTree(const std::vector<Tuple>&)>& builder) {
+  if (folds < 2) FatalError("CrossValidate requires at least 2 folds");
+  // Deterministic shuffled fold assignment.
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  CrossValidationResult result;
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<Tuple> train;
+    std::vector<Tuple> test;
+    for (size_t i = 0; i < order.size(); ++i) {
+      const bool in_test = static_cast<int>(i % folds) == fold;
+      (in_test ? test : train).push_back(data[order[i]]);
+    }
+    DecisionTree tree = builder(train);
+    FoldResult fr;
+    fr.accuracy = Evaluate(tree, test).Accuracy();
+    fr.tree_nodes = tree.num_nodes();
+    result.folds.push_back(fr);
+  }
+  double sum = 0;
+  for (const FoldResult& fr : result.folds) sum += fr.accuracy;
+  result.mean_accuracy = sum / static_cast<double>(folds);
+  double var = 0;
+  for (const FoldResult& fr : result.folds) {
+    const double d = fr.accuracy - result.mean_accuracy;
+    var += d * d;
+  }
+  result.stddev_accuracy = std::sqrt(var / static_cast<double>(folds));
+  return result;
+}
+
+}  // namespace boat

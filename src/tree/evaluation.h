@@ -1,0 +1,78 @@
+// Model evaluation utilities: confusion matrices, holdout splits, and
+// k-fold cross-validation.
+//
+// The paper notes (Section 2.1) that its techniques "can be used to speed up
+// cross-validation for large training datasets as well"; CrossValidate is
+// parameterized by an arbitrary builder so it runs over the in-memory
+// reference builder, RainForest, or BOAT alike.
+
+#ifndef BOAT_TREE_EVALUATION_H_
+#define BOAT_TREE_EVALUATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+/// \brief k x k confusion matrix (rows: actual, columns: predicted).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(int32_t actual, int32_t predicted, int64_t weight = 1);
+
+  int num_classes() const { return k_; }
+  int64_t count(int32_t actual, int32_t predicted) const {
+    return counts_[static_cast<size_t>(actual) * k_ + predicted];
+  }
+  int64_t total() const;
+
+  /// \brief Fraction of correctly classified records.
+  double Accuracy() const;
+  /// \brief Per-class precision/recall (0 when the denominator is empty).
+  double Precision(int32_t cls) const;
+  double Recall(int32_t cls) const;
+
+  /// \brief Aligned text rendering.
+  std::string ToString() const;
+
+ private:
+  int k_;
+  std::vector<int64_t> counts_;
+};
+
+/// \brief Classifies every tuple and tallies the confusion matrix.
+ConfusionMatrix Evaluate(const DecisionTree& tree,
+                         const std::vector<Tuple>& data);
+
+/// \brief Deterministic shuffled holdout split: `test_fraction` of `data`
+/// goes into the second result.
+std::pair<std::vector<Tuple>, std::vector<Tuple>> HoldoutSplit(
+    std::vector<Tuple> data, double test_fraction, Rng* rng);
+
+/// \brief Per-fold result of cross-validation.
+struct FoldResult {
+  double accuracy = 0;
+  size_t tree_nodes = 0;
+};
+
+/// \brief Summary over folds.
+struct CrossValidationResult {
+  std::vector<FoldResult> folds;
+  double mean_accuracy = 0;
+  double stddev_accuracy = 0;
+};
+
+/// \brief k-fold cross-validation of an arbitrary tree builder. The builder
+/// receives the training partition and returns a tree.
+CrossValidationResult CrossValidate(
+    const std::vector<Tuple>& data, int folds, Rng* rng,
+    const std::function<DecisionTree(const std::vector<Tuple>&)>& builder);
+
+}  // namespace boat
+
+#endif  // BOAT_TREE_EVALUATION_H_

@@ -1,0 +1,102 @@
+#include "tree/export.h"
+
+#include "common/str_util.h"
+
+namespace boat {
+
+namespace {
+
+std::string ClassName(const ExportNames& names, int32_t cls) {
+  if (static_cast<size_t>(cls) < names.classes.size()) {
+    return names.classes[cls];
+  }
+  return StrPrintf("%d", cls);
+}
+
+std::string CategoryName(const ExportNames& names, int attr, int32_t cat) {
+  if (static_cast<size_t>(attr) < names.categories.size() &&
+      static_cast<size_t>(cat) < names.categories[attr].size()) {
+    return names.categories[attr][cat];
+  }
+  return StrPrintf("%d", cat);
+}
+
+// Renders a split predicate, optionally negated (the right branch).
+std::string PredicateText(const Split& split, const Schema& schema,
+                          const ExportNames& names, bool negated) {
+  const std::string& attr_name = schema.attribute(split.attribute).name;
+  if (split.is_numerical) {
+    return StrPrintf("%s %s %.6g", attr_name.c_str(), negated ? ">" : "<=",
+                     split.value);
+  }
+  std::vector<std::string> cats;
+  cats.reserve(split.subset.size());
+  for (const int32_t c : split.subset) {
+    cats.push_back(CategoryName(names, split.attribute, c));
+  }
+  return attr_name + (negated ? " not in {" : " in {") + StrJoin(cats, ", ") +
+         "}";
+}
+
+void CollectRules(const TreeNode& node, const Schema& schema,
+                  const ExportNames& names, std::vector<std::string>* path,
+                  std::string* out) {
+  if (node.is_leaf()) {
+    const int64_t total = node.family_size();
+    const int64_t majority =
+        total > 0 ? node.class_counts[node.MajorityLabel()] : 0;
+    out->append("IF ");
+    out->append(path->empty() ? std::string("true") : StrJoin(*path, " AND "));
+    out->append(StrPrintf(
+        " THEN class = %s    [%lld/%lld]\n",
+        ClassName(names, node.MajorityLabel()).c_str(),
+        static_cast<long long>(majority), static_cast<long long>(total)));
+    return;
+  }
+  path->push_back(PredicateText(*node.split, schema, names, false));
+  CollectRules(*node.left, schema, names, path, out);
+  path->back() = PredicateText(*node.split, schema, names, true);
+  CollectRules(*node.right, schema, names, path, out);
+  path->pop_back();
+}
+
+void DotNodes(const TreeNode& node, const Schema& schema,
+              const ExportNames& names, int* next_id, std::string* out) {
+  const int id = (*next_id)++;
+  if (node.is_leaf()) {
+    out->append(StrPrintf(
+        "  n%d [shape=box, style=filled, fillcolor=lightgrey, "
+        "label=\"%s\\n(n=%lld)\"];\n",
+        id, ClassName(names, node.MajorityLabel()).c_str(),
+        static_cast<long long>(node.family_size())));
+    return;
+  }
+  out->append(StrPrintf("  n%d [shape=ellipse, label=\"%s\"];\n", id,
+                        PredicateText(*node.split, schema, names, false)
+                            .c_str()));
+  const int left_id = *next_id;
+  DotNodes(*node.left, schema, names, next_id, out);
+  const int right_id = *next_id;
+  DotNodes(*node.right, schema, names, next_id, out);
+  out->append(StrPrintf("  n%d -> n%d [label=\"yes\"];\n", id, left_id));
+  out->append(StrPrintf("  n%d -> n%d [label=\"no\"];\n", id, right_id));
+}
+
+}  // namespace
+
+std::string ExportRules(const DecisionTree& tree, const ExportNames& names) {
+  std::string out;
+  std::vector<std::string> path;
+  CollectRules(tree.root(), tree.schema(), names, &path, &out);
+  return out;
+}
+
+std::string ExportDot(const DecisionTree& tree, const ExportNames& names) {
+  std::string out = "digraph decision_tree {\n";
+  int next_id = 0;
+  DotNodes(tree.root(), tree.schema(), names, &next_id, &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace boat

@@ -1,0 +1,35 @@
+// Human-oriented tree exports: classification rules ("due to their intuitive
+// representation, the resulting model is easy to assimilate by humans") and
+// Graphviz dot rendering.
+
+#ifndef BOAT_TREE_EXPORT_H_
+#define BOAT_TREE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+/// \brief Optional dictionaries mapping categorical ids and class ids back
+/// to human-readable names (e.g. from a CsvDataset).
+struct ExportNames {
+  /// Per attribute: category id -> name (empty vectors for numericals).
+  std::vector<std::vector<std::string>> categories;
+  /// Class id -> name.
+  std::vector<std::string> classes;
+};
+
+/// \brief One classification rule per leaf: the conjunction of the splitting
+/// predicates on the path from the root (the paper's f_n -> c encoding).
+std::string ExportRules(const DecisionTree& tree,
+                        const ExportNames& names = ExportNames());
+
+/// \brief Graphviz dot document for the tree.
+std::string ExportDot(const DecisionTree& tree,
+                      const ExportNames& names = ExportNames());
+
+}  // namespace boat
+
+#endif  // BOAT_TREE_EXPORT_H_

@@ -1,0 +1,57 @@
+#include "tree/inmem_builder.h"
+
+namespace boat {
+
+std::unique_ptr<TreeNode> BuildSubtreeInMemory(const Schema& schema,
+                                               std::vector<Tuple> tuples,
+                                               const SplitSelector& selector,
+                                               const GrowthLimits& limits,
+                                               int depth) {
+  std::vector<int64_t> counts(schema.num_classes(), 0);
+  for (const Tuple& t : tuples) ++counts[t.label()];
+  const int64_t total = static_cast<int64_t>(tuples.size());
+
+  const bool at_depth_limit = depth >= limits.max_depth;
+  const bool too_small = total < limits.min_tuples_to_split;
+  const bool below_stop_threshold =
+      limits.stop_family_size > 0 && total <= limits.stop_family_size;
+  int populated_classes = 0;
+  for (const int64_t c : counts) {
+    if (c > 0) ++populated_classes;
+  }
+  // A pure family needs no AVC-group: no split selector would divide it.
+  if (at_depth_limit || too_small || below_stop_threshold ||
+      populated_classes <= 1) {
+    return TreeNode::Leaf(std::move(counts));
+  }
+
+  AvcGroup avc = BuildAvcGroup(schema, tuples);
+  std::optional<Split> split = selector.ChooseSplit(avc);
+  if (!split.has_value()) return TreeNode::Leaf(std::move(counts));
+
+  std::vector<Tuple> left_tuples;
+  std::vector<Tuple> right_tuples;
+  for (Tuple& t : tuples) {
+    (split->SendLeft(t) ? left_tuples : right_tuples)
+        .push_back(std::move(t));
+  }
+  tuples.clear();
+  tuples.shrink_to_fit();
+
+  auto left = BuildSubtreeInMemory(schema, std::move(left_tuples), selector,
+                                   limits, depth + 1);
+  auto right = BuildSubtreeInMemory(schema, std::move(right_tuples), selector,
+                                    limits, depth + 1);
+  return TreeNode::Internal(*std::move(split), std::move(counts),
+                            std::move(left), std::move(right));
+}
+
+DecisionTree BuildTreeInMemory(const Schema& schema, std::vector<Tuple> tuples,
+                               const SplitSelector& selector,
+                               const GrowthLimits& limits) {
+  auto root =
+      BuildSubtreeInMemory(schema, std::move(tuples), selector, limits, 0);
+  return DecisionTree(schema, std::move(root));
+}
+
+}  // namespace boat

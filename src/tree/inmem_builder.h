@@ -1,0 +1,31 @@
+// The traditional main-memory greedy top-down tree builder (Figure 1 of the
+// paper). This is the reference algorithm: BOAT and RainForest are required
+// to produce exactly the tree this builder produces on the same data.
+
+#ifndef BOAT_TREE_INMEM_BUILDER_H_
+#define BOAT_TREE_INMEM_BUILDER_H_
+
+#include <vector>
+
+#include "split/selector.h"
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+/// \brief Grows a subtree from an in-memory family by greedy top-down
+/// induction. `depth` is the depth of this subtree's root in the full tree
+/// (for the max_depth limit). Consumes `tuples`.
+std::unique_ptr<TreeNode> BuildSubtreeInMemory(const Schema& schema,
+                                               std::vector<Tuple> tuples,
+                                               const SplitSelector& selector,
+                                               const GrowthLimits& limits,
+                                               int depth);
+
+/// \brief Grows a full decision tree from an in-memory training set.
+DecisionTree BuildTreeInMemory(const Schema& schema, std::vector<Tuple> tuples,
+                               const SplitSelector& selector,
+                               const GrowthLimits& limits = GrowthLimits());
+
+}  // namespace boat
+
+#endif  // BOAT_TREE_INMEM_BUILDER_H_

@@ -1,0 +1,180 @@
+#include "tree/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace boat {
+
+namespace {
+
+// Resubstitution errors of a node treated as a leaf (training tuples not of
+// the majority class).
+int64_t LeafErrors(const TreeNode& node) {
+  int64_t total = 0;
+  int64_t maxc = 0;
+  for (const int64_t c : node.class_counts) {
+    total += c;
+    maxc = std::max(maxc, c);
+  }
+  return total - maxc;
+}
+
+// ------------------------------------------------------------------ MDL
+
+struct MdlResult {
+  double cost;  // description length of the best encoding of the subtree
+  std::unique_ptr<TreeNode> pruned;
+};
+
+MdlResult MdlPrune(const TreeNode& node, double penalty) {
+  const double leaf_cost = static_cast<double>(LeafErrors(node)) + penalty;
+  if (node.is_leaf()) {
+    return {leaf_cost, TreeNode::Leaf(node.class_counts)};
+  }
+  MdlResult left = MdlPrune(*node.left, penalty);
+  MdlResult right = MdlPrune(*node.right, penalty);
+  const double split_cost = penalty + left.cost + right.cost;
+  if (leaf_cost <= split_cost) {
+    return {leaf_cost, TreeNode::Leaf(node.class_counts)};
+  }
+  return {split_cost,
+          TreeNode::Internal(*node.split, node.class_counts,
+                             std::move(left.pruned), std::move(right.pruned))};
+}
+
+// -------------------------------------------------------- cost-complexity
+
+struct CcInfo {
+  int64_t subtree_errors;  // resubstitution errors of the (pruned) subtree
+  int64_t leaves;
+  std::unique_ptr<TreeNode> pruned;
+};
+
+CcInfo CcPrune(const TreeNode& node, double alpha) {
+  const int64_t leaf_errors = LeafErrors(node);
+  if (node.is_leaf()) {
+    return {leaf_errors, 1, TreeNode::Leaf(node.class_counts)};
+  }
+  CcInfo left = CcPrune(*node.left, alpha);
+  CcInfo right = CcPrune(*node.right, alpha);
+  const int64_t subtree_errors = left.subtree_errors + right.subtree_errors;
+  const int64_t leaves = left.leaves + right.leaves;
+  // Collapse when leaf cost <= subtree cost at complexity alpha:
+  //   leaf_errors + alpha <= subtree_errors + alpha * leaves
+  const double leaf_cost = static_cast<double>(leaf_errors) + alpha;
+  const double subtree_cost = static_cast<double>(subtree_errors) +
+                              alpha * static_cast<double>(leaves);
+  if (leaf_cost <= subtree_cost) {
+    return {leaf_errors, 1, TreeNode::Leaf(node.class_counts)};
+  }
+  return {subtree_errors, leaves,
+          TreeNode::Internal(*node.split, node.class_counts,
+                             std::move(left.pruned), std::move(right.pruned))};
+}
+
+// Collects every internal node's critical alpha: the complexity at which
+// collapsing it becomes worthwhile, g(t) = (R(t) - R(T_t)) / (|T_t| - 1).
+void CollectAlphas(const TreeNode& node, int64_t* errors, int64_t* leaves,
+                   std::vector<double>* alphas) {
+  if (node.is_leaf()) {
+    *errors = LeafErrors(node);
+    *leaves = 1;
+    return;
+  }
+  int64_t le, ll, re, rl;
+  CollectAlphas(*node.left, &le, &ll, alphas);
+  CollectAlphas(*node.right, &re, &rl, alphas);
+  *errors = le + re;
+  *leaves = ll + rl;
+  if (*leaves > 1) {
+    const double g = static_cast<double>(LeafErrors(node) - *errors) /
+                     static_cast<double>(*leaves - 1);
+    alphas->push_back(std::max(0.0, g));
+  }
+}
+
+// --------------------------------------------------------- reduced error
+
+struct ReResult {
+  int64_t validation_errors;
+  std::unique_ptr<TreeNode> pruned;
+};
+
+ReResult RePrune(const TreeNode& node, std::vector<Tuple> validation) {
+  const int32_t majority = node.MajorityLabel();
+  int64_t leaf_errors = 0;
+  for (const Tuple& t : validation) {
+    if (t.label() != majority) ++leaf_errors;
+  }
+  if (node.is_leaf()) {
+    return {leaf_errors, TreeNode::Leaf(node.class_counts)};
+  }
+  std::vector<Tuple> left_val;
+  std::vector<Tuple> right_val;
+  for (Tuple& t : validation) {
+    (node.split->SendLeft(t) ? left_val : right_val).push_back(std::move(t));
+  }
+  validation.clear();
+  ReResult left = RePrune(*node.left, std::move(left_val));
+  ReResult right = RePrune(*node.right, std::move(right_val));
+  const int64_t subtree_errors =
+      left.validation_errors + right.validation_errors;
+  if (leaf_errors <= subtree_errors) {
+    return {leaf_errors, TreeNode::Leaf(node.class_counts)};
+  }
+  return {subtree_errors,
+          TreeNode::Internal(*node.split, node.class_counts,
+                             std::move(left.pruned), std::move(right.pruned))};
+}
+
+}  // namespace
+
+DecisionTree PruneMdl(const DecisionTree& tree, double penalty) {
+  if (penalty <= 0.0) {
+    const double n =
+        std::max<double>(2.0, static_cast<double>(tree.root().family_size()));
+    penalty = 0.5 * std::log2(n) + 1.0;
+  }
+  return DecisionTree(tree.schema(), MdlPrune(tree.root(), penalty).pruned);
+}
+
+DecisionTree PruneCostComplexity(const DecisionTree& tree, double alpha) {
+  return DecisionTree(tree.schema(), CcPrune(tree.root(), alpha).pruned);
+}
+
+std::vector<double> CostComplexityAlphas(const DecisionTree& tree) {
+  std::vector<double> alphas;
+  int64_t errors, leaves;
+  CollectAlphas(tree.root(), &errors, &leaves, &alphas);
+  std::sort(alphas.begin(), alphas.end());
+  alphas.erase(std::unique(alphas.begin(), alphas.end()), alphas.end());
+  return alphas;
+}
+
+DecisionTree PruneReducedError(const DecisionTree& tree,
+                               const std::vector<Tuple>& validation) {
+  return DecisionTree(tree.schema(),
+                      RePrune(tree.root(), validation).pruned);
+}
+
+DecisionTree SelectByValidation(const DecisionTree& tree,
+                                const std::vector<Tuple>& validation) {
+  DecisionTree best = tree.Clone();
+  double best_error = tree.MisclassificationRate(validation);
+  size_t best_size = tree.num_nodes();
+  for (const double alpha : CostComplexityAlphas(tree)) {
+    DecisionTree candidate =
+        PruneCostComplexity(tree, std::nextafter(alpha, alpha + 1.0));
+    const double error = candidate.MisclassificationRate(validation);
+    const size_t size = candidate.num_nodes();
+    if (error < best_error || (error == best_error && size < best_size)) {
+      best_error = error;
+      best_size = size;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace boat

@@ -1,0 +1,54 @@
+// Pruning (the second phase of classification-tree construction).
+//
+// The paper concentrates on the growth phase and treats pruning as an
+// orthogonal post-pass ("How the tree is pruned is an orthogonal issue",
+// Section 2.1, citing MDL-based pruning [MAR96, RS98] as the popular choice
+// for large datasets). This module supplies the standard post-pruning
+// algorithms so the library is usable end to end:
+//
+//  * MDL pruning (SLIQ-style): a subtree is replaced by a leaf when the
+//    description length of the leaf (resubstitution errors + one node's
+//    encoding cost) does not exceed that of the subtree.
+//  * Cost-complexity pruning (CART): minimizes R(T) + alpha * |leaves(T)|
+//    over all prunings of the grown tree, for a given alpha.
+//  * Reduced-error pruning: bottom-up replacement of subtrees by leaves
+//    whenever that does not increase error on a held-out validation set.
+//
+// All three operate on the class-count annotations the builders leave in
+// every node, never on the training data itself.
+
+#ifndef BOAT_TREE_PRUNING_H_
+#define BOAT_TREE_PRUNING_H_
+
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+/// \brief MDL pruning. `penalty` is the encoding cost of one tree node in
+/// error-units; the SLIQ-flavored default 0.5*log2(n)+1 per node is applied
+/// when `penalty` <= 0 (n = training size at the root).
+DecisionTree PruneMdl(const DecisionTree& tree, double penalty = 0.0);
+
+/// \brief CART cost-complexity pruning at complexity parameter `alpha` >= 0
+/// (in error-units per leaf). alpha = 0 only collapses subtrees that do not
+/// reduce resubstitution error at all.
+DecisionTree PruneCostComplexity(const DecisionTree& tree, double alpha);
+
+/// \brief The critical alpha values of the cost-complexity path, ascending.
+/// PruneCostComplexity at each returns the next-smaller tree of the path.
+std::vector<double> CostComplexityAlphas(const DecisionTree& tree);
+
+/// \brief Reduced-error pruning against a validation set: a subtree becomes
+/// a leaf whenever the leaf misclassifies no more validation tuples than the
+/// subtree does.
+DecisionTree PruneReducedError(const DecisionTree& tree,
+                               const std::vector<Tuple>& validation);
+
+/// \brief Picks the best tree along the cost-complexity path by validation
+/// error (ties: the smaller tree).
+DecisionTree SelectByValidation(const DecisionTree& tree,
+                                const std::vector<Tuple>& validation);
+
+}  // namespace boat
+
+#endif  // BOAT_TREE_PRUNING_H_

@@ -1,0 +1,216 @@
+#include "tree/serialize.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace boat {
+
+namespace {
+
+constexpr const char* kHeader = "BOATTREE v1";
+
+void WriteNode(const TreeNode& node, std::string* out) {
+  auto append_counts = [out, &node]() {
+    out->append(StrPrintf(" %d", static_cast<int>(node.class_counts.size())));
+    for (const int64_t c : node.class_counts) {
+      out->append(StrPrintf(" %lld", static_cast<long long>(c)));
+    }
+    out->push_back('\n');
+  };
+  if (node.is_leaf()) {
+    out->append("L");
+    append_counts();
+    return;
+  }
+  const Split& s = *node.split;
+  if (s.is_numerical) {
+    out->append(StrPrintf("N %d n %a %a", s.attribute, s.value, s.impurity));
+  } else {
+    out->append(StrPrintf("N %d c %d", s.attribute,
+                          static_cast<int>(s.subset.size())));
+    for (const int32_t cat : s.subset) out->append(StrPrintf(" %d", cat));
+    out->append(StrPrintf(" %a", s.impurity));
+  }
+  append_counts();
+  WriteNode(*node.left, out);
+  WriteNode(*node.right, out);
+}
+
+// Pull-based line supplier shared by the document parser and the bare
+// subtree parser.
+using LineSupplier = std::function<Result<std::string>()>;
+
+class LineParser {
+ public:
+  explicit LineParser(const std::string& text) : in_(text) {}
+
+  Result<std::string> NextLine() {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      return Status::Corruption("unexpected end of tree document");
+    }
+    return line;
+  }
+
+  LineSupplier AsSupplier() {
+    return [this]() { return NextLine(); };
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+// Streams do not reliably parse hex-float ("%a") tokens; route through
+// strtod, which does.
+bool ReadDouble(std::istringstream* fields, double* out) {
+  std::string token;
+  if (!(*fields >> token)) return false;
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != token.c_str();
+}
+
+Result<std::vector<int64_t>> ParseCounts(std::istringstream* fields) {
+  int k = 0;
+  if (!(*fields >> k) || k <= 0) {
+    return Status::Corruption("bad class-count arity in tree document");
+  }
+  std::vector<int64_t> counts(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    long long v = 0;
+    if (!(*fields >> v)) {
+      return Status::Corruption("bad class count in tree document");
+    }
+    counts[i] = v;
+  }
+  return counts;
+}
+
+Result<std::unique_ptr<TreeNode>> ParseNode(const LineSupplier& next_line,
+                                            const Schema& schema) {
+  BOAT_ASSIGN_OR_RETURN(std::string line, next_line());
+  std::istringstream fields(line);
+  std::string tag;
+  if (!(fields >> tag)) return Status::Corruption("empty node line");
+
+  if (tag == "L") {
+    BOAT_ASSIGN_OR_RETURN(auto counts, ParseCounts(&fields));
+    return TreeNode::Leaf(std::move(counts));
+  }
+  if (tag != "N") return Status::Corruption("unknown node tag: " + tag);
+
+  int attr = -1;
+  std::string type;
+  if (!(fields >> attr >> type) || attr < 0 ||
+      attr >= schema.num_attributes()) {
+    return Status::Corruption("bad split attribute in tree document");
+  }
+  Split split;
+  if (type == "n") {
+    double value = 0;
+    double impurity = 0;
+    if (!ReadDouble(&fields, &value) || !ReadDouble(&fields, &impurity)) {
+      return Status::Corruption("bad numerical split line");
+    }
+    split = Split::Numerical(attr, value, impurity);
+  } else if (type == "c") {
+    int m = 0;
+    if (!(fields >> m) || m <= 0) {
+      return Status::Corruption("bad subset arity");
+    }
+    std::vector<int32_t> subset(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      if (!(fields >> subset[i])) {
+        return Status::Corruption("bad subset member");
+      }
+    }
+    double impurity = 0;
+    if (!ReadDouble(&fields, &impurity)) {
+      return Status::Corruption("bad categorical split line");
+    }
+    split = Split::Categorical(attr, std::move(subset), impurity);
+  } else {
+    return Status::Corruption("unknown split type: " + type);
+  }
+  BOAT_ASSIGN_OR_RETURN(auto counts, ParseCounts(&fields));
+  BOAT_ASSIGN_OR_RETURN(auto left, ParseNode(next_line, schema));
+  BOAT_ASSIGN_OR_RETURN(auto right, ParseNode(next_line, schema));
+  return TreeNode::Internal(std::move(split), std::move(counts),
+                            std::move(left), std::move(right));
+}
+
+}  // namespace
+
+std::string SerializeTree(const DecisionTree& tree) {
+  std::string out = kHeader;
+  out += StrPrintf("\nfingerprint %016llx\n",
+                   static_cast<unsigned long long>(
+                       tree.schema().Fingerprint()));
+  WriteNode(tree.root(), &out);
+  return out;
+}
+
+Result<DecisionTree> DeserializeTree(const std::string& text,
+                                     const Schema& schema) {
+  LineParser parser(text);
+  BOAT_ASSIGN_OR_RETURN(std::string header, parser.NextLine());
+  if (header != kHeader) {
+    return Status::Corruption("bad tree document header: " + header);
+  }
+  BOAT_ASSIGN_OR_RETURN(std::string fp_line, parser.NextLine());
+  unsigned long long fp = 0;
+  if (std::sscanf(fp_line.c_str(), "fingerprint %llx", &fp) != 1) {
+    return Status::Corruption("bad fingerprint line");
+  }
+  if (fp != schema.Fingerprint()) {
+    return Status::InvalidArgument("tree was grown against a different schema");
+  }
+  BOAT_ASSIGN_OR_RETURN(auto root, ParseNode(parser.AsSupplier(), schema));
+  return DecisionTree(schema, std::move(root));
+}
+
+std::string SerializeSubtree(const TreeNode& root) {
+  std::string out;
+  WriteNode(root, &out);
+  return out;
+}
+
+Result<std::unique_ptr<TreeNode>> DeserializeSubtree(
+    const std::vector<std::string>& lines, size_t* cursor,
+    const Schema& schema) {
+  LineSupplier supplier = [&lines, cursor]() -> Result<std::string> {
+    if (*cursor >= lines.size()) {
+      return Status::Corruption("unexpected end of subtree document");
+    }
+    return lines[(*cursor)++];
+  };
+  return ParseNode(supplier, schema);
+}
+
+Status SaveTree(const DecisionTree& tree, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  const std::string doc = SerializeTree(tree);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::IOError("cannot write " + path);
+  }
+  return Status::OK();
+}
+
+Result<DecisionTree> LoadTree(const std::string& path, const Schema& schema) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string doc;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) doc.append(buf, n);
+  std::fclose(f);
+  return DeserializeTree(doc, schema);
+}
+
+}  // namespace boat

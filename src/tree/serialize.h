@@ -1,0 +1,40 @@
+// Decision-tree (de)serialization: a line-based text format with exact
+// (hex-float) round-tripping of split values.
+
+#ifndef BOAT_TREE_SERIALIZE_H_
+#define BOAT_TREE_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+/// \brief Serializes a tree to the BOATTREE v1 text format.
+std::string SerializeTree(const DecisionTree& tree);
+
+/// \brief Parses a BOATTREE v1 document; the schema must match the one the
+/// tree was grown against (validated by fingerprint).
+Result<DecisionTree> DeserializeTree(const std::string& text,
+                                     const Schema& schema);
+
+/// \brief Serializes a bare subtree (no header) in the same line format;
+/// used by the model persistence layer.
+std::string SerializeSubtree(const TreeNode& root);
+
+/// \brief Parses a bare subtree serialized by SerializeSubtree. `cursor` is
+/// advanced past the consumed lines.
+Result<std::unique_ptr<TreeNode>> DeserializeSubtree(
+    const std::vector<std::string>& lines, size_t* cursor,
+    const Schema& schema);
+
+/// \brief Writes the serialized tree to a file.
+Status SaveTree(const DecisionTree& tree, const std::string& path);
+
+/// \brief Reads a tree from a file written by SaveTree.
+Result<DecisionTree> LoadTree(const std::string& path, const Schema& schema);
+
+}  // namespace boat
+
+#endif  // BOAT_TREE_SERIALIZE_H_

@@ -1,0 +1,258 @@
+// Adversarial and degenerate-input tests: distributions crafted to stress
+// the verification machinery (flat impurity landscapes, exact ties, point
+// masses, huge categorical domains, duplicate-only data) while always
+// demanding the exact-tree guarantee.
+
+#include <gtest/gtest.h>
+
+#include "boat/builder.h"
+#include "rainforest/rainforest.h"
+#include "split/quest.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+BoatOptions TinyBoat(uint64_t seed = 5) {
+  BoatOptions options;
+  options.sample_size = 500;
+  options.bootstrap_count = 8;
+  options.bootstrap_subsample = 250;
+  options.inmem_threshold = 200;
+  options.store_memory_budget = 128;  // force spilling
+  options.seed = seed;
+  return options;
+}
+
+void ExpectAllAlgorithmsAgree(const Schema& schema,
+                              const std::vector<Tuple>& data,
+                              const SplitSelector& selector,
+                              const GrowthLimits& limits,
+                              uint64_t seed = 5) {
+  DecisionTree reference = BuildTreeInMemory(schema, data, selector, limits);
+  {
+    RainForestOptions rf;
+    rf.limits = limits;
+    rf.avc_buffer_entries = 1500;
+    rf.inmem_threshold = 100;
+    VectorSource source(schema, data);
+    auto tree = BuildTreeRFHybrid(&source, selector, rf);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_TRUE(tree->StructurallyEqual(reference)) << "RF-Hybrid";
+  }
+  {
+    RainForestOptions rf;
+    rf.limits = limits;
+    rf.avc_buffer_entries = 1500;
+    rf.inmem_threshold = 100;
+    VectorSource source(schema, data);
+    auto tree = BuildTreeRFVertical(&source, selector, rf);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_TRUE(tree->StructurallyEqual(reference)) << "RF-Vertical";
+  }
+  {
+    BoatOptions options = TinyBoat(seed);
+    options.limits = limits;
+    VectorSource source(schema, data);
+    auto tree = BuildTreeBoat(&source, selector, options);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_TRUE(tree->StructurallyEqual(reference))
+        << "BOAT\nref:\n"
+        << reference.ToString() << "\ngot:\n"
+        << tree->ToString();
+  }
+}
+
+TEST(AdversarialTest, TwoEqualImpurityMinima) {
+  // The paper's Figure 12 scenario: near-equal minima at 20 and 60 make the
+  // bootstrap trees disagree; the guarantee must hold regardless.
+  Schema schema({Attribute::Numerical("x")}, 2);
+  Rng rng(17);
+  std::vector<Tuple> data;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = static_cast<double>(rng.UniformInt(0, 80));
+    int32_t label;
+    if (v <= 20) {
+      label = rng.Bernoulli(0.9) ? 0 : 1;
+    } else if (v <= 60) {
+      label = static_cast<int32_t>(i % 2);
+    } else {
+      label = rng.Bernoulli(0.9) ? 1 : 0;
+    }
+    data.push_back(Tuple({v}, label));
+  }
+  GrowthLimits limits;
+  limits.max_depth = 10;
+  auto selector = MakeGiniSelector();
+  ExpectAllAlgorithmsAgree(schema, data, *selector, limits);
+}
+
+TEST(AdversarialTest, PureNoiseLabels) {
+  // Zero signal: the landscape is entirely flat; every split is a tie-break
+  // decision. The conservative checks may rebuild a lot, but the output must
+  // match exactly.
+  Schema schema({Attribute::Numerical("a"), Attribute::Numerical("b"),
+                 Attribute::Categorical("c", 6)},
+                2);
+  Rng rng(23);
+  std::vector<Tuple> data;
+  for (int i = 0; i < 3000; ++i) {
+    data.push_back(Tuple({static_cast<double>(rng.UniformInt(0, 30)),
+                          static_cast<double>(rng.UniformInt(0, 30)),
+                          static_cast<double>(rng.UniformInt(0, 5))},
+                         static_cast<int32_t>(rng.UniformInt(0, 1))));
+  }
+  GrowthLimits limits;
+  limits.max_depth = 8;  // keep the noise tree bounded
+  auto selector = MakeGiniSelector();
+  ExpectAllAlgorithmsAgree(schema, data, *selector, limits);
+}
+
+TEST(AdversarialTest, ConstantAttributeInSubfamilies) {
+  // Mimics the Agrawal commission attribute: constant within one branch.
+  // The bound machinery must not fire spuriously on the point mass.
+  Schema schema({Attribute::Numerical("salary"), Attribute::Numerical("bonus")},
+                2);
+  Rng rng(29);
+  std::vector<Tuple> data;
+  for (int i = 0; i < 4000; ++i) {
+    const double salary = static_cast<double>(rng.UniformInt(0, 100));
+    const double bonus =
+        salary >= 50 ? 0.0 : static_cast<double>(rng.UniformInt(10, 60));
+    const int32_t label = (salary >= 50) ? (rng.Bernoulli(0.8) ? 1 : 0)
+                                         : (bonus > 35 ? 1 : 0);
+    data.push_back(Tuple({salary, bonus}, label));
+  }
+  GrowthLimits limits;
+  limits.max_depth = 12;
+  auto selector = MakeGiniSelector();
+  ExpectAllAlgorithmsAgree(schema, data, *selector, limits);
+}
+
+TEST(AdversarialTest, AllTuplesIdentical) {
+  Schema schema({Attribute::Numerical("x"), Attribute::Categorical("c", 3)},
+                2);
+  std::vector<Tuple> data(1000, Tuple({7.0, 1.0}, 0));
+  data.resize(1500, Tuple({7.0, 1.0}, 1));  // same values, mixed labels
+  GrowthLimits limits;
+  auto selector = MakeGiniSelector();
+  ExpectAllAlgorithmsAgree(schema, data, *selector, limits);
+}
+
+TEST(AdversarialTest, SingleDistinctValuePerClass) {
+  Schema schema({Attribute::Numerical("x")}, 3);
+  std::vector<Tuple> data;
+  for (int i = 0; i < 900; ++i) {
+    const int32_t label = i % 3;
+    data.push_back(Tuple({static_cast<double>(label * 10)}, label));
+  }
+  GrowthLimits limits;
+  auto selector = MakeGiniSelector();
+  ExpectAllAlgorithmsAgree(schema, data, *selector, limits);
+}
+
+TEST(AdversarialTest, LargeCategoricalDomainGreedyPath) {
+  // 24 populated categories with 3 classes: beyond the exhaustive limit, so
+  // the greedy subset search runs — all algorithms share it, so agreement
+  // must hold.
+  Schema schema({Attribute::Categorical("c", 24), Attribute::Numerical("x")},
+                3);
+  Rng rng(31);
+  std::vector<Tuple> data;
+  for (int i = 0; i < 4000; ++i) {
+    const int32_t cat = static_cast<int32_t>(rng.UniformInt(0, 23));
+    const double x = static_cast<double>(rng.UniformInt(0, 50));
+    const int32_t label = (cat % 3 + (x > 25 ? 1 : 0)) % 3;
+    data.push_back(Tuple({static_cast<double>(cat), x}, label));
+  }
+  GrowthLimits limits;
+  limits.max_depth = 8;
+  auto selector = MakeGiniSelector();
+  ExpectAllAlgorithmsAgree(schema, data, *selector, limits);
+}
+
+TEST(AdversarialTest, HeavyTailDuplicates) {
+  // 90% of tuples carry one attribute value; the rest spread thinly.
+  Schema schema({Attribute::Numerical("x"), Attribute::Numerical("y")}, 2);
+  Rng rng(37);
+  std::vector<Tuple> data;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Bernoulli(0.9)
+                         ? 42.0
+                         : static_cast<double>(rng.UniformInt(0, 100));
+    const double y = static_cast<double>(rng.UniformInt(0, 100));
+    data.push_back(Tuple({x, y}, (x > 42.0) != (y > 50) ? 1 : 0));
+  }
+  GrowthLimits limits;
+  limits.max_depth = 12;
+  auto selector = MakeGiniSelector();
+  ExpectAllAlgorithmsAgree(schema, data, *selector, limits);
+}
+
+TEST(AdversarialTest, QuestOnFlatData) {
+  Schema schema({Attribute::Numerical("a"), Attribute::Categorical("c", 4)},
+                2);
+  Rng rng(41);
+  std::vector<Tuple> data;
+  for (int i = 0; i < 3000; ++i) {
+    data.push_back(Tuple({static_cast<double>(rng.UniformInt(0, 20)),
+                          static_cast<double>(rng.UniformInt(0, 3))},
+                         static_cast<int32_t>(rng.UniformInt(0, 1))));
+  }
+  GrowthLimits limits;
+  limits.max_depth = 6;
+  QuestSelector selector;
+  ExpectAllAlgorithmsAgree(schema, data, selector, limits);
+}
+
+TEST(AdversarialTest, DeleteEverythingThenRefill) {
+  Schema schema({Attribute::Numerical("x"), Attribute::Numerical("y")}, 2);
+  Rng rng(43);
+  auto draw = [&rng](int n) {
+    std::vector<Tuple> out;
+    for (int i = 0; i < n; ++i) {
+      const double x = static_cast<double>(rng.UniformInt(0, 60));
+      const double y = static_cast<double>(rng.UniformInt(0, 60));
+      out.push_back(Tuple({x, y}, x + y > 60 ? 1 : 0));
+    }
+    return out;
+  };
+  std::vector<Tuple> base = draw(2000);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 10;
+  BoatOptions options = TinyBoat();
+  options.limits = limits;
+  options.enable_updates = true;
+
+  VectorSource source(schema, base);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  ASSERT_TRUE(classifier.ok());
+
+  // Delete the entire original database...
+  ASSERT_TRUE((*classifier)->DeleteChunk(base).ok());
+  DecisionTree empty_ref = BuildTreeInMemory(schema, {}, *selector, limits);
+  EXPECT_TRUE((*classifier)->tree().StructurallyEqual(empty_ref));
+
+  // ...then refill with different data; exactness must survive.
+  std::vector<Tuple> fresh = draw(2500);
+  ASSERT_TRUE((*classifier)->InsertChunk(fresh).ok());
+  DecisionTree fresh_ref = BuildTreeInMemory(schema, fresh, *selector, limits);
+  EXPECT_TRUE((*classifier)->tree().StructurallyEqual(fresh_ref));
+}
+
+TEST(AdversarialTest, DeletingAbsentTupleFails) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  std::vector<Tuple> base = {Tuple({1.0}, 0), Tuple({2.0}, 1),
+                             Tuple({3.0}, 0), Tuple({4.0}, 1)};
+  auto selector = MakeGiniSelector();
+  BoatOptions options = TinyBoat();
+  options.enable_updates = true;
+  VectorSource source(schema, base);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_FALSE((*classifier)->DeleteChunk({Tuple({99.0}, 0)}).ok());
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,417 @@
+// Unit tests for BOAT's building blocks: discretizations, bucket counts,
+// corner lower bounds, extreme trackers, bootstrap combination, the model
+// and the dataset archive.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boat/bootstrap_phase.h"
+#include "boat/bounds.h"
+#include "boat/builder.h"
+#include "boat/model.h"
+#include "datagen/agrawal.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+// ------------------------------------------------------------- Discretization
+
+TEST(DiscretizationTest, BucketOfSemantics) {
+  Discretization disc({5.0, 10.0});
+  EXPECT_EQ(disc.num_buckets(), 3);
+  EXPECT_EQ(disc.BucketOf(-100), 0);
+  EXPECT_EQ(disc.BucketOf(5.0), 0);   // boundary is inclusive on the left
+  EXPECT_EQ(disc.BucketOf(5.1), 1);
+  EXPECT_EQ(disc.BucketOf(10.0), 1);
+  EXPECT_EQ(disc.BucketOf(10.5), 2);
+}
+
+TEST(DiscretizationTest, AddBoundaryKeepsOrderAndDedupes) {
+  Discretization disc({5.0, 10.0});
+  disc.AddBoundary(7.5);
+  disc.AddBoundary(5.0);  // duplicate: no-op
+  EXPECT_EQ(disc.boundaries(), (std::vector<double>{5.0, 7.5, 10.0}));
+  EXPECT_EQ(disc.BoundaryIndex(7.5), 1);
+  EXPECT_EQ(disc.BoundaryIndex(8.0), -1);
+}
+
+TEST(BucketCountsTest, CountsAndStamps) {
+  BucketCounts bc(Discretization({5.0, 10.0}), 2);
+  bc.Add(1.0, 0);
+  bc.Add(5.0, 1);
+  bc.Add(7.0, 0);
+  bc.Add(12.0, 1);
+  EXPECT_EQ(bc.BucketTotal(0), 2);
+  EXPECT_EQ(bc.BucketTotal(1), 1);
+  EXPECT_EQ(bc.BucketTotal(2), 1);
+  EXPECT_EQ(bc.StampAtUpperBoundary(0), (std::vector<int64_t>{1, 1}));
+  EXPECT_EQ(bc.StampAtUpperBoundary(1), (std::vector<int64_t>{2, 1}));
+  EXPECT_EQ(bc.Totals(), (std::vector<int64_t>{2, 2}));
+}
+
+TEST(BucketCountsTest, MinValueTracking) {
+  BucketCounts bc(Discretization({5.0}), 2);
+  bc.Add(3.0, 0);
+  bc.Add(2.0, 1);
+  bc.Add(2.0, 0);
+  auto mins = bc.MinValueCounts(0);
+  ASSERT_TRUE(mins.has_value());
+  EXPECT_EQ(*mins, (std::vector<int64_t>{1, 1}));  // counts at value 2.0
+}
+
+TEST(BucketCountsTest, DeletingTrackedMinimumLosesIt) {
+  BucketCounts bc(Discretization(std::vector<double>{}), 2);
+  bc.Add(2.0, 0);
+  bc.Add(3.0, 0);
+  bc.Add(2.0, 0, -1);
+  EXPECT_FALSE(bc.MinValueCounts(0).has_value());  // 3.0 remains but unknown
+  // Emptying the bucket restores exactness.
+  bc.Add(3.0, 0, -1);
+  EXPECT_EQ(bc.BucketTotal(0), 0);
+  bc.Add(7.0, 1);
+  auto mins = bc.MinValueCounts(0);
+  ASSERT_TRUE(mins.has_value());
+  EXPECT_EQ(*mins, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(AdaptiveDiscretizationTest, BoundariesComeFromSampleValues) {
+  NumericAvc avc(2);
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>(rng.UniformInt(0, 99));
+    avc.Add(v, v < 50 ? 0 : 1);
+  }
+  avc.Finalize();
+  GiniImpurity gini;
+  Discretization disc = BuildAdaptiveDiscretization(avc, gini, 16);
+  EXPECT_GT(disc.num_buckets(), 1);
+  for (const double b : disc.boundaries()) {
+    EXPECT_EQ(b, std::floor(b));  // a value from the (integer) sample
+    EXPECT_GE(b, 0);
+    EXPECT_LE(b, 99);
+  }
+}
+
+TEST(AdaptiveDiscretizationTest, RefinesNearTheMinimum) {
+  // Class flips at 50: impurity dips there; buckets should be denser near
+  // the optimum than far from it.
+  NumericAvc avc(2);
+  for (int v = 0; v < 200; ++v) {
+    for (int rep = 0; rep < 5; ++rep) avc.Add(v, v < 100 ? 0 : 1);
+  }
+  avc.Finalize();
+  GiniImpurity gini;
+  Discretization disc = BuildAdaptiveDiscretization(avc, gini, 10);
+  int near = 0;
+  int far = 0;
+  for (const double b : disc.boundaries()) {
+    if (std::abs(b - 100.0) <= 25) {
+      ++near;
+    } else {
+      ++far;
+    }
+  }
+  EXPECT_GT(near, 0);
+  EXPECT_GE(near, far / 4);  // the dangerous region is not under-resolved
+}
+
+// ----------------------------------------------------------------- Bounds
+
+TEST(CornerLowerBoundTest, DegenerateBoxIsExact) {
+  GiniImpurity gini;
+  const std::vector<int64_t> stamp = {3, 1};
+  const std::vector<int64_t> totals = {5, 5};
+  const int64_t left[2] = {3, 1};
+  const int64_t right[2] = {2, 4};
+  EXPECT_DOUBLE_EQ(CornerLowerBound(gini, stamp, stamp, totals, 10),
+                   gini.Eval(left, right, 2, 10));
+}
+
+TEST(CornerLowerBoundTest, BoundsAllInteriorStampPoints) {
+  GiniImpurity gini;
+  EntropyImpurity entropy;
+  Rng rng(23);
+  for (int rep = 0; rep < 200; ++rep) {
+    const int k = 2 + static_cast<int>(rng.UniformInt(0, 1));
+    std::vector<int64_t> totals(k), lo(k), hi(k);
+    int64_t total = 0;
+    for (int c = 0; c < k; ++c) {
+      totals[c] = rng.UniformInt(5, 40);
+      total += totals[c];
+      lo[c] = rng.UniformInt(0, totals[c] / 2);
+      hi[c] = rng.UniformInt(lo[c], totals[c]);
+    }
+    for (const ImpurityFunction* imp :
+         {static_cast<const ImpurityFunction*>(&gini),
+          static_cast<const ImpurityFunction*>(&entropy)}) {
+      const double bound = CornerLowerBound(*imp, lo, hi, totals, total);
+      // Sample interior points of the box; all must be >= the bound.
+      for (int probe = 0; probe < 20; ++probe) {
+        std::vector<int64_t> s(k), r(k);
+        for (int c = 0; c < k; ++c) {
+          s[c] = rng.UniformInt(lo[c], hi[c]);
+          r[c] = totals[c] - s[c];
+        }
+        const double v = imp->Eval(s.data(), r.data(), k, total);
+        EXPECT_GE(v, bound - 1e-12);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ ExtremeTracker
+
+TEST(ExtremeTrackerTest, TracksMaxBelowBound) {
+  ExtremeTracker tracker(10.0);
+  tracker.Insert(5.0);
+  tracker.Insert(12.0);  // above bound: ignored
+  tracker.Insert(8.0);
+  EXPECT_TRUE(tracker.known());
+  EXPECT_EQ(tracker.value(), 8.0);
+  EXPECT_EQ(tracker.qualifying(), 2);
+}
+
+TEST(ExtremeTrackerTest, EmptyWhenNothingQualifies) {
+  ExtremeTracker tracker(10.0);
+  tracker.Insert(20.0);
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_TRUE(tracker.known());
+}
+
+TEST(ExtremeTrackerTest, RemovalOfNonExtremeKeepsValue) {
+  ExtremeTracker tracker(100.0);
+  tracker.Insert(5.0);
+  tracker.Insert(8.0);
+  tracker.Remove(5.0);
+  EXPECT_TRUE(tracker.known());
+  EXPECT_EQ(tracker.value(), 8.0);
+}
+
+TEST(ExtremeTrackerTest, RemovingTheExtremeLosesIt) {
+  ExtremeTracker tracker(100.0);
+  tracker.Insert(5.0);
+  tracker.Insert(8.0);
+  tracker.Remove(8.0);
+  EXPECT_FALSE(tracker.known());  // 5.0 exists but is untracked
+  tracker.Remove(5.0);
+  EXPECT_TRUE(tracker.known());  // empty again: exact
+  EXPECT_TRUE(tracker.empty());
+}
+
+TEST(ExtremeTrackerTest, MultiplicityProtectsAgainstLoss) {
+  ExtremeTracker tracker(100.0);
+  tracker.Insert(8.0);
+  tracker.Insert(8.0);
+  tracker.Remove(8.0);
+  EXPECT_TRUE(tracker.known());
+  EXPECT_EQ(tracker.value(), 8.0);
+}
+
+// ------------------------------------------------------- Bootstrap combining
+
+DecisionTree TreeWithRootSplit(const Schema& schema, Split split) {
+  auto root = TreeNode::Internal(std::move(split), {5, 5},
+                                 TreeNode::Leaf({5, 0}),
+                                 TreeNode::Leaf({0, 5}));
+  return DecisionTree(schema, std::move(root));
+}
+
+TEST(CombineBootstrapTest, AgreementYieldsInterval) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  std::vector<DecisionTree> trees;
+  trees.push_back(TreeWithRootSplit(schema, Split::Numerical(0, 4.0, 0.1)));
+  trees.push_back(TreeWithRootSplit(schema, Split::Numerical(0, 6.0, 0.1)));
+  trees.push_back(TreeWithRootSplit(schema, Split::Numerical(0, 5.0, 0.1)));
+  uint64_t kills = 0;
+  auto coarse = CombineBootstrapTrees(trees, &kills);
+  ASSERT_FALSE(coarse->is_frontier());
+  EXPECT_EQ(coarse->criterion->attribute, 0);
+  EXPECT_EQ(coarse->criterion->interval_lo, 4.0);
+  EXPECT_EQ(coarse->criterion->interval_hi, 6.0);
+  EXPECT_EQ(kills, 0u);
+  // Children are leaves in all trees: frontier without kills.
+  EXPECT_TRUE(coarse->left->is_frontier());
+}
+
+TEST(CombineBootstrapTest, AttributeDisagreementKills) {
+  Schema schema({Attribute::Numerical("x"), Attribute::Numerical("y")}, 2);
+  std::vector<DecisionTree> trees;
+  trees.push_back(TreeWithRootSplit(schema, Split::Numerical(0, 4.0, 0.1)));
+  trees.push_back(TreeWithRootSplit(schema, Split::Numerical(1, 4.0, 0.1)));
+  uint64_t kills = 0;
+  auto coarse = CombineBootstrapTrees(trees, &kills);
+  EXPECT_TRUE(coarse->is_frontier());
+  EXPECT_EQ(kills, 1u);
+}
+
+TEST(CombineBootstrapTest, CategoricalSubsetMismatchKills) {
+  Schema schema({Attribute::Categorical("c", 4)}, 2);
+  std::vector<DecisionTree> trees;
+  trees.push_back(
+      TreeWithRootSplit(schema, Split::Categorical(0, {0, 1}, 0.1)));
+  trees.push_back(
+      TreeWithRootSplit(schema, Split::Categorical(0, {0, 2}, 0.1)));
+  uint64_t kills = 0;
+  auto coarse = CombineBootstrapTrees(trees, &kills);
+  EXPECT_TRUE(coarse->is_frontier());
+  EXPECT_EQ(kills, 1u);
+}
+
+TEST(CombineBootstrapTest, CategoricalAgreementKeepsSubset) {
+  Schema schema({Attribute::Categorical("c", 4)}, 2);
+  std::vector<DecisionTree> trees;
+  trees.push_back(
+      TreeWithRootSplit(schema, Split::Categorical(0, {0, 1}, 0.1)));
+  trees.push_back(
+      TreeWithRootSplit(schema, Split::Categorical(0, {0, 1}, 0.2)));
+  uint64_t kills = 0;
+  auto coarse = CombineBootstrapTrees(trees, &kills);
+  ASSERT_FALSE(coarse->is_frontier());
+  EXPECT_FALSE(coarse->criterion->is_numerical);
+  EXPECT_EQ(coarse->criterion->subset, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(CombineBootstrapTest, MixedLeafInternalStops) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  std::vector<DecisionTree> trees;
+  trees.push_back(TreeWithRootSplit(schema, Split::Numerical(0, 4.0, 0.1)));
+  trees.push_back(DecisionTree(schema, TreeNode::Leaf({10, 0})));
+  uint64_t kills = 0;
+  auto coarse = CombineBootstrapTrees(trees, &kills);
+  EXPECT_TRUE(coarse->is_frontier());
+  EXPECT_EQ(kills, 1u);
+}
+
+// -------------------------------------------------------------- SamplingPhase
+
+TEST(SamplingPhaseTest, ProducesCoarseTreeOnSeparableData) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 31;
+  AgrawalGenerator gen(config, 20000);
+  auto selector = MakeGiniSelector();
+  SamplingPhaseOptions opts;
+  opts.sample_size = 2000;
+  opts.bootstrap_count = 10;
+  opts.bootstrap_subsample = 1000;
+  opts.frontier_threshold = 1000;
+  Rng rng(3);
+  auto phase = RunSamplingPhase(&gen, *selector, opts, &rng);
+  ASSERT_TRUE(phase.ok());
+  EXPECT_EQ(phase->db_size, 20000u);
+  EXPECT_EQ(phase->sample.size(), 2000u);
+  // F1 is dominated by the age attribute: bootstrap trees agree at the root.
+  ASSERT_FALSE(phase->coarse_root->is_frontier());
+  EXPECT_EQ(phase->coarse_root->criterion->attribute, kAge);
+  EXPECT_TRUE(phase->coarse_root->criterion->is_numerical);
+  EXPECT_LE(phase->coarse_root->criterion->interval_lo,
+            phase->coarse_root->criterion->interval_hi);
+  // Discretizations exist for numerical attributes at internal nodes, and
+  // the interval endpoints are forced boundaries of the split attribute.
+  const auto& discs = phase->coarse_root->discretizations;
+  ASSERT_EQ(static_cast<int>(discs.size()), 9);
+  EXPECT_GE(
+      discs[kAge].BoundaryIndex(phase->coarse_root->criterion->interval_lo),
+      0);
+  EXPECT_GE(
+      discs[kAge].BoundaryIndex(phase->coarse_root->criterion->interval_hi),
+      0);
+}
+
+TEST(SamplingPhaseTest, EmptyDatabaseYieldsFrontierRoot) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  VectorSource source(schema, {});
+  auto selector = MakeGiniSelector();
+  SamplingPhaseOptions opts;
+  Rng rng(1);
+  auto phase = RunSamplingPhase(&source, *selector, opts, &rng);
+  ASSERT_TRUE(phase.ok());
+  EXPECT_EQ(phase->db_size, 0u);
+  EXPECT_TRUE(phase->coarse_root->is_frontier());
+}
+
+// ---------------------------------------------------------------- ModelNode
+
+TEST(ModelTest, ExtractTreeFromFrontier) {
+  ModelNode node;
+  node.kind = ModelNode::Kind::kFrontier;
+  node.subtree = TreeNode::Leaf({3, 7});
+  auto tree = ExtractTree(node);
+  EXPECT_TRUE(tree->is_leaf());
+  EXPECT_EQ(tree->MajorityLabel(), 1);
+}
+
+TEST(ModelTest, ExtractTreeFromUnsplitInternal) {
+  // An internal node without a final split (e.g. freshly leafized by the
+  // stop rules) extracts as a leaf over its class totals.
+  ModelNode node;
+  node.kind = ModelNode::Kind::kInternal;
+  node.class_totals = {5, 2};
+  auto tree = ExtractTree(node);
+  EXPECT_TRUE(tree->is_leaf());
+  EXPECT_EQ(tree->MajorityLabel(), 0);
+}
+
+// ------------------------------------------------------------ DatasetArchive
+
+TEST(DatasetArchiveTest, ScanStreamsLiveTuples) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  Schema schema({Attribute::Numerical("x")}, 2);
+  DatasetArchive archive(schema, &*temp);
+
+  std::vector<Tuple> chunk1 = {Tuple({1.0}, 0), Tuple({2.0}, 1)};
+  std::vector<Tuple> chunk2 = {Tuple({3.0}, 0)};
+  ASSERT_TRUE(archive.AddChunk(chunk1).ok());
+  ASSERT_TRUE(archive.AddChunk(chunk2).ok());
+  EXPECT_EQ(archive.live_tuples(), 3);
+
+  int64_t n = 0;
+  ASSERT_TRUE(archive.Scan([&n](const Tuple&) { ++n; }).ok());
+  EXPECT_EQ(n, 3);
+}
+
+TEST(DatasetArchiveTest, TombstonesCancelEqualTuples) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  Schema schema({Attribute::Numerical("x")}, 2);
+  DatasetArchive archive(schema, &*temp);
+
+  // Two equal tuples inserted; one deleted: exactly one survives.
+  std::vector<Tuple> chunk = {Tuple({1.0}, 0), Tuple({1.0}, 0),
+                              Tuple({2.0}, 1)};
+  ASSERT_TRUE(archive.AddChunk(chunk).ok());
+  ASSERT_TRUE(archive.RemoveChunk({Tuple({1.0}, 0)}).ok());
+  EXPECT_EQ(archive.live_tuples(), 2);
+
+  int64_t ones = 0;
+  int64_t twos = 0;
+  ASSERT_TRUE(archive
+                  .Scan([&](const Tuple& t) {
+                    if (t.value(0) == 1.0) ++ones;
+                    if (t.value(0) == 2.0) ++twos;
+                  })
+                  .ok());
+  EXPECT_EQ(ones, 1);
+  EXPECT_EQ(twos, 1);
+}
+
+// ----------------------------------------------------------- BoatStats/merge
+
+TEST(BoatStatsTest, MergeAccumulatesCounters) {
+  BoatStats a;
+  a.cleanup_scans = 1;
+  a.failed_checks = 2;
+  BoatStats b;
+  b.cleanup_scans = 3;
+  b.frontier_inmem = 4;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.cleanup_scans, 4u);
+  EXPECT_EQ(a.failed_checks, 2u);
+  EXPECT_EQ(a.frontier_inmem, 4u);
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,324 @@
+// Engine-level tests for BOAT: statistics accounting, the no-collection
+// optimization and its repair path, deletion-induced tracker loss, the
+// exact-coarse sampling mode, store sources, and model introspection.
+
+#include <gtest/gtest.h>
+
+#include "boat/builder.h"
+#include "common/io_stats.h"
+#include "datagen/agrawal.h"
+#include "split/quest.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+std::vector<Tuple> F6Data(int n, double noise = 0.0, uint64_t seed = 2024) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = noise;
+  config.seed = seed;
+  return GenerateAgrawal(config, n);
+}
+
+BoatOptions SmallOptions() {
+  BoatOptions options;
+  options.sample_size = 1000;
+  options.bootstrap_count = 10;
+  options.bootstrap_subsample = 400;
+  options.inmem_threshold = 400;
+  options.seed = 99;
+  return options;
+}
+
+TEST(BoatEngineTest, ExactlyOneCleanupScanOnCleanBuild) {
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(5000);
+  auto selector = MakeGiniSelector();
+  VectorSource source(schema, data);
+  BoatStats stats;
+  auto tree = BuildTreeBoat(&source, *selector, SmallOptions(), &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(stats.db_size, 5000u);
+  // The top-level build performs exactly one cleanup scan; recursive
+  // invocations (if any) add their own.
+  EXPECT_GE(stats.cleanup_scans, 1u);
+  EXPECT_EQ(stats.cleanup_scans, 1u + stats.frontier_recursive);
+}
+
+TEST(BoatEngineTest, StatsCountCoarseNodes) {
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(5000);
+  auto selector = MakeGiniSelector();
+  VectorSource source(schema, data);
+  BoatStats stats;
+  auto tree = BuildTreeBoat(&source, *selector, SmallOptions(), &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(stats.coarse_nodes, 0u);
+}
+
+TEST(BoatEngineTest, PaperModeStopsAtThresholdAndCollectsNothingExtra) {
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(8000);
+  auto selector = MakeGiniSelector();
+  BoatOptions options = SmallOptions();
+  options.inmem_threshold = 2000;
+  options.limits.stop_family_size = 2000;
+
+  DecisionTree reference =
+      BuildTreeInMemory(schema, data, *selector, options.limits);
+
+  ResetIoStats();
+  VectorSource source(schema, data);
+  auto tree = BuildTreeBoat(&source, *selector, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->StructurallyEqual(reference));
+  // Stop-rule frontier families are not written out in paper mode; total
+  // writes stay well below one copy of the database unless repairs or
+  // kills occurred. (Soft check: no more than the database size.)
+  EXPECT_LE(GetIoStats().tuples_written, 8000u);
+}
+
+TEST(BoatEngineTest, MisEstimatedFrontierIsRepairedExactly) {
+  // A tiny sample makes frontier estimates unreliable; the no-collection
+  // bet must be repaired by the extra scan, never produce a wrong tree.
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(6000, /*noise=*/0.1);
+  auto selector = MakeGiniSelector();
+  BoatOptions options;
+  options.sample_size = 150;  // very unreliable estimates
+  options.bootstrap_count = 5;
+  options.bootstrap_subsample = 80;
+  options.inmem_threshold = 1500;
+  options.limits.stop_family_size = 1500;
+  options.seed = 3;
+
+  DecisionTree reference =
+      BuildTreeInMemory(schema, data, *selector, options.limits);
+  VectorSource source(schema, data);
+  BoatStats stats;
+  auto tree = BuildTreeBoat(&source, *selector, options, &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->StructurallyEqual(reference));
+}
+
+TEST(BoatEngineTest, TinyInMemoryThresholdForcesRecursionAndStaysExact) {
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(6000, 0.05);
+  auto selector = MakeGiniSelector();
+  BoatOptions options = SmallOptions();
+  options.sample_size = 300;
+  options.bootstrap_subsample = 150;
+  options.inmem_threshold = 100;  // almost nothing fits "in memory"
+  options.limits.max_depth = 16;
+
+  DecisionTree reference =
+      BuildTreeInMemory(schema, data, *selector, options.limits);
+  VectorSource source(schema, data);
+  BoatStats stats;
+  auto tree = BuildTreeBoat(&source, *selector, options, &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->StructurallyEqual(reference));
+}
+
+TEST(BoatEngineTest, DeletionOfBoundaryValuesStaysExact) {
+  // Deleting every tuple that carries a node's boundary value vL forces the
+  // extreme trackers into their "lost" state; verification must fail
+  // conservatively and the rebuild must restore exactness.
+  const Schema schema = MakeAgrawalSchema();
+  auto all = F6Data(6000, 0.05, 7);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 18;
+  BoatOptions options = SmallOptions();
+  options.limits = limits;
+  options.enable_updates = true;
+
+  VectorSource source(schema, all);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  ASSERT_TRUE(classifier.ok());
+
+  // Find the root split value of the current tree and delete every tuple at
+  // that exact value of that attribute.
+  const TreeNode& root = (*classifier)->tree().root();
+  ASSERT_FALSE(root.is_leaf());
+  ASSERT_TRUE(root.split->is_numerical);
+  const int attr = root.split->attribute;
+  const double value = root.split->value;
+  std::vector<Tuple> doomed;
+  std::vector<Tuple> remaining;
+  for (const Tuple& t : all) {
+    (t.value(attr) == value ? doomed : remaining).push_back(t);
+  }
+  ASSERT_FALSE(doomed.empty());
+  ASSERT_TRUE((*classifier)->DeleteChunk(doomed).ok());
+
+  DecisionTree reference =
+      BuildTreeInMemory(schema, remaining, *selector, limits);
+  EXPECT_TRUE((*classifier)->tree().StructurallyEqual(reference));
+}
+
+TEST(BoatEngineTest, QuestIncrementalMatchesRebuild) {
+  const Schema schema = MakeAgrawalSchema();
+  auto base = F6Data(4000, 0.05, 11);
+  auto chunk = F6Data(3000, 0.05, 12);
+  QuestSelector selector;
+  GrowthLimits limits;
+  limits.max_depth = 14;
+  BoatOptions options = SmallOptions();
+  options.limits = limits;
+  options.enable_updates = true;
+
+  VectorSource source(schema, base);
+  auto classifier = BoatClassifier::Train(&source, &selector, options);
+  ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+  ASSERT_TRUE((*classifier)->InsertChunk(chunk).ok());
+
+  std::vector<Tuple> all = base;
+  all.insert(all.end(), chunk.begin(), chunk.end());
+  DecisionTree reference = BuildTreeInMemory(schema, all, selector, limits);
+  EXPECT_TRUE((*classifier)->tree().StructurallyEqual(reference));
+}
+
+TEST(BoatEngineTest, UpdatesRequireOptIn) {
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(2000);
+  auto selector = MakeGiniSelector();
+  VectorSource source(schema, data);
+  auto classifier =
+      BoatClassifier::Train(&source, selector.get(), SmallOptions());
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_EQ((*classifier)->InsertChunk(F6Data(100)).code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ((*classifier)->DeleteChunk({data[0]}).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(BoatEngineTest, ModelShapeDescribesTree) {
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(6000);
+  auto selector = MakeGiniSelector();
+  BoatOptions options = SmallOptions();
+  options.enable_updates = true;
+  VectorSource source(schema, data);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  ASSERT_TRUE(classifier.ok());
+  const ModelShape shape =
+      DescribeModel((*classifier)->engine().model_root());
+  EXPECT_GT(shape.internal_nodes + shape.frontier_nodes, 0);
+}
+
+TEST(BoatEngineTest, EmptyDatabaseYieldsLeaf) {
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+  VectorSource source(schema, {});
+  auto tree = BuildTreeBoat(&source, *selector, SmallOptions());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+}
+
+TEST(BoatEngineTest, SingleTupleDatabase) {
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(1);
+  auto selector = MakeGiniSelector();
+  VectorSource source(schema, data);
+  auto tree = BuildTreeBoat(&source, *selector, SmallOptions());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  EXPECT_EQ(tree->Classify(data[0]), data[0].label());
+}
+
+TEST(BoatEngineTest, DeterministicForFixedSeed) {
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(5000, 0.05);
+  auto selector = MakeGiniSelector();
+  VectorSource a(schema, data), b(schema, data);
+  auto t1 = BuildTreeBoat(&a, *selector, SmallOptions());
+  auto t2 = BuildTreeBoat(&b, *selector, SmallOptions());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  // Determinism is stronger than the equality guarantee (which already
+  // pins the tree): the run is bit-for-bit repeatable.
+  EXPECT_TRUE(t1->StructurallyEqual(*t2));
+}
+
+TEST(BoatEngineTest, BuildOverNonMaterializedGenerator) {
+  // The training database is a generator stream, never materialized.
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 77;
+  AgrawalGenerator gen(config, 10000);
+  auto selector = MakeGiniSelector();
+  BoatOptions options = SmallOptions();
+  options.inmem_threshold = 1500;
+  options.limits.stop_family_size = 1500;
+  BoatStats stats;
+  auto tree = BuildTreeBoat(&gen, *selector, options, &stats);
+  ASSERT_TRUE(tree.ok());
+  DecisionTree reference = BuildTreeInMemory(
+      MakeAgrawalSchema(), GenerateAgrawal(config, 10000), *selector,
+      options.limits);
+  EXPECT_TRUE(tree->StructurallyEqual(reference));
+}
+
+TEST(BoatEngineTest, ManySmallChunksStayExact) {
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 14;
+  BoatOptions options = SmallOptions();
+  options.limits = limits;
+  options.enable_updates = true;
+
+  std::vector<Tuple> current = F6Data(3000, 0.05, 501);
+  VectorSource source(schema, current);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  ASSERT_TRUE(classifier.ok());
+
+  for (int i = 0; i < 8; ++i) {
+    auto chunk = F6Data(250, 0.05, 600 + static_cast<uint64_t>(i));
+    ASSERT_TRUE((*classifier)->InsertChunk(chunk).ok());
+    current.insert(current.end(), chunk.begin(), chunk.end());
+  }
+  DecisionTree reference =
+      BuildTreeInMemory(schema, current, *selector, limits);
+  EXPECT_TRUE((*classifier)->tree().StructurallyEqual(reference));
+}
+
+TEST(StoreSourceTest, StreamsSpilledStoreWithTombstones) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  Schema schema({Attribute::Numerical("x")}, 2);
+  SpillableTupleStore store(schema, &*temp, "s", 4);  // tiny: forces spill
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store.Append(Tuple({double(i)}, i % 2)).ok());
+  }
+  ASSERT_TRUE(store.RemoveOne(Tuple({3.0}, 1)).ok());  // tombstone in segment
+  ASSERT_TRUE(store.spilled());
+
+  auto source = store.MakeSource();
+  std::multiset<double> seen;
+  Tuple t;
+  while (source->Next(&t)) seen.insert(t.value(0));
+  EXPECT_EQ(seen.size(), 29u);
+  EXPECT_EQ(seen.count(3.0), 0u);
+
+  // Reset replays the same contents.
+  ASSERT_TRUE(source->Reset().ok());
+  size_t again = 0;
+  while (source->Next(&t)) ++again;
+  EXPECT_EQ(again, 29u);
+}
+
+TEST(StoreSourceTest, EmptyStore) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  Schema schema({Attribute::Numerical("x")}, 2);
+  SpillableTupleStore store(schema, &*temp, "s", 4);
+  auto source = store.MakeSource();
+  Tuple t;
+  EXPECT_FALSE(source->Next(&t));
+}
+
+}  // namespace
+}  // namespace boat

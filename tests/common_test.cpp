@@ -1,0 +1,188 @@
+// Unit tests for src/common: Status/Result, Rng, IoStats, string utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/io_stats.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace boat {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Corruption("x"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    BOAT_RETURN_NOT_OK(Status::InvalidArgument("bad"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kInvalidArgument);
+
+  auto succeeds = []() -> Status {
+    BOAT_RETURN_NOT_OK(Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(succeeds().ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 5;
+  };
+  auto outer = [&inner](bool fail) -> Result<int> {
+    BOAT_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all values hit over 1000 draws
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformDoubleStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng base(42);
+  Rng child1 = base.Split(1);
+  Rng child2 = base.Split(2);
+  EXPECT_NE(child1.Next(), child2.Next());
+  // Splitting is deterministic: same parent state + id => same child.
+  Rng base2(42);
+  Rng child1_again = base2.Split(1);
+  Rng check1(42);
+  Rng expected = check1.Split(1);
+  EXPECT_EQ(child1_again.Next(), expected.Next());
+}
+
+TEST(IoStatsTest, CountersAccumulateAndReset) {
+  ResetIoStats();
+  io_internal::RecordRead(3, 120);
+  io_internal::RecordWrite(2, 80);
+  io_internal::RecordScanStart();
+  IoStats s = GetIoStats();
+  EXPECT_EQ(s.tuples_read, 3u);
+  EXPECT_EQ(s.bytes_read, 120u);
+  EXPECT_EQ(s.tuples_written, 2u);
+  EXPECT_EQ(s.bytes_written, 80u);
+  EXPECT_EQ(s.scans_started, 1u);
+  ResetIoStats();
+  s = GetIoStats();
+  EXPECT_EQ(s.tuples_read, 0u);
+  EXPECT_EQ(s.scans_started, 0u);
+}
+
+TEST(IoStatsTest, SnapshotDifference) {
+  ResetIoStats();
+  io_internal::RecordRead(10, 100);
+  IoStats before = GetIoStats();
+  io_internal::RecordRead(5, 50);
+  IoStats delta = GetIoStats() - before;
+  EXPECT_EQ(delta.tuples_read, 5u);
+  EXPECT_EQ(delta.bytes_read, 50u);
+}
+
+TEST(StrUtilTest, StrPrintfFormats) {
+  EXPECT_EQ(StrPrintf("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrPrintf("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrPrintf("empty"), "empty");
+}
+
+TEST(StrUtilTest, StrJoinJoins) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+}  // namespace
+}  // namespace boat

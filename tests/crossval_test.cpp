@@ -1,0 +1,146 @@
+// Tests for BOAT-accelerated cross-validation: every fold tree must equal an
+// in-memory build on its fold-complement (the exactness guarantee, fold by
+// fold), scan counts must stay constant in k, and the evaluation statistics
+// must be coherent.
+
+#include <gtest/gtest.h>
+
+#include "boat/crossval.h"
+#include "common/io_stats.h"
+#include "datagen/agrawal.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+BoatOptions CvOptions() {
+  BoatOptions options;
+  options.sample_size = 800;
+  options.bootstrap_count = 8;
+  options.bootstrap_subsample = 300;
+  options.inmem_threshold = 400;
+  options.limits.max_depth = 16;
+  options.seed = 21;
+  return options;
+}
+
+TEST(CrossValidationFoldTest, DeterministicAndCoversAllFolds) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 1;
+  auto data = GenerateAgrawal(config, 2000);
+  std::vector<int64_t> counts(5, 0);
+  for (const Tuple& t : data) {
+    const int f = CrossValidationFold(t, 5, 99);
+    EXPECT_EQ(f, CrossValidationFold(t, 5, 99));  // stable
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 5);
+    ++counts[f];
+  }
+  for (const int64_t c : counts) {
+    EXPECT_GT(c, 250);  // roughly balanced
+    EXPECT_LT(c, 550);
+  }
+}
+
+TEST(CrossValidationFoldTest, SeedChangesAssignment) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 2;
+  auto data = GenerateAgrawal(config, 500);
+  int differing = 0;
+  for (const Tuple& t : data) {
+    if (CrossValidationFold(t, 4, 1) != CrossValidationFold(t, 4, 2)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 200);
+}
+
+TEST(BoatCrossValidateTest, FoldTreesMatchReferenceBuilds) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  config.seed = 3;
+  const Schema schema = MakeAgrawalSchema();
+  auto data = GenerateAgrawal(config, 6000);
+  auto selector = MakeGiniSelector();
+  const BoatOptions options = CvOptions();
+  const int kFolds = 4;
+
+  VectorSource source(schema, data);
+  auto cv = BoatCrossValidate(&source, kFolds, *selector, options);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  ASSERT_EQ(cv->fold_trees.size(), static_cast<size_t>(kFolds));
+  EXPECT_EQ(cv->db_size, 6000u);
+
+  const uint64_t fold_seed = options.seed * 1000003 + 17;
+  for (int f = 0; f < kFolds; ++f) {
+    std::vector<Tuple> complement;
+    for (const Tuple& t : data) {
+      if (CrossValidationFold(t, kFolds, fold_seed) != f) {
+        complement.push_back(t);
+      }
+    }
+    DecisionTree reference =
+        BuildTreeInMemory(schema, complement, *selector, options.limits);
+    EXPECT_TRUE(cv->fold_trees[f].StructurallyEqual(reference))
+        << "fold " << f << " diverged";
+  }
+}
+
+TEST(BoatCrossValidateTest, AccuracyIsSensible) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 4;
+  const Schema schema = MakeAgrawalSchema();
+  auto data = GenerateAgrawal(config, 8000);
+  auto selector = MakeGiniSelector();
+
+  VectorSource source(schema, data);
+  auto cv = BoatCrossValidate(&source, 5, *selector, CvOptions());
+  ASSERT_TRUE(cv.ok());
+  EXPECT_GT(cv->mean_accuracy, 0.97);  // F1 without noise is easy
+  EXPECT_GE(cv->stddev_accuracy, 0.0);
+  int64_t evaluated = 0;
+  for (const ConfusionMatrix& cm : cv->fold_confusion) {
+    evaluated += cm.total();
+  }
+  EXPECT_EQ(evaluated, 8000);  // every tuple held out exactly once
+}
+
+TEST(BoatCrossValidateTest, ScanCountIndependentOfFoldCount) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const std::string table = temp->NewPath("cv");
+  AgrawalConfig config;
+  config.function = 6;
+  config.seed = 5;
+  ASSERT_TRUE(GenerateAgrawalTable(config, 8000, table).ok());
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+
+  auto scans_for = [&](int folds) -> uint64_t {
+    auto source = TableScanSource::Open(table, schema);
+    CheckOk(source.status());
+    ResetIoStats();
+    auto cv = BoatCrossValidate(source->get(), folds, *selector, CvOptions());
+    CheckOk(cv.status());
+    return GetIoStats().scans_started;
+  };
+  const uint64_t scans2 = scans_for(2);
+  const uint64_t scans8 = scans_for(8);
+  // 3 shared scans plus rare repair rescans; independent of k up to repairs.
+  EXPECT_LE(scans2, 8u);
+  EXPECT_LE(scans8, scans2 + 8);  // not growing ~4x with k
+}
+
+TEST(BoatCrossValidateTest, RejectsDegenerateFoldCount) {
+  const Schema schema = MakeAgrawalSchema();
+  VectorSource source(schema, GenerateAgrawal(AgrawalConfig(), 100));
+  auto selector = MakeGiniSelector();
+  EXPECT_FALSE(BoatCrossValidate(&source, 1, *selector, CvOptions()).ok());
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,186 @@
+// Unit tests for CSV import/export and the rule/dot tree exports.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "storage/csv.h"
+#include "storage/temp_file.h"
+#include "tree/export.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto temp = TempFileManager::Create();
+    ASSERT_TRUE(temp.ok());
+    temp_ = std::make_unique<TempFileManager>(std::move(temp).ValueOrDie());
+  }
+  std::string WriteFile(const std::string& contents) {
+    const std::string path = temp_->NewPath("csv");
+    std::ofstream out(path);
+    out << contents;
+    return path;
+  }
+  std::unique_ptr<TempFileManager> temp_;
+};
+
+TEST_F(CsvTest, SplitCsvLineBasics) {
+  EXPECT_EQ(SplitCsvLine("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitCsvLine(" a , b ", ','),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitCsvLine("\"a,b\",c", ','),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(SplitCsvLine("\"he said \"\"hi\"\"\",x", ','),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+}
+
+TEST_F(CsvTest, LoadInfersTypesAndDictionaries) {
+  const std::string path = WriteFile(
+      "age,city,income,approved\n"
+      "34,york,51000,yes\n"
+      "22,leeds,28000,no\n"
+      "45,york,90000,yes\n"
+      "31,bath,40000,no\n");
+  auto dataset = LoadCsv(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const Schema& schema = dataset->schema;
+  EXPECT_EQ(schema.num_attributes(), 3);
+  EXPECT_TRUE(schema.IsNumerical(0));    // age
+  EXPECT_TRUE(schema.IsCategorical(1));  // city
+  EXPECT_TRUE(schema.IsNumerical(2));    // income
+  EXPECT_EQ(schema.attribute(1).cardinality, 3);
+  EXPECT_EQ(schema.num_classes(), 2);
+  EXPECT_EQ(dataset->class_names, (std::vector<std::string>{"yes", "no"}));
+  ASSERT_EQ(dataset->tuples.size(), 4u);
+  EXPECT_EQ(dataset->tuples[0].value(0), 34);
+  EXPECT_EQ(dataset->CategoryName(1, dataset->tuples[0].category(1)), "york");
+  EXPECT_EQ(dataset->tuples[1].label(), 1);  // "no"
+}
+
+TEST_F(CsvTest, ExplicitLabelColumn) {
+  const std::string path = WriteFile(
+      "label,x\n"
+      "a,1\n"
+      "b,2\n");
+  CsvOptions options;
+  options.label_column = 0;
+  auto dataset = LoadCsv(path, options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->schema.num_attributes(), 1);
+  EXPECT_EQ(dataset->schema.attribute(0).name, "x");
+  EXPECT_EQ(dataset->class_names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(CsvTest, NoHeaderGeneratesColumnNames) {
+  const std::string path = WriteFile("1,x,0\n2,y,1\n");
+  CsvOptions options;
+  options.has_header = false;
+  auto dataset = LoadCsv(path, options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->schema.attribute(0).name, "col0");
+  EXPECT_EQ(dataset->schema.attribute(1).name, "col1");
+}
+
+TEST_F(CsvTest, RejectsBadInput) {
+  EXPECT_EQ(LoadCsv(temp_->dir() + "/missing.csv").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(LoadCsv(WriteFile("h1,h2\n")).ok());        // no rows
+  EXPECT_FALSE(LoadCsv(WriteFile("a,b\n1,2\n3\n")).ok());  // ragged
+  EXPECT_FALSE(LoadCsv(WriteFile("x,label\n1,same\n2,same\n")).ok());  // 1 cls
+}
+
+TEST_F(CsvTest, RoundTripThroughWriteCsv) {
+  const std::string path = WriteFile(
+      "age,city,approved\n"
+      "34,york,yes\n"
+      "22,leeds,no\n"
+      "45,\"york, north\",yes\n");
+  auto dataset = LoadCsv(path);
+  ASSERT_TRUE(dataset.ok());
+
+  const std::string out_path = temp_->NewPath("out");
+  ASSERT_TRUE(WriteCsv(out_path, dataset->schema, dataset->tuples,
+                       dataset->categories, dataset->class_names)
+                  .ok());
+  auto again = LoadCsv(out_path);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->tuples, dataset->tuples);
+  EXPECT_EQ(again->class_names, dataset->class_names);
+  EXPECT_EQ(again->categories, dataset->categories);
+}
+
+TEST_F(CsvTest, TrainOnLoadedCsv) {
+  // End-to-end: CSV -> schema -> tree.
+  std::string contents = "x,c,label\n";
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const int x = static_cast<int>(rng.UniformInt(0, 99));
+    const char* c = rng.Bernoulli(0.5) ? "red" : "blue";
+    contents += StrPrintf("%d,%s,%s\n", x, c, x < 50 ? "low" : "high");
+  }
+  auto dataset = LoadCsv(WriteFile(contents));
+  ASSERT_TRUE(dataset.ok());
+  auto selector = MakeGiniSelector();
+  DecisionTree tree =
+      BuildTreeInMemory(dataset->schema, dataset->tuples, *selector);
+  EXPECT_DOUBLE_EQ(tree.MisclassificationRate(dataset->tuples), 0.0);
+}
+
+// ----------------------------------------------------------------- exports
+
+DecisionTree SmallTree() {
+  Schema schema({Attribute::Numerical("age"), Attribute::Categorical("city", 3)},
+                2);
+  auto inner =
+      TreeNode::Internal(Split::Categorical(1, {0, 2}, 0.1), {5, 5},
+                         TreeNode::Leaf({5, 0}), TreeNode::Leaf({0, 5}));
+  auto root = TreeNode::Internal(Split::Numerical(0, 40.0, 0.2), {12, 8},
+                                 TreeNode::Leaf({7, 3}), std::move(inner));
+  return DecisionTree(std::move(schema), std::move(root));
+}
+
+TEST(ExportRulesTest, OneRulePerLeafWithNames) {
+  ExportNames names;
+  names.categories = {{}, {"york", "leeds", "bath"}};
+  names.classes = {"approved", "rejected"};
+  const std::string rules = ExportRules(SmallTree(), names);
+  EXPECT_NE(rules.find("IF age <= 40"), std::string::npos);
+  EXPECT_NE(rules.find("age > 40"), std::string::npos);
+  EXPECT_NE(rules.find("city in {york, bath}"), std::string::npos);
+  EXPECT_NE(rules.find("THEN class = approved"), std::string::npos);
+  // Three leaves => three rules.
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), '\n'), 3);
+}
+
+TEST(ExportRulesTest, SingleLeafTree) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  DecisionTree tree(schema, TreeNode::Leaf({3, 1}));
+  const std::string rules = ExportRules(tree);
+  EXPECT_NE(rules.find("IF true THEN class = 0"), std::string::npos);
+}
+
+TEST(ExportDotTest, WellFormedGraph) {
+  const std::string dot = ExportDot(SmallTree());
+  EXPECT_EQ(dot.find("digraph decision_tree {"), 0u);
+  EXPECT_NE(dot.find("n0 ->"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"yes\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"no\""), std::string::npos);
+  // 5 nodes total.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(dot.find(StrPrintf("n%d [", i)), std::string::npos);
+  }
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,192 @@
+// Unit tests for the Agrawal synthetic data generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/agrawal.h"
+#include "storage/temp_file.h"
+
+namespace boat {
+namespace {
+
+TEST(AgrawalSchemaTest, NinePredictorAttributes) {
+  Schema s = MakeAgrawalSchema();
+  EXPECT_EQ(s.num_attributes(), 9);
+  EXPECT_EQ(s.num_classes(), 2);
+  EXPECT_TRUE(s.IsNumerical(kSalary));
+  EXPECT_TRUE(s.IsCategorical(kElevel));
+  EXPECT_EQ(s.attribute(kElevel).cardinality, 5);
+  EXPECT_EQ(s.attribute(kCar).cardinality, 20);
+  EXPECT_EQ(s.attribute(kZipcode).cardinality, 9);
+}
+
+TEST(AgrawalSchemaTest, ExtraAttributesAppended) {
+  Schema s = MakeAgrawalSchema(3);
+  EXPECT_EQ(s.num_attributes(), 12);
+  EXPECT_EQ(s.attribute(9).name, "extra0");
+  EXPECT_TRUE(s.IsNumerical(11));
+}
+
+TEST(AgrawalGeneratorTest, DeterministicAndRestartable) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 42;
+  AgrawalGenerator gen(config, 100);
+  std::vector<Tuple> first;
+  Tuple t;
+  while (gen.Next(&t)) first.push_back(t);
+  EXPECT_EQ(first.size(), 100u);
+  ASSERT_TRUE(gen.Reset().ok());
+  std::vector<Tuple> second;
+  while (gen.Next(&t)) second.push_back(t);
+  EXPECT_EQ(first, second);
+}
+
+TEST(AgrawalGeneratorTest, AttributeDomains) {
+  AgrawalConfig config;
+  config.function = 7;
+  config.seed = 9;
+  for (const Tuple& t : GenerateAgrawal(config, 2000)) {
+    EXPECT_GE(t.value(kSalary), 20000);
+    EXPECT_LE(t.value(kSalary), 150000);
+    if (t.value(kSalary) >= 75000) {
+      EXPECT_EQ(t.value(kCommission), 0);
+    } else {
+      EXPECT_GE(t.value(kCommission), 10000);
+      EXPECT_LE(t.value(kCommission), 75000);
+    }
+    EXPECT_GE(t.value(kAge), 20);
+    EXPECT_LE(t.value(kAge), 80);
+    EXPECT_GE(t.category(kElevel), 0);
+    EXPECT_LE(t.category(kElevel), 4);
+    EXPECT_GE(t.category(kCar), 0);
+    EXPECT_LE(t.category(kCar), 19);
+    EXPECT_GE(t.category(kZipcode), 0);
+    EXPECT_LE(t.category(kZipcode), 8);
+    const double k = t.category(kZipcode) + 1;
+    EXPECT_GE(t.value(kHvalue), 50000 * k);
+    EXPECT_LE(t.value(kHvalue), 150000 * k);
+    EXPECT_GE(t.value(kHyears), 1);
+    EXPECT_LE(t.value(kHyears), 30);
+    EXPECT_GE(t.value(kLoan), 0);
+    EXPECT_LE(t.value(kLoan), 500000);
+    // Integer-valued numerics (bounded AVC domains, as in the original).
+    for (int a : {kSalary, kCommission, kAge, kHvalue, kHyears, kLoan}) {
+      EXPECT_EQ(t.value(a), std::floor(t.value(a)));
+    }
+  }
+}
+
+TEST(AgrawalGeneratorTest, Function1LabelsMatchPredicate) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 13;
+  for (const Tuple& t : GenerateAgrawal(config, 1000)) {
+    const bool group_a = t.value(kAge) < 40 || t.value(kAge) >= 60;
+    EXPECT_EQ(t.label(), group_a ? 0 : 1);
+    EXPECT_EQ(AgrawalGenerator::Classify(1, t), t.label());
+  }
+}
+
+TEST(AgrawalGeneratorTest, Function6UsesSalaryPlusCommission) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.seed = 14;
+  for (const Tuple& t : GenerateAgrawal(config, 1000)) {
+    const double sc = t.value(kSalary) + t.value(kCommission);
+    const double age = t.value(kAge);
+    const bool group_a =
+        (age < 40 && sc >= 50000 && sc <= 100000) ||
+        (age >= 40 && age < 60 && sc >= 75000 && sc <= 125000) ||
+        (age >= 60 && sc >= 25000 && sc <= 75000);
+    EXPECT_EQ(t.label(), group_a ? 0 : 1);
+  }
+}
+
+TEST(AgrawalGeneratorTest, Function7IsLinear) {
+  AgrawalConfig config;
+  config.function = 7;
+  config.seed = 15;
+  for (const Tuple& t : GenerateAgrawal(config, 1000)) {
+    const double disposable =
+        (2.0 / 3.0) * (t.value(kSalary) + t.value(kCommission)) -
+        0.2 * t.value(kLoan) - 20000;
+    EXPECT_EQ(t.label(), disposable > 0 ? 0 : 1);
+  }
+}
+
+TEST(AgrawalGeneratorTest, AllFunctionsProduceBothClasses) {
+  for (int f = 1; f <= 10; ++f) {
+    AgrawalConfig config;
+    config.function = f;
+    config.seed = 100 + static_cast<uint64_t>(f);
+    int64_t counts[2] = {0, 0};
+    for (const Tuple& t : GenerateAgrawal(config, 4000)) ++counts[t.label()];
+    EXPECT_GT(counts[0], 0) << "function " << f;
+    EXPECT_GT(counts[1], 0) << "function " << f;
+  }
+}
+
+TEST(AgrawalGeneratorTest, NoiseFlipsRoughlyHalfOfAffectedLabels) {
+  // With noise p, a label is replaced by a random one, so ~p/2 of records
+  // end up mislabeled relative to the pure function.
+  AgrawalConfig noisy;
+  noisy.function = 1;
+  noisy.noise = 0.2;
+  noisy.seed = 77;
+  int64_t mismatches = 0;
+  const int n = 20000;
+  for (const Tuple& t : GenerateAgrawal(noisy, n)) {
+    if (AgrawalGenerator::Classify(1, t) != t.label()) ++mismatches;
+  }
+  const double rate = static_cast<double>(mismatches) / n;
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(AgrawalGeneratorTest, NoiseDoesNotPerturbAttributeStream) {
+  AgrawalConfig clean;
+  clean.function = 1;
+  clean.seed = 500;
+  AgrawalConfig noisy = clean;
+  noisy.noise = 0.5;
+  const auto a = GenerateAgrawal(clean, 200);
+  const auto b = GenerateAgrawal(noisy, 200);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values(), b[i].values()) << "attribute stream diverged";
+  }
+}
+
+TEST(AgrawalGeneratorTest, DriftRelabelsOnlyOldAge) {
+  AgrawalConfig base;
+  base.function = 1;
+  base.seed = 321;
+  AgrawalConfig drifted = base;
+  drifted.drift = Drift::kRelabelOldAge;
+  const auto a = GenerateAgrawal(base, 2000);
+  const auto b = GenerateAgrawal(drifted, 2000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].values(), b[i].values());
+    if (a[i].value(kAge) >= 60) {
+      EXPECT_NE(a[i].label(), b[i].label());
+    } else {
+      EXPECT_EQ(a[i].label(), b[i].label());
+    }
+  }
+}
+
+TEST(AgrawalGeneratorTest, WritesTableFile) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const std::string path = temp->NewPath("agrawal");
+  AgrawalConfig config;
+  config.function = 2;
+  ASSERT_TRUE(GenerateAgrawalTable(config, 500, path).ok());
+  auto back = ReadTable(path, MakeAgrawalSchema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 500u);
+  EXPECT_EQ(*back, GenerateAgrawal(config, 500));
+}
+
+}  // namespace
+}  // namespace boat

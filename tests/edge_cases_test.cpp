@@ -1,0 +1,199 @@
+// Edge-case tests across modules: QUEST statistic boundaries, spillable
+// store compaction cycles, split-ordering branches, subtree serialization,
+// and degenerate pruning inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "split/quest.h"
+#include "storage/tuple_store.h"
+#include "tree/pruning.h"
+#include "tree/serialize.h"
+
+namespace boat {
+namespace {
+
+// ----------------------------------------------------------- QUEST statistics
+
+TEST(QuestEdgeTest, NumericScoreNeedsTwoPopulatedClasses) {
+  const int64_t count[2] = {10, 0};
+  const int64_t sum[2] = {10 * QuantizeValue(5.0), 0};
+  const __int128 sum_sq[2] = {
+      static_cast<__int128>(10) * QuantizeValue(5.0) * QuantizeValue(5.0), 0};
+  EXPECT_DOUBLE_EQ(QuestSelector::NumericScore(count, sum, sum_sq, 2), 0.0);
+}
+
+TEST(QuestEdgeTest, NumericScoreNeedsThreeTuples) {
+  const int64_t count[2] = {1, 1};
+  const int64_t sum[2] = {QuantizeValue(1.0), QuantizeValue(2.0)};
+  const __int128 sum_sq[2] = {
+      static_cast<__int128>(QuantizeValue(1.0)) * QuantizeValue(1.0),
+      static_cast<__int128>(QuantizeValue(2.0)) * QuantizeValue(2.0)};
+  EXPECT_DOUBLE_EQ(QuestSelector::NumericScore(count, sum, sum_sq, 2), 0.0);
+}
+
+TEST(QuestEdgeTest, IdenticalPointMassesScoreZero) {
+  // Both classes sit at the same value: no between-group variance.
+  const int64_t q = QuantizeValue(7.0);
+  const int64_t count[2] = {5, 5};
+  const int64_t sum[2] = {5 * q, 5 * q};
+  const __int128 sum_sq[2] = {static_cast<__int128>(5) * q * q,
+                              static_cast<__int128>(5) * q * q};
+  EXPECT_DOUBLE_EQ(QuestSelector::NumericScore(count, sum, sum_sq, 2), 0.0);
+}
+
+TEST(QuestEdgeTest, CategoricalScoreZeroWithOneCategory) {
+  CategoricalAvc avc(3, 2);
+  avc.Add(1, 0, 5);
+  avc.Add(1, 1, 5);
+  EXPECT_DOUBLE_EQ(QuestSelector::CategoricalScore(avc), 0.0);
+}
+
+TEST(QuestEdgeTest, ThresholdUndefinedWithOneClass) {
+  const int64_t count[2] = {10, 0};
+  const int64_t sum[2] = {10 * QuantizeValue(3.0), 0};
+  EXPECT_FALSE(QuestSelector::Threshold(count, sum, 2).has_value());
+}
+
+TEST(QuestEdgeTest, QuantizationIsMonotone) {
+  Rng rng(9);
+  double prev = -1e9;
+  int64_t prev_q = QuantizeValue(prev);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = prev + rng.UniformDouble(0.0, 100.0);
+    const int64_t q = QuantizeValue(v);
+    EXPECT_GE(q, prev_q);
+    prev = v;
+    prev_q = q;
+  }
+}
+
+// --------------------------------------------------------- store compaction
+
+TEST(StoreEdgeTest, RepeatedRemoveCyclesTriggerCompaction) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  Schema schema({Attribute::Numerical("x")}, 2);
+  SpillableTupleStore store(schema, &*temp, "s", 8);
+  // Insert and remove in waves; sizes must stay exact throughout.
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          store.Append(Tuple({double(wave * 100 + i)}, i % 2)).ok());
+    }
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(
+          store.RemoveOne(Tuple({double(wave * 100 + i)}, i % 2)).ok());
+    }
+    EXPECT_EQ(store.size(), static_cast<size_t>((wave + 1) * 10));
+  }
+  auto all = store.ToVector();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 50u);
+  // Every survivor has index 30..39 within its wave.
+  for (const Tuple& t : *all) {
+    const int within = static_cast<int>(t.value(0)) % 100;
+    EXPECT_GE(within, 30);
+  }
+}
+
+TEST(StoreEdgeTest, SourceSeesConsistentSnapshot) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  Schema schema({Attribute::Numerical("x")}, 2);
+  SpillableTupleStore store(schema, &*temp, "s", 4);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Append(Tuple({double(i)}, 0)).ok());
+  }
+  ASSERT_TRUE(store.RemoveOne(Tuple({5.0}, 0)).ok());
+  ASSERT_TRUE(store.RemoveOne(Tuple({15.0}, 0)).ok());
+  auto source = store.MakeSource();
+  std::set<double> seen;
+  Tuple t;
+  while (source->Next(&t)) seen.insert(t.value(0));
+  EXPECT_EQ(seen.size(), 18u);
+  EXPECT_EQ(seen.count(5.0), 0u);
+  EXPECT_EQ(seen.count(15.0), 0u);
+}
+
+// ------------------------------------------------------------ split ordering
+
+TEST(SplitOrderingEdgeTest, NumericalPreferredOverCategoricalOnFullTie) {
+  // Same impurity, same attribute index is impossible for different types,
+  // but BetterSplit must still be a strict weak ordering when comparing a
+  // numerical and a categorical candidate with equal impurity on different
+  // attributes.
+  Split numeric = Split::Numerical(1, 5.0, 0.25);
+  Split categorical = Split::Categorical(2, {0, 1}, 0.25);
+  EXPECT_TRUE(BetterSplit(numeric, categorical));   // lower attribute wins
+  EXPECT_FALSE(BetterSplit(categorical, numeric));
+  // Antisymmetry on equal candidates.
+  EXPECT_FALSE(BetterSplit(numeric, numeric));
+}
+
+// ----------------------------------------------------- subtree serialization
+
+TEST(SubtreeSerializationTest, RoundTripViaPublicHelpers) {
+  Schema schema({Attribute::Numerical("x"), Attribute::Categorical("c", 4)},
+                3);
+  auto subtree = TreeNode::Internal(
+      Split::Categorical(1, {0, 3}, 0.1), {4, 4, 2},
+      TreeNode::Internal(Split::Numerical(0, 2.5, 0.05), {4, 0, 1},
+                         TreeNode::Leaf({4, 0, 0}), TreeNode::Leaf({0, 0, 1})),
+      TreeNode::Leaf({0, 4, 1}));
+  const std::string doc = SerializeSubtree(*subtree);
+
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(doc);
+  while (std::getline(in, line)) lines.push_back(line);
+  size_t cursor = 0;
+  auto back = DeserializeSubtree(lines, &cursor, schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(cursor, lines.size());
+  EXPECT_TRUE(SubtreesEqual(*subtree, **back));
+}
+
+TEST(SubtreeSerializationTest, TruncatedDocumentFails) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  std::vector<std::string> lines = {"N 0 n 0x1p+1 0x1p-2 2 3 3",
+                                    "L 2 3 0"};  // right child missing
+  size_t cursor = 0;
+  EXPECT_FALSE(DeserializeSubtree(lines, &cursor, schema).ok());
+}
+
+// ---------------------------------------------------------- pruning edges
+
+TEST(PruningEdgeTest, StumpAndLeafInputs) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  DecisionTree leaf(schema, TreeNode::Leaf({3, 1}));
+  EXPECT_EQ(PruneMdl(leaf).num_nodes(), 1u);
+  EXPECT_EQ(PruneCostComplexity(leaf, 1.0).num_nodes(), 1u);
+  EXPECT_TRUE(CostComplexityAlphas(leaf).empty());
+  EXPECT_EQ(PruneReducedError(leaf, {}).num_nodes(), 1u);
+
+  auto stump_root = TreeNode::Internal(Split::Numerical(0, 5.0, 0.0), {5, 5},
+                                       TreeNode::Leaf({5, 0}),
+                                       TreeNode::Leaf({0, 5}));
+  DecisionTree stump(schema, std::move(stump_root));
+  // The stump is perfect: only an absurd penalty collapses it.
+  EXPECT_EQ(PruneMdl(stump, 0.5).num_nodes(), 3u);
+  EXPECT_EQ(PruneMdl(stump, 100.0).num_nodes(), 1u);
+  EXPECT_EQ(CostComplexityAlphas(stump).size(), 1u);
+}
+
+TEST(PruningEdgeTest, ReducedErrorWithEmptyValidationCollapses) {
+  // No validation evidence: leaf (0 errors) ties subtree (0 errors), so
+  // everything collapses — the conservative choice.
+  Schema schema({Attribute::Numerical("x")}, 2);
+  auto root = TreeNode::Internal(Split::Numerical(0, 5.0, 0.0), {5, 5},
+                                 TreeNode::Leaf({5, 0}),
+                                 TreeNode::Leaf({0, 5}));
+  DecisionTree tree(schema, std::move(root));
+  EXPECT_EQ(PruneReducedError(tree, {}).num_nodes(), 1u);
+}
+
+}  // namespace
+}  // namespace boat

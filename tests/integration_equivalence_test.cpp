@@ -1,0 +1,255 @@
+// Integration tests for the paper's central guarantee: RainForest and BOAT
+// construct *exactly* the tree the traditional in-memory algorithm builds —
+// on static data, under the paper-methodology stopping rule, for multiple
+// split selection methods, and (for BOAT) across incremental insertions and
+// deletions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "boat/builder.h"
+#include "datagen/agrawal.h"
+#include "rainforest/rainforest.h"
+#include "split/quest.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+std::unique_ptr<VectorSource> SourceOf(const Schema& schema,
+                                       std::vector<Tuple> tuples) {
+  return std::make_unique<VectorSource>(schema, std::move(tuples));
+}
+
+BoatOptions SmallBoatOptions() {
+  BoatOptions options;
+  options.sample_size = 800;
+  options.bootstrap_count = 10;
+  options.bootstrap_subsample = 400;
+  options.inmem_threshold = 300;
+  options.store_memory_budget = 512;  // force some spilling
+  options.max_buckets_per_attr = 64;
+  options.seed = 7;
+  return options;
+}
+
+struct EquivalenceCase {
+  int function;
+  double noise;
+  int extra_attrs;
+  const char* impurity;  // "gini", "entropy" or "quest"
+  int64_t stop_family;   // 0 = grow fully
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(EquivalenceTest, AllAlgorithmsProduceTheReferenceTree) {
+  const EquivalenceCase& param = GetParam();
+  AgrawalConfig config;
+  config.function = param.function;
+  config.noise = param.noise;
+  config.extra_numeric_attrs = param.extra_attrs;
+  config.seed = 20240000 + param.function;
+  const Schema schema = MakeAgrawalSchema(param.extra_attrs);
+  std::vector<Tuple> data = GenerateAgrawal(config, 6000);
+
+  std::unique_ptr<SplitSelector> selector;
+  if (std::string(param.impurity) == "quest") {
+    selector = std::make_unique<QuestSelector>();
+  } else {
+    selector = std::make_unique<ImpuritySplitSelector>(
+        MakeImpurity(param.impurity));
+  }
+  GrowthLimits limits;
+  limits.max_depth = 24;
+  limits.stop_family_size = param.stop_family;
+
+  DecisionTree reference = BuildTreeInMemory(schema, data, *selector, limits);
+  ASSERT_GT(reference.num_nodes(), 1u)
+      << "degenerate reference tree; test would be vacuous";
+
+  // RF-Hybrid with a buffer large enough for single-scan levels.
+  {
+    RainForestOptions rf;
+    rf.limits = limits;
+    rf.avc_buffer_entries = 1 << 22;
+    rf.inmem_threshold = 500;
+    auto source = SourceOf(schema, data);
+    auto tree = BuildTreeRFHybrid(source.get(), *selector, rf);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_TRUE(tree->StructurallyEqual(reference))
+        << "RF-Hybrid diverged\nref:\n"
+        << reference.ToString() << "\ngot:\n"
+        << tree->ToString();
+  }
+  // RF-Hybrid with a tiny buffer (forces deferred partitions).
+  {
+    RainForestOptions rf;
+    rf.limits = limits;
+    rf.avc_buffer_entries = 4000;
+    rf.inmem_threshold = 300;
+    auto source = SourceOf(schema, data);
+    auto tree = BuildTreeRFHybrid(source.get(), *selector, rf);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_TRUE(tree->StructurallyEqual(reference)) << "RF-Hybrid(small)";
+  }
+  // RF-Vertical with a small buffer (multiple scans per level).
+  {
+    RainForestOptions rf;
+    rf.limits = limits;
+    rf.avc_buffer_entries = 8000;
+    rf.inmem_threshold = 300;
+    auto source = SourceOf(schema, data);
+    auto tree = BuildTreeRFVertical(source.get(), *selector, rf);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_TRUE(tree->StructurallyEqual(reference)) << "RF-Vertical";
+  }
+  // BOAT.
+  {
+    BoatOptions options = SmallBoatOptions();
+    options.limits = limits;
+    auto source = SourceOf(schema, data);
+    BoatStats stats;
+    auto tree = BuildTreeBoat(source.get(), *selector, options, &stats);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_TRUE(tree->StructurallyEqual(reference))
+        << "BOAT diverged\nref:\n"
+        << reference.ToString() << "\ngot:\n"
+        << tree->ToString();
+    EXPECT_EQ(stats.db_size, 6000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, EquivalenceTest,
+    ::testing::Values(
+        EquivalenceCase{1, 0.0, 0, "gini", 0},
+        EquivalenceCase{1, 0.1, 0, "gini", 0},
+        EquivalenceCase{2, 0.0, 0, "gini", 0},
+        EquivalenceCase{3, 0.05, 0, "gini", 0},
+        EquivalenceCase{4, 0.0, 0, "entropy", 0},
+        EquivalenceCase{5, 0.0, 0, "gini", 0},
+        EquivalenceCase{6, 0.0, 0, "gini", 0},
+        EquivalenceCase{6, 0.1, 2, "gini", 0},
+        EquivalenceCase{7, 0.0, 0, "gini", 0},
+        EquivalenceCase{7, 0.05, 0, "entropy", 0},
+        EquivalenceCase{1, 0.0, 0, "gini", 400},   // paper-style stop rule
+        EquivalenceCase{6, 0.02, 0, "gini", 400},
+        EquivalenceCase{7, 0.0, 0, "gini", 400},
+        EquivalenceCase{1, 0.0, 0, "quest", 0},
+        EquivalenceCase{6, 0.05, 0, "quest", 0},
+        EquivalenceCase{7, 0.0, 0, "quest", 400}));
+
+TEST(IncrementalEquivalenceTest, InsertionsMatchFullRebuild) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.noise = 0.1;
+  config.seed = 555;
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> all = GenerateAgrawal(config, 9000);
+  std::vector<Tuple> base(all.begin(), all.begin() + 5000);
+
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 20;
+
+  BoatOptions options = SmallBoatOptions();
+  options.limits = limits;
+  options.enable_updates = true;
+
+  auto source = SourceOf(schema, base);
+  auto classifier =
+      BoatClassifier::Train(source.get(), selector.get(), options);
+  ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+
+  size_t cursor = 5000;
+  const size_t chunk_size = 2000;
+  while (cursor < all.size()) {
+    const size_t end = std::min(all.size(), cursor + chunk_size);
+    std::vector<Tuple> chunk(all.begin() + cursor, all.begin() + end);
+    cursor = end;
+    BoatStats stats;
+    ASSERT_TRUE((*classifier)->InsertChunk(chunk, &stats).ok());
+
+    std::vector<Tuple> so_far(all.begin(), all.begin() + cursor);
+    DecisionTree reference =
+        BuildTreeInMemory(schema, so_far, *selector, limits);
+    EXPECT_TRUE((*classifier)->tree().StructurallyEqual(reference))
+        << "after inserting up to " << cursor << "\nref:\n"
+        << reference.ToString() << "\ngot:\n"
+        << (*classifier)->tree().ToString();
+  }
+}
+
+TEST(IncrementalEquivalenceTest, DeletionsMatchFullRebuild) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  config.seed = 777;
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> all = GenerateAgrawal(config, 8000);
+
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 20;
+
+  BoatOptions options = SmallBoatOptions();
+  options.limits = limits;
+  options.enable_updates = true;
+
+  auto source = SourceOf(schema, all);
+  auto classifier =
+      BoatClassifier::Train(source.get(), selector.get(), options);
+  ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+
+  // Delete the middle chunk (a random sample from the same distribution).
+  std::vector<Tuple> chunk(all.begin() + 3000, all.begin() + 5000);
+  BoatStats stats;
+  ASSERT_TRUE((*classifier)->DeleteChunk(chunk, &stats).ok());
+
+  std::vector<Tuple> remaining(all.begin(), all.begin() + 3000);
+  remaining.insert(remaining.end(), all.begin() + 5000, all.end());
+  DecisionTree reference =
+      BuildTreeInMemory(schema, remaining, *selector, limits);
+  EXPECT_TRUE((*classifier)->tree().StructurallyEqual(reference))
+      << "ref:\n"
+      << reference.ToString() << "\ngot:\n"
+      << (*classifier)->tree().ToString();
+}
+
+TEST(IncrementalEquivalenceTest, DistributionDriftIsRepaired) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 99;
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> base = GenerateAgrawal(config, 6000);
+
+  AgrawalConfig drifted = config;
+  drifted.drift = Drift::kRelabelOldAge;
+  drifted.seed = 100;
+  std::vector<Tuple> chunk = GenerateAgrawal(drifted, 6000);
+
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 20;
+  BoatOptions options = SmallBoatOptions();
+  options.limits = limits;
+  options.enable_updates = true;
+
+  auto source = SourceOf(schema, base);
+  auto classifier =
+      BoatClassifier::Train(source.get(), selector.get(), options);
+  ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+
+  BoatStats stats;
+  ASSERT_TRUE((*classifier)->InsertChunk(chunk, &stats).ok());
+
+  std::vector<Tuple> all = base;
+  all.insert(all.end(), chunk.begin(), chunk.end());
+  DecisionTree reference = BuildTreeInMemory(schema, all, *selector, limits);
+  EXPECT_TRUE((*classifier)->tree().StructurallyEqual(reference));
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,223 @@
+// Tests for model persistence: a saved-and-reloaded classifier must carry
+// the identical tree AND continue incremental maintenance with the exactness
+// guarantee intact (including deletions of pre-save tuples, which exercise
+// the restored S_n stores, trackers and archive).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "boat/persistence.h"
+#include "datagen/agrawal.h"
+#include "split/quest.h"
+#include "storage/temp_file.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto temp = TempFileManager::Create();
+    ASSERT_TRUE(temp.ok());
+    temp_ = std::make_unique<TempFileManager>(std::move(temp).ValueOrDie());
+  }
+
+  BoatOptions Options() const {
+    BoatOptions options;
+    options.sample_size = 800;
+    options.bootstrap_count = 8;
+    options.bootstrap_subsample = 300;
+    options.inmem_threshold = 300;
+    options.store_memory_budget = 256;
+    options.enable_updates = true;
+    options.seed = 11;
+    return options;
+  }
+
+  std::unique_ptr<TempFileManager> temp_;
+};
+
+TEST_F(PersistenceTest, RoundTripPreservesTree) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  config.seed = 100;
+  const Schema schema = MakeAgrawalSchema();
+  auto data = GenerateAgrawal(config, 5000);
+  auto selector = MakeGiniSelector();
+
+  VectorSource source(schema, data);
+  auto classifier =
+      BoatClassifier::Train(&source, selector.get(), Options());
+  ASSERT_TRUE(classifier.ok());
+
+  const std::string dir = temp_->NewPath("model");
+  ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+
+  auto loaded = LoadClassifier(dir, selector.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->tree().StructurallyEqual((*classifier)->tree()));
+}
+
+TEST_F(PersistenceTest, UpdatesContinueAfterReload) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.noise = 0.08;
+  config.seed = 101;
+  const Schema schema = MakeAgrawalSchema();
+  auto base = GenerateAgrawal(config, 5000);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 16;
+  BoatOptions options = Options();
+  options.limits = limits;
+
+  VectorSource source(schema, base);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  ASSERT_TRUE(classifier.ok());
+
+  const std::string dir = temp_->NewPath("model");
+  ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+  auto loaded = LoadClassifier(dir, selector.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Insert into the reloaded model; result must equal a from-scratch build.
+  AgrawalConfig chunk_config = config;
+  chunk_config.seed = 102;
+  auto chunk = GenerateAgrawal(chunk_config, 3000);
+  ASSERT_TRUE((*loaded)->InsertChunk(chunk).ok());
+
+  std::vector<Tuple> all = base;
+  all.insert(all.end(), chunk.begin(), chunk.end());
+  DecisionTree reference = BuildTreeInMemory(schema, all, *selector, limits);
+  EXPECT_TRUE((*loaded)->tree().StructurallyEqual(reference))
+      << "ref:\n"
+      << reference.ToString() << "\ngot:\n"
+      << (*loaded)->tree().ToString();
+}
+
+TEST_F(PersistenceTest, DeletionOfPreSaveTuplesAfterReload) {
+  // Deleting tuples that were inserted before the save exercises the
+  // restored retained stores, extreme trackers and archive tombstones.
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  config.seed = 103;
+  const Schema schema = MakeAgrawalSchema();
+  auto base = GenerateAgrawal(config, 5000);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 16;
+  BoatOptions options = Options();
+  options.limits = limits;
+
+  VectorSource source(schema, base);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  ASSERT_TRUE(classifier.ok());
+  const std::string dir = temp_->NewPath("model");
+  ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+  auto loaded = LoadClassifier(dir, selector.get());
+  ASSERT_TRUE(loaded.ok());
+
+  std::vector<Tuple> doomed(base.begin() + 1000, base.begin() + 2500);
+  ASSERT_TRUE((*loaded)->DeleteChunk(doomed).ok());
+
+  std::vector<Tuple> remaining(base.begin(), base.begin() + 1000);
+  remaining.insert(remaining.end(), base.begin() + 2500, base.end());
+  DecisionTree reference =
+      BuildTreeInMemory(schema, remaining, *selector, limits);
+  EXPECT_TRUE((*loaded)->tree().StructurallyEqual(reference));
+}
+
+TEST_F(PersistenceTest, QuestModelRoundTrips) {
+  AgrawalConfig config;
+  config.function = 7;
+  config.noise = 0.05;
+  config.seed = 104;
+  const Schema schema = MakeAgrawalSchema();
+  auto base = GenerateAgrawal(config, 4000);
+  QuestSelector selector;
+  GrowthLimits limits;
+  limits.max_depth = 12;
+  BoatOptions options = Options();
+  options.limits = limits;
+
+  VectorSource source(schema, base);
+  auto classifier = BoatClassifier::Train(&source, &selector, options);
+  ASSERT_TRUE(classifier.ok());
+  const std::string dir = temp_->NewPath("model");
+  ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+  auto loaded = LoadClassifier(dir, &selector);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->tree().StructurallyEqual((*classifier)->tree()));
+
+  // Moments survived: an update still matches the reference.
+  AgrawalConfig chunk_config = config;
+  chunk_config.seed = 105;
+  auto chunk = GenerateAgrawal(chunk_config, 2000);
+  ASSERT_TRUE((*loaded)->InsertChunk(chunk).ok());
+  std::vector<Tuple> all = base;
+  all.insert(all.end(), chunk.begin(), chunk.end());
+  DecisionTree reference = BuildTreeInMemory(schema, all, selector, limits);
+  EXPECT_TRUE((*loaded)->tree().StructurallyEqual(reference));
+}
+
+TEST_F(PersistenceTest, RejectsWrongSelector) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 106;
+  const Schema schema = MakeAgrawalSchema();
+  auto data = GenerateAgrawal(config, 2000);
+  auto gini = MakeGiniSelector();
+  VectorSource source(schema, data);
+  auto classifier = BoatClassifier::Train(&source, gini.get(), Options());
+  ASSERT_TRUE(classifier.ok());
+  const std::string dir = temp_->NewPath("model");
+  ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+
+  QuestSelector quest;
+  auto loaded = LoadClassifier(dir, &quest);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  auto entropy = MakeEntropySelector();
+  EXPECT_FALSE(LoadClassifier(dir, entropy.get()).ok());
+}
+
+TEST_F(PersistenceTest, RejectsMissingOrCorruptModel) {
+  auto selector = MakeGiniSelector();
+  EXPECT_EQ(LoadClassifier(temp_->dir() + "/nope", selector.get())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+
+  const std::string dir = temp_->NewPath("garbage");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/manifest.boatmodel") << "not a model\n";
+  EXPECT_FALSE(LoadClassifier(dir, selector.get()).ok());
+}
+
+TEST_F(PersistenceTest, NonUpdatableModelRoundTrips) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.seed = 107;
+  const Schema schema = MakeAgrawalSchema();
+  auto data = GenerateAgrawal(config, 3000);
+  auto selector = MakeGiniSelector();
+  BoatOptions options = Options();
+  options.enable_updates = false;  // no archive in the saved model
+  VectorSource source(schema, data);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  ASSERT_TRUE(classifier.ok());
+  const std::string dir = temp_->NewPath("model");
+  ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+  auto loaded = LoadClassifier(dir, selector.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->tree().StructurallyEqual((*classifier)->tree()));
+  EXPECT_EQ((*loaded)->InsertChunk(data).code(), StatusCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,184 @@
+// Unit tests for tree pruning (MDL, cost-complexity, reduced-error) and the
+// evaluation utilities (confusion matrix, holdout, cross-validation).
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "tree/evaluation.h"
+#include "tree/inmem_builder.h"
+#include "tree/pruning.h"
+
+namespace boat {
+namespace {
+
+Schema XySchema() {
+  return Schema({Attribute::Numerical("x"), Attribute::Numerical("y")}, 2);
+}
+
+// Data whose true concept is x <= 50, plus label noise: an unpruned tree
+// overfits the noise; pruning should recover the single split.
+std::vector<Tuple> NoisyThresholdData(int n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.UniformInt(0, 100));
+    const double y = static_cast<double>(rng.UniformInt(0, 100));
+    int32_t label = x <= 50 ? 0 : 1;
+    if (rng.Bernoulli(noise)) label = 1 - label;
+    out.push_back(Tuple({x, y}, label));
+  }
+  return out;
+}
+
+DecisionTree OverfitTree(const std::vector<Tuple>& train) {
+  auto selector = MakeGiniSelector();
+  return BuildTreeInMemory(XySchema(), train, *selector);
+}
+
+TEST(MdlPruningTest, ShrinksOverfitTreeAndKeepsSignal) {
+  const auto train = NoisyThresholdData(2000, 0.15, 1);
+  DecisionTree full = OverfitTree(train);
+  ASSERT_GT(full.num_nodes(), 20u);  // noise made it overfit
+
+  DecisionTree pruned = PruneMdl(full);
+  EXPECT_LT(pruned.num_nodes(), full.num_nodes());
+  // The true concept must survive: accuracy on clean data stays high.
+  const auto clean = NoisyThresholdData(2000, 0.0, 2);
+  EXPECT_LT(pruned.MisclassificationRate(clean), 0.05);
+}
+
+TEST(MdlPruningTest, HugePenaltyCollapsesToSingleLeaf) {
+  const auto train = NoisyThresholdData(1000, 0.1, 3);
+  DecisionTree full = OverfitTree(train);
+  DecisionTree stump = PruneMdl(full, /*penalty=*/1e9);
+  EXPECT_EQ(stump.num_nodes(), 1u);
+}
+
+TEST(MdlPruningTest, ZeroishPenaltyKeepsPerfectSubtrees) {
+  // Perfectly separable data: every split reduces errors to zero, so a tiny
+  // penalty still prunes nothing essential but the tree stays correct.
+  const auto train = NoisyThresholdData(500, 0.0, 4);
+  DecisionTree full = OverfitTree(train);
+  DecisionTree pruned = PruneMdl(full, 0.25);
+  EXPECT_DOUBLE_EQ(pruned.MisclassificationRate(train), 0.0);
+}
+
+TEST(CostComplexityTest, AlphaZeroRemovesOnlyUselessSplits) {
+  const auto train = NoisyThresholdData(1500, 0.1, 5);
+  DecisionTree full = OverfitTree(train);
+  DecisionTree pruned = PruneCostComplexity(full, 0.0);
+  // Resubstitution error must be unchanged at alpha = 0.
+  EXPECT_DOUBLE_EQ(pruned.MisclassificationRate(train),
+                   full.MisclassificationRate(train));
+  EXPECT_LE(pruned.num_nodes(), full.num_nodes());
+}
+
+TEST(CostComplexityTest, MonotonicallySmallerTrees) {
+  const auto train = NoisyThresholdData(1500, 0.15, 6);
+  DecisionTree full = OverfitTree(train);
+  size_t last_size = full.num_nodes() + 1;
+  for (const double alpha : {0.0, 1.0, 5.0, 20.0, 100.0, 1e6}) {
+    DecisionTree pruned = PruneCostComplexity(full, alpha);
+    EXPECT_LE(pruned.num_nodes(), last_size);
+    last_size = pruned.num_nodes();
+  }
+  EXPECT_EQ(PruneCostComplexity(full, 1e9).num_nodes(), 1u);
+}
+
+TEST(CostComplexityTest, AlphasAreSortedAndDistinct) {
+  const auto train = NoisyThresholdData(1500, 0.15, 7);
+  DecisionTree full = OverfitTree(train);
+  const std::vector<double> alphas = CostComplexityAlphas(full);
+  ASSERT_FALSE(alphas.empty());
+  for (size_t i = 1; i < alphas.size(); ++i) {
+    EXPECT_LT(alphas[i - 1], alphas[i]);
+  }
+}
+
+TEST(ReducedErrorTest, PrunesNoiseKeepsConcept) {
+  const auto train = NoisyThresholdData(2000, 0.15, 8);
+  const auto validation = NoisyThresholdData(1000, 0.15, 9);
+  DecisionTree full = OverfitTree(train);
+  DecisionTree pruned = PruneReducedError(full, validation);
+  EXPECT_LT(pruned.num_nodes(), full.num_nodes());
+  EXPECT_LE(pruned.MisclassificationRate(validation),
+            full.MisclassificationRate(validation));
+}
+
+TEST(SelectByValidationTest, PicksTreeNoWorseThanFull) {
+  const auto train = NoisyThresholdData(2000, 0.2, 10);
+  const auto validation = NoisyThresholdData(1000, 0.2, 11);
+  DecisionTree full = OverfitTree(train);
+  DecisionTree best = SelectByValidation(full, validation);
+  EXPECT_LE(best.MisclassificationRate(validation),
+            full.MisclassificationRate(validation));
+  EXPECT_LE(best.num_nodes(), full.num_nodes());
+}
+
+// ------------------------------------------------------------- evaluation
+
+TEST(ConfusionMatrixTest, CountsAndMetrics) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0, 8);
+  cm.Add(0, 1, 2);
+  cm.Add(1, 1, 6);
+  cm.Add(1, 0, 4);
+  EXPECT_EQ(cm.total(), 20);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 14.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(0), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 8.0 / 10.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 6.0 / 10.0);
+  EXPECT_NE(cm.ToString().find("actual"), std::string::npos);
+}
+
+TEST(ConfusionMatrixTest, EmptyDenominators) {
+  ConfusionMatrix cm(3);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(2), 0.0);
+}
+
+TEST(EvaluateTest, MatchesMisclassificationRate) {
+  const auto train = NoisyThresholdData(1000, 0.0, 12);
+  DecisionTree tree = OverfitTree(train);
+  const auto test = NoisyThresholdData(500, 0.05, 13);
+  const ConfusionMatrix cm = Evaluate(tree, test);
+  EXPECT_NEAR(1.0 - cm.Accuracy(), tree.MisclassificationRate(test), 1e-12);
+}
+
+TEST(HoldoutSplitTest, SplitsByFraction) {
+  Rng rng(1);
+  auto [train, test] = HoldoutSplit(NoisyThresholdData(1000, 0, 14), 0.3,
+                                    &rng);
+  EXPECT_EQ(train.size(), 700u);
+  EXPECT_EQ(test.size(), 300u);
+}
+
+TEST(CrossValidateTest, HighAccuracyOnSeparableData) {
+  const auto data = NoisyThresholdData(2000, 0.0, 15);
+  auto selector = MakeGiniSelector();
+  Rng rng(2);
+  const CrossValidationResult cv = CrossValidate(
+      data, 5, &rng, [&](const std::vector<Tuple>& train) {
+        return BuildTreeInMemory(XySchema(), train, *selector);
+      });
+  EXPECT_EQ(cv.folds.size(), 5u);
+  EXPECT_GT(cv.mean_accuracy, 0.97);
+  EXPECT_GE(cv.stddev_accuracy, 0.0);
+}
+
+TEST(CrossValidateTest, FoldsPartitionTheData) {
+  const auto data = NoisyThresholdData(103, 0.0, 16);  // not divisible by k
+  size_t total_test = 0;
+  Rng rng(3);
+  CrossValidate(data, 4, &rng, [&](const std::vector<Tuple>& train) {
+    total_test += data.size() - train.size();
+    auto selector = MakeGiniSelector();
+    return BuildTreeInMemory(XySchema(), train, *selector);
+  });
+  EXPECT_EQ(total_test, data.size());  // each tuple tested exactly once
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,164 @@
+// Unit tests for the RainForest algorithms beyond the cross-algorithm
+// equivalence suite: stats accounting, buffer-pressure behaviour, disk
+// sources, and the in-memory switch.
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "rainforest/rainforest.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+std::vector<Tuple> F1Data(int n, uint64_t seed = 71, double noise = 0.0) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = seed;
+  config.noise = noise;
+  return GenerateAgrawal(config, n);
+}
+
+std::vector<Tuple> F7Data(int n, uint64_t seed = 73) {
+  AgrawalConfig config;
+  config.function = 7;
+  config.seed = seed;
+  return GenerateAgrawal(config, n);
+}
+
+TEST(RainForestTest, HybridMakesOneScanPerLevelWhenBufferLarge) {
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> data = F1Data(4000);
+  auto selector = MakeGiniSelector();
+  RainForestOptions options;
+  options.avc_buffer_entries = 1 << 24;  // everything fits
+  options.inmem_threshold = 0;           // never switch
+  VectorSource source(schema, data);
+  RainForestStats stats;
+  auto tree = BuildTreeRFHybrid(&source, *selector, options, &stats);
+  ASSERT_TRUE(tree.ok());
+  // The last level iteration finds only leaves and scans nothing.
+  EXPECT_EQ(stats.scans + 1, stats.levels);
+  EXPECT_EQ(stats.nodes_deferred, 0u);
+  EXPECT_EQ(stats.partition_tuples, 0u);
+  // One scan per level of the final tree.
+  EXPECT_GE(stats.scans, static_cast<uint64_t>(tree->depth()));
+}
+
+TEST(RainForestTest, HybridDefersUnderBufferPressure) {
+  const Schema schema = MakeAgrawalSchema();
+  // F7 grows a bushy tree: several active nodes per level compete for the
+  // AVC buffer.
+  std::vector<Tuple> data = F7Data(6000);
+  auto selector = MakeGiniSelector();
+  RainForestOptions options;
+  options.avc_buffer_entries = 5000;  // roughly one node's AVC-group
+  options.inmem_threshold = 0;
+  VectorSource source(schema, data);
+  RainForestStats stats;
+  auto tree = BuildTreeRFHybrid(&source, *selector, options, &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(stats.nodes_deferred, 0u);
+  EXPECT_GT(stats.partition_tuples, 0u);
+}
+
+TEST(RainForestTest, VerticalMakesMoreScansThanHybrid) {
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> data = F1Data(4000);
+  auto selector = MakeGiniSelector();
+
+  RainForestStats hybrid_stats;
+  {
+    RainForestOptions options;
+    options.avc_buffer_entries = 1 << 24;
+    VectorSource source(schema, data);
+    ASSERT_TRUE(
+        BuildTreeRFHybrid(&source, *selector, options, &hybrid_stats).ok());
+  }
+  RainForestStats vertical_stats;
+  {
+    RainForestOptions options;
+    options.avc_buffer_entries = 3000;  // forces several attribute groups
+    VectorSource source(schema, data);
+    ASSERT_TRUE(
+        BuildTreeRFVertical(&source, *selector, options, &vertical_stats)
+            .ok());
+  }
+  EXPECT_GT(vertical_stats.scans, hybrid_stats.scans);
+}
+
+TEST(RainForestTest, InMemorySwitchCountsAndMatchesReference) {
+  const Schema schema = MakeAgrawalSchema();
+  // Noise keeps families impure so growth continues past the threshold.
+  std::vector<Tuple> data = F1Data(5000, 71, /*noise=*/0.1);
+  auto selector = MakeGiniSelector();
+  DecisionTree reference = BuildTreeInMemory(schema, data, *selector);
+
+  RainForestOptions options;
+  options.avc_buffer_entries = 1 << 24;
+  options.inmem_threshold = 1000;
+  VectorSource source(schema, data);
+  RainForestStats stats;
+  auto tree = BuildTreeRFHybrid(&source, *selector, options, &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(stats.inmem_switches, 0u);
+  EXPECT_TRUE(tree->StructurallyEqual(reference));
+}
+
+TEST(RainForestTest, WorksOverDiskTables) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const std::string path = temp->NewPath("rf-db");
+  AgrawalConfig config;
+  config.function = 6;
+  config.seed = 72;
+  ASSERT_TRUE(GenerateAgrawalTable(config, 3000, path).ok());
+  const Schema schema = MakeAgrawalSchema();
+
+  auto source = TableScanSource::Open(path, schema);
+  ASSERT_TRUE(source.ok());
+  auto selector = MakeGiniSelector();
+  RainForestOptions options;
+  options.avc_buffer_entries = 20000;
+  options.inmem_threshold = 500;
+  auto tree = BuildTreeRFVertical(source->get(), *selector, options);
+  ASSERT_TRUE(tree.ok());
+
+  DecisionTree reference =
+      BuildTreeInMemory(schema, GenerateAgrawal(config, 3000), *selector);
+  EXPECT_TRUE(tree->StructurallyEqual(reference));
+}
+
+TEST(RainForestTest, EmptyDatabaseYieldsLeaf) {
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+  RainForestOptions options;
+  for (auto* build : {&BuildTreeRFHybrid, &BuildTreeRFVertical}) {
+    VectorSource source(schema, {});
+    auto tree = (*build)(&source, *selector, options, nullptr);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ(tree->num_nodes(), 1u);
+  }
+}
+
+TEST(RainForestTest, StopFamilySizeRespected) {
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> data = F1Data(6000);
+  auto selector = MakeGiniSelector();
+  RainForestOptions options;
+  options.limits.stop_family_size = 1500;
+  options.avc_buffer_entries = 1 << 24;
+  VectorSource source(schema, data);
+  auto tree = BuildTreeRFHybrid(&source, *selector, options);
+  ASSERT_TRUE(tree.ok());
+  std::function<void(const TreeNode&)> visit = [&](const TreeNode& n) {
+    if (n.is_leaf()) return;
+    EXPECT_GT(n.family_size(), 1500);
+    visit(*n.left);
+    visit(*n.right);
+  };
+  visit(tree->root());
+}
+
+}  // namespace
+}  // namespace boat

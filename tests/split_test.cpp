@@ -1,0 +1,515 @@
+// Unit tests for src/split: impurity functions, AVC structures, split
+// ordering/canonicalization, numeric and categorical best-split search,
+// selectors (impurity and QUEST) and child-count helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "split/quest.h"
+#include "split/selector.h"
+
+namespace boat {
+namespace {
+
+// ------------------------------------------------------------------- Impurity
+
+TEST(ImpurityTest, GiniOfPureAndBalancedPartitions) {
+  GiniImpurity gini;
+  const int64_t pure_left[2] = {10, 0};
+  const int64_t pure_right[2] = {0, 10};
+  EXPECT_DOUBLE_EQ(gini.Eval(pure_left, pure_right, 2, 20), 0.0);
+
+  const int64_t mixed_left[2] = {5, 5};
+  const int64_t mixed_right[2] = {5, 5};
+  EXPECT_DOUBLE_EQ(gini.Eval(mixed_left, mixed_right, 2, 20), 0.5);
+}
+
+TEST(ImpurityTest, EntropyOfPureAndBalancedPartitions) {
+  EntropyImpurity entropy;
+  const int64_t pure_left[2] = {10, 0};
+  const int64_t pure_right[2] = {0, 10};
+  EXPECT_DOUBLE_EQ(entropy.Eval(pure_left, pure_right, 2, 20), 0.0);
+  const int64_t mixed[2] = {5, 5};
+  const int64_t empty[2] = {0, 0};
+  EXPECT_DOUBLE_EQ(entropy.Eval(mixed, empty, 2, 10), 1.0);
+}
+
+TEST(ImpurityTest, MisclassificationCountsMinority) {
+  MisclassificationImpurity mc;
+  const int64_t left[2] = {8, 2};
+  const int64_t right[2] = {1, 9};
+  // minority counts: 2 + 1 over 20 tuples
+  EXPECT_DOUBLE_EQ(mc.Eval(left, right, 2, 20), 3.0 / 20.0);
+}
+
+TEST(ImpurityTest, EvalNodeEqualsDegeneratePartition) {
+  GiniImpurity gini;
+  const int64_t counts[3] = {4, 3, 3};
+  const int64_t zeros[3] = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(gini.EvalNode(counts, 3, 10),
+                   gini.Eval(counts, zeros, 3, 10));
+}
+
+TEST(ImpurityTest, FactoryByName) {
+  EXPECT_NE(MakeImpurity("gini"), nullptr);
+  EXPECT_NE(MakeImpurity("entropy"), nullptr);
+  EXPECT_NE(MakeImpurity("misclassification"), nullptr);
+  EXPECT_EQ(MakeImpurity("bogus"), nullptr);
+}
+
+// ------------------------------------------------------------------ AVC sets
+
+TEST(NumericAvcTest, FinalizeSortsAndMerges) {
+  NumericAvc avc(2);
+  avc.Add(5.0, 0);
+  avc.Add(1.0, 1);
+  avc.Add(5.0, 1);
+  avc.Add(3.0, 0);
+  avc.Finalize();
+  ASSERT_EQ(avc.num_values(), 3);
+  EXPECT_EQ(avc.value(0), 1.0);
+  EXPECT_EQ(avc.value(1), 3.0);
+  EXPECT_EQ(avc.value(2), 5.0);
+  EXPECT_EQ(avc.counts(2)[0], 1);
+  EXPECT_EQ(avc.counts(2)[1], 1);
+  EXPECT_EQ(avc.Totals(), (std::vector<int64_t>{2, 2}));
+  EXPECT_EQ(avc.EntryCount(), 4);  // (1,c1) (3,c0) (5,c0) (5,c1)
+}
+
+TEST(NumericAvcTest, WeightedDeleteDropsZeroRows) {
+  NumericAvc avc(2);
+  avc.Add(1.0, 0, 2);
+  avc.Add(2.0, 0, 1);
+  avc.Add(1.0, 0, -2);
+  avc.Finalize();
+  ASSERT_EQ(avc.num_values(), 1);
+  EXPECT_EQ(avc.value(0), 2.0);
+}
+
+TEST(CategoricalAvcTest, CountsAndTotals) {
+  CategoricalAvc avc(3, 2);
+  avc.Add(0, 0);
+  avc.Add(0, 1);
+  avc.Add(2, 1, 3);
+  EXPECT_EQ(avc.count(0, 0), 1);
+  EXPECT_EQ(avc.CategoryTotal(0), 2);
+  EXPECT_EQ(avc.CategoryTotal(1), 0);
+  EXPECT_EQ(avc.CategoryTotal(2), 3);
+  EXPECT_EQ(avc.Totals(), (std::vector<int64_t>{1, 4}));
+  EXPECT_EQ(avc.EntryCount(), 3);
+}
+
+TEST(AvcGroupTest, BuildsFromTuples) {
+  Schema schema({Attribute::Numerical("x"), Attribute::Categorical("c", 3)},
+                2);
+  std::vector<Tuple> tuples = {
+      Tuple({1.0, 0.0}, 0), Tuple({2.0, 1.0}, 1), Tuple({1.0, 2.0}, 1)};
+  AvcGroup avc = BuildAvcGroup(schema, tuples);
+  EXPECT_EQ(avc.total_tuples(), 3);
+  EXPECT_EQ(avc.class_totals(), (std::vector<int64_t>{1, 2}));
+  EXPECT_FALSE(avc.IsPure());
+  EXPECT_EQ(avc.numeric(0).num_values(), 2);
+  EXPECT_EQ(avc.categorical(1).CategoryTotal(2), 1);
+}
+
+TEST(AvcGroupTest, PurityDetection) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  AvcGroup avc(schema);
+  EXPECT_TRUE(avc.IsPure());  // empty counts as pure
+  avc.Add(Tuple({1.0}, 0));
+  avc.Add(Tuple({2.0}, 0));
+  EXPECT_TRUE(avc.IsPure());
+  avc.Add(Tuple({3.0}, 1));
+  EXPECT_FALSE(avc.IsPure());
+}
+
+// --------------------------------------------------------------------- Split
+
+TEST(SplitTest, SendLeftNumerical) {
+  Split s = Split::Numerical(0, 5.0, 0.1);
+  EXPECT_TRUE(s.SendLeft(Tuple({5.0}, 0)));
+  EXPECT_TRUE(s.SendLeft(Tuple({4.9}, 0)));
+  EXPECT_FALSE(s.SendLeft(Tuple({5.1}, 0)));
+}
+
+TEST(SplitTest, SendLeftCategorical) {
+  Split s = Split::Categorical(0, {1, 3}, 0.1);
+  EXPECT_TRUE(s.SendLeft(Tuple({3.0}, 0)));
+  EXPECT_FALSE(s.SendLeft(Tuple({2.0}, 0)));
+}
+
+TEST(SplitTest, BetterSplitTotalOrder) {
+  Split a = Split::Numerical(0, 1.0, 0.1);
+  Split b = Split::Numerical(0, 2.0, 0.2);
+  EXPECT_TRUE(BetterSplit(a, b));
+  EXPECT_FALSE(BetterSplit(b, a));
+  // Equal impurity: lower attribute index wins.
+  Split c = Split::Numerical(1, 0.5, 0.1);
+  EXPECT_TRUE(BetterSplit(a, c));
+  // Equal impurity and attribute: smaller split value wins.
+  Split d = Split::Numerical(0, 0.5, 0.1);
+  EXPECT_TRUE(BetterSplit(d, a));
+  // Categorical tie: lexicographically smaller subset wins.
+  Split e = Split::Categorical(2, {0, 1}, 0.1);
+  Split f = Split::Categorical(2, {0, 2}, 0.1);
+  EXPECT_TRUE(BetterSplit(e, f));
+}
+
+TEST(SplitTest, CanonicalizeSubsetPicksSideWithSmallestPresent) {
+  const std::vector<int32_t> present = {1, 2, 5, 7};
+  // Already contains the smallest present category: unchanged (sorted).
+  EXPECT_EQ(CanonicalizeSubset({5, 1}, present),
+            (std::vector<int32_t>{1, 5}));
+  // Does not contain it: replaced by complement.
+  EXPECT_EQ(CanonicalizeSubset({5, 7}, present),
+            (std::vector<int32_t>{1, 2}));
+}
+
+TEST(SplitTest, SameCriterionIgnoresImpurity) {
+  Split a = Split::Numerical(0, 5.0, 0.1);
+  Split b = Split::Numerical(0, 5.0, 0.9);
+  EXPECT_TRUE(a.SameCriterion(b));
+  Split c = Split::Numerical(0, 5.5, 0.1);
+  EXPECT_FALSE(a.SameCriterion(c));
+}
+
+// ------------------------------------------------------------ Numeric search
+
+TEST(NumericSearchTest, FindsObviousSplit) {
+  NumericAvc avc(2);
+  for (int i = 0; i < 10; ++i) avc.Add(i, i < 5 ? 0 : 1);
+  avc.Finalize();
+  GiniImpurity gini;
+  auto best = BestNumericSplit(avc, 0, gini);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->value, 4.0);
+  EXPECT_DOUBLE_EQ(best->impurity, 0.0);
+}
+
+TEST(NumericSearchTest, ExcludesDegenerateLastValue) {
+  NumericAvc avc(2);
+  avc.Add(1.0, 0);
+  avc.Add(1.0, 1);
+  avc.Finalize();
+  GiniImpurity gini;
+  EXPECT_FALSE(BestNumericSplit(avc, 0, gini).has_value());
+}
+
+TEST(NumericSearchTest, TieBreaksToSmallerValue) {
+  // Symmetric data: splits at 0 and at 1 give equal impurity.
+  NumericAvc avc(2);
+  avc.Add(0.0, 0);
+  avc.Add(1.0, 1);
+  avc.Add(2.0, 0);  // 0:A 1:B 2:A — split<=0: {A}|{B,A}; split<=1: {A,B}|{A}
+  avc.Finalize();
+  GiniImpurity gini;
+  auto best = BestNumericSplit(avc, 0, gini);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->value, 0.0);
+}
+
+TEST(NumericSearchTest, RangeRestrictedWithBaseCounts) {
+  // Full data: values 0..9, class 0 below 5. Range restricted to (4, 7]
+  // with base counts for values <= 4.
+  NumericAvc in_range(2);
+  for (int i = 5; i <= 7; ++i) in_range.Add(i, 1);
+  in_range.Finalize();
+  const std::vector<int64_t> left_base = {5, 0};  // five class-0 tuples <= 4
+  const std::vector<int64_t> totals = {5, 5};
+  GiniImpurity gini;
+  auto best = BestNumericSplitRange(in_range, 0, gini, left_base, totals,
+                                    /*boundary_value=*/4.0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->value, 4.0);  // the boundary candidate is the optimum
+  EXPECT_DOUBLE_EQ(best->impurity, 0.0);
+}
+
+TEST(NumericSearchTest, MatchesFullSearchOnRange) {
+  // The range search with base counts must agree with a full search when the
+  // optimum lies inside the range.
+  Rng rng(5);
+  NumericAvc full(2);
+  std::vector<std::pair<double, int32_t>> data;
+  for (int i = 0; i < 200; ++i) {
+    const double v = static_cast<double>(rng.UniformInt(0, 50));
+    const int32_t label = rng.Bernoulli(v / 50.0) ? 1 : 0;
+    data.push_back({v, label});
+    full.Add(v, label);
+  }
+  full.Finalize();
+  GiniImpurity gini;
+  auto best_full = BestNumericSplit(full, 0, gini);
+  ASSERT_TRUE(best_full.has_value());
+
+  // Range (lo, hi] that contains the optimum.
+  const double lo = best_full->value - 3;
+  const double hi = best_full->value + 3;
+  NumericAvc in_range(2);
+  std::vector<int64_t> left_base(2, 0);
+  std::vector<int64_t> totals(2, 0);
+  double boundary = -1e300;
+  bool has_boundary = false;
+  for (const auto& [v, label] : data) {
+    ++totals[label];
+    if (v <= lo) {
+      ++left_base[label];
+      if (!has_boundary || v > boundary) {
+        boundary = v;
+        has_boundary = true;
+      }
+    } else if (v <= hi) {
+      in_range.Add(v, label);
+    }
+  }
+  in_range.Finalize();
+  auto best_range = BestNumericSplitRange(
+      in_range, 0, gini, left_base, totals,
+      has_boundary ? std::optional<double>(boundary) : std::nullopt);
+  ASSERT_TRUE(best_range.has_value());
+  EXPECT_EQ(best_range->value, best_full->value);
+  EXPECT_DOUBLE_EQ(best_range->impurity, best_full->impurity);
+}
+
+// -------------------------------------------------------- Categorical search
+
+TEST(CategoricalSearchTest, TwoClassesUsesBreimanOrdering) {
+  CategoricalAvc avc(4, 2);
+  // Category class-0 proportions: cat0: 0.9, cat1: 0.1, cat2: 0.8, cat3: 0.2
+  avc.Add(0, 0, 9);
+  avc.Add(0, 1, 1);
+  avc.Add(1, 0, 1);
+  avc.Add(1, 1, 9);
+  avc.Add(2, 0, 8);
+  avc.Add(2, 1, 2);
+  avc.Add(3, 0, 2);
+  avc.Add(3, 1, 8);
+  GiniImpurity gini;
+  auto best = BestCategoricalSplit(avc, 0, gini);
+  ASSERT_TRUE(best.has_value());
+  // Optimal partition groups {0,2} vs {1,3}; canonical side contains 0.
+  EXPECT_EQ(best->subset, (std::vector<int32_t>{0, 2}));
+}
+
+TEST(CategoricalSearchTest, SingleCategoryHasNoSplit) {
+  CategoricalAvc avc(3, 2);
+  avc.Add(1, 0, 5);
+  avc.Add(1, 1, 5);
+  GiniImpurity gini;
+  EXPECT_FALSE(BestCategoricalSplit(avc, 0, gini).has_value());
+}
+
+TEST(CategoricalSearchTest, ThreeClassExhaustiveFindsPerfectSplit) {
+  CategoricalAvc avc(4, 3);
+  avc.Add(0, 0, 5);
+  avc.Add(1, 0, 5);
+  avc.Add(2, 1, 5);
+  avc.Add(3, 2, 5);
+  GiniImpurity gini;
+  auto best = BestCategoricalSplit(avc, 0, gini);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->subset, (std::vector<int32_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(best->impurity,
+                   gini.Eval((const int64_t[]){10, 0, 0},
+                             (const int64_t[]){0, 5, 5}, 3, 20));
+}
+
+TEST(CategoricalSearchTest, SubsetIsCanonical) {
+  CategoricalAvc avc(3, 2);
+  avc.Add(0, 0, 10);
+  avc.Add(1, 1, 10);
+  avc.Add(2, 1, 10);
+  GiniImpurity gini;
+  auto best = BestCategoricalSplit(avc, 0, gini);
+  ASSERT_TRUE(best.has_value());
+  // The perfect partition is {0} vs {1,2}; canonical side contains 0.
+  EXPECT_EQ(best->subset, (std::vector<int32_t>{0}));
+}
+
+TEST(CategoricalSearchTest, LargeDomainGreedyStillSeparates) {
+  // 20 categories, each pure: even the greedy path must reach a good split.
+  CategoricalAvc avc(20, 3);
+  for (int c = 0; c < 20; ++c) avc.Add(c, c % 3, 10);
+  GiniImpurity gini;
+  auto best = BestCategoricalSplit(avc, 0, gini);
+  ASSERT_TRUE(best.has_value());
+  const double node = gini.EvalNode(avc.Totals().data(), 3, 200);
+  EXPECT_LT(best->impurity, node);
+}
+
+// ----------------------------------------------------------- Child counts
+
+TEST(ChildCountsTest, NumericPartition) {
+  NumericAvc avc(2);
+  avc.Add(1.0, 0, 3);
+  avc.Add(2.0, 1, 2);
+  avc.Add(3.0, 0, 1);
+  avc.Finalize();
+  auto [left, right] = ChildCountsNumeric(avc, Split::Numerical(0, 2.0, 0));
+  EXPECT_EQ(left, (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(right, (std::vector<int64_t>{1, 0}));
+}
+
+TEST(ChildCountsTest, CategoricalPartition) {
+  CategoricalAvc avc(3, 2);
+  avc.Add(0, 0, 4);
+  avc.Add(1, 1, 5);
+  avc.Add(2, 0, 6);
+  auto [left, right] =
+      ChildCountsCategorical(avc, Split::Categorical(0, {0, 2}, 0));
+  EXPECT_EQ(left, (std::vector<int64_t>{10, 0}));
+  EXPECT_EQ(right, (std::vector<int64_t>{0, 5}));
+}
+
+// -------------------------------------------------------- Impurity selector
+
+TEST(ImpuritySelectorTest, ChoosesBestAcrossAttributes) {
+  Schema schema({Attribute::Numerical("weak"), Attribute::Numerical("strong")},
+                2);
+  std::vector<Tuple> tuples;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const double strong = i < 50 ? 0 : 1;
+    const double weak = static_cast<double>(rng.UniformInt(0, 9));
+    tuples.push_back(Tuple({weak, strong}, i < 50 ? 0 : 1));
+  }
+  AvcGroup avc = BuildAvcGroup(schema, tuples);
+  auto selector = MakeGiniSelector();
+  auto split = selector->ChooseSplit(avc);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->attribute, 1);
+  EXPECT_DOUBLE_EQ(split->impurity, 0.0);
+}
+
+TEST(ImpuritySelectorTest, PureNodeIsLeaf) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10; ++i) tuples.push_back(Tuple({double(i)}, 0));
+  AvcGroup avc = BuildAvcGroup(schema, tuples);
+  EXPECT_FALSE(MakeGiniSelector()->ChooseSplit(avc).has_value());
+}
+
+TEST(ImpuritySelectorTest, UninformativeSplitRejected) {
+  // Identical class mix at every value: no split strictly decreases gini.
+  Schema schema({Attribute::Numerical("x")}, 2);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10; ++i) {
+    tuples.push_back(Tuple({double(i)}, 0));
+    tuples.push_back(Tuple({double(i)}, 1));
+  }
+  AvcGroup avc = BuildAvcGroup(schema, tuples);
+  EXPECT_FALSE(MakeGiniSelector()->ChooseSplit(avc).has_value());
+}
+
+// ----------------------------------------------------------------- MomentSet
+
+TEST(MomentSetTest, OrderIndependentAccumulation) {
+  Schema schema({Attribute::Numerical("x"), Attribute::Categorical("c", 2)},
+                2);
+  std::vector<Tuple> tuples;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    tuples.push_back(Tuple({rng.UniformDouble(0, 1000), 0.0},
+                           static_cast<int32_t>(rng.UniformInt(0, 1))));
+  }
+  MomentSet forward(schema);
+  for (const Tuple& t : tuples) forward.Add(t);
+  MomentSet backward(schema);
+  for (auto it = tuples.rbegin(); it != tuples.rend(); ++it) {
+    backward.Add(*it);
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(MomentSetTest, DeleteUndoesInsert) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  MomentSet moments(schema);
+  const Tuple t({123.456}, 1);
+  moments.Add(t, +1);
+  moments.Add(t, -1);
+  EXPECT_EQ(moments.count(0, 1), 0);
+  EXPECT_EQ(moments.sum(0, 1), 0);
+  EXPECT_EQ(moments.sum_sq(0, 1), static_cast<__int128>(0));
+}
+
+TEST(MomentSetTest, MergeAddsCells) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  MomentSet a(schema), b(schema);
+  a.Add(Tuple({2.0}, 0));
+  b.Add(Tuple({3.0}, 0));
+  a.Merge(b);
+  EXPECT_EQ(a.count(0, 0), 2);
+  EXPECT_EQ(a.sum(0, 0), QuantizeValue(2.0) + QuantizeValue(3.0));
+}
+
+// ------------------------------------------------------------ QUEST selector
+
+TEST(QuestSelectorTest, PrefersStronglyAssociatedAttribute) {
+  Schema schema({Attribute::Numerical("noise"), Attribute::Numerical("signal")},
+                2);
+  std::vector<Tuple> tuples;
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const int32_t label = static_cast<int32_t>(rng.UniformInt(0, 1));
+    const double signal = label * 100 + rng.UniformInt(0, 10);
+    const double noise = rng.UniformInt(0, 1000);
+    tuples.push_back(Tuple({noise, signal}, label));
+  }
+  AvcGroup avc = BuildAvcGroup(schema, tuples);
+  QuestSelector quest;
+  auto split = quest.ChooseSplit(avc);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->attribute, 1);
+  EXPECT_TRUE(split->is_numerical);
+  // The threshold (midpoint of class means ~5 and ~105) separates classes.
+  EXPECT_GE(split->value, 10);
+  EXPECT_LT(split->value, 100);
+}
+
+TEST(QuestSelectorTest, CategoricalAttributeViaChiSquare) {
+  Schema schema({Attribute::Categorical("c", 3)}, 2);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 30; ++i) {
+    const int32_t cat = i % 3;
+    tuples.push_back(Tuple({double(cat)}, cat == 0 ? 0 : 1));
+  }
+  AvcGroup avc = BuildAvcGroup(schema, tuples);
+  QuestSelector quest;
+  auto split = quest.ChooseSplit(avc);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_FALSE(split->is_numerical);
+  EXPECT_EQ(split->subset, (std::vector<int32_t>{0}));
+}
+
+TEST(QuestSelectorTest, NoAssociationMeansLeaf) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  std::vector<Tuple> tuples;
+  // x identical for both classes: zero between-group variance.
+  for (int i = 0; i < 20; ++i) tuples.push_back(Tuple({5.0}, i % 2));
+  AvcGroup avc = BuildAvcGroup(schema, tuples);
+  QuestSelector quest;
+  EXPECT_FALSE(quest.ChooseSplit(avc).has_value());
+}
+
+TEST(QuestSelectorTest, NumericScoreInfiniteOnPerfectSeparation) {
+  // Two point masses: zero within-group variance, positive between.
+  const int64_t count[2] = {5, 5};
+  const int64_t sum[2] = {5 * QuantizeValue(1.0), 5 * QuantizeValue(2.0)};
+  const __int128 sum_sq[2] = {
+      static_cast<__int128>(5) * QuantizeValue(1.0) * QuantizeValue(1.0),
+      static_cast<__int128>(5) * QuantizeValue(2.0) * QuantizeValue(2.0)};
+  const double score = QuestSelector::NumericScore(count, sum, sum_sq, 2);
+  EXPECT_TRUE(std::isinf(score));
+}
+
+TEST(QuestSelectorTest, ThresholdIsMidpointOfSuperclassMeans) {
+  const int64_t count[2] = {10, 10};
+  const int64_t sum[2] = {10 * QuantizeValue(0.0), 10 * QuantizeValue(10.0)};
+  auto theta = QuestSelector::Threshold(count, sum, 2);
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_DOUBLE_EQ(*theta, 5.0);
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,406 @@
+// Unit tests for src/storage: schema, tuples, table files, sources,
+// sampling, temp files and spillable tuple stores.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "common/io_stats.h"
+#include "storage/sampling.h"
+#include "storage/table_file.h"
+#include "storage/temp_file.h"
+#include "storage/tuple_source.h"
+#include "storage/tuple_store.h"
+
+namespace boat {
+namespace {
+
+namespace fs = std::filesystem;
+
+Schema TestSchema() {
+  return Schema({Attribute::Numerical("x"), Attribute::Categorical("c", 4),
+                 Attribute::Numerical("y")},
+                /*num_classes=*/3);
+}
+
+std::vector<Tuple> TestTuples(int n) {
+  std::vector<Tuple> out;
+  for (int i = 0; i < n; ++i) {
+    out.emplace_back(
+        std::vector<double>{static_cast<double>(i) * 1.5,
+                            static_cast<double>(i % 4),
+                            static_cast<double>(100 - i)},
+        i % 3);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------- Schema
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_attributes(), 3);
+  EXPECT_EQ(s.num_classes(), 3);
+  EXPECT_TRUE(s.IsNumerical(0));
+  EXPECT_TRUE(s.IsCategorical(1));
+  EXPECT_EQ(s.attribute(1).cardinality, 4);
+  EXPECT_EQ(s.FindAttribute("y"), 2);
+  EXPECT_EQ(s.FindAttribute("nope"), -1);
+}
+
+TEST(SchemaTest, RecordWidth) {
+  // 8 (x) + 4 (c) + 8 (y) + 4 (label)
+  EXPECT_EQ(TestSchema().RecordWidth(), 24u);
+}
+
+TEST(SchemaTest, FingerprintDistinguishesSchemas) {
+  Schema a = TestSchema();
+  Schema b({Attribute::Numerical("x"), Attribute::Categorical("c", 5),
+            Attribute::Numerical("y")},
+           3);
+  Schema c({Attribute::Numerical("x"), Attribute::Categorical("c", 4),
+            Attribute::Numerical("y")},
+           2);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_EQ(a.Fingerprint(), TestSchema().Fingerprint());
+}
+
+TEST(SchemaTest, ValidateRejectsBadSchemas) {
+  EXPECT_FALSE(Schema({}, 2).Validate().ok());
+  EXPECT_FALSE(Schema({Attribute::Numerical("x")}, 1).Validate().ok());
+  EXPECT_FALSE(Schema({Attribute::Numerical("x"), Attribute::Numerical("x")},
+                      2)
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(
+      Schema({Attribute::Categorical("c", 1)}, 2).Validate().ok());
+  EXPECT_TRUE(TestSchema().Validate().ok());
+}
+
+// ---------------------------------------------------------------------- Tuple
+
+TEST(TupleTest, AccessorsAndEquality) {
+  Tuple t({1.5, 2.0, -3.0}, 1);
+  EXPECT_EQ(t.num_values(), 3);
+  EXPECT_EQ(t.value(0), 1.5);
+  EXPECT_EQ(t.category(1), 2);
+  EXPECT_EQ(t.label(), 1);
+  Tuple u = t;
+  EXPECT_EQ(t, u);
+  u.set_label(2);
+  EXPECT_NE(t, u);
+}
+
+TEST(TupleTest, ToStringRendersPerType) {
+  Schema s = TestSchema();
+  Tuple t({1.5, 2.0, 7.0}, 1);
+  EXPECT_EQ(t.ToString(s), "(1.5, 2, 7) -> 1");
+}
+
+// ------------------------------------------------------------------ TableFile
+
+class TableFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto temp = TempFileManager::Create();
+    ASSERT_TRUE(temp.ok());
+    temp_ = std::make_unique<TempFileManager>(std::move(temp).ValueOrDie());
+  }
+  std::unique_ptr<TempFileManager> temp_;
+};
+
+TEST_F(TableFileTest, RoundTrip) {
+  const Schema schema = TestSchema();
+  const std::vector<Tuple> tuples = TestTuples(100);
+  const std::string path = temp_->NewPath("roundtrip");
+  ASSERT_TRUE(WriteTable(path, schema, tuples).ok());
+  auto readback = ReadTable(path, schema);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(*readback, tuples);
+}
+
+TEST_F(TableFileTest, EmptyTable) {
+  const Schema schema = TestSchema();
+  const std::string path = temp_->NewPath("empty");
+  ASSERT_TRUE(WriteTable(path, schema, {}).ok());
+  auto readback = ReadTable(path, schema);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_TRUE(readback->empty());
+}
+
+TEST_F(TableFileTest, ReaderResetRestartsScan) {
+  const Schema schema = TestSchema();
+  const std::string path = temp_->NewPath("reset");
+  ASSERT_TRUE(WriteTable(path, schema, TestTuples(10)).ok());
+  auto reader = TableReader::Open(path, schema);
+  ASSERT_TRUE(reader.ok());
+  Tuple t;
+  int first_pass = 0;
+  while ((*reader)->Next(&t)) ++first_pass;
+  EXPECT_EQ(first_pass, 10);
+  EXPECT_FALSE((*reader)->Next(&t));
+  ASSERT_TRUE((*reader)->Reset().ok());
+  int second_pass = 0;
+  while ((*reader)->Next(&t)) ++second_pass;
+  EXPECT_EQ(second_pass, 10);
+}
+
+TEST_F(TableFileTest, SchemaMismatchRejected) {
+  const Schema schema = TestSchema();
+  const std::string path = temp_->NewPath("mismatch");
+  ASSERT_TRUE(WriteTable(path, schema, TestTuples(3)).ok());
+  const Schema other({Attribute::Numerical("z")}, 2);
+  auto reader = TableReader::Open(path, other);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TableFileTest, MissingFileIsNotFound) {
+  auto reader = TableReader::Open(temp_->dir() + "/nope.tbl", TestSchema());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TableFileTest, CorruptMagicRejected) {
+  const std::string path = temp_->NewPath("corrupt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[32] = "this is not a table";
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+  auto reader = TableReader::Open(path, TestSchema());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(TableFileTest, WriterRejectsWrongArity) {
+  const std::string path = temp_->NewPath("arity");
+  auto writer = TableWriter::Create(path, TestSchema());
+  ASSERT_TRUE(writer.ok());
+  Tuple wrong({1.0}, 0);
+  EXPECT_EQ((*writer)->Append(wrong).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE((*writer)->Finish().ok());
+}
+
+TEST_F(TableFileTest, IoStatsCountScans) {
+  const Schema schema = TestSchema();
+  const std::string path = temp_->NewPath("iostats");
+  ASSERT_TRUE(WriteTable(path, schema, TestTuples(50)).ok());
+  ResetIoStats();
+  auto reader = TableReader::Open(path, schema);
+  ASSERT_TRUE(reader.ok());
+  Tuple t;
+  while ((*reader)->Next(&t)) {
+  }
+  IoStats stats = GetIoStats();
+  EXPECT_EQ(stats.scans_started, 1u);
+  EXPECT_EQ(stats.tuples_read, 50u);
+  EXPECT_EQ(stats.bytes_read, 50u * schema.RecordWidth());
+}
+
+// ---------------------------------------------------------------- TupleSource
+
+TEST(TupleSourceTest, VectorSourceIteratesAndResets) {
+  const Schema schema = TestSchema();
+  VectorSource source(schema, TestTuples(5));
+  Tuple t;
+  int n = 0;
+  while (source.Next(&t)) ++n;
+  EXPECT_EQ(n, 5);
+  ASSERT_TRUE(source.Reset().ok());
+  n = 0;
+  while (source.Next(&t)) ++n;
+  EXPECT_EQ(n, 5);
+}
+
+TEST(TupleSourceTest, FilterSourceKeepsMatching) {
+  const Schema schema = TestSchema();
+  auto inner = std::make_unique<VectorSource>(schema, TestTuples(10));
+  FilterSource filtered(std::move(inner),
+                        [](const Tuple& t) { return t.label() == 0; });
+  Tuple t;
+  int n = 0;
+  while (filtered.Next(&t)) {
+    EXPECT_EQ(t.label(), 0);
+    ++n;
+  }
+  EXPECT_EQ(n, 4);  // labels 0,1,2,0,1,2,... over 10 tuples
+  ASSERT_TRUE(filtered.Reset().ok());
+  int again = 0;
+  while (filtered.Next(&t)) ++again;
+  EXPECT_EQ(again, n);
+}
+
+TEST(TupleSourceTest, ChainSourceConcatenates) {
+  const Schema schema = TestSchema();
+  std::vector<std::unique_ptr<TupleSource>> parts;
+  parts.push_back(std::make_unique<VectorSource>(schema, TestTuples(3)));
+  parts.push_back(std::make_unique<VectorSource>(schema, TestTuples(4)));
+  ChainSource chain(std::move(parts));
+  auto all = Materialize(&chain);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 7u);
+}
+
+// ------------------------------------------------------------------- Sampling
+
+TEST(SamplingTest, ReservoirReturnsWholeSmallStream) {
+  const Schema schema = TestSchema();
+  VectorSource source(schema, TestTuples(10));
+  Rng rng(1);
+  uint64_t seen = 0;
+  auto sample = ReservoirSample(&source, 100, &rng, &seen);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 10u);
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(SamplingTest, ReservoirSampleIsUniformish) {
+  const Schema schema = TestSchema();
+  const int n = 2000;
+  VectorSource source(schema, TestTuples(n));
+  // Draw many samples of size 1 and check the mean index is near n/2.
+  double mean = 0;
+  for (int rep = 0; rep < 400; ++rep) {
+    Rng rng(static_cast<uint64_t>(rep) + 1);
+    ASSERT_TRUE(source.Reset().ok());
+    auto sample = ReservoirSample(&source, 1, &rng);
+    ASSERT_TRUE(sample.ok());
+    mean += (*sample)[0].value(0) / 1.5;  // recover the index
+  }
+  mean /= 400;
+  EXPECT_NEAR(mean, n / 2.0, n * 0.06);
+}
+
+TEST(SamplingTest, WithReplacementDeterministic) {
+  const std::vector<Tuple> population = TestTuples(50);
+  Rng rng1(9), rng2(9);
+  auto a = SampleWithReplacement(population, 30, &rng1);
+  auto b = SampleWithReplacement(population, 30, &rng2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 30u);
+}
+
+TEST(SamplingTest, WithoutReplacementDistinct) {
+  const std::vector<Tuple> population = TestTuples(20);
+  Rng rng(3);
+  auto s = SampleWithoutReplacement(population, 20, &rng);
+  std::set<double> keys;
+  for (const Tuple& t : s) keys.insert(t.value(0));
+  EXPECT_EQ(keys.size(), 20u);  // a permutation: all distinct
+}
+
+// ------------------------------------------------------------ TempFileManager
+
+TEST(TempFileManagerTest, CreatesAndCleansUp) {
+  std::string dir;
+  {
+    auto temp = TempFileManager::Create();
+    ASSERT_TRUE(temp.ok());
+    dir = temp->dir();
+    EXPECT_TRUE(fs::exists(dir));
+    const std::string p1 = temp->NewPath("a");
+    const std::string p2 = temp->NewPath("a");
+    EXPECT_NE(p1, p2);
+  }
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST(TempFileManagerTest, MoveTransfersOwnership) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const std::string dir = temp->dir();
+  {
+    TempFileManager moved = std::move(temp).ValueOrDie();
+    EXPECT_TRUE(fs::exists(dir));
+  }
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+// --------------------------------------------------------- SpillableTupleStore
+
+class TupleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto temp = TempFileManager::Create();
+    ASSERT_TRUE(temp.ok());
+    temp_ = std::make_unique<TempFileManager>(std::move(temp).ValueOrDie());
+  }
+  std::unique_ptr<TempFileManager> temp_;
+};
+
+TEST_F(TupleStoreTest, InMemoryRoundTrip) {
+  SpillableTupleStore store(TestSchema(), temp_.get(), "s", 100);
+  const auto tuples = TestTuples(10);
+  for (const Tuple& t : tuples) ASSERT_TRUE(store.Append(t).ok());
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_FALSE(store.spilled());
+  auto back = store.ToVector();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 10u);
+}
+
+TEST_F(TupleStoreTest, SpillsAndStillIterates) {
+  SpillableTupleStore store(TestSchema(), temp_.get(), "s", 8);
+  const auto tuples = TestTuples(50);
+  for (const Tuple& t : tuples) ASSERT_TRUE(store.Append(t).ok());
+  EXPECT_EQ(store.size(), 50u);
+  EXPECT_TRUE(store.spilled());
+  auto back = store.ToVector();
+  ASSERT_TRUE(back.ok());
+  // Order is unspecified; compare as multisets via sorted first values.
+  std::multiset<double> expect, got;
+  for (const Tuple& t : tuples) expect.insert(t.value(0));
+  for (const Tuple& t : *back) got.insert(t.value(0));
+  EXPECT_EQ(expect, got);
+}
+
+TEST_F(TupleStoreTest, RemoveFromMemory) {
+  SpillableTupleStore store(TestSchema(), temp_.get(), "s", 100);
+  const auto tuples = TestTuples(5);
+  for (const Tuple& t : tuples) ASSERT_TRUE(store.Append(t).ok());
+  ASSERT_TRUE(store.RemoveOne(tuples[2]).ok());
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.RemoveOne(tuples[2]).code(), StatusCode::kNotFound);
+}
+
+TEST_F(TupleStoreTest, RemoveFromSpilledSegments) {
+  SpillableTupleStore store(TestSchema(), temp_.get(), "s", 4);
+  const auto tuples = TestTuples(20);
+  for (const Tuple& t : tuples) ASSERT_TRUE(store.Append(t).ok());
+  ASSERT_TRUE(store.spilled());
+  ASSERT_TRUE(store.RemoveOne(tuples[1]).ok());  // lives in a segment
+  EXPECT_EQ(store.size(), 19u);
+  auto back = store.ToVector();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 19u);
+  int count_of_removed = 0;
+  for (const Tuple& t : *back) {
+    if (t == tuples[1]) ++count_of_removed;
+  }
+  EXPECT_EQ(count_of_removed, 0);
+}
+
+TEST_F(TupleStoreTest, RemoveHonorsMultiplicity) {
+  SpillableTupleStore store(TestSchema(), temp_.get(), "s", 2);
+  Tuple t({1.0, 0.0, 2.0}, 1);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(store.Append(t).ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(store.RemoveOne(t).ok());
+  EXPECT_EQ(store.RemoveOne(t).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(TupleStoreTest, ClearResets) {
+  SpillableTupleStore store(TestSchema(), temp_.get(), "s", 4);
+  for (const Tuple& t : TestTuples(20)) ASSERT_TRUE(store.Append(t).ok());
+  ASSERT_TRUE(store.Clear().ok());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.spilled());
+  ASSERT_TRUE(store.Append(TestTuples(1)[0]).ok());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,218 @@
+// Tests for the hyperplane and Gaussian-mixture generators, plus end-to-end
+// identical-tree checks of BOAT on those workloads (multi-class, smooth
+// boundaries, gradual drift).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boat/builder.h"
+#include "datagen/synthetic.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+TEST(HyperplaneGeneratorTest, DeterministicAndRestartable) {
+  HyperplaneConfig config;
+  config.dimensions = 4;
+  config.seed = 3;
+  HyperplaneGenerator gen(config, 500);
+  std::vector<Tuple> first;
+  Tuple t;
+  while (gen.Next(&t)) first.push_back(t);
+  ASSERT_TRUE(gen.Reset().ok());
+  std::vector<Tuple> second;
+  while (gen.Next(&t)) second.push_back(t);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 500u);
+}
+
+TEST(HyperplaneGeneratorTest, LabelsMatchTheHyperplane) {
+  HyperplaneConfig config;
+  config.dimensions = 3;
+  config.weights = {1.0, 2.0, 0.5};
+  config.value_range = 100;
+  config.seed = 5;
+  const double theta = (1.0 + 2.0 + 0.5) * 50.0;
+  for (const Tuple& t : GenerateHyperplane(config, 2000)) {
+    const double dot =
+        t.value(0) * 1.0 + t.value(1) * 2.0 + t.value(2) * 0.5;
+    EXPECT_EQ(t.label(), dot > theta ? 1 : 0);
+  }
+}
+
+TEST(HyperplaneGeneratorTest, BothClassesRoughlyBalanced) {
+  HyperplaneConfig config;
+  config.seed = 7;
+  int64_t counts[2] = {0, 0};
+  for (const Tuple& t : GenerateHyperplane(config, 10000)) {
+    ++counts[t.label()];
+  }
+  EXPECT_GT(counts[0], 3500);
+  EXPECT_GT(counts[1], 3500);
+}
+
+TEST(HyperplaneGeneratorTest, DriftChangesTheConcept) {
+  // With drift, the same attribute vector can be labeled differently in
+  // different blocks; compare the label of early vs late blocks via
+  // disagreement of trained stumps.
+  HyperplaneConfig drifting;
+  drifting.dimensions = 3;
+  drifting.drift = 0.8;
+  drifting.drift_block = 2000;
+  drifting.seed = 9;
+  auto data = GenerateHyperplane(drifting, 20000);
+  const Schema schema(
+      {Attribute::Numerical("x0"), Attribute::Numerical("x1"),
+       Attribute::Numerical("x2")},
+      2);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 4;
+  std::vector<Tuple> early(data.begin(), data.begin() + 2000);
+  std::vector<Tuple> late(data.end() - 2000, data.end());
+  DecisionTree tree_early = BuildTreeInMemory(schema, early, *selector, limits);
+  // The early concept should fit early data much better than late data.
+  const double err_early = tree_early.MisclassificationRate(early);
+  const double err_late = tree_early.MisclassificationRate(late);
+  EXPECT_LT(err_early + 0.05, err_late);
+}
+
+TEST(GaussianMixtureGeneratorTest, DeterministicAndInRange) {
+  GaussianMixtureConfig config;
+  config.seed = 13;
+  auto a = GenerateGaussianMixture(config, 300);
+  auto b = GenerateGaussianMixture(config, 300);
+  EXPECT_EQ(a, b);
+  for (const Tuple& t : a) {
+    for (int d = 0; d < config.dimensions; ++d) {
+      EXPECT_GE(t.value(d), 0.0);
+      EXPECT_LE(t.value(d), config.spread);
+      EXPECT_EQ(t.value(d), std::round(t.value(d)));
+    }
+    EXPECT_GE(t.label(), 0);
+    EXPECT_LT(t.label(), config.num_classes);
+  }
+}
+
+TEST(GaussianMixtureGeneratorTest, AllClassesPresent) {
+  GaussianMixtureConfig config;
+  config.num_classes = 5;
+  config.seed = 17;
+  std::vector<int64_t> counts(5, 0);
+  for (const Tuple& t : GenerateGaussianMixture(config, 5000)) {
+    ++counts[t.label()];
+  }
+  for (const int64_t c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(GaussianMixtureGeneratorTest, LearnableByTrees) {
+  GaussianMixtureConfig config;
+  config.num_classes = 3;
+  config.stddev = 40.0;
+  config.seed = 19;
+  auto train = GenerateGaussianMixture(config, 6000);
+  GaussianMixtureGenerator test_gen(config, 1);  // same centers
+  config.seed = 19;  // same distribution, fresh draws via more rows
+  auto all = GenerateGaussianMixture(config, 8000);
+  std::vector<Tuple> test(all.begin() + 6000, all.end());
+  auto selector = MakeGiniSelector();
+  const Schema& schema = test_gen.schema();
+  DecisionTree tree = BuildTreeInMemory(schema, train, *selector);
+  EXPECT_LT(tree.MisclassificationRate(test), 0.15);
+}
+
+TEST(SyntheticEquivalenceTest, BoatMatchesReferenceOnHyperplane) {
+  HyperplaneConfig config;
+  config.dimensions = 4;
+  config.noise = 0.05;
+  config.seed = 23;
+  HyperplaneGenerator gen(config, 8000);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 14;
+  BoatOptions options;
+  options.sample_size = 1000;
+  options.bootstrap_count = 10;
+  options.bootstrap_subsample = 400;
+  options.inmem_threshold = 400;
+  options.limits = limits;
+  options.seed = 1;
+  BoatStats stats;
+  auto tree = BuildTreeBoat(&gen, *selector, options, &stats);
+  ASSERT_TRUE(tree.ok());
+  DecisionTree reference = BuildTreeInMemory(
+      gen.schema(), GenerateHyperplane(config, 8000), *selector, limits);
+  EXPECT_TRUE(tree->StructurallyEqual(reference));
+}
+
+TEST(SyntheticEquivalenceTest, BoatMatchesReferenceOnMixture) {
+  GaussianMixtureConfig config;
+  config.num_classes = 4;  // exercises 2^k corner bounds with k = 4
+  config.noise = 0.05;
+  config.seed = 29;
+  GaussianMixtureGenerator gen(config, 6000);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 12;
+  BoatOptions options;
+  options.sample_size = 1000;
+  options.bootstrap_count = 8;
+  options.bootstrap_subsample = 400;
+  options.inmem_threshold = 500;
+  options.limits = limits;
+  options.seed = 2;
+  auto tree = BuildTreeBoat(&gen, *selector, options);
+  ASSERT_TRUE(tree.ok());
+  DecisionTree reference = BuildTreeInMemory(
+      gen.schema(), GenerateGaussianMixture(config, 6000), *selector, limits);
+  EXPECT_TRUE(tree->StructurallyEqual(reference));
+}
+
+TEST(SyntheticEquivalenceTest, IncrementalUnderGradualDrift) {
+  // Gradual hyperplane drift: every chunk shifts the concept slightly; the
+  // incremental tree must equal the rebuild after every chunk.
+  HyperplaneConfig config;
+  config.dimensions = 3;
+  config.drift = 0.3;
+  config.drift_block = 1500;
+  config.noise = 0.05;
+  config.seed = 31;
+  auto all = GenerateHyperplane(config, 7500);
+  const Schema schema(
+      {Attribute::Numerical("x0"), Attribute::Numerical("x1"),
+       Attribute::Numerical("x2")},
+      2);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 10;
+  BoatOptions options;
+  options.sample_size = 600;
+  options.bootstrap_count = 8;
+  options.bootstrap_subsample = 250;
+  options.inmem_threshold = 300;
+  options.limits = limits;
+  options.enable_updates = true;
+  options.seed = 3;
+
+  std::vector<Tuple> base(all.begin(), all.begin() + 3000);
+  VectorSource source(schema, base);
+  auto classifier = BoatClassifier::Train(&source, selector.get(), options);
+  ASSERT_TRUE(classifier.ok());
+  size_t cursor = 3000;
+  while (cursor < all.size()) {
+    const size_t end = std::min(all.size(), cursor + 1500);
+    std::vector<Tuple> chunk(all.begin() + cursor, all.begin() + end);
+    ASSERT_TRUE((*classifier)->InsertChunk(chunk).ok());
+    cursor = end;
+    std::vector<Tuple> so_far(all.begin(), all.begin() + cursor);
+    DecisionTree reference =
+        BuildTreeInMemory(schema, so_far, *selector, limits);
+    ASSERT_TRUE((*classifier)->tree().StructurallyEqual(reference))
+        << "diverged at " << cursor;
+  }
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,227 @@
+// Unit tests for src/tree: tree structure, classification, the in-memory
+// reference builder, and (de)serialization.
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "storage/temp_file.h"
+#include "tree/inmem_builder.h"
+#include "tree/serialize.h"
+
+namespace boat {
+namespace {
+
+Schema SimpleSchema() {
+  return Schema({Attribute::Numerical("x"), Attribute::Categorical("c", 3)},
+                2);
+}
+
+DecisionTree HandBuiltTree() {
+  // x <= 5 ? leaf(0) : (c in {0,2} ? leaf(1) : leaf(0))
+  auto inner = TreeNode::Internal(
+      Split::Categorical(1, {0, 2}, 0.1), {3, 4},
+      TreeNode::Leaf({0, 4}), TreeNode::Leaf({3, 0}));
+  auto root = TreeNode::Internal(Split::Numerical(0, 5.0, 0.2), {10, 4},
+                                 TreeNode::Leaf({7, 0}), std::move(inner));
+  return DecisionTree(SimpleSchema(), std::move(root));
+}
+
+TEST(TreeNodeTest, MajorityLabelBreaksTiesLow) {
+  TreeNode node;
+  node.class_counts = {3, 3, 2};
+  EXPECT_EQ(node.MajorityLabel(), 0);
+  node.class_counts = {1, 5, 5};
+  EXPECT_EQ(node.MajorityLabel(), 1);
+}
+
+TEST(TreeNodeTest, CloneIsDeepAndEqual) {
+  DecisionTree tree = HandBuiltTree();
+  DecisionTree copy = tree.Clone();
+  EXPECT_TRUE(tree.StructurallyEqual(copy));
+  // Mutating the copy must not affect the original.
+  copy.mutable_root()->split->value = 99.0;
+  EXPECT_FALSE(tree.StructurallyEqual(copy));
+}
+
+TEST(DecisionTreeTest, ClassifyFollowsPredicates) {
+  DecisionTree tree = HandBuiltTree();
+  EXPECT_EQ(tree.Classify(Tuple({4.0, 1.0}, 0)), 0);  // left leaf
+  EXPECT_EQ(tree.Classify(Tuple({6.0, 0.0}, 0)), 1);  // right, c in {0,2}
+  EXPECT_EQ(tree.Classify(Tuple({6.0, 1.0}, 0)), 0);  // right, c not in
+}
+
+TEST(DecisionTreeTest, CountsAndDepth) {
+  DecisionTree tree = HandBuiltTree();
+  EXPECT_EQ(tree.num_nodes(), 5u);
+  EXPECT_EQ(tree.num_leaves(), 3u);
+  EXPECT_EQ(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, MisclassificationRate) {
+  DecisionTree tree = HandBuiltTree();
+  std::vector<Tuple> data = {
+      Tuple({4.0, 1.0}, 0),  // correct
+      Tuple({6.0, 0.0}, 1),  // correct
+      Tuple({6.0, 1.0}, 1),  // wrong (predicts 0)
+      Tuple({1.0, 2.0}, 1),  // wrong (predicts 0)
+  };
+  EXPECT_DOUBLE_EQ(tree.MisclassificationRate(data), 0.5);
+  EXPECT_DOUBLE_EQ(tree.MisclassificationRate({}), 0.0);
+}
+
+TEST(DecisionTreeTest, StructuralEqualityDetectsDifferences) {
+  DecisionTree a = HandBuiltTree();
+  DecisionTree b = HandBuiltTree();
+  EXPECT_TRUE(a.StructurallyEqual(b));
+  b.mutable_root()->split->value = 5.5;
+  EXPECT_FALSE(a.StructurallyEqual(b));
+}
+
+TEST(DecisionTreeTest, ToStringMentionsSplits) {
+  const std::string rendered = HandBuiltTree().ToString();
+  EXPECT_NE(rendered.find("x <= 5"), std::string::npos);
+  EXPECT_NE(rendered.find("c in {0,2}"), std::string::npos);
+  EXPECT_NE(rendered.find("leaf label=0"), std::string::npos);
+}
+
+// -------------------------------------------------------------- InMemBuilder
+
+TEST(InMemBuilderTest, PerfectlySeparableDataYieldsPureLeaves) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 20; ++i) tuples.push_back(Tuple({double(i)}, i < 10));
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(schema, tuples, *selector);
+  EXPECT_EQ(tree.num_leaves(), 2u);
+  EXPECT_DOUBLE_EQ(tree.MisclassificationRate(tuples), 0.0);
+}
+
+TEST(InMemBuilderTest, RespectsMaxDepth) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.seed = 4;
+  std::vector<Tuple> tuples = GenerateAgrawal(config, 2000);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 3;
+  DecisionTree tree =
+      BuildTreeInMemory(MakeAgrawalSchema(), tuples, *selector, limits);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(InMemBuilderTest, RespectsStopFamilySize) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 5;
+  std::vector<Tuple> tuples = GenerateAgrawal(config, 4000);
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.stop_family_size = 1000;
+
+  DecisionTree tree =
+      BuildTreeInMemory(MakeAgrawalSchema(), tuples, *selector, limits);
+
+  // Every leaf family must be <= 1000 or be unsplittable.
+  std::function<void(const TreeNode&)> visit = [&](const TreeNode& n) {
+    if (n.is_leaf()) return;
+    EXPECT_GT(n.family_size(), 1000);
+    visit(*n.left);
+    visit(*n.right);
+  };
+  visit(tree.root());
+}
+
+TEST(InMemBuilderTest, EmptyDataYieldsSingleLeaf) {
+  Schema schema({Attribute::Numerical("x")}, 2);
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(schema, {}, *selector);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Classify(Tuple({1.0}, 0)), 0);
+}
+
+TEST(InMemBuilderTest, DeterministicAcrossRuns) {
+  AgrawalConfig config;
+  config.function = 7;
+  config.noise = 0.05;
+  config.seed = 6;
+  std::vector<Tuple> tuples = GenerateAgrawal(config, 3000);
+  auto selector = MakeGiniSelector();
+  DecisionTree a = BuildTreeInMemory(MakeAgrawalSchema(), tuples, *selector);
+  DecisionTree b = BuildTreeInMemory(MakeAgrawalSchema(), tuples, *selector);
+  EXPECT_TRUE(a.StructurallyEqual(b));
+}
+
+TEST(InMemBuilderTest, LearnsAgrawalFunction1) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 8;
+  std::vector<Tuple> train = GenerateAgrawal(config, 5000);
+  config.seed = 9;
+  std::vector<Tuple> test = GenerateAgrawal(config, 2000);
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(MakeAgrawalSchema(), train, *selector);
+  EXPECT_LT(tree.MisclassificationRate(test), 0.02);
+}
+
+// ----------------------------------------------------------------- Serialize
+
+TEST(SerializeTest, RoundTripHandBuilt) {
+  DecisionTree tree = HandBuiltTree();
+  const std::string doc = SerializeTree(tree);
+  auto back = DeserializeTree(doc, SimpleSchema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(tree.StructurallyEqual(*back));
+}
+
+TEST(SerializeTest, RoundTripPreservesExactSplitValues) {
+  // A value that does not round-trip through decimal printing.
+  auto root = TreeNode::Internal(Split::Numerical(0, 0.1 + 0.2, 0.3), {1, 1},
+                                 TreeNode::Leaf({1, 0}),
+                                 TreeNode::Leaf({0, 1}));
+  DecisionTree tree(SimpleSchema(), std::move(root));
+  auto back = DeserializeTree(SerializeTree(tree), SimpleSchema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->root().split->value, 0.1 + 0.2);  // bit-exact
+}
+
+TEST(SerializeTest, RoundTripLargeLearnedTree) {
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  config.seed = 10;
+  std::vector<Tuple> tuples = GenerateAgrawal(config, 4000);
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(MakeAgrawalSchema(), tuples, *selector);
+  auto back = DeserializeTree(SerializeTree(tree), MakeAgrawalSchema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(tree.StructurallyEqual(*back));
+}
+
+TEST(SerializeTest, RejectsWrongSchema) {
+  DecisionTree tree = HandBuiltTree();
+  const std::string doc = SerializeTree(tree);
+  Schema other({Attribute::Numerical("z")}, 2);
+  EXPECT_FALSE(DeserializeTree(doc, other).ok());
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeTree("not a tree", SimpleSchema()).ok());
+  EXPECT_FALSE(DeserializeTree("BOATTREE v1\nfingerprint zzz\n",
+                               SimpleSchema())
+                   .ok());
+}
+
+TEST(SerializeTest, SaveAndLoadFile) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const std::string path = temp->NewPath("tree");
+  DecisionTree tree = HandBuiltTree();
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  auto back = LoadTree(path, SimpleSchema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(tree.StructurallyEqual(*back));
+  EXPECT_FALSE(LoadTree(temp->dir() + "/missing", SimpleSchema()).ok());
+}
+
+}  // namespace
+}  // namespace boat

@@ -1,0 +1,324 @@
+// boatc — command-line front end for the BOAT library.
+//
+//   boatc generate --function 6 --rows 200000 --noise 0.05 --out train.tbl
+//   boatc train    --data train.tbl --model model/ [--selector gini]
+//   boatc evaluate --model model/ --data test.tbl
+//   boatc classify --model model/ --data new.tbl --out labels.csv
+//   boatc update   --model model/ --insert chunk.tbl
+//   boatc update   --model model/ --delete expired.tbl
+//   boatc inspect  --model model/ [--rules] [--dot]
+//
+// Training data may also be a CSV file (schema inferred; see storage/csv.h);
+// everything else uses the binary table format tied to the model's schema.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "boat/persistence.h"
+#include "common/timer.h"
+#include "datagen/agrawal.h"
+#include "split/quest.h"
+#include "storage/csv.h"
+#include "tree/evaluation.h"
+#include "tree/export.h"
+#include "tree/serialize.h"
+
+namespace {
+
+using namespace boat;
+
+// ------------------------------------------------------------- flag parsing
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // boolean flag
+      }
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& def = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtoll(it->second.c_str(),
+                                                    nullptr, 10);
+  }
+  double GetDouble(const std::string& name, double def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string Require(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::unique_ptr<SplitSelector> MakeSelector(const std::string& name) {
+  if (name == "gini") return MakeGiniSelector();
+  if (name == "entropy") return MakeEntropySelector();
+  if (name == "quest") return std::make_unique<QuestSelector>();
+  std::fprintf(stderr, "unknown selector '%s' (gini|entropy|quest)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+bool IsCsv(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+// Loads training data from .tbl (schema must be recoverable from the file —
+// here we require Agrawal schema unless CSV) or .csv (schema inferred).
+struct LoadedData {
+  Schema schema;
+  std::vector<Tuple> tuples;
+  ExportNames names;  // CSV dictionaries, when available
+};
+
+LoadedData LoadData(const std::string& path, const Schema* expected) {
+  LoadedData out;
+  if (IsCsv(path)) {
+    auto dataset = LoadCsv(path);
+    Check(dataset.status());
+    out.schema = dataset->schema;
+    out.tuples = std::move(dataset->tuples);
+    out.names.categories = std::move(dataset->categories);
+    out.names.classes = std::move(dataset->class_names);
+    return out;
+  }
+  const Schema schema = expected != nullptr ? *expected : MakeAgrawalSchema();
+  auto tuples = ReadTable(path, schema);
+  Check(tuples.status());
+  out.schema = schema;
+  out.tuples = std::move(*tuples);
+  return out;
+}
+
+// ----------------------------------------------------------------- commands
+
+int CmdGenerate(const Flags& flags) {
+  AgrawalConfig config;
+  config.function = static_cast<int>(flags.GetInt("function", 1));
+  config.noise = flags.GetDouble("noise", 0.0);
+  config.extra_numeric_attrs =
+      static_cast<int>(flags.GetInt("extra-attrs", 0));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (flags.Has("drift")) config.drift = Drift::kRelabelOldAge;
+  const int64_t rows = flags.GetInt("rows", 100'000);
+  const std::string out = flags.Require("out");
+  if (IsCsv(out)) {
+    const auto tuples =
+        GenerateAgrawal(config, static_cast<uint64_t>(rows));
+    Check(WriteCsv(out, MakeAgrawalSchema(config.extra_numeric_attrs),
+                   tuples));
+  } else {
+    Check(GenerateAgrawalTable(config, static_cast<uint64_t>(rows), out));
+  }
+  std::printf("wrote %lld Agrawal F%d records (noise %.0f%%) to %s\n",
+              static_cast<long long>(rows), config.function,
+              100 * config.noise, out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  const std::string data_path = flags.Require("data");
+  const std::string model_dir = flags.Require("model");
+  auto selector = MakeSelector(flags.Get("selector", "gini"));
+
+  LoadedData data = LoadData(data_path, nullptr);
+  BoatOptions options;
+  const int64_t n = static_cast<int64_t>(data.tuples.size());
+  options.sample_size =
+      static_cast<size_t>(flags.GetInt("sample", std::max<int64_t>(n / 10,
+                                                                   1)));
+  options.bootstrap_count = static_cast<int>(flags.GetInt("bootstraps", 20));
+  options.bootstrap_subsample = static_cast<size_t>(
+      flags.GetInt("subsample",
+                   std::max<int64_t>(options.sample_size / 4, 1)));
+  options.inmem_threshold = flags.GetInt("inmem", n / 20 + 1);
+  options.limits.max_depth =
+      static_cast<int>(flags.GetInt("max-depth", 64));
+  options.limits.stop_family_size = flags.GetInt("stop-family", 0);
+  options.enable_updates = !flags.Has("no-updates");
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
+
+  VectorSource source(data.schema, data.tuples);
+  Stopwatch watch;
+  BoatStats stats;
+  auto classifier =
+      BoatClassifier::Train(&source, selector.get(), options, &stats);
+  Check(classifier.status());
+  Check(SaveClassifier(**classifier, model_dir));
+  std::printf(
+      "trained on %lld records in %.2fs — tree: %zu nodes, depth %d; "
+      "model saved to %s\n",
+      static_cast<long long>(n), watch.ElapsedSeconds(),
+      (*classifier)->tree().num_nodes(), (*classifier)->tree().depth(),
+      model_dir.c_str());
+  std::printf("  (selector %s, coarse nodes %llu, kills %llu, failed checks "
+              "%llu)\n",
+              selector->name().c_str(),
+              static_cast<unsigned long long>(stats.coarse_nodes),
+              static_cast<unsigned long long>(stats.bootstrap_kills),
+              static_cast<unsigned long long>(stats.failed_checks));
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  auto selector = MakeSelector(flags.Get("selector", "gini"));
+  auto classifier = LoadClassifier(flags.Require("model"), selector.get());
+  Check(classifier.status());
+  const Schema& schema = (*classifier)->tree().schema();
+  LoadedData data = LoadData(flags.Require("data"), &schema);
+  const ConfusionMatrix cm = Evaluate((*classifier)->tree(), data.tuples);
+  std::printf("accuracy: %.2f%% over %lld records\n", 100 * cm.Accuracy(),
+              static_cast<long long>(cm.total()));
+  std::printf("%s", cm.ToString().c_str());
+  return 0;
+}
+
+int CmdClassify(const Flags& flags) {
+  auto selector = MakeSelector(flags.Get("selector", "gini"));
+  auto classifier = LoadClassifier(flags.Require("model"), selector.get());
+  Check(classifier.status());
+  const Schema& schema = (*classifier)->tree().schema();
+  LoadedData data = LoadData(flags.Require("data"), &schema);
+
+  const std::string out_path = flags.Get("out");
+  std::ofstream out;
+  if (!out_path.empty()) out.open(out_path);
+  std::ostream& sink = out_path.empty() ? std::cout : out;
+  for (const Tuple& t : data.tuples) {
+    sink << (*classifier)->tree().Classify(t) << "\n";
+  }
+  if (!out_path.empty()) {
+    std::printf("wrote %zu predictions to %s\n", data.tuples.size(),
+                out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdUpdate(const Flags& flags) {
+  auto selector = MakeSelector(flags.Get("selector", "gini"));
+  const std::string model_dir = flags.Require("model");
+  auto classifier = LoadClassifier(model_dir, selector.get());
+  Check(classifier.status());
+  const Schema& schema = (*classifier)->tree().schema();
+
+  Stopwatch watch;
+  BoatStats stats;
+  if (flags.Has("insert")) {
+    LoadedData chunk = LoadData(flags.Get("insert"), &schema);
+    Check((*classifier)->InsertChunk(chunk.tuples, &stats));
+    std::printf("inserted %zu records in %.2fs", chunk.tuples.size(),
+                watch.ElapsedSeconds());
+  } else if (flags.Has("delete")) {
+    LoadedData chunk = LoadData(flags.Get("delete"), &schema);
+    Check((*classifier)->DeleteChunk(chunk.tuples, &stats));
+    std::printf("deleted %zu records in %.2fs", chunk.tuples.size(),
+                watch.ElapsedSeconds());
+  } else {
+    std::fprintf(stderr, "update needs --insert FILE or --delete FILE\n");
+    return 2;
+  }
+  std::printf(" — %llu subtree(s) rebuilt%s\n",
+              static_cast<unsigned long long>(stats.subtree_rebuilds),
+              stats.subtree_rebuilds > 0 ? " (distribution change detected)"
+                                         : "");
+  Check(SaveClassifier(**classifier, model_dir));
+  std::printf("model updated in place: %zu nodes, depth %d\n",
+              (*classifier)->tree().num_nodes(),
+              (*classifier)->tree().depth());
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  auto selector = MakeSelector(flags.Get("selector", "gini"));
+  auto classifier = LoadClassifier(flags.Require("model"), selector.get());
+  Check(classifier.status());
+  const DecisionTree& tree = (*classifier)->tree();
+  if (flags.Has("dot")) {
+    std::printf("%s", ExportDot(tree).c_str());
+    return 0;
+  }
+  if (flags.Has("rules")) {
+    std::printf("%s", ExportRules(tree).c_str());
+    return 0;
+  }
+  const ModelShape shape = DescribeModel((*classifier)->engine().model_root());
+  std::printf("tree: %zu nodes (%zu leaves), depth %d\n", tree.num_nodes(),
+              tree.num_leaves(), tree.depth());
+  std::printf("model: %lld verified internal nodes, %lld frontier nodes\n",
+              static_cast<long long>(shape.internal_nodes),
+              static_cast<long long>(shape.frontier_nodes));
+  std::printf("%s", tree.ToString().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: boatc <command> [flags]\n"
+      "commands:\n"
+      "  generate --out FILE [--function 1..10] [--rows N] [--noise P]\n"
+      "           [--extra-attrs N] [--drift] [--seed S]\n"
+      "  train    --data FILE --model DIR [--selector gini|entropy|quest]\n"
+      "           [--sample N] [--bootstraps B] [--subsample N] [--inmem N]\n"
+      "           [--max-depth D] [--stop-family N] [--no-updates]\n"
+      "  evaluate --model DIR --data FILE [--selector ...]\n"
+      "  classify --model DIR --data FILE [--out FILE]\n"
+      "  update   --model DIR (--insert FILE | --delete FILE)\n"
+      "  inspect  --model DIR [--rules] [--dot]\n"
+      "Data files: .tbl (binary tables; Agrawal schema assumed for training)\n"
+      "or .csv (schema inferred at training time).\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "classify") return CmdClassify(flags);
+  if (command == "update") return CmdUpdate(flags);
+  if (command == "inspect") return CmdInspect(flags);
+  return Usage();
+}
