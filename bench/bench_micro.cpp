@@ -186,6 +186,37 @@ void BM_BoatFullBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_BoatFullBuild)->Arg(20000)->Arg(100000);
 
+void BM_BoatGrowthThreads(benchmark::State& state) {
+  // The multi-threaded growth phase on a 500k-tuple database; Arg = worker
+  // threads. Every thread count produces the byte-identical tree (enforced
+  // by parallel_equivalence_test), so this measures pure speedup. On a
+  // single-core host the thread counts tie (modulo pipeline overhead).
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  const uint64_t n = 500000;
+  AgrawalGenerator gen(config, n);
+  auto selector = MakeGiniSelector();
+  BoatOptions options;
+  options.sample_size = 20000;
+  options.bootstrap_count = 20;
+  options.bootstrap_subsample = 5000;
+  options.inmem_threshold = static_cast<int64_t>(n / 10);
+  options.limits.stop_family_size = static_cast<int64_t>(n / 10);
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto tree = BuildTreeBoat(&gen, *selector, options);
+    CheckOk(tree.status());
+    benchmark::DoNotOptimize(tree->num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BoatGrowthThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TreeClassify(benchmark::State& state) {
   AgrawalConfig config;
   config.function = 7;

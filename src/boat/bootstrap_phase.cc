@@ -1,7 +1,9 @@
 #include "boat/bootstrap_phase.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/parallel.h"
 #include "storage/sampling.h"
 #include "tree/inmem_builder.h"
 
@@ -234,13 +236,23 @@ Result<SamplingPhaseResult> BuildCoarseFromSample(
       1, static_cast<int64_t>(static_cast<double>(opts.frontier_threshold) /
                               per_tuple_weight));
 
+  // Each tree draws its subsample from its own Split(i) stream, so tree i is
+  // a pure function of (rng state, i): building the trees concurrently in
+  // any order or on any thread count yields the identical coarse tree.
+  std::vector<std::optional<DecisionTree>> slots(
+      static_cast<size_t>(opts.bootstrap_count));
+  ParallelFor(opts.bootstrap_count,
+              ResolveThreadCount(opts.num_threads), [&](int64_t i) {
+                Rng tree_rng = rng->Split(static_cast<uint64_t>(i));
+                std::vector<Tuple> subsample = SampleWithReplacement(
+                    result.sample, opts.bootstrap_subsample, &tree_rng);
+                slots[i] = BuildTreeInMemory(schema, std::move(subsample),
+                                             selector, bootstrap_limits);
+              });
   std::vector<DecisionTree> trees;
-  trees.reserve(static_cast<size_t>(opts.bootstrap_count));
-  for (int i = 0; i < opts.bootstrap_count; ++i) {
-    std::vector<Tuple> subsample =
-        SampleWithReplacement(result.sample, opts.bootstrap_subsample, rng);
-    trees.push_back(BuildTreeInMemory(schema, std::move(subsample), selector,
-                                      bootstrap_limits));
+  trees.reserve(slots.size());
+  for (std::optional<DecisionTree>& s : slots) {
+    trees.push_back(std::move(*s));
   }
   result.coarse_root = CombineBootstrapTrees(trees, &result.bootstrap_kills);
 

@@ -27,6 +27,10 @@ struct SamplingPhaseOptions {
   int64_t frontier_threshold = 10000;
   GrowthLimits limits;               ///< shared growth limits
   int max_buckets_per_attr = 64;     ///< discretization budget
+  /// Threads for the bootstrap tree constructions (0 = hardware
+  /// concurrency). Trees are seeded per index via Rng::Split, so the coarse
+  /// tree does not depend on this value.
+  int num_threads = 1;
   /// Exact mode (used for maintenance-time subtree rebuilds): D' is the
   /// whole database and the coarse tree is the single exact tree built from
   /// it — no bootstrap disagreement, no kills, and every criterion is

@@ -12,7 +12,12 @@ double CornerLowerBound(const ImpurityFunction& imp,
                         const std::vector<int64_t>& node_totals,
                         int64_t total) {
   const int k = static_cast<int>(node_totals.size());
-  if (k > 24) FatalError("CornerLowerBound: too many classes");
+  if (k > kMaxCornerBoundClasses) {
+    // 2^k corners would be an accidental exponential cliff (k=24 is 16.7M
+    // impurity evaluations *per call*). -infinity is a correct lower bound;
+    // it simply carries no pruning power, so the caller rebuilds from data.
+    return -std::numeric_limits<double>::infinity();
+  }
   std::vector<int64_t> left(k), right(k);
   double best = std::numeric_limits<double>::infinity();
   const uint32_t corners = 1u << k;

@@ -11,12 +11,25 @@
 
 namespace boat {
 
+/// Largest class count for which the 2^k corner enumeration is evaluated.
+/// The bound costs Theta(2^k * k) per call and is invoked per candidate
+/// boundary inside BuildAdaptiveDiscretization and per bucket inside every
+/// verification check, so the cap keeps a single call under ~4k corner
+/// evaluations. Beyond it CornerLowerBound returns -infinity — a valid
+/// (maximally conservative) lower bound that makes verification fail and
+/// fall back to a rebuild instead of silently burning 2^k work per call.
+inline constexpr int kMaxCornerBoundClasses = 12;
+
 /// \brief Lower bound on imp_S over the box [lo, hi] (componentwise), where
 /// a stamp point s induces the partition (s | node_totals - s).
 ///
 /// Because the impurity is concave in the stamp point, its minimum over the
 /// box is attained at one of the 2^k corners (Mangasarian / Lemma 3.1);
-/// this evaluates all corners and returns the smallest value.
+/// this evaluates all corners and returns the smallest value. Complexity is
+/// Theta(2^k * k) in the number of classes k; for
+/// k > kMaxCornerBoundClasses the enumeration is skipped and -infinity is
+/// returned (conservative: callers treat it as "bound not tight enough" and
+/// rebuild from data, which is always correct).
 ///
 /// \param lo, hi       stamp points (k entries each), lo <= hi componentwise
 /// \param node_totals  per-class totals N^i of the node family

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "boat/bounds.h"
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "storage/sampling.h"
 #include "storage/table_file.h"
@@ -884,6 +885,7 @@ Status BoatEngine::PreparePhase(std::vector<Tuple> sample, uint64_t db_size,
       options_.inmem_threshold, options_.limits.stop_family_size);
   sampling.limits = options_.limits;
   sampling.max_buckets_per_attr = options_.max_buckets_per_attr;
+  sampling.num_threads = options_.num_threads;
   sampling.exact_coarse = options_.exact_coarse;
   sampling.schema = &schema_;
 
@@ -917,12 +919,15 @@ Status BoatEngine::PreparePhase(std::vector<Tuple> sample, uint64_t db_size,
 
 Status BoatEngine::InjectExternal(const Tuple& tuple) {
   BOAT_RETURN_NOT_OK(Inject(root_.get(), tuple, +1));
-  if (archive_ != nullptr) {
-    archive_buffer_.push_back(tuple);
-    if (archive_buffer_.size() >= 65536) {
-      BOAT_RETURN_NOT_OK(archive_->AddChunk(archive_buffer_));
-      archive_buffer_.clear();
-    }
+  return ArchiveTuple(tuple);
+}
+
+Status BoatEngine::ArchiveTuple(const Tuple& tuple) {
+  if (archive_ == nullptr) return Status::OK();
+  archive_buffer_.push_back(tuple);
+  if (archive_buffer_.size() >= 65536) {
+    BOAT_RETURN_NOT_OK(archive_->AddChunk(archive_buffer_));
+    archive_buffer_.clear();
   }
   return Status::OK();
 }
@@ -954,12 +959,19 @@ Status BoatEngine::Build(TupleSource* db, BoatStats* stats) {
   }
   BOAT_RETURN_NOT_OK(PreparePhase(std::move(sample), db_size, stats));
 
-  // The cleanup scan.
+  // The cleanup scan. Both paths leave identical model state (see
+  // RunCleanupScanParallel), so the final tree does not depend on
+  // num_threads.
   BOAT_RETURN_NOT_OK(db->Reset());
   if (stats != nullptr) ++stats->cleanup_scans;
-  Tuple t;
-  while (db->Next(&t)) {
-    BOAT_RETURN_NOT_OK(InjectExternal(t));
+  const int workers = ResolveThreadCount(options_.num_threads);
+  if (workers > 1) {
+    BOAT_RETURN_NOT_OK(RunCleanupScanParallel(db, workers));
+  } else {
+    Tuple t;
+    while (db->Next(&t)) {
+      BOAT_RETURN_NOT_OK(InjectExternal(t));
+    }
   }
   return FinalizeExternal(db, stats);
 }

@@ -92,6 +92,16 @@ class BoatEngine {
   // --- streaming ------------------------------------------------------------
   Status Inject(ModelNode* node, const Tuple& t, int64_t weight);
   void UpdateNodeStats(ModelNode* node, const Tuple& t, int64_t weight);
+  /// Buffers one tuple for the dataset archive (no-op when updates are off).
+  Status ArchiveTuple(const Tuple& t);
+
+  // --- parallel cleanup scan (parallel_scan.cc) -----------------------------
+  /// The multi-threaded equivalent of the serial Next/InjectExternal loop in
+  /// Build(): workers accumulate per-chunk node statistics which are merged
+  /// into the model in chunk order, producing bit-identical state for every
+  /// worker count. Requires num_workers >= 2 and a build-time scan (insert
+  /// weight +1 only, no final splits fixed yet).
+  Status RunCleanupScanParallel(TupleSource* db, int num_workers);
 
   // --- finalize / verification ----------------------------------------------
   Status FinalizeSubtree(ModelNode* node, std::vector<ModelNode*>* failed,

@@ -105,6 +105,45 @@ void BucketCounts::Add(double value, int32_t label, int64_t weight) {
                 bucket_now_empty);
 }
 
+namespace {
+
+// Combines two insert-only extreme tracks of the same bucket (is_min selects
+// the direction). Equivalent to having inserted both tracks' observations
+// into one counter, in any order.
+void MergeExtreme(BucketCounts::ExtremeTrack* t,
+                  const BucketCounts::ExtremeTrack& other, bool is_min) {
+  if (t->lost || other.lost) {  // cannot happen insert-only; stay safe
+    t->lost = true;
+    t->counts.clear();
+    return;
+  }
+  if (other.counts.empty()) return;
+  if (t->counts.empty()) {
+    *t = other;
+    return;
+  }
+  if (other.value == t->value) {
+    for (size_t c = 0; c < t->counts.size(); ++c) {
+      t->counts[c] += other.counts[c];
+    }
+  } else if (is_min ? other.value < t->value : other.value > t->value) {
+    *t = other;
+  }
+}
+
+}  // namespace
+
+void BucketCounts::MergeFrom(const BucketCounts& other) {
+  if (other.k_ != k_ || other.disc_.boundaries() != disc_.boundaries()) {
+    FatalError("BucketCounts::MergeFrom: incompatible shapes");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  for (size_t b = 0; b < mins_.size(); ++b) {
+    MergeExtreme(&mins_[b], other.mins_[b], /*is_min=*/true);
+    MergeExtreme(&maxes_[b], other.maxes_[b], /*is_min=*/false);
+  }
+}
+
 std::optional<std::vector<int64_t>> BucketCounts::MinValueCounts(int b) const {
   const ExtremeTrack& mt = mins_[b];
   if (mt.lost || mt.counts.empty()) return std::nullopt;
@@ -180,7 +219,12 @@ Discretization BuildAdaptiveDiscretization(const NumericAvc& sample_avc,
     if (i + 1 == n_values) break;  // last value needs no upper boundary
 
     bool close = in_bucket >= quota;
-    if (!close && static_cast<int>(boundaries.size()) < hard_cap) {
+    // The corner-bound early close costs 2^k per candidate; past the corner
+    // bound's class cap it returns -infinity (which would close a bucket at
+    // every value), so high-class-count attributes fall back to plain
+    // equi-depth buckets.
+    if (!close && k <= kMaxCornerBoundClasses &&
+        static_cast<int>(boundaries.size()) < hard_cap) {
       const double lb = CornerLowerBound(imp, bucket_lo, stamp, totals, total);
       close = lb <= tight_threshold;
     }

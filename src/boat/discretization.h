@@ -72,6 +72,13 @@ class BucketCounts {
 
   void Add(double value, int32_t label, int64_t weight = 1);
 
+  /// \brief Adds `other` (same discretization and class count) into this.
+  /// Both sides must have been built by insertions only (no deletions): the
+  /// per-bucket extreme tracks of two insert-only counters combine exactly,
+  /// which is what lets the parallel cleanup scan accumulate per-thread
+  /// BucketCounts and merge them to the bit-identical serial result.
+  void MergeFrom(const BucketCounts& other);
+
   const Discretization& disc() const { return disc_; }
   int num_classes() const { return k_; }
 

@@ -36,6 +36,18 @@ void ExtremeTracker::Remove(double v) {
   }
 }
 
+void ExtremeTracker::MergeFrom(const ExtremeTracker& other) {
+  qualifying_ += other.qualifying_;
+  if (other.lost_) lost_ = true;  // cannot happen insert-only; stay safe
+  if (lost_ || other.count_ == 0) return;
+  if (count_ == 0 || other.value_ > value_) {
+    value_ = other.value_;
+    count_ = other.count_;
+  } else if (other.value_ == value_) {
+    count_ += other.count_;
+  }
+}
+
 // ----------------------------------------------------------------- ExtractTree
 
 std::unique_ptr<TreeNode> ExtractTree(const ModelNode& node) {

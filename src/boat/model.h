@@ -44,6 +44,11 @@ class ExtremeTracker {
   void Insert(double v);
   void Remove(double v);
 
+  /// \brief Adds `other` (same bound) into this, as if every value `other`
+  /// ever saw had been Insert()ed here. Exact for insert-only trackers
+  /// (neither side lost), which is what the parallel cleanup scan merges.
+  void MergeFrom(const ExtremeTracker& other);
+
   /// \brief Number of tuples with value <= bound (always exact).
   int64_t qualifying() const { return qualifying_; }
   /// \brief No qualifying tuples exist (the extreme is known not to exist).

@@ -25,6 +25,13 @@ struct BoatOptions {
   int64_t inmem_threshold = 10000;
   GrowthLimits limits;
   uint64_t seed = 1234;
+  /// Worker threads for the growth phase (bootstrap tree construction and
+  /// the cleanup scan). 1 = fully serial (the historical path); 0 = use
+  /// std::thread::hardware_concurrency(). Any value produces the same tree,
+  /// byte for byte: bootstrap trees are seeded by index via Rng::Split and
+  /// the cleanup scan merges per-chunk statistics in scan order, so results
+  /// are independent of thread count and scheduling.
+  int num_threads = 1;
   /// Scratch directory base ("" = BOAT_TMPDIR or /tmp).
   std::string temp_dir;
   /// In-memory tuple budget per spillable store (S_n files etc.).

@@ -1,0 +1,339 @@
+// The multi-threaded cleanup scan (BoatEngine::RunCleanupScanParallel).
+//
+// Parallelizing BOAT's cleanup scan must not change the constructed tree by
+// a single byte: the whole algorithm rests on the guarantee that its output
+// equals the in-memory reference tree, and the regression suite pins
+// serialized trees. The design therefore never lets two threads touch the
+// same statistic:
+//
+//   reader (calling thread)  --chunks-->  workers  --results-->  merger
+//
+// * The calling thread cuts the tuple stream into fixed-size chunks (the
+//   TupleSource interface is sequential, so it is the only reader) and
+//   merges finished chunk results back into the model strictly in chunk
+//   order.
+// * Workers route each tuple of a chunk through the read-only skeleton
+//   (node kinds, coarse criteria, discretization shapes — all frozen after
+//   MakeSkeleton) into a private NodeAccumulator per touched node,
+//   mirroring Inject()'s build path exactly.
+// * Every per-node statistic the scan maintains is a sum over the family
+//   (integer class/bucket/AVC counts, fixed-point moments, ordered
+//   interval-AVC maps) or an insert-only extreme tracker, so merging the
+//   per-chunk accumulators in chunk order reproduces the serial state
+//   exactly — including the order of S_n / family store appends, hence
+//   byte-identical spill files, and the order of archive writes.
+//
+// Workers do no I/O at all; every store and archive write happens on the
+// calling thread inside MergeChunk. I/O statistics therefore match the
+// serial scan's exactly, and worker reads (immutable skeleton fields) are
+// disjoint from merger writes (statistics fields) — clean under
+// ThreadSanitizer by construction, with the work queue as the only shared
+// mutable state.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "boat/cleanup.h"
+
+namespace boat {
+
+namespace {
+
+// Tuples per work unit. Large enough that per-chunk accumulator setup and
+// queue traffic are negligible, small enough that a handful of in-flight
+// chunks bound memory and the pipeline stays busy near the end of the scan.
+constexpr size_t kChunkSize = 16384;
+
+// The model skeleton flattened into an array so accumulators can be
+// addressed by dense node ids. Pointers stay owned by the model.
+struct FlatNode {
+  ModelNode* node = nullptr;
+  int left = -1;
+  int right = -1;
+};
+
+int Flatten(ModelNode* node, std::vector<FlatNode>* out) {
+  const int id = static_cast<int>(out->size());
+  out->push_back(FlatNode{node, -1, -1});
+  if (node->kind == ModelNode::Kind::kInternal) {
+    const int left = Flatten(node->left.get(), out);
+    const int right = Flatten(node->right.get(), out);
+    (*out)[id].left = left;
+    (*out)[id].right = right;
+  }
+  return id;
+}
+
+// Private per-chunk statistics of one touched node: the exact fields
+// UpdateNodeStats/Inject would have bumped on the model node, plus staging
+// buffers for the tuples the serial scan would have appended to the node's
+// pending (internal) or family (frontier) store. The pointers index into
+// the chunk's tuple vector, which outlives the accumulator.
+struct NodeAcc {
+  std::vector<int64_t> class_totals;
+  std::vector<BucketCounts> buckets;
+  std::vector<CategoricalAvc> cat_avcs;
+  std::optional<MomentSet> moments;
+  ExtremeTracker boundary;
+  std::optional<ExtremeTracker> family_max;
+  std::map<double, std::vector<int64_t>> interval_avc;
+  std::vector<const Tuple*> staged;
+};
+
+struct Chunk {
+  size_t index = 0;
+  std::vector<Tuple> tuples;
+};
+
+struct ChunkResult {
+  size_t index = 0;
+  std::vector<Tuple> tuples;  // kept alive for staged pointers + archive
+  std::vector<std::unique_ptr<NodeAcc>> accs;  // index: flat node id
+};
+
+// Mirrors the shape setup of MakeSkeleton for one node. Reads only fields
+// the merger never writes (kinds, coarse criteria, container shapes).
+std::unique_ptr<NodeAcc> MakeAcc(const Schema& schema, bool impurity_mode,
+                                 const ModelNode& node) {
+  const int k = schema.num_classes();
+  auto acc = std::make_unique<NodeAcc>();
+  acc->class_totals.assign(k, 0);
+  if (node.kind == ModelNode::Kind::kFrontier) return acc;
+  if (impurity_mode) {
+    acc->buckets.resize(schema.num_attributes());
+    for (int attr = 0; attr < schema.num_attributes(); ++attr) {
+      if (schema.IsNumerical(attr)) {
+        acc->buckets[attr] = BucketCounts(node.buckets[attr].disc(), k);
+      }
+    }
+  } else {
+    acc->moments.emplace(schema);
+  }
+  acc->cat_avcs.reserve(schema.num_attributes());
+  for (int attr = 0; attr < schema.num_attributes(); ++attr) {
+    const int card =
+        schema.IsCategorical(attr) ? schema.attribute(attr).cardinality : 1;
+    acc->cat_avcs.emplace_back(card, k);
+  }
+  if (node.coarse.is_numerical) {
+    acc->boundary = ExtremeTracker(node.coarse.interval_lo);
+    if (node.family_max.has_value()) {
+      acc->family_max.emplace(std::numeric_limits<double>::infinity());
+    }
+  }
+  return acc;
+}
+
+// Routes one tuple from the root, accumulating into `result`. This is
+// Inject()'s build path (weight +1, no final splits fixed yet) transcribed
+// against accumulators instead of model nodes.
+void RouteTuple(const Schema& schema, bool impurity_mode,
+                const std::vector<FlatNode>& flat, const Tuple& t,
+                ChunkResult* result) {
+  int id = 0;
+  while (true) {
+    const ModelNode& node = *flat[id].node;
+    std::unique_ptr<NodeAcc>& slot = result->accs[id];
+    if (slot == nullptr) slot = MakeAcc(schema, impurity_mode, node);
+    NodeAcc& acc = *slot;
+    if (node.kind == ModelNode::Kind::kFrontier) {
+      ++acc.class_totals[t.label()];
+      if (node.collect_family) acc.staged.push_back(&t);
+      return;
+    }
+
+    // UpdateNodeStats, against the accumulator.
+    ++acc.class_totals[t.label()];
+    if (impurity_mode) {
+      for (int attr = 0; attr < schema.num_attributes(); ++attr) {
+        if (schema.IsNumerical(attr)) {
+          acc.buckets[attr].Add(t.value(attr), t.label());
+        } else {
+          acc.cat_avcs[attr].Add(t.category(attr), t.label());
+        }
+      }
+    } else {
+      acc.moments->Add(t);
+      for (int attr = 0; attr < schema.num_attributes(); ++attr) {
+        if (schema.IsCategorical(attr)) {
+          acc.cat_avcs[attr].Add(t.category(attr), t.label());
+        }
+      }
+    }
+    const CoarseCriterion& crit = node.coarse;
+    if (crit.is_numerical) {
+      const double v = t.value(crit.attribute);
+      acc.boundary.Insert(v);
+      if (acc.family_max.has_value()) acc.family_max->Insert(v);
+      if (crit.InInterval(v)) {
+        auto [it, inserted] = acc.interval_avc.try_emplace(
+            v, std::vector<int64_t>(schema.num_classes(), 0));
+        ++it->second[t.label()];
+        acc.staged.push_back(&t);  // held until the split point is known
+        return;
+      }
+      id = v <= crit.interval_lo ? flat[id].left : flat[id].right;
+    } else {
+      const bool go_left = std::binary_search(
+          crit.subset.begin(), crit.subset.end(), t.category(crit.attribute));
+      id = go_left ? flat[id].left : flat[id].right;
+    }
+  }
+}
+
+}  // namespace
+
+Status BoatEngine::RunCleanupScanParallel(TupleSource* db, int num_workers) {
+  std::vector<FlatNode> flat;
+  Flatten(root_.get(), &flat);
+  const bool impurity_mode = impurity_ != nullptr;
+
+  // Folds one finished chunk into the model; calling-thread only, in chunk
+  // order, so every store and archive append replays in tuple-stream order.
+  auto merge_chunk = [&](ChunkResult& r) -> Status {
+    for (size_t id = 0; id < flat.size(); ++id) {
+      if (r.accs[id] == nullptr) continue;
+      NodeAcc& acc = *r.accs[id];
+      ModelNode* node = flat[id].node;
+      node->dirty = true;
+      for (size_t c = 0; c < acc.class_totals.size(); ++c) {
+        node->class_totals[c] += acc.class_totals[c];
+      }
+      if (node->kind == ModelNode::Kind::kFrontier) {
+        if (node->collect_family) {
+          BOAT_RETURN_NOT_OK(node->family->AppendBatch(acc.staged));
+        }
+        continue;
+      }
+      if (impurity_mode) {
+        for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+          if (schema_.IsNumerical(attr)) {
+            node->buckets[attr].MergeFrom(acc.buckets[attr]);
+          } else {
+            node->cat_avcs[attr].MergeFrom(acc.cat_avcs[attr]);
+          }
+        }
+      } else {
+        node->moments->Merge(*acc.moments);
+        for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+          if (schema_.IsCategorical(attr)) {
+            node->cat_avcs[attr].MergeFrom(acc.cat_avcs[attr]);
+          }
+        }
+      }
+      if (node->coarse.is_numerical) {
+        node->boundary.MergeFrom(acc.boundary);
+        if (node->family_max.has_value()) {
+          node->family_max->MergeFrom(*acc.family_max);
+        }
+        for (const auto& [value, counts] : acc.interval_avc) {
+          auto [it, inserted] = node->interval_avc.try_emplace(
+              value, std::vector<int64_t>(schema_.num_classes(), 0));
+          for (size_t c = 0; c < counts.size(); ++c) {
+            it->second[c] += counts[c];
+          }
+        }
+        BOAT_RETURN_NOT_OK(node->pending->AppendBatch(acc.staged));
+      }
+    }
+    for (const Tuple& t : r.tuples) {
+      BOAT_RETURN_NOT_OK(ArchiveTuple(t));
+    }
+    return Status::OK();
+  };
+
+  std::mutex mu;
+  std::condition_variable work_cv;   // workers: queue non-empty or done
+  std::condition_variable main_cv;   // caller: a result arrived
+  std::deque<Chunk> queue;
+  std::map<size_t, ChunkResult> done;
+  bool no_more_work = false;
+
+  auto worker_body = [&]() {
+    while (true) {
+      Chunk chunk;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return !queue.empty() || no_more_work; });
+        if (queue.empty()) return;
+        chunk = std::move(queue.front());
+        queue.pop_front();
+      }
+      ChunkResult result;
+      result.index = chunk.index;
+      result.tuples = std::move(chunk.tuples);
+      result.accs.resize(flat.size());
+      for (const Tuple& t : result.tuples) {
+        RouteTuple(schema_, impurity_mode, flat, t, &result);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        done.emplace(result.index, std::move(result));
+      }
+      main_cv.notify_one();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) workers.emplace_back(worker_body);
+
+  // Backpressure: bound the chunks outstanding anywhere in the pipeline so
+  // memory stays ~cap * kChunkSize tuples regardless of database size.
+  const size_t cap = 2 * static_cast<size_t>(num_workers) + 2;
+  size_t next_read = 0;
+  size_t next_merge = 0;
+  Status status = Status::OK();
+
+  // Blocks until chunk `next_merge` is finished, merges it. Pre: one is
+  // outstanding.
+  auto merge_next = [&]() {
+    ChunkResult result;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      main_cv.wait(lock, [&] { return done.count(next_merge) > 0; });
+      auto it = done.find(next_merge);
+      result = std::move(it->second);
+      done.erase(it);
+    }
+    if (status.ok()) status = merge_chunk(result);
+    ++next_merge;
+  };
+
+  while (status.ok()) {
+    Chunk chunk;
+    chunk.index = next_read;
+    chunk.tuples.reserve(kChunkSize);
+    Tuple t;
+    while (chunk.tuples.size() < kChunkSize && db->Next(&t)) {
+      chunk.tuples.push_back(t);
+    }
+    if (chunk.tuples.empty()) break;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queue.push_back(std::move(chunk));
+    }
+    work_cv.notify_one();
+    ++next_read;
+    while (status.ok() && next_read - next_merge >= cap) merge_next();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    no_more_work = true;
+  }
+  work_cv.notify_all();
+  while (next_merge < next_read) merge_next();  // drains even on error
+  for (std::thread& w : workers) w.join();
+  return status;
+}
+
+}  // namespace boat

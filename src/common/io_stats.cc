@@ -1,13 +1,92 @@
 #include "common/io_stats.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <vector>
 
 namespace boat {
 
 namespace {
-// The library is single-threaded by design (as was the paper's system);
-// plain counters keep the hot path free of atomic overhead.
-IoStats g_stats;
+
+// Per-thread counter slab. The owning thread is the only writer, so
+// increments are a relaxed load + store (plain add in codegen, no atomic RMW,
+// no lock); snapshots from other threads use relaxed loads. std::atomic only
+// marks the cross-thread reads well-defined — the hot path stays lock- and
+// fence-free.
+struct alignas(64) ThreadSlab {
+  std::atomic<uint64_t> tuples_read{0};
+  std::atomic<uint64_t> tuples_written{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> scans_started{0};
+
+  void Bump(std::atomic<uint64_t>* c, uint64_t n) {
+    c->store(c->load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadSlab*> live;  // guarded by mu
+  IoStats retired;                // totals of exited threads, guarded by mu
+  IoStats baseline;               // set by ResetIoStats, guarded by mu
+
+  // Raw aggregate (retired + live slabs); caller holds mu.
+  IoStats RawLocked() const {
+    IoStats total = retired;
+    for (const ThreadSlab* s : live) {
+      total.tuples_read += s->tuples_read.load(std::memory_order_relaxed);
+      total.tuples_written +=
+          s->tuples_written.load(std::memory_order_relaxed);
+      total.bytes_read += s->bytes_read.load(std::memory_order_relaxed);
+      total.bytes_written += s->bytes_written.load(std::memory_order_relaxed);
+      total.scans_started += s->scans_started.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // never destroyed: slabs of
+  return *registry;  // late-exiting threads may outlive static destructors
+}
+
+// Registers the slab on first use and folds it into `retired` on thread
+// exit, so completed work is never lost from the aggregate.
+struct SlabHandle {
+  ThreadSlab slab;
+  SlabHandle() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.live.push_back(&slab);
+  }
+  ~SlabHandle() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.retired.tuples_read += slab.tuples_read.load(std::memory_order_relaxed);
+    r.retired.tuples_written +=
+        slab.tuples_written.load(std::memory_order_relaxed);
+    r.retired.bytes_read += slab.bytes_read.load(std::memory_order_relaxed);
+    r.retired.bytes_written +=
+        slab.bytes_written.load(std::memory_order_relaxed);
+    r.retired.scans_started +=
+        slab.scans_started.load(std::memory_order_relaxed);
+    for (auto it = r.live.begin(); it != r.live.end(); ++it) {
+      if (*it == &slab) {
+        r.live.erase(it);
+        break;
+      }
+    }
+  }
+};
+
+ThreadSlab& LocalSlab() {
+  thread_local SlabHandle handle;
+  return handle.slab;
+}
+
 }  // namespace
 
 IoStats IoStats::operator-(const IoStats& other) const {
@@ -33,23 +112,36 @@ std::string IoStats::ToString() const {
   return buf;
 }
 
-IoStats GetIoStats() { return g_stats; }
+IoStats GetIoStats() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.RawLocked() - r.baseline;
+}
 
-void ResetIoStats() { g_stats = IoStats(); }
+void ResetIoStats() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.baseline = r.RawLocked();
+}
 
 namespace io_internal {
 
 void RecordRead(uint64_t tuples, uint64_t bytes) {
-  g_stats.tuples_read += tuples;
-  g_stats.bytes_read += bytes;
+  ThreadSlab& s = LocalSlab();
+  s.Bump(&s.tuples_read, tuples);
+  s.Bump(&s.bytes_read, bytes);
 }
 
 void RecordWrite(uint64_t tuples, uint64_t bytes) {
-  g_stats.tuples_written += tuples;
-  g_stats.bytes_written += bytes;
+  ThreadSlab& s = LocalSlab();
+  s.Bump(&s.tuples_written, tuples);
+  s.Bump(&s.bytes_written, bytes);
 }
 
-void RecordScanStart() { g_stats.scans_started += 1; }
+void RecordScanStart() {
+  ThreadSlab& s = LocalSlab();
+  s.Bump(&s.scans_started, 1);
+}
 
 }  // namespace io_internal
 

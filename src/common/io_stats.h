@@ -5,6 +5,13 @@
 // Wall-clock time on modern hardware compresses those differences, so every
 // storage-layer read and write also bumps these counters; the benchmark
 // harnesses report them alongside time as hardware-independent evidence.
+//
+// Threading: each thread accumulates into its own cache-line-aligned slab
+// (single-writer, so the hot path is a plain load/add/store with no atomic
+// read-modify-write and no lock). GetIoStats() aggregates the live slabs
+// plus the totals of exited threads under a registry mutex; the aggregate is
+// exact whenever the threads whose work is being counted have finished (the
+// growth-phase worker pool joins its threads before anyone snapshots).
 
 #ifndef BOAT_COMMON_IO_STATS_H_
 #define BOAT_COMMON_IO_STATS_H_
@@ -26,10 +33,12 @@ struct IoStats {
   std::string ToString() const;
 };
 
-/// \brief Returns a snapshot of the counters accumulated so far.
+/// \brief Returns a snapshot of the counters accumulated so far (all exited
+/// threads exactly; live threads as of their latest published increments).
 IoStats GetIoStats();
 
-/// \brief Resets all counters to zero.
+/// \brief Resets all counters to zero (baseline subtraction; other threads'
+/// slabs are never written from here, so this is safe at any time).
 void ResetIoStats();
 
 namespace io_internal {

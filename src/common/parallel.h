@@ -1,0 +1,57 @@
+// Minimal threading helpers for the growth phase.
+//
+// The library's parallelism is deliberately simple: short-lived worker
+// threads spawned per phase (no global pool, no work stealing), with results
+// written to index-addressed slots so the outcome is identical for every
+// thread count. Determinism is the contract — see DESIGN.md.
+
+#ifndef BOAT_COMMON_PARALLEL_H_
+#define BOAT_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace boat {
+
+/// \brief Resolves a num_threads option value: <= 0 means "use the
+/// hardware's concurrency", anything else is taken literally (minimum 1).
+inline int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// \brief Runs fn(i) for every i in [0, n) on up to `threads` worker
+/// threads. fn must write its result to a slot addressed by i only; under
+/// that contract the outcome is independent of the thread count and of
+/// scheduling. Exceptions must not escape fn. With threads <= 1 (or n <= 1)
+/// the calls happen inline on the calling thread.
+template <typename Fn>
+void ParallelFor(int64_t n, int threads, Fn&& fn) {
+  if (n <= 0) return;
+  const int workers =
+      static_cast<int>(std::min<int64_t>(n, std::max(threads, 1)));
+  if (workers <= 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int64_t> next{0};
+  auto body = [&]() {
+    while (true) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers) - 1);
+  for (int t = 1; t < workers; ++t) pool.emplace_back(body);
+  body();
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace boat
+
+#endif  // BOAT_COMMON_PARALLEL_H_

@@ -57,7 +57,7 @@ bool Rng::Bernoulli(double p) {
   return UniformDouble(0.0, 1.0) < p;
 }
 
-Rng Rng::Split(uint64_t stream_id) {
+Rng Rng::Split(uint64_t stream_id) const {
   // Mix the current state with the stream id through splitmix64.
   uint64_t mix = s_[0] ^ Rotl(s_[3], 13) ^ (stream_id * 0xd1342543de82ef95ULL);
   return Rng(SplitMix64(&mix));

@@ -36,7 +36,13 @@ class Rng {
 
   /// \brief Derives an independent child generator; `stream_id` selects the
   /// child deterministically. Used to give each component its own stream.
-  Rng Split(uint64_t stream_id);
+  ///
+  /// Split does not advance this generator's state: splitting is a pure
+  /// function of (current state, stream_id). Splits are therefore stable
+  /// across platforms and independent of how calls interleave with other
+  /// Split calls — the property the parallel growth phase relies on to seed
+  /// one stream per bootstrap tree regardless of thread count.
+  Rng Split(uint64_t stream_id) const;
 
  private:
   uint64_t s_[4];

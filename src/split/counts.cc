@@ -96,6 +96,13 @@ int64_t NumericAvc::EntryCount() const {
 
 // ------------------------------------------------------------- CategoricalAvc
 
+void CategoricalAvc::MergeFrom(const CategoricalAvc& other) {
+  if (other.cardinality_ != cardinality_ || other.k_ != k_) {
+    FatalError("CategoricalAvc::MergeFrom: incompatible shapes");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
 int64_t CategoricalAvc::CategoryTotal(int32_t category) const {
   const int64_t* row = counts(category);
   int64_t total = 0;

@@ -82,6 +82,10 @@ class CategoricalAvc {
     return counts_[static_cast<size_t>(category) * k_ + label];
   }
 
+  /// \brief Adds `other` (same cardinality and class count) into this.
+  /// Dense counts are order-free, so per-thread AVCs merge exactly.
+  void MergeFrom(const CategoricalAvc& other);
+
   /// \brief Total tuples of `category` across classes.
   int64_t CategoryTotal(int32_t category) const;
 

@@ -33,10 +33,18 @@ bool ParseNumber(const std::string& field, double* out) {
   return end != nullptr && *end == '\0';
 }
 
+bool IsCsvSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
 std::string EscapeCsv(const std::string& field, char delimiter) {
-  if (field.find(delimiter) == std::string::npos &&
+  // Fields with leading/trailing whitespace are quoted too: SplitCsvLine
+  // trims unquoted fields, so quoting is what makes the whitespace survive a
+  // write/read round trip.
+  const bool outer_space =
+      !field.empty() && (IsCsvSpace(field.front()) || IsCsvSpace(field.back()));
+  if (!outer_space && field.find(delimiter) == std::string::npos &&
       field.find('"') == std::string::npos &&
-      field.find('\n') == std::string::npos) {
+      field.find('\n') == std::string::npos &&
+      field.find('\r') == std::string::npos) {
     return field;
   }
   std::string out = "\"";
@@ -52,32 +60,54 @@ std::string EscapeCsv(const std::string& field, char delimiter) {
 
 std::vector<std::string> SplitCsvLine(const std::string& line,
                                       char delimiter) {
+  // RFC-4180-style with two lenient extensions: whitespace around a quoted
+  // field is ignored (` "a,b" ` parses as `a,b`), and unquoted fields are
+  // trimmed. Quoting is tracked per field, so a quote after leading
+  // whitespace still opens quoted mode, and quoted content — including
+  // intentional leading/trailing whitespace — is preserved verbatim.
   std::vector<std::string> fields;
   std::string current;
-  bool quoted = false;
+  bool in_quotes = false;       // inside an open quoted section
+  bool was_quoted = false;      // current field had a quoted section
+  size_t quoted_end = 0;        // current.size() when the quotes closed
+  auto push_field = [&]() {
+    if (was_quoted) {
+      // Content after the closing quote (RFC-invalid but tolerated) keeps
+      // its text; only the surrounding whitespace is dropped.
+      fields.push_back(current.substr(0, quoted_end) +
+                       Trim(current.substr(quoted_end)));
+    } else {
+      fields.push_back(Trim(current));
+    }
+    current.clear();
+    was_quoted = false;
+    quoted_end = 0;
+  };
   for (size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
-    if (quoted) {
+    if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
-          current += '"';
+          current += '"';  // doubled quote = literal quote
           ++i;
         } else {
-          quoted = false;
+          in_quotes = false;
+          quoted_end = current.size();
         }
       } else {
         current += c;
       }
-    } else if (c == '"' && current.empty()) {
-      quoted = true;
     } else if (c == delimiter) {
-      fields.push_back(Trim(current));
-      current.clear();
+      push_field();
+    } else if (c == '"' && !was_quoted && Trim(current).empty()) {
+      current.clear();  // drop unquoted leading whitespace
+      in_quotes = true;
+      was_quoted = true;
     } else {
       current += c;
     }
   }
-  fields.push_back(Trim(current));
+  push_field();
   return fields;
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <utility>
 
 #include "common/str_util.h"
 
@@ -38,11 +39,13 @@ TempFileManager::TempFileManager(TempFileManager&& other) noexcept
 }
 
 TempFileManager& TempFileManager::operator=(TempFileManager&& other) noexcept {
+  // Swap idiom: `other` walks away owning our old scratch dir and reclaims
+  // it when it is destroyed. No member of a destroyed object is ever
+  // touched (the previous explicit-destructor version assigned into *this
+  // after ~TempFileManager(), which is undefined behavior).
   if (this != &other) {
-    this->~TempFileManager();
-    dir_ = std::move(other.dir_);
-    counter_ = other.counter_;
-    other.dir_.clear();
+    std::swap(dir_, other.dir_);
+    std::swap(counter_, other.counter_);
   }
   return *this;
 }

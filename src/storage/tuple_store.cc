@@ -37,6 +37,13 @@ Status SpillableTupleStore::Append(const Tuple& tuple) {
   return Status::OK();
 }
 
+Status SpillableTupleStore::AppendBatch(const std::vector<const Tuple*>& tuples) {
+  for (const Tuple* t : tuples) {
+    BOAT_RETURN_NOT_OK(Append(*t));
+  }
+  return Status::OK();
+}
+
 Status SpillableTupleStore::Flush() {
   if (mem_.empty()) return Status::OK();
   const std::string path = temp_->NewPath(hint_);

@@ -47,6 +47,13 @@ class SpillableTupleStore {
   /// \brief Appends one tuple.
   Status Append(const Tuple& tuple);
 
+  /// \brief Appends `tuples` in order. Equivalent to calling Append on each
+  /// element, including the spill points, so a store filled by batches holds
+  /// byte-identical segment files to one filled tuple by tuple — the
+  /// parallel cleanup scan relies on this when concatenating per-chunk
+  /// staging buffers into a node's S_n store.
+  Status AppendBatch(const std::vector<const Tuple*>& tuples);
+
   /// \brief Removes one tuple equal to `tuple`. Returns NotFound if absent.
   Status RemoveOne(const Tuple& tuple);
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "boat/bootstrap_phase.h"
 #include "boat/bounds.h"
@@ -127,6 +128,26 @@ TEST(CornerLowerBoundTest, DegenerateBoxIsExact) {
   const int64_t right[2] = {2, 4};
   EXPECT_DOUBLE_EQ(CornerLowerBound(gini, stamp, stamp, totals, 10),
                    gini.Eval(left, right, 2, 10));
+}
+
+TEST(CornerLowerBoundTest, ManyClassesFallBackToConservativeBound) {
+  // Past kMaxCornerBoundClasses the 2^k corner enumeration is skipped and
+  // -infinity (a valid but powerless lower bound) is returned, instead of
+  // silently burning 2^k impurity evaluations per call.
+  GiniImpurity gini;
+  const int k = kMaxCornerBoundClasses + 1;
+  std::vector<int64_t> totals(k, 10), lo(k, 2), hi(k, 8);
+  const double bound =
+      CornerLowerBound(gini, lo, hi, totals, 10 * static_cast<int64_t>(k));
+  EXPECT_EQ(bound, -std::numeric_limits<double>::infinity());
+
+  // At the cap the enumeration still runs and returns a finite bound.
+  const int k_ok = kMaxCornerBoundClasses;
+  std::vector<int64_t> totals2(k_ok, 10), lo2(k_ok, 2), hi2(k_ok, 8);
+  const double bound2 = CornerLowerBound(gini, lo2, hi2, totals2,
+                                         10 * static_cast<int64_t>(k_ok));
+  EXPECT_TRUE(std::isfinite(bound2));
+  EXPECT_GE(bound2, 0.0);
 }
 
 TEST(CornerLowerBoundTest, BoundsAllInteriorStampPoints) {

@@ -44,6 +44,67 @@ TEST_F(CsvTest, SplitCsvLineBasics) {
             (std::vector<std::string>{"he said \"hi\"", "x"}));
 }
 
+TEST_F(CsvTest, SplitCsvLineRfc4180Cases) {
+  // A quote after leading whitespace still opens quoted mode (the parser
+  // tracks quoting per field, not per line).
+  EXPECT_EQ(SplitCsvLine("  \"a,b\"  ,c", ','),
+            (std::vector<std::string>{"a,b", "c"}));
+  // Whitespace *inside* quotes is content and survives verbatim.
+  EXPECT_EQ(SplitCsvLine("\"  padded  \",x", ','),
+            (std::vector<std::string>{"  padded  ", "x"}));
+  // Doubled quotes in every position, including a field of one quote.
+  EXPECT_EQ(SplitCsvLine("\"\"\"\",\"a\"\"b\"", ','),
+            (std::vector<std::string>{"\"", "a\"b"}));
+  // Empty quoted field vs missing field.
+  EXPECT_EQ(SplitCsvLine("\"\",,x", ','),
+            (std::vector<std::string>{"", "", "x"}));
+  // Quoted delimiter and newline-free CRLF tail (getline leaves the \r).
+  EXPECT_EQ(SplitCsvLine("a,\"b,c\",d\r", ','),
+            (std::vector<std::string>{"a", "b,c", "d"}));
+  EXPECT_EQ(SplitCsvLine("a,\"line end\"\r", ','),
+            (std::vector<std::string>{"a", "line end"}));
+  // A quote in the middle of an unquoted field is literal content.
+  EXPECT_EQ(SplitCsvLine("it\"s,x", ','),
+            (std::vector<std::string>{"it\"s", "x"}));
+  // Trailing delimiter produces a trailing empty field.
+  EXPECT_EQ(SplitCsvLine("a,b,", ','),
+            (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST_F(CsvTest, WriteReadRoundTripsHostileStrings) {
+  // Category and class names exercising every escaping rule: embedded
+  // delimiters, quotes, doubled quotes, and leading/trailing whitespace
+  // (which WriteCsv must quote, or the reader's trimming destroys it).
+  const std::vector<std::string> cities = {
+      "york,leeds", "he said \"hi\"", "  padded  ", "tab\there", "plain"};
+  const std::vector<std::string> labels = {"no", "yes, definitely"};
+  const Schema schema(
+      {Attribute::Numerical("age"),
+       Attribute::Categorical("city", static_cast<int>(cities.size()))},
+      static_cast<int>(labels.size()));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10; ++i) {
+    tuples.emplace_back(
+        std::vector<double>{20.0 + i, static_cast<double>(i % cities.size())},
+        i % 2);
+  }
+  const std::string path = temp_->NewPath("roundtrip");
+  ASSERT_TRUE(WriteCsv(path, schema, tuples, {{}, cities}, labels).ok());
+
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->tuples.size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(loaded->tuples[i].value(0), tuples[i].value(0)) << "row " << i;
+    EXPECT_EQ(loaded->CategoryName(1, loaded->tuples[i].category(1)),
+              cities[tuples[i].category(1)])
+        << "row " << i;
+    EXPECT_EQ(loaded->class_names[loaded->tuples[i].label()],
+              labels[tuples[i].label()])
+        << "row " << i;
+  }
+}
+
 TEST_F(CsvTest, LoadInfersTypesAndDictionaries) {
   const std::string path = WriteFile(
       "age,city,income,approved\n"

@@ -1,0 +1,180 @@
+// Determinism of the multi-threaded growth phase: BOAT built with any
+// num_threads must produce the byte-identical serialized tree (and identical
+// I/O work) as the serial build, on top of the usual guarantee of equality
+// with the in-memory reference tree. This is the test CI also runs under
+// ThreadSanitizer (-DBOAT_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "boat/builder.h"
+#include "common/io_stats.h"
+#include "datagen/agrawal.h"
+#include "split/quest.h"
+#include "tree/inmem_builder.h"
+#include "tree/serialize.h"
+
+namespace boat {
+namespace {
+
+std::unique_ptr<VectorSource> SourceOf(const Schema& schema,
+                                       std::vector<Tuple> tuples) {
+  return std::make_unique<VectorSource>(schema, std::move(tuples));
+}
+
+BoatOptions SmallBoatOptions() {
+  BoatOptions options;
+  options.sample_size = 800;
+  options.bootstrap_count = 10;
+  options.bootstrap_subsample = 400;
+  options.inmem_threshold = 300;
+  options.store_memory_budget = 512;  // force spilling to temp segments
+  options.max_buckets_per_attr = 64;
+  options.seed = 7;
+  return options;
+}
+
+struct ParallelCase {
+  int function;
+  double noise;
+  const char* selector;  // "gini", "entropy" or "quest"
+};
+
+void PrintTo(const ParallelCase& c, std::ostream* os) {
+  *os << "F" << c.function << "_noise" << c.noise << "_" << c.selector;
+}
+
+std::unique_ptr<SplitSelector> MakeSelector(const std::string& name) {
+  if (name == "quest") return std::make_unique<QuestSelector>();
+  return std::make_unique<ImpuritySplitSelector>(MakeImpurity(name));
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<ParallelCase> {
+};
+
+TEST_P(ParallelEquivalenceTest, EveryThreadCountYieldsTheIdenticalTree) {
+  const ParallelCase& param = GetParam();
+  AgrawalConfig config;
+  config.function = param.function;
+  config.noise = param.noise;
+  config.seed = 20260000 + param.function;
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> data = GenerateAgrawal(config, 24000);
+
+  std::unique_ptr<SplitSelector> selector = MakeSelector(param.selector);
+  GrowthLimits limits;
+  limits.max_depth = 24;
+  limits.stop_family_size = 400;
+
+  const DecisionTree reference =
+      BuildTreeInMemory(schema, data, *selector, limits);
+  ASSERT_GT(reference.num_nodes(), 1u) << "vacuous case";
+
+  std::string serial_bytes;
+  IoStats serial_io;
+  for (const int threads : {1, 2, 8}) {
+    BoatOptions options = SmallBoatOptions();
+    options.limits = limits;
+    options.num_threads = threads;
+    auto source = SourceOf(schema, data);
+    ResetIoStats();
+    auto tree = BuildTreeBoat(source.get(), *selector, options);
+    const IoStats io = GetIoStats();
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_TRUE(tree->StructurallyEqual(reference)) << "threads=" << threads;
+
+    const std::string bytes = SerializeTree(*tree);
+    if (threads == 1) {
+      serial_bytes = bytes;
+      serial_io = io;
+      continue;
+    }
+    // Bit-identical serialized tree...
+    EXPECT_EQ(bytes, serial_bytes) << "threads=" << threads;
+    // ...and exactly the serial scan's I/O: workers never touch storage,
+    // and the in-order merge replays every store append identically.
+    EXPECT_EQ(io.tuples_read, serial_io.tuples_read) << "threads=" << threads;
+    EXPECT_EQ(io.tuples_written, serial_io.tuples_written)
+        << "threads=" << threads;
+    EXPECT_EQ(io.bytes_read, serial_io.bytes_read) << "threads=" << threads;
+    EXPECT_EQ(io.bytes_written, serial_io.bytes_written)
+        << "threads=" << threads;
+    EXPECT_EQ(io.scans_started, serial_io.scans_started)
+        << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParallelEquivalenceTest,
+    ::testing::Values(ParallelCase{1, 0.0, "gini"},    // numerical splits
+                      ParallelCase{7, 0.05, "gini"},   // categorical + noise
+                      ParallelCase{6, 0.0, "entropy"},
+                      ParallelCase{1, 0.0, "quest"},   // moment statistics
+                      ParallelCase{7, 0.0, "quest"}));
+
+TEST(ParallelEquivalenceTest, HardwareConcurrencyModeBuildsTheSameTree) {
+  AgrawalConfig config;
+  config.function = 2;
+  config.seed = 99;
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> data = GenerateAgrawal(config, 12000);
+  auto selector = MakeGiniSelector();
+
+  std::string bytes[2];
+  for (const int threads : {1, 0}) {  // 0 = hardware concurrency
+    BoatOptions options = SmallBoatOptions();
+    options.num_threads = threads;
+    auto source = SourceOf(schema, data);
+    auto tree = BuildTreeBoat(source.get(), *selector, options);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    bytes[threads == 1] = SerializeTree(*tree);
+  }
+  EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+TEST(ParallelEquivalenceTest, ParallelBuildSupportsSerialUpdates) {
+  // A model built by the parallel scan must be maintainable exactly like a
+  // serially built one: insert chunks after the build and compare against a
+  // from-scratch reference each time.
+  AgrawalConfig config;
+  config.function = 1;
+  config.noise = 0.1;
+  config.seed = 4242;
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> all = GenerateAgrawal(config, 14000);
+  std::vector<Tuple> base(all.begin(), all.begin() + 10000);
+
+  auto selector = MakeGiniSelector();
+  GrowthLimits limits;
+  limits.max_depth = 20;
+
+  BoatOptions options = SmallBoatOptions();
+  options.limits = limits;
+  options.enable_updates = true;
+  options.num_threads = 4;
+
+  auto source = SourceOf(schema, base);
+  auto classifier =
+      BoatClassifier::Train(source.get(), selector.get(), options);
+  ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+
+  size_t cursor = 10000;
+  while (cursor < all.size()) {
+    const size_t end = std::min(all.size(), cursor + size_t{2000});
+    std::vector<Tuple> chunk(all.begin() + cursor, all.begin() + end);
+    cursor = end;
+    ASSERT_TRUE((*classifier)->InsertChunk(chunk, nullptr).ok());
+
+    std::vector<Tuple> so_far(all.begin(), all.begin() + cursor);
+    const DecisionTree reference =
+        BuildTreeInMemory(schema, so_far, *selector, limits);
+    EXPECT_TRUE((*classifier)->tree().StructurallyEqual(reference))
+        << "after inserting up to " << cursor;
+  }
+}
+
+}  // namespace
+}  // namespace boat

@@ -274,6 +274,31 @@ TEST(SamplingTest, ReservoirSampleIsUniformish) {
   EXPECT_NEAR(mean, n / 2.0, n * 0.06);
 }
 
+TEST(SamplingTest, ReservoirSampleIsPinned) {
+  // The reservoir's draw sequence determines the coarse tree of every BOAT
+  // build; these literal indices (Rng(1234), 10 of 2000) pin the stream so
+  // an accidental algorithm or RNG change cannot slip by unnoticed.
+  const Schema schema = TestSchema();
+  VectorSource source(schema, TestTuples(2000));
+  Rng rng(1234);
+  auto sample = ReservoirSample(&source, 10, &rng);
+  ASSERT_TRUE(sample.ok());
+  std::vector<int> indices;
+  for (const Tuple& t : *sample) {
+    indices.push_back(static_cast<int>(t.value(0) / 1.5));
+  }
+  EXPECT_EQ(indices, (std::vector<int>{453, 1989, 1800, 641, 136, 912, 378,
+                                       39, 114, 684}));
+
+  // Same seed, fresh source: identical sample (the determinism the
+  // parallel-equivalence guarantee builds on).
+  ASSERT_TRUE(source.Reset().ok());
+  Rng rng2(1234);
+  auto again = ReservoirSample(&source, 10, &rng2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*sample, *again);
+}
+
 TEST(SamplingTest, WithReplacementDeterministic) {
   const std::vector<Tuple> population = TestTuples(50);
   Rng rng1(9), rng2(9);
@@ -317,6 +342,39 @@ TEST(TempFileManagerTest, MoveTransfersOwnership) {
     EXPECT_TRUE(fs::exists(dir));
   }
   EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST(TempFileManagerTest, MoveAssignmentSwapsAndReclaimsBothDirs) {
+  auto a = TempFileManager::Create();
+  auto b = TempFileManager::Create();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const std::string dir_a = a->dir();
+  const std::string dir_b = b->dir();
+  ASSERT_NE(dir_a, dir_b);
+  {
+    TempFileManager target = std::move(a).ValueOrDie();
+    {
+      TempFileManager source = std::move(b).ValueOrDie();
+      target = std::move(source);
+      // `source` now owns target's old dir and reclaims it on destruction.
+    }
+    EXPECT_FALSE(fs::exists(dir_a));
+    EXPECT_TRUE(fs::exists(dir_b));
+    // The assigned-to manager must remain fully usable.
+    const std::string p = target.NewPath("post-assign");
+    EXPECT_EQ(p.rfind(dir_b, 0), 0u) << p << " not under " << dir_b;
+  }
+  EXPECT_FALSE(fs::exists(dir_b));
+
+  // Self-move-assignment must not destroy the scratch dir.
+  auto c = TempFileManager::Create();
+  ASSERT_TRUE(c.ok());
+  TempFileManager self = std::move(c).ValueOrDie();
+  const std::string dir_c = self.dir();
+  TempFileManager& alias = self;
+  self = std::move(alias);
+  EXPECT_TRUE(fs::exists(dir_c));
 }
 
 // --------------------------------------------------------- SpillableTupleStore

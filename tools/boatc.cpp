@@ -175,6 +175,7 @@ int CmdTrain(const Flags& flags) {
   options.limits.stop_family_size = flags.GetInt("stop-family", 0);
   options.enable_updates = !flags.Has("no-updates");
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
 
   VectorSource source(data.schema, data.tuples);
   Stopwatch watch;
@@ -298,6 +299,7 @@ int Usage() {
       "           [--extra-attrs N] [--drift] [--seed S]\n"
       "  train    --data FILE --model DIR [--selector gini|entropy|quest]\n"
       "           [--sample N] [--bootstraps B] [--subsample N] [--inmem N]\n"
+      "           [--threads T (0 = all cores; any T gives the same tree)]\n"
       "           [--max-depth D] [--stop-family N] [--no-updates]\n"
       "  evaluate --model DIR --data FILE [--selector ...]\n"
       "  classify --model DIR --data FILE [--out FILE]\n"
