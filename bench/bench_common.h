@@ -35,6 +35,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "boat/builder.h"
 #include "common/io_stats.h"
@@ -43,6 +45,57 @@
 #include "rainforest/rainforest.h"
 
 namespace boat::bench {
+
+/// \brief Minimal writer for benchmark "trajectory" files: a JSON array of
+/// {"name": ..., metric: value, ...} records that CI and plotting scripts
+/// can scrape across commits without parsing human-formatted tables. Records
+/// accumulate via Add() and are (re)written on every Flush() and at
+/// destruction.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string path) : path_(std::move(path)) {}
+  ~BenchJsonWriter() { Flush(); }
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  void Add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& metrics) {
+    std::string rec = "  {\"name\": \"" + name + "\"";
+    for (const auto& [key, value] : metrics) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      rec += ", \"" + key + "\": " + buf;
+    }
+    rec += "}";
+    records_.push_back(std::move(rec));
+    dirty_ = true;
+  }
+
+  void Flush() {
+    if (!dirty_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJsonWriter: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fputs(records_[i].c_str(), f);
+      std::fputs(i + 1 < records_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    dirty_ = false;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+  bool dirty_ = false;
+};
 
 inline int64_t ScaleFromEnv() {
   const char* env = std::getenv("BOAT_BENCH_SCALE");

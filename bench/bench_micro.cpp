@@ -4,9 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "boat/bounds.h"
 #include "boat/builder.h"
 #include "boat/discretization.h"
+#include "common/timer.h"
+#include "tree/compiled_tree.h"
 #include "tree/inmem_builder.h"
 #include "datagen/agrawal.h"
 #include "split/numeric_search.h"
@@ -230,6 +233,125 @@ void BM_TreeClassify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TreeClassify);
+
+// ------------------------------------------------------ compiled inference
+//
+// Shared fixture: a deep, noisy-overfit tree (the worst case for pointer
+// chasing) plus a fresh scoring batch. The first benchmark touching the
+// fixture also (a) verifies that CompiledTree and the pointer walk agree on
+// every tuple — aborting the process on divergence, which is what the CI
+// bench-smoke job keys off — and (b) records a BENCH_inference.json
+// trajectory comparing the two layouts (path overridable via
+// BOAT_BENCH_JSON).
+
+struct InferenceFixture {
+  Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> train;
+  std::vector<Tuple> batch;  // fresh records to score
+  std::unique_ptr<SplitSelector> selector = MakeGiniSelector();
+  std::unique_ptr<DecisionTree> tree;
+  std::unique_ptr<CompiledTree> compiled;
+
+  InferenceFixture() {
+    AgrawalConfig config;
+    config.function = 7;
+    config.noise = 0.05;  // noise => deep overfit tree
+    config.seed = 71;
+    train = GenerateAgrawal(config, 20000);
+    config.seed = 72;
+    batch = GenerateAgrawal(config, 20000);
+    tree = std::make_unique<DecisionTree>(
+        BuildTreeInMemory(schema, train, *selector));
+    compiled = std::make_unique<CompiledTree>(*tree);
+  }
+};
+
+InferenceFixture& Inference() {
+  static InferenceFixture* fixture = new InferenceFixture();
+  return *fixture;
+}
+
+// Verifies equivalence and writes the trajectory file exactly once per
+// process run, regardless of which inference benchmarks the filter selects.
+void VerifyAndRecordInference() {
+  static const bool done = [] {
+    InferenceFixture& fx = Inference();
+    for (const auto* data : {&fx.train, &fx.batch}) {
+      const std::vector<int32_t> compiled = fx.compiled->Predict(*data, 1);
+      for (size_t i = 0; i < data->size(); ++i) {
+        if (compiled[i] != fx.tree->Classify((*data)[i])) {
+          FatalError("CompiledTree diverges from DecisionTree::Classify");
+        }
+      }
+    }
+
+    const char* env = std::getenv("BOAT_BENCH_JSON");
+    bench::BenchJsonWriter writer(
+        env != nullptr && env[0] != '\0' ? env : "BENCH_inference.json");
+    const double n = static_cast<double>(fx.batch.size());
+    const auto time_passes = [&](auto&& fn) {
+      constexpr int kPasses = 5;
+      Stopwatch watch;
+      for (int p = 0; p < kPasses; ++p) fn();
+      return n * kPasses / watch.ElapsedSeconds();  // tuples per second
+    };
+
+    std::vector<int32_t> out(fx.batch.size());
+    const double pointer_walk = time_passes([&] {
+      for (size_t i = 0; i < fx.batch.size(); ++i) {
+        out[i] = fx.tree->Classify(fx.batch[i]);
+      }
+      benchmark::DoNotOptimize(out.data());
+    });
+    writer.Add("pointer_walk",
+               {{"tuples_per_sec", pointer_walk},
+                {"tree_nodes", static_cast<double>(fx.tree->num_nodes())},
+                {"tree_depth", static_cast<double>(fx.tree->depth())}});
+    for (const int threads : {1, 2, 4}) {
+      const double rate = time_passes([&] {
+        fx.compiled->Predict(fx.batch, out, threads);
+        benchmark::DoNotOptimize(out.data());
+      });
+      writer.Add("compiled_batch_t" + std::to_string(threads),
+                 {{"tuples_per_sec", rate},
+                  {"threads", static_cast<double>(threads)},
+                  {"speedup_vs_pointer_walk", rate / pointer_walk}});
+    }
+    writer.Flush();
+    return true;
+  }();
+  (void)done;
+}
+
+void BM_ClassifyCompiled(benchmark::State& state) {
+  VerifyAndRecordInference();
+  InferenceFixture& fx = Inference();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.compiled->Classify(fx.batch[i++ % fx.batch.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifyCompiled);
+
+void BM_ClassifyBatchThreads(benchmark::State& state) {
+  VerifyAndRecordInference();
+  InferenceFixture& fx = Inference();
+  const int threads = static_cast<int>(state.range(0));
+  std::vector<int32_t> out(fx.batch.size());
+  for (auto _ : state) {
+    fx.compiled->Predict(fx.batch, out, threads);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.batch.size()));
+}
+BENCHMARK(BM_ClassifyBatchThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace boat

@@ -9,13 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "boat/builder.h"
-#include "common/io_stats.h"
-#include "common/timer.h"
-#include "datagen/agrawal.h"
-#include "rainforest/rainforest.h"
-#include "split/quest.h"
-#include "tree/inmem_builder.h"
+#include "boat/boat.h"
 
 namespace {
 

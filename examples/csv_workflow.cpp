@@ -9,14 +9,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "common/rng.h"
-#include "common/str_util.h"
-#include "storage/csv.h"
-#include "storage/temp_file.h"
-#include "tree/evaluation.h"
-#include "tree/export.h"
-#include "tree/inmem_builder.h"
-#include "tree/pruning.h"
+#include "boat/boat.h"
 
 namespace {
 
@@ -59,10 +52,12 @@ int main(int argc, char** argv) {
               dataset->schema.num_classes(), path.c_str());
   for (int a = 0; a < dataset->schema.num_attributes(); ++a) {
     const Attribute& attr = dataset->schema.attribute(a);
-    std::printf("  %-10s %s\n", attr.name.c_str(),
-                attr.type == AttributeType::kNumerical
-                    ? "numerical"
-                    : StrPrintf("categorical(%d)", attr.cardinality).c_str());
+    if (attr.type == AttributeType::kNumerical) {
+      std::printf("  %-10s numerical\n", attr.name.c_str());
+    } else {
+      std::printf("  %-10s categorical(%d)\n", attr.name.c_str(),
+                  attr.cardinality);
+    }
   }
 
   // 2. Holdout split; train; prune on the validation part.

@@ -12,11 +12,7 @@
 
 #include <cstdio>
 
-#include "boat/builder.h"
-#include "boat/persistence.h"
-#include "common/timer.h"
-#include "datagen/agrawal.h"
-#include "tree/inmem_builder.h"
+#include "boat/boat.h"
 
 int main() {
   using namespace boat;

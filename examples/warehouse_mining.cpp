@@ -12,11 +12,7 @@
 
 #include <cstdio>
 
-#include "boat/builder.h"
-#include "common/io_stats.h"
-#include "common/timer.h"
-#include "datagen/agrawal.h"
-#include "rainforest/rainforest.h"
+#include "boat/boat.h"
 
 int main() {
   using namespace boat;

@@ -1,28 +1,12 @@
-// Umbrella header: the public API of the BOAT library.
+// Deprecated spelling of the umbrella header; the supported facade is
 //
-//   #include "boat.h"
+//   #include "boat/boat.h"
 //
-// pulls in training (BoatClassifier / BuildTreeBoat), the baselines, the
-// in-memory reference builder, selectors, pruning, evaluation, exports,
-// persistence, cross-validation, CSV loading and the synthetic generators.
+// which this forwards to. Kept so existing includes keep compiling.
 
 #ifndef BOAT_BOAT_H_
 #define BOAT_BOAT_H_
 
-#include "boat/builder.h"       // BoatClassifier, BuildTreeBoat, options
-#include "boat/crossval.h"      // BoatCrossValidate
-#include "boat/persistence.h"   // SaveClassifier / LoadClassifier
-#include "datagen/agrawal.h"    // the paper's synthetic workload
-#include "datagen/synthetic.h"  // hyperplane & Gaussian-mixture generators
-#include "rainforest/rainforest.h"  // RF-Hybrid / RF-Vertical baselines
-#include "split/quest.h"        // the non-impurity selector
-#include "split/selector.h"     // impurity selectors, growth limits
-#include "storage/csv.h"        // CSV import/export
-#include "storage/table_file.h" // binary tables
-#include "tree/evaluation.h"    // confusion matrices, cross-validation
-#include "tree/export.h"        // rules / Graphviz
-#include "tree/inmem_builder.h" // the reference algorithm
-#include "tree/pruning.h"       // MDL / cost-complexity / reduced-error
-#include "tree/serialize.h"     // tree save/load
+#include "boat/boat.h"
 
 #endif  // BOAT_BOAT_H_

@@ -1,0 +1,66 @@
+// boat/boat.h — the supported public API of the BOAT library, one include:
+//
+//   #include "boat/boat.h"
+//
+// Everything re-exported here is the supported surface (see README.md,
+// "Public API"); headers not listed below are internal and may change
+// without notice between versions.
+//
+//   Training        BoatClassifier, BuildTreeBoat, BoatOptions, BoatStats
+//   Selectors       MakeGiniSelector / MakeEntropySelector,
+//                   ImpuritySplitSelector, QuestSelector, GrowthLimits
+//   Trees           DecisionTree (structure, Classify), CompiledTree
+//                   (flat batched inference), pruning, rule/dot export,
+//                   tree save/load
+//   Evaluation      ConfusionMatrix, Evaluate, HoldoutSplit, CrossValidate,
+//                   BoatCrossValidate (three-scan k-fold over a TupleSource)
+//   Persistence     SaveClassifier / LoadClassifier (update-capable models)
+//   Data access     Schema, Tuple, TupleSource (VectorSource /
+//                   TableScanSource), binary tables, CSV import/export with
+//                   schema inference, TempFileManager
+//   Workloads       the Agrawal et al. generator, hyperplane and
+//                   Gaussian-mixture generators, RainForest baselines,
+//                   the in-memory reference builder
+//   Utilities       Status/Result, deterministic Rng, Stopwatch, IoStats
+
+#ifndef BOAT_BOAT_BOAT_H_
+#define BOAT_BOAT_BOAT_H_
+
+// Core training API.
+#include "boat/builder.h"     // BoatClassifier, BuildTreeBoat
+#include "boat/crossval.h"    // BoatCrossValidate
+#include "boat/options.h"     // BoatOptions (+ Validate), BoatStats
+#include "boat/persistence.h" // SaveClassifier / LoadClassifier
+
+// Split selectors.
+#include "split/quest.h"      // QuestSelector (non-impurity)
+#include "split/selector.h"   // impurity selectors, GrowthLimits
+
+// Trees: structure, inference, post-processing.
+#include "tree/compiled_tree.h" // CompiledTree: flat batched inference
+#include "tree/decision_tree.h" // DecisionTree / TreeNode
+#include "tree/evaluation.h"    // ConfusionMatrix, Evaluate, CV helpers
+#include "tree/export.h"        // rules / Graphviz
+#include "tree/inmem_builder.h" // the in-memory reference algorithm
+#include "tree/pruning.h"       // MDL / cost-complexity / reduced-error
+#include "tree/serialize.h"     // tree save/load
+
+// Storage and data import.
+#include "storage/csv.h"        // CSV import/export, schema inference
+#include "storage/table_file.h" // binary tables
+#include "storage/temp_file.h"  // scratch-file management
+#include "storage/tuple_source.h" // restartable sources
+
+// Synthetic workloads and baselines.
+#include "datagen/agrawal.h"    // the paper's synthetic workload
+#include "datagen/synthetic.h"  // hyperplane & Gaussian-mixture generators
+#include "rainforest/rainforest.h" // RF-Hybrid / RF-Vertical baselines
+
+// Utilities.
+#include "common/io_stats.h" // I/O counters
+#include "common/result.h"   // Result<T>
+#include "common/rng.h"      // deterministic RNG
+#include "common/status.h"   // Status, CheckOk
+#include "common/timer.h"    // Stopwatch
+
+#endif  // BOAT_BOAT_BOAT_H_

@@ -19,6 +19,7 @@ void BoatStats::MergeFrom(const BoatStats& other) {
 Result<std::unique_ptr<BoatClassifier>> BoatClassifier::Train(
     TupleSource* db, const SplitSelector* selector, const BoatOptions& options,
     BoatStats* stats) {
+  BOAT_RETURN_NOT_OK(options.Validate());
   BOAT_RETURN_NOT_OK(db->schema().Validate());
   auto engine = std::make_unique<BoatEngine>(db->schema(), selector, options);
   BOAT_RETURN_NOT_OK(engine->Build(db, stats));
@@ -45,6 +46,7 @@ Result<DecisionTree> BuildTreeBoat(TupleSource* db,
                                    const SplitSelector& selector,
                                    const BoatOptions& options,
                                    BoatStats* stats) {
+  BOAT_RETURN_NOT_OK(options.Validate());
   BoatEngine engine(db->schema(), &selector, options);
   BOAT_RETURN_NOT_OK(engine.Build(db, stats));
   return engine.ExtractDecisionTree();

@@ -5,6 +5,7 @@
 
 #include "storage/sampling.h"
 #include "storage/tuple_store.h"
+#include "tree/compiled_tree.h"
 
 namespace boat {
 
@@ -53,6 +54,7 @@ Result<BoatCrossValidationResult> BoatCrossValidate(
   if (folds < 2) {
     return Status::InvalidArgument("cross-validation needs >= 2 folds");
   }
+  BOAT_RETURN_NOT_OK(options.Validate());
   const Schema& schema = db->schema();
   BOAT_RETURN_NOT_OK(schema.Validate());
   const uint64_t fold_seed = options.seed * 1000003 + 17;
@@ -127,16 +129,21 @@ Result<BoatCrossValidationResult> BoatCrossValidate(
   }
 
   // ---- Scan 3: held-out evaluation -----------------------------------------
+  // Each fold tree is compiled once into the flat inference layout; the scan
+  // then scores every tuple through it (identical predictions, no pointer
+  // chasing in the per-tuple loop).
+  std::vector<CompiledTree> compiled;
+  compiled.reserve(static_cast<size_t>(folds));
   for (int f = 0; f < folds; ++f) {
     result.fold_confusion.emplace_back(schema.num_classes());
+    compiled.emplace_back(result.fold_trees[static_cast<size_t>(f)]);
   }
   {
     BOAT_RETURN_NOT_OK(db->Reset());
     Tuple t;
     while (db->Next(&t)) {
       const int f = CrossValidationFold(t, folds, fold_seed);
-      result.fold_confusion[f].Add(t.label(),
-                                   result.fold_trees[f].Classify(t));
+      result.fold_confusion[f].Add(t.label(), compiled[f].Classify(t));
     }
   }
   double sum = 0;

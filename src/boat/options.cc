@@ -1,0 +1,77 @@
+#include "boat/options.h"
+
+#include "common/str_util.h"
+
+namespace boat {
+
+Status BoatOptions::Validate() const {
+  if (sample_size == 0) {
+    return Status::InvalidArgument("BoatOptions: sample_size must be > 0");
+  }
+  if (bootstrap_count < 1) {
+    return Status::InvalidArgument(
+        StrPrintf("BoatOptions: bootstrap_count must be >= 1 (got %d)",
+                  bootstrap_count));
+  }
+  if (bootstrap_subsample == 0) {
+    return Status::InvalidArgument(
+        "BoatOptions: bootstrap_subsample must be > 0");
+  }
+  if (bootstrap_subsample > sample_size) {
+    return Status::InvalidArgument(StrPrintf(
+        "BoatOptions: bootstrap_subsample (%zu) exceeds sample_size (%zu)",
+        bootstrap_subsample, sample_size));
+  }
+  if (inmem_threshold < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("BoatOptions: inmem_threshold must be >= 0 (got %lld)",
+                  static_cast<long long>(inmem_threshold)));
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("BoatOptions: num_threads must be >= 0 (got %d); use 0 "
+                  "for all hardware cores",
+                  num_threads));
+  }
+  if (store_memory_budget == 0) {
+    return Status::InvalidArgument(
+        "BoatOptions: store_memory_budget must be > 0");
+  }
+  if (max_buckets_per_attr < 2) {
+    return Status::InvalidArgument(
+        StrPrintf("BoatOptions: max_buckets_per_attr must be >= 2 (got %d)",
+                  max_buckets_per_attr));
+  }
+  if (!(bound_epsilon >= 0)) {  // rejects negatives and NaN
+    return Status::InvalidArgument(
+        "BoatOptions: bound_epsilon must be >= 0");
+  }
+  if (max_recursion_depth < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("BoatOptions: max_recursion_depth must be >= 0 (got %d)",
+                  max_recursion_depth));
+  }
+  if (exact_rebuild_cap < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("BoatOptions: exact_rebuild_cap must be >= 0 (got %lld)",
+                  static_cast<long long>(exact_rebuild_cap)));
+  }
+  if (limits.max_depth < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("BoatOptions: limits.max_depth must be >= 0 (got %d)",
+                  limits.max_depth));
+  }
+  if (limits.min_tuples_to_split < 2) {
+    return Status::InvalidArgument(StrPrintf(
+        "BoatOptions: limits.min_tuples_to_split must be >= 2 (got %lld)",
+        static_cast<long long>(limits.min_tuples_to_split)));
+  }
+  if (limits.stop_family_size < 0) {
+    return Status::InvalidArgument(StrPrintf(
+        "BoatOptions: limits.stop_family_size must be >= 0 (got %lld)",
+        static_cast<long long>(limits.stop_family_size)));
+  }
+  return Status::OK();
+}
+
+}  // namespace boat

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "split/selector.h"
 
 namespace boat {
@@ -58,6 +59,13 @@ struct BoatOptions {
   /// tuples to derive exact coarse criteria (larger families fall back to
   /// bootstrap sampling). See DESIGN.md on threshold-crossing frontiers.
   int64_t exact_rebuild_cap = 4'000'000;
+
+  /// \brief Rejects configurations the algorithm cannot run meaningfully
+  /// (empty sample, subsample larger than the sample, negative thread
+  /// counts or caps, degenerate discretization budgets). Called at the top
+  /// of BoatClassifier::Train and BuildTreeBoat, so nonsense configs fail
+  /// fast with InvalidArgument instead of silently misbehaving.
+  Status Validate() const;
 };
 
 /// \brief Counters describing the work a BOAT build or update performed.

@@ -1,0 +1,135 @@
+#include "tree/compiled_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/parallel.h"
+#include "common/status.h"
+
+namespace boat {
+
+CompiledTree::CompiledTree(const DecisionTree& tree) : schema_(tree.schema()) {
+  // Per-attribute bitset widths: the declared cardinality, widened if any
+  // split subset mentions a larger category (so the probe bound is exact).
+  domain_bits_.assign(static_cast<size_t>(schema_.num_attributes()), 0);
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    if (schema_.IsCategorical(a)) {
+      domain_bits_[static_cast<size_t>(a)] = schema_.attribute(a).cardinality;
+    }
+  }
+  std::vector<const TreeNode*> stack;  // explicit stack: depth-safe walks
+  stack.push_back(&tree.root());
+  while (!stack.empty()) {
+    const TreeNode* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) continue;
+    for (const int32_t c : node->split->subset) {
+      auto& width = domain_bits_[static_cast<size_t>(node->split->attribute)];
+      width = std::max(width, c + 1);
+    }
+    stack.push_back(node->left.get());
+    stack.push_back(node->right.get());
+  }
+
+  // Assign preorder ids (left subtree first, so left child = parent + 1) and
+  // fill the arrays. Emitting a node costs O(1); categorical nodes also
+  // claim a bitset slab in the shared pool.
+  struct Frame {
+    const TreeNode* node;
+    int32_t parent;   // id of the parent, -1 for the root
+    bool is_left;     // which child slot of the parent to patch
+  };
+  std::vector<Frame> work;
+  work.push_back({&tree.root(), -1, false});
+  while (!work.empty()) {
+    const Frame f = work.back();
+    work.pop_back();
+    const int32_t id = static_cast<int32_t>(attr_.size());
+    if (f.parent >= 0) {
+      (f.is_left ? left_ : right_)[static_cast<size_t>(f.parent)] = id;
+    }
+    if (f.node->is_leaf()) {
+      attr_.push_back(-1);
+      left_.push_back(-1);
+      right_.push_back(-1);
+      threshold_.push_back(0.0);
+      bitset_offset_.push_back(-1);
+      label_.push_back(f.node->MajorityLabel());
+      continue;
+    }
+    const Split& split = *f.node->split;
+    attr_.push_back(split.attribute);
+    left_.push_back(-1);   // patched when the child is emitted
+    right_.push_back(-1);
+    label_.push_back(-1);
+    if (split.is_numerical) {
+      threshold_.push_back(split.value);
+      bitset_offset_.push_back(-1);
+    } else {
+      threshold_.push_back(0.0);
+      const int32_t width = domain_bits_[static_cast<size_t>(split.attribute)];
+      const size_t words = (static_cast<size_t>(width) + 63) / 64;
+      const size_t offset = bits_.size();
+      if (offset > static_cast<size_t>(
+                       std::numeric_limits<int32_t>::max() - 64)) {
+        FatalError("CompiledTree: categorical bitset pool exceeds int32");
+      }
+      bits_.resize(offset + words, 0);
+      for (const int32_t c : split.subset) {
+        bits_[offset + (static_cast<size_t>(c) >> 6)] |=
+            uint64_t{1} << (static_cast<uint32_t>(c) & 63);
+      }
+      bitset_offset_.push_back(static_cast<int32_t>(offset));
+    }
+    // Right pushed first so the left child pops next (preorder).
+    work.push_back({f.node->right.get(), id, false});
+    work.push_back({f.node->left.get(), id, true});
+  }
+}
+
+void CompiledTree::Predict(std::span<const Tuple> tuples,
+                           std::span<int32_t> out, int num_threads) const {
+  if (out.size() != tuples.size()) {
+    FatalError("CompiledTree::Predict: output span size mismatch");
+  }
+  const int64_t n = static_cast<int64_t>(tuples.size());
+  const int threads = ResolveThreadCount(num_threads);
+  // Fixed-size shards keep the work queue balanced; each shard writes only
+  // its own output slots, so the result is identical for any thread count.
+  constexpr int64_t kShard = 2048;
+  const int64_t shards = (n + kShard - 1) / kShard;
+  ParallelFor(shards, threads, [&](int64_t s) {
+    const int64_t begin = s * kShard;
+    const int64_t end = std::min(n, begin + kShard);
+    for (int64_t i = begin; i < end; ++i) {
+      out[static_cast<size_t>(i)] = Classify(tuples[static_cast<size_t>(i)]);
+    }
+  });
+}
+
+std::vector<int32_t> CompiledTree::Predict(std::span<const Tuple> tuples,
+                                           int num_threads) const {
+  std::vector<int32_t> out(tuples.size());
+  Predict(tuples, out, num_threads);
+  return out;
+}
+
+double CompiledTree::MisclassificationRate(std::span<const Tuple> tuples,
+                                           int num_threads) const {
+  if (tuples.empty()) return 0.0;
+  const std::vector<int32_t> predicted = Predict(tuples, num_threads);
+  int64_t wrong = 0;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (predicted[i] != tuples[i].label()) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(tuples.size());
+}
+
+size_t CompiledTree::pool_bytes() const {
+  return attr_.size() * (sizeof(int32_t) * 4 + sizeof(double) +
+                         sizeof(int32_t)) +
+         bits_.size() * sizeof(uint64_t) +
+         domain_bits_.size() * sizeof(int32_t);
+}
+
+}  // namespace boat

@@ -1,0 +1,101 @@
+// CompiledTree: an immutable, flat, structure-of-arrays compilation of a
+// DecisionTree for high-throughput inference.
+//
+// DecisionTree::Classify chases std::unique_ptr children one tuple at a
+// time; every hop is a dependent pointer load into an arbitrary heap
+// location. CompiledTree lays the same tree out as parallel arrays indexed
+// by a dense int32 node id (preorder, so the left child of node i is always
+// i+1 and the hot edge is a sequential prefetch), replaces categorical
+// subset binary searches by packed-bitset probes over the attribute's
+// domain, and precomputes every leaf's majority label. Predictions are
+// guaranteed identical to DecisionTree::Classify for every input — the
+// compilation is a pure layout change (see DESIGN.md, "CompiledTree").
+//
+// Batched scoring (Predict) shards the input over ParallelFor; each shard
+// writes only its own output slots, so the result is byte-identical for
+// every thread count.
+
+#ifndef BOAT_TREE_COMPILED_TREE_H_
+#define BOAT_TREE_COMPILED_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+class CompiledTree {
+ public:
+  /// \brief Compiles `tree` into the flat layout. O(nodes) time and space;
+  /// the result is independent of `tree`'s lifetime.
+  explicit CompiledTree(const DecisionTree& tree);
+
+  /// \brief Predicts the class label of one record. Identical to
+  /// DecisionTree::Classify on the source tree for every tuple.
+  int32_t Classify(const Tuple& tuple) const {
+    int32_t i = 0;
+    while (attr_[static_cast<size_t>(i)] >= 0) {
+      const size_t n = static_cast<size_t>(i);
+      const int attr = attr_[n];
+      bool left;
+      const int32_t bits = bitset_offset_[n];
+      if (bits < 0) {
+        left = tuple.value(attr) <= threshold_[n];
+      } else {
+        const int32_t c = tuple.category(attr);
+        left = c >= 0 && c < domain_bits_[static_cast<size_t>(attr)] &&
+               ((bits_[static_cast<size_t>(bits) +
+                       (static_cast<size_t>(c) >> 6)] >>
+                 (static_cast<uint32_t>(c) & 63)) &
+                1) != 0;
+      }
+      i = left ? left_[n] : right_[n];
+    }
+    return label_[static_cast<size_t>(i)];
+  }
+
+  /// \brief Batched scoring: out[i] = Classify(tuples[i]). `out` must have
+  /// exactly tuples.size() elements. With num_threads != 1 the batch is
+  /// sharded over ParallelFor (0 = all hardware cores); every shard writes
+  /// only its own slots, so any thread count produces identical output.
+  void Predict(std::span<const Tuple> tuples, std::span<int32_t> out,
+               int num_threads = 1) const;
+
+  /// \brief Convenience overload returning the predictions.
+  std::vector<int32_t> Predict(std::span<const Tuple> tuples,
+                               int num_threads = 1) const;
+
+  /// \brief Fraction of `tuples` whose label differs from the prediction.
+  double MisclassificationRate(std::span<const Tuple> tuples,
+                               int num_threads = 1) const;
+
+  const Schema& schema() const { return schema_; }
+  size_t num_nodes() const { return attr_.size(); }
+  /// \brief Bytes of the node pool (diagnostics; excludes the schema).
+  size_t pool_bytes() const;
+
+ private:
+  Schema schema_;
+  // Parallel node arrays, preorder. attr_[i] < 0 marks a leaf.
+  std::vector<int32_t> attr_;           ///< split attribute; -1 = leaf
+  std::vector<int32_t> left_;           ///< child id when predicate holds
+  std::vector<int32_t> right_;          ///< child id otherwise
+  std::vector<double> threshold_;       ///< numeric: go left iff v <= t
+  std::vector<int32_t> bitset_offset_;  ///< word offset into bits_; -1 = numeric
+  std::vector<int32_t> label_;          ///< leaf: precomputed majority label
+  /// Packed categorical subsets: bitset_offset_[i] points at the first of
+  /// domain_bits_[attr]/64 (rounded up) words; bit c set = category c goes
+  /// left. One shared pool keeps the per-node footprint at a single int32.
+  std::vector<uint64_t> bits_;
+  /// Per-attribute bitset width: the attribute's cardinality, widened when a
+  /// split subset mentions a category beyond it (defensive; categories
+  /// outside [0, width) always go right, exactly like the binary search on
+  /// an absent subset element).
+  std::vector<int32_t> domain_bits_;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_TREE_COMPILED_TREE_H_

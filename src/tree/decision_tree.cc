@@ -2,6 +2,7 @@
 
 #include "common/status.h"
 #include "common/str_util.h"
+#include "tree/compiled_tree.h"
 
 namespace boat {
 
@@ -70,11 +71,7 @@ int32_t DecisionTree::Classify(const Tuple& tuple) const {
 double DecisionTree::MisclassificationRate(
     const std::vector<Tuple>& tuples) const {
   if (tuples.empty()) return 0.0;
-  int64_t wrong = 0;
-  for (const Tuple& t : tuples) {
-    if (Classify(t) != t.label()) ++wrong;
-  }
-  return static_cast<double>(wrong) / static_cast<double>(tuples.size());
+  return CompiledTree(*this).MisclassificationRate(tuples);
 }
 
 namespace {

@@ -59,9 +59,17 @@ std::string ConfusionMatrix::ToString() const {
 }
 
 ConfusionMatrix Evaluate(const DecisionTree& tree,
-                         const std::vector<Tuple>& data) {
+                         const std::vector<Tuple>& data, int num_threads) {
+  return Evaluate(CompiledTree(tree), data, num_threads);
+}
+
+ConfusionMatrix Evaluate(const CompiledTree& tree,
+                         const std::vector<Tuple>& data, int num_threads) {
   ConfusionMatrix cm(tree.schema().num_classes());
-  for (const Tuple& t : data) cm.Add(t.label(), tree.Classify(t));
+  const std::vector<int32_t> predicted = tree.Predict(data, num_threads);
+  for (size_t i = 0; i < data.size(); ++i) {
+    cm.Add(data[i].label(), predicted[i]);
+  }
   return cm;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tree/compiled_tree.h"
 #include "tree/decision_tree.h"
 
 namespace boat {
@@ -45,9 +46,16 @@ class ConfusionMatrix {
   std::vector<int64_t> counts_;
 };
 
-/// \brief Classifies every tuple and tallies the confusion matrix.
+/// \brief Classifies every tuple and tallies the confusion matrix. Scoring
+/// runs through the flat CompiledTree layout; `num_threads` shards the batch
+/// (0 = all cores, 1 = serial) without changing any count.
 ConfusionMatrix Evaluate(const DecisionTree& tree,
-                         const std::vector<Tuple>& data);
+                         const std::vector<Tuple>& data, int num_threads = 1);
+
+/// \brief Evaluate against an already-compiled tree (skips recompilation
+/// when the same model scores many batches).
+ConfusionMatrix Evaluate(const CompiledTree& tree,
+                         const std::vector<Tuple>& data, int num_threads = 1);
 
 /// \brief Deterministic shuffled holdout split: `test_fraction` of `data`
 /// goes into the second result.

@@ -31,6 +31,99 @@ BoatOptions SmallOptions() {
   return options;
 }
 
+// ------------------------------------------------------ the options contract
+
+TEST(BoatOptionsValidateTest, DefaultsAreValid) {
+  EXPECT_TRUE(BoatOptions().Validate().ok());
+  EXPECT_TRUE(SmallOptions().Validate().ok());
+}
+
+TEST(BoatOptionsValidateTest, RejectsNonsenseConfigs) {
+  const auto expect_invalid = [](BoatOptions options, const char* what) {
+    const Status st = options.Validate();
+    EXPECT_FALSE(st.ok()) << what;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << what;
+  };
+  BoatOptions o = SmallOptions();
+  o.sample_size = 0;
+  expect_invalid(o, "sample_size == 0");
+
+  o = SmallOptions();
+  o.bootstrap_subsample = o.sample_size + 1;
+  expect_invalid(o, "subsample > sample");
+
+  o = SmallOptions();
+  o.bootstrap_count = 0;
+  expect_invalid(o, "bootstrap_count == 0");
+
+  o = SmallOptions();
+  o.bootstrap_subsample = 0;
+  expect_invalid(o, "bootstrap_subsample == 0");
+
+  o = SmallOptions();
+  o.num_threads = -1;
+  expect_invalid(o, "num_threads < 0");
+
+  o = SmallOptions();
+  o.max_buckets_per_attr = 1;
+  expect_invalid(o, "max_buckets_per_attr < 2");
+
+  o = SmallOptions();
+  o.inmem_threshold = -1;
+  expect_invalid(o, "inmem_threshold < 0");
+
+  o = SmallOptions();
+  o.store_memory_budget = 0;
+  expect_invalid(o, "store_memory_budget == 0");
+
+  o = SmallOptions();
+  o.bound_epsilon = -1e-9;
+  expect_invalid(o, "bound_epsilon < 0");
+
+  o = SmallOptions();
+  o.max_recursion_depth = -1;
+  expect_invalid(o, "max_recursion_depth < 0");
+
+  o = SmallOptions();
+  o.exact_rebuild_cap = -1;
+  expect_invalid(o, "exact_rebuild_cap < 0");
+
+  o = SmallOptions();
+  o.limits.max_depth = -1;
+  expect_invalid(o, "limits.max_depth < 0");
+
+  o = SmallOptions();
+  o.limits.min_tuples_to_split = 1;
+  expect_invalid(o, "limits.min_tuples_to_split < 2");
+
+  o = SmallOptions();
+  o.limits.stop_family_size = -5;
+  expect_invalid(o, "limits.stop_family_size < 0");
+}
+
+TEST(BoatOptionsValidateTest, TrainRejectsInvalidOptionsBeforeScanning) {
+  const Schema schema = MakeAgrawalSchema();
+  auto data = F6Data(200);
+  auto selector = MakeGiniSelector();
+  BoatOptions options = SmallOptions();
+  options.sample_size = 0;
+  {
+    VectorSource source(schema, data);
+    auto classifier =
+        BoatClassifier::Train(&source, selector.get(), options);
+    ASSERT_FALSE(classifier.ok());
+    EXPECT_EQ(classifier.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    VectorSource source(schema, data);
+    options.sample_size = 100;
+    options.bootstrap_subsample = 500;  // > sample_size
+    auto tree = BuildTreeBoat(&source, *selector, options);
+    ASSERT_FALSE(tree.ok());
+    EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(BoatEngineTest, ExactlyOneCleanupScanOnCleanBuild) {
   const Schema schema = MakeAgrawalSchema();
   auto data = F6Data(5000);

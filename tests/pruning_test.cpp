@@ -147,6 +147,68 @@ TEST(EvaluateTest, MatchesMisclassificationRate) {
   EXPECT_NEAR(1.0 - cm.Accuracy(), tree.MisclassificationRate(test), 1e-12);
 }
 
+TEST(ConfusionMatrixTest, EmptyClassPrecisionRecall) {
+  // Class 1 never occurs (neither as actual nor predicted) and class 2 is
+  // predicted but never actual: all affected denominators must yield 0, not
+  // NaN or a crash.
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0, 5);
+  cm.Add(0, 2, 3);  // class 2 predicted, never actual
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 0.0);  // never predicted
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.0);     // never actual
+  EXPECT_DOUBLE_EQ(cm.Precision(2), 0.0);  // predicted 3, 0 correct
+  EXPECT_DOUBLE_EQ(cm.Recall(2), 0.0);     // never actual
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 5.0 / 8.0);
+}
+
+TEST(ConfusionMatrixTest, SingleClassData) {
+  // Every record has the same actual class and the classifier always
+  // predicts it: accuracy / precision / recall are all 1, other classes 0.
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0, 42);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.0);
+  EXPECT_EQ(cm.total(), 42);
+}
+
+TEST(EvaluateTest, SingleClassDatasetFillsOneRow) {
+  // Training data with one observed label builds a single-leaf tree; the
+  // evaluation of that tree must put every record on the diagonal.
+  Schema schema({Attribute::Numerical("x")}, 2);
+  std::vector<Tuple> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back(Tuple({static_cast<double>(i)}, 0));
+  }
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(schema, data, *selector);
+  const ConfusionMatrix cm = Evaluate(tree, data);
+  EXPECT_EQ(cm.count(0, 0), 100);
+  EXPECT_EQ(cm.count(1, 1), 0);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.0);
+}
+
+TEST(HoldoutSplitTest, DeterministicAcrossRunsWithSameSeed) {
+  const auto data = NoisyThresholdData(500, 0.1, 21);
+  Rng rng_a(77);
+  Rng rng_b(77);
+  auto [train_a, test_a] = HoldoutSplit(data, 0.25, &rng_a);
+  auto [train_b, test_b] = HoldoutSplit(data, 0.25, &rng_b);
+  EXPECT_EQ(train_a, train_b);
+  EXPECT_EQ(test_a, test_b);
+
+  // A different seed permutes differently (with overwhelming probability).
+  Rng rng_c(78);
+  auto [train_c, test_c] = HoldoutSplit(data, 0.25, &rng_c);
+  EXPECT_EQ(train_c.size(), train_a.size());
+  EXPECT_NE(train_a, train_c);
+}
+
 TEST(HoldoutSplitTest, SplitsByFraction) {
   Rng rng(1);
   auto [train, test] = HoldoutSplit(NoisyThresholdData(1000, 0, 14), 0.3,

@@ -1,15 +1,24 @@
 // boatc — command-line front end for the BOAT library.
 //
 //   boatc generate --function 6 --rows 200000 --noise 0.05 --out train.tbl
-//   boatc train    --data train.tbl --model model/ [--selector gini]
-//   boatc evaluate --model model/ --data test.tbl
+//   boatc train    --data train.tbl --model model/ [--selector gini] [--json]
+//   boatc evaluate --model model/ --data test.tbl [--threads T] [--json]
 //   boatc classify --model model/ --data new.tbl --out labels.csv
+//            [--threads T] [--json]
 //   boatc update   --model model/ --insert chunk.tbl
 //   boatc update   --model model/ --delete expired.tbl
 //   boatc inspect  --model model/ [--rules] [--dot]
 //
 // Training data may also be a CSV file (schema inferred; see storage/csv.h);
 // everything else uses the binary table format tied to the model's schema.
+//
+// Scoring (evaluate/classify) runs through the CompiledTree flat inference
+// layout; --threads T shards the batch (0 = all cores) without changing a
+// single prediction. --json replaces the human-readable report on stdout
+// with one machine-readable JSON object sharing a single schema across
+// subcommands: {"command", "seconds", "records", "threads", "model":
+// {"nodes","leaves","depth"}, "stats": {...}, "accuracy", "confusion":
+// {"num_classes","counts"}, "out"} — absent keys simply don't apply.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,15 +27,9 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
-#include "boat/persistence.h"
-#include "common/timer.h"
-#include "datagen/agrawal.h"
-#include "split/quest.h"
-#include "storage/csv.h"
-#include "tree/evaluation.h"
-#include "tree/export.h"
-#include "tree/serialize.h"
+#include "boat/boat.h"
 
 namespace {
 
@@ -99,6 +102,109 @@ void Check(const Status& status) {
 
 bool IsCsv(const std::string& path) {
   return path.size() > 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+// ------------------------------------------------------------- JSON output
+//
+// One schema across subcommands (--json): a single JSON object on stdout,
+// keys in a fixed order, nothing else printed. Scrapers key off "command".
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal order-preserving JSON object builder; values are preformatted.
+class JsonObject {
+ public:
+  JsonObject& Str(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + JsonEscape(value) + "\"");
+  }
+  JsonObject& Int(const std::string& key, long long value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return Raw(key, buf);
+  }
+  JsonObject& Double(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return Raw(key, buf);
+  }
+  JsonObject& Raw(const std::string& key, const std::string& json) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + JsonEscape(key) + "\":" + json;
+    return *this;
+  }
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+std::string JsonTree(const DecisionTree& tree) {
+  return JsonObject()
+      .Int("nodes", static_cast<long long>(tree.num_nodes()))
+      .Int("leaves", static_cast<long long>(tree.num_leaves()))
+      .Int("depth", tree.depth())
+      .Render();
+}
+
+std::string JsonStats(const BoatStats& stats) {
+  return JsonObject()
+      .Int("db_size", static_cast<long long>(stats.db_size))
+      .Int("bootstrap_kills", static_cast<long long>(stats.bootstrap_kills))
+      .Int("coarse_nodes", static_cast<long long>(stats.coarse_nodes))
+      .Int("cleanup_scans", static_cast<long long>(stats.cleanup_scans))
+      .Int("failed_checks", static_cast<long long>(stats.failed_checks))
+      .Int("leafized_nodes", static_cast<long long>(stats.leafized_nodes))
+      .Int("retained_tuples", static_cast<long long>(stats.retained_tuples))
+      .Int("frontier_inmem", static_cast<long long>(stats.frontier_inmem))
+      .Int("frontier_recursive",
+           static_cast<long long>(stats.frontier_recursive))
+      .Int("rebuild_scans", static_cast<long long>(stats.rebuild_scans))
+      .Int("side_switch_tuples",
+           static_cast<long long>(stats.side_switch_tuples))
+      .Int("subtree_rebuilds", static_cast<long long>(stats.subtree_rebuilds))
+      .Render();
+}
+
+std::string JsonConfusion(const ConfusionMatrix& cm) {
+  std::string counts = "[";
+  for (int a = 0; a < cm.num_classes(); ++a) {
+    if (a > 0) counts += ",";
+    counts += "[";
+    for (int p = 0; p < cm.num_classes(); ++p) {
+      if (p > 0) counts += ",";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(cm.count(a, p)));
+      counts += buf;
+    }
+    counts += "]";
+  }
+  counts += "]";
+  return JsonObject()
+      .Int("num_classes", cm.num_classes())
+      .Raw("counts", counts)
+      .Render();
 }
 
 // Loads training data from .tbl (schema must be recoverable from the file —
@@ -184,10 +290,26 @@ int CmdTrain(const Flags& flags) {
       BoatClassifier::Train(&source, selector.get(), options, &stats);
   Check(classifier.status());
   Check(SaveClassifier(**classifier, model_dir));
+  const double seconds = watch.ElapsedSeconds();
+  if (flags.Has("json")) {
+    std::printf("%s\n",
+                JsonObject()
+                    .Str("command", "train")
+                    .Double("seconds", seconds)
+                    .Int("records", n)
+                    .Int("threads", options.num_threads)
+                    .Str("selector", selector->name())
+                    .Raw("model", JsonTree((*classifier)->tree()))
+                    .Raw("stats", JsonStats(stats))
+                    .Str("model_dir", model_dir)
+                    .Render()
+                    .c_str());
+    return 0;
+  }
   std::printf(
       "trained on %lld records in %.2fs — tree: %zu nodes, depth %d; "
       "model saved to %s\n",
-      static_cast<long long>(n), watch.ElapsedSeconds(),
+      static_cast<long long>(n), seconds,
       (*classifier)->tree().num_nodes(), (*classifier)->tree().depth(),
       model_dir.c_str());
   std::printf("  (selector %s, coarse nodes %llu, kills %llu, failed checks "
@@ -205,7 +327,25 @@ int CmdEvaluate(const Flags& flags) {
   Check(classifier.status());
   const Schema& schema = (*classifier)->tree().schema();
   LoadedData data = LoadData(flags.Require("data"), &schema);
-  const ConfusionMatrix cm = Evaluate((*classifier)->tree(), data.tuples);
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const CompiledTree compiled((*classifier)->tree());
+  Stopwatch watch;
+  const ConfusionMatrix cm = Evaluate(compiled, data.tuples, threads);
+  const double seconds = watch.ElapsedSeconds();
+  if (flags.Has("json")) {
+    std::printf("%s\n",
+                JsonObject()
+                    .Str("command", "evaluate")
+                    .Double("seconds", seconds)
+                    .Int("records", static_cast<long long>(cm.total()))
+                    .Int("threads", threads)
+                    .Raw("model", JsonTree((*classifier)->tree()))
+                    .Double("accuracy", cm.Accuracy())
+                    .Raw("confusion", JsonConfusion(cm))
+                    .Render()
+                    .c_str());
+    return 0;
+  }
   std::printf("accuracy: %.2f%% over %lld records\n", 100 * cm.Accuracy(),
               static_cast<long long>(cm.total()));
   std::printf("%s", cm.ToString().c_str());
@@ -218,13 +358,45 @@ int CmdClassify(const Flags& flags) {
   Check(classifier.status());
   const Schema& schema = (*classifier)->tree().schema();
   LoadedData data = LoadData(flags.Require("data"), &schema);
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+
+  const CompiledTree compiled((*classifier)->tree());
+  Stopwatch watch;
+  const std::vector<int32_t> predicted =
+      compiled.Predict(data.tuples, threads);
+  const double seconds = watch.ElapsedSeconds();
 
   const std::string out_path = flags.Get("out");
   std::ofstream out;
   if (!out_path.empty()) out.open(out_path);
-  std::ostream& sink = out_path.empty() ? std::cout : out;
-  for (const Tuple& t : data.tuples) {
-    sink << (*classifier)->tree().Classify(t) << "\n";
+  // With --json and no --out the predictions go into the JSON itself.
+  const bool inline_labels = flags.Has("json") && out_path.empty();
+  if (!inline_labels) {
+    std::ostream& sink = out_path.empty() ? std::cout : out;
+    for (const int32_t label : predicted) sink << label << "\n";
+  }
+  if (flags.Has("json")) {
+    JsonObject json;
+    json.Str("command", "classify")
+        .Double("seconds", seconds)
+        .Int("records", static_cast<long long>(predicted.size()))
+        .Int("threads", threads)
+        .Raw("model", JsonTree((*classifier)->tree()));
+    if (inline_labels) {
+      std::string labels = "[";
+      for (size_t i = 0; i < predicted.size(); ++i) {
+        if (i > 0) labels += ",";
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%d", predicted[i]);
+        labels += buf;
+      }
+      labels += "]";
+      json.Raw("labels", labels);
+    } else {
+      json.Str("out", out_path);
+    }
+    std::printf("%s\n", json.Render().c_str());
+    return 0;
   }
   if (!out_path.empty()) {
     std::printf("wrote %zu predictions to %s\n", data.tuples.size(),
@@ -300,9 +472,11 @@ int Usage() {
       "  train    --data FILE --model DIR [--selector gini|entropy|quest]\n"
       "           [--sample N] [--bootstraps B] [--subsample N] [--inmem N]\n"
       "           [--threads T (0 = all cores; any T gives the same tree)]\n"
-      "           [--max-depth D] [--stop-family N] [--no-updates]\n"
-      "  evaluate --model DIR --data FILE [--selector ...]\n"
-      "  classify --model DIR --data FILE [--out FILE]\n"
+      "           [--max-depth D] [--stop-family N] [--no-updates] [--json]\n"
+      "  evaluate --model DIR --data FILE [--selector ...] [--threads T]\n"
+      "           [--json]\n"
+      "  classify --model DIR --data FILE [--out FILE] [--threads T]\n"
+      "           [--json]\n"
       "  update   --model DIR (--insert FILE | --delete FILE)\n"
       "  inspect  --model DIR [--rules] [--dot]\n"
       "Data files: .tbl (binary tables; Agrawal schema assumed for training)\n"
