@@ -9,8 +9,10 @@
 #include "boat/builder.h"
 #include "boat/discretization.h"
 #include "common/timer.h"
+#include "tree/columnar_builder.h"
 #include "tree/compiled_tree.h"
 #include "tree/inmem_builder.h"
+#include "tree/serialize.h"
 #include "datagen/agrawal.h"
 #include "split/numeric_search.h"
 #include "split/selector.h"
@@ -219,6 +221,114 @@ BENCHMARK(BM_BoatGrowthThreads)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------- columnar growth
+//
+// Shared fixture: a sample-sized Agrawal family (what the bootstrap phase
+// and frontier resolution grow trees over). The first growth benchmark also
+// (a) byte-compares the columnar engine's tree against the legacy row
+// builder's — aborting the process on divergence, which the CI bench-smoke
+// job keys off — and (b) records a BENCH_growth.json trajectory comparing
+// the two engines (path overridable via BOAT_BENCH_GROWTH_JSON).
+
+struct GrowthFixture {
+  Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> train;
+  std::unique_ptr<SplitSelector> selector = MakeGiniSelector();
+  GrowthLimits limits;
+
+  GrowthFixture() {
+    AgrawalConfig config;
+    config.function = 6;
+    config.noise = 0.05;  // noise => deep tree, many node families
+    config.seed = 81;
+    train = GenerateAgrawal(config, 20000);
+    limits.max_depth = 24;
+    limits.stop_family_size = 50;
+  }
+};
+
+GrowthFixture& Growth() {
+  static GrowthFixture* fixture = new GrowthFixture();
+  return *fixture;
+}
+
+// Verifies engine equivalence and writes the trajectory file exactly once
+// per process run, regardless of which growth benchmarks the filter selects.
+void VerifyAndRecordGrowth() {
+  static const bool done = [] {
+    GrowthFixture& fx = Growth();
+    const DecisionTree rows =
+        BuildTreeInMemoryRows(fx.schema, fx.train, *fx.selector, fx.limits);
+    {
+      const ColumnDataset data(fx.schema, fx.train);
+      const DecisionTree columnar =
+          BuildTreeColumnar(data, *fx.selector, fx.limits);
+      if (SerializeTree(columnar) != SerializeTree(rows)) {
+        FatalError("columnar growth engine diverges from the row builder");
+      }
+    }
+
+    const char* env = std::getenv("BOAT_BENCH_GROWTH_JSON");
+    bench::BenchJsonWriter writer(
+        env != nullptr && env[0] != '\0' ? env : "BENCH_growth.json");
+    const double n = static_cast<double>(fx.train.size());
+    const auto time_passes = [&](auto&& fn) {
+      constexpr int kPasses = 3;
+      Stopwatch watch;
+      for (int p = 0; p < kPasses; ++p) fn();
+      return n * kPasses / watch.ElapsedSeconds();  // tuples per second
+    };
+
+    const double row_rate = time_passes([&] {
+      benchmark::DoNotOptimize(
+          BuildTreeInMemoryRows(fx.schema, fx.train, *fx.selector, fx.limits)
+              .num_nodes());
+    });
+    writer.Add("row_builder",
+               {{"tuples_per_sec", row_rate},
+                {"tree_nodes", static_cast<double>(rows.num_nodes())}});
+    // The columnar pass includes materialization and the root sort — the
+    // same end-to-end work BuildTreeInMemory does on the default engine.
+    const double columnar_rate = time_passes([&] {
+      const ColumnDataset data(fx.schema, fx.train);
+      benchmark::DoNotOptimize(
+          BuildTreeColumnar(data, *fx.selector, fx.limits).num_nodes());
+    });
+    writer.Add("columnar",
+               {{"tuples_per_sec", columnar_rate},
+                {"speedup_vs_rows", columnar_rate / row_rate}});
+    writer.Flush();
+    return true;
+  }();
+  (void)done;
+}
+
+void BM_InMemBuild(benchmark::State& state) {
+  VerifyAndRecordGrowth();
+  GrowthFixture& fx = Growth();
+  for (auto _ : state) {
+    const ColumnDataset data(fx.schema, fx.train);
+    benchmark::DoNotOptimize(
+        BuildTreeColumnar(data, *fx.selector, fx.limits).num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.train.size()));
+}
+BENCHMARK(BM_InMemBuild)->Unit(benchmark::kMillisecond);
+
+void BM_InMemBuildRows(benchmark::State& state) {
+  VerifyAndRecordGrowth();
+  GrowthFixture& fx = Growth();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildTreeInMemoryRows(fx.schema, fx.train, *fx.selector, fx.limits)
+            .num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.train.size()));
+}
+BENCHMARK(BM_InMemBuildRows)->Unit(benchmark::kMillisecond);
 
 void BM_TreeClassify(benchmark::State& state) {
   AgrawalConfig config;

@@ -14,6 +14,40 @@ void NumericAvc::Add(double value, int32_t label, int64_t weight) {
   staged_.push_back({value, label, weight});
 }
 
+void NumericAvc::AddSorted(double value, int32_t label, int64_t weight) {
+  if (!finalized_) {
+    FatalError("NumericAvc::AddSorted: staged Add observations pending");
+  }
+  if (values_.empty()) {
+    values_.push_back(value);
+    counts_.resize(static_cast<size_t>(k_), 0);
+  } else if (value != values_.back()) {
+    if (value < values_.back()) {
+      FatalError("NumericAvc::AddSorted: values not in ascending order");
+    }
+    values_.push_back(value);
+    counts_.resize(values_.size() * k_, 0);
+  }
+  counts_[(values_.size() - 1) * k_ + label] += weight;
+}
+
+void NumericAvc::InstallSorted(std::vector<double> values,
+                               std::vector<int64_t> counts) {
+  if (!finalized_ || !values_.empty()) {
+    FatalError("NumericAvc::InstallSorted on a non-empty AVC");
+  }
+  if (counts.size() != values.size() * static_cast<size_t>(k_)) {
+    FatalError("NumericAvc::InstallSorted: counts/values shape mismatch");
+  }
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] <= values[i - 1]) {
+      FatalError("NumericAvc::InstallSorted: values not strictly ascending");
+    }
+  }
+  values_ = std::move(values);
+  counts_ = std::move(counts);
+}
+
 void NumericAvc::Finalize() {
   if (finalized_) return;
   finalized_ = true;
@@ -81,12 +115,14 @@ void NumericAvc::Finalize() {
 }
 
 std::vector<int64_t> NumericAvc::Totals() const {
+  if (!finalized_) FatalError("NumericAvc::Totals before Finalize");
   std::vector<int64_t> totals(k_, 0);
   for (size_t i = 0; i < counts_.size(); ++i) totals[i % k_] += counts_[i];
   return totals;
 }
 
 int64_t NumericAvc::EntryCount() const {
+  if (!finalized_) FatalError("NumericAvc::EntryCount before Finalize");
   int64_t entries = 0;
   for (const int64_t c : counts_) {
     if (c != 0) ++entries;
@@ -169,6 +205,20 @@ const CategoricalAvc& AvcGroup::categorical(int attr) const {
     FatalError("categorical() on numerical attr");
   }
   return categorical_[attr];
+}
+
+NumericAvc* AvcGroup::mutable_numeric(int attr) {
+  if (!schema_->IsNumerical(attr)) {
+    FatalError("mutable_numeric() on categorical attr");
+  }
+  return &numeric_[attr];
+}
+
+CategoricalAvc* AvcGroup::mutable_categorical(int attr) {
+  if (!schema_->IsCategorical(attr)) {
+    FatalError("mutable_categorical() on numerical attr");
+  }
+  return &categorical_[attr];
 }
 
 bool AvcGroup::IsPure() const {

@@ -26,13 +26,32 @@ class NumericAvc {
   /// \brief Accumulates one (value, label) observation (unsorted stage).
   void Add(double value, int32_t label, int64_t weight = 1);
 
+  /// \brief Accumulates one observation whose value is known to be >= every
+  /// value added so far, appending it directly to the finalized
+  /// representation — the zero-sort path of the columnar growth engine,
+  /// which feeds values in presorted column order. Must not be mixed with
+  /// staged Add calls (fatal error on violation); no Finalize is needed.
+  void AddSorted(double value, int32_t label, int64_t weight = 1);
+
+  /// \brief Installs an already-aggregated finalized representation:
+  /// `values` strictly ascending distinct values (fatal error otherwise) and
+  /// `counts` their row-major num_values x num_classes class counts. The
+  /// bulk path of the columnar growth engine, which aggregates a node's
+  /// presorted attribute list in one linear pass. The AVC must be empty.
+  void InstallSorted(std::vector<double> values, std::vector<int64_t> counts);
+
   /// \brief Sorts and merges duplicate values; must be called after the last
-  /// Add and before any read accessor. Idempotent.
+  /// Add and before any read accessor. Idempotent, and re-openable: Add may
+  /// be called again after Finalize, and the next Finalize merges the new
+  /// observations into the previously finalized run.
   void Finalize();
 
   int num_classes() const { return k_; }
   /// Number of distinct attribute values (after Finalize).
-  int64_t num_values() const { return static_cast<int64_t>(values_.size()); }
+  int64_t num_values() const {
+    if (!finalized_) FatalError("NumericAvc read before Finalize");
+    return static_cast<int64_t>(values_.size());
+  }
   double value(int64_t i) const { return values_[i]; }
   /// Class counts of value i (k entries).
   const int64_t* counts(int64_t i) const { return &counts_[i * k_]; }
@@ -119,6 +138,20 @@ class AvcGroup {
 
   const NumericAvc& numeric(int attr) const;
   const CategoricalAvc& categorical(int attr) const;
+
+  /// \brief Mutable AVC-set access for builders that fill the group one
+  /// *column* at a time (the columnar growth engine) instead of one tuple at
+  /// a time. Callers filling AVC-sets directly must also account the node's
+  /// class totals via AddToClassTotals.
+  NumericAvc* mutable_numeric(int attr);
+  CategoricalAvc* mutable_categorical(int attr);
+
+  /// \brief Adds `weight` tuples of class `label` to the node totals only
+  /// (the per-attribute AVC-sets are unaffected).
+  void AddToClassTotals(int32_t label, int64_t weight) {
+    class_totals_[label] += weight;
+    total_ += weight;
+  }
 
   /// \brief Per-class totals of the node family.
   const std::vector<int64_t>& class_totals() const { return class_totals_; }

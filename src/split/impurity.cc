@@ -17,22 +17,6 @@ double ImpurityFunction::EvalNode(const int64_t* counts, int k,
 
 namespace {
 
-// Gini of one side, weighted by side proportion: (n_side/total)*(1-sum p_i^2)
-// computed as (n_side - sum c_i^2 / n_side) / total to keep the arithmetic
-// shape fixed.
-double GiniSide(const int64_t* counts, int k, int64_t total) {
-  int64_t side = 0;
-  for (int i = 0; i < k; ++i) side += counts[i];
-  if (side == 0) return 0.0;
-  double sum_sq = 0.0;
-  for (int i = 0; i < k; ++i) {
-    const double c = static_cast<double>(counts[i]);
-    sum_sq += c * c;
-  }
-  const double s = static_cast<double>(side);
-  return (s - sum_sq / s) / static_cast<double>(total);
-}
-
 double EntropySide(const int64_t* counts, int k, int64_t total) {
   int64_t side = 0;
   for (int i = 0; i < k; ++i) side += counts[i];
@@ -63,7 +47,7 @@ double MisclassSide(const int64_t* counts, int k, int64_t total) {
 
 double GiniImpurity::Eval(const int64_t* left, const int64_t* right, int k,
                           int64_t total) const {
-  return GiniSide(left, k, total) + GiniSide(right, k, total);
+  return GiniEval(left, right, k, total);
 }
 
 double EntropyImpurity::Eval(const int64_t* left, const int64_t* right, int k,

@@ -41,6 +41,37 @@ class ImpurityFunction {
   virtual std::string name() const = 0;
 };
 
+namespace impurity_internal {
+
+// Gini of one side, weighted by side proportion: (n_side/total)*(1-sum p_i^2)
+// computed as (n_side - sum c_i^2 / n_side) / total to keep the arithmetic
+// shape fixed.
+inline double GiniSide(const int64_t* counts, int k, int64_t total) {
+  int64_t side = 0;
+  for (int i = 0; i < k; ++i) side += counts[i];
+  if (side == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const double c = static_cast<double>(counts[i]);
+    sum_sq += c * c;
+  }
+  const double s = static_cast<double>(side);
+  return (s - sum_sq / s) / static_cast<double>(total);
+}
+
+}  // namespace impurity_internal
+
+/// \brief The gini arithmetic as a free inline function: hot scan loops
+/// (numeric_search.cc evaluates one candidate per distinct attribute value)
+/// call it directly to skip the per-candidate virtual dispatch.
+/// GiniImpurity::Eval delegates here, so the inlined and the virtual path
+/// compute bit-identical values by construction.
+inline double GiniEval(const int64_t* left, const int64_t* right, int k,
+                       int64_t total) {
+  return impurity_internal::GiniSide(left, k, total) +
+         impurity_internal::GiniSide(right, k, total);
+}
+
 /// \brief gini index of CART [BFOS84]: sum_side w_side * (1 - sum_i p_i^2).
 class GiniImpurity : public ImpurityFunction {
  public:

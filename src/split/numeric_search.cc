@@ -4,6 +4,63 @@
 
 namespace boat {
 
+namespace {
+
+/// Two-class gini scan: the candidate evaluation runs entirely in registers,
+/// with no per-candidate stores. The arithmetic shape matches GiniEval
+/// exactly — GiniSide's k-loops unroll to the same operation order for
+/// k == 2, and the scan's validity check (both sides non-empty) subsumes
+/// GiniSide's empty-side guard — so this is a dispatch specialization of the
+/// generic path, not a different formula.
+std::optional<Split> ScanGiniTwoClass(const NumericAvc& avc, int attr,
+                                      const std::vector<int64_t>& left_base,
+                                      const std::vector<int64_t>& node_totals,
+                                      std::optional<double> boundary_value,
+                                      int64_t total) {
+  int64_t l0 = left_base[0];
+  int64_t l1 = left_base[1];
+  const int64_t n0 = node_totals[0];
+  const int64_t n1 = node_totals[1];
+  const double total_d = static_cast<double>(total);
+  bool has_best = false;
+  double best_impurity = 0.0;
+  double best_value = 0.0;
+  auto consider = [&](double value) {
+    const int64_t left_total = l0 + l1;
+    const int64_t right_total = total - left_total;
+    if (right_total <= 0 || left_total <= 0) return;
+    const double lc0 = static_cast<double>(l0);
+    const double lc1 = static_cast<double>(l1);
+    const double ls = static_cast<double>(left_total);
+    const double left_g = (ls - (lc0 * lc0 + lc1 * lc1) / ls) / total_d;
+    const double rc0 = static_cast<double>(n0 - l0);
+    const double rc1 = static_cast<double>(n1 - l1);
+    const double rs = static_cast<double>(right_total);
+    const double right_g = (rs - (rc0 * rc0 + rc1 * rc1) / rs) / total_d;
+    const double impurity = left_g + right_g;
+    if (!has_best || impurity < best_impurity ||
+        (impurity == best_impurity && value < best_value)) {
+      has_best = true;
+      best_impurity = impurity;
+      best_value = value;
+    }
+  };
+
+  if (boundary_value.has_value()) {
+    consider(*boundary_value);
+  }
+  for (int64_t i = 0; i < avc.num_values(); ++i) {
+    const int64_t* row = avc.counts(i);
+    l0 += row[0];
+    l1 += row[1];
+    consider(avc.value(i));
+  }
+  if (!has_best) return std::nullopt;
+  return Split::Numerical(attr, best_value, best_impurity);
+}
+
+}  // namespace
+
 std::optional<Split> BestNumericSplitRange(
     const NumericAvc& avc, int attr, const ImpurityFunction& imp,
     const std::vector<int64_t>& left_base,
@@ -17,20 +74,39 @@ std::optional<Split> BestNumericSplitRange(
 
   std::vector<int64_t> left = left_base;
   std::vector<int64_t> right(k);
+  int64_t left_total = 0;
+  for (const int64_t c : left) left_total += c;
 
-  std::optional<Split> best;
+  // Scalar best tracking keeps the scan free of per-candidate Split
+  // construction. Within one numeric attribute BetterSplit's order is lower
+  // impurity first, ties to the smaller split value — and the scan visits
+  // values in ascending order, so the comparison below reproduces it
+  // exactly.
+  //
+  // Gini gets a devirtualized candidate evaluation: the scan pays one Eval
+  // per distinct attribute value, and for the default impurity that call is
+  // the hot path of every tree builder. GiniEval is the same inline function
+  // GiniImpurity::Eval delegates to, so the two dispatches are bit-identical.
+  const bool is_gini = dynamic_cast<const GiniImpurity*>(&imp) != nullptr;
+  if (is_gini && k == 2) {
+    return ScanGiniTwoClass(avc, attr, left_base, node_totals, boundary_value,
+                            total);
+  }
+  bool has_best = false;
+  double best_impurity = 0.0;
+  double best_value = 0.0;
   auto consider = [&](double value) {
-    int64_t left_total = 0;
-    for (int c = 0; c < k; ++c) {
-      right[c] = node_totals[c] - left[c];
-      left_total += left[c];
-    }
     const int64_t right_total = total - left_total;
     if (right_total <= 0 || left_total <= 0) return;
-    const double impurity = imp.Eval(left.data(), right.data(), k, total);
-    Split candidate = Split::Numerical(attr, value, impurity);
-    if (!best.has_value() || BetterSplit(candidate, *best)) {
-      best = std::move(candidate);
+    for (int c = 0; c < k; ++c) right[c] = node_totals[c] - left[c];
+    const double impurity = is_gini
+                                ? GiniEval(left.data(), right.data(), k, total)
+                                : imp.Eval(left.data(), right.data(), k, total);
+    if (!has_best || impurity < best_impurity ||
+        (impurity == best_impurity && value < best_value)) {
+      has_best = true;
+      best_impurity = impurity;
+      best_value = value;
     }
   };
 
@@ -39,10 +115,14 @@ std::optional<Split> BestNumericSplitRange(
   }
   for (int64_t i = 0; i < avc.num_values(); ++i) {
     const int64_t* row = avc.counts(i);
-    for (int c = 0; c < k; ++c) left[c] += row[c];
+    for (int c = 0; c < k; ++c) {
+      left[c] += row[c];
+      left_total += row[c];
+    }
     consider(avc.value(i));
   }
-  return best;
+  if (!has_best) return std::nullopt;
+  return Split::Numerical(attr, best_value, best_impurity);
 }
 
 std::optional<Split> BestNumericSplit(const NumericAvc& avc, int attr,

@@ -39,6 +39,18 @@ std::vector<Tuple> SampleWithReplacement(const std::vector<Tuple>& population,
   return out;
 }
 
+std::vector<uint32_t> SampleIndicesWithReplacement(size_t population_size,
+                                                   size_t n, Rng* rng) {
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  if (population_size == 0) return out;
+  const int64_t hi = static_cast<int64_t>(population_size) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<uint32_t>(rng->UniformInt(0, hi)));
+  }
+  return out;
+}
+
 std::vector<Tuple> SampleWithoutReplacement(
     const std::vector<Tuple>& population, size_t n, Rng* rng) {
   if (n > population.size()) {

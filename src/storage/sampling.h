@@ -29,6 +29,15 @@ Result<std::vector<Tuple>> ReservoirSample(TupleSource* source,
 std::vector<Tuple> SampleWithReplacement(const std::vector<Tuple>& population,
                                          size_t n, Rng* rng);
 
+/// \brief Index form of SampleWithReplacement: draws `n` row indices
+/// uniformly with replacement from [0, population_size). Consumes the
+/// identical rng stream as SampleWithReplacement over a population of the
+/// same size, so the two describe the same resample — the columnar bootstrap
+/// phase uses the indices as per-row weights over a shared master dataset
+/// instead of copying tuples.
+std::vector<uint32_t> SampleIndicesWithReplacement(size_t population_size,
+                                                   size_t n, Rng* rng);
+
 /// \brief Draws `n` distinct indices' tuples uniformly without replacement
 /// from `population` (partial Fisher-Yates). Requires n <= population size.
 std::vector<Tuple> SampleWithoutReplacement(

@@ -77,11 +77,19 @@ class TableReader {
  private:
   TableReader(std::FILE* file, Schema schema, uint64_t num_rows);
 
+  /// Refills the record block from the file; returns false at end of table.
+  bool FillBlock();
+
   std::FILE* file_;
   Schema schema_;
   uint64_t num_rows_;
   uint64_t cursor_ = 0;
-  std::vector<char> decode_buf_;
+  // Records are decoded out of a block buffer holding a whole-record
+  // multiple of bytes, refilled by one fread per block instead of one per
+  // record. IoStats still count one logical record read per Next().
+  std::vector<char> block_;
+  size_t block_pos_ = 0;
+  size_t block_len_ = 0;
 };
 
 /// \brief Convenience: writes `tuples` to `path` as a table file.

@@ -1,0 +1,75 @@
+#include "tree/column_dataset.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.h"
+
+namespace boat {
+
+ColumnDataset::ColumnDataset(const Schema& schema) : schema_(&schema) {
+  const int m = schema.num_attributes();
+  numeric_cols_.resize(m);
+  categorical_cols_.resize(m);
+  sorted_.resize(m);
+}
+
+ColumnDataset::ColumnDataset(const Schema& schema,
+                             const std::vector<Tuple>& tuples)
+    : ColumnDataset(schema) {
+  Reserve(static_cast<int64_t>(tuples.size()));
+  for (const Tuple& t : tuples) Append(t);
+  Seal();
+}
+
+void ColumnDataset::Reserve(int64_t rows) {
+  const size_t n = static_cast<size_t>(rows);
+  for (int i = 0; i < schema_->num_attributes(); ++i) {
+    if (schema_->IsNumerical(i)) {
+      numeric_cols_[i].reserve(n);
+    } else {
+      categorical_cols_[i].reserve(n);
+    }
+  }
+  labels_.reserve(n);
+}
+
+void ColumnDataset::Append(const Tuple& tuple) {
+  if (sealed_) FatalError("ColumnDataset::Append after Seal");
+  for (int i = 0; i < schema_->num_attributes(); ++i) {
+    if (schema_->IsNumerical(i)) {
+      numeric_cols_[i].push_back(tuple.value(i));
+    } else {
+      categorical_cols_[i].push_back(tuple.category(i));
+    }
+  }
+  labels_.push_back(tuple.label());
+}
+
+void ColumnDataset::Seal() {
+  if (sealed_) return;
+  sealed_ = true;
+  const uint32_t n = static_cast<uint32_t>(labels_.size());
+  // Sorting (value, row) pairs keeps every comparison's operands adjacent in
+  // memory; sorting bare indices with a col[a] < col[b] comparator incurs
+  // two dependent cache misses per comparison instead.
+  std::vector<std::pair<double, uint32_t>> keyed;
+  for (int attr = 0; attr < schema_->num_attributes(); ++attr) {
+    if (!schema_->IsNumerical(attr)) continue;
+    const double* col = numeric_cols_[attr].data();
+    keyed.resize(n);
+    for (uint32_t r = 0; r < n; ++r) keyed[r] = {col[r], r};
+    // Ascending value, ties by row id — a stable, deterministic order.
+    std::sort(keyed.begin(), keyed.end());
+    std::vector<uint32_t>& order = sorted_[attr];
+    order.resize(n);
+    for (uint32_t i = 0; i < n; ++i) order[i] = keyed[i].second;
+  }
+}
+
+const std::vector<uint32_t>& ColumnDataset::sorted_order(int attr) const {
+  if (!sealed_) FatalError("ColumnDataset::sorted_order before Seal");
+  return sorted_[attr];
+}
+
+}  // namespace boat

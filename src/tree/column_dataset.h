@@ -1,0 +1,78 @@
+// ColumnDataset: a structure-of-arrays materialization of a node family for
+// the columnar growth engine.
+//
+// The in-memory reference builder historically re-staged and re-sorted every
+// numeric attribute at every node. A ColumnDataset instead holds each
+// attribute as one contiguous column (double for numerical, int32 for
+// categorical) plus a label array, and — once Seal() is called — one sorted
+// index permutation per numeric attribute, computed exactly once. Tree
+// growth then operates on [begin, end) ranges of these permutations,
+// partitioning them stably in place at each split, so numeric AVC-sets are
+// built by a single linear walk in presorted order with zero per-node
+// sorting, and categorical AVC-sets by a dense counting pass.
+
+#ifndef BOAT_TREE_COLUMN_DATASET_H_
+#define BOAT_TREE_COLUMN_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace boat {
+
+/// \brief Columnar (SoA) training-set container. Append rows, then Seal()
+/// once to compute the per-numeric-attribute sort permutations; after Seal
+/// the dataset is immutable and safe to share read-only across threads (the
+/// bootstrap phase grows all b+1 trees over one sealed master dataset).
+class ColumnDataset {
+ public:
+  /// \param schema must outlive the dataset.
+  explicit ColumnDataset(const Schema& schema);
+
+  /// \brief Convenience: materialize and Seal() in one step.
+  ColumnDataset(const Schema& schema, const std::vector<Tuple>& tuples);
+
+  void Reserve(int64_t rows);
+
+  /// \brief Appends one row; only valid before Seal().
+  void Append(const Tuple& tuple);
+
+  /// \brief Sorts each numeric column's index permutation (ascending value,
+  /// ties by row id — a stable order). Idempotent.
+  void Seal();
+  bool sealed() const { return sealed_; }
+
+  const Schema& schema() const { return *schema_; }
+  int64_t num_rows() const { return static_cast<int64_t>(labels_.size()); }
+
+  double numeric(int attr, uint32_t row) const {
+    return numeric_cols_[attr][row];
+  }
+  int32_t category(int attr, uint32_t row) const {
+    return categorical_cols_[attr][row];
+  }
+  int32_t label(uint32_t row) const { return labels_[row]; }
+
+  const std::vector<double>& numeric_column(int attr) const {
+    return numeric_cols_[attr];
+  }
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  /// \brief Row ids sorted by the numeric attribute's value (requires
+  /// Seal()). Empty for categorical attributes.
+  const std::vector<uint32_t>& sorted_order(int attr) const;
+
+ private:
+  const Schema* schema_;
+  bool sealed_ = false;
+  std::vector<std::vector<double>> numeric_cols_;    // per attr ([] for cat)
+  std::vector<std::vector<int32_t>> categorical_cols_;  // per attr
+  std::vector<int32_t> labels_;
+  std::vector<std::vector<uint32_t>> sorted_;  // per numeric attr, by Seal()
+};
+
+}  // namespace boat
+
+#endif  // BOAT_TREE_COLUMN_DATASET_H_

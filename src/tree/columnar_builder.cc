@@ -1,0 +1,266 @@
+#include "tree/columnar_builder.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace boat {
+
+namespace {
+
+/// One tree growth over index ranges of a sealed ColumnDataset. Each numeric
+/// attribute gets a private SPRINT-style attribute list — (value, row, label)
+/// entries in ascending value order, copied once from the dataset's master
+/// sort — plus one row-id array in original order for categorical counting.
+/// A split stably partitions each array's [begin, end) range in place, so
+/// children are contiguous subranges, the root-time sort is never repeated,
+/// and every per-node AVC fill is a single sequential pass.
+class ColumnarGrowth {
+ public:
+  ColumnarGrowth(const ColumnDataset& data, const SplitSelector& selector,
+                 const GrowthLimits& limits, const int32_t* weights)
+      : data_(data),
+        selector_(selector),
+        limits_(limits),
+        weights_(weights),
+        schema_(data.schema()) {
+    if (!data.sealed()) FatalError("ColumnarGrowth over unsealed dataset");
+    const uint32_t n = static_cast<uint32_t>(data.num_rows());
+    rows_.reserve(n);
+    for (uint32_t r = 0; r < n; ++r) {
+      if (Weight(r) > 0) rows_.push_back(r);
+    }
+    lists_.resize(schema_.num_attributes());
+    for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+      if (!schema_.IsNumerical(attr)) continue;
+      const double* col = data.numeric_column(attr).data();
+      std::vector<AttrEntry>& list = lists_[attr];
+      list.reserve(rows_.size());
+      for (const uint32_t r : data.sorted_order(attr)) {
+        if (Weight(r) > 0) list.push_back({col[r], r, data.label(r)});
+      }
+    }
+    go_left_.resize(n);
+    row_scratch_.reserve(rows_.size());
+    list_scratch_.reserve(rows_.size());
+  }
+
+  /// Number of live (positive-weight) rows across the whole dataset.
+  size_t num_live_rows() const { return rows_.size(); }
+
+  /// Per-class counts of the whole live row set — the root's counts.
+  std::vector<int64_t> RootCounts() const {
+    std::vector<int64_t> counts(schema_.num_classes(), 0);
+    for (const uint32_t r : rows_) counts[data_.label(r)] += Weight(r);
+    return counts;
+  }
+
+  /// `counts` is the range's per-class weight totals, computed by the parent
+  /// from its AVC-set (ChildCounts*) — the engine never rescans a family
+  /// just to count it.
+  std::unique_ptr<TreeNode> Build(size_t begin, size_t end, int depth,
+                                  std::vector<int64_t> counts) {
+    int64_t total = 0;
+    for (const int64_t c : counts) total += c;
+
+    const bool at_depth_limit = depth >= limits_.max_depth;
+    const bool too_small = total < limits_.min_tuples_to_split;
+    const bool below_stop_threshold =
+        limits_.stop_family_size > 0 && total <= limits_.stop_family_size;
+    int populated_classes = 0;
+    for (const int64_t c : counts) {
+      if (c > 0) ++populated_classes;
+    }
+    // A pure family needs no AVC-group: no split selector would divide it.
+    if (at_depth_limit || too_small || below_stop_threshold ||
+        populated_classes <= 1) {
+      return TreeNode::Leaf(std::move(counts));
+    }
+
+    AvcGroup avc(schema_);
+    FillAvcGroup(begin, end, counts, &avc);
+    std::optional<Split> split = selector_.ChooseSplit(avc);
+    if (!split.has_value()) return TreeNode::Leaf(std::move(counts));
+
+    auto [left_counts, right_counts] =
+        split->is_numerical
+            ? ChildCountsNumeric(avc.numeric(split->attribute), *split)
+            : ChildCountsCategorical(avc.categorical(split->attribute),
+                                     *split);
+
+    const size_t left_rows = MarkSides(*split, begin, end);
+    PartitionRows(begin, end);
+    for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+      if (schema_.IsNumerical(attr)) PartitionList(&lists_[attr], begin, end);
+    }
+
+    auto left = Build(begin, begin + left_rows, depth + 1,
+                      std::move(left_counts));
+    auto right = Build(begin + left_rows, end, depth + 1,
+                       std::move(right_counts));
+    return TreeNode::Internal(*std::move(split), std::move(counts),
+                              std::move(left), std::move(right));
+  }
+
+ private:
+  /// One row of a numeric attribute list: the SoA column value plus the
+  /// row's id and label, kept adjacent so the AVC fill never leaves the
+  /// cache line it is streaming.
+  struct AttrEntry {
+    double value;
+    uint32_t row;
+    int32_t label;
+  };
+
+  int64_t Weight(uint32_t row) const {
+    return weights_ == nullptr ? 1 : weights_[row];
+  }
+
+  void FillAvcGroup(size_t begin, size_t end,
+                    const std::vector<int64_t>& counts, AvcGroup* avc) {
+    const size_t k = static_cast<size_t>(schema_.num_classes());
+    for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+      if (schema_.IsNumerical(attr)) {
+        // One streaming pass over the presorted list aggregates the whole
+        // AVC-set; values_/counts_ come out exactly as a staged sort-and-
+        // merge Finalize would produce them.
+        std::vector<double> values;
+        std::vector<int64_t> cell_counts;
+        values.reserve(end - begin);  // distinct values <= range size
+        cell_counts.reserve((end - begin) * k);
+        const std::vector<AttrEntry>& list = lists_[attr];
+        for (size_t i = begin; i < end; ++i) {
+          const AttrEntry& e = list[i];
+          if (values.empty() || e.value != values.back()) {
+            values.push_back(e.value);
+            cell_counts.resize(cell_counts.size() + k, 0);
+          }
+          cell_counts[cell_counts.size() - k + static_cast<size_t>(e.label)] +=
+              Weight(e.row);
+        }
+        avc->mutable_numeric(attr)->InstallSorted(std::move(values),
+                                                  std::move(cell_counts));
+      } else {
+        CategoricalAvc* cat = avc->mutable_categorical(attr);
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t r = rows_[i];
+          cat->Add(data_.category(attr, r), data_.label(r), Weight(r));
+        }
+      }
+    }
+    for (int32_t c = 0; c < static_cast<int32_t>(counts.size()); ++c) {
+      if (counts[c] != 0) avc->AddToClassTotals(c, counts[c]);
+    }
+  }
+
+  /// Flags every row of the range with its side under `split` and returns
+  /// the number of left-bound rows (positions, not weights).
+  size_t MarkSides(const Split& split, size_t begin, size_t end) {
+    size_t left_rows = 0;
+    if (split.is_numerical) {
+      const double* col = data_.numeric_column(split.attribute).data();
+      for (size_t i = begin; i < end; ++i) {
+        const uint32_t r = rows_[i];
+        const bool left = col[r] <= split.value;
+        go_left_[r] = left;
+        left_rows += left;
+      }
+    } else {
+      const int32_t card = schema_.attribute(split.attribute).cardinality;
+      in_subset_.assign(static_cast<size_t>(card), 0);
+      for (const int32_t c : split.subset) in_subset_[c] = 1;
+      for (size_t i = begin; i < end; ++i) {
+        const uint32_t r = rows_[i];
+        const bool left = in_subset_[data_.category(split.attribute, r)];
+        go_left_[r] = left;
+        left_rows += left;
+      }
+    }
+    return left_rows;
+  }
+
+  // Stable in-place partition of an array's [begin, end) range: left rows
+  // keep their relative order at the front, right rows at the back.
+  // Stability keeps every array of the node aligned on the same row set.
+
+  void PartitionRows(size_t begin, size_t end) {
+    row_scratch_.clear();
+    size_t out = begin;
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t r = rows_[i];
+      if (go_left_[r]) {
+        rows_[out++] = r;
+      } else {
+        row_scratch_.push_back(r);
+      }
+    }
+    std::copy(row_scratch_.begin(), row_scratch_.end(), rows_.begin() + out);
+  }
+
+  void PartitionList(std::vector<AttrEntry>* list, size_t begin, size_t end) {
+    std::vector<AttrEntry>& a = *list;
+    list_scratch_.clear();
+    size_t out = begin;
+    for (size_t i = begin; i < end; ++i) {
+      const AttrEntry e = a[i];
+      if (go_left_[e.row]) {
+        a[out++] = e;
+      } else {
+        list_scratch_.push_back(e);
+      }
+    }
+    std::copy(list_scratch_.begin(), list_scratch_.end(), a.begin() + out);
+  }
+
+  const ColumnDataset& data_;
+  const SplitSelector& selector_;
+  GrowthLimits limits_;
+  const int32_t* weights_;
+  const Schema& schema_;
+
+  std::vector<uint32_t> rows_;  // original-order row ids, node-partitioned
+  std::vector<std::vector<AttrEntry>> lists_;  // per numeric attr, sorted
+  std::vector<uint8_t> go_left_;   // per row id: side under the current split
+  std::vector<uint32_t> row_scratch_;     // right-side buffer, PartitionRows
+  std::vector<AttrEntry> list_scratch_;   // right-side buffer, PartitionList
+  std::vector<uint8_t> in_subset_;  // categorical subset membership scratch
+};
+
+}  // namespace
+
+std::unique_ptr<TreeNode> BuildSubtreeColumnar(const ColumnDataset& data,
+                                               const SplitSelector& selector,
+                                               const GrowthLimits& limits,
+                                               int depth) {
+  ColumnarGrowth growth(data, selector, limits, /*weights=*/nullptr);
+  return growth.Build(0, static_cast<size_t>(data.num_rows()), depth,
+                      growth.RootCounts());
+}
+
+std::unique_ptr<TreeNode> BuildSubtreeColumnarWeighted(
+    const ColumnDataset& data, const std::vector<int32_t>& weights,
+    const SplitSelector& selector, const GrowthLimits& limits, int depth) {
+  if (static_cast<int64_t>(weights.size()) != data.num_rows()) {
+    FatalError("BuildSubtreeColumnarWeighted: weights/rows size mismatch");
+  }
+  ColumnarGrowth growth(data, selector, limits, weights.data());
+  return growth.Build(0, growth.num_live_rows(), depth, growth.RootCounts());
+}
+
+DecisionTree BuildTreeColumnar(const ColumnDataset& data,
+                               const SplitSelector& selector,
+                               const GrowthLimits& limits) {
+  return DecisionTree(data.schema(),
+                      BuildSubtreeColumnar(data, selector, limits, 0));
+}
+
+DecisionTree BuildTreeColumnarWeighted(const ColumnDataset& data,
+                                       const std::vector<int32_t>& weights,
+                                       const SplitSelector& selector,
+                                       const GrowthLimits& limits) {
+  return DecisionTree(data.schema(),
+                      BuildSubtreeColumnarWeighted(data, weights, selector,
+                                                   limits, 0));
+}
+
+}  // namespace boat

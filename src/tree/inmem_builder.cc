@@ -1,12 +1,25 @@
 #include "tree/inmem_builder.h"
 
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#include "tree/column_dataset.h"
+#include "tree/columnar_builder.h"
+
 namespace boat {
 
-std::unique_ptr<TreeNode> BuildSubtreeInMemory(const Schema& schema,
-                                               std::vector<Tuple> tuples,
-                                               const SplitSelector& selector,
-                                               const GrowthLimits& limits,
-                                               int depth) {
+bool GrowthEngineIsColumnar() {
+  static const bool columnar = [] {
+    const char* engine = std::getenv("BOAT_GROWTH_ENGINE");
+    return engine == nullptr || std::strcmp(engine, "rows") != 0;
+  }();
+  return columnar;
+}
+
+std::unique_ptr<TreeNode> BuildSubtreeInMemoryRows(
+    const Schema& schema, std::vector<Tuple> tuples,
+    const SplitSelector& selector, const GrowthLimits& limits, int depth) {
   std::vector<int64_t> counts(schema.num_classes(), 0);
   for (const Tuple& t : tuples) ++counts[t.label()];
   const int64_t total = static_cast<int64_t>(tuples.size());
@@ -29,21 +42,53 @@ std::unique_ptr<TreeNode> BuildSubtreeInMemory(const Schema& schema,
   std::optional<Split> split = selector.ChooseSplit(avc);
   if (!split.has_value()) return TreeNode::Leaf(std::move(counts));
 
+  // The chosen split's AVC-set already knows both child sizes; reserve
+  // exactly instead of growing the child vectors geometrically.
+  const auto [left_counts, right_counts] =
+      split->is_numerical
+          ? ChildCountsNumeric(avc.numeric(split->attribute), *split)
+          : ChildCountsCategorical(avc.categorical(split->attribute), *split);
   std::vector<Tuple> left_tuples;
   std::vector<Tuple> right_tuples;
+  left_tuples.reserve(static_cast<size_t>(
+      std::accumulate(left_counts.begin(), left_counts.end(), int64_t{0})));
+  right_tuples.reserve(static_cast<size_t>(
+      std::accumulate(right_counts.begin(), right_counts.end(), int64_t{0})));
   for (Tuple& t : tuples) {
     (split->SendLeft(t) ? left_tuples : right_tuples)
         .push_back(std::move(t));
   }
-  tuples.clear();
-  tuples.shrink_to_fit();
 
-  auto left = BuildSubtreeInMemory(schema, std::move(left_tuples), selector,
-                                   limits, depth + 1);
-  auto right = BuildSubtreeInMemory(schema, std::move(right_tuples), selector,
-                                    limits, depth + 1);
+  auto left = BuildSubtreeInMemoryRows(schema, std::move(left_tuples),
+                                       selector, limits, depth + 1);
+  auto right = BuildSubtreeInMemoryRows(schema, std::move(right_tuples),
+                                        selector, limits, depth + 1);
   return TreeNode::Internal(*std::move(split), std::move(counts),
                             std::move(left), std::move(right));
+}
+
+DecisionTree BuildTreeInMemoryRows(const Schema& schema,
+                                   std::vector<Tuple> tuples,
+                                   const SplitSelector& selector,
+                                   const GrowthLimits& limits) {
+  auto root =
+      BuildSubtreeInMemoryRows(schema, std::move(tuples), selector, limits, 0);
+  return DecisionTree(schema, std::move(root));
+}
+
+std::unique_ptr<TreeNode> BuildSubtreeInMemory(const Schema& schema,
+                                               std::vector<Tuple> tuples,
+                                               const SplitSelector& selector,
+                                               const GrowthLimits& limits,
+                                               int depth) {
+  if (!GrowthEngineIsColumnar()) {
+    return BuildSubtreeInMemoryRows(schema, std::move(tuples), selector,
+                                    limits, depth);
+  }
+  ColumnDataset data(schema, tuples);
+  tuples.clear();
+  tuples.shrink_to_fit();
+  return BuildSubtreeColumnar(data, selector, limits, depth);
 }
 
 DecisionTree BuildTreeInMemory(const Schema& schema, std::vector<Tuple> tuples,

@@ -1,6 +1,16 @@
 // The traditional main-memory greedy top-down tree builder (Figure 1 of the
 // paper). This is the reference algorithm: BOAT and RainForest are required
 // to produce exactly the tree this builder produces on the same data.
+//
+// Two engines implement it, guaranteed byte-identical
+// (tests/columnar_equivalence_test.cpp):
+//   * the columnar engine (tree/columnar_builder.h): one root-time sort per
+//     numeric attribute, AVC-sets from linear walks over presorted index
+//     ranges, stable in-place partitions, no per-node allocations — the
+//     default;
+//   * the legacy row-at-a-time engine (...Rows below): re-sorts every
+//     numeric attribute at every node; retained for differential testing
+//     and selectable at runtime with BOAT_GROWTH_ENGINE=rows.
 
 #ifndef BOAT_TREE_INMEM_BUILDER_H_
 #define BOAT_TREE_INMEM_BUILDER_H_
@@ -12,9 +22,15 @@
 
 namespace boat {
 
+/// \brief Whether in-memory growth routes through the columnar engine (the
+/// default) or the legacy row engine (BOAT_GROWTH_ENGINE=rows). Read once
+/// per process.
+bool GrowthEngineIsColumnar();
+
 /// \brief Grows a subtree from an in-memory family by greedy top-down
 /// induction. `depth` is the depth of this subtree's root in the full tree
-/// (for the max_depth limit). Consumes `tuples`.
+/// (for the max_depth limit). Consumes `tuples`. Dispatches to the engine
+/// selected by GrowthEngineIsColumnar().
 std::unique_ptr<TreeNode> BuildSubtreeInMemory(const Schema& schema,
                                                std::vector<Tuple> tuples,
                                                const SplitSelector& selector,
@@ -25,6 +41,20 @@ std::unique_ptr<TreeNode> BuildSubtreeInMemory(const Schema& schema,
 DecisionTree BuildTreeInMemory(const Schema& schema, std::vector<Tuple> tuples,
                                const SplitSelector& selector,
                                const GrowthLimits& limits = GrowthLimits());
+
+/// \brief The legacy row-at-a-time engine, kept for differential testing
+/// against the columnar engine (and as the BOAT_GROWTH_ENGINE=rows
+/// fallback).
+std::unique_ptr<TreeNode> BuildSubtreeInMemoryRows(
+    const Schema& schema, std::vector<Tuple> tuples,
+    const SplitSelector& selector, const GrowthLimits& limits, int depth);
+
+/// \brief Full-tree entry point of the legacy row engine.
+DecisionTree BuildTreeInMemoryRows(const Schema& schema,
+                                   std::vector<Tuple> tuples,
+                                   const SplitSelector& selector,
+                                   const GrowthLimits& limits =
+                                       GrowthLimits());
 
 }  // namespace boat
 

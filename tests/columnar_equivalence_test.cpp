@@ -1,0 +1,201 @@
+// The columnar growth engine's contract: byte-identical trees to the legacy
+// row-at-a-time reference builder, for every selector, schema shape and
+// value distribution — including the weighted (bootstrap resample) variant
+// against a materialized multiset, and the full BOAT pipeline at several
+// thread counts with the columnar engine as the default.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "boat/builder.h"
+#include "common/rng.h"
+#include "datagen/agrawal.h"
+#include "split/quest.h"
+#include "tree/columnar_builder.h"
+#include "tree/inmem_builder.h"
+#include "tree/serialize.h"
+
+namespace boat {
+namespace {
+
+std::unique_ptr<SplitSelector> MakeSelector(const std::string& name) {
+  if (name == "quest") return std::make_unique<QuestSelector>();
+  return std::make_unique<ImpuritySplitSelector>(MakeImpurity(name));
+}
+
+GrowthLimits TestLimits() {
+  GrowthLimits limits;
+  limits.max_depth = 24;
+  limits.stop_family_size = 50;
+  return limits;
+}
+
+// Byte-compares the legacy row build against the columnar build on the same
+// tuples, for every selector the repo ships.
+void ExpectEnginesAgree(const Schema& schema,
+                        const std::vector<Tuple>& tuples) {
+  const GrowthLimits limits = TestLimits();
+  for (const char* name : {"gini", "entropy", "quest"}) {
+    std::unique_ptr<SplitSelector> selector = MakeSelector(name);
+    const DecisionTree rows =
+        BuildTreeInMemoryRows(schema, tuples, *selector, limits);
+    const ColumnDataset data(schema, tuples);
+    const DecisionTree columnar = BuildTreeColumnar(data, *selector, limits);
+    EXPECT_EQ(SerializeTree(columnar), SerializeTree(rows))
+        << "selector=" << name;
+  }
+}
+
+TEST(ColumnarEquivalenceTest, AgrawalMixedSchema) {
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 20260801;
+  ExpectEnginesAgree(MakeAgrawalSchema(), GenerateAgrawal(config, 6000));
+}
+
+TEST(ColumnarEquivalenceTest, AgrawalCategoricalFunctionWithNoise) {
+  AgrawalConfig config;
+  config.function = 7;
+  config.noise = 0.05;
+  config.seed = 20260802;
+  ExpectEnginesAgree(MakeAgrawalSchema(), GenerateAgrawal(config, 6000));
+}
+
+TEST(ColumnarEquivalenceTest, DuplicateHeavyValues) {
+  // Few distinct values per numeric column: every AVC row merges many
+  // observations, and the root sort is dominated by ties (broken by row id).
+  const Schema schema({Attribute::Numerical("a"), Attribute::Numerical("b"),
+                       Attribute::Categorical("c", 3)},
+                      /*num_classes=*/3);
+  Rng rng(42);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 4000; ++i) {
+    const double a = static_cast<double>(rng.UniformInt(0, 4));
+    const double b = static_cast<double>(rng.UniformInt(0, 1));
+    const double c = static_cast<double>(rng.UniformInt(0, 2));
+    const int32_t label =
+        static_cast<int32_t>((static_cast<int64_t>(a) + static_cast<int64_t>(c) +
+                              rng.UniformInt(0, 1)) %
+                             3);
+    tuples.emplace_back(std::vector<double>{a, b, c}, label);
+  }
+  ExpectEnginesAgree(schema, tuples);
+}
+
+TEST(ColumnarEquivalenceTest, SingleNumericAttribute) {
+  const Schema schema({Attribute::Numerical("x")}, /*num_classes=*/2);
+  Rng rng(7);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.UniformDouble(0.0, 100.0);
+    const int32_t label = (x > 42.0) == (rng.UniformInt(0, 9) > 0) ? 1 : 0;
+    tuples.emplace_back(std::vector<double>{x}, label);
+  }
+  ExpectEnginesAgree(schema, tuples);
+}
+
+TEST(ColumnarEquivalenceTest, SingleCategoricalAttribute) {
+  const Schema schema({Attribute::Categorical("c", 8)}, /*num_classes=*/2);
+  Rng rng(11);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t c = rng.UniformInt(0, 7);
+    const int32_t label = (c < 3) == (rng.UniformInt(0, 9) > 0) ? 1 : 0;
+    tuples.emplace_back(std::vector<double>{static_cast<double>(c)}, label);
+  }
+  ExpectEnginesAgree(schema, tuples);
+}
+
+TEST(ColumnarEquivalenceTest, AllCategoricalSchema) {
+  // No numeric attribute at all: the engine must not touch any sort order.
+  const Schema schema({Attribute::Categorical("a", 4),
+                       Attribute::Categorical("b", 6),
+                       Attribute::Categorical("c", 2)},
+                      /*num_classes=*/3);
+  Rng rng(13);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 4000; ++i) {
+    const double a = static_cast<double>(rng.UniformInt(0, 3));
+    const double b = static_cast<double>(rng.UniformInt(0, 5));
+    const double c = static_cast<double>(rng.UniformInt(0, 1));
+    const int32_t label = static_cast<int32_t>(
+        (static_cast<int64_t>(a) + static_cast<int64_t>(b) +
+         rng.UniformInt(0, 2)) %
+        3);
+    tuples.emplace_back(std::vector<double>{a, b, c}, label);
+  }
+  ExpectEnginesAgree(schema, tuples);
+}
+
+TEST(ColumnarEquivalenceTest, WeightedBuildEqualsMaterializedMultiset) {
+  // A weight vector over the master dataset must grow the identical tree to
+  // physically repeating each row weight-many times — for every selector.
+  AgrawalConfig config;
+  config.function = 6;
+  config.seed = 20260803;
+  const Schema schema = MakeAgrawalSchema();
+  const std::vector<Tuple> base = GenerateAgrawal(config, 2000);
+
+  Rng rng(99);
+  std::vector<int32_t> weights(base.size());
+  std::vector<Tuple> multiset;
+  for (size_t i = 0; i < base.size(); ++i) {
+    weights[i] = static_cast<int32_t>(rng.UniformInt(0, 3));  // some zeros
+    for (int32_t w = 0; w < weights[i]; ++w) multiset.push_back(base[i]);
+  }
+
+  const GrowthLimits limits = TestLimits();
+  const ColumnDataset data(schema, base);
+  for (const char* name : {"gini", "entropy", "quest"}) {
+    std::unique_ptr<SplitSelector> selector = MakeSelector(name);
+    const DecisionTree weighted =
+        BuildTreeColumnarWeighted(data, weights, *selector, limits);
+    const DecisionTree expanded =
+        BuildTreeInMemoryRows(schema, multiset, *selector, limits);
+    EXPECT_EQ(SerializeTree(weighted), SerializeTree(expanded))
+        << "selector=" << name;
+  }
+}
+
+TEST(ColumnarEquivalenceTest, BoatPipelineMatchesRowReferenceAcrossThreads) {
+  // Full BOAT build with the columnar engine active (the default) at several
+  // thread counts: every run must serialize byte-identically to the tree the
+  // legacy row builder grows over the same data.
+  AgrawalConfig config;
+  config.function = 1;
+  config.seed = 20260804;
+  const Schema schema = MakeAgrawalSchema();
+  std::vector<Tuple> tuples = GenerateAgrawal(config, 24000);
+
+  GrowthLimits limits;
+  limits.max_depth = 24;
+  limits.stop_family_size = 400;
+  auto selector = MakeGiniSelector();
+  const DecisionTree reference =
+      BuildTreeInMemoryRows(schema, tuples, *selector, limits);
+  const std::string reference_bytes = SerializeTree(reference);
+  ASSERT_GT(reference.num_nodes(), 1u) << "vacuous case";
+
+  for (const int threads : {1, 2, 8}) {
+    BoatOptions options;
+    options.sample_size = 800;
+    options.bootstrap_count = 10;
+    options.bootstrap_subsample = 400;
+    options.inmem_threshold = 300;
+    options.store_memory_budget = 512;  // force spilling to temp segments
+    options.max_buckets_per_attr = 64;
+    options.seed = 7;
+    options.limits = limits;
+    options.num_threads = threads;
+    VectorSource source(schema, tuples);
+    auto tree = BuildTreeBoat(&source, *selector, options);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_EQ(SerializeTree(*tree), reference_bytes) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace boat

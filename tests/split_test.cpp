@@ -88,6 +88,60 @@ TEST(NumericAvcTest, WeightedDeleteDropsZeroRows) {
   EXPECT_EQ(avc.value(0), 2.0);
 }
 
+TEST(NumericAvcTest, FinalizeIsReopenableAndMergesRuns) {
+  // Add after Finalize re-opens the AVC; the next Finalize must merge the
+  // new staged run with the already-finalized run, not mix or drop either.
+  NumericAvc avc(2);
+  avc.Add(5.0, 0);
+  avc.Add(1.0, 1);
+  avc.Finalize();
+  avc.Add(3.0, 0);
+  avc.Add(5.0, 1);  // duplicates an already-finalized value
+  EXPECT_FALSE(avc.finalized());
+  avc.Finalize();
+  ASSERT_EQ(avc.num_values(), 3);
+  EXPECT_EQ(avc.value(0), 1.0);
+  EXPECT_EQ(avc.value(1), 3.0);
+  EXPECT_EQ(avc.value(2), 5.0);
+  EXPECT_EQ(avc.counts(2)[0], 1);
+  EXPECT_EQ(avc.counts(2)[1], 1);
+  EXPECT_EQ(avc.Totals(), (std::vector<int64_t>{2, 2}));
+}
+
+TEST(NumericAvcTest, ReadsBeforeFinalizeAbort) {
+  NumericAvc avc(2);
+  avc.Add(1.0, 0);
+  EXPECT_DEATH(avc.num_values(), "before Finalize");
+  EXPECT_DEATH(avc.Totals(), "before Finalize");
+  EXPECT_DEATH(avc.EntryCount(), "before Finalize");
+}
+
+TEST(NumericAvcTest, AddSortedMatchesStagedPath) {
+  NumericAvc staged(2);
+  NumericAvc sorted(2);
+  const double values[] = {1.0, 1.0, 2.5, 2.5, 2.5, 7.0};
+  const int32_t labels[] = {0, 1, 1, 1, 0, 0};
+  for (int i = 0; i < 6; ++i) staged.Add(values[i], labels[i]);
+  staged.Finalize();
+  for (int i = 0; i < 6; ++i) sorted.AddSorted(values[i], labels[i]);
+  ASSERT_EQ(sorted.num_values(), staged.num_values());
+  for (int64_t i = 0; i < staged.num_values(); ++i) {
+    EXPECT_EQ(sorted.value(i), staged.value(i));
+    EXPECT_EQ(sorted.counts(i)[0], staged.counts(i)[0]);
+    EXPECT_EQ(sorted.counts(i)[1], staged.counts(i)[1]);
+  }
+  EXPECT_EQ(sorted.Totals(), staged.Totals());
+}
+
+TEST(NumericAvcTest, AddSortedRejectsMisuse) {
+  NumericAvc pending(2);
+  pending.Add(2.0, 0);
+  EXPECT_DEATH(pending.AddSorted(3.0, 0), "staged Add observations pending");
+  NumericAvc descending(2);
+  descending.AddSorted(2.0, 0);
+  EXPECT_DEATH(descending.AddSorted(1.0, 0), "not in ascending order");
+}
+
 TEST(CategoricalAvcTest, CountsAndTotals) {
   CategoricalAvc avc(3, 2);
   avc.Add(0, 0);

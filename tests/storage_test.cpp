@@ -184,6 +184,39 @@ TEST_F(TableFileTest, WriterRejectsWrongArity) {
   ASSERT_TRUE((*writer)->Finish().ok());
 }
 
+TEST_F(TableFileTest, BlockedReadsSpanBlocksWithExactStats) {
+  // Enough rows that the reader's record block refills many times; record
+  // content, order and the per-record IoStats must be unchanged.
+  const Schema schema = TestSchema();
+  const std::vector<Tuple> tuples = TestTuples(10000);
+  const std::string path = temp_->NewPath("blocks");
+  ASSERT_TRUE(WriteTable(path, schema, tuples).ok());
+  ResetIoStats();
+  auto reader = TableReader::Open(path, schema);
+  ASSERT_TRUE(reader.ok());
+  Tuple t;
+  size_t i = 0;
+  while ((*reader)->Next(&t)) {
+    ASSERT_EQ(t, tuples[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, tuples.size());
+  IoStats stats = GetIoStats();
+  EXPECT_EQ(stats.tuples_read, tuples.size());
+  EXPECT_EQ(stats.bytes_read, tuples.size() * schema.RecordWidth());
+
+  // A mid-scan Reset discards buffered records and restarts from row 0.
+  ASSERT_TRUE((*reader)->Reset().ok());
+  for (int j = 0; j < 5; ++j) {
+    ASSERT_TRUE((*reader)->Next(&t));
+    EXPECT_EQ(t, tuples[static_cast<size_t>(j)]);
+  }
+  ASSERT_TRUE((*reader)->Reset().ok());
+  size_t second_pass = 0;
+  while ((*reader)->Next(&t)) ++second_pass;
+  EXPECT_EQ(second_pass, tuples.size());
+}
+
 TEST_F(TableFileTest, IoStatsCountScans) {
   const Schema schema = TestSchema();
   const std::string path = temp_->NewPath("iostats");
