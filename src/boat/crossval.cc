@@ -18,7 +18,7 @@ class FoldComplementSource : public TupleSource {
   FoldComplementSource(TupleSource* inner, int fold, int folds, uint64_t seed)
       : inner_(inner), fold_(fold), folds_(folds), seed_(seed) {}
 
-  bool Next(Tuple* tuple) override {
+  [[nodiscard]] bool Next(Tuple* tuple) override {
     while (inner_->Next(tuple)) {
       if (CrossValidationFold(*tuple, folds_, seed_) != fold_) return true;
     }
@@ -62,6 +62,7 @@ Result<BoatCrossValidationResult> BoatCrossValidate(
   BoatCrossValidationResult result;
 
   // ---- Scan 1: shared reservoir sample + per-fold counts ------------------
+  // determinism-lint: allow(root stream minted from caller-provided options.seed at the public entry point; all internal streams Split it)
   Rng rng(options.seed);
   uint64_t db_size = 0;
   // Sample enough that each fold-complement keeps ~sample_size tuples.

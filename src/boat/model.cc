@@ -121,6 +121,7 @@ Status DatasetArchive::Scan(
     BOAT_ASSIGN_OR_RETURN(auto reader, TableReader::Open(path, schema_));
     Tuple t;
     while (reader->Next(&t)) ++dead[TupleKeyBytes(t)];
+    BOAT_RETURN_NOT_OK(reader->status());
   }
   for (const std::string& path : segments_) {
     BOAT_ASSIGN_OR_RETURN(auto reader, TableReader::Open(path, schema_));
@@ -135,6 +136,7 @@ Status DatasetArchive::Scan(
       }
       fn(t);
     }
+    BOAT_RETURN_NOT_OK(reader->status());
   }
   return Status::OK();
 }

@@ -75,6 +75,10 @@ class ModelSerializer {
 
     std::ofstream manifest(dir + "/manifest.boatmodel");
     manifest << out;
+    // Flush before checking: without it a full-disk (ENOSPC) failure sits in
+    // the stream buffer, the check passes, and the destructor swallows the
+    // error — reporting OK for a truncated manifest.
+    manifest.flush();
     if (!manifest) return Status::IOError("cannot write model manifest");
     return Status::OK();
   }

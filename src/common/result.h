@@ -12,8 +12,12 @@ namespace boat {
 
 /// \brief Holds either a successfully computed value of type T or a Status
 /// describing why the computation failed.
+///
+/// [[nodiscard]] like Status: a dropped Result is a silently dropped error,
+/// and fails the build under -DBOAT_WERROR=ON. Use BOAT_IGNORE_STATUS to
+/// discard one deliberately.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

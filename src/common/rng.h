@@ -22,17 +22,21 @@ class Rng {
   /// Seeds the generator; the same seed always yields the same stream.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  // Draws are [[nodiscard]]: a dropped draw still advances the stream, which
+  // silently desynchronizes every consumer downstream of the drop — exactly
+  // the class of bug the determinism lint exists to prevent.
+
   /// \brief Next raw 64 random bits.
-  uint64_t Next();
+  [[nodiscard]] uint64_t Next();
 
   /// \brief Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
-  int64_t UniformInt(int64_t lo, int64_t hi);
+  [[nodiscard]] int64_t UniformInt(int64_t lo, int64_t hi);
 
   /// \brief Uniform double in [lo, hi).
-  double UniformDouble(double lo, double hi);
+  [[nodiscard]] double UniformDouble(double lo, double hi);
 
   /// \brief True with probability p (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  [[nodiscard]] bool Bernoulli(double p);
 
   /// \brief Derives an independent child generator; `stream_id` selects the
   /// child deterministically. Used to give each component its own stream.
@@ -42,7 +46,7 @@ class Rng {
   /// across platforms and independent of how calls interleave with other
   /// Split calls — the property the parallel growth phase relies on to seed
   /// one stream per bootstrap tree regardless of thread count.
-  Rng Split(uint64_t stream_id) const;
+  [[nodiscard]] Rng Split(uint64_t stream_id) const;
 
  private:
   uint64_t s_[4];

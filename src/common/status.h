@@ -27,7 +27,13 @@ enum class StatusCode {
 ///
 /// Cheap to copy in the OK case (no allocation). Follows the RocksDB/Arrow
 /// idiom: functions that can fail return Status; callers must check ok().
-class Status {
+///
+/// The class itself is [[nodiscard]]: any function returning Status (or
+/// Result<T>) must have its return value consumed — propagated with
+/// BOAT_RETURN_NOT_OK, checked with ok()/CheckOk, or explicitly dropped with
+/// BOAT_IGNORE_STATUS. Combined with -DBOAT_WERROR=ON (on in CI), a silently
+/// ignored error fails the build.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
@@ -88,6 +94,16 @@ void CheckOk(const Status& status);
   do {                                           \
     ::boat::Status _st = (expr);                 \
     if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Explicitly discards a Status (or Result) where failure is acceptable —
+/// e.g. best-effort cleanup of a temp file that may already be gone. Using
+/// the macro (rather than a bare call or a void cast) documents at the call
+/// site that ignoring the error is intentional, and makes every such site
+/// greppable.
+#define BOAT_IGNORE_STATUS(expr)                 \
+  do {                                           \
+    [[maybe_unused]] auto _ignored_st = (expr);  \
   } while (0)
 
 #endif  // BOAT_COMMON_STATUS_H_

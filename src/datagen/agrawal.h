@@ -75,7 +75,7 @@ class AgrawalGenerator : public TupleSource {
  public:
   AgrawalGenerator(AgrawalConfig config, uint64_t num_rows);
 
-  bool Next(Tuple* tuple) override;
+  [[nodiscard]] bool Next(Tuple* tuple) override;
   Status Reset() override;
   const Schema& schema() const override { return schema_; }
 

@@ -43,7 +43,7 @@ class HyperplaneGenerator : public TupleSource {
  public:
   HyperplaneGenerator(HyperplaneConfig config, uint64_t num_rows);
 
-  bool Next(Tuple* tuple) override;
+  [[nodiscard]] bool Next(Tuple* tuple) override;
   Status Reset() override;
   const Schema& schema() const override { return schema_; }
 
@@ -77,7 +77,7 @@ class GaussianMixtureGenerator : public TupleSource {
  public:
   GaussianMixtureGenerator(GaussianMixtureConfig config, uint64_t num_rows);
 
-  bool Next(Tuple* tuple) override;
+  [[nodiscard]] bool Next(Tuple* tuple) override;
   Status Reset() override;
   const Schema& schema() const override { return schema_; }
 

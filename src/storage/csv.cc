@@ -35,6 +35,8 @@ bool ParseNumber(const std::string& field, double* out) {
 
 bool IsCsvSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
 
+}  // namespace
+
 std::string EscapeCsv(const std::string& field, char delimiter) {
   // Fields with leading/trailing whitespace are quoted too: SplitCsvLine
   // trims unquoted fields, so quoting is what makes the whitespace survive a
@@ -55,8 +57,6 @@ std::string EscapeCsv(const std::string& field, char delimiter) {
   out += '"';
   return out;
 }
-
-}  // namespace
 
 std::vector<std::string> SplitCsvLine(const std::string& line,
                                       char delimiter) {
@@ -262,6 +262,10 @@ Status WriteCsv(const std::string& path, const Schema& schema,
     }
     out << "\n";
   }
+  // Flush before checking: a full-disk failure may otherwise still be
+  // sitting in the stream buffer, pass the check, and be swallowed by the
+  // destructor — reporting OK for a truncated file.
+  out.flush();
   if (!out) return Status::IOError("short write to CSV file: " + path);
   return Status::OK();
 }

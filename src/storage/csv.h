@@ -46,8 +46,13 @@ struct CsvDataset {
 
 /// \brief Parses one CSV line into fields (supports double-quoted fields
 /// with embedded delimiters and doubled quotes).
-std::vector<std::string> SplitCsvLine(const std::string& line,
-                                      char delimiter);
+[[nodiscard]] std::vector<std::string> SplitCsvLine(const std::string& line,
+                                                    char delimiter);
+
+/// \brief Quotes/escapes one field so that SplitCsvLine parses it back
+/// verbatim (inverse of SplitCsvLine for a single field). Exposed for tests
+/// and the CSV fuzz harness.
+[[nodiscard]] std::string EscapeCsv(const std::string& field, char delimiter);
 
 /// \brief Loads a CSV file, inferring the schema.
 Result<CsvDataset> LoadCsv(const std::string& path,

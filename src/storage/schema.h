@@ -55,15 +55,15 @@ class Schema {
   }
 
   /// \brief Index of the attribute with the given name, or -1.
-  int FindAttribute(const std::string& name) const;
+  [[nodiscard]] int FindAttribute(const std::string& name) const;
 
   /// \brief On-disk record width in bytes (8 per numerical value, 4 per
   /// categorical value, 4 for the class label).
-  size_t RecordWidth() const;
+  [[nodiscard]] size_t RecordWidth() const;
 
   /// \brief Stable 64-bit fingerprint of the schema, stored in table file
   /// headers to detect schema mismatches when reopening files.
-  uint64_t Fingerprint() const;
+  [[nodiscard]] uint64_t Fingerprint() const;
 
   /// \brief Validates attribute definitions (unique names, positive
   /// categorical cardinalities, at least two classes).

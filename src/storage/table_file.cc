@@ -170,7 +170,12 @@ bool TableReader::FillBlock() {
       std::min<uint64_t>(remaining, block_.size() / width));
   if (want == 0) return false;
   if (std::fread(block_.data(), 1, want * width, file_) != want * width) {
-    FatalError("table file truncated mid-record");
+    // The header's record count promised more data than the file holds —
+    // corruption in the file, not a bug here, so it must be recoverable:
+    // model files and spilled stores are reloaded from disk across process
+    // lifetimes. The scan ends early and the error is parked in status().
+    status_ = Status::Corruption("table file truncated mid-record");
+    return false;
   }
   block_pos_ = 0;
   block_len_ = want * width;
@@ -178,6 +183,7 @@ bool TableReader::FillBlock() {
 }
 
 bool TableReader::Next(Tuple* tuple) {
+  if (!status_.ok()) return false;
   if (cursor_ >= num_rows_) return false;
   if (block_pos_ >= block_len_ && !FillBlock()) return false;
   const size_t width = schema_.RecordWidth();
@@ -195,6 +201,7 @@ Status TableReader::Reset() {
   cursor_ = 0;
   block_pos_ = 0;
   block_len_ = 0;
+  status_ = Status::OK();
   io_internal::RecordScanStart();
   return Status::OK();
 }
@@ -217,6 +224,7 @@ Result<std::vector<Tuple>> ReadTable(const std::string& path,
   tuples.reserve(reader->num_rows());
   Tuple t;
   while (reader->Next(&t)) tuples.push_back(t);
+  BOAT_RETURN_NOT_OK(reader->status());
   return tuples;
 }
 

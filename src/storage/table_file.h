@@ -65,11 +65,17 @@ class TableReader {
   TableReader(const TableReader&) = delete;
   TableReader& operator=(const TableReader&) = delete;
 
-  /// \brief Reads the next tuple into *tuple. Returns false at end of table.
-  bool Next(Tuple* tuple);
+  /// \brief Reads the next tuple into *tuple. Returns false at end of table
+  /// — or on a read error, which callers distinguish via status().
+  [[nodiscard]] bool Next(Tuple* tuple);
 
   /// \brief Rewinds to the first record (a new scan; bumps the scan counter).
   Status Reset();
+
+  /// \brief OK unless the scan hit a read error (e.g. the file is shorter
+  /// than its header's record count claims). Check after Next() returns
+  /// false wherever a silently short scan would be accepted as a full one.
+  const Status& status() const { return status_; }
 
   uint64_t num_rows() const { return num_rows_; }
   const Schema& schema() const { return schema_; }
@@ -90,6 +96,7 @@ class TableReader {
   std::vector<char> block_;
   size_t block_pos_ = 0;
   size_t block_len_ = 0;
+  Status status_ = Status::OK();
 };
 
 /// \brief Convenience: writes `tuples` to `path` as a table file.

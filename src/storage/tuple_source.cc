@@ -28,7 +28,13 @@ Result<std::unique_ptr<TableScanSource>> TableScanSource::Open(
       new TableScanSource(std::move(reader)));
 }
 
-bool TableScanSource::Next(Tuple* tuple) { return reader_->Next(tuple); }
+bool TableScanSource::Next(Tuple* tuple) {
+  if (reader_->Next(tuple)) return true;
+  // Next() cannot report an error; accepting a truncated table as a short
+  // scan would train on partial data, so fail loudly instead.
+  CheckOk(reader_->status());
+  return false;
+}
 
 Status TableScanSource::Reset() { return reader_->Reset(); }
 

@@ -26,7 +26,8 @@ class TupleSource {
   virtual ~TupleSource() = default;
 
   /// \brief Produces the next tuple; returns false at end of stream.
-  virtual bool Next(Tuple* tuple) = 0;
+  /// [[nodiscard]]: ignoring the return reads an unspecified tuple at EOF.
+  [[nodiscard]] virtual bool Next(Tuple* tuple) = 0;
 
   /// \brief Restarts the stream from the beginning (a fresh scan).
   virtual Status Reset() = 0;
@@ -41,7 +42,7 @@ class VectorSource : public TupleSource {
  public:
   VectorSource(Schema schema, std::vector<Tuple> tuples);
 
-  bool Next(Tuple* tuple) override;
+  [[nodiscard]] bool Next(Tuple* tuple) override;
   Status Reset() override;
   const Schema& schema() const override { return schema_; }
 
@@ -58,7 +59,7 @@ class TableScanSource : public TupleSource {
   static Result<std::unique_ptr<TableScanSource>> Open(const std::string& path,
                                                        const Schema& schema);
 
-  bool Next(Tuple* tuple) override;
+  [[nodiscard]] bool Next(Tuple* tuple) override;
   Status Reset() override;
   const Schema& schema() const override { return reader_->schema(); }
 
@@ -80,7 +81,7 @@ class FilterSource : public TupleSource {
                std::function<bool(const Tuple&)> pred)
       : input_(std::move(input)), pred_(std::move(pred)) {}
 
-  bool Next(Tuple* tuple) override;
+  [[nodiscard]] bool Next(Tuple* tuple) override;
   Status Reset() override { return input_->Reset(); }
   const Schema& schema() const override { return input_->schema(); }
 
@@ -95,7 +96,7 @@ class ChainSource : public TupleSource {
  public:
   explicit ChainSource(std::vector<std::unique_ptr<TupleSource>> inputs);
 
-  bool Next(Tuple* tuple) override;
+  [[nodiscard]] bool Next(Tuple* tuple) override;
   Status Reset() override;
   const Schema& schema() const override { return inputs_.front()->schema(); }
 

@@ -90,6 +90,7 @@ Status SpillableTupleStore::ForEach(
       if (!pending.empty() && cancels(t)) continue;
       fn(t);
     }
+    BOAT_RETURN_NOT_OK(reader->status());
   }
   for (const Tuple& t : mem_) {
     if (!pending.empty() && cancels(t)) continue;
@@ -132,13 +133,16 @@ class StoreScanSource : public TupleSource {
     CheckOk(Reset());
   }
 
-  bool Next(Tuple* tuple) override {
+  [[nodiscard]] bool Next(Tuple* tuple) override {
     while (true) {
       if (reader_ != nullptr) {
         if (reader_->Next(tuple)) {
           if (!pending_.empty() && Cancels(*tuple)) continue;
           return true;
         }
+        // Next() cannot report an error; a truncated segment accepted as a
+        // short scan would silently drop tuples, so fail loudly instead.
+        CheckOk(reader_->status());
         reader_.reset();
         ++segment_;
         if (!OpenCurrentSegment()) return false;

@@ -34,7 +34,7 @@ class CompiledTree {
 
   /// \brief Predicts the class label of one record. Identical to
   /// DecisionTree::Classify on the source tree for every tuple.
-  int32_t Classify(const Tuple& tuple) const {
+  [[nodiscard]] int32_t Classify(const Tuple& tuple) const {
     int32_t i = 0;
     while (attr_[static_cast<size_t>(i)] >= 0) {
       const size_t n = static_cast<size_t>(i);

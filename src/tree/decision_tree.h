@@ -57,7 +57,7 @@ class DecisionTree {
   DecisionTree Clone() const;
 
   /// \brief Predicts the class label of a record.
-  int32_t Classify(const Tuple& tuple) const;
+  [[nodiscard]] int32_t Classify(const Tuple& tuple) const;
 
   /// \brief Fraction of `tuples` whose label differs from the prediction.
   double MisclassificationRate(const std::vector<Tuple>& tuples) const;

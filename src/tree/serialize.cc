@@ -74,9 +74,18 @@ bool ReadDouble(std::istringstream* fields, double* out) {
   return end != nullptr && *end == '\0' && end != token.c_str();
 }
 
+// Caps on untrusted arities. A corrupt (or adversarial) document must not be
+// able to request a multi-gigabyte allocation or overflow the stack before
+// parsing fails; legitimate trees are orders of magnitude below these.
+constexpr int kMaxClasses = 1 << 20;
+constexpr int kMaxSubsetSize = 1 << 20;
+// The depth cap must leave the recursive parser comfortably inside an 8 MiB
+// stack even under ASan, which inflates each frame to several KiB.
+constexpr int kMaxParseDepth = 512;
+
 Result<std::vector<int64_t>> ParseCounts(std::istringstream* fields) {
   int k = 0;
-  if (!(*fields >> k) || k <= 0) {
+  if (!(*fields >> k) || k <= 0 || k > kMaxClasses) {
     return Status::Corruption("bad class-count arity in tree document");
   }
   std::vector<int64_t> counts(static_cast<size_t>(k));
@@ -91,7 +100,11 @@ Result<std::vector<int64_t>> ParseCounts(std::istringstream* fields) {
 }
 
 Result<std::unique_ptr<TreeNode>> ParseNode(const LineSupplier& next_line,
-                                            const Schema& schema) {
+                                            const Schema& schema,
+                                            int depth = 0) {
+  if (depth > kMaxParseDepth) {
+    return Status::Corruption("tree document nesting exceeds depth limit");
+  }
   BOAT_ASSIGN_OR_RETURN(std::string line, next_line());
   std::istringstream fields(line);
   std::string tag;
@@ -119,7 +132,7 @@ Result<std::unique_ptr<TreeNode>> ParseNode(const LineSupplier& next_line,
     split = Split::Numerical(attr, value, impurity);
   } else if (type == "c") {
     int m = 0;
-    if (!(fields >> m) || m <= 0) {
+    if (!(fields >> m) || m <= 0 || m > kMaxSubsetSize) {
       return Status::Corruption("bad subset arity");
     }
     std::vector<int32_t> subset(static_cast<size_t>(m));
@@ -137,8 +150,8 @@ Result<std::unique_ptr<TreeNode>> ParseNode(const LineSupplier& next_line,
     return Status::Corruption("unknown split type: " + type);
   }
   BOAT_ASSIGN_OR_RETURN(auto counts, ParseCounts(&fields));
-  BOAT_ASSIGN_OR_RETURN(auto left, ParseNode(next_line, schema));
-  BOAT_ASSIGN_OR_RETURN(auto right, ParseNode(next_line, schema));
+  BOAT_ASSIGN_OR_RETURN(auto left, ParseNode(next_line, schema, depth + 1));
+  BOAT_ASSIGN_OR_RETURN(auto right, ParseNode(next_line, schema, depth + 1));
   return TreeNode::Internal(std::move(split), std::move(counts),
                             std::move(left), std::move(right));
 }

@@ -12,7 +12,7 @@
 namespace boat {
 
 /// \brief Serializes a tree to the BOATTREE v1 text format.
-std::string SerializeTree(const DecisionTree& tree);
+[[nodiscard]] std::string SerializeTree(const DecisionTree& tree);
 
 /// \brief Parses a BOATTREE v1 document; the schema must match the one the
 /// tree was grown against (validated by fingerprint).
@@ -21,7 +21,7 @@ Result<DecisionTree> DeserializeTree(const std::string& text,
 
 /// \brief Serializes a bare subtree (no header) in the same line format;
 /// used by the model persistence layer.
-std::string SerializeSubtree(const TreeNode& root);
+[[nodiscard]] std::string SerializeSubtree(const TreeNode& root);
 
 /// \brief Parses a bare subtree serialized by SerializeSubtree. `cursor` is
 /// advanced past the consumed lines.

@@ -1,0 +1,54 @@
+// Fuzz harness for tree deserialization.
+//
+// DeserializeTree consumes untrusted model files, so for arbitrary bytes it
+// must either return a failing Status or produce a valid tree — never crash,
+// overflow the stack, or attempt an absurd allocation. When parsing does
+// succeed, serialize-then-reparse must be a fixed point (the canonical text
+// of the parsed tree reparses to the same canonical text).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "storage/schema.h"
+#include "tree/decision_tree.h"
+#include "tree/serialize.h"
+#include "tests/fuzz/fuzz_driver.h"
+
+namespace {
+
+// Fixed schema shared by all inputs: 2 numerical + 2 categorical attributes,
+// 3 classes — enough shape to accept crafted splits of both kinds.
+const boat::Schema& FuzzSchema() {
+  static const boat::Schema* schema = new boat::Schema(
+      {boat::Attribute::Numerical("n0"), boat::Attribute::Numerical("n1"),
+       boat::Attribute::Categorical("c0", 4),
+       boat::Attribute::Categorical("c1", 8)},
+      /*num_classes=*/3);
+  return *schema;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(
+      size == 0 ? "" : reinterpret_cast<const char*>(data), size);
+  boat::Result<boat::DecisionTree> parsed =
+      boat::DeserializeTree(text, FuzzSchema());
+  if (!parsed.ok()) return 0;  // rejected cleanly — fine
+
+  const std::string canonical = boat::SerializeTree(*parsed);
+  boat::Result<boat::DecisionTree> reparsed =
+      boat::DeserializeTree(canonical, FuzzSchema());
+  if (!reparsed.ok()) {
+    std::fprintf(stderr, "canonical form failed to reparse: %s\n",
+                 reparsed.status().ToString().c_str());
+    std::abort();
+  }
+  if (boat::SerializeTree(*reparsed) != canonical) {
+    std::fprintf(stderr, "serialize/deserialize is not a fixed point\n");
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,279 @@
+// Tests for the correctness-tooling layer:
+//  - BOAT_IGNORE_STATUS is the one sanctioned way to drop a Status.
+//  - Hardened tree deserialization: depth/arity bombs and truncated or
+//    garbage documents must return Corruption, never crash or allocate
+//    absurd amounts (regression tests for the fuzz-harness findings).
+//  - Error propagation on the persistence/load paths: corrupt or truncated
+//    model files, unreadable S_n spill files, and full-disk-style write
+//    failures must surface as failing Status.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "boat/persistence.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "datagen/agrawal.h"
+#include "split/selector.h"
+#include "storage/csv.h"
+#include "storage/table_file.h"
+#include "storage/temp_file.h"
+#include "storage/tuple_source.h"
+#include "tree/decision_tree.h"
+#include "tree/serialize.h"
+
+namespace boat {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusDiscipline, IgnoreStatusMacroCompilesAndDiscards) {
+  auto fails = [] { return Status::IOError("deliberately dropped"); };
+  BOAT_IGNORE_STATUS(fails());  // would be a -Werror build break without it
+}
+
+TEST(StatusDiscipline, IgnoreStatusWorksForResultToo) {
+  auto fails = []() -> Result<int> { return Status::NotFound("nope"); };
+  BOAT_IGNORE_STATUS(fails());
+}
+
+// ---------------------------------------------- hardened deserialization
+
+Schema SmallSchema() {
+  return Schema({Attribute::Numerical("a"), Attribute::Categorical("c", 4)},
+                /*num_classes=*/2);
+}
+
+std::string DocHeader(const Schema& schema) {
+  return StrPrintf("BOATTREE v1\nfingerprint %016llx\n",
+                   static_cast<unsigned long long>(schema.Fingerprint()));
+}
+
+TEST(SerializeHardening, NestingDepthBombIsRejected) {
+  const Schema schema = SmallSchema();
+  std::string doc = DocHeader(schema);
+  // 5000 nested internal nodes exceed kMaxParseDepth (512); before the
+  // depth cap this overflowed the stack inside the recursive parser.
+  for (int i = 0; i < 5000; ++i) doc += "N 0 n 0x1p+0 0x0p+0 2 1 1\n";
+  auto result = DeserializeTree(doc, schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeHardening, ClassCountArityBombIsRejected) {
+  const Schema schema = SmallSchema();
+  // Claims 2^30 classes; before the arity cap this attempted an 8 GiB
+  // vector allocation during parsing.
+  const std::string doc = DocHeader(schema) + "L 1073741824 1 1\n";
+  auto result = DeserializeTree(doc, schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeHardening, SubsetArityBombIsRejected) {
+  const Schema schema = SmallSchema();
+  const std::string doc =
+      DocHeader(schema) + "N 1 c 1073741824 0 0x0p+0 2 1 1\n";
+  auto result = DeserializeTree(doc, schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeHardening, TruncatedDocumentIsRejected) {
+  const Schema schema = SmallSchema();
+  // Internal node announced, children missing.
+  const std::string doc = DocHeader(schema) + "N 0 n 0x1p+0 0x0p+0 2 1 1\n";
+  auto result = DeserializeTree(doc, schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeHardening, GarbageDocumentIsRejected) {
+  const Schema schema = SmallSchema();
+  auto result = DeserializeTree("\x7f\x45\x4c\x46 not a tree\n\n\x01\x02",
+                                schema);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(SerializeHardening, LoadTreeMissingFileIsNotFound) {
+  auto result = LoadTree("/nonexistent/path/tree.boattree", SmallSchema());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// -------------------------------------------------- persistence/load paths
+
+class PersistenceErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto temp = TempFileManager::Create();
+    ASSERT_TRUE(temp.ok());
+    temp_ = std::make_unique<TempFileManager>(std::move(temp).ValueOrDie());
+  }
+
+  // Trains a small update-capable classifier and saves it into `dir`.
+  // Mirrors persistence_test.cpp's setup; enable_updates makes the saved
+  // directory carry S_n store files (store-*.tbl) alongside the manifest.
+  void SaveTrainedModel(const std::string& dir) {
+    AgrawalConfig config;
+    config.function = 6;
+    config.noise = 0.05;
+    config.seed = 100;
+    const Schema schema = MakeAgrawalSchema();
+    auto data = GenerateAgrawal(config, 3000);
+    selector_ = MakeGiniSelector();
+
+    BoatOptions options;
+    options.sample_size = 600;
+    options.bootstrap_count = 6;
+    options.bootstrap_subsample = 200;
+    options.inmem_threshold = 300;
+    options.store_memory_budget = 256;
+    options.enable_updates = true;
+    options.seed = 11;
+
+    VectorSource source(schema, data);
+    auto classifier = BoatClassifier::Train(&source, selector_.get(), options);
+    ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+    ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+  }
+
+  std::unique_ptr<TempFileManager> temp_;
+  std::unique_ptr<SplitSelector> selector_;
+};
+
+TEST_F(PersistenceErrorTest, LoadFromMissingDirectoryIsNotFound) {
+  auto selector = MakeGiniSelector();
+  auto loaded = LoadClassifier(temp_->NewPath("never-saved"), selector.get());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceErrorTest, TruncatedManifestFailsCleanly) {
+  const std::string dir = temp_->NewPath("model");
+  SaveTrainedModel(dir);
+
+  const std::string manifest_path = dir + "/manifest.boatmodel";
+  std::ifstream in(manifest_path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(contents.size(), 64u);
+  std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+  out << contents.substr(0, contents.size() / 2);
+  out.close();
+
+  auto loaded = LoadClassifier(dir, selector_.get());
+  ASSERT_FALSE(loaded.ok());  // must be a Status, not a crash
+}
+
+TEST_F(PersistenceErrorTest, GarbageManifestFailsCleanly) {
+  const std::string dir = temp_->NewPath("model");
+  SaveTrainedModel(dir);
+
+  std::ofstream out(dir + "/manifest.boatmodel",
+                    std::ios::binary | std::ios::trunc);
+  out << "BOATMODEL v1\nselector gini\nschema -5 999999999\n\x01\x02\x03";
+  out.close();
+
+  auto loaded = LoadClassifier(dir, selector_.get());
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST_F(PersistenceErrorTest, CorruptSpillStoreFailsCleanly) {
+  const std::string dir = temp_->NewPath("model");
+  SaveTrainedModel(dir);
+
+  // Smash the header magic of every saved S_n store file; TableReader::Open
+  // must reject them and the Status must propagate out of LoadClassifier.
+  int corrupted = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("store-", 0) == 0) {
+      std::ofstream out(entry.path(), std::ios::binary | std::ios::in);
+      out.seekp(0);
+      out.write("XXXXXXXX", 8);
+      out.close();
+      ++corrupted;
+    }
+  }
+  ASSERT_GT(corrupted, 0) << "expected saved model to carry S_n store files";
+
+  auto loaded = LoadClassifier(dir, selector_.get());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+      << loaded.status().ToString();
+}
+
+TEST_F(PersistenceErrorTest, TruncatedSpillStoreFailsCleanly) {
+  const std::string dir = temp_->NewPath("model");
+  SaveTrainedModel(dir);
+
+  int truncated = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("store-", 0) == 0) {
+      fs::resize_file(entry.path(), fs::file_size(entry.path()) / 2);
+      ++truncated;
+    }
+  }
+  ASSERT_GT(truncated, 0);
+
+  auto loaded = LoadClassifier(dir, selector_.get());
+  ASSERT_FALSE(loaded.ok());
+}
+
+// ------------------------------------------------- full-disk write errors
+
+TEST(FullDiskErrors, SaveTreeToFullDeviceIsIOError) {
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "/dev/full not available";
+  const Schema schema = SmallSchema();
+  DecisionTree tree(schema, TreeNode::Leaf({3, 4}));
+  const Status st = SaveTree(tree, "/dev/full");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(FullDiskErrors, WriteCsvToFullDeviceIsIOError) {
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "/dev/full not available";
+  const Schema schema = SmallSchema();
+  const Status st = WriteCsv("/dev/full", schema, {});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(FullDiskErrors, WriteTableToFullDeviceIsIOError) {
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "/dev/full not available";
+  const Schema schema = SmallSchema();
+  // Header write already hits the device, so Create itself must fail; if it
+  // ever becomes lazier, Finish must catch the flush failure instead.
+  auto writer = TableWriter::Create("/dev/full", schema);
+  if (writer.ok()) {
+    const Status st = (*writer)->Finish();
+    ASSERT_FALSE(st.ok());
+  } else {
+    EXPECT_EQ(writer.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST_F(PersistenceErrorTest, SaveModelToUnwritableDirectoryIsIOError) {
+  const std::string dir = temp_->NewPath("model");
+  SaveTrainedModel(dir);
+  auto loaded = LoadClassifier(dir, selector_.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // "/dev/null/model" is a path under a file: create_directories must fail
+  // and SaveClassifier must surface it as IOError, not abort.
+  const Status st = SaveClassifier(**loaded, "/dev/null/model");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace boat

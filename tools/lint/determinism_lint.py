@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Determinism lint for the BOAT builder code.
+
+BOAT's exactness guarantee (PAPER.md §3) requires the optimistic tree to be
+bit-identical to the traditionally built one, for any thread count. Every
+source of nondeterminism inside the growth/split/cleanup paths breaks that
+guarantee silently, so this lint bans them statically in the library
+directories LINTED_DIRS (src/tree/, src/split/, src/boat/):
+
+  * rand(), srand()                — C RNG with global hidden state
+  * std::random_device             — hardware entropy, different every run
+  * time()-seeded generators       — seeds change between runs
+  * std::mt19937 / std::default_random_engine / <random> distributions —
+    their outputs are not specified bit-exactly across standard libraries
+  * iteration over std::unordered_map / std::unordered_set — iteration order
+    is unspecified and varies across libstdc++/libc++ and across reserve
+    patterns, so any tree decision derived from it is nondeterministic
+  * Rng constructed from a literal or ad-hoc seed in library code — every
+    library Rng must be derived via Rng::Split(stream_id) from the caller's
+    seeded generator, so streams are stable regardless of thread interleaving
+
+A site that is provably safe can be allowlisted inline with a justification:
+
+    foo();  // determinism-lint: allow(<why this is deterministic/safe>)
+
+The comment may also sit on the line directly above. An empty justification
+is itself a lint error. Exit status: 0 clean, 1 findings, 2 usage error.
+
+Run directly (`python3 tools/lint/determinism_lint.py [repo_root]`), via
+ctest (`ctest -R determinism_lint`), or in CI (job `lint`).
+"""
+
+import os
+import re
+import sys
+
+# Directories whose code feeds tree construction and must be deterministic.
+LINTED_DIRS = ("src/tree", "src/split", "src/boat")
+
+ALLOW_RE = re.compile(r"//\s*determinism-lint:\s*allow\((?P<why>[^)]*)\)")
+
+# (name, regex, message) applied per physical line after comment stripping.
+LINE_RULES = [
+    (
+        "c-rand",
+        re.compile(r"(?<![\w:.])(?:std::)?rand\s*\(\s*\)"),
+        "rand() uses hidden global state; use a Split-derived boat::Rng",
+    ),
+    (
+        "c-srand",
+        re.compile(r"(?<![\w:.])(?:std::)?srand\s*\("),
+        "srand() seeds hidden global state; use a Split-derived boat::Rng",
+    ),
+    (
+        "random-device",
+        re.compile(r"\brandom_device\b"),
+        "std::random_device yields different bits every run",
+    ),
+    (
+        "time-seed",
+        re.compile(r"\b(?:Rng|mt19937(?:_64)?|default_random_engine|seed_seq"
+                   r"|srand)\s*[({][^)}]*\btime\s*\("),
+        "time()-seeded generators change between runs",
+    ),
+    (
+        "std-engine",
+        re.compile(r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|ranlux\w+"
+                   r"|knuth_b|default_random_engine|uniform_int_distribution"
+                   r"|uniform_real_distribution|normal_distribution"
+                   r"|bernoulli_distribution|discrete_distribution)\b"),
+        "std <random> engines/distributions are not bit-stable across "
+        "standard libraries; use boat::Rng",
+    ),
+]
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Returns (code-only text, new in_block_comment).
+
+    Blanks out string/char literals and comments so the rules only see code.
+    Column counts are preserved (replaced with spaces).
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if in_block_comment:
+            if line.startswith("*/", i):
+                in_block_comment = False
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+        elif line.startswith("//", i):
+            out.append(" " * (n - i))
+            break
+        elif line.startswith("/*", i):
+            in_block_comment = True
+            out.append("  ")
+            i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                elif line[i] == quote:
+                    out.append(" ")
+                    i += 1
+                    break
+                else:
+                    out.append(" ")
+                    i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out), in_block_comment
+
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;=()]*>\s*&?\s*"
+    r"(?P<name>\w+)\s*[;({=]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*&?\s*(?P<expr>[\w.\->]+)\s*\)")
+# Iteration requires begin(); a bare end() comparison (the find() idiom) is a
+# deterministic point lookup and is not flagged.
+BEGIN_CALL_RE = re.compile(r"\b(?P<name>\w+)\s*\.\s*c?begin\s*\(")
+RNG_CONSTRUCT_RE = re.compile(
+    r"\bRng\s+\w+\s*[({]|\bRng\s*[({]|=\s*Rng\s*[({]"
+)
+
+
+def lint_file(path, rel):
+    findings = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.readlines()
+    except OSError as e:
+        return [(rel, 0, "io", f"cannot read file: {e}")]
+
+    # First pass: names declared as unordered containers in this file.
+    unordered_names = set()
+    in_block = False
+    code_lines = []
+    for raw in raw_lines:
+        code, in_block = strip_comments_and_strings(raw.rstrip("\n"), in_block)
+        code_lines.append(code)
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group("name"))
+
+    def allowed(idx):
+        """True if line idx (0-based) carries or follows an allow comment."""
+        for j in (idx, idx - 1):
+            if 0 <= j < len(raw_lines):
+                m = ALLOW_RE.search(raw_lines[j])
+                if m:
+                    if not m.group("why").strip():
+                        findings.append(
+                            (rel, j + 1, "empty-allow",
+                             "determinism-lint: allow() needs a justification")
+                        )
+                        return False
+                    return True
+        return False
+
+    for idx, code in enumerate(code_lines):
+        lineno = idx + 1
+        for name, rule_re, msg in LINE_RULES:
+            if rule_re.search(code) and not allowed(idx):
+                findings.append((rel, lineno, name, msg))
+
+        # Iteration over unordered containers: range-for or explicit
+        # begin()/end() on a name declared unordered in this file.
+        target = None
+        m = RANGE_FOR_RE.search(code)
+        if m:
+            target = m.group("expr").split(".")[-1].split(">")[-1]
+        else:
+            m2 = BEGIN_CALL_RE.search(code)
+            if m2:
+                target = m2.group("name")
+        if target and target in unordered_names and not allowed(idx):
+            findings.append(
+                (rel, lineno, "unordered-iteration",
+                 f"iteration over unordered container '{target}' has "
+                 "unspecified order; use a sorted/indexed container or "
+                 "sort the keys first")
+            )
+
+        # Rng construction in library code must come from Rng::Split (or be
+        # an allowlisted site). Copies/moves/references and Split() results
+        # are fine; what we ban is minting a fresh stream from an ad-hoc
+        # seed inside the builder.
+        if RNG_CONSTRUCT_RE.search(code) and ".Split(" not in code \
+                and "Rng&" not in code and "Rng(const" not in code:
+            if not allowed(idx):
+                findings.append(
+                    (rel, lineno, "rng-seed",
+                     "Rng constructed from an ad-hoc seed in library code; "
+                     "derive it with Rng::Split(stream_id) from the "
+                     "caller's generator")
+                )
+
+    return findings
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"determinism_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    checked = 0
+    for d in LINTED_DIRS:
+        full = os.path.join(root, d)
+        if not os.path.isdir(full):
+            print(f"determinism_lint: missing directory {d}", file=sys.stderr)
+            return 2
+        for dirpath, _, files in os.walk(full):
+            for fn in sorted(files):
+                if not fn.endswith((".h", ".cc", ".cpp")):
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, root)
+                findings.extend(lint_file(path, rel))
+                checked += 1
+
+    for rel, lineno, rule, msg in sorted(findings):
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s) in {checked} "
+              "file(s)", file=sys.stderr)
+        return 1
+    print(f"determinism_lint: OK ({checked} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
