@@ -1,0 +1,127 @@
+// Serving throughput/latency benchmark (not a paper figure — this measures
+// the src/serve/ subsystem added for production-style deployment).
+//
+// Grid: {1, 4} scoring threads x {1, 2048} max micro-batch, each driven by
+// the in-process load generator over the same corpus with every reply
+// label-checked. The batch=1 column is the no-batching baseline: one
+// CompiledTree::Predict call and one worker wakeup per record. Micro-batching
+// amortizes queue synchronization and reply flushes over hundreds of
+// records, so the batch=2048 rows must show strictly higher throughput —
+// that comparison is this benchmark's acceptance criterion, asserted by the
+// serving-smoke CI job off BENCH_serving.json (path overridable via
+// BOAT_BENCH_SERVING_JSON).
+//
+// Latency columns are client-observed (send to reply) under full pipelining,
+// so they measure throughput-saturated queueing latency, not idle one-shot
+// round trips.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/loadgen.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "tree/inmem_builder.h"
+
+int main() {
+  using namespace boat;
+  using namespace boat::bench;
+
+  const int64_t scale = ScaleFromEnv();
+  const int64_t corpus_size = std::max<int64_t>(scale / 8, 1000);
+
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  config.seed = 7001;
+  const Schema schema = MakeAgrawalSchema();
+  const auto train = GenerateAgrawal(config, 4000);
+  config.seed = 7002;
+  const auto corpus =
+      GenerateAgrawal(config, static_cast<uint64_t>(corpus_size));
+
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(schema, train, *selector);
+  auto model = std::make_shared<const serve::ServableModel>(tree, "");
+
+  const auto lines = serve::FormatRecordLines(schema, corpus);
+  std::vector<int32_t> expected;
+  expected.reserve(corpus.size());
+  for (const Tuple& t : corpus) expected.push_back(model->compiled.Classify(t));
+
+  const char* env = std::getenv("BOAT_BENCH_SERVING_JSON");
+  BenchJsonWriter writer(env != nullptr && env[0] != '\0'
+                             ? env
+                             : "BENCH_serving.json");
+
+  std::printf("Serving throughput (tree: %zu nodes, corpus %lld records, "
+              "4 connections x 2 passes, all labels checked)\n\n",
+              tree.num_nodes(), static_cast<long long>(corpus_size));
+  std::printf("%8s %10s | %12s %10s %10s\n", "threads", "max_batch",
+              "throughput", "p50(us)", "p99(us)");
+  std::printf("--------------------+-----------------------------------\n");
+
+  for (const int threads : {1, 4}) {
+    for (const int max_batch : {1, 2048}) {
+      serve::ModelRegistry registry;
+      registry.Install(model);
+      serve::ServerOptions options;
+      options.scoring_threads = threads;
+      options.max_batch = max_batch;
+      // Large queue: this benchmark measures throughput, not admission
+      // control, so BUSY replies would only pollute the label check.
+      options.queue_capacity = 1 << 16;
+      serve::BoatServer server(&registry, options);
+      CheckOk(server.Start());
+
+      serve::LoadGenOptions load;
+      load.port = server.port();
+      load.connections = 4;
+      load.repeat = 2;
+      auto report = serve::RunLoadGen(load, lines, &expected);
+      CheckOk(report.status());
+      if (std::getenv("BOAT_BENCH_SERVING_DEBUG") != nullptr) {
+        std::fprintf(stderr, "t%d b%d stats: %s\n", threads, max_batch,
+                     server.StatsJson().c_str());
+      }
+      server.Shutdown();
+      if (report->ok != report->sent || report->mismatches != 0 ||
+          report->errors != 0 || report->busy != 0) {
+        std::fprintf(stderr,
+                     "label check failed: sent %llu ok %llu mismatch %llu "
+                     "busy %llu err %llu\n",
+                     static_cast<unsigned long long>(report->sent),
+                     static_cast<unsigned long long>(report->ok),
+                     static_cast<unsigned long long>(report->mismatches),
+                     static_cast<unsigned long long>(report->busy),
+                     static_cast<unsigned long long>(report->errors));
+        return 1;
+      }
+
+      std::printf("%8d %10d | %10.0f/s %10llu %10llu\n", threads, max_batch,
+                  report->throughput_rps,
+                  static_cast<unsigned long long>(report->latency_p50_us),
+                  static_cast<unsigned long long>(report->latency_p99_us));
+      char name[64];
+      std::snprintf(name, sizeof(name), "serve_t%d_b%d", threads, max_batch);
+      writer.Add(name, {
+                           {"threads", static_cast<double>(threads)},
+                           {"max_batch", static_cast<double>(max_batch)},
+                           {"requests", static_cast<double>(report->sent)},
+                           {"throughput_rps", report->throughput_rps},
+                           {"p50_us",
+                            static_cast<double>(report->latency_p50_us)},
+                           {"p99_us",
+                            static_cast<double>(report->latency_p99_us)},
+                       });
+    }
+  }
+  writer.Flush();
+  return 0;
+}

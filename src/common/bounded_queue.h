@@ -1,0 +1,124 @@
+// BoundedQueue: a small mutex-based bounded MPMC queue for the serving
+// subsystem's admission control.
+//
+// The queue is the server's backpressure point: TryPush never blocks and
+// fails once the queue is at capacity (the caller replies BUSY instead of
+// letting memory grow without bound), while consumers block in Pop/PopUntil.
+// Close() ends the stream: pushes start failing immediately, poppers drain
+// the remaining items and then observe end-of-stream (nullopt), which is
+// exactly the graceful-drain order the server needs — submit everything,
+// close, join workers.
+//
+// A mutex + condition_variable implementation is deliberate: the consumers
+// batch hundreds of items per wakeup, so queue synchronization is off the
+// per-request fast path, and the simple implementation is obviously correct
+// under TSan.
+
+#ifndef BOAT_COMMON_BOUNDED_QUEUE_H_
+#define BOAT_COMMON_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace boat {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// \brief Enqueues `item` unless the queue is full or closed. Never
+  /// blocks; returns whether the item was accepted.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// \brief Non-blocking pop: nullopt when the queue is momentarily empty.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return PopLocked();
+  }
+
+  /// \brief Non-blocking bulk pop: appends up to `max` items to `out` under
+  /// a single lock acquisition (the synchronization-amortizing primitive of
+  /// the micro-batch scoring loop). Returns the number of items taken.
+  size_t PopAllInto(std::vector<T>* out, size_t max) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t taken = 0;
+    while (taken < max && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// \brief Blocks until an item is available (returned) or the queue is
+  /// closed and drained (nullopt).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return PopLocked();
+  }
+
+  /// \brief Like Pop(), but gives up at `deadline`: returns nullopt on
+  /// timeout as well as on closed-and-drained.
+  std::optional<T> PopUntil(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_until(lock, deadline,
+                   [&] { return !items_.empty() || closed_; });
+    return PopLocked();
+  }
+
+  /// \brief Closes the queue: subsequent TryPush calls fail, and poppers see
+  /// end-of-stream once the remaining items are drained.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  std::optional<T> PopLocked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_COMMON_BOUNDED_QUEUE_H_

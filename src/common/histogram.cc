@@ -1,0 +1,65 @@
+#include "common/histogram.h"
+
+#include "common/str_util.h"
+
+namespace boat {
+
+uint64_t Log2Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t Log2Histogram::ValueAtQuantile(double q) const {
+  const std::array<uint64_t, kNumBuckets> counts = Snapshot();
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the quantile observation, 1-based; q=0 maps to the first one.
+  const uint64_t rank =
+      q == 0 ? 1 : static_cast<uint64_t>(q * static_cast<double>(total) + 0.5);
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += counts[static_cast<size_t>(b)];
+    if (seen >= rank && counts[static_cast<size_t>(b)] > 0) {
+      return BucketUpperBound(b);
+    }
+  }
+  // Rounded rank past the last non-empty bucket: report the largest one.
+  for (int b = kNumBuckets - 1; b >= 0; --b) {
+    if (counts[static_cast<size_t>(b)] > 0) return BucketUpperBound(b);
+  }
+  return 0;
+}
+
+void Log2Histogram::MergeFrom(const Log2Histogram& other) {
+  const std::array<uint64_t, kNumBuckets> counts = other.Snapshot();
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const uint64_t c = counts[static_cast<size_t>(b)];
+    if (c != 0) {
+      buckets_[static_cast<size_t>(b)].fetch_add(c,
+                                                 std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string Log2Histogram::ToJson() const {
+  const std::array<uint64_t, kNumBuckets> counts = Snapshot();
+  std::string out = "[";
+  bool first = true;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const uint64_t c = counts[static_cast<size_t>(b)];
+    if (c == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += StrPrintf("[%llu,%llu]",
+                     static_cast<unsigned long long>(BucketUpperBound(b)),
+                     static_cast<unsigned long long>(c));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace boat

@@ -1,0 +1,86 @@
+// Fixed-bucket log2 histogram for serving-side measurements.
+//
+// The serving subsystem needs two cheap, lock-free tallies: request latency
+// (microseconds, spanning ~1us..minutes) and micro-batch sizes (1..max
+// batch). Both have long-tailed distributions where a power-of-two bucketing
+// gives useful quantiles at a fixed, tiny footprint: bucket b counts values
+// v with bit_width(v) == b, i.e. v in [2^(b-1), 2^b - 1], and quantiles
+// report the bucket's inclusive upper bound. Recording is a single relaxed
+// atomic increment, so hot serving paths never contend on a histogram lock;
+// the quantile/JSON side works from a consistent-enough snapshot (counts
+// only grow, and readers tolerate a tally that is mid-update).
+
+#ifndef BOAT_COMMON_HISTOGRAM_H_
+#define BOAT_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace boat {
+
+/// \brief Thread-safe fixed-bucket histogram over uint64 values with
+/// power-of-two bucket edges. Copyable via Snapshot(); Record is wait-free.
+class Log2Histogram {
+ public:
+  /// Bucket count: bucket 0 holds the value 0, bucket b >= 1 holds values in
+  /// [2^(b-1), 2^b - 1]. 40 buckets cover values up to ~5.5e11 (a ~6-day
+  /// latency in microseconds); larger values clamp into the last bucket.
+  static constexpr int kNumBuckets = 40;
+
+  Log2Histogram() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  /// \brief Adds one observation.
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// \brief Index of the bucket holding `value`.
+  static int BucketOf(uint64_t value) {
+    int b = 0;
+    while (value != 0) {
+      ++b;
+      value >>= 1;
+    }
+    return b < kNumBuckets ? b : kNumBuckets - 1;
+  }
+
+  /// \brief Inclusive upper bound of bucket `b` (0 for bucket 0).
+  static uint64_t BucketUpperBound(int b) {
+    return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+  }
+
+  /// \brief Plain-array copy of the current counts.
+  std::array<uint64_t, kNumBuckets> Snapshot() const {
+    std::array<uint64_t, kNumBuckets> out;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      out[static_cast<size_t>(b)] =
+          buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  /// \brief Total number of observations.
+  uint64_t TotalCount() const;
+
+  /// \brief Upper bound of the bucket containing quantile `q` in [0, 1]
+  /// (e.g. 0.5, 0.99). Returns 0 when the histogram is empty.
+  uint64_t ValueAtQuantile(double q) const;
+
+  /// \brief Adds every count of `other` into this histogram.
+  void MergeFrom(const Log2Histogram& other);
+
+  /// \brief JSON array of the non-empty buckets, as
+  /// [[upper_bound, count], ...] in increasing bucket order.
+  std::string ToJson() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,234 @@
+#include "serve/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include "common/histogram.h"
+#include "common/str_util.h"
+
+namespace boat::serve {
+
+namespace {
+
+struct ConnStats {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t mismatches = 0;
+  uint64_t busy = 0;
+  uint64_t errors = 0;
+  Log2Histogram latency_us;
+  std::string failure;  // non-empty on transport failure
+};
+
+bool SendAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool LooksNumeric(const std::string& reply) {
+  if (reply.empty()) return false;
+  const char c = reply[0];
+  return c == '-' || (c >= '0' && c <= '9');
+}
+
+void RunConnection(const LoadGenOptions& options,
+                   const std::vector<std::string>& record_lines,
+                   const std::vector<int32_t>* expected_labels,
+                   ConnStats* stats) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    stats->failure = StrPrintf("socket: %s", std::strerror(errno));
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    stats->failure =
+        StrPrintf("connect port %d: %s", options.port, std::strerror(errno));
+    ::close(fd);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  const uint64_t total =
+      static_cast<uint64_t>(record_lines.size()) *
+      static_cast<uint64_t>(options.repeat > 0 ? options.repeat : 1);
+  const size_t window =
+      options.window > 0 ? static_cast<size_t>(options.window) : 1;
+  const size_t corpus = record_lines.size();
+
+  uint64_t next_to_send = 0;
+  uint64_t next_reply = 0;
+  std::deque<std::chrono::steady_clock::time_point> in_flight;
+  std::string recv_buf;
+  char chunk[16 * 1024];
+  bool write_closed = false;
+
+  auto expected_for = [&](uint64_t reply_index) -> const int32_t* {
+    if (expected_labels == nullptr) return nullptr;
+    return &(*expected_labels)[static_cast<size_t>(reply_index % corpus)];
+  };
+
+  while (next_reply < total) {
+    // Fill the pipeline window, batching lines into one send.
+    if (next_to_send < total && in_flight.size() < window) {
+      std::string out;
+      // determinism-lint: allow(client-side latency measurement; replies are label-checked, not time-dependent)
+      const auto send_time = std::chrono::steady_clock::now();
+      while (next_to_send < total && in_flight.size() < window) {
+        out += record_lines[static_cast<size_t>(next_to_send % corpus)];
+        out += '\n';
+        in_flight.push_back(send_time);
+        ++next_to_send;
+        ++stats->sent;
+      }
+      if (!SendAll(fd, out.data(), out.size())) {
+        stats->failure = StrPrintf("send: %s", std::strerror(errno));
+        break;
+      }
+      if (next_to_send == total) {
+        // Everything is written; half-close so the server replies to the
+        // tail and then closes cleanly.
+        ::shutdown(fd, SHUT_WR);
+        write_closed = true;
+      }
+    }
+
+    // Read replies until the window has room (or, at the end, until every
+    // reply arrived).
+    while (next_reply < total &&
+           (in_flight.size() >= window || write_closed ||
+            recv_buf.find('\n') != std::string::npos)) {
+      size_t nl;
+      while (next_reply < total &&
+             (nl = recv_buf.find('\n')) != std::string::npos) {
+        std::string reply = recv_buf.substr(0, nl);
+        recv_buf.erase(0, nl + 1);
+        if (!reply.empty() && reply.back() == '\r') reply.pop_back();
+
+        // determinism-lint: allow(client-side latency measurement; replies are label-checked, not time-dependent)
+        const auto now = std::chrono::steady_clock::now();
+        if (!in_flight.empty()) {
+          const auto us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - in_flight.front())
+                  .count();
+          stats->latency_us.Record(us > 0 ? static_cast<uint64_t>(us) : 0);
+          in_flight.pop_front();
+        }
+        if (reply == "BUSY") {
+          ++stats->busy;
+        } else if (LooksNumeric(reply)) {
+          const int32_t* want = expected_for(next_reply);
+          if (want == nullptr || reply == StrPrintf("%d", *want)) {
+            ++stats->ok;
+          } else {
+            ++stats->mismatches;
+          }
+        } else {
+          ++stats->errors;
+        }
+        ++next_reply;
+      }
+      if (next_reply >= total) break;
+      if (recv_buf.find('\n') != std::string::npos) continue;
+      if (in_flight.size() < window && !write_closed) break;
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        stats->failure = StrPrintf("recv: %s", std::strerror(errno));
+        break;
+      }
+      if (n == 0) {
+        stats->failure = StrPrintf(
+            "server closed with %llu of %llu replies outstanding",
+            static_cast<unsigned long long>(total - next_reply),
+            static_cast<unsigned long long>(total));
+        break;
+      }
+      recv_buf.append(chunk, static_cast<size_t>(n));
+    }
+    if (!stats->failure.empty()) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
+                                 const std::vector<std::string>& record_lines,
+                                 const std::vector<int32_t>* expected_labels) {
+  if (record_lines.empty()) {
+    return Status::InvalidArgument("loadgen: empty corpus");
+  }
+  if (expected_labels != nullptr &&
+      expected_labels->size() != record_lines.size()) {
+    return Status::InvalidArgument(StrPrintf(
+        "loadgen: %zu expected labels for %zu records",
+        expected_labels->size(), record_lines.size()));
+  }
+  const int conns = options.connections > 0 ? options.connections : 1;
+  std::vector<ConnStats> stats(static_cast<size_t>(conns));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(conns));
+
+  // determinism-lint: allow(wall-clock bracket around the run measures throughput only)
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < conns; ++i) {
+    threads.emplace_back(RunConnection, std::cref(options),
+                         std::cref(record_lines), expected_labels,
+                         &stats[static_cast<size_t>(i)]);
+  }
+  for (std::thread& t : threads) t.join();
+  // determinism-lint: allow(wall-clock bracket around the run measures throughput only)
+  const auto end = std::chrono::steady_clock::now();
+
+  LoadGenReport report;
+  Log2Histogram merged;
+  for (const ConnStats& s : stats) {
+    if (!s.failure.empty()) {
+      return Status::IOError("loadgen connection failed: " + s.failure);
+    }
+    report.sent += s.sent;
+    report.ok += s.ok;
+    report.mismatches += s.mismatches;
+    report.busy += s.busy;
+    report.errors += s.errors;
+    merged.MergeFrom(s.latency_us);
+  }
+  report.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  const uint64_t replies =
+      report.ok + report.mismatches + report.busy + report.errors;
+  report.throughput_rps =
+      report.wall_seconds > 0
+          ? static_cast<double>(replies) / report.wall_seconds
+          : 0;
+  report.latency_p50_us = merged.ValueAtQuantile(0.5);
+  report.latency_p99_us = merged.ValueAtQuantile(0.99);
+  return report;
+}
+
+}  // namespace boat::serve

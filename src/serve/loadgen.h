@@ -1,0 +1,55 @@
+// Load generator for BoatServer: drives N concurrent connections over a
+// fixed corpus of wire-format record lines, optionally checking every
+// reply against precomputed expected labels, and reports client-observed
+// throughput and latency quantiles. Used by tools/boat-loadgen.cpp and
+// bench/bench_serving.cpp.
+
+#ifndef BOAT_SERVE_LOADGEN_H_
+#define BOAT_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace boat::serve {
+
+struct LoadGenOptions {
+  /// Server port on 127.0.0.1.
+  int port = 0;
+  /// Number of concurrent client connections.
+  int connections = 1;
+  /// Passes each connection makes over the corpus.
+  int repeat = 1;
+  /// Maximum pipelined requests per connection before reading replies.
+  /// Must stay below the server's internal reply window (1024).
+  int window = 256;
+};
+
+struct LoadGenReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;          ///< numeric replies matching the expected label
+  uint64_t mismatches = 0;  ///< numeric replies that contradict expectations
+  uint64_t busy = 0;
+  uint64_t errors = 0;  ///< ERR replies and transport-level failures
+  double wall_seconds = 0;
+  double throughput_rps = 0;
+  /// Client-observed per-request latency (send to reply), microseconds.
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p99_us = 0;
+};
+
+/// \brief Runs the load: every connection sends `record_lines` (repeat
+/// times) with pipelining and validates replies in order. When
+/// `expected_labels` is non-null it must be aligned with `record_lines`,
+/// and every label reply is checked against it; when null, any numeric
+/// reply counts as ok. Returns an error if a connection cannot be
+/// established or is dropped mid-run.
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
+                                 const std::vector<std::string>& record_lines,
+                                 const std::vector<int32_t>* expected_labels);
+
+}  // namespace boat::serve
+
+#endif  // BOAT_SERVE_LOADGEN_H_

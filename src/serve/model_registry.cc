@@ -1,0 +1,68 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "boat/persistence.h"
+#include "split/quest.h"
+#include "split/selector.h"
+#include "tree/serialize.h"
+
+namespace boat::serve {
+
+namespace {
+
+uint64_t Fnv1a64(const std::string& bytes, uint64_t seed) {
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Result<std::unique_ptr<SplitSelector>> MakeSelectorByName(
+    const std::string& name) {
+  if (name == "gini") return {MakeGiniSelector()};
+  if (name == "entropy") return {MakeEntropySelector()};
+  if (name == "quest") {
+    return {std::unique_ptr<SplitSelector>(new QuestSelector())};
+  }
+  return Status::InvalidArgument("unknown selector '" + name +
+                                 "' (gini|entropy|quest)");
+}
+
+}  // namespace
+
+ServableModel::ServableModel(const DecisionTree& tree, std::string dir)
+    : schema(tree.schema()),
+      compiled(tree),
+      fingerprint(Fnv1a64(SerializeTree(tree), tree.schema().Fingerprint())),
+      source_dir(std::move(dir)),
+      tree_nodes(tree.num_nodes()) {}
+
+void ModelRegistry::Install(std::shared_ptr<const ServableModel> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ != nullptr) reloads_.fetch_add(1, std::memory_order_relaxed);
+  active_ = std::move(model);
+}
+
+Status ModelRegistry::LoadAndSwap(const std::string& dir,
+                                  const std::string& selector) {
+  BOAT_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> model,
+                        LoadServableModel(dir, selector));
+  Install(std::move(model));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const ServableModel>> LoadServableModel(
+    const std::string& dir, const std::string& selector) {
+  BOAT_ASSIGN_OR_RETURN(std::unique_ptr<SplitSelector> sel,
+                        MakeSelectorByName(selector));
+  // The selector only has to outlive the engine, which we discard once the
+  // tree is compiled; the ServableModel holds no reference to either.
+  auto classifier = LoadClassifier(dir, sel.get());
+  if (!classifier.ok()) return classifier.status();
+  return std::make_shared<const ServableModel>((*classifier)->tree(), dir);
+}
+
+}  // namespace boat::serve

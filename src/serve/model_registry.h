@@ -1,0 +1,88 @@
+// ModelRegistry: the serving subsystem's hot-swappable model slot.
+//
+// A ServableModel is an immutable (Schema, CompiledTree, fingerprint)
+// triple. The registry publishes the active model behind a shared_ptr: every
+// scoring batch takes one Snapshot() and scores the whole batch against it,
+// so a concurrent LoadAndSwap (RELOAD admin command or SIGHUP) never mutates
+// anything a batch can see — readers that grabbed the old model finish on
+// the old model, readers that snapshot afterwards see the new one, and the
+// old model is freed when its last in-flight batch drops the reference
+// (RCU-style reclamation via shared_ptr refcounts). No request is ever
+// dropped or scored against a half-loaded model.
+
+#ifndef BOAT_SERVE_MODEL_REGISTRY_H_
+#define BOAT_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "tree/compiled_tree.h"
+#include "tree/decision_tree.h"
+
+namespace boat::serve {
+
+/// \brief An immutable, ready-to-score model: the schema it validates
+/// requests against, the compiled inference layout, and a stable
+/// fingerprint (FNV-1a over the serialized tree, mixed with the schema
+/// fingerprint) that STATS exposes so operators can tell which model
+/// revision is live.
+struct ServableModel {
+  Schema schema;
+  CompiledTree compiled;
+  uint64_t fingerprint;
+  std::string source_dir;  ///< model directory, or "" for in-process installs
+  size_t tree_nodes;
+
+  ServableModel(const DecisionTree& tree, std::string dir);
+};
+
+/// \brief Thread-safe holder of the active ServableModel.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  /// \brief The active model (never null after the first Install/Load).
+  /// Callers keep the shared_ptr for the duration of one batch.
+  std::shared_ptr<const ServableModel> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_;
+  }
+
+  /// \brief Publishes `model` as the active model (atomic swap).
+  void Install(std::shared_ptr<const ServableModel> model);
+
+  /// \brief Loads a SaveClassifier directory (with the named split
+  /// selector: gini|entropy|quest) and publishes it. On any error the
+  /// previously active model stays in place.
+  Status LoadAndSwap(const std::string& dir, const std::string& selector);
+
+  /// \brief Number of successful Install/LoadAndSwap calls after the first.
+  int64_t reload_count() const {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Directory of the most recent successful LoadAndSwap ("" if the
+  /// active model was installed in-process). Used by boatd's SIGHUP.
+  std::string last_dir() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_ != nullptr ? active_->source_dir : "";
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServableModel> active_;
+  std::atomic<int64_t> reloads_{0};
+};
+
+/// \brief Builds a ServableModel by loading a SaveClassifier directory.
+Result<std::shared_ptr<const ServableModel>> LoadServableModel(
+    const std::string& dir, const std::string& selector);
+
+}  // namespace boat::serve
+
+#endif  // BOAT_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,501 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/str_util.h"
+#include "serve/wire.h"
+
+namespace boat::serve {
+
+namespace {
+
+/// Replies per connection that may be pipelined before the handler waits
+/// for scoring and writes them out. Clients must not pipeline more than
+/// this many lines without reading replies (boat-loadgen's window is far
+/// smaller).
+constexpr size_t kReplyWindow = 1024;
+
+/// Sentinel a scoring worker writes when a request's tuple arity no longer
+/// matches the (hot-reloaded) active model; the handler turns it into ERR.
+constexpr int32_t kSchemaMismatchLabel = INT32_MIN;
+
+bool SendAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+BoatServer::BoatServer(ModelRegistry* registry, ServerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {}
+
+BoatServer::~BoatServer() { Shutdown(); }
+
+Status BoatServer::Start() {
+  if (registry_->Snapshot() == nullptr) {
+    return Status::InvalidArgument("BoatServer: registry has no active model");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(StrPrintf("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status s = Status::IOError(
+        StrPrintf("bind port %d: %s", options_.port, std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status s =
+        Status::IOError(StrPrintf("listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  const int workers = options_.scoring_threads > 0 ? options_.scoring_threads
+                                                   : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back(&BoatServer::ScoringWorker, this);
+  }
+  accept_thread_ = std::thread(&BoatServer::AcceptLoop, this);
+  started_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void BoatServer::Shutdown() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // A concurrent/second Shutdown: wait for the first to finish by joining
+    // on the accept thread having been reaped.
+    if (accept_thread_.joinable()) return;  // first caller still running
+    return;
+  }
+  // Stop accepting. The accept loop polls with a timeout, so it notices
+  // stopping_ even if this shutdown() call has no effect on the fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Half-close every live connection's read side: handlers finish replying
+  // to everything already received, then exit. No admitted request drops.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (!conn->done.load(std::memory_order_acquire)) {
+        ::shutdown(conn->fd, SHUT_RD);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+      ::close(conn->fd);
+    }
+    conns_.clear();
+  }
+
+  // All requests are now in the queue (or replied); drain the workers.
+  queue_.Close();
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    scoring_paused_ = false;
+  }
+  pause_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+void BoatServer::SetScoringPausedForTest(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    scoring_paused_ = paused;
+  }
+  pause_cv_.notify_all();
+}
+
+void BoatServer::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BoatServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc <= 0) continue;  // timeout or EINTR: re-check stopping_
+    if ((pfd.revents & POLLIN) == 0) {
+      if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) return;
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapFinishedLocked();
+    int active = 0;
+    for (const auto& conn : conns_) {
+      if (!conn->done.load(std::memory_order_acquire)) ++active;
+    }
+    if (active >= options_.max_connections) {
+      static const char kBusyLine[] = "BUSY\n";
+      SendAll(fd, kBusyLine, sizeof(kBusyLine) - 1);
+      busy_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    conns_.push_back(std::make_unique<Conn>());
+    Conn* conn = conns_.back().get();
+    conn->fd = fd;
+    conn->thread = std::thread(&BoatServer::HandleConnection, this, conn);
+  }
+}
+
+void BoatServer::HandleConnection(Conn* conn) {
+  const int fd = conn->fd;
+  std::string buf;
+  internal::WaitGroup wg;
+  std::vector<int32_t> slots(kReplyWindow);
+
+  // One entry per request line, in order. slot < 0 carries a preformatted
+  // text reply; slot >= 0 is a label the scoring worker will deliver.
+  struct PendingReply {
+    std::string text;
+    int slot = -1;
+  };
+  std::vector<PendingReply> replies;
+  size_t used_slots = 0;
+  bool quit = false;
+  bool send_failed = false;
+  bool skipping_long_line = false;
+
+  // Waits for every submitted record of the window, then writes all replies
+  // in request order. Returns false once the peer stops reading.
+  auto flush = [&]() {
+    wg.Wait();
+    if (replies.empty()) return !send_failed;
+    std::string out;
+    for (const PendingReply& r : replies) {
+      if (r.slot >= 0) {
+        const int32_t label = slots[static_cast<size_t>(r.slot)];
+        if (label == kSchemaMismatchLabel) {
+          out += "ERR model schema changed mid-flight";
+        } else {
+          out += StrPrintf("%d", label);
+        }
+      } else {
+        out += r.text;
+      }
+      out += '\n';
+    }
+    replies.clear();
+    used_slots = 0;
+    if (!SendAll(fd, out.data(), out.size())) send_failed = true;
+    return !send_failed;
+  };
+
+  auto process_line = [&](std::string line) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.size() > options_.max_line_bytes) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      replies.push_back({"ERR line too long", -1});
+      return;
+    }
+    if (line.empty()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      replies.push_back({"ERR empty line", -1});
+      return;
+    }
+    switch (ClassifyRequestLine(line)) {
+      case RequestKind::kRecord: {
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        const std::shared_ptr<const ServableModel> model =
+            registry_->Snapshot();
+        Result<Tuple> tuple = ParseRecordLine(line, model->schema);
+        if (!tuple.ok()) {
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          replies.push_back({"ERR " + tuple.status().message(), -1});
+          return;
+        }
+        internal::Request req;
+        req.tuple = std::move(*tuple);
+        req.out = &slots[used_slots];
+        req.wg = &wg;
+        // determinism-lint: allow(latency-histogram timestamp; no prediction depends on it)
+        req.admitted = std::chrono::steady_clock::now();
+        wg.Add(1);
+        if (queue_.TryPush(std::move(req))) {
+          replies.push_back({"", static_cast<int>(used_slots)});
+          ++used_slots;
+        } else {
+          wg.Done();  // never admitted; nothing to wait for
+          busy_.fetch_add(1, std::memory_order_relaxed);
+          replies.push_back({"BUSY", -1});
+        }
+        return;
+      }
+      case RequestKind::kStats:
+        replies.push_back({StatsJson(), -1});
+        return;
+      case RequestKind::kPing:
+        replies.push_back({"PONG", -1});
+        return;
+      case RequestKind::kQuit:
+        quit = true;
+        return;
+      case RequestKind::kReload: {
+        const std::string dir = ReloadArgument(line);
+        if (dir.empty()) {
+          replies.push_back({"ERR RELOAD needs a model directory", -1});
+          return;
+        }
+        const Status status = registry_->LoadAndSwap(dir, options_.selector);
+        if (status.ok()) {
+          const std::shared_ptr<const ServableModel> model =
+              registry_->Snapshot();
+          replies.push_back(
+              {StrPrintf("OK reloaded %s fingerprint %016llx", dir.c_str(),
+                         static_cast<unsigned long long>(model->fingerprint)),
+               -1});
+        } else {
+          replies.push_back({"ERR " + status.ToString(), -1});
+        }
+        return;
+      }
+      case RequestKind::kUnknown:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        replies.push_back({"ERR unknown command", -1});
+        return;
+    }
+  };
+
+  char chunk[4096];
+  bool reading = true;
+  while (reading && !quit && !send_failed) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      reading = false;  // peer half-closed; finish what is buffered
+    } else {
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+
+    size_t start = 0;
+    size_t nl;
+    while (!quit && (nl = buf.find('\n', start)) != std::string::npos) {
+      std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      if (skipping_long_line) {
+        // Tail of an oversized line already answered with ERR.
+        skipping_long_line = false;
+        continue;
+      }
+      process_line(std::move(line));
+      if (used_slots >= kReplyWindow || replies.size() >= kReplyWindow) {
+        if (!flush()) break;
+      }
+    }
+    buf.erase(0, start);
+    if (!skipping_long_line && buf.size() > options_.max_line_bytes) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      replies.push_back({"ERR line too long", -1});
+      skipping_long_line = true;
+      buf.clear();
+    } else if (skipping_long_line) {
+      buf.clear();
+    }
+    if (!reading && !quit && !buf.empty() && !skipping_long_line) {
+      process_line(std::move(buf));  // lenient: final unterminated line
+      buf.clear();
+    }
+    if (!flush()) break;
+  }
+
+  // Every submitted request points at this frame's slots; never leave
+  // before the scoring workers are done with them.
+  wg.Wait();
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void BoatServer::ScoringWorker() {
+  const size_t max_batch =
+      options_.max_batch > 0 ? static_cast<size_t>(options_.max_batch) : 1;
+  std::vector<internal::Request> batch;
+  batch.reserve(max_batch);
+  std::vector<Tuple> tuples;
+  tuples.reserve(max_batch);
+  std::vector<int32_t> out;
+
+  for (;;) {
+    std::optional<internal::Request> first = queue_.Pop();
+    if (!first.has_value()) return;  // closed and drained
+    {
+      // Test-only gate (see SetScoringPausedForTest): holding the popped
+      // request here lets backpressure tests fill the queue exactly.
+      std::unique_lock<std::mutex> lock(pause_mu_);
+      pause_cv_.wait(lock,
+                     [&] { return !scoring_paused_ || queue_.closed(); });
+    }
+    batch.clear();
+    batch.push_back(std::move(*first));
+    // Greedy drain: take everything already queued under one lock, without
+    // waiting. Under a saturated pipeline this alone builds large batches,
+    // and waiting would only add latency.
+    queue_.PopAllInto(&batch, max_batch - batch.size());
+    if (batch.size() < max_batch && max_batch > 1 && options_.linger_us > 0) {
+      // Gather: yield the CPU to the connection handlers that are parsing
+      // the next records and drain again, as long as that makes progress.
+      // The moment producers stall with records in hand we score what we
+      // have — a wave in flight is never delayed by the linger. Only with a
+      // single record and an empty queue do we block (bounded by linger_us)
+      // for a companion record, so light concurrency still coalesces.
+      // determinism-lint: allow(linger deadline bounds batch wait; predictions are batch-invariant)
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(options_.linger_us);
+      for (;;) {
+        std::this_thread::yield();
+        const size_t got =
+            queue_.PopAllInto(&batch, max_batch - batch.size());
+        if (batch.size() >= max_batch) break;
+        if (got == 0) {
+          if (batch.size() > 1) break;  // producers stalled; score now
+          std::optional<internal::Request> r = queue_.PopUntil(deadline);
+          if (!r.has_value()) break;  // linger elapsed or queue closed
+          batch.push_back(std::move(*r));
+        }
+        // determinism-lint: allow(linger deadline bounds batch wait; predictions are batch-invariant)
+        if (std::chrono::steady_clock::now() >= deadline) break;
+      }
+    }
+
+    // One model snapshot per batch: a concurrent RELOAD swaps the registry
+    // pointer, never this batch's model (RCU-style; see model_registry.h).
+    const std::shared_ptr<const ServableModel> model = registry_->Snapshot();
+    const int arity = model->schema.num_attributes();
+    bool uniform = true;
+    for (const internal::Request& r : batch) {
+      if (r.tuple.num_values() != arity) {
+        uniform = false;
+        break;
+      }
+    }
+    out.assign(batch.size(), 0);
+    if (uniform) {
+      tuples.clear();
+      for (internal::Request& r : batch) tuples.push_back(std::move(r.tuple));
+      model->compiled.Predict(tuples, out, /*num_threads=*/1);
+    } else {
+      // A hot reload changed the schema arity between admission and
+      // scoring: score matching tuples, flag the rest.
+      for (size_t i = 0; i < batch.size(); ++i) {
+        out[i] = batch[i].tuple.num_values() == arity
+                     ? model->compiled.Classify(batch[i].tuple)
+                     : kSchemaMismatchLabel;
+      }
+    }
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_size_hist_.Record(batch.size());
+    // determinism-lint: allow(latency-histogram timestamp; no prediction depends on it)
+    const auto end = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          end - batch[i].admitted)
+                          .count();
+      latency_us_hist_.Record(us > 0 ? static_cast<uint64_t>(us) : 0);
+      *batch[i].out = out[i];
+    }
+    // All labels are written; release the per-window wait groups with one
+    // counted Done per run of same-window records. Handlers submit whole
+    // reply windows in bursts, so runs are long and the wg mutex is paid
+    // per window, not per record.
+    size_t run_start = 0;
+    for (size_t i = 1; i <= batch.size(); ++i) {
+      if (i == batch.size() || batch[i].wg != batch[run_start].wg) {
+        batch[run_start].wg->Done(i - run_start);
+        run_start = i;
+      }
+    }
+  }
+}
+
+std::string BoatServer::StatsJson() const {
+  const std::shared_ptr<const ServableModel> model = registry_->Snapshot();
+  std::string json = "{";
+  json += StrPrintf(
+      "\"requests\":%llu,\"errors\":%llu,\"busy\":%llu,\"batches\":%llu,"
+      "\"queue_depth\":%zu,\"reloads\":%lld",
+      static_cast<unsigned long long>(
+          requests_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(errors_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(busy_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          batches_.load(std::memory_order_relaxed)),
+      queue_.size(),
+      static_cast<long long>(registry_->reload_count()));
+  json += ",\"batch_size_hist\":" + batch_size_hist_.ToJson();
+  json += StrPrintf(
+      ",\"latency_us\":{\"count\":%llu,\"p50\":%llu,\"p99\":%llu}",
+      static_cast<unsigned long long>(latency_us_hist_.TotalCount()),
+      static_cast<unsigned long long>(latency_us_hist_.ValueAtQuantile(0.5)),
+      static_cast<unsigned long long>(latency_us_hist_.ValueAtQuantile(0.99)));
+  if (model != nullptr) {
+    json += StrPrintf(
+        ",\"model\":{\"fingerprint\":\"%016llx\",\"nodes\":%zu,"
+        "\"dir\":\"%s\"}",
+        static_cast<unsigned long long>(model->fingerprint),
+        model->tree_nodes, model->source_dir.c_str());
+  }
+  json += "}";
+  return json;
+}
+
+}  // namespace boat::serve

@@ -1,0 +1,183 @@
+// BoatServer: a micro-batching TCP model server over the CompiledTree
+// batch-inference path.
+//
+// Architecture (see DESIGN.md §8):
+//   * one accept thread; one handler thread per connection (bounded by
+//     max_connections — excess connections get one BUSY line and a close);
+//   * handlers parse newline-delimited wire requests (serve/wire.h),
+//     validate them against the active model's schema, and submit accepted
+//     records to a bounded admission queue (common/bounded_queue.h). A full
+//     queue yields an immediate per-line BUSY reply — backpressure, not
+//     unbounded buffering;
+//   * scoring_threads batch workers pop the queue and gather a micro-batch:
+//     bulk-drain everything already queued, then alternate yield/drain while
+//     the handlers keep producing (blocking, bounded by linger_us, only when
+//     a single record is in hand). The whole batch is scored with one
+//     CompiledTree::Predict call against one ModelRegistry snapshot — this
+//     amortizes per-request synchronization and keeps hot-reload atomic per
+//     batch;
+//   * replies are written strictly in request order per connection;
+//     handlers pipeline up to an internal reply window before waiting.
+//
+// Shutdown() (SIGTERM in boatd) is a graceful drain: stop accepting,
+// half-close every connection's read side (handlers finish replying to
+// everything already received), close the queue, join the workers. No
+// admitted request is dropped.
+
+#ifndef BOAT_SERVE_SERVER_H_
+#define BOAT_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "serve/model_registry.h"
+#include "storage/tuple.h"
+
+namespace boat::serve {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+  int port = 0;
+  /// Number of micro-batch scoring worker threads.
+  int scoring_threads = 1;
+  /// Maximum records per micro-batch.
+  int max_batch = 2048;
+  /// Upper bound on the time a worker spends gathering one micro-batch, in
+  /// microseconds. A worker first bulk-drains everything already queued and
+  /// keeps draining while producers make progress; it only sleeps (within
+  /// this bound) when exactly one record is in hand and the queue is empty,
+  /// so a saturated pipeline never waits out the linger.
+  int64_t linger_us = 1000;
+  /// Admission-queue high-water mark; a full queue replies BUSY.
+  size_t queue_capacity = 8192;
+  /// Request lines longer than this are rejected with ERR.
+  size_t max_line_bytes = 64 * 1024;
+  /// Connection cap; excess accepts receive one BUSY line and are closed.
+  int max_connections = 256;
+  /// Split-selector name RELOAD passes to LoadClassifier.
+  std::string selector = "gini";
+};
+
+namespace internal {
+
+/// \brief Counts outstanding requests of one reply window; the connection
+/// handler waits until every scored label has been written to its slot.
+class WaitGroup {
+ public:
+  void Add(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += n;
+  }
+  /// \brief Marks `n` requests complete. Notifies under the lock so a
+  /// waiter can never return (and destroy this WaitGroup) while the
+  /// notification is still in flight.
+  void Done(size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ -= n;
+    if (pending_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
+
+/// \brief One admitted record: the parsed tuple, the label slot the scoring
+/// worker writes, and the window's wait group.
+struct Request {
+  Tuple tuple;
+  int32_t* out = nullptr;
+  WaitGroup* wg = nullptr;
+  std::chrono::steady_clock::time_point admitted;
+};
+
+}  // namespace internal
+
+class BoatServer {
+ public:
+  /// \brief `registry` must hold an active model before Start() and must
+  /// outlive the server.
+  BoatServer(ModelRegistry* registry, ServerOptions options);
+  ~BoatServer();
+
+  BoatServer(const BoatServer&) = delete;
+  BoatServer& operator=(const BoatServer&) = delete;
+
+  /// \brief Binds, listens, and spawns the accept and scoring threads.
+  Status Start();
+
+  /// \brief The bound port (useful with options.port == 0).
+  int port() const { return port_; }
+
+  /// \brief Graceful drain; idempotent, also run by the destructor.
+  void Shutdown();
+
+  /// \brief The STATS admin reply: one JSON object with request/batch
+  /// counters, the batch-size histogram, latency quantiles, queue depth,
+  /// reload count, and the live model fingerprint.
+  std::string StatsJson() const;
+
+  /// \brief Test hook: while paused, scoring workers do not pop the
+  /// admission queue, so the queue fills deterministically (backpressure
+  /// tests). Never used by boatd.
+  void SetScoringPausedForTest(bool paused);
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Conn* conn);
+  void ScoringWorker();
+  /// Joins and closes finished connections; callers hold conns_mu_.
+  void ReapFinishedLocked();
+
+  ModelRegistry* const registry_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  BoundedQueue<internal::Request> queue_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool scoring_paused_ = false;
+
+  // Counters for STATS; relaxed atomics, monotonically increasing.
+  std::atomic<uint64_t> requests_{0};  ///< data-record lines admitted or not
+  std::atomic<uint64_t> errors_{0};    ///< per-line ERR replies
+  std::atomic<uint64_t> busy_{0};      ///< per-line BUSY replies
+  std::atomic<uint64_t> batches_{0};
+  Log2Histogram batch_size_hist_;
+  Log2Histogram latency_us_hist_;
+};
+
+}  // namespace boat::serve
+
+#endif  // BOAT_SERVE_SERVER_H_

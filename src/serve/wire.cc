@@ -1,0 +1,124 @@
+#include "serve/wire.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "storage/csv.h"
+
+namespace boat::serve {
+
+namespace {
+
+bool IsAsciiLetter(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end &&
+         (s[begin] == ' ' || s[begin] == '\t' || s[begin] == '\r')) {
+    ++begin;
+  }
+  while (end > begin &&
+         (s[end - 1] == ' ' || s[end - 1] == '\t' || s[end - 1] == '\r')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool ParseDouble(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(field.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseCategory(const std::string& field, int32_t* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+RequestKind ClassifyRequestLine(const std::string& line) {
+  size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || !IsAsciiLetter(line[i])) return RequestKind::kRecord;
+  const std::string trimmed = Trim(line.substr(i));
+  if (trimmed == "STATS") return RequestKind::kStats;
+  if (trimmed == "PING") return RequestKind::kPing;
+  if (trimmed == "QUIT") return RequestKind::kQuit;
+  if (trimmed.rfind("RELOAD", 0) == 0 &&
+      (trimmed.size() == 6 || trimmed[6] == ' ' || trimmed[6] == '\t')) {
+    return RequestKind::kReload;
+  }
+  return RequestKind::kUnknown;
+}
+
+std::string ReloadArgument(const std::string& line) {
+  const std::string trimmed = Trim(line);
+  if (trimmed.size() <= 6) return "";
+  return Trim(trimmed.substr(6));
+}
+
+Result<Tuple> ParseRecordLine(const std::string& line, const Schema& schema) {
+  const std::vector<std::string> fields = SplitCsvLine(line, ',');
+  const int arity = schema.num_attributes();
+  if (static_cast<int>(fields.size()) != arity) {
+    return Status::InvalidArgument(
+        StrPrintf("schema arity mismatch: got %zu fields, want %d",
+                  fields.size(), arity));
+  }
+  std::vector<double> values(static_cast<size_t>(arity));
+  for (int a = 0; a < arity; ++a) {
+    const std::string& field = fields[static_cast<size_t>(a)];
+    if (schema.IsNumerical(a)) {
+      double v = 0;
+      if (!ParseDouble(field, &v)) {
+        return Status::InvalidArgument(StrPrintf(
+            "field %d ('%s') is not a number", a, field.c_str()));
+      }
+      values[static_cast<size_t>(a)] = v;
+    } else {
+      int32_t c = 0;
+      if (!ParseCategory(field, &c)) {
+        return Status::InvalidArgument(StrPrintf(
+            "field %d ('%s') is not a category id", a, field.c_str()));
+      }
+      const int32_t card = schema.attribute(a).cardinality;
+      if (c < 0 || c >= card) {
+        return Status::InvalidArgument(StrPrintf(
+            "field %d category %d out of range [0, %d)", a, c, card));
+      }
+      values[static_cast<size_t>(a)] = static_cast<double>(c);
+    }
+  }
+  return Tuple(std::move(values), /*label=*/0);
+}
+
+std::vector<std::string> FormatRecordLines(const Schema& schema,
+                                           const std::vector<Tuple>& tuples) {
+  std::vector<std::string> lines;
+  lines.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    std::string line;
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (a > 0) line += ',';
+      if (schema.IsNumerical(a)) {
+        line += StrPrintf("%.17g", t.value(a));
+      } else {
+        line += StrPrintf("%d", t.category(a));
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace boat::serve

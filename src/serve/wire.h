@@ -1,0 +1,69 @@
+// boatd wire protocol v1: newline-delimited text over one TCP connection.
+//
+// Client -> server, one request per line:
+//   * data record:  CSV fields, exactly schema.num_attributes() of them, no
+//     label column. Numerical attributes parse as doubles (strtod, full
+//     consume); categorical attributes parse as decimal integers in
+//     [0, cardinality). Records never start with an ASCII letter.
+//   * admin:        a line whose first character is a letter —
+//       STATS         -> one-line JSON stats object
+//       RELOAD <dir>  -> hot-swaps the model from a SaveClassifier directory
+//       PING          -> PONG
+//       QUIT          -> server closes the connection
+//
+// Server -> client, exactly one line per request line, in request order:
+//   * <label>        decimal class id, for an accepted data record
+//   * ERR <reason>   the line was rejected (parse/validation); the
+//                    connection stays usable
+//   * BUSY           the admission queue was full; retry later
+//   * OK ... / PONG / {json}   admin replies
+//
+// Parsing is schema-driven and bounded: lines longer than
+// ServerOptions::max_line_bytes are rejected before parsing, so a hostile
+// client cannot make the server buffer an unbounded record.
+
+#ifndef BOAT_SERVE_WIRE_H_
+#define BOAT_SERVE_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace boat::serve {
+
+/// \brief Kind of one request line.
+enum class RequestKind {
+  kRecord,   ///< CSV data record to classify
+  kStats,    ///< STATS
+  kReload,   ///< RELOAD <dir>
+  kPing,     ///< PING
+  kQuit,     ///< QUIT
+  kUnknown,  ///< starts with a letter but is not a known admin command
+};
+
+/// \brief Classifies a request line without parsing record fields. Records
+/// are any line not starting with an ASCII letter (record fields are
+/// numeric, admin verbs are words).
+RequestKind ClassifyRequestLine(const std::string& line);
+
+/// \brief Argument of a RELOAD line (the directory), trimmed.
+std::string ReloadArgument(const std::string& line);
+
+/// \brief Parses one data-record line against `schema`: splits the CSV
+/// fields, checks the arity, and converts each field per the attribute type
+/// (double for numerical; integer in [0, cardinality) for categorical).
+/// The returned tuple has label 0 — the label is what the server predicts.
+Result<Tuple> ParseRecordLine(const std::string& line, const Schema& schema);
+
+/// \brief Formats `tuples` as wire record lines (no trailing newline).
+/// Numerical values are rendered with %.17g so the server-side strtod
+/// reconstructs bit-identical doubles; categorical values as plain ints.
+std::vector<std::string> FormatRecordLines(const Schema& schema,
+                                           const std::vector<Tuple>& tuples);
+
+}  // namespace boat::serve
+
+#endif  // BOAT_SERVE_WIRE_H_

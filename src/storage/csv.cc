@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <istream>
 #include <sstream>
 #include <unordered_map>
 
@@ -115,7 +116,10 @@ Result<CsvDataset> LoadCsv(const std::string& path,
                            const CsvOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  return LoadCsv(in, options);
+}
 
+Result<CsvDataset> LoadCsv(std::istream& in, const CsvOptions& options) {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
   std::string line;

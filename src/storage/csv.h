@@ -9,6 +9,7 @@
 #ifndef BOAT_STORAGE_CSV_H_
 #define BOAT_STORAGE_CSV_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,11 @@ struct CsvDataset {
 
 /// \brief Loads a CSV file, inferring the schema.
 Result<CsvDataset> LoadCsv(const std::string& path,
+                           const CsvOptions& options = CsvOptions());
+
+/// \brief Loads CSV from an already-open stream (e.g. stdin for
+/// `boatc classify --data -`), inferring the schema.
+Result<CsvDataset> LoadCsv(std::istream& in,
                            const CsvOptions& options = CsvOptions());
 
 /// \brief Writes tuples as CSV (header from the schema; categorical values

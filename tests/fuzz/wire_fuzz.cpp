@@ -1,0 +1,98 @@
+// Fuzz harness for the serving wire protocol (src/serve/wire.h).
+//
+// Properties, for arbitrary request-line bytes:
+//   1. ClassifyRequestLine never crashes and always returns a valid kind.
+//   2. ParseRecordLine never crashes, and when it accepts a line the
+//      resulting tuple has exactly the schema's arity, with every
+//      categorical value inside [0, cardinality).
+//   3. Round trip: a tuple accepted by ParseRecordLine, re-rendered with
+//      FormatRecordLines, parses again to the bit-identical tuple (this is
+//      the property the byte-identical serving guarantee rests on).
+//
+// The line is fuzzed against two schemas (all-numerical and mixed
+// numerical/categorical) chosen by the first input byte.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+#include "storage/schema.h"
+#include "tests/fuzz/fuzz_driver.h"
+
+namespace {
+
+const boat::Schema& FuzzSchema(bool mixed) {
+  static const boat::Schema numerical(
+      {boat::Attribute::Numerical("a"), boat::Attribute::Numerical("b"),
+       boat::Attribute::Numerical("c")},
+      /*num_classes=*/2);
+  static const boat::Schema with_categorical(
+      {boat::Attribute::Numerical("x"),
+       boat::Attribute::Categorical("color", 5),
+       boat::Attribute::Categorical("shape", 3),
+       boat::Attribute::Numerical("y")},
+      /*num_classes=*/3);
+  return mixed ? with_categorical : numerical;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const bool mixed = size != 0 && (data[0] & 1) != 0;
+  const boat::Schema& schema = FuzzSchema(mixed);
+  const std::string line(
+      size <= 1 ? "" : reinterpret_cast<const char*>(data + 1), size <= 1
+                                                                    ? 0
+                                                                    : size - 1);
+
+  // Property 1: classification is total.
+  const boat::serve::RequestKind kind = boat::serve::ClassifyRequestLine(line);
+  switch (kind) {
+    case boat::serve::RequestKind::kRecord:
+    case boat::serve::RequestKind::kStats:
+    case boat::serve::RequestKind::kReload:
+    case boat::serve::RequestKind::kPing:
+    case boat::serve::RequestKind::kQuit:
+    case boat::serve::RequestKind::kUnknown:
+      break;
+  }
+  (void)boat::serve::ReloadArgument(line);
+
+  // Property 2: parsing is total and validates.
+  boat::Result<boat::Tuple> parsed =
+      boat::serve::ParseRecordLine(line, schema);
+  if (!parsed.ok()) return 0;
+  const boat::Tuple& tuple = *parsed;
+  if (tuple.num_values() != schema.num_attributes()) std::abort();
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.IsCategorical(a)) {
+      const int32_t c = tuple.category(a);
+      if (c < 0 || c >= schema.attribute(a).cardinality) std::abort();
+    }
+  }
+
+  // Property 3: format/parse round trip is bit-exact.
+  const std::vector<std::string> rendered =
+      boat::serve::FormatRecordLines(schema, {tuple});
+  if (rendered.size() != 1) std::abort();
+  boat::Result<boat::Tuple> reparsed =
+      boat::serve::ParseRecordLine(rendered[0], schema);
+  if (!reparsed.ok()) {
+    std::fprintf(stderr, "round trip rejected [%s] from [%s]\n",
+                 rendered[0].c_str(), line.c_str());
+    std::abort();
+  }
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (tuple.value(a) != reparsed->value(a) &&
+        !(tuple.value(a) != tuple.value(a) &&
+          reparsed->value(a) != reparsed->value(a))) {  // NaN == NaN here
+      std::fprintf(stderr, "round trip value %d differs via [%s]\n", a,
+                   rendered[0].c_str());
+      std::abort();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,561 @@
+// Serving subsystem tests: histogram and queue primitives, the wire
+// protocol (including every malformed-input path — the server must answer
+// a clean per-line ERR and never crash or poison a batch), the hot-swap
+// model registry, and full end-to-end coverage of BoatServer over real
+// sockets: correct labels, admin commands, half-closed connections,
+// deterministic BUSY backpressure, graceful drain, and reload-under-load
+// (run in CI under -DBOAT_SANITIZE=thread).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "boat/persistence.h"
+#include "common/bounded_queue.h"
+#include "common/histogram.h"
+#include "datagen/agrawal.h"
+#include "serve/loadgen.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "storage/temp_file.h"
+#include "storage/tuple_source.h"
+#include "tree/inmem_builder.h"
+
+namespace boat {
+namespace {
+
+using serve::BoatServer;
+using serve::ModelRegistry;
+using serve::RequestKind;
+using serve::ServableModel;
+using serve::ServerOptions;
+
+// ------------------------------------------------------------ primitives
+
+TEST(Log2HistogramTest, BucketsAndQuantiles) {
+  EXPECT_EQ(Log2Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Log2Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Log2Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Log2Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Log2Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Log2Histogram::BucketOf(uint64_t{1} << 62),
+            Log2Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Log2Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Log2Histogram::BucketUpperBound(3), 7u);
+
+  Log2Histogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  for (int i = 0; i < 90; ++i) h.Record(3);    // bucket 2, upper bound 3
+  for (int i = 0; i < 10; ++i) h.Record(100);  // bucket 7, upper bound 127
+  EXPECT_EQ(h.TotalCount(), 100u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 3u);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 127u);
+
+  Log2Histogram other;
+  other.Record(3);
+  other.MergeFrom(h);
+  EXPECT_EQ(other.TotalCount(), 101u);
+  EXPECT_EQ(other.ToJson(), "[[3,91],[127,10]]");
+}
+
+TEST(BoundedQueueTest, CapacityAndClose) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: backpressure, not blocking
+  EXPECT_EQ(q.size(), 2u);
+
+  auto a = q.Pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_TRUE(q.TryPush(3));
+
+  q.Close();
+  EXPECT_FALSE(q.TryPush(4));  // closed
+  EXPECT_EQ(*q.Pop(), 2);      // drains remaining items...
+  EXPECT_EQ(*q.Pop(), 3);
+  EXPECT_FALSE(q.Pop().has_value());  // ...then reports end-of-stream
+}
+
+TEST(BoundedQueueTest, PopAllIntoDrainsInOrderUpToMax) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.TryPush(i));
+  std::vector<int> got;
+  EXPECT_EQ(q.PopAllInto(&got, 3), 3u);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.PopAllInto(&got, 100), 2u);  // appends, never blocks
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.PopAllInto(&got, 100), 0u);  // empty queue: no-op
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPushOrClose) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] { EXPECT_TRUE(q.TryPush(7)); });
+  EXPECT_EQ(*q.Pop(), 7);
+  producer.join();
+  std::thread closer([&] { q.Close(); });
+  EXPECT_FALSE(q.Pop().has_value());
+  closer.join();
+}
+
+// ------------------------------------------------------------------ wire
+
+Schema WireSchema() {
+  return Schema({Attribute::Numerical("x"), Attribute::Categorical("c", 4),
+                 Attribute::Numerical("y")},
+                /*num_classes=*/2);
+}
+
+TEST(WireTest, ClassifiesRequestLines) {
+  EXPECT_EQ(serve::ClassifyRequestLine("1.5,2,3"), RequestKind::kRecord);
+  EXPECT_EQ(serve::ClassifyRequestLine("-4,0,1"), RequestKind::kRecord);
+  EXPECT_EQ(serve::ClassifyRequestLine("  7,1,2"), RequestKind::kRecord);
+  EXPECT_EQ(serve::ClassifyRequestLine("STATS"), RequestKind::kStats);
+  EXPECT_EQ(serve::ClassifyRequestLine("PING"), RequestKind::kPing);
+  EXPECT_EQ(serve::ClassifyRequestLine("QUIT"), RequestKind::kQuit);
+  EXPECT_EQ(serve::ClassifyRequestLine("RELOAD /m"), RequestKind::kReload);
+  EXPECT_EQ(serve::ClassifyRequestLine("RELOAD"), RequestKind::kReload);
+  EXPECT_EQ(serve::ClassifyRequestLine("RELOADED"), RequestKind::kUnknown);
+  EXPECT_EQ(serve::ClassifyRequestLine("FROB"), RequestKind::kUnknown);
+  EXPECT_EQ(serve::ReloadArgument("RELOAD  /a/b "), "/a/b");
+  EXPECT_EQ(serve::ReloadArgument("RELOAD"), "");
+}
+
+TEST(WireTest, ParsesValidRecord) {
+  const Schema schema = WireSchema();
+  auto t = serve::ParseRecordLine("1.25,3,-7.5", schema);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->value(0), 1.25);
+  EXPECT_EQ(t->category(1), 3);
+  EXPECT_EQ(t->value(2), -7.5);
+}
+
+TEST(WireTest, RejectsMalformedRecords) {
+  const Schema schema = WireSchema();
+  EXPECT_FALSE(serve::ParseRecordLine("1,2", schema).ok());  // arity
+  EXPECT_FALSE(serve::ParseRecordLine("1,2,3,4", schema).ok());
+  EXPECT_FALSE(serve::ParseRecordLine("1,notanum,3", schema).ok());
+  EXPECT_FALSE(serve::ParseRecordLine("1,2.5,3", schema).ok());  // cat float
+  EXPECT_FALSE(serve::ParseRecordLine("1,4,3", schema).ok());  // cat range
+  EXPECT_FALSE(serve::ParseRecordLine("1,-1,3", schema).ok());
+  EXPECT_FALSE(serve::ParseRecordLine("", schema).ok());
+  EXPECT_FALSE(serve::ParseRecordLine(",,", schema).ok());
+}
+
+TEST(WireTest, FormatParseRoundTripIsExact) {
+  const Schema schema = MakeAgrawalSchema();
+  AgrawalConfig config;
+  config.function = 5;
+  config.seed = 91;
+  const auto tuples = GenerateAgrawal(config, 500);
+  const auto lines = serve::FormatRecordLines(schema, tuples);
+  ASSERT_EQ(lines.size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto parsed = serve::ParseRecordLine(lines[i], schema);
+    ASSERT_TRUE(parsed.ok()) << lines[i];
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      // Bit-exact: %.17g guarantees strtod round-trips every double, which
+      // is what makes served labels byte-identical to offline classify.
+      EXPECT_EQ(parsed->value(a), tuples[i].value(a)) << lines[i];
+    }
+  }
+}
+
+// -------------------------------------------------------------- registry
+
+std::vector<Tuple> Corpus(int function, uint64_t n, uint64_t seed) {
+  AgrawalConfig config;
+  config.function = function;
+  config.noise = 0.05;
+  config.seed = seed;
+  return GenerateAgrawal(config, n);
+}
+
+std::shared_ptr<const ServableModel> InMemoryModel(int function,
+                                                   uint64_t seed) {
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(MakeAgrawalSchema(),
+                                        Corpus(function, 2000, seed),
+                                        *selector);
+  return std::make_shared<const ServableModel>(tree, "");
+}
+
+TEST(ModelRegistryTest, InstallAndSnapshot) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Snapshot(), nullptr);
+  auto m1 = InMemoryModel(1, 11);
+  auto m2 = InMemoryModel(6, 22);
+  registry.Install(m1);
+  EXPECT_EQ(registry.reload_count(), 0);
+  EXPECT_EQ(registry.Snapshot()->fingerprint, m1->fingerprint);
+  registry.Install(m2);
+  EXPECT_EQ(registry.reload_count(), 1);
+  EXPECT_NE(m1->fingerprint, m2->fingerprint);
+  EXPECT_EQ(registry.Snapshot()->fingerprint, m2->fingerprint);
+  // The old snapshot stays valid for holders (RCU-style reclamation).
+  EXPECT_GT(m1->tree_nodes, 0u);
+}
+
+TEST(ModelRegistryTest, LoadAndSwapFailureKeepsActiveModel) {
+  ModelRegistry registry;
+  auto m1 = InMemoryModel(1, 33);
+  registry.Install(m1);
+  EXPECT_FALSE(registry.LoadAndSwap("/nonexistent/model", "gini").ok());
+  EXPECT_EQ(registry.Snapshot()->fingerprint, m1->fingerprint);
+  EXPECT_EQ(registry.reload_count(), 0);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+/// Minimal blocking line client with a receive timeout so a server bug
+/// fails the test instead of hanging it.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0)
+        << std::strerror(errno);
+    timeval tv{/*tv_sec=*/20, /*tv_usec=*/0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  /// One reply line ("" on timeout/EOF).
+  std::string ReadLine() {
+    size_t nl;
+    while ((nl = buf_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return line;
+  }
+
+  /// True once the server closed the connection.
+  bool ReadEof() {
+    char chunk[256];
+    return ::recv(fd_, chunk, sizeof(chunk), 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+class ServeE2eTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options) {
+    model_ = InMemoryModel(6, 77);
+    registry_.Install(model_);
+    server_ = std::make_unique<BoatServer>(&registry_, options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  std::string ExpectedLabel(const Tuple& t) const {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", model_->compiled.Classify(t));
+    return buf;
+  }
+
+  std::shared_ptr<const ServableModel> model_;
+  ModelRegistry registry_;
+  std::unique_ptr<BoatServer> server_;
+};
+
+TEST_F(ServeE2eTest, ServesCorrectLabelsAndAdminCommands) {
+  StartServer(ServerOptions{});
+  const auto tuples = Corpus(6, 300, 123);
+  const auto lines = serve::FormatRecordLines(model_->schema, tuples);
+
+  TestClient client(server_->port());
+  client.Send("PING\n");
+  EXPECT_EQ(client.ReadLine(), "PONG");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    client.Send(lines[i] + "\n");
+    EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[i])) << "record " << i;
+  }
+  client.Send("STATS\n");
+  const std::string stats = client.ReadLine();
+  EXPECT_NE(stats.find("\"requests\":300"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"model\":{\"fingerprint\":"), std::string::npos);
+  client.Send("QUIT\n");
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(ServeE2eTest, PipelinedBatchIsOrderedAndCorrect) {
+  ServerOptions options;
+  options.max_batch = 64;
+  StartServer(options);
+  const auto tuples = Corpus(6, 500, 321);
+  const auto lines = serve::FormatRecordLines(model_->schema, tuples);
+
+  TestClient client(server_->port());
+  std::string all;
+  for (const auto& line : lines) all += line + "\n";
+  client.Send(all);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[i])) << "record " << i;
+  }
+}
+
+TEST_F(ServeE2eTest, MalformedLinesGetErrWithoutPoisoningTheBatch) {
+  StartServer(ServerOptions{});
+  const auto tuples = Corpus(6, 4, 55);
+  const auto lines = serve::FormatRecordLines(model_->schema, tuples);
+
+  TestClient client(server_->port());
+  // Interleave good records with every malformed shape in one pipeline.
+  client.Send(lines[0] + "\n" +
+              "1,2,3\n" +                      // arity mismatch
+              lines[1] + "\n" +
+              "zzz\n" +                        // unknown command
+              "\n" +                           // empty line
+              lines[2] + "\n" +
+              "nope,1,1,1,1,1,1,1,1\n" +       // bad field
+              lines[3] + "\n");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[0]));
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "ERR");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[1]));
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "ERR");
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "ERR");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[2]));
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "ERR");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[3]));
+}
+
+TEST_F(ServeE2eTest, OversizedLineGetsErrAndConnectionSurvives) {
+  ServerOptions options;
+  options.max_line_bytes = 128;
+  StartServer(options);
+  const auto tuples = Corpus(6, 1, 66);
+  const auto lines = serve::FormatRecordLines(model_->schema, tuples);
+
+  TestClient client(server_->port());
+  client.Send(std::string(300, '1') + "\n" + lines[0] + "\n");
+  EXPECT_EQ(client.ReadLine(), "ERR line too long");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[0]));
+}
+
+TEST_F(ServeE2eTest, HalfClosedConnectionDrainsCleanly) {
+  StartServer(ServerOptions{});
+  const auto tuples = Corpus(6, 3, 88);
+  const auto lines = serve::FormatRecordLines(model_->schema, tuples);
+
+  TestClient client(server_->port());
+  // Final line unterminated; the handler must still answer it after EOF.
+  client.Send(lines[0] + "\n" + lines[1] + "\n" + lines[2]);
+  client.ShutdownWrite();
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[0]));
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[1]));
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[2]));
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(ServeE2eTest, FullQueueYieldsBusyNotUnboundedMemory) {
+  ServerOptions options;
+  options.queue_capacity = 4;
+  options.scoring_threads = 1;
+  options.max_batch = 64;
+  StartServer(options);
+  const auto tuples = Corpus(6, 8, 99);
+  const auto lines = serve::FormatRecordLines(model_->schema, tuples);
+
+  server_->SetScoringPausedForTest(true);
+  // First record: the (sole) worker pops it off the queue and then blocks
+  // on the pause gate, leaving the queue empty and stable.
+  TestClient held(server_->port());
+  held.Send(lines[0] + "\n");
+  TestClient admin(server_->port());
+  for (int spin = 0; spin < 200; ++spin) {
+    admin.Send("STATS\n");
+    const std::string stats = admin.ReadLine();
+    if (stats.find("\"requests\":1,") != std::string::npos &&
+        stats.find("\"queue_depth\":0,") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Now exactly queue_capacity more records fit; the rest must get BUSY.
+  TestClient flood(server_->port());
+  std::string burst;
+  for (size_t i = 1; i < 8; ++i) burst += lines[i] + "\n";
+  flood.Send(burst);
+  server_->SetScoringPausedForTest(false);
+
+  EXPECT_EQ(held.ReadLine(), ExpectedLabel(tuples[0]));
+  for (size_t i = 1; i <= 4; ++i) {
+    EXPECT_EQ(flood.ReadLine(), ExpectedLabel(tuples[i])) << "record " << i;
+  }
+  for (size_t i = 5; i < 8; ++i) {
+    EXPECT_EQ(flood.ReadLine(), "BUSY") << "record " << i;
+  }
+}
+
+TEST_F(ServeE2eTest, ShutdownDrainsIdleConnections) {
+  StartServer(ServerOptions{});
+  const auto tuples = Corpus(6, 10, 44);
+  const auto lines = serve::FormatRecordLines(model_->schema, tuples);
+
+  TestClient client(server_->port());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    client.Send(lines[i] + "\n");
+    EXPECT_EQ(client.ReadLine(), ExpectedLabel(tuples[i]));
+  }
+  // The connection is idle but open; Shutdown must not hang on it and the
+  // client must observe a clean close.
+  server_->Shutdown();
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(ServeE2eTest, LoadGenAgainstServerChecksEveryLabel) {
+  StartServer(ServerOptions{});
+  const auto tuples = Corpus(6, 400, 7);
+  const auto lines = serve::FormatRecordLines(model_->schema, tuples);
+  std::vector<int32_t> expected;
+  expected.reserve(tuples.size());
+  for (const Tuple& t : tuples) expected.push_back(model_->compiled.Classify(t));
+
+  serve::LoadGenOptions options;
+  options.port = server_->port();
+  options.connections = 3;
+  options.repeat = 2;
+  auto report = serve::RunLoadGen(options, lines, &expected);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->sent, 400u * 3u * 2u);
+  EXPECT_EQ(report->ok, report->sent);
+  EXPECT_EQ(report->mismatches, 0u);
+  EXPECT_EQ(report->busy, 0u);
+  EXPECT_EQ(report->errors, 0u);
+}
+
+// Hot reload under live traffic: every reply must be a label that is valid
+// under exactly the old or the new model (no torn batch may mix per-tuple
+// models mid-prediction into something neither model would say), with zero
+// connection errors. CI additionally runs this whole binary under TSan.
+TEST(ServeReloadTest, ReloadUnderLoadNeverServesInvalidLabels) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+
+  // Two saved models with the same schema but different trees.
+  std::vector<std::string> dirs;
+  for (const int function : {1, 6}) {
+    auto data = Corpus(function, 3000, 500 + static_cast<uint64_t>(function));
+    VectorSource source(schema, data);
+    BoatOptions options;
+    options.sample_size = 600;
+    options.bootstrap_count = 5;
+    options.bootstrap_subsample = 200;
+    options.inmem_threshold = 400;
+    options.seed = 9;
+    auto classifier =
+        BoatClassifier::Train(&source, selector.get(), options);
+    ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+    const std::string dir =
+        temp->NewPath("serve_model_" + std::to_string(function));
+    ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+    dirs.push_back(dir);
+  }
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadAndSwap(dirs[0], "gini").ok());
+  ServerOptions options;
+  options.scoring_threads = 2;
+  BoatServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto tuples = Corpus(6, 200, 888);
+  const auto lines = serve::FormatRecordLines(schema, tuples);
+  // Per-record label sets valid under {model A, model B}.
+  std::vector<std::array<std::string, 2>> valid(tuples.size());
+  for (size_t d = 0; d < dirs.size(); ++d) {
+    auto model = serve::LoadServableModel(dirs[d], "gini");
+    ASSERT_TRUE(model.ok());
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%d",
+                    (*model)->compiled.Classify(tuples[i]));
+      valid[i][d] = buf;
+    }
+  }
+
+  std::atomic<int> bad_replies{0};
+  std::atomic<int> transport_errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      TestClient client(server.port());
+      for (int pass = 0; pass < 10; ++pass) {
+        std::string burst;
+        for (const auto& line : lines) burst += line + "\n";
+        client.Send(burst);
+        for (size_t i = 0; i < lines.size(); ++i) {
+          const std::string reply = client.ReadLine();
+          if (reply.empty()) {
+            transport_errors.fetch_add(1);
+            return;
+          }
+          if (reply != valid[i][0] && reply != valid[i][1]) {
+            bad_replies.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  std::thread reloader([&] {
+    TestClient admin(server.port());
+    for (int r = 0; r < 8; ++r) {
+      admin.Send("RELOAD " + dirs[static_cast<size_t>(r % 2 == 0)] + "\n");
+      const std::string reply = admin.ReadLine();
+      if (reply.substr(0, 2) != "OK") transport_errors.fetch_add(1);
+    }
+  });
+  for (auto& t : clients) t.join();
+  reloader.join();
+  server.Shutdown();
+
+  EXPECT_EQ(bad_replies.load(), 0);
+  EXPECT_EQ(transport_errors.load(), 0);
+  EXPECT_GE(registry.reload_count(), 8);
+}
+
+}  // namespace
+}  // namespace boat

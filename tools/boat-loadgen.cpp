@@ -1,0 +1,167 @@
+// boat-loadgen — load generator and correctness checker for boatd.
+//
+//   boat-loadgen --port P --data corpus.csv [--expected labels.txt]
+//                [--connections N] [--repeat R] [--window W] [--json]
+//
+// Loads the CSV corpus, renders each record in the serving wire format
+// (src/serve/wire.h — %.17g numerics, so the server parses back the exact
+// same doubles), drives N concurrent pipelined connections, and checks
+// every reply. --expected points at a label file as written by
+// `boatc classify --out` (one integer per line, aligned with the corpus);
+// any numeric reply that contradicts it counts as a mismatch and fails the
+// run. Exit status: 0 iff every reply was a correct label.
+//
+// --json prints one JSON object: {"command":"loadgen","connections":...,
+// "repeat":..., "window":..., "sent":..., "ok":..., "mismatches":...,
+// "busy":..., "errors":..., "seconds":..., "throughput_rps":...,
+// "latency_p50_us":..., "latency_p99_us":...}.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/loadgen.h"
+#include "serve/wire.h"
+#include "storage/csv.h"
+
+namespace {
+
+using namespace boat;
+using namespace boat::serve;
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& def = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtoll(it->second.c_str(),
+                                                    nullptr, 10);
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Require(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  const std::string data_path = flags.Require("data");
+  if (port <= 0) {
+    std::fprintf(stderr, "boat-loadgen: --port is required\n");
+    return 2;
+  }
+
+  auto dataset = LoadCsv(data_path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "boat-loadgen: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string> lines =
+      FormatRecordLines(dataset->schema, dataset->tuples);
+
+  std::vector<int32_t> expected;
+  const bool have_expected = flags.Has("expected");
+  if (have_expected) {
+    std::ifstream in(flags.Get("expected"));
+    if (!in) {
+      std::fprintf(stderr, "boat-loadgen: cannot open %s\n",
+                   flags.Get("expected").c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      expected.push_back(
+          static_cast<int32_t>(std::strtol(line.c_str(), nullptr, 10)));
+    }
+    if (expected.size() != lines.size()) {
+      std::fprintf(stderr,
+                   "boat-loadgen: %zu expected labels for %zu records\n",
+                   expected.size(), lines.size());
+      return 1;
+    }
+  }
+
+  LoadGenOptions options;
+  options.port = port;
+  options.connections = static_cast<int>(flags.GetInt("connections", 1));
+  options.repeat = static_cast<int>(flags.GetInt("repeat", 1));
+  options.window = static_cast<int>(flags.GetInt("window", 256));
+
+  auto report = RunLoadGen(options, lines, have_expected ? &expected : nullptr);
+  if (!report.ok()) {
+    std::fprintf(stderr, "boat-loadgen: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  if (flags.Has("json")) {
+    std::printf(
+        "{\"command\":\"loadgen\",\"connections\":%d,\"repeat\":%d,"
+        "\"window\":%d,\"sent\":%llu,\"ok\":%llu,\"mismatches\":%llu,"
+        "\"busy\":%llu,\"errors\":%llu,\"seconds\":%.6f,"
+        "\"throughput_rps\":%.1f,\"latency_p50_us\":%llu,"
+        "\"latency_p99_us\":%llu}\n",
+        options.connections, options.repeat, options.window,
+        static_cast<unsigned long long>(report->sent),
+        static_cast<unsigned long long>(report->ok),
+        static_cast<unsigned long long>(report->mismatches),
+        static_cast<unsigned long long>(report->busy),
+        static_cast<unsigned long long>(report->errors),
+        report->wall_seconds, report->throughput_rps,
+        static_cast<unsigned long long>(report->latency_p50_us),
+        static_cast<unsigned long long>(report->latency_p99_us));
+  } else {
+    std::printf(
+        "%llu requests over %d connection(s) in %.3fs — %.0f req/s, "
+        "p50 %lluus, p99 %lluus\n",
+        static_cast<unsigned long long>(report->sent), options.connections,
+        report->wall_seconds, report->throughput_rps,
+        static_cast<unsigned long long>(report->latency_p50_us),
+        static_cast<unsigned long long>(report->latency_p99_us));
+    std::printf("ok %llu, mismatches %llu, busy %llu, errors %llu\n",
+                static_cast<unsigned long long>(report->ok),
+                static_cast<unsigned long long>(report->mismatches),
+                static_cast<unsigned long long>(report->busy),
+                static_cast<unsigned long long>(report->errors));
+  }
+  const bool clean = report->mismatches == 0 && report->errors == 0 &&
+                     report->busy == 0 &&
+                     report->ok == report->sent;
+  return clean ? 0 : 1;
+}

@@ -217,6 +217,17 @@ struct LoadedData {
 
 LoadedData LoadData(const std::string& path, const Schema* expected) {
   LoadedData out;
+  if (path == "-") {
+    // CSV on stdin (header line included), for piping records straight
+    // into classify/evaluate.
+    auto dataset = LoadCsv(std::cin);
+    Check(dataset.status());
+    out.schema = dataset->schema;
+    out.tuples = std::move(dataset->tuples);
+    out.names.categories = std::move(dataset->categories);
+    out.names.classes = std::move(dataset->class_names);
+    return out;
+  }
   if (IsCsv(path)) {
     auto dataset = LoadCsv(path);
     Check(dataset.status());
@@ -480,7 +491,8 @@ int Usage() {
       "  update   --model DIR (--insert FILE | --delete FILE)\n"
       "  inspect  --model DIR [--rules] [--dot]\n"
       "Data files: .tbl (binary tables; Agrawal schema assumed for training)\n"
-      "or .csv (schema inferred at training time).\n");
+      "or .csv (schema inferred at training time). classify/evaluate also\n"
+      "accept `--data -` to read CSV (with header) from stdin.\n");
   return 2;
 }
 

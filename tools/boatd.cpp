@@ -1,0 +1,149 @@
+// boatd — the BOAT model server daemon.
+//
+//   boatd --model model/ [--port 0] [--threads 1] [--max-batch 2048]
+//         [--linger-us 1000] [--queue 8192] [--max-connections 256]
+//         [--selector gini]
+//
+// Serves newline-delimited CSV records over TCP (see src/serve/wire.h for
+// the protocol) through the micro-batching BoatServer. On startup prints
+// exactly one line to stdout:
+//
+//   boatd listening on port <N>
+//
+// so scripts can use --port 0 (ephemeral) and scrape the bound port.
+//
+// Signals (handled synchronously via sigwait, blocked in every thread):
+//   SIGHUP            reload the model from its original --model directory
+//                     (the RELOAD admin command can point elsewhere)
+//   SIGTERM, SIGINT   graceful drain: stop accepting, finish replying to
+//                     every received request, then exit 0
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "serve/model_registry.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace boat;
+using namespace boat::serve;
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& def = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtoll(it->second.c_str(),
+                                                    nullptr, 10);
+  }
+  std::string Require(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: boatd --model DIR [--port P] [--threads T]\n"
+               "             [--max-batch N] [--linger-us U] [--queue N]\n"
+               "             [--max-connections N] [--selector NAME]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (flags.Get("help") == "true") return Usage();
+  const std::string model_dir = flags.Require("model");
+  const std::string selector = flags.Get("selector", "gini");
+
+  // Block the handled signals before any thread exists so every server
+  // thread inherits the mask and sigwait below is the only receiver.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGHUP);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  ModelRegistry registry;
+  {
+    const Status status = registry.LoadAndSwap(model_dir, selector);
+    if (!status.ok()) {
+      std::fprintf(stderr, "boatd: cannot load model: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  ServerOptions options;
+  options.port = static_cast<int>(flags.GetInt("port", 0));
+  options.scoring_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.max_batch = static_cast<int>(flags.GetInt("max-batch", 2048));
+  options.linger_us = flags.GetInt("linger-us", 1000);
+  options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue", 8192));
+  options.max_connections =
+      static_cast<int>(flags.GetInt("max-connections", 256));
+  options.selector = selector;
+
+  BoatServer server(&registry, options);
+  {
+    const Status status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "boatd: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("boatd listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  for (;;) {
+    int sig = 0;
+    if (sigwait(&sigs, &sig) != 0) continue;
+    if (sig == SIGHUP) {
+      const Status status = registry.LoadAndSwap(model_dir, selector);
+      std::fprintf(stderr, "boatd: SIGHUP reload of %s: %s\n",
+                   model_dir.c_str(), status.ToString().c_str());
+      continue;
+    }
+    std::fprintf(stderr, "boatd: signal %d, draining\n", sig);
+    break;
+  }
+  server.Shutdown();
+  std::fprintf(stderr, "boatd: drained, exiting\n");
+  return 0;
+}

@@ -5,7 +5,7 @@ BOAT's exactness guarantee (PAPER.md §3) requires the optimistic tree to be
 bit-identical to the traditionally built one, for any thread count. Every
 source of nondeterminism inside the growth/split/cleanup paths breaks that
 guarantee silently, so this lint bans them statically in the library
-directories LINTED_DIRS (src/tree/, src/split/, src/boat/):
+directories LINTED_DIRS (src/tree/, src/split/, src/boat/, src/serve/):
 
   * rand(), srand()                — C RNG with global hidden state
   * std::random_device             — hardware entropy, different every run
@@ -18,6 +18,10 @@ directories LINTED_DIRS (src/tree/, src/split/, src/boat/):
   * Rng constructed from a literal or ad-hoc seed in library code — every
     library Rng must be derived via Rng::Split(stream_id) from the caller's
     seeded generator, so streams are stable regardless of thread interleaving
+  * wall-clock reads (::now(), gettimeofday, clock_gettime, Stopwatch) —
+    scoring and tree decisions must not depend on time; the serving code
+    (src/serve/) may read clocks for latency measurement only, and each such
+    site must be allowlisted with a justification
 
 A site that is provably safe can be allowlisted inline with a justification:
 
@@ -35,7 +39,10 @@ import re
 import sys
 
 # Directories whose code feeds tree construction and must be deterministic.
-LINTED_DIRS = ("src/tree", "src/split", "src/boat")
+# src/serve is included because its scoring path must be a pure function of
+# the model and the request bytes: wall-clock reads there are only legal for
+# latency measurement and must be allowlisted explicitly (rule wall-clock).
+LINTED_DIRS = ("src/tree", "src/split", "src/boat", "src/serve")
 
 ALLOW_RE = re.compile(r"//\s*determinism-lint:\s*allow\((?P<why>[^)]*)\)")
 
@@ -70,6 +77,19 @@ LINE_RULES = [
                    r"|bernoulli_distribution|discrete_distribution)\b"),
         "std <random> engines/distributions are not bit-stable across "
         "standard libraries; use boat::Rng",
+    ),
+    (
+        # Wall-clock reads make any decision derived from them (batch
+        # boundaries, predictions, split choices) time-dependent. Latency
+        # measurement is the one legitimate use and must carry an explicit
+        # allow() justification. Matches clock *calls* (::now(), C APIs,
+        # Stopwatch) rather than type mentions such as
+        # steady_clock::time_point, which are harmless.
+        "wall-clock",
+        re.compile(r"::now\s*\(|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+                   r"|\bStopwatch\b"),
+        "wall-clock read in linted code; results must not depend on time "
+        "(allow() it only for latency/throughput measurement)",
     ),
 ]
 
