@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "bench_common.h"
 #include "boat/bounds.h"
 #include "boat/builder.h"
@@ -401,10 +403,19 @@ void VerifyAndRecordInference() {
     const double n = static_cast<double>(fx.batch.size());
     const auto time_passes = [&](auto&& fn) {
       constexpr int kPasses = 5;
+      fn();  // untimed warmup: fault in pages, warm caches, spin up pools
       Stopwatch watch;
       for (int p = 0; p < kPasses; ++p) fn();
       return n * kPasses / watch.ElapsedSeconds();  // tuples per second
     };
+
+    // Host record: the CI scaling assertion keys off hardware_threads so it
+    // can skip (rather than fail) on boxes that cannot exhibit scaling.
+    writer.Add("host",
+               {{"hardware_threads",
+                 static_cast<double>(std::thread::hardware_concurrency())},
+                {"simd_available",
+                 CompiledTree::SimdAvailable() ? 1.0 : 0.0}});
 
     std::vector<int32_t> out(fx.batch.size());
     const double pointer_walk = time_passes([&] {
@@ -426,6 +437,28 @@ void VerifyAndRecordInference() {
                  {{"tuples_per_sec", rate},
                   {"threads", static_cast<double>(threads)},
                   {"speedup_vs_pointer_walk", rate / pointer_walk}});
+    }
+    // Per-kernel single-thread rates isolate the layout win (blocked
+    // level-synchronous sweep) from the vector win (SIMD predicates).
+    const auto kernel_rate = [&](PredictKernel kernel) {
+      return time_passes([&] {
+        fx.compiled->PredictWithKernel(fx.batch, out, 1, kernel);
+        benchmark::DoNotOptimize(out.data());
+      });
+    };
+    const double tuple_rate =
+        kernel_rate(PredictKernel::kScalarTuple);
+    writer.Add("kernel_scalar_tuple_t1", {{"tuples_per_sec", tuple_rate}});
+    const double block_rate =
+        kernel_rate(PredictKernel::kScalarBlock);
+    writer.Add("kernel_scalar_block_t1",
+               {{"tuples_per_sec", block_rate},
+                {"speedup_vs_scalar_tuple", block_rate / tuple_rate}});
+    if (CompiledTree::SimdAvailable()) {
+      const double simd_rate = kernel_rate(PredictKernel::kSimd);
+      writer.Add("kernel_simd_t1",
+                 {{"tuples_per_sec", simd_rate},
+                  {"speedup_vs_scalar_tuple", simd_rate / tuple_rate}});
     }
     writer.Flush();
     return true;
@@ -450,6 +483,7 @@ void BM_ClassifyBatchThreads(benchmark::State& state) {
   InferenceFixture& fx = Inference();
   const int threads = static_cast<int>(state.range(0));
   std::vector<int32_t> out(fx.batch.size());
+  fx.compiled->Predict(fx.batch, out, threads);  // warmup: steady state only
   for (auto _ : state) {
     fx.compiled->Predict(fx.batch, out, threads);
     benchmark::DoNotOptimize(out.data());

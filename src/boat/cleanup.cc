@@ -101,6 +101,7 @@ std::unique_ptr<ModelNode> BoatEngine::MakeSkeleton(const CoarseNode& coarse,
           depth >= options_.limits.max_depth) {
         node->collect_family = false;
       }
+      // determinism-lint: allow(debug-only stderr logging; no tree decision depends on it)
       if (std::getenv("BOAT_DEBUG_CHECKS") != nullptr) {
         std::fprintf(stderr,
                      "[skeleton] frontier depth=%d sample_family=%lld "
@@ -265,6 +266,7 @@ Result<BoatEngine::CheckResult> BoatEngine::CheckNodeImpurity(
   const int64_t total = node.total_tuples();
   const CoarseCriterion& crit = node.coarse;
   const CheckResult fail{Outcome::kFail, std::nullopt};
+  // determinism-lint: allow(debug-only stderr logging; no tree decision depends on it)
   const bool debug = std::getenv("BOAT_DEBUG_CHECKS") != nullptr;
 
   // --- Step 1: the exact best split admitted by the coarse criterion -------
@@ -723,6 +725,7 @@ Status BoatEngine::BuildFromFamily(ModelNode* node, BoatStats* stats) {
   // Recursive BOAT invocation directly over the stored family; the
   // resulting sub-model is grafted in place of this node so the subtree
   // stays incrementally maintainable.
+  // determinism-lint: allow(debug-only stderr logging; no tree decision depends on it)
   if (std::getenv("BOAT_DEBUG_CHECKS") != nullptr) {
     std::fprintf(stderr,
                  "[recurse] depth=%d size=%lld rebuilds=%d exact=%d rdepth=%d\n",

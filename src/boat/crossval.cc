@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <functional>
+#include <span>
 
 #include "storage/sampling.h"
 #include "storage/tuple_store.h"
@@ -130,9 +131,10 @@ Result<BoatCrossValidationResult> BoatCrossValidate(
   }
 
   // ---- Scan 3: held-out evaluation -----------------------------------------
-  // Each fold tree is compiled once into the flat inference layout; the scan
-  // then scores every tuple through it (identical predictions, no pointer
-  // chasing in the per-tuple loop).
+  // Each fold tree is compiled once into the flat inference layout. Tuples
+  // are buffered per fold and scored in chunks through the blocked batch
+  // kernel (predictions identical to per-tuple Classify; chunking keeps the
+  // memory footprint bounded for out-of-core databases).
   std::vector<CompiledTree> compiled;
   compiled.reserve(static_cast<size_t>(folds));
   for (int f = 0; f < folds; ++f) {
@@ -140,12 +142,29 @@ Result<BoatCrossValidationResult> BoatCrossValidate(
     compiled.emplace_back(result.fold_trees[static_cast<size_t>(f)]);
   }
   {
+    constexpr size_t kScoreChunk = 4096;
+    std::vector<std::vector<Tuple>> pending(static_cast<size_t>(folds));
+    for (auto& p : pending) p.reserve(kScoreChunk);
+    std::vector<int32_t> predicted(kScoreChunk);
+    const auto flush = [&](int f) {
+      std::vector<Tuple>& p = pending[static_cast<size_t>(f)];
+      if (p.empty()) return;
+      compiled[static_cast<size_t>(f)].Predict(
+          p, std::span<int32_t>(predicted.data(), p.size()),
+          options.num_threads);
+      for (size_t i = 0; i < p.size(); ++i) {
+        result.fold_confusion[f].Add(p[i].label(), predicted[i]);
+      }
+      p.clear();
+    };
     BOAT_RETURN_NOT_OK(db->Reset());
     Tuple t;
     while (db->Next(&t)) {
       const int f = CrossValidationFold(t, folds, fold_seed);
-      result.fold_confusion[f].Add(t.label(), compiled[f].Classify(t));
+      pending[static_cast<size_t>(f)].push_back(t);
+      if (pending[static_cast<size_t>(f)].size() >= kScoreChunk) flush(f);
     }
+    for (int f = 0; f < folds; ++f) flush(f);
   }
   double sum = 0;
   for (const ConfusionMatrix& cm : result.fold_confusion) {

@@ -52,6 +52,49 @@ void ParallelFor(int64_t n, int threads, Fn&& fn) {
   for (std::thread& t : pool) t.join();
 }
 
+/// \brief Statically-striped loop for fixed-cost work: splits [0, n) into at
+/// most `threads` contiguous disjoint ranges and runs fn(begin, end, worker)
+/// once per range, each on its own thread. Unlike ParallelFor there is no
+/// shared counter, so workers never touch a common cache line; use this when
+/// every index costs roughly the same (e.g. batch inference), and keep
+/// ParallelFor for skewed work.
+///
+/// Range boundaries fall on multiples of `grain`, so with grain chosen as
+/// cache_line_bytes / sizeof(element) no two workers ever write the same
+/// line of an index-addressed output array (per-thread output slabs).
+/// fn must write only to slots addressed by its own [begin, end); under that
+/// contract the outcome is identical for every thread count.
+template <typename Fn>
+void ParallelForStatic(int64_t n, int threads, int64_t grain, Fn&& fn) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int64_t grains = (n + grain - 1) / grain;
+  const int workers =
+      static_cast<int>(std::min<int64_t>(grains, std::max(threads, 1)));
+  if (workers <= 1) {
+    fn(int64_t{0}, n, 0);
+    return;
+  }
+  // First `extra` workers take one grain more; all stripes are contiguous,
+  // cover [0, n) exactly, and start on a grain boundary.
+  const int64_t per = grains / workers;
+  const int64_t extra = grains % workers;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers) - 1);
+  int64_t begin = 0;
+  for (int w = 0; w < workers; ++w) {
+    const int64_t count = (per + (w < extra ? 1 : 0)) * grain;
+    const int64_t end = std::min(n, begin + count);
+    if (w + 1 < workers) {
+      pool.emplace_back([&fn, begin, end, w]() { fn(begin, end, w); });
+    } else {
+      fn(begin, end, w);  // last stripe runs inline on the calling thread
+    }
+    begin = end;
+  }
+  for (std::thread& t : pool) t.join();
+}
+
 }  // namespace boat
 
 #endif  // BOAT_COMMON_PARALLEL_H_

@@ -427,10 +427,15 @@ void BoatServer::ScoringWorker() {
         break;
       }
     }
-    out.assign(batch.size(), 0);
+    // Reused buffer, no zero-fill: Predict (and the mismatch loop below)
+    // writes every slot it is sized to.
+    out.resize(batch.size());
     if (uniform) {
       tuples.clear();
       for (internal::Request& r : batch) tuples.push_back(std::move(r.tuple));
+      // Routes through the blocked (SIMD-dispatched) batch kernel for
+      // micro-batches of >= 32 records; smaller waves take the per-tuple
+      // path. Identical labels either way.
       model->compiled.Predict(tuples, out, /*num_threads=*/1);
     } else {
       // A hot reload changed the schema arity between admission and

@@ -1,12 +1,46 @@
 #include "tree/compiled_tree.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <memory>
 
 #include "common/parallel.h"
 #include "common/status.h"
+#include "tree/predict_kernels.h"
 
 namespace boat {
+
+namespace {
+
+/// Tuples per block: with the Agrawal schema (9 columns) the transposed
+/// pane is 36 KiB — the pane, the active-lane arrays, and the output slice
+/// all sit in L2 together on any modern core.
+constexpr int64_t kBlockTuples = 512;
+
+/// Static stripe grain for the output array: 16 int32 = one 64-byte cache
+/// line, so no two worker threads ever store to the same line of `out`.
+constexpr int64_t kOutGrain = 16;
+
+/// Below this batch size the per-tuple loop beats the transpose + sweep
+/// setup; outputs are identical either way.
+constexpr int64_t kMinBlockBatch = 32;
+
+/// BOAT_SIMD environment override, mirroring BOAT_GROWTH_ENGINE: "off", "0",
+/// "scalar", or "false" force the scalar block kernel; anything else (or
+/// unset) allows CPU dispatch. Kernel choice never changes predictions —
+/// every kernel is byte-identical by contract (enforced by the equivalence
+/// matrix in tests/compiled_tree_test.cpp).
+bool SimdEnabledByEnv() {
+  // determinism-lint: allow(kernel selection is output-invariant; all kernels produce byte-identical predictions)
+  const char* env = std::getenv("BOAT_SIMD");
+  if (env == nullptr || env[0] == '\0') return true;
+  return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "scalar") != 0 && std::strcmp(env, "false") != 0;
+}
+
+}  // namespace
 
 CompiledTree::CompiledTree(const DecisionTree& tree) : schema_(tree.schema()) {
   // Per-attribute bitset widths: the declared cardinality, widened if any
@@ -85,26 +119,113 @@ CompiledTree::CompiledTree(const DecisionTree& tree) : schema_(tree.schema()) {
     work.push_back({f.node->right.get(), id, false});
     work.push_back({f.node->left.get(), id, true});
   }
+
+  // ---- Block-kernel layout: column slots + adjacent child pairs.
+  // The kernels index pair_child_ at 2 * id, so ids must fit with headroom.
+  if (attr_.size() > (size_t{1} << 30)) {
+    FatalError("CompiledTree: node pool exceeds the block-kernel id range");
+  }
+  const size_t nodes = attr_.size();
+  std::vector<int32_t> attr_slot(
+      static_cast<size_t>(schema_.num_attributes()), -1);
+  kslot_.resize(nodes);
+  pair_child_.resize(2 * nodes);
+  for (size_t n = 0; n < nodes; ++n) {
+    if (attr_[n] < 0) {
+      // Leaf: self-loop, and a harmless slot 0 so level sweeps can load a
+      // value unconditionally (the comparison result is never used).
+      kslot_[n] = 0;
+      pair_child_[2 * n] = static_cast<int32_t>(n);
+      pair_child_[2 * n + 1] = static_cast<int32_t>(n);
+      continue;
+    }
+    auto& slot = attr_slot[static_cast<size_t>(attr_[n])];
+    if (slot < 0) {
+      // First split on this attribute (preorder, so slot assignment is
+      // deterministic): claim the next column slot.
+      slot = static_cast<int32_t>(slot_attr_.size());
+      slot_attr_.push_back(attr_[n]);
+      slot_domain_bits_.push_back(
+          domain_bits_[static_cast<size_t>(attr_[n])]);
+    }
+    kslot_[n] = slot;
+    pair_child_[2 * n] = left_[n];
+    pair_child_[2 * n + 1] = right_[n];
+  }
 }
 
 void CompiledTree::Predict(std::span<const Tuple> tuples,
                            std::span<int32_t> out, int num_threads) const {
+  PredictWithKernel(tuples, out, num_threads, PredictKernel::kAuto);
+}
+
+void CompiledTree::PredictWithKernel(std::span<const Tuple> tuples,
+                                     std::span<int32_t> out, int num_threads,
+                                     PredictKernel kernel) const {
   if (out.size() != tuples.size()) {
     FatalError("CompiledTree::Predict: output span size mismatch");
   }
   const int64_t n = static_cast<int64_t>(tuples.size());
+  if (n == 0) return;
   const int threads = ResolveThreadCount(num_threads);
-  // Fixed-size shards keep the work queue balanced; each shard writes only
-  // its own output slots, so the result is identical for any thread count.
-  constexpr int64_t kShard = 2048;
-  const int64_t shards = (n + kShard - 1) / kShard;
-  ParallelFor(shards, threads, [&](int64_t s) {
-    const int64_t begin = s * kShard;
-    const int64_t end = std::min(n, begin + kShard);
-    for (int64_t i = begin; i < end; ++i) {
-      out[static_cast<size_t>(i)] = Classify(tuples[static_cast<size_t>(i)]);
+  if (kernel == PredictKernel::kAuto) {
+    kernel = SimdEnabledByEnv() ? PredictKernel::kSimd
+                               : PredictKernel::kScalarBlock;
+  }
+  // Static contiguous stripes (no shared shard counter — fixed-cost work
+  // would serialize on it) with cache-line-aligned slab boundaries; every
+  // stripe writes only its own output slots, so the result is identical
+  // for any thread count and any kernel.
+  if (kernel == PredictKernel::kScalarTuple || n < kMinBlockBatch) {
+    ParallelForStatic(n, threads, kOutGrain,
+                      [&](int64_t begin, int64_t end, int) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          out[static_cast<size_t>(i)] =
+                              Classify(tuples[static_cast<size_t>(i)]);
+                        }
+                      });
+    return;
+  }
+  const detail::BlockKernelChoice choice =
+      detail::ChooseBlockKernel(kernel == PredictKernel::kSimd);
+  ParallelForStatic(n, threads, kOutGrain,
+                    [&](int64_t begin, int64_t end, int) {
+                      ScoreRange(tuples, out, begin, end, choice.fn);
+                    });
+}
+
+void CompiledTree::ScoreRange(std::span<const Tuple> tuples,
+                              std::span<int32_t> out, int64_t begin,
+                              int64_t end, detail::BlockKernelFn fn) const {
+  const size_t slots = slot_attr_.size();
+  // Per-call (= per-thread) scratch: the transposed column pane plus the
+  // two active-lane arrays, padded for the SIMD kernels' full-width sweeps.
+  std::vector<double> col(std::max<size_t>(slots, 1) *
+                          static_cast<size_t>(kBlockTuples));
+  const size_t act_cap =
+      static_cast<size_t>(kBlockTuples + detail::kActPad);
+  std::vector<int32_t> act(2 * act_cap);
+  const detail::NodePoolView pool{
+      kslot_.data(),      threshold_.data(),
+      bitset_offset_.data(), pair_child_.data(),
+      bits_.data(),       slot_domain_bits_.data(),
+      label_.data()};
+  for (int64_t b = begin; b < end; b += kBlockTuples) {
+    const int64_t nb = std::min(kBlockTuples, end - b);
+    // Transpose once: column-major pane, one contiguous row per used
+    // attribute. Reads each tuple's value vector exactly once.
+    for (int64_t i = 0; i < nb; ++i) {
+      const std::vector<double>& values =
+          tuples[static_cast<size_t>(b + i)].values();
+      for (size_t s = 0; s < slots; ++s) {
+        col[s * static_cast<size_t>(kBlockTuples) +
+            static_cast<size_t>(i)] =
+            values[static_cast<size_t>(slot_attr_[s])];
+      }
     }
-  });
+    fn(pool, col.data(), kBlockTuples, nb, act.data(),
+       act.data() + act_cap, out.data() + b);
+  }
 }
 
 std::vector<int32_t> CompiledTree::Predict(std::span<const Tuple> tuples,
@@ -114,10 +235,23 @@ std::vector<int32_t> CompiledTree::Predict(std::span<const Tuple> tuples,
   return out;
 }
 
+bool CompiledTree::SimdAvailable() {
+  return detail::SimdBlockKernelAvailable();
+}
+
+const char* CompiledTree::ActiveKernelName() {
+  return detail::ChooseBlockKernel(SimdEnabledByEnv()).name;
+}
+
 double CompiledTree::MisclassificationRate(std::span<const Tuple> tuples,
                                            int num_threads) const {
   if (tuples.empty()) return 0.0;
-  const std::vector<int32_t> predicted = Predict(tuples, num_threads);
+  // Score into uninitialized-capacity storage: Predict writes every slot,
+  // so the redundant zero-fill of a sized vector is skipped on this path.
+  const auto predicted =
+      std::make_unique_for_overwrite<int32_t[]>(tuples.size());
+  Predict(tuples, std::span<int32_t>(predicted.get(), tuples.size()),
+          num_threads);
   int64_t wrong = 0;
   for (size_t i = 0; i < tuples.size(); ++i) {
     if (predicted[i] != tuples[i].label()) ++wrong;

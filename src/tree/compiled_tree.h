@@ -11,9 +11,15 @@
 // guaranteed identical to DecisionTree::Classify for every input — the
 // compilation is a pure layout change (see DESIGN.md, "CompiledTree").
 //
-// Batched scoring (Predict) shards the input over ParallelFor; each shard
-// writes only its own output slots, so the result is byte-identical for
-// every thread count.
+// Batched scoring (Predict) stripes the input statically over worker
+// threads (contiguous per-thread output slabs, boundaries on cache-line
+// multiples — no shared work-queue counter, no false sharing), blocks
+// tuples to L2, transposes each block once into a column-major scratch
+// pane, and walks tree levels over the whole block with a branchless,
+// optionally SIMD (AVX2/NEON) kernel — see tree/predict_kernels.h and
+// DESIGN.md, "Blocked batch inference". Every kernel x thread-count
+// combination produces predictions byte-identical to
+// DecisionTree::Classify; BOAT_SIMD=off forces the scalar block kernel.
 
 #ifndef BOAT_TREE_COMPILED_TREE_H_
 #define BOAT_TREE_COMPILED_TREE_H_
@@ -23,8 +29,19 @@
 #include <vector>
 
 #include "tree/decision_tree.h"
+#include "tree/predict_kernels.h"
 
 namespace boat {
+
+/// \brief Batch-scoring kernel selection for CompiledTree::PredictWithKernel.
+/// All kernels produce byte-identical predictions; this exists for the
+/// equivalence tests, benchmarks, and the BOAT_SIMD escape hatch.
+enum class PredictKernel {
+  kAuto = 0,     ///< BOAT_SIMD env override, then CPU dispatch (the default)
+  kScalarTuple,  ///< reference per-tuple Classify loop (no blocking)
+  kScalarBlock,  ///< blocked level-synchronous scalar kernel
+  kSimd,         ///< SIMD block kernel; scalar block if unavailable
+};
 
 class CompiledTree {
  public:
@@ -57,15 +74,33 @@ class CompiledTree {
   }
 
   /// \brief Batched scoring: out[i] = Classify(tuples[i]). `out` must have
-  /// exactly tuples.size() elements. With num_threads != 1 the batch is
-  /// sharded over ParallelFor (0 = all hardware cores); every shard writes
-  /// only its own slots, so any thread count produces identical output.
+  /// exactly tuples.size() elements and may be uninitialized — every slot
+  /// is written. With num_threads != 1 (0 = all hardware cores) the batch
+  /// is striped statically into contiguous per-thread slabs whose
+  /// boundaries fall on cache-line multiples; every thread writes only its
+  /// own slab, so any thread count produces identical output.
   void Predict(std::span<const Tuple> tuples, std::span<int32_t> out,
                int num_threads = 1) const;
 
-  /// \brief Convenience overload returning the predictions.
+  /// \brief Convenience overload returning the predictions. Hot callers
+  /// should prefer the span overload with a reused / uninitialized buffer:
+  /// this one value-initializes the vector before scoring overwrites it.
   std::vector<int32_t> Predict(std::span<const Tuple> tuples,
                                int num_threads = 1) const;
+
+  /// \brief Predict with an explicit kernel choice (tests and benchmarks;
+  /// production callers use Predict, i.e. PredictKernel::kAuto). Output is
+  /// byte-identical across kernels by contract.
+  void PredictWithKernel(std::span<const Tuple> tuples,
+                         std::span<int32_t> out, int num_threads,
+                         PredictKernel kernel) const;
+
+  /// \brief True when a SIMD block kernel exists for this build and CPU.
+  static bool SimdAvailable();
+
+  /// \brief Name of the block kernel kAuto resolves to right now
+  /// ("avx2", "neon", or "scalar"); re-reads BOAT_SIMD on every call.
+  static const char* ActiveKernelName();
 
   /// \brief Fraction of `tuples` whose label differs from the prediction.
   double MisclassificationRate(std::span<const Tuple> tuples,
@@ -77,6 +112,12 @@ class CompiledTree {
   size_t pool_bytes() const;
 
  private:
+  /// Scores [begin, end) of `tuples` through the block kernel `fn`:
+  /// L2-sized blocks, transposed into a per-call column scratch pane.
+  void ScoreRange(std::span<const Tuple> tuples, std::span<int32_t> out,
+                  int64_t begin, int64_t end,
+                  detail::BlockKernelFn fn) const;
+
   Schema schema_;
   // Parallel node arrays, preorder. attr_[i] < 0 marks a leaf.
   std::vector<int32_t> attr_;           ///< split attribute; -1 = leaf
@@ -94,6 +135,15 @@ class CompiledTree {
   /// outside [0, width) always go right, exactly like the binary search on
   /// an absent subset element).
   std::vector<int32_t> domain_bits_;
+
+  // ---- Block-kernel layout (derived from the arrays above; see
+  // tree/predict_kernels.h). Only attributes actually referenced by a split
+  // get a column slot, so the per-block transpose never reads tuple values
+  // the tree cannot inspect.
+  std::vector<int32_t> kslot_;       ///< node -> column slot (leaf: 0)
+  std::vector<int32_t> pair_child_;  ///< [2n]=left, [2n+1]=right; leaf: self
+  std::vector<int32_t> slot_attr_;   ///< column slot -> attribute id
+  std::vector<int32_t> slot_domain_bits_;  ///< per-slot bitset width; 0=num
 };
 
 }  // namespace boat

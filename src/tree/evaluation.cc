@@ -1,6 +1,8 @@
 #include "tree/evaluation.h"
 
 #include <cmath>
+#include <memory>
+#include <span>
 
 #include "common/status.h"
 #include "common/str_util.h"
@@ -66,7 +68,11 @@ ConfusionMatrix Evaluate(const DecisionTree& tree,
 ConfusionMatrix Evaluate(const CompiledTree& tree,
                          const std::vector<Tuple>& data, int num_threads) {
   ConfusionMatrix cm(tree.schema().num_classes());
-  const std::vector<int32_t> predicted = tree.Predict(data, num_threads);
+  // Uninitialized-capacity scoring buffer: Predict writes every slot, so
+  // the zero-fill a sized std::vector would do is pure overhead here.
+  const auto predicted = std::make_unique_for_overwrite<int32_t[]>(data.size());
+  tree.Predict(data, std::span<int32_t>(predicted.get(), data.size()),
+               num_threads);
   for (size_t i = 0; i < data.size(); ++i) {
     cm.Add(data[i].label(), predicted[i]);
   }

@@ -11,6 +11,7 @@ namespace boat {
 
 bool GrowthEngineIsColumnar() {
   static const bool columnar = [] {
+    // determinism-lint: allow(engine selection is output-invariant; both growth engines build the byte-identical tree, enforced by the bench-smoke byte-compare)
     const char* engine = std::getenv("BOAT_GROWTH_ENGINE");
     return engine == nullptr || std::strcmp(engine, "rows") != 0;
   }();

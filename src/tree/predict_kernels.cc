@@ -1,0 +1,89 @@
+#include "tree/predict_kernels.h"
+
+#include <cstddef>
+
+namespace boat::detail {
+
+// Level-synchronous sweep with active-lane compaction. Every lane starts at
+// the root; one pass advances every active lane one level. A lane whose next
+// node is a leaf writes its label and is dropped from the active set, so the
+// cost is the sum of *path lengths*, not block_size * max_depth. The
+// branch on node kind (numeric vs categorical bitset probe) is the only
+// data-dependent branch; the direction choice itself is index arithmetic.
+void ScoreBlockScalar(const NodePoolView& pool, const double* col,
+                      int64_t stride, int64_t nb, int32_t* act_idx,
+                      int32_t* act_node, int32_t* out) {
+  if (nb <= 0) return;
+  if (pool.pair_child[0] == 0) {
+    // Single-leaf tree: the root self-loops and no sweep would terminate
+    // lanes, so emit directly.
+    for (int64_t i = 0; i < nb; ++i) out[i] = pool.label[0];
+    return;
+  }
+  for (int64_t i = 0; i < nb; ++i) {
+    act_idx[i] = static_cast<int32_t>(i);
+    act_node[i] = 0;
+  }
+  int64_t na = nb;
+  while (na > 0) {
+    int64_t m = 0;
+    for (int64_t k = 0; k < na; ++k) {
+      const int32_t i = act_idx[k];
+      const int32_t n = act_node[k];
+      const size_t un = static_cast<size_t>(n);
+      const int32_t s = pool.slot[un];
+      const double v =
+          col[static_cast<size_t>(s) * static_cast<size_t>(stride) +
+              static_cast<size_t>(i)];
+      const int32_t off = pool.bitset_offset[un];
+      int32_t right;
+      if (off < 0) {
+        // Mirror Classify exactly: left iff v <= t, so NaN goes right.
+        right = (v <= pool.threshold[un]) ? 0 : 1;
+      } else {
+        const int32_t c = static_cast<int32_t>(v);
+        const bool left =
+            c >= 0 && c < pool.slot_domain_bits[s] &&
+            ((pool.bits[static_cast<size_t>(off) +
+                        (static_cast<size_t>(c) >> 6)] >>
+              (static_cast<uint32_t>(c) & 63)) &
+             1) != 0;
+        right = left ? 0 : 1;
+      }
+      const int32_t next = pool.pair_child[2 * un + static_cast<size_t>(right)];
+      const bool settled =
+          pool.pair_child[2 * static_cast<size_t>(next)] == next;
+      // Unconditional label write: internal nodes carry -1, overwritten by
+      // the final level; every lane writes its real label exactly once when
+      // it settles. This is what lets Predict target uninitialized storage.
+      out[i] = pool.label[static_cast<size_t>(next)];
+      act_idx[m] = i;
+      act_node[m] = next;
+      m += settled ? 0 : 1;
+    }
+    na = m;
+  }
+}
+
+bool SimdBlockKernelAvailable() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return Avx2Supported();
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+BlockKernelChoice ChooseBlockKernel(bool allow_simd) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (allow_simd && Avx2Supported()) return {&ScoreBlockAvx2, "avx2"};
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+  if (allow_simd) return {&ScoreBlockNeon, "neon"};
+#else
+  (void)allow_simd;
+#endif
+  return {&ScoreBlockScalar, "scalar"};
+}
+
+}  // namespace boat::detail

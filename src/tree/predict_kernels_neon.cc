@@ -1,0 +1,104 @@
+// NEON block kernel for AArch64. NEON has no gather, so node fields are
+// loaded per lane; the win over the scalar kernel is the 2-wide f64
+// predicate evaluation (vcleq_f64 — false for NaN, so NaN goes right like
+// the scalar `!(v <= t)`) and the lane-independent loads the level sweep
+// exposes. Predictions are byte-identical to ScoreBlockScalar — the
+// equivalence matrix in tests/compiled_tree_test.cpp runs this kernel on
+// ARM hosts. NEON is baseline on AArch64, so no special build flags.
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+#include "tree/predict_kernels.h"
+
+namespace boat::detail {
+
+namespace {
+
+// Categorical membership probe, identical to the scalar kernel's.
+inline int32_t CategoricalGoRight(const NodePoolView& pool, double v,
+                                  int32_t slot, int32_t off) {
+  const int32_t c = static_cast<int32_t>(v);
+  const bool left =
+      c >= 0 && c < pool.slot_domain_bits[slot] &&
+      ((pool.bits[static_cast<size_t>(off) + (static_cast<size_t>(c) >> 6)] >>
+        (static_cast<uint32_t>(c) & 63)) &
+       1) != 0;
+  return left ? 0 : 1;
+}
+
+}  // namespace
+
+void ScoreBlockNeon(const NodePoolView& pool, const double* col,
+                    int64_t stride, int64_t nb, int32_t* act_idx,
+                    int32_t* act_node, int32_t* out) {
+  if (nb <= 0) return;
+  if (pool.pair_child[0] == 0) {  // single-leaf tree
+    for (int64_t i = 0; i < nb; ++i) out[i] = pool.label[0];
+    return;
+  }
+  for (int64_t i = 0; i < nb; ++i) {
+    act_idx[i] = static_cast<int32_t>(i);
+    act_node[i] = 0;
+  }
+  int64_t na = nb;
+  while (na > 0) {
+    int64_t m = 0;
+    int64_t k = 0;
+    for (; k + 2 <= na; k += 2) {
+      const int32_t i0 = act_idx[k], i1 = act_idx[k + 1];
+      const int32_t n0 = act_node[k], n1 = act_node[k + 1];
+      const int32_t s0 = pool.slot[n0], s1 = pool.slot[n1];
+      const float64x2_t v = {
+          col[static_cast<size_t>(s0) * static_cast<size_t>(stride) +
+              static_cast<size_t>(i0)],
+          col[static_cast<size_t>(s1) * static_cast<size_t>(stride) +
+              static_cast<size_t>(i1)]};
+      const float64x2_t t = {pool.threshold[n0], pool.threshold[n1]};
+      // le lane = all-ones iff v <= t (false for NaN): right = !le.
+      const uint64x2_t le = vcleq_f64(v, t);
+      const int32_t off0 = pool.bitset_offset[n0];
+      const int32_t off1 = pool.bitset_offset[n1];
+      const int32_t right0 =
+          off0 < 0 ? (vgetq_lane_u64(le, 0) != 0 ? 0 : 1)
+                   : CategoricalGoRight(pool, vgetq_lane_f64(v, 0), s0, off0);
+      const int32_t right1 =
+          off1 < 0 ? (vgetq_lane_u64(le, 1) != 0 ? 0 : 1)
+                   : CategoricalGoRight(pool, vgetq_lane_f64(v, 1), s1, off1);
+      const int32_t next0 = pool.pair_child[2 * n0 + right0];
+      const int32_t next1 = pool.pair_child[2 * n1 + right1];
+      out[i0] = pool.label[next0];
+      out[i1] = pool.label[next1];
+      act_idx[m] = i0;
+      act_node[m] = next0;
+      m += pool.pair_child[2 * next0] == next0 ? 0 : 1;
+      act_idx[m] = i1;
+      act_node[m] = next1;
+      m += pool.pair_child[2 * next1] == next1 ? 0 : 1;
+    }
+    for (; k < na; ++k) {  // odd tail lane
+      const int32_t i = act_idx[k];
+      const int32_t n = act_node[k];
+      const int32_t s = pool.slot[n];
+      const double v = col[static_cast<size_t>(s) *
+                               static_cast<size_t>(stride) +
+                           static_cast<size_t>(i)];
+      const int32_t off = pool.bitset_offset[n];
+      const int32_t right = off < 0 ? ((v <= pool.threshold[n]) ? 0 : 1)
+                                    : CategoricalGoRight(pool, v, s, off);
+      const int32_t next = pool.pair_child[2 * n + right];
+      out[i] = pool.label[next];
+      act_idx[m] = i;
+      act_node[m] = next;
+      m += pool.pair_child[2 * next] == next ? 0 : 1;
+    }
+    na = m;
+  }
+}
+
+}  // namespace boat::detail
+
+#endif  // AArch64 NEON

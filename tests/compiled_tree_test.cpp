@@ -1,10 +1,17 @@
 // CompiledTree correctness: the flat batched inference layout must produce
 // predictions identical to DecisionTree::Classify for every tuple, every
-// selector, and every scoring thread count.
+// selector, every scoring kernel, and every scoring thread count.
 
 #include "tree/compiled_tree.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "boat/builder.h"
 #include "datagen/agrawal.h"
@@ -16,6 +23,22 @@
 namespace boat {
 namespace {
 
+// Every kernel worth testing on this host: the per-tuple pointer-free walk,
+// the blocked level-synchronous scalar sweep, and (when the CPU has it) the
+// SIMD sweep. kAuto rides along to cover the dispatch path itself.
+std::vector<std::pair<PredictKernel, const char*>>
+TestableKernels() {
+  std::vector<std::pair<PredictKernel, const char*>> kernels = {
+      {PredictKernel::kAuto, "auto"},
+      {PredictKernel::kScalarTuple, "scalar_tuple"},
+      {PredictKernel::kScalarBlock, "scalar_block"},
+  };
+  if (CompiledTree::SimdAvailable()) {
+    kernels.emplace_back(PredictKernel::kSimd, "simd");
+  }
+  return kernels;
+}
+
 void ExpectIdenticalPredictions(const DecisionTree& tree,
                                 const std::vector<Tuple>& data) {
   const CompiledTree compiled(tree);
@@ -24,15 +47,21 @@ void ExpectIdenticalPredictions(const DecisionTree& tree,
   for (const Tuple& t : data) {
     ASSERT_EQ(compiled.Classify(t), tree.Classify(t));
   }
-  // Batched path, at 1 / 2 / 8 scoring threads: identical outputs.
+  // Batched path: the ground truth is the pointer walk.
   const std::vector<int32_t> serial = compiled.Predict(data, 1);
   ASSERT_EQ(serial.size(), data.size());
   for (size_t i = 0; i < data.size(); ++i) {
     ASSERT_EQ(serial[i], tree.Classify(data[i])) << "tuple " << i;
   }
-  for (const int threads : {2, 8}) {
-    const std::vector<int32_t> parallel = compiled.Predict(data, threads);
-    ASSERT_EQ(parallel, serial) << "threads=" << threads;
+  // The full equivalence matrix: every kernel x every thread count must be
+  // byte-identical to the serial result.
+  std::vector<int32_t> out(data.size());
+  for (const auto& [kernel, name] : TestableKernels()) {
+    for (const int threads : {1, 2, 8}) {
+      std::fill(out.begin(), out.end(), -999);
+      compiled.PredictWithKernel(data, out, threads, kernel);
+      ASSERT_EQ(out, serial) << "kernel=" << name << " threads=" << threads;
+    }
   }
 }
 
@@ -175,6 +204,66 @@ TEST(CompiledTreeTest, MatchesBoatBuiltTreeAndEvaluate) {
   // wrong/n vs 1 - correct/n: equal up to one rounding of the division.
   EXPECT_NEAR(compiled.MisclassificationRate(train, 2),
               1.0 - from_tree.Accuracy(), 1e-12);
+}
+
+TEST(CompiledTreeTest, OddSizedBatchTails) {
+  // Batch sizes straddling every boundary the blocked path cares about:
+  // the per-tuple cutoff (32), the SIMD width (8), and the transpose block
+  // (512). None of {1, 7, 31, 33, 511, 513, 1013} divides evenly, so every
+  // kernel exercises its partial-vector / partial-block tail handling.
+  const auto data = AgrawalData(6, 1013, 909);
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(MakeAgrawalSchema(), data, *selector);
+  ASSERT_GT(tree.num_nodes(), 1u);
+  const CompiledTree compiled(tree);
+  for (const size_t n : {1, 7, 31, 32, 33, 511, 512, 513, 1013}) {
+    const std::vector<Tuple> batch(data.begin(),
+                                   data.begin() + static_cast<int64_t>(n));
+    const std::vector<int32_t> serial = compiled.Predict(batch, 1);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(serial[i], tree.Classify(batch[i])) << "n=" << n << " i=" << i;
+    }
+    std::vector<int32_t> out(n);
+    for (const auto& [kernel, name] : TestableKernels()) {
+      for (const int threads : {1, 2, 8}) {
+        std::fill(out.begin(), out.end(), -999);
+        compiled.PredictWithKernel(batch, out, threads, kernel);
+        ASSERT_EQ(out, serial)
+            << "n=" << n << " kernel=" << name << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(CompiledTreeTest, SimdEnvOverrideForcesScalarBlockKernel) {
+  // BOAT_SIMD=off must force the scalar block kernel on the kAuto path —
+  // and, by the byte-identical contract, change nothing about the output.
+  const auto data = AgrawalData(7, 2000, 808);
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(MakeAgrawalSchema(), data, *selector);
+  const CompiledTree compiled(tree);
+  const std::vector<int32_t> baseline = compiled.Predict(data, 1);
+
+  const char* saved = std::getenv("BOAT_SIMD");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  for (const char* off : {"off", "0", "scalar", "false"}) {
+    ASSERT_EQ(setenv("BOAT_SIMD", off, 1), 0);
+    EXPECT_STREQ(CompiledTree::ActiveKernelName(), "scalar")
+        << "BOAT_SIMD=" << off;
+    EXPECT_EQ(compiled.Predict(data, 2), baseline) << "BOAT_SIMD=" << off;
+  }
+  ASSERT_EQ(setenv("BOAT_SIMD", "on", 1), 0);
+  if (CompiledTree::SimdAvailable()) {
+    EXPECT_STRNE(CompiledTree::ActiveKernelName(), "scalar");
+  } else {
+    EXPECT_STREQ(CompiledTree::ActiveKernelName(), "scalar");
+  }
+  EXPECT_EQ(compiled.Predict(data, 2), baseline);
+  if (saved != nullptr) {
+    ASSERT_EQ(setenv("BOAT_SIMD", saved_value.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("BOAT_SIMD"), 0);
+  }
 }
 
 }  // namespace

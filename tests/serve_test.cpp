@@ -417,6 +417,15 @@ TEST_F(ServeE2eTest, FullQueueYieldsBusyNotUnboundedMemory) {
   std::string burst;
   for (size_t i = 1; i < 8; ++i) burst += lines[i] + "\n";
   flood.Send(burst);
+  // Admission happens on the handler thread; wait until it has processed
+  // the whole burst (4 enqueued + 3 BUSY) before letting the worker drain,
+  // or a fast worker could free queue slots mid-burst and admit extras.
+  for (int spin = 0; spin < 200; ++spin) {
+    admin.Send("STATS\n");
+    const std::string stats = admin.ReadLine();
+    if (stats.find("\"busy\":3,") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   server_->SetScoringPausedForTest(false);
 
   EXPECT_EQ(held.ReadLine(), ExpectedLabel(tuples[0]));

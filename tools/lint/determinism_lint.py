@@ -79,6 +79,17 @@ LINE_RULES = [
         "standard libraries; use boat::Rng",
     ),
     (
+        # Environment reads let ambient shell state steer library behavior.
+        # Output-invariant toggles (kernel/engine selection where every
+        # choice is byte-identical, debug checking, temp paths) are the only
+        # legitimate uses, and each site must say so in an allow().
+        "env-read",
+        re.compile(r"\b(?:secure_)?getenv\s*\("),
+        "environment read in linted code; tree construction and scoring "
+        "must not depend on ambient env vars (allow() it only for "
+        "output-invariant toggles, with the invariance argument)",
+    ),
+    (
         # Wall-clock reads make any decision derived from them (batch
         # boundaries, predictions, split choices) time-dependent. Latency
         # measurement is the one legitimate use and must carry an explicit
