@@ -1,0 +1,161 @@
+// Streaming ingestion benchmark (not a paper figure — this measures the
+// INGEST→incremental-retrain→hot-swap pipeline added for production-style
+// deployment).
+//
+// Scenario: a daemon-shaped stack (ModelRegistry + Trainer + BoatServer on
+// a loopback socket) serves a fixed probe corpus while a second client
+// streams concept-drifting chunks (F1-labeled records into an F6-trained
+// base) through the wire protocol, with a RETRAIN barrier per chunk. The
+// table reports, per chunk size: chunk apply+swap latency through the full
+// TCP round trip, and the scoring throughput sustained *while* retraining
+// ran. Every scoring reply must be a label (no ERR/BUSY/drop) — the
+// zero-dropped-requests guarantee, asserted here and by the streaming-smoke
+// CI job off BENCH_streaming.json (path overridable via
+// BOAT_BENCH_STREAMING_JSON).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "boat/session.h"
+#include "serve/loadgen.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/trainer.h"
+#include "serve/wire.h"
+#include "storage/temp_file.h"
+#include "storage/tuple_source.h"
+
+int main() {
+  using namespace boat;
+  using namespace boat::bench;
+
+  const int64_t scale = ScaleFromEnv();
+  const int64_t base_size = std::max<int64_t>(scale / 4, 4000);
+
+  AgrawalConfig config;
+  config.function = 6;
+  config.noise = 0.05;
+  config.seed = 8001;
+  const Schema schema = MakeAgrawalSchema();
+  auto base = GenerateAgrawal(config, static_cast<uint64_t>(base_size));
+  config.seed = 8002;
+  const auto probe = GenerateAgrawal(config, 2000);
+  const auto probe_lines = serve::FormatRecordLines(schema, probe);
+
+  auto temp = TempFileManager::Create();
+  if (!temp.ok()) {
+    std::fprintf(stderr, "temp dir: %s\n", temp.status().ToString().c_str());
+    return 1;
+  }
+  const std::string dir = temp->NewPath("model");
+  {
+    SessionOptions options;
+    options.boat.sample_size =
+        static_cast<size_t>(std::max<int64_t>(base_size / 10, 1));
+    options.boat.bootstrap_count = 20;
+    options.boat.bootstrap_subsample =
+        std::max<size_t>(options.boat.sample_size / 4, 1);
+    options.boat.inmem_threshold = base_size / 20 + 1;
+    options.boat.seed = 1234;
+    VectorSource source(schema, base);
+    auto session = Session::Train(&source, dir, options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "train: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  const char* env = std::getenv("BOAT_BENCH_STREAMING_JSON");
+  BenchJsonWriter writer(env != nullptr && env[0] != '\0'
+                             ? env
+                             : "BENCH_streaming.json");
+
+  std::printf("Streaming ingestion under load (base %lld records, probe "
+              "%zu records x 4 connections, all replies checked)\n\n",
+              static_cast<long long>(base_size), probe.size());
+  std::printf("%12s | %14s %14s %12s\n", "chunk_size", "ingest+swap(s)",
+              "serve(req/s)", "dropped");
+  std::printf("-------------+------------------------------------------\n");
+
+  bool ok = true;
+  for (const int64_t chunk_size : {500, 2000, 8000}) {
+    serve::ModelRegistry registry;
+    serve::TrainerOptions trainer_options;
+    trainer_options.model_dir = dir;
+    serve::Trainer trainer(&registry, trainer_options);
+    if (!trainer.Start().ok()) {
+      std::fprintf(stderr, "trainer start failed\n");
+      return 1;
+    }
+    serve::ServerOptions server_options;
+    server_options.queue_capacity = 1 << 16;
+    server_options.max_chunk_records = 1 << 20;
+    serve::BoatServer server(&registry, server_options, &trainer);
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "server start failed\n");
+      return 1;
+    }
+
+    config.function = 1;  // concept drift
+    config.seed = 9000 + static_cast<uint64_t>(chunk_size);
+    const auto chunk =
+        GenerateAgrawal(config, static_cast<uint64_t>(chunk_size));
+    const auto chunk_lines = serve::FormatLabeledRecordLines(schema, chunk);
+
+    serve::LoadGenOptions load;
+    load.port = server.port();
+    load.connections = 4;
+    load.repeat = 4;
+    load.window = 128;
+    Result<serve::LoadGenReport> report =
+        Status::Internal("loadgen never ran");
+    std::thread scorer(
+        [&] { report = RunLoadGen(load, probe_lines, nullptr); });
+
+    Stopwatch watch;
+    auto replies = serve::SendChunk(server.port(), ChunkOp::kInsert,
+                                    chunk_lines, /*retrain=*/true);
+    const double ingest_seconds = watch.ElapsedSeconds();
+    scorer.join();
+    server.Shutdown();
+    trainer.Shutdown();
+
+    if (!replies.ok() || !report.ok()) {
+      std::fprintf(stderr, "chunk %lld failed: %s / %s\n",
+                   static_cast<long long>(chunk_size),
+                   replies.status().ToString().c_str(),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t dropped =
+        report->sent - report->ok;  // ERR + BUSY + mismatches
+    for (const serve::Reply& reply : *replies) {
+      if (reply.kind != serve::Reply::Kind::kOk) ok = false;
+    }
+    if (dropped != 0) ok = false;
+
+    std::printf("%12lld | %14.3f %14.0f %12llu\n",
+                static_cast<long long>(chunk_size), ingest_seconds,
+                report->throughput_rps,
+                static_cast<unsigned long long>(dropped));
+    writer.Add("streaming/chunk_" + std::to_string(chunk_size),
+               {{"ingest_seconds", ingest_seconds},
+                {"serve_rps", report->throughput_rps},
+                {"sent", static_cast<double>(report->sent)},
+                {"dropped", static_cast<double>(dropped)}});
+  }
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: a chunk was rejected or a request was dropped\n");
+    return 1;
+  }
+  return 0;
+}

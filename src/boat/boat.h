@@ -6,7 +6,10 @@
 // "Public API"); headers not listed below are internal and may change
 // without notice between versions.
 //
-//   Training        BoatClassifier, BuildTreeBoat, BoatOptions, BoatStats
+//   Sessions        Session (open / train / apply chunk / compile /
+//                   persist — the one recommended way to own a model
+//                   directory), SessionOptions, ChunkOp, MakeSelectorByName
+//   Training        BoatClassifier, BoatOptions, BoatStats
 //   Selectors       MakeGiniSelector / MakeEntropySelector,
 //                   ImpuritySplitSelector, QuestSelector, GrowthLimits
 //   Trees           DecisionTree (structure, Classify), CompiledTree
@@ -14,7 +17,6 @@
 //                   tree save/load
 //   Evaluation      ConfusionMatrix, Evaluate, HoldoutSplit, CrossValidate,
 //                   BoatCrossValidate (three-scan k-fold over a TupleSource)
-//   Persistence     SaveClassifier / LoadClassifier (update-capable models)
 //   Data access     Schema, Tuple, TupleSource (VectorSource /
 //                   TableScanSource), binary tables, CSV import/export with
 //                   schema inference, TempFileManager
@@ -22,15 +24,21 @@
 //                   Gaussian-mixture generators, RainForest baselines,
 //                   the in-memory reference builder
 //   Utilities       Status/Result, deterministic Rng, Stopwatch, IoStats
+//
+// Deprecated surface (kept for source compatibility; prefer Session):
+//   BuildTreeBoat            → Session::Train / BoatClassifier::Train
+//   SaveClassifier/
+//   LoadClassifier           → Session::Persist / Session::Open
 
 #ifndef BOAT_BOAT_BOAT_H_
 #define BOAT_BOAT_BOAT_H_
 
 // Core training API.
-#include "boat/builder.h"     // BoatClassifier, BuildTreeBoat
+#include "boat/builder.h"     // BoatClassifier (BuildTreeBoat: deprecated)
 #include "boat/crossval.h"    // BoatCrossValidate
 #include "boat/options.h"     // BoatOptions (+ Validate), BoatStats
-#include "boat/persistence.h" // SaveClassifier / LoadClassifier
+#include "boat/persistence.h" // Save/LoadClassifier (deprecated; use Session)
+#include "boat/session.h"     // Session: the unified model-lifecycle facade
 
 // Split selectors.
 #include "split/quest.h"      // QuestSelector (non-impurity)

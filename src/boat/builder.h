@@ -72,6 +72,11 @@ class BoatClassifier {
 };
 
 /// \brief One-shot convenience: builds just the decision tree with BOAT.
+///
+/// \deprecated Prefer Session::Train (boat/session.h), which owns the model
+/// directory and keeps the tree updatable, or BoatClassifier::Train when no
+/// persistence is wanted. Kept for source compatibility; the attribute is
+/// doc-level only so existing -Werror builds stay clean.
 Result<DecisionTree> BuildTreeBoat(TupleSource* db,
                                    const SplitSelector& selector,
                                    const BoatOptions& options,

@@ -38,6 +38,18 @@ Status BoatEngine::DeleteChunk(const std::vector<Tuple>& chunk,
   for (const Tuple& t : chunk) {
     BOAT_RETURN_NOT_OK(Inject(root_.get(), t, -1));
   }
+  // Deleting records that were never inserted drives a root class count
+  // negative; catch that before the archive records tombstones for tuples it
+  // does not hold. The injections above have already mutated in-memory
+  // statistics — callers that need all-or-nothing semantics reload the last
+  // persisted state (boat::Session::Apply does exactly that).
+  for (const int64_t count : root_->class_totals) {
+    if (count < 0) {
+      return Status::InvalidArgument(
+          "DeleteChunk: chunk deletes records not present in the training "
+          "database");
+    }
+  }
   BOAT_RETURN_NOT_OK(archive_->RemoveChunk(chunk));
   std::vector<ModelNode*> failed;
   BOAT_RETURN_NOT_OK(FinalizeSubtree(root_.get(), &failed, stats));

@@ -31,6 +31,12 @@ Result<std::unique_ptr<BoatEngine>> LoadModel(const std::string& dir,
                                               const SplitSelector* selector);
 
 /// \brief Convenience wrappers at the classifier level.
+///
+/// \deprecated Prefer Session::Open / Session::Persist (boat/session.h):
+/// the Session facade resolves the selector by name, validates chunks, and
+/// keeps the directory transactionally in sync with the in-memory engine.
+/// Kept for source compatibility; doc-level only so -Werror builds stay
+/// clean.
 Status SaveClassifier(const BoatClassifier& classifier,
                       const std::string& dir);
 Result<std::unique_ptr<BoatClassifier>> LoadClassifier(

@@ -1,0 +1,134 @@
+#include "boat/session.h"
+
+#include <cmath>
+#include <utility>
+
+#include "boat/persistence.h"
+#include "common/str_util.h"
+#include "split/quest.h"
+#include "split/selector.h"
+
+namespace boat {
+
+Result<std::unique_ptr<SplitSelector>> MakeSelectorByName(
+    const std::string& name) {
+  if (name == "gini") return {MakeGiniSelector()};
+  if (name == "entropy") return {MakeEntropySelector()};
+  if (name == "quest") {
+    return {std::unique_ptr<SplitSelector>(new QuestSelector())};
+  }
+  return Status::InvalidArgument("unknown selector '" + name +
+                                 "' (gini|entropy|quest)");
+}
+
+Result<std::unique_ptr<Session>> Session::Open(const std::string& dir,
+                                               const std::string& selector) {
+  BOAT_ASSIGN_OR_RETURN(std::unique_ptr<SplitSelector> sel,
+                        MakeSelectorByName(selector));
+  BOAT_ASSIGN_OR_RETURN(std::unique_ptr<BoatClassifier> classifier,
+                        LoadClassifier(dir, sel.get()));
+  return std::unique_ptr<Session>(new Session(
+      dir, selector, std::move(sel), std::move(classifier)));
+}
+
+Result<std::unique_ptr<Session>> Session::Train(TupleSource* db,
+                                                const std::string& dir,
+                                                const SessionOptions& options,
+                                                BoatStats* stats) {
+  BOAT_ASSIGN_OR_RETURN(std::unique_ptr<SplitSelector> sel,
+                        MakeSelectorByName(options.selector));
+  BoatOptions boat_options = options.boat;
+  boat_options.enable_updates = true;
+  BOAT_ASSIGN_OR_RETURN(
+      std::unique_ptr<BoatClassifier> classifier,
+      BoatClassifier::Train(db, sel.get(), boat_options, stats));
+  BOAT_RETURN_NOT_OK(SaveClassifier(*classifier, dir));
+  return std::unique_ptr<Session>(new Session(
+      dir, options.selector, std::move(sel), std::move(classifier)));
+}
+
+Status Session::ValidateChunk(const std::vector<Tuple>& chunk) const {
+  const Schema& s = schema();
+  const int arity = s.num_attributes();
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    const Tuple& t = chunk[i];
+    if (t.num_values() != arity) {
+      return Status::InvalidArgument(
+          StrPrintf("chunk record %zu: arity %d, schema wants %d", i,
+                    t.num_values(), arity));
+    }
+    if (t.label() < 0 || t.label() >= s.num_classes()) {
+      return Status::InvalidArgument(
+          StrPrintf("chunk record %zu: label %d out of range [0, %d)", i,
+                    t.label(), s.num_classes()));
+    }
+    for (int a = 0; a < arity; ++a) {
+      const double v = t.value(a);
+      if (s.IsNumerical(a)) {
+        if (!std::isfinite(v)) {
+          return Status::InvalidArgument(StrPrintf(
+              "chunk record %zu: attribute %d is not finite", i, a));
+        }
+      } else {
+        const int32_t card = s.attribute(a).cardinality;
+        if (v != std::floor(v) || v < 0 ||
+            v >= static_cast<double>(card)) {
+          return Status::InvalidArgument(StrPrintf(
+              "chunk record %zu: attribute %d category %g out of range "
+              "[0, %d)",
+              i, a, v, card));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Session::Reload() {
+  BOAT_ASSIGN_OR_RETURN(std::unique_ptr<BoatClassifier> reloaded,
+                        LoadClassifier(dir_, selector_.get()));
+  classifier_ = std::move(reloaded);
+  return Status::OK();
+}
+
+Status Session::Apply(ChunkOp op, const std::vector<Tuple>& chunk,
+                      BoatStats* stats) {
+  // Reject what the engine would choke on before anything is mutated: these
+  // failures cost nothing to undo.
+  BOAT_RETURN_NOT_OK(ValidateChunk(chunk));
+  const Status applied = op == ChunkOp::kInsert
+                             ? classifier_->InsertChunk(chunk, stats)
+                             : classifier_->DeleteChunk(chunk, stats);
+  if (!applied.ok()) {
+    // The engine may be half-updated; the directory is not (Apply persists
+    // only after success). Reload the last persisted state so the caller
+    // observes all-or-nothing.
+    const Status rolled_back = Reload();
+    if (!rolled_back.ok()) {
+      return Status::Internal(StrPrintf(
+          "apply failed (%s) and rollback reload of '%s' also failed (%s)",
+          applied.ToString().c_str(), dir_.c_str(),
+          rolled_back.ToString().c_str()));
+    }
+    return applied;
+  }
+  const Status persisted = Persist();
+  if (!persisted.ok()) {
+    // Keep memory and disk in lockstep even when the disk write fails —
+    // otherwise the *next* failed Apply would roll back past this chunk.
+    const Status rolled_back = Reload();
+    if (!rolled_back.ok()) {
+      return Status::Internal(StrPrintf(
+          "persist failed (%s) and rollback reload of '%s' also failed (%s)",
+          persisted.ToString().c_str(), dir_.c_str(),
+          rolled_back.ToString().c_str()));
+    }
+    return persisted;
+  }
+  ++revision_;
+  return Status::OK();
+}
+
+Status Session::Persist() { return SaveClassifier(*classifier_, dir_); }
+
+}  // namespace boat

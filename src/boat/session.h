@@ -1,0 +1,133 @@
+// boat::Session — the unified facade over a persisted, update-capable BOAT
+// model. One object owns the whole lifecycle the daemon, the CLI, and the
+// tests previously re-plumbed by hand:
+//
+//   * Train:  build a classifier from a TupleSource and persist it into a
+//             model directory (updates always enabled);
+//   * Open:   reload a persisted model directory (selector chosen by name);
+//   * Apply:  insert or delete one chunk of training records with
+//             all-or-nothing semantics — the chunk is validated against the
+//             schema up front, and if the engine fails mid-apply the session
+//             rolls back to the last persisted state, so a corrupt chunk can
+//             never leave the model half-updated;
+//   * Compile / Persist: produce the flat inference layout for serving, and
+//             write the current engine state back to the directory.
+//
+// Invariant: after every successful Apply the model directory equals the
+// in-memory engine state (Apply persists before returning), which is what
+// makes the rollback above exact. tree() keeps the paper's guarantee: it is
+// byte-identical to a from-scratch build on the current training database.
+//
+// The session owns its split selector (resolved by name via
+// MakeSelectorByName), so callers no longer thread selector lifetimes
+// through load paths by hand.
+
+#ifndef BOAT_BOAT_SESSION_H_
+#define BOAT_BOAT_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "boat/builder.h"
+#include "boat/options.h"
+#include "common/result.h"
+#include "storage/tuple_source.h"
+#include "tree/compiled_tree.h"
+
+namespace boat {
+
+/// \brief Direction of one incremental maintenance step.
+enum class ChunkOp {
+  kInsert,  ///< add the chunk's records to the training database
+  kDelete,  ///< remove the chunk's records (which must be present)
+};
+
+/// \brief Resolves a split selector by name: "gini", "entropy", or "quest".
+/// The one registry shared by boatc, boatd, the serving layer, and tests.
+Result<std::unique_ptr<SplitSelector>> MakeSelectorByName(
+    const std::string& name);
+
+struct SessionOptions {
+  /// Split-selector name (MakeSelectorByName).
+  std::string selector = "gini";
+  /// Training knobs. enable_updates is forced on — a Session exists to
+  /// maintain the model incrementally.
+  BoatOptions boat;
+};
+
+class Session {
+ public:
+  /// \brief Opens a model directory written by Train (or SaveClassifier).
+  /// `selector` must name the method the model was trained with (verified
+  /// against the manifest by the persistence layer).
+  static Result<std::unique_ptr<Session>> Open(
+      const std::string& dir, const std::string& selector = "gini");
+
+  /// \brief Trains a classifier on `db` and persists it into `dir`.
+  static Result<std::unique_ptr<Session>> Train(TupleSource* db,
+                                                const std::string& dir,
+                                                const SessionOptions& options,
+                                                BoatStats* stats = nullptr);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// \brief Applies one chunk with all-or-nothing semantics. The chunk is
+  /// validated against schema() first (arity, finite numericals, categorical
+  /// and label ranges) without touching the engine; if the engine then fails
+  /// mid-apply (e.g. deleting records that were never inserted), the session
+  /// reloads the last persisted state and returns the original error — the
+  /// tree, the archive, and the directory are exactly what they were before
+  /// the call. On success the new state is persisted and revision()
+  /// increments.
+  Status Apply(ChunkOp op, const std::vector<Tuple>& chunk,
+               BoatStats* stats = nullptr);
+
+  /// \brief The current decision tree (== a from-scratch build on the
+  /// current training database).
+  const DecisionTree& tree() const { return classifier_->tree(); }
+
+  const Schema& schema() const { return tree().schema(); }
+
+  /// \brief Flat batched-inference layout of tree(), for serving.
+  CompiledTree Compile() const { return CompiledTree(tree()); }
+
+  /// \brief Writes the engine state back to dir(). Apply already persists;
+  /// this exists for callers that mutate through engine-level APIs.
+  Status Persist();
+
+  const std::string& dir() const { return dir_; }
+  const std::string& selector_name() const { return selector_name_; }
+
+  /// \brief Number of successful Apply calls on this session object.
+  uint64_t revision() const { return revision_; }
+
+  /// \brief Engine-level introspection (tests, STATS).
+  const BoatEngine& engine() const { return classifier_->engine(); }
+
+ private:
+  Session(std::string dir, std::string selector_name,
+          std::unique_ptr<SplitSelector> selector,
+          std::unique_ptr<BoatClassifier> classifier)
+      : dir_(std::move(dir)),
+        selector_name_(std::move(selector_name)),
+        selector_(std::move(selector)),
+        classifier_(std::move(classifier)) {}
+
+  /// Rejects chunks the engine could choke on, before any mutation.
+  Status ValidateChunk(const std::vector<Tuple>& chunk) const;
+
+  /// Reloads classifier_ from dir_ (the rollback path).
+  Status Reload();
+
+  std::string dir_;
+  std::string selector_name_;
+  std::unique_ptr<SplitSelector> selector_;
+  std::unique_ptr<BoatClassifier> classifier_;
+  uint64_t revision_ = 0;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_BOAT_SESSION_H_

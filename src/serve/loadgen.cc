@@ -14,6 +14,7 @@
 
 #include "common/histogram.h"
 #include "common/str_util.h"
+#include "serve/wire.h"
 
 namespace boat::serve {
 
@@ -40,12 +41,6 @@ bool SendAll(int fd, const char* data, size_t len) {
     len -= static_cast<size_t>(n);
   }
   return true;
-}
-
-bool LooksNumeric(const std::string& reply) {
-  if (reply.empty()) return false;
-  const char c = reply[0];
-  return c == '-' || (c >= '0' && c <= '9');
 }
 
 void RunConnection(const LoadGenOptions& options,
@@ -137,11 +132,12 @@ void RunConnection(const LoadGenOptions& options,
           stats->latency_us.Record(us > 0 ? static_cast<uint64_t>(us) : 0);
           in_flight.pop_front();
         }
-        if (reply == "BUSY") {
+        const Reply parsed = ParseReply(reply);
+        if (parsed.kind == Reply::Kind::kBusy) {
           ++stats->busy;
-        } else if (LooksNumeric(reply)) {
+        } else if (parsed.kind == Reply::Kind::kLabel) {
           const int32_t* want = expected_for(next_reply);
-          if (want == nullptr || reply == StrPrintf("%d", *want)) {
+          if (want == nullptr || parsed.label == *want) {
             ++stats->ok;
           } else {
             ++stats->mismatches;
@@ -229,6 +225,77 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
   report.latency_p50_us = merged.ValueAtQuantile(0.5);
   report.latency_p99_us = merged.ValueAtQuantile(0.99);
   return report;
+}
+
+Result<std::vector<Reply>> SendChunk(
+    int port, ChunkOp op, const std::vector<std::string>& payload_lines,
+    bool retrain) {
+  if (payload_lines.empty()) {
+    return Status::InvalidArgument("SendChunk: empty chunk");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrPrintf("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status s = Status::IOError(
+        StrPrintf("connect port %d: %s", port, std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  std::string out = StrPrintf(
+      "%s %zu\n", op == ChunkOp::kInsert ? "INGEST" : "DELETE",
+      payload_lines.size());
+  for (const std::string& line : payload_lines) {
+    out += line;
+    out += '\n';
+  }
+  if (retrain) out += "RETRAIN\n";
+  if (!SendAll(fd, out.data(), out.size())) {
+    const Status s =
+        Status::IOError(StrPrintf("send: %s", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  // Half-close; the server answers everything received, then closes.
+  ::shutdown(fd, SHUT_WR);
+
+  std::string recv_buf;
+  char chunk_buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk_buf, sizeof(chunk_buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s =
+          Status::IOError(StrPrintf("recv: %s", std::strerror(errno)));
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    recv_buf.append(chunk_buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  std::vector<Reply> replies;
+  size_t start = 0;
+  size_t nl;
+  while ((nl = recv_buf.find('\n', start)) != std::string::npos) {
+    std::string line = recv_buf.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    replies.push_back(ParseReply(line));
+  }
+  const size_t want = retrain ? 2 : 1;
+  if (replies.size() != want) {
+    return Status::IOError(StrPrintf(
+        "SendChunk: %zu replies for %zu commands", replies.size(), want));
+  }
+  return replies;
 }
 
 }  // namespace boat::serve

@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "boat/session.h"
 #include "common/result.h"
+#include "serve/wire.h"
 
 namespace boat::serve {
 
@@ -49,6 +51,16 @@ struct LoadGenReport {
 Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
                                  const std::vector<std::string>& record_lines,
                                  const std::vector<int32_t>* expected_labels);
+
+/// \brief Streams one labeled chunk into a running server on 127.0.0.1:
+/// sends `INGEST <n>` (kInsert) or `DELETE <n>` (kDelete) followed by the
+/// payload lines (FormatLabeledRecordLines output), optionally a RETRAIN
+/// barrier, then half-closes and reads every reply. Returns one parsed
+/// Reply per command sent (the chunk reply, then the RETRAIN reply when
+/// requested); transport failures come back as a Status.
+Result<std::vector<Reply>> SendChunk(
+    int port, ChunkOp op, const std::vector<std::string>& payload_lines,
+    bool retrain);
 
 }  // namespace boat::serve
 

@@ -2,9 +2,7 @@
 
 #include <utility>
 
-#include "boat/persistence.h"
-#include "split/quest.h"
-#include "split/selector.h"
+#include "boat/session.h"
 #include "tree/serialize.h"
 
 namespace boat::serve {
@@ -18,17 +16,6 @@ uint64_t Fnv1a64(const std::string& bytes, uint64_t seed) {
     h *= 0x100000001b3ULL;
   }
   return h;
-}
-
-Result<std::unique_ptr<SplitSelector>> MakeSelectorByName(
-    const std::string& name) {
-  if (name == "gini") return {MakeGiniSelector()};
-  if (name == "entropy") return {MakeEntropySelector()};
-  if (name == "quest") {
-    return {std::unique_ptr<SplitSelector>(new QuestSelector())};
-  }
-  return Status::InvalidArgument("unknown selector '" + name +
-                                 "' (gini|entropy|quest)");
 }
 
 }  // namespace
@@ -56,13 +43,11 @@ Status ModelRegistry::LoadAndSwap(const std::string& dir,
 
 Result<std::shared_ptr<const ServableModel>> LoadServableModel(
     const std::string& dir, const std::string& selector) {
-  BOAT_ASSIGN_OR_RETURN(std::unique_ptr<SplitSelector> sel,
-                        MakeSelectorByName(selector));
-  // The selector only has to outlive the engine, which we discard once the
-  // tree is compiled; the ServableModel holds no reference to either.
-  auto classifier = LoadClassifier(dir, sel.get());
-  if (!classifier.ok()) return classifier.status();
-  return std::make_shared<const ServableModel>((*classifier)->tree(), dir);
+  // The session (and its selector) only has to outlive this scope: once the
+  // tree is compiled the ServableModel holds no reference to either.
+  auto session = Session::Open(dir, selector);
+  if (!session.ok()) return session.status();
+  return std::make_shared<const ServableModel>((*session)->tree(), dir);
 }
 
 }  // namespace boat::serve

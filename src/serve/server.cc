@@ -7,8 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "common/str_util.h"
@@ -43,9 +45,11 @@ bool SendAll(int fd, const char* data, size_t len) {
 
 }  // namespace
 
-BoatServer::BoatServer(ModelRegistry* registry, ServerOptions options)
+BoatServer::BoatServer(ModelRegistry* registry, ServerOptions options,
+                       Trainer* trainer)
     : registry_(registry),
       options_(std::move(options)),
+      trainer_(trainer),
       queue_(options_.queue_capacity) {}
 
 BoatServer::~BoatServer() { Shutdown(); }
@@ -238,27 +242,91 @@ void BoatServer::HandleConnection(Conn* conn) {
     return !send_failed;
   };
 
+  // In-progress INGEST/DELETE chunk of this connection. While set, incoming
+  // lines are payload — consumed without per-line replies — until
+  // `remaining` hits zero and the whole chunk is answered at once.
+  struct ChunkState {
+    ChunkOp op = ChunkOp::kInsert;
+    int64_t remaining = 0;
+    std::vector<Tuple> tuples;
+    std::string error;  ///< first payload/validation failure; sticky
+  };
+  std::optional<ChunkState> chunk;
+
+  auto push_reply = [&](const Reply& reply) {
+    if (reply.kind == Reply::Kind::kErr) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    } else if (reply.kind == Reply::Kind::kBusy) {
+      busy_.fetch_add(1, std::memory_order_relaxed);
+    }
+    replies.push_back({FormatReply(reply), -1});
+  };
+
+  // Answers the completed chunk: one ERR for a rejected chunk, BUSY when
+  // the trainer queue is saturated, otherwise OK with the queued seq.
+  auto finish_chunk = [&]() {
+    ChunkState done = std::move(*chunk);
+    chunk.reset();
+    if (!done.error.empty()) {
+      push_reply(Reply::Err(done.error));
+      return;
+    }
+    const char* what = done.op == ChunkOp::kInsert ? "ingest" : "delete";
+    const size_t records = done.tuples.size();
+    const std::optional<uint64_t> seq =
+        trainer_->TrySubmit(done.op, std::move(done.tuples));
+    if (!seq.has_value()) {
+      push_reply(Reply::Busy());
+      return;
+    }
+    push_reply(Reply::Ok(StrPrintf(
+        "%s queued seq %llu records %zu", what,
+        static_cast<unsigned long long>(*seq), records)));
+  };
+
+  // Consumes one payload line of the open chunk. Oversized lines poison the
+  // chunk but still count against `remaining`, keeping the framing in sync.
+  auto consume_payload = [&](std::string line, bool oversized) {
+    if (chunk->error.empty()) {
+      if (oversized) {
+        chunk->error = "chunk payload line too long";
+      } else {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        Result<Tuple> tuple =
+            ParseLabeledRecordLine(line, trainer_->schema());
+        if (!tuple.ok()) {
+          chunk->error = "rejected chunk: " + tuple.status().message();
+        } else {
+          chunk->tuples.push_back(std::move(*tuple));
+        }
+      }
+    }
+    if (--chunk->remaining == 0) finish_chunk();
+  };
+
   auto process_line = [&](std::string line) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.size() > options_.max_line_bytes) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      replies.push_back({"ERR line too long", -1});
+      push_reply(Reply::Err("line too long"));
       return;
     }
     if (line.empty()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      replies.push_back({"ERR empty line", -1});
+      push_reply(Reply::Err("empty line"));
       return;
     }
-    switch (ClassifyRequestLine(line)) {
-      case RequestKind::kRecord: {
+    Result<Request> parsed = ParseRequest(line);
+    if (!parsed.ok()) {
+      push_reply(Reply::Err(parsed.status().message()));
+      return;
+    }
+    switch (parsed->verb) {
+      case Verb::kRecord: {
         requests_.fetch_add(1, std::memory_order_relaxed);
         const std::shared_ptr<const ServableModel> model =
             registry_->Snapshot();
         Result<Tuple> tuple = ParseRecordLine(line, model->schema);
         if (!tuple.ok()) {
-          errors_.fetch_add(1, std::memory_order_relaxed);
-          replies.push_back({"ERR " + tuple.status().message(), -1});
+          push_reply(Reply::Err(tuple.status().message()));
           return;
         }
         internal::Request req;
@@ -273,50 +341,80 @@ void BoatServer::HandleConnection(Conn* conn) {
           ++used_slots;
         } else {
           wg.Done();  // never admitted; nothing to wait for
-          busy_.fetch_add(1, std::memory_order_relaxed);
-          replies.push_back({"BUSY", -1});
+          push_reply(Reply::Busy());
         }
         return;
       }
-      case RequestKind::kStats:
+      case Verb::kStats:
         replies.push_back({StatsJson(), -1});
         return;
-      case RequestKind::kPing:
-        replies.push_back({"PONG", -1});
+      case Verb::kPing:
+        push_reply(Reply::Pong());
         return;
-      case RequestKind::kQuit:
+      case Verb::kQuit:
         quit = true;
         return;
-      case RequestKind::kReload: {
-        const std::string dir = ReloadArgument(line);
-        if (dir.empty()) {
-          replies.push_back({"ERR RELOAD needs a model directory", -1});
-          return;
-        }
+      case Verb::kReload: {
+        const std::string& dir = parsed->args;
         const Status status = registry_->LoadAndSwap(dir, options_.selector);
         if (status.ok()) {
           const std::shared_ptr<const ServableModel> model =
               registry_->Snapshot();
-          replies.push_back(
-              {StrPrintf("OK reloaded %s fingerprint %016llx", dir.c_str(),
-                         static_cast<unsigned long long>(model->fingerprint)),
-               -1});
+          push_reply(Reply::Ok(StrPrintf(
+              "reloaded %s fingerprint %016llx", dir.c_str(),
+              static_cast<unsigned long long>(model->fingerprint))));
         } else {
-          replies.push_back({"ERR " + status.ToString(), -1});
+          push_reply(Reply::Err(status.ToString()));
         }
         return;
       }
-      case RequestKind::kUnknown:
-        errors_.fetch_add(1, std::memory_order_relaxed);
-        replies.push_back({"ERR unknown command", -1});
+      case Verb::kIngest:
+      case Verb::kDelete: {
+        // Enter payload mode even for rejected chunks: the client sends the
+        // payload regardless, and consuming it (while discarding) is the
+        // only way to keep line framing intact.
+        chunk.emplace();
+        chunk->op = parsed->verb == Verb::kIngest ? ChunkOp::kInsert
+                                                  : ChunkOp::kDelete;
+        chunk->remaining = parsed->payload_lines;
+        if (trainer_ == nullptr) {
+          chunk->error = "streaming ingestion requires boatd --model";
+        } else if (parsed->payload_lines >
+                   static_cast<int64_t>(options_.max_chunk_records)) {
+          chunk->error = StrPrintf(
+              "chunk too large: %lld records (max %zu)",
+              static_cast<long long>(parsed->payload_lines),
+              options_.max_chunk_records);
+        } else {
+          chunk->tuples.reserve(static_cast<size_t>(
+              std::min<int64_t>(parsed->payload_lines, 4096)));
+        }
         return;
+      }
+      case Verb::kRetrain: {
+        if (trainer_ == nullptr) {
+          push_reply(Reply::Err("streaming ingestion requires boatd --model"));
+          return;
+        }
+        const Result<Trainer::RetrainResult> result = trainer_->Flush();
+        if (!result.ok()) {
+          push_reply(Reply::Err(result.status().ToString()));
+          return;
+        }
+        push_reply(Reply::Ok(StrPrintf(
+            "retrain applied %llu failed %llu fingerprint %016llx",
+            static_cast<unsigned long long>(result->applied),
+            static_cast<unsigned long long>(result->failed),
+            static_cast<unsigned long long>(result->fingerprint))));
+        return;
+      }
     }
   };
 
-  char chunk[4096];
+  char rx[4096];
   bool reading = true;
   while (reading && !quit && !send_failed) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = ::recv(fd, rx, sizeof(rx), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -324,7 +422,7 @@ void BoatServer::HandleConnection(Conn* conn) {
     if (n == 0) {
       reading = false;  // peer half-closed; finish what is buffered
     } else {
-      buf.append(chunk, static_cast<size_t>(n));
+      buf.append(rx, static_cast<size_t>(n));
     }
 
     size_t start = 0;
@@ -333,27 +431,47 @@ void BoatServer::HandleConnection(Conn* conn) {
       std::string line = buf.substr(start, nl - start);
       start = nl + 1;
       if (skipping_long_line) {
-        // Tail of an oversized line already answered with ERR.
+        // Tail of an oversized line already accounted for below.
         skipping_long_line = false;
         continue;
       }
-      process_line(std::move(line));
+      if (chunk.has_value()) {
+        consume_payload(std::move(line), /*oversized=*/false);
+      } else {
+        process_line(std::move(line));
+      }
       if (used_slots >= kReplyWindow || replies.size() >= kReplyWindow) {
         if (!flush()) break;
       }
     }
     buf.erase(0, start);
     if (!skipping_long_line && buf.size() > options_.max_line_bytes) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      replies.push_back({"ERR line too long", -1});
+      // The oversized line is consumed exactly once here (its tail is
+      // discarded above), so chunk payload accounting stays in sync.
+      if (chunk.has_value()) {
+        consume_payload("", /*oversized=*/true);
+      } else {
+        push_reply(Reply::Err("line too long"));
+      }
       skipping_long_line = true;
       buf.clear();
     } else if (skipping_long_line) {
       buf.clear();
     }
     if (!reading && !quit && !buf.empty() && !skipping_long_line) {
-      process_line(std::move(buf));  // lenient: final unterminated line
+      // Lenient: final unterminated line.
+      if (chunk.has_value()) {
+        consume_payload(std::move(buf), /*oversized=*/false);
+      } else {
+        process_line(std::move(buf));
+      }
       buf.clear();
+    }
+    if (!reading && chunk.has_value()) {
+      // The peer half-closed mid-chunk; the missing payload can never
+      // arrive, so answer the chunk now.
+      chunk.reset();
+      push_reply(Reply::Err("truncated chunk"));
     }
     if (!flush()) break;
   }
@@ -486,6 +604,9 @@ std::string BoatServer::StatsJson() const {
           batches_.load(std::memory_order_relaxed)),
       queue_.size(),
       static_cast<long long>(registry_->reload_count()));
+  if (trainer_ != nullptr) {
+    json += ",\"trainer\":" + trainer_->StatsJson();
+  }
   json += ",\"batch_size_hist\":" + batch_size_hist_.ToJson();
   json += StrPrintf(
       ",\"latency_us\":{\"count\":%llu,\"p50\":%llu,\"p99\":%llu}",

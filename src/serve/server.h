@@ -41,6 +41,7 @@
 #include "common/histogram.h"
 #include "common/status.h"
 #include "serve/model_registry.h"
+#include "serve/trainer.h"
 #include "storage/tuple.h"
 
 namespace boat::serve {
@@ -66,6 +67,9 @@ struct ServerOptions {
   int max_connections = 256;
   /// Split-selector name RELOAD passes to LoadClassifier.
   std::string selector = "gini";
+  /// INGEST/DELETE chunks larger than this are rejected (their payload is
+  /// still consumed, so the protocol stays in sync).
+  size_t max_chunk_records = 100000;
 };
 
 namespace internal {
@@ -111,8 +115,11 @@ struct Request {
 class BoatServer {
  public:
   /// \brief `registry` must hold an active model before Start() and must
-  /// outlive the server.
-  BoatServer(ModelRegistry* registry, ServerOptions options);
+  /// outlive the server. `trainer`, when non-null, enables the streaming
+  /// INGEST/DELETE/RETRAIN verbs (it must be started and must outlive the
+  /// server); when null those verbs reply ERR.
+  BoatServer(ModelRegistry* registry, ServerOptions options,
+             Trainer* trainer = nullptr);
   ~BoatServer();
 
   BoatServer(const BoatServer&) = delete;
@@ -152,6 +159,7 @@ class BoatServer {
 
   ModelRegistry* const registry_;
   const ServerOptions options_;
+  Trainer* const trainer_;
 
   int listen_fd_ = -1;
   int port_ = 0;

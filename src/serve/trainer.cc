@@ -1,0 +1,131 @@
+#include "serve/trainer.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace boat::serve {
+
+namespace {
+
+/// Minimal JSON string escaping for error messages surfaced via STATS.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Trainer::Trainer(ModelRegistry* registry, TrainerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {}
+
+Trainer::~Trainer() { Shutdown(); }
+
+Status Trainer::Start() {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("Trainer: already started");
+  }
+  BOAT_ASSIGN_OR_RETURN(session_,
+                        Session::Open(options_.model_dir, options_.selector));
+  schema_ = session_->schema();
+  registry_->Install(std::make_shared<const ServableModel>(
+      session_->tree(), options_.model_dir));
+  thread_ = std::thread(&Trainer::ApplyLoop, this);
+  started_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Trainer::Shutdown() {
+  if (!started_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Close() fails new pushes; the apply thread still drains every chunk
+  // already queued, so an accepted Submit is never silently dropped.
+  queue_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::optional<uint64_t> Trainer::TrySubmit(ChunkOp op,
+                                           std::vector<Tuple> chunk) {
+  if (!started_.load(std::memory_order_acquire)) return std::nullopt;
+  // Sequence allocation and the push happen under one lock so queue order
+  // equals seq order, which is what makes Flush's barrier exact.
+  std::lock_guard<std::mutex> lock(mu_);
+  PendingChunk pending;
+  pending.seq = submitted_ + 1;
+  pending.op = op;
+  pending.tuples = std::move(chunk);
+  if (!queue_.TryPush(std::move(pending))) return std::nullopt;
+  ++submitted_;
+  return submitted_;
+}
+
+Result<Trainer::RetrainResult> Trainer::Flush() {
+  if (!started_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("trainer is not running");
+  }
+  RetrainResult result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t target = submitted_;
+    cv_.wait(lock, [&] { return completed_ >= target; });
+    result.applied = applied_;
+    result.failed = failed_;
+  }
+  const std::shared_ptr<const ServableModel> model = registry_->Snapshot();
+  if (model != nullptr) result.fingerprint = model->fingerprint;
+  return result;
+}
+
+void Trainer::ApplyLoop() {
+  for (;;) {
+    std::optional<PendingChunk> item = queue_.Pop();
+    if (!item.has_value()) return;  // closed and drained
+    BoatStats stats;
+    const Status status = session_->Apply(item->op, item->tuples, &stats);
+    if (status.ok()) {
+      // Recompile and hot-swap before the chunk counts as completed, so a
+      // Flush returning implies the swap is published.
+      registry_->Install(std::make_shared<const ServableModel>(
+          session_->tree(), options_.model_dir));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status.ok()) {
+        ++applied_;
+      } else {
+        ++failed_;
+        last_error_ = status.ToString();
+      }
+      completed_ = item->seq;
+    }
+    cv_.notify_all();
+  }
+}
+
+std::string Trainer::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StrPrintf(
+      "{\"queued\":%llu,\"applied\":%llu,\"failed\":%llu,"
+      "\"last_error\":\"%s\"}",
+      static_cast<unsigned long long>(submitted_ - completed_),
+      static_cast<unsigned long long>(applied_),
+      static_cast<unsigned long long>(failed_),
+      EscapeJson(last_error_).c_str());
+}
+
+}  // namespace boat::serve

@@ -1,0 +1,121 @@
+// Trainer: boatd's background incremental-retrain component.
+//
+// One Trainer owns a live boat::Session over the daemon's --model directory
+// and a single apply thread. Connection handlers Submit() whole chunks
+// (parsed INGEST/DELETE payloads) into a bounded queue — never blocking the
+// serving path — and the apply thread drains it: each chunk goes through
+// Session::Apply (exact incremental InsertChunk/DeleteChunk with
+// all-or-nothing rollback), and after every *successful* apply the updated
+// tree is recompiled into a fresh ServableModel and hot-swapped into the
+// ModelRegistry. In-flight scoring batches finish on their snapshot
+// (RCU-style, see model_registry.h), so no request is ever dropped or
+// scored against a half-updated model. A failed chunk changes nothing: the
+// session rolls back to the last persisted state and the registry keeps
+// serving the active model.
+//
+// Flush() is the RETRAIN barrier: it waits until every chunk submitted
+// before the call has been applied (or rejected) and its swap published,
+// then reports cumulative applied/failed counts and the live fingerprint.
+//
+// Threading: Submit/Flush/StatsJson are safe from any handler thread;
+// schema() returns a copy captured at Start() and is immutable afterwards.
+
+#ifndef BOAT_SERVE_TRAINER_H_
+#define BOAT_SERVE_TRAINER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "boat/session.h"
+#include "common/bounded_queue.h"
+#include "serve/model_registry.h"
+
+namespace boat::serve {
+
+struct TrainerOptions {
+  /// Model directory the session opens, persists to, and rolls back from.
+  std::string model_dir;
+  /// Split-selector name (must match the persisted model's manifest).
+  std::string selector = "gini";
+  /// Chunks queued but not yet applied before Submit reports backpressure.
+  size_t queue_capacity = 64;
+};
+
+class Trainer {
+ public:
+  /// \brief `registry` must outlive the trainer. Start() publishes the
+  /// initial model into it.
+  Trainer(ModelRegistry* registry, TrainerOptions options);
+  ~Trainer();
+
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  /// \brief Opens the session, installs the initial ServableModel into the
+  /// registry, and spawns the apply thread.
+  Status Start();
+
+  /// \brief Drains the queue (every queued chunk is still applied), then
+  /// joins the apply thread. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// \brief The training schema, captured at Start(). Stable storage —
+  /// handler threads parse chunk payloads against it while the apply
+  /// thread mutates the session.
+  const Schema& schema() const { return schema_; }
+
+  /// \brief Queues one chunk; returns its sequence number, or nullopt when
+  /// the trainer is saturated or not running (callers reply BUSY).
+  std::optional<uint64_t> TrySubmit(ChunkOp op, std::vector<Tuple> chunk);
+
+  struct RetrainResult {
+    uint64_t applied = 0;      ///< chunks applied since Start
+    uint64_t failed = 0;       ///< chunks rejected since Start
+    uint64_t fingerprint = 0;  ///< live model fingerprint after the barrier
+  };
+
+  /// \brief RETRAIN barrier: blocks until every chunk submitted before this
+  /// call has been applied or rejected (and any resulting swap published).
+  Result<RetrainResult> Flush();
+
+  /// \brief One JSON object for the STATS reply's "trainer" section.
+  std::string StatsJson() const;
+
+ private:
+  struct PendingChunk {
+    uint64_t seq = 0;
+    ChunkOp op = ChunkOp::kInsert;
+    std::vector<Tuple> tuples;
+  };
+
+  void ApplyLoop();
+
+  ModelRegistry* const registry_;
+  const TrainerOptions options_;
+
+  std::unique_ptr<Session> session_;  ///< apply-thread-owned after Start
+  Schema schema_;
+
+  BoundedQueue<PendingChunk> queue_;
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t submitted_ = 0;  ///< seq of the newest accepted chunk
+  uint64_t completed_ = 0;  ///< seq of the newest applied/rejected chunk
+  uint64_t applied_ = 0;
+  uint64_t failed_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace boat::serve
+
+#endif  // BOAT_SERVE_TRAINER_H_

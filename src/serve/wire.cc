@@ -44,36 +44,28 @@ bool ParseCategory(const std::string& field, int32_t* out) {
   return true;
 }
 
-}  // namespace
-
-RequestKind ClassifyRequestLine(const std::string& line) {
-  size_t i = 0;
-  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-  if (i >= line.size() || !IsAsciiLetter(line[i])) return RequestKind::kRecord;
-  const std::string trimmed = Trim(line.substr(i));
-  if (trimmed == "STATS") return RequestKind::kStats;
-  if (trimmed == "PING") return RequestKind::kPing;
-  if (trimmed == "QUIT") return RequestKind::kQuit;
-  if (trimmed.rfind("RELOAD", 0) == 0 &&
-      (trimmed.size() == 6 || trimmed[6] == ' ' || trimmed[6] == '\t')) {
-    return RequestKind::kReload;
+/// Strict decimal count: digits only, full consume, no sign.
+bool ParseCount(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  for (const char c : field) {
+    if (c < '0' || c > '9') return false;
   }
-  return RequestKind::kUnknown;
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
 }
 
-std::string ReloadArgument(const std::string& line) {
-  const std::string trimmed = Trim(line);
-  if (trimmed.size() <= 6) return "";
-  return Trim(trimmed.substr(6));
-}
-
-Result<Tuple> ParseRecordLine(const std::string& line, const Schema& schema) {
+Result<Tuple> ParseRecordFields(const std::string& line, const Schema& schema,
+                                bool labeled) {
   const std::vector<std::string> fields = SplitCsvLine(line, ',');
   const int arity = schema.num_attributes();
-  if (static_cast<int>(fields.size()) != arity) {
+  const size_t want = static_cast<size_t>(arity) + (labeled ? 1 : 0);
+  if (fields.size() != want) {
     return Status::InvalidArgument(
-        StrPrintf("schema arity mismatch: got %zu fields, want %d",
-                  fields.size(), arity));
+        StrPrintf("schema arity mismatch: got %zu fields, want %zu",
+                  fields.size(), want));
   }
   std::vector<double> values(static_cast<size_t>(arity));
   for (int a = 0; a < arity; ++a) {
@@ -99,7 +91,140 @@ Result<Tuple> ParseRecordLine(const std::string& line, const Schema& schema) {
       values[static_cast<size_t>(a)] = static_cast<double>(c);
     }
   }
-  return Tuple(std::move(values), /*label=*/0);
+  int32_t label = 0;
+  if (labeled) {
+    const std::string& field = fields.back();
+    if (!ParseCategory(field, &label)) {
+      return Status::InvalidArgument(
+          StrPrintf("label field ('%s') is not a class id", field.c_str()));
+    }
+    if (label < 0 || label >= schema.num_classes()) {
+      return Status::InvalidArgument(
+          StrPrintf("label %d out of range [0, %d)", label,
+                    schema.num_classes()));
+    }
+  }
+  return Tuple(std::move(values), label);
+}
+
+std::string FormatFields(const Schema& schema, const Tuple& t, bool labeled) {
+  std::string line;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (a > 0) line += ',';
+    if (schema.IsNumerical(a)) {
+      line += StrPrintf("%.17g", t.value(a));
+    } else {
+      line += StrPrintf("%d", t.category(a));
+    }
+  }
+  if (labeled) {
+    line += ',';
+    line += StrPrintf("%d", t.label());
+  }
+  return line;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line) {
+  size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || !IsAsciiLetter(line[i])) {
+    Request request;
+    request.verb = Verb::kRecord;
+    request.args = line;
+    return request;
+  }
+  const std::string trimmed = Trim(line.substr(i));
+  const size_t space = trimmed.find_first_of(" \t");
+  const std::string verb =
+      space == std::string::npos ? trimmed : trimmed.substr(0, space);
+  const std::string rest =
+      space == std::string::npos ? "" : Trim(trimmed.substr(space + 1));
+
+  Request request;
+  if (verb == "STATS" && rest.empty()) {
+    request.verb = Verb::kStats;
+    return request;
+  }
+  if (verb == "PING" && rest.empty()) {
+    request.verb = Verb::kPing;
+    return request;
+  }
+  if (verb == "QUIT" && rest.empty()) {
+    request.verb = Verb::kQuit;
+    return request;
+  }
+  if (verb == "RETRAIN" && rest.empty()) {
+    request.verb = Verb::kRetrain;
+    return request;
+  }
+  if (verb == "RELOAD") {
+    if (rest.empty()) {
+      return Status::InvalidArgument("RELOAD needs a model directory");
+    }
+    request.verb = Verb::kReload;
+    request.args = rest;
+    return request;
+  }
+  if (verb == "INGEST" || verb == "DELETE") {
+    int64_t n = 0;
+    if (!ParseCount(rest, &n) || n < 1 || n > kMaxWireChunkRecords) {
+      return Status::InvalidArgument(
+          verb + " needs a positive record count");
+    }
+    request.verb = verb == "INGEST" ? Verb::kIngest : Verb::kDelete;
+    request.payload_lines = n;
+    return request;
+  }
+  return Status::InvalidArgument("unknown command");
+}
+
+std::string FormatReply(const Reply& reply) {
+  switch (reply.kind) {
+    case Reply::Kind::kLabel:
+      return StrPrintf("%d", reply.label);
+    case Reply::Kind::kOk:
+      return reply.text.empty() ? "OK" : "OK " + reply.text;
+    case Reply::Kind::kErr:
+      return reply.text.empty() ? "ERR" : "ERR " + reply.text;
+    case Reply::Kind::kBusy:
+      return "BUSY";
+    case Reply::Kind::kPong:
+      return "PONG";
+    case Reply::Kind::kJson:
+      return reply.text;
+  }
+  return "ERR";
+}
+
+Reply ParseReply(const std::string& line) {
+  if (line == "BUSY") return Reply::Busy();
+  if (line == "PONG") return Reply::Pong();
+  if (line == "OK") return Reply::Ok("");
+  if (line.rfind("OK ", 0) == 0) return Reply::Ok(line.substr(3));
+  if (line == "ERR") return Reply::Err("");
+  if (line.rfind("ERR ", 0) == 0) return Reply::Err(line.substr(4));
+  if (!line.empty() && line.front() == '{') return Reply::Json(line);
+  if (!line.empty()) {
+    char* end = nullptr;
+    const long long v = std::strtoll(line.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && v >= INT32_MIN && v <= INT32_MAX) {
+      return Reply::Label(static_cast<int32_t>(v));
+    }
+  }
+  // Total: anything unrecognized classifies as an error reply carrying the
+  // raw line, so clients never have to special-case garbage.
+  return Reply::Err(line);
+}
+
+Result<Tuple> ParseRecordLine(const std::string& line, const Schema& schema) {
+  return ParseRecordFields(line, schema, /*labeled=*/false);
+}
+
+Result<Tuple> ParseLabeledRecordLine(const std::string& line,
+                                     const Schema& schema) {
+  return ParseRecordFields(line, schema, /*labeled=*/true);
 }
 
 std::vector<std::string> FormatRecordLines(const Schema& schema,
@@ -107,16 +232,17 @@ std::vector<std::string> FormatRecordLines(const Schema& schema,
   std::vector<std::string> lines;
   lines.reserve(tuples.size());
   for (const Tuple& t : tuples) {
-    std::string line;
-    for (int a = 0; a < schema.num_attributes(); ++a) {
-      if (a > 0) line += ',';
-      if (schema.IsNumerical(a)) {
-        line += StrPrintf("%.17g", t.value(a));
-      } else {
-        line += StrPrintf("%d", t.category(a));
-      }
-    }
-    lines.push_back(std::move(line));
+    lines.push_back(FormatFields(schema, t, /*labeled=*/false));
+  }
+  return lines;
+}
+
+std::vector<std::string> FormatLabeledRecordLines(
+    const Schema& schema, const std::vector<Tuple>& tuples) {
+  std::vector<std::string> lines;
+  lines.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    lines.push_back(FormatFields(schema, t, /*labeled=*/true));
   }
   return lines;
 }

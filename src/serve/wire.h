@@ -1,4 +1,4 @@
-// boatd wire protocol v1: newline-delimited text over one TCP connection.
+// boatd wire protocol v2: newline-delimited text over one TCP connection.
 //
 // Client -> server, one request per line:
 //   * data record:  CSV fields, exactly schema.num_attributes() of them, no
@@ -10,21 +10,41 @@
 //       RELOAD <dir>  -> hot-swaps the model from a SaveClassifier directory
 //       PING          -> PONG
 //       QUIT          -> server closes the connection
+//   * streaming ingestion (requires boatd --model, i.e. a live Trainer):
+//       INGEST <n>    -> the next n lines are *labeled* CSV records (label
+//                        as the last field, as written by WriteCsv /
+//                        `boatc generate`). The chunk is atomic: all n lines
+//                        are consumed, and the whole chunk is either queued
+//                        for incremental insertion (one `OK ingest seq <s>
+//                        records <n>` reply) or rejected (one ERR reply, or
+//                        BUSY when the trainer queue is full). Payload lines
+//                        get no per-line replies.
+//       DELETE <n>    -> same framing; the chunk is queued for incremental
+//                        deletion (the records must be present).
+//       RETRAIN       -> synchronous barrier: waits until every queued chunk
+//                        has been applied, recompiled, and hot-swapped, then
+//                        replies `OK retrain applied <a> failed <f>
+//                        fingerprint <hex>`. After an OK RETRAIN, records
+//                        are scored by the updated model.
 //
-// Server -> client, exactly one line per request line, in request order:
+// Server -> client, exactly one line per request line (payload lines of an
+// INGEST/DELETE chunk are not request lines), in request order:
 //   * <label>        decimal class id, for an accepted data record
 //   * ERR <reason>   the line was rejected (parse/validation); the
 //                    connection stays usable
-//   * BUSY           the admission queue was full; retry later
+//   * BUSY           the admission or trainer queue was full; retry later
 //   * OK ... / PONG / {json}   admin replies
 //
 // Parsing is schema-driven and bounded: lines longer than
-// ServerOptions::max_line_bytes are rejected before parsing, so a hostile
-// client cannot make the server buffer an unbounded record.
+// ServerOptions::max_line_bytes are rejected before parsing, and chunk
+// counts above ServerOptions::max_chunk_records are rejected at the INGEST
+// line, so a hostile client cannot make the server buffer an unbounded
+// record or chunk.
 
 #ifndef BOAT_SERVE_WIRE_H_
 #define BOAT_SERVE_WIRE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,23 +54,77 @@
 
 namespace boat::serve {
 
-/// \brief Kind of one request line.
-enum class RequestKind {
+/// \brief Protocol-level ceiling on an INGEST/DELETE count. Servers apply
+/// their (much smaller) ServerOptions::max_chunk_records on top; this bound
+/// only keeps the parsed count sane.
+inline constexpr int64_t kMaxWireChunkRecords = 1'000'000'000;
+
+/// \brief Verb of one request line.
+enum class Verb {
   kRecord,   ///< CSV data record to classify
   kStats,    ///< STATS
   kReload,   ///< RELOAD <dir>
   kPing,     ///< PING
   kQuit,     ///< QUIT
-  kUnknown,  ///< starts with a letter but is not a known admin command
+  kIngest,   ///< INGEST <n>: insert the next n labeled records
+  kDelete,   ///< DELETE <n>: delete the next n labeled records
+  kRetrain,  ///< RETRAIN: barrier until queued chunks are applied + swapped
 };
 
-/// \brief Classifies a request line without parsing record fields. Records
-/// are any line not starting with an ASCII letter (record fields are
-/// numeric, admin verbs are words).
-RequestKind ClassifyRequestLine(const std::string& line);
+/// \brief One parsed request line. Record payloads stay unparsed here
+/// (records are schema-driven; see ParseRecordLine) — `args` carries the
+/// raw line for kRecord and the trimmed argument for kReload.
+struct Request {
+  Verb verb = Verb::kRecord;
+  /// kRecord: the raw line. kReload: the directory, trimmed. Else empty.
+  std::string args;
+  /// kIngest/kDelete: number of payload lines that follow, >= 1.
+  int64_t payload_lines = 0;
+};
 
-/// \brief Argument of a RELOAD line (the directory), trimmed.
-std::string ReloadArgument(const std::string& line);
+/// \brief Parses one request line. Any line not starting with an ASCII
+/// letter is a record (record fields are numeric, admin verbs are words).
+/// Lines that start with a letter must be a well-formed admin verb; unknown
+/// verbs and malformed arguments (e.g. a non-numeric INGEST count) are
+/// errors. Never inspects record fields, so it needs no schema.
+Result<Request> ParseRequest(const std::string& line);
+
+/// \brief One reply line, as written by the server and read back by
+/// clients (loadgen, tests). FormatReply/ParseReply are exact inverses for
+/// every representable reply.
+struct Reply {
+  enum class Kind {
+    kLabel,  ///< a predicted class id
+    kOk,     ///< OK [detail]
+    kErr,    ///< ERR [reason]
+    kBusy,   ///< BUSY
+    kPong,   ///< PONG
+    kJson,   ///< one-line JSON object (STATS)
+  };
+  Kind kind = Kind::kErr;
+  int32_t label = 0;  ///< kLabel only
+  std::string text;   ///< kOk detail / kErr reason / kJson body
+
+  static Reply Label(int32_t label) { return {Kind::kLabel, label, ""}; }
+  static Reply Ok(std::string detail) {
+    return {Kind::kOk, 0, std::move(detail)};
+  }
+  static Reply Err(std::string reason) {
+    return {Kind::kErr, 0, std::move(reason)};
+  }
+  static Reply Busy() { return {Kind::kBusy, 0, ""}; }
+  static Reply Pong() { return {Kind::kPong, 0, ""}; }
+  static Reply Json(std::string body) {
+    return {Kind::kJson, 0, std::move(body)};
+  }
+};
+
+/// \brief Renders one reply line (no trailing newline).
+std::string FormatReply(const Reply& reply);
+
+/// \brief Parses one reply line. Total: unrecognized lines come back as
+/// kErr with the raw line as text, so clients can always classify a reply.
+Reply ParseReply(const std::string& line);
 
 /// \brief Parses one data-record line against `schema`: splits the CSV
 /// fields, checks the arity, and converts each field per the attribute type
@@ -58,11 +132,23 @@ std::string ReloadArgument(const std::string& line);
 /// The returned tuple has label 0 — the label is what the server predicts.
 Result<Tuple> ParseRecordLine(const std::string& line, const Schema& schema);
 
+/// \brief Parses one *labeled* record line (INGEST/DELETE payload): the
+/// last CSV field is the class label, in [0, num_classes). The layout
+/// matches WriteCsv data rows, so generated corpora stream through
+/// unchanged.
+Result<Tuple> ParseLabeledRecordLine(const std::string& line,
+                                     const Schema& schema);
+
 /// \brief Formats `tuples` as wire record lines (no trailing newline).
 /// Numerical values are rendered with %.17g so the server-side strtod
 /// reconstructs bit-identical doubles; categorical values as plain ints.
 std::vector<std::string> FormatRecordLines(const Schema& schema,
                                            const std::vector<Tuple>& tuples);
+
+/// \brief Formats `tuples` as labeled payload lines (label last), the
+/// inverse of ParseLabeledRecordLine.
+std::vector<std::string> FormatLabeledRecordLines(
+    const Schema& schema, const std::vector<Tuple>& tuples);
 
 }  // namespace boat::serve
 

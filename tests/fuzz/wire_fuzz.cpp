@@ -1,11 +1,14 @@
 // Fuzz harness for the serving wire protocol (src/serve/wire.h).
 //
 // Properties, for arbitrary request-line bytes:
-//   1. ClassifyRequestLine never crashes and always returns a valid kind.
-//   2. ParseRecordLine never crashes, and when it accepts a line the
+//   1. ParseRequest never crashes; when it accepts a line the verb is
+//      valid and a chunk command carries a positive in-range count.
+//   2. ParseReply is total (never an error return, never a crash), and
+//      FormatReply → ParseReply is a fixpoint for whatever it produces.
+//   3. ParseRecordLine never crashes, and when it accepts a line the
 //      resulting tuple has exactly the schema's arity, with every
 //      categorical value inside [0, cardinality).
-//   3. Round trip: a tuple accepted by ParseRecordLine, re-rendered with
+//   4. Round trip: a tuple accepted by ParseRecordLine, re-rendered with
 //      FormatRecordLines, parses again to the bit-identical tuple (this is
 //      the property the byte-identical serving guarantee rests on).
 //
@@ -48,20 +51,42 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
                                                                     ? 0
                                                                     : size - 1);
 
-  // Property 1: classification is total.
-  const boat::serve::RequestKind kind = boat::serve::ClassifyRequestLine(line);
-  switch (kind) {
-    case boat::serve::RequestKind::kRecord:
-    case boat::serve::RequestKind::kStats:
-    case boat::serve::RequestKind::kReload:
-    case boat::serve::RequestKind::kPing:
-    case boat::serve::RequestKind::kQuit:
-    case boat::serve::RequestKind::kUnknown:
-      break;
+  // Property 1: request parsing never crashes; accepted requests are sane.
+  const boat::Result<boat::serve::Request> request =
+      boat::serve::ParseRequest(line);
+  if (request.ok()) {
+    switch (request->verb) {
+      case boat::serve::Verb::kIngest:
+      case boat::serve::Verb::kDelete:
+        if (request->payload_lines <= 0 ||
+            request->payload_lines > boat::serve::kMaxWireChunkRecords) {
+          std::abort();
+        }
+        break;
+      case boat::serve::Verb::kRecord:
+        // A record request echoes the raw line back as its argument.
+        if (request->args != line) std::abort();
+        break;
+      case boat::serve::Verb::kStats:
+      case boat::serve::Verb::kReload:
+      case boat::serve::Verb::kPing:
+      case boat::serve::Verb::kQuit:
+      case boat::serve::Verb::kRetrain:
+        break;
+    }
   }
-  (void)boat::serve::ReloadArgument(line);
 
-  // Property 2: parsing is total and validates.
+  // Property 2: reply parsing is total, and format→parse is a fixpoint.
+  const boat::serve::Reply reply = boat::serve::ParseReply(line);
+  const boat::serve::Reply reparsed_reply =
+      boat::serve::ParseReply(boat::serve::FormatReply(reply));
+  if (reparsed_reply.kind != reply.kind) std::abort();
+  if (reply.kind == boat::serve::Reply::Kind::kLabel &&
+      reparsed_reply.label != reply.label) {
+    std::abort();
+  }
+
+  // Property 3: record parsing is total and validates.
   boat::Result<boat::Tuple> parsed =
       boat::serve::ParseRecordLine(line, schema);
   if (!parsed.ok()) return 0;
@@ -74,7 +99,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     }
   }
 
-  // Property 3: format/parse round trip is bit-exact.
+  // Property 4: format/parse round trip is bit-exact.
   const std::vector<std::string> rendered =
       boat::serve::FormatRecordLines(schema, {tuple});
   if (rendered.size() != 1) std::abort();

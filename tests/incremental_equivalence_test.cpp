@@ -1,0 +1,129 @@
+// The paper's exactness guarantee, end to end through the Session facade: a
+// model maintained by an arbitrary sequence of insert/delete chunks is
+// byte-identical (SerializeTree) to a model trained from scratch on the
+// final training database — and from-scratch training itself is
+// thread-count-invariant, so the streamed model matches rebuilds at 1 and 8
+// threads alike. This is the property that lets CI compare a boatd instance
+// fed drifting chunks against an offline `boatc train` on the final corpus.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "boat/session.h"
+#include "datagen/agrawal.h"
+#include "storage/temp_file.h"
+#include "storage/tuple_source.h"
+#include "tree/serialize.h"
+
+namespace boat {
+namespace {
+
+std::vector<Tuple> Corpus(int function, uint64_t n, uint64_t seed) {
+  AgrawalConfig config;
+  config.function = function;
+  config.noise = 0.05;
+  config.seed = seed;
+  return GenerateAgrawal(config, n);
+}
+
+SessionOptions SmallSessionOptions(int num_threads) {
+  SessionOptions options;
+  options.boat.sample_size = 600;
+  options.boat.bootstrap_count = 8;
+  options.boat.bootstrap_subsample = 200;
+  options.boat.inmem_threshold = 250;
+  options.boat.store_memory_budget = 256;
+  options.boat.seed = 17;
+  options.boat.num_threads = num_threads;
+  return options;
+}
+
+class IncrementalEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto temp = TempFileManager::Create();
+    ASSERT_TRUE(temp.ok());
+    temp_ = std::make_unique<TempFileManager>(std::move(temp).ValueOrDie());
+  }
+
+  /// Trains from scratch on `db` with `num_threads` and returns the
+  /// serialized tree.
+  std::string FromScratch(const std::vector<Tuple>& db, int num_threads) {
+    std::vector<Tuple> copy = db;
+    VectorSource source(MakeAgrawalSchema(), copy);
+    auto session =
+        Session::Train(&source, temp_->NewPath("rebuild"),
+                       SmallSessionOptions(num_threads));
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    return session.ok() ? SerializeTree((*session)->tree()) : "";
+  }
+
+  std::unique_ptr<TempFileManager> temp_;
+};
+
+TEST_F(IncrementalEquivalenceTest, ChunkSequenceMatchesFromScratchRebuild) {
+  // Base model on a clean F6 corpus.
+  std::vector<Tuple> database = Corpus(6, 2500, 100);
+  const std::string dir = temp_->NewPath("model");
+  std::unique_ptr<Session> session;
+  {
+    VectorSource source(MakeAgrawalSchema(), database);
+    auto trained =
+        Session::Train(&source, dir, SmallSessionOptions(/*num_threads=*/1));
+    ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+    session = std::move(trained).ValueOrDie();
+  }
+
+  // A mixed insert/delete history, including concept drift (F1-labeled
+  // chunks into an F6 base) and removal of previously streamed chunks.
+  const std::vector<Tuple> c0 = Corpus(1, 300, 201);
+  const std::vector<Tuple> c1 = Corpus(1, 450, 202);
+  const std::vector<Tuple> c2 = Corpus(6, 350, 203);
+  const std::vector<Tuple> c3 = Corpus(1, 250, 204);
+  struct Step {
+    ChunkOp op;
+    const std::vector<Tuple>* chunk;
+  };
+  const Step history[] = {
+      {ChunkOp::kInsert, &c0}, {ChunkOp::kInsert, &c1},
+      {ChunkOp::kDelete, &c0}, {ChunkOp::kInsert, &c2},
+      {ChunkOp::kDelete, &c1}, {ChunkOp::kInsert, &c3},
+  };
+
+  for (const Step& step : history) {
+    ASSERT_TRUE(session->Apply(step.op, *step.chunk).ok());
+    if (step.op == ChunkOp::kInsert) {
+      database.insert(database.end(), step.chunk->begin(), step.chunk->end());
+    } else {
+      // Remove one occurrence of each chunk tuple (chunks are only deleted
+      // after being inserted whole, so erase-first-match is exact).
+      for (const Tuple& t : *step.chunk) {
+        for (auto it = database.begin(); it != database.end(); ++it) {
+          if (*it == t) {
+            database.erase(it);
+            break;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(session->revision(), 6u);
+
+  const std::string streamed = SerializeTree(session->tree());
+  // Identical to a from-scratch rebuild on the final database, and the
+  // rebuild itself is thread-count-invariant.
+  EXPECT_EQ(streamed, FromScratch(database, /*num_threads=*/1));
+  EXPECT_EQ(streamed, FromScratch(database, /*num_threads=*/8));
+
+  // The persisted directory carries the same tree (Apply persists), so an
+  // offline reader sees exactly what a serving process would.
+  auto reopened = Session::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(SerializeTree((*reopened)->tree()), streamed);
+}
+
+}  // namespace
+}  // namespace boat

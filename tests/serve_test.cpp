@@ -39,9 +39,11 @@ namespace {
 
 using serve::BoatServer;
 using serve::ModelRegistry;
-using serve::RequestKind;
+using serve::Reply;
+using serve::Request;
 using serve::ServableModel;
 using serve::ServerOptions;
+using serve::Verb;
 
 // ------------------------------------------------------------ primitives
 
@@ -121,19 +123,82 @@ Schema WireSchema() {
                 /*num_classes=*/2);
 }
 
-TEST(WireTest, ClassifiesRequestLines) {
-  EXPECT_EQ(serve::ClassifyRequestLine("1.5,2,3"), RequestKind::kRecord);
-  EXPECT_EQ(serve::ClassifyRequestLine("-4,0,1"), RequestKind::kRecord);
-  EXPECT_EQ(serve::ClassifyRequestLine("  7,1,2"), RequestKind::kRecord);
-  EXPECT_EQ(serve::ClassifyRequestLine("STATS"), RequestKind::kStats);
-  EXPECT_EQ(serve::ClassifyRequestLine("PING"), RequestKind::kPing);
-  EXPECT_EQ(serve::ClassifyRequestLine("QUIT"), RequestKind::kQuit);
-  EXPECT_EQ(serve::ClassifyRequestLine("RELOAD /m"), RequestKind::kReload);
-  EXPECT_EQ(serve::ClassifyRequestLine("RELOAD"), RequestKind::kReload);
-  EXPECT_EQ(serve::ClassifyRequestLine("RELOADED"), RequestKind::kUnknown);
-  EXPECT_EQ(serve::ClassifyRequestLine("FROB"), RequestKind::kUnknown);
-  EXPECT_EQ(serve::ReloadArgument("RELOAD  /a/b "), "/a/b");
-  EXPECT_EQ(serve::ReloadArgument("RELOAD"), "");
+Verb VerbOf(const std::string& line) {
+  auto request = serve::ParseRequest(line);
+  EXPECT_TRUE(request.ok()) << line << ": " << request.status().ToString();
+  return request.ok() ? request->verb : Verb::kRecord;
+}
+
+TEST(WireTest, ParsesRequestVerbs) {
+  EXPECT_EQ(VerbOf("1.5,2,3"), Verb::kRecord);
+  EXPECT_EQ(VerbOf("-4,0,1"), Verb::kRecord);
+  EXPECT_EQ(VerbOf("  7,1,2"), Verb::kRecord);
+  EXPECT_EQ(VerbOf("STATS"), Verb::kStats);
+  EXPECT_EQ(VerbOf("PING"), Verb::kPing);
+  EXPECT_EQ(VerbOf("QUIT"), Verb::kQuit);
+  EXPECT_EQ(VerbOf("RELOAD /m"), Verb::kReload);
+  EXPECT_EQ(VerbOf("RETRAIN"), Verb::kRetrain);
+
+  // A record request carries the raw line; RELOAD carries its argument.
+  auto record = serve::ParseRequest("1.5,2,3");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->args, "1.5,2,3");
+  EXPECT_EQ(record->payload_lines, 0);
+  auto reload = serve::ParseRequest("RELOAD  /a/b ");
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->args, "/a/b");
+
+  // Unknown or malformed commands are errors, not silently records.
+  EXPECT_FALSE(serve::ParseRequest("RELOADED").ok());
+  EXPECT_FALSE(serve::ParseRequest("FROB").ok());
+  EXPECT_FALSE(serve::ParseRequest("RELOAD").ok());  // needs a directory
+  EXPECT_FALSE(serve::ParseRequest("STATS now").ok());
+  EXPECT_FALSE(serve::ParseRequest("RETRAIN 3").ok());
+}
+
+TEST(WireTest, ParsesChunkCommands) {
+  auto ingest = serve::ParseRequest("INGEST 128");
+  ASSERT_TRUE(ingest.ok());
+  EXPECT_EQ(ingest->verb, Verb::kIngest);
+  EXPECT_EQ(ingest->payload_lines, 128);
+  auto del = serve::ParseRequest("DELETE 1");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->verb, Verb::kDelete);
+  EXPECT_EQ(del->payload_lines, 1);
+
+  // Counts must be strictly positive integers, fully consumed.
+  EXPECT_FALSE(serve::ParseRequest("INGEST").ok());
+  EXPECT_FALSE(serve::ParseRequest("INGEST 0").ok());
+  EXPECT_FALSE(serve::ParseRequest("INGEST -3").ok());
+  EXPECT_FALSE(serve::ParseRequest("INGEST ten").ok());
+  EXPECT_FALSE(serve::ParseRequest("INGEST 12x").ok());
+  EXPECT_FALSE(serve::ParseRequest("DELETE 99999999999999999999").ok());
+}
+
+TEST(WireTest, ReplyFormatParseRoundTrip) {
+  // FormatReply → ParseReply is a fixpoint for every reply kind; the
+  // loadgen and SendChunk classify replies through exactly this path.
+  const Reply replies[] = {
+      Reply::Label(7),
+      Reply::Ok("ingest queued seq 12 records 64"),
+      Reply::Err("bad record"),
+      Reply::Busy(),
+      Reply::Pong(),
+      Reply::Json("{\"served\":1}"),
+  };
+  for (const Reply& reply : replies) {
+    const std::string line = serve::FormatReply(reply);
+    const Reply parsed = serve::ParseReply(line);
+    EXPECT_EQ(parsed.kind, reply.kind) << line;
+    if (reply.kind == Reply::Kind::kLabel) {
+      EXPECT_EQ(parsed.label, reply.label);
+    }
+  }
+  // ParseReply is total: junk comes back as an error reply, never a crash.
+  EXPECT_EQ(serve::ParseReply("whatever 1 2 3").kind, Reply::Kind::kErr);
+  EXPECT_EQ(serve::ParseReply("").kind, Reply::Kind::kErr);
+  EXPECT_EQ(serve::ParseReply("12").kind, Reply::Kind::kLabel);
+  EXPECT_EQ(serve::ParseReply("12 extra").kind, Reply::Kind::kErr);
 }
 
 TEST(WireTest, ParsesValidRecord) {

@@ -1,0 +1,494 @@
+// Streaming-ingestion tests: the Session facade's transactional Apply
+// (validation, exact incremental maintenance, rollback-to-last-persisted on
+// failure), the Trainer's queue/apply/hot-swap loop, and full end-to-end
+// coverage of the INGEST/DELETE/RETRAIN wire commands over real sockets —
+// including the two hard guarantees the design rests on: a rejected chunk
+// leaves served predictions byte-identical, and streaming under load drops
+// zero requests (run in CI under -DBOAT_SANITIZE=thread).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "boat/session.h"
+#include "datagen/agrawal.h"
+#include "serve/loadgen.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/trainer.h"
+#include "serve/wire.h"
+#include "storage/temp_file.h"
+#include "storage/tuple_source.h"
+#include "tree/serialize.h"
+
+namespace boat {
+namespace {
+
+using serve::BoatServer;
+using serve::ModelRegistry;
+using serve::Reply;
+using serve::ServerOptions;
+using serve::Trainer;
+using serve::TrainerOptions;
+
+std::vector<Tuple> Corpus(int function, uint64_t n, uint64_t seed) {
+  AgrawalConfig config;
+  config.function = function;
+  config.noise = 0.05;
+  config.seed = seed;
+  return GenerateAgrawal(config, n);
+}
+
+SessionOptions SmallSessionOptions() {
+  SessionOptions options;
+  options.boat.sample_size = 800;
+  options.boat.bootstrap_count = 8;
+  options.boat.bootstrap_subsample = 300;
+  options.boat.inmem_threshold = 300;
+  options.boat.store_memory_budget = 256;
+  options.boat.seed = 11;
+  return options;
+}
+
+/// A delete chunk no training database can absorb: more records of class 1
+/// than the whole database holds, so the engine's negative-class-total guard
+/// must fire mid-apply — the deterministic trigger for the rollback paths.
+std::vector<Tuple> ImpossibleDeleteChunk(size_t db_size) {
+  std::vector<Tuple> chunk = Corpus(6, db_size + 100, 4242);
+  for (Tuple& t : chunk) t.set_label(1);
+  return chunk;
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto temp = TempFileManager::Create();
+    ASSERT_TRUE(temp.ok());
+    temp_ = std::make_unique<TempFileManager>(std::move(temp).ValueOrDie());
+  }
+
+  std::unique_ptr<Session> TrainBase(const std::string& dir) {
+    base_ = Corpus(6, 2000, 100);
+    VectorSource source(MakeAgrawalSchema(), base_);
+    auto session = Session::Train(&source, dir, SmallSessionOptions());
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    return std::move(session).ValueOrDie();
+  }
+
+  std::unique_ptr<TempFileManager> temp_;
+  std::vector<Tuple> base_;
+};
+
+TEST_F(SessionTest, TrainThenOpenYieldsIdenticalTree) {
+  const std::string dir = temp_->NewPath("model");
+  auto trained = TrainBase(dir);
+  auto opened = Session::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(SerializeTree(trained->tree()), SerializeTree((*opened)->tree()));
+  EXPECT_EQ((*opened)->dir(), dir);
+  EXPECT_EQ((*opened)->selector_name(), "gini");
+  EXPECT_EQ((*opened)->revision(), 0u);
+}
+
+TEST_F(SessionTest, UnknownSelectorIsRejected) {
+  EXPECT_FALSE(MakeSelectorByName("id3").ok());
+  EXPECT_FALSE(Session::Open(temp_->NewPath("nope"), "id3").ok());
+}
+
+TEST_F(SessionTest, ApplyValidatesChunksBeforeTouchingTheEngine) {
+  const std::string dir = temp_->NewPath("model");
+  auto session = TrainBase(dir);
+  const std::string before = SerializeTree(session->tree());
+
+  // Arity mismatch.
+  EXPECT_FALSE(session->Apply(ChunkOp::kInsert, {Tuple({1.0, 2.0}, 0)}).ok());
+  // Label out of range.
+  std::vector<Tuple> bad_label = Corpus(6, 1, 7);
+  bad_label[0].set_label(99);
+  EXPECT_FALSE(session->Apply(ChunkOp::kInsert, bad_label).ok());
+  // Non-finite numerical value.
+  std::vector<Tuple> bad_value = Corpus(6, 1, 7);
+  bad_value[0].set_value(0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(session->Apply(ChunkOp::kInsert, bad_value).ok());
+  // Categorical value outside its cardinality (elevel has 5 levels).
+  std::vector<Tuple> bad_cat = Corpus(6, 1, 7);
+  bad_cat[0].set_value(3, 77.0);
+  EXPECT_FALSE(session->Apply(ChunkOp::kInsert, bad_cat).ok());
+
+  EXPECT_EQ(session->revision(), 0u);
+  EXPECT_EQ(SerializeTree(session->tree()), before);
+}
+
+TEST_F(SessionTest, FailedApplyRollsBackEngineAndDirectory) {
+  const std::string dir = temp_->NewPath("model");
+  auto session = TrainBase(dir);
+  const std::string before = SerializeTree(session->tree());
+
+  const Status status =
+      session->Apply(ChunkOp::kDelete, ImpossibleDeleteChunk(base_.size()));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(session->revision(), 0u);
+  // The in-memory engine rolled back...
+  EXPECT_EQ(SerializeTree(session->tree()), before);
+  // ...and the directory still holds the pre-call state.
+  auto reopened = Session::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(SerializeTree((*reopened)->tree()), before);
+
+  // The session stays fully usable: a good chunk applies and persists.
+  ASSERT_TRUE(session->Apply(ChunkOp::kInsert, Corpus(6, 200, 555)).ok());
+  EXPECT_EQ(session->revision(), 1u);
+  auto after = Session::Open(dir);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(SerializeTree((*after)->tree()), SerializeTree(session->tree()));
+}
+
+TEST_F(SessionTest, InsertThenDeleteRestoresTheOriginalTree) {
+  const std::string dir = temp_->NewPath("model");
+  auto session = TrainBase(dir);
+  const std::string before = SerializeTree(session->tree());
+  const std::vector<Tuple> chunk = Corpus(1, 400, 999);
+  ASSERT_TRUE(session->Apply(ChunkOp::kInsert, chunk).ok());
+  ASSERT_TRUE(session->Apply(ChunkOp::kDelete, chunk).ok());
+  // tree() is a pure function of the training database, so insert+delete of
+  // the same chunk is a no-op on the tree.
+  EXPECT_EQ(SerializeTree(session->tree()), before);
+  EXPECT_EQ(session->revision(), 2u);
+}
+
+// ---------------------------------------------------------------- trainer
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto temp = TempFileManager::Create();
+    ASSERT_TRUE(temp.ok());
+    temp_ = std::make_unique<TempFileManager>(std::move(temp).ValueOrDie());
+    dir_ = temp_->NewPath("model");
+    base_ = Corpus(6, 2000, 100);
+    VectorSource source(MakeAgrawalSchema(), base_);
+    auto session = Session::Train(&source, dir_, SmallSessionOptions());
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+  }
+
+  TrainerOptions Options() const {
+    TrainerOptions options;
+    options.model_dir = dir_;
+    return options;
+  }
+
+  std::unique_ptr<TempFileManager> temp_;
+  std::string dir_;
+  std::vector<Tuple> base_;
+};
+
+TEST_F(TrainerTest, StartInstallsTheInitialModelWithoutCountingAReload) {
+  ModelRegistry registry;
+  Trainer trainer(&registry, Options());
+  ASSERT_TRUE(trainer.Start().ok());
+  ASSERT_NE(registry.Snapshot(), nullptr);
+  EXPECT_EQ(registry.reload_count(), 0);
+  EXPECT_EQ(trainer.schema().num_attributes(),
+            MakeAgrawalSchema().num_attributes());
+  trainer.Shutdown();
+}
+
+TEST_F(TrainerTest, SubmitBeforeStartReportsBackpressure) {
+  ModelRegistry registry;
+  Trainer trainer(&registry, Options());
+  EXPECT_FALSE(trainer.TrySubmit(ChunkOp::kInsert, Corpus(6, 10, 1))
+                   .has_value());
+}
+
+TEST_F(TrainerTest, FlushAppliesSubmittedChunksAndSwapsTheModel) {
+  ModelRegistry registry;
+  Trainer trainer(&registry, Options());
+  ASSERT_TRUE(trainer.Start().ok());
+  const uint64_t before = registry.Snapshot()->fingerprint;
+
+  auto seq = trainer.TrySubmit(ChunkOp::kInsert, Corpus(1, 400, 31));
+  ASSERT_TRUE(seq.has_value());
+  auto result = trainer.Flush();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->applied, 1u);
+  EXPECT_EQ(result->failed, 0u);
+  // The barrier implies the swap is published: the live fingerprint IS the
+  // flush result's, and it differs from the pre-ingest model.
+  EXPECT_EQ(registry.Snapshot()->fingerprint, result->fingerprint);
+  EXPECT_NE(result->fingerprint, before);
+
+  // The swap is also persisted: reopening the directory yields the same
+  // tree the registry serves.
+  auto reopened = Session::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(registry.Snapshot()->fingerprint,
+            serve::ServableModel((*reopened)->tree(), dir_).fingerprint);
+  trainer.Shutdown();
+}
+
+TEST_F(TrainerTest, FailedChunkKeepsTheLiveModelAndCountsAsFailed) {
+  ModelRegistry registry;
+  Trainer trainer(&registry, Options());
+  ASSERT_TRUE(trainer.Start().ok());
+  const uint64_t before = registry.Snapshot()->fingerprint;
+
+  ASSERT_TRUE(trainer
+                  .TrySubmit(ChunkOp::kDelete,
+                             ImpossibleDeleteChunk(base_.size()))
+                  .has_value());
+  auto result = trainer.Flush();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->applied, 0u);
+  EXPECT_EQ(result->failed, 1u);
+  EXPECT_EQ(result->fingerprint, before);
+  EXPECT_EQ(registry.Snapshot()->fingerprint, before);
+  EXPECT_NE(trainer.StatsJson().find("\"failed\":1"), std::string::npos)
+      << trainer.StatsJson();
+  trainer.Shutdown();
+}
+
+// ------------------------------------------------------------ end-to-end
+
+/// Minimal blocking line client with a receive timeout so a server bug
+/// fails the test instead of hanging it.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0)
+        << std::strerror(errno);
+    timeval tv{/*tv_sec=*/60, /*tv_usec=*/0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  /// One reply line ("" on timeout/EOF).
+  std::string ReadLine() {
+    size_t nl;
+    while ((nl = buf_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+class StreamingE2eTest : public TrainerTest {
+ protected:
+  void StartDaemon(ServerOptions server_options = ServerOptions{}) {
+    trainer_ = std::make_unique<Trainer>(&registry_, Options());
+    ASSERT_TRUE(trainer_->Start().ok());
+    server_ = std::make_unique<BoatServer>(&registry_, server_options,
+                                           trainer_.get());
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    if (trainer_ != nullptr) trainer_->Shutdown();
+  }
+
+  /// Labels the live daemon serves for `lines`, in order.
+  std::vector<std::string> ServedLabels(const std::vector<std::string>& lines) {
+    TestClient client(server_->port());
+    std::string all;
+    for (const std::string& line : lines) all += line + "\n";
+    client.Send(all);
+    client.ShutdownWrite();
+    std::vector<std::string> labels;
+    labels.reserve(lines.size());
+    for (size_t i = 0; i < lines.size(); ++i) {
+      labels.push_back(client.ReadLine());
+    }
+    return labels;
+  }
+
+  ModelRegistry registry_;
+  std::unique_ptr<Trainer> trainer_;
+  std::unique_ptr<BoatServer> server_;
+};
+
+TEST_F(StreamingE2eTest, IngestRetrainServesTheRetrainedModel) {
+  StartDaemon();
+  const Schema schema = MakeAgrawalSchema();
+  const auto probe = Corpus(6, 200, 321);
+  const auto probe_lines = serve::FormatRecordLines(schema, probe);
+
+  // Stream a distribution-changing chunk and a deletion, then barrier.
+  const auto drift = Corpus(1, 600, 77);
+  TestClient client(server_->port());
+  std::string out = "INGEST 600\n";
+  for (const auto& line : serve::FormatLabeledRecordLines(schema, drift)) {
+    out += line + "\n";
+  }
+  std::vector<Tuple> removed(base_.begin(), base_.begin() + 200);
+  out += "DELETE 200\n";
+  for (const auto& line : serve::FormatLabeledRecordLines(schema, removed)) {
+    out += line + "\n";
+  }
+  out += "RETRAIN\n";
+  client.Send(out);
+  EXPECT_EQ(client.ReadLine().substr(0, 16), "OK ingest queued");
+  EXPECT_EQ(client.ReadLine().substr(0, 16), "OK delete queued");
+  const std::string retrain = client.ReadLine();
+  EXPECT_EQ(retrain.substr(0, 20), "OK retrain applied 2") << retrain;
+
+  // After the barrier the served labels are byte-identical to offline
+  // classification by the persisted (retrained) model.
+  auto offline = Session::Open(dir_);
+  ASSERT_TRUE(offline.ok());
+  const CompiledTree compiled = (*offline)->Compile();
+  const std::vector<std::string> served = ServedLabels(probe_lines);
+  for (size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(served[i], std::to_string(compiled.Classify(probe[i])))
+        << "record " << i;
+  }
+}
+
+TEST_F(StreamingE2eTest, RejectedChunksLeaveServedPredictionsByteIdentical) {
+  StartDaemon();
+  const Schema schema = MakeAgrawalSchema();
+  const auto probe = Corpus(6, 150, 654);
+  const auto probe_lines = serve::FormatRecordLines(schema, probe);
+  const std::vector<std::string> before = ServedLabels(probe_lines);
+
+  TestClient client(server_->port());
+  // A chunk with a malformed payload line is rejected whole (one ERR), and
+  // the connection keeps working: all 3 payload lines were consumed.
+  client.Send("INGEST 3\n1,2,3\ngarbage\n4,5,6\nPING\n");
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "ERR");
+  EXPECT_EQ(client.ReadLine(), "PONG");
+
+  // A well-formed chunk the engine must reject mid-apply (deleting records
+  // that were never inserted) rolls back; the barrier proves it completed.
+  const auto impossible = ImpossibleDeleteChunk(base_.size());
+  auto replies = serve::SendChunk(
+      server_->port(), ChunkOp::kDelete,
+      serve::FormatLabeledRecordLines(schema, impossible), /*retrain=*/true);
+  ASSERT_TRUE(replies.ok()) << replies.status().ToString();
+  EXPECT_EQ((*replies)[0].kind, Reply::Kind::kOk);  // queued...
+  EXPECT_EQ((*replies)[1].kind, Reply::Kind::kOk);  // ...barrier done
+  EXPECT_NE((*replies)[1].text.find("failed 1"), std::string::npos)
+      << (*replies)[1].text;
+
+  // Both rejections left the served model untouched, byte for byte.
+  EXPECT_EQ(ServedLabels(probe_lines), before);
+}
+
+TEST_F(StreamingE2eTest, TruncatedChunkGetsErrOnHalfClose) {
+  StartDaemon();
+  TestClient client(server_->port());
+  client.Send("INGEST 5\n1,2,3\n");
+  client.ShutdownWrite();
+  EXPECT_EQ(client.ReadLine(), "ERR truncated chunk");
+}
+
+TEST_F(StreamingE2eTest, OversizedChunkIsRejectedButFramingSurvives) {
+  ServerOptions options;
+  options.max_chunk_records = 2;
+  StartDaemon(options);
+  TestClient client(server_->port());
+  // 3 > max_chunk_records: rejected at the INGEST line, but all 3 payload
+  // lines must still be consumed so the following PING parses as a command.
+  client.Send("INGEST 3\n1,2,3\n4,5,6\n7,8,9\nPING\n");
+  const std::string err = client.ReadLine();
+  EXPECT_EQ(err.substr(0, 3), "ERR") << err;
+  EXPECT_NE(err.find("chunk too large"), std::string::npos) << err;
+  EXPECT_EQ(client.ReadLine(), "PONG");
+}
+
+TEST_F(StreamingE2eTest, IngestWithoutTrainerIsACleanError) {
+  // A server constructed without a trainer (boatd without streaming) still
+  // consumes chunk payloads and answers one ERR.
+  BoatServer server(&registry_, ServerOptions{});
+  // Registry needs a model for Start(); install via a throwaway trainer.
+  {
+    Trainer bootstrap(&registry_, Options());
+    ASSERT_TRUE(bootstrap.Start().ok());
+    bootstrap.Shutdown();
+  }
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  client.Send("INGEST 2\n1,2,3\n4,5,6\nPING\n");
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "ERR");
+  EXPECT_EQ(client.ReadLine(), "PONG");
+  server.Shutdown();
+}
+
+TEST_F(StreamingE2eTest, StreamingUnderLoadDropsNothing) {
+  StartDaemon();
+  const Schema schema = MakeAgrawalSchema();
+  const auto corpus = Corpus(6, 400, 888);
+  const auto lines = serve::FormatRecordLines(schema, corpus);
+
+  // Scoring traffic with no expected labels (the model legitimately changes
+  // mid-run): every reply must still be a label — no ERR, BUSY, or drop.
+  serve::LoadGenOptions load;
+  load.port = server_->port();
+  load.connections = 4;
+  load.repeat = 25;
+  load.window = 64;
+  Result<serve::LoadGenReport> report =
+      Status::Internal("loadgen never ran");
+  std::thread scorer([&] { report = RunLoadGen(load, lines, nullptr); });
+
+  // Meanwhile, stream drifting chunks with RETRAIN barriers.
+  for (int i = 0; i < 5; ++i) {
+    const auto chunk = Corpus(1, 150, 1000 + static_cast<uint64_t>(i));
+    auto replies = serve::SendChunk(
+        server_->port(), ChunkOp::kInsert,
+        serve::FormatLabeledRecordLines(schema, chunk), /*retrain=*/true);
+    ASSERT_TRUE(replies.ok()) << replies.status().ToString();
+    for (const Reply& reply : *replies) {
+      EXPECT_EQ(reply.kind, Reply::Kind::kOk) << serve::FormatReply(reply);
+    }
+  }
+  scorer.join();
+
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->sent, 4u * 25u * lines.size());
+  EXPECT_EQ(report->ok, report->sent);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->busy, 0u);
+  EXPECT_EQ(report->mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace boat

@@ -2,14 +2,21 @@
 //
 //   boat-loadgen --port P --data corpus.csv [--expected labels.txt]
 //                [--connections N] [--repeat R] [--window W] [--json]
+//   boat-loadgen --port P --ingest chunk.csv [--op insert|delete]
+//                [--retrain]
 //
-// Loads the CSV corpus, renders each record in the serving wire format
-// (src/serve/wire.h — %.17g numerics, so the server parses back the exact
-// same doubles), drives N concurrent pipelined connections, and checks
-// every reply. --expected points at a label file as written by
+// Scoring mode loads the CSV corpus, renders each record in the serving
+// wire format (src/serve/wire.h — %.17g numerics, so the server parses
+// back the exact same doubles), drives N concurrent pipelined connections,
+// and checks every reply. --expected points at a label file as written by
 // `boatc classify --out` (one integer per line, aligned with the corpus);
 // any numeric reply that contradicts it counts as a mismatch and fails the
 // run. Exit status: 0 iff every reply was a correct label.
+//
+// Ingest mode streams one labeled chunk to the daemon as an INGEST or
+// DELETE command (--op, default insert), optionally followed by a RETRAIN
+// barrier, and exits 0 iff every reply was OK — the shell-scriptable face
+// of the streaming-training protocol.
 //
 // --json prints one JSON object: {"command":"loadgen","connections":...,
 // "repeat":..., "window":..., "sent":..., "ok":..., "mismatches":...,
@@ -18,12 +25,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common_flags.h"
 #include "serve/loadgen.h"
 #include "serve/wire.h"
 #include "storage/csv.h"
@@ -32,58 +38,53 @@ namespace {
 
 using namespace boat;
 using namespace boat::serve;
+using boat::tools::Flags;
 
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        std::exit(2);
-      }
-      arg = arg.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        values_[arg] = argv[++i];
-      } else {
-        values_[arg] = "true";
-      }
-    }
+// Streams --ingest FILE as one chunk; every reply must be OK.
+int RunIngest(const Flags& flags, int port) {
+  const std::string op_name = flags.Get("op", "insert");
+  ChunkOp op;
+  if (op_name == "insert") {
+    op = ChunkOp::kInsert;
+  } else if (op_name == "delete") {
+    op = ChunkOp::kDelete;
+  } else {
+    std::fprintf(stderr, "boat-loadgen: --op must be insert or delete\n");
+    return 2;
   }
-
-  std::string Get(const std::string& name, const std::string& def = "") const {
-    auto it = values_.find(name);
-    return it == values_.end() ? def : it->second;
+  auto dataset = LoadCsv(flags.Get("ingest"));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "boat-loadgen: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
   }
-  int64_t GetInt(const std::string& name, int64_t def) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? def : std::strtoll(it->second.c_str(),
-                                                    nullptr, 10);
+  const std::vector<std::string> lines =
+      FormatLabeledRecordLines(dataset->schema, dataset->tuples);
+  auto replies = SendChunk(port, op, lines, flags.Has("retrain"));
+  if (!replies.ok()) {
+    std::fprintf(stderr, "boat-loadgen: %s\n",
+                 replies.status().ToString().c_str());
+    return 1;
   }
-  bool Has(const std::string& name) const { return values_.count(name) > 0; }
-  std::string Require(const std::string& name) const {
-    auto it = values_.find(name);
-    if (it == values_.end()) {
-      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
-      std::exit(2);
-    }
-    return it->second;
+  bool clean = true;
+  for (const Reply& reply : *replies) {
+    std::printf("%s\n", FormatReply(reply).c_str());
+    if (reply.kind != Reply::Kind::kOk) clean = false;
   }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+  return clean ? 0 : 1;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv, 1);
   const int port = static_cast<int>(flags.GetInt("port", 0));
-  const std::string data_path = flags.Require("data");
   if (port <= 0) {
     std::fprintf(stderr, "boat-loadgen: --port is required\n");
     return 2;
   }
+  if (flags.Has("ingest")) return RunIngest(flags, port);
+  const std::string data_path = flags.Require("data");
 
   auto dataset = LoadCsv(data_path);
   if (!dataset.ok()) {

@@ -5,9 +5,11 @@
 //   boatc evaluate --model model/ --data test.tbl [--threads T] [--json]
 //   boatc classify --model model/ --data new.tbl --out labels.csv
 //            [--threads T] [--json]
-//   boatc update   --model model/ --insert chunk.tbl
-//   boatc update   --model model/ --delete expired.tbl
+//   boatc apply-chunk --model model/ --insert chunk.csv [--json]
+//   boatc apply-chunk --model model/ --delete expired.csv [--json]
 //   boatc inspect  --model model/ [--rules] [--dot]
+//
+// (`boatc update` is a deprecated alias of apply-chunk.)
 //
 // Training data may also be a CSV file (schema inferred; see storage/csv.h);
 // everything else uses the binary table format tied to the model's schema.
@@ -32,68 +34,12 @@
 #include <vector>
 
 #include "boat/boat.h"
+#include "common_flags.h"
 
 namespace {
 
 using namespace boat;
-
-// ------------------------------------------------------------- flag parsing
-
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        std::exit(2);
-      }
-      arg = arg.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        values_[arg] = argv[++i];
-      } else {
-        values_[arg] = "true";  // boolean flag
-      }
-    }
-  }
-
-  std::string Get(const std::string& name, const std::string& def = "") const {
-    auto it = values_.find(name);
-    return it == values_.end() ? def : it->second;
-  }
-  int64_t GetInt(const std::string& name, int64_t def) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? def : std::strtoll(it->second.c_str(),
-                                                    nullptr, 10);
-  }
-  double GetDouble(const std::string& name, double def) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? def
-                               : std::strtod(it->second.c_str(), nullptr);
-  }
-  bool Has(const std::string& name) const { return values_.count(name) > 0; }
-
-  std::string Require(const std::string& name) const {
-    auto it = values_.find(name);
-    if (it == values_.end()) {
-      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
-      std::exit(2);
-    }
-    return it->second;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
-
-std::unique_ptr<SplitSelector> MakeSelector(const std::string& name) {
-  if (name == "gini") return MakeGiniSelector();
-  if (name == "entropy") return MakeEntropySelector();
-  if (name == "quest") return std::make_unique<QuestSelector>();
-  std::fprintf(stderr, "unknown selector '%s' (gini|entropy|quest)\n",
-               name.c_str());
-  std::exit(2);
-}
+using boat::tools::Flags;
 
 void Check(const Status& status) {
   if (!status.ok()) {
@@ -276,33 +222,40 @@ int CmdGenerate(const Flags& flags) {
 int CmdTrain(const Flags& flags) {
   const std::string data_path = flags.Require("data");
   const std::string model_dir = flags.Require("model");
-  auto selector = MakeSelector(flags.Get("selector", "gini"));
+  const std::string selector_name = flags.Get("selector", "gini");
 
   LoadedData data = LoadData(data_path, nullptr);
-  BoatOptions options;
   const int64_t n = static_cast<int64_t>(data.tuples.size());
-  options.sample_size =
-      static_cast<size_t>(flags.GetInt("sample", std::max<int64_t>(n / 10,
-                                                                   1)));
-  options.bootstrap_count = static_cast<int>(flags.GetInt("bootstraps", 20));
-  options.bootstrap_subsample = static_cast<size_t>(
-      flags.GetInt("subsample",
-                   std::max<int64_t>(options.sample_size / 4, 1)));
-  options.inmem_threshold = flags.GetInt("inmem", n / 20 + 1);
-  options.limits.max_depth =
-      static_cast<int>(flags.GetInt("max-depth", 64));
-  options.limits.stop_family_size = flags.GetInt("stop-family", 0);
-  options.enable_updates = !flags.Has("no-updates");
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
-  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  auto options = tools::CommonBoatOptions(flags, n);
+  Check(options.status());
 
   VectorSource source(data.schema, data.tuples);
   Stopwatch watch;
   BoatStats stats;
-  auto classifier =
-      BoatClassifier::Train(&source, selector.get(), options, &stats);
-  Check(classifier.status());
-  Check(SaveClassifier(**classifier, model_dir));
+  const DecisionTree* tree = nullptr;
+  std::unique_ptr<Session> session;
+  std::unique_ptr<BoatClassifier> classifier;
+  if (options->enable_updates) {
+    SessionOptions session_options;
+    session_options.selector = selector_name;
+    session_options.boat = *options;
+    auto trained =
+        Session::Train(&source, model_dir, session_options, &stats);
+    Check(trained.status());
+    session = std::move(*trained);
+    tree = &session->tree();
+  } else {
+    // --no-updates: a frozen model (no archive, no incremental maintenance)
+    // through the classifier-level API the Session wraps.
+    auto selector = MakeSelectorByName(selector_name);
+    Check(selector.status());
+    auto trained =
+        BoatClassifier::Train(&source, selector->get(), *options, &stats);
+    Check(trained.status());
+    classifier = std::move(*trained);
+    Check(SaveClassifier(*classifier, model_dir));
+    tree = &classifier->tree();
+  }
   const double seconds = watch.ElapsedSeconds();
   if (flags.Has("json")) {
     std::printf("%s\n",
@@ -310,9 +263,9 @@ int CmdTrain(const Flags& flags) {
                     .Str("command", "train")
                     .Double("seconds", seconds)
                     .Int("records", n)
-                    .Int("threads", options.num_threads)
-                    .Str("selector", selector->name())
-                    .Raw("model", JsonTree((*classifier)->tree()))
+                    .Int("threads", options->num_threads)
+                    .Str("selector", selector_name)
+                    .Raw("model", JsonTree(*tree))
                     .Raw("stats", JsonStats(stats))
                     .Str("model_dir", model_dir)
                     .Render()
@@ -322,12 +275,11 @@ int CmdTrain(const Flags& flags) {
   std::printf(
       "trained on %lld records in %.2fs — tree: %zu nodes, depth %d; "
       "model saved to %s\n",
-      static_cast<long long>(n), seconds,
-      (*classifier)->tree().num_nodes(), (*classifier)->tree().depth(),
+      static_cast<long long>(n), seconds, tree->num_nodes(), tree->depth(),
       model_dir.c_str());
   std::printf("  (selector %s, coarse nodes %llu, kills %llu, failed checks "
               "%llu)\n",
-              selector->name().c_str(),
+              selector_name.c_str(),
               static_cast<unsigned long long>(stats.coarse_nodes),
               static_cast<unsigned long long>(stats.bootstrap_kills),
               static_cast<unsigned long long>(stats.failed_checks));
@@ -335,13 +287,13 @@ int CmdTrain(const Flags& flags) {
 }
 
 int CmdEvaluate(const Flags& flags) {
-  auto selector = MakeSelector(flags.Get("selector", "gini"));
-  auto classifier = LoadClassifier(flags.Require("model"), selector.get());
-  Check(classifier.status());
-  const Schema& schema = (*classifier)->tree().schema();
+  auto session = Session::Open(flags.Require("model"),
+                               flags.Get("selector", "gini"));
+  Check(session.status());
+  const Schema& schema = (*session)->schema();
   LoadedData data = LoadData(flags.Require("data"), &schema);
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
-  const CompiledTree compiled((*classifier)->tree());
+  const CompiledTree compiled = (*session)->Compile();
   Stopwatch watch;
   const ConfusionMatrix cm = Evaluate(compiled, data.tuples, threads);
   const double seconds = watch.ElapsedSeconds();
@@ -352,7 +304,7 @@ int CmdEvaluate(const Flags& flags) {
                     .Double("seconds", seconds)
                     .Int("records", static_cast<long long>(cm.total()))
                     .Int("threads", threads)
-                    .Raw("model", JsonTree((*classifier)->tree()))
+                    .Raw("model", JsonTree((*session)->tree()))
                     .Double("accuracy", cm.Accuracy())
                     .Raw("confusion", JsonConfusion(cm))
                     .Render()
@@ -366,14 +318,14 @@ int CmdEvaluate(const Flags& flags) {
 }
 
 int CmdClassify(const Flags& flags) {
-  auto selector = MakeSelector(flags.Get("selector", "gini"));
-  auto classifier = LoadClassifier(flags.Require("model"), selector.get());
-  Check(classifier.status());
-  const Schema& schema = (*classifier)->tree().schema();
+  auto session = Session::Open(flags.Require("model"),
+                               flags.Get("selector", "gini"));
+  Check(session.status());
+  const Schema& schema = (*session)->schema();
   LoadedData data = LoadData(flags.Require("data"), &schema);
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
 
-  const CompiledTree compiled((*classifier)->tree());
+  const CompiledTree compiled = (*session)->Compile();
   Stopwatch watch;
   // Score into uninitialized-capacity storage: Predict writes every slot,
   // so the zero-fill of a sized vector would only add a pass over n int32s.
@@ -398,7 +350,7 @@ int CmdClassify(const Flags& flags) {
         .Double("seconds", seconds)
         .Int("records", static_cast<long long>(predicted.size()))
         .Int("threads", threads)
-        .Raw("model", JsonTree((*classifier)->tree()));
+        .Raw("model", JsonTree((*session)->tree()));
     if (inline_labels) {
       std::string labels = "[";
       for (size_t i = 0; i < predicted.size(); ++i) {
@@ -422,45 +374,64 @@ int CmdClassify(const Flags& flags) {
   return 0;
 }
 
-int CmdUpdate(const Flags& flags) {
-  auto selector = MakeSelector(flags.Get("selector", "gini"));
+// The offline twin of the daemon's streaming path: parse a labeled chunk,
+// run it through Session::Apply (validation, exact incremental maintenance,
+// rollback on failure, persist on success) — the very code path boatd's
+// Trainer drains.
+int CmdApplyChunk(const Flags& flags) {
   const std::string model_dir = flags.Require("model");
-  auto classifier = LoadClassifier(model_dir, selector.get());
-  Check(classifier.status());
-  const Schema& schema = (*classifier)->tree().schema();
+  auto session = Session::Open(model_dir, flags.Get("selector", "gini"));
+  Check(session.status());
+  const Schema& schema = (*session)->schema();
+
+  ChunkOp op;
+  std::string chunk_path;
+  if (flags.Has("insert")) {
+    op = ChunkOp::kInsert;
+    chunk_path = flags.Get("insert");
+  } else if (flags.Has("delete")) {
+    op = ChunkOp::kDelete;
+    chunk_path = flags.Get("delete");
+  } else {
+    std::fprintf(stderr, "apply-chunk needs --insert FILE or --delete FILE\n");
+    return 2;
+  }
+  LoadedData chunk = LoadData(chunk_path, &schema);
 
   Stopwatch watch;
   BoatStats stats;
-  if (flags.Has("insert")) {
-    LoadedData chunk = LoadData(flags.Get("insert"), &schema);
-    Check((*classifier)->InsertChunk(chunk.tuples, &stats));
-    std::printf("inserted %zu records in %.2fs", chunk.tuples.size(),
-                watch.ElapsedSeconds());
-  } else if (flags.Has("delete")) {
-    LoadedData chunk = LoadData(flags.Get("delete"), &schema);
-    Check((*classifier)->DeleteChunk(chunk.tuples, &stats));
-    std::printf("deleted %zu records in %.2fs", chunk.tuples.size(),
-                watch.ElapsedSeconds());
-  } else {
-    std::fprintf(stderr, "update needs --insert FILE or --delete FILE\n");
-    return 2;
+  Check((*session)->Apply(op, chunk.tuples, &stats));
+  const double seconds = watch.ElapsedSeconds();
+  if (flags.Has("json")) {
+    std::printf("%s\n",
+                JsonObject()
+                    .Str("command", "apply-chunk")
+                    .Str("op", op == ChunkOp::kInsert ? "insert" : "delete")
+                    .Double("seconds", seconds)
+                    .Int("records", static_cast<long long>(chunk.tuples.size()))
+                    .Raw("model", JsonTree((*session)->tree()))
+                    .Raw("stats", JsonStats(stats))
+                    .Str("model_dir", model_dir)
+                    .Render()
+                    .c_str());
+    return 0;
   }
-  std::printf(" — %llu subtree(s) rebuilt%s\n",
+  std::printf("%s %zu records in %.2fs — %llu subtree(s) rebuilt%s\n",
+              op == ChunkOp::kInsert ? "inserted" : "deleted",
+              chunk.tuples.size(), seconds,
               static_cast<unsigned long long>(stats.subtree_rebuilds),
               stats.subtree_rebuilds > 0 ? " (distribution change detected)"
                                          : "");
-  Check(SaveClassifier(**classifier, model_dir));
   std::printf("model updated in place: %zu nodes, depth %d\n",
-              (*classifier)->tree().num_nodes(),
-              (*classifier)->tree().depth());
+              (*session)->tree().num_nodes(), (*session)->tree().depth());
   return 0;
 }
 
 int CmdInspect(const Flags& flags) {
-  auto selector = MakeSelector(flags.Get("selector", "gini"));
-  auto classifier = LoadClassifier(flags.Require("model"), selector.get());
-  Check(classifier.status());
-  const DecisionTree& tree = (*classifier)->tree();
+  auto session = Session::Open(flags.Require("model"),
+                               flags.Get("selector", "gini"));
+  Check(session.status());
+  const DecisionTree& tree = (*session)->tree();
   if (flags.Has("dot")) {
     std::printf("%s", ExportDot(tree).c_str());
     return 0;
@@ -469,7 +440,7 @@ int CmdInspect(const Flags& flags) {
     std::printf("%s", ExportRules(tree).c_str());
     return 0;
   }
-  const ModelShape shape = DescribeModel((*classifier)->engine().model_root());
+  const ModelShape shape = DescribeModel((*session)->engine().model_root());
   std::printf("tree: %zu nodes (%zu leaves), depth %d\n", tree.num_nodes(),
               tree.num_leaves(), tree.depth());
   std::printf("model: %lld verified internal nodes, %lld frontier nodes\n",
@@ -494,7 +465,8 @@ int Usage() {
       "           [--json]\n"
       "  classify --model DIR --data FILE [--out FILE] [--threads T]\n"
       "           [--json]\n"
-      "  update   --model DIR (--insert FILE | --delete FILE)\n"
+      "  apply-chunk --model DIR (--insert FILE | --delete FILE)\n"
+      "           [--selector ...] [--json]   (alias: update, deprecated)\n"
       "  inspect  --model DIR [--rules] [--dot]\n"
       "Data files: .tbl (binary tables; Agrawal schema assumed for training)\n"
       "or .csv (schema inferred at training time). classify/evaluate also\n"
@@ -512,7 +484,13 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "classify") return CmdClassify(flags);
-  if (command == "update") return CmdUpdate(flags);
+  if (command == "apply-chunk") return CmdApplyChunk(flags);
+  if (command == "update") {
+    std::fprintf(stderr,
+                 "note: `boatc update` is deprecated; use `boatc "
+                 "apply-chunk`\n");
+    return CmdApplyChunk(flags);
+  }
   if (command == "inspect") return CmdInspect(flags);
   return Usage();
 }

@@ -2,11 +2,14 @@
 //
 //   boatd --model model/ [--port 0] [--threads 1] [--max-batch 2048]
 //         [--linger-us 1000] [--queue 8192] [--max-connections 256]
-//         [--selector gini]
+//         [--selector gini] [--chunk-queue 64] [--max-chunk-records 100000]
 //
 // Serves newline-delimited CSV records over TCP (see src/serve/wire.h for
-// the protocol) through the micro-batching BoatServer. On startup prints
-// exactly one line to stdout:
+// the protocol) through the micro-batching BoatServer, and accepts
+// streaming training chunks (INGEST/DELETE/RETRAIN) through a background
+// Trainer that applies them to the live BOAT engine and hot-swaps the
+// recompiled tree into the registry without dropping a single request.
+// On startup prints exactly one line to stdout:
 //
 //   boatd listening on port <N>
 //
@@ -21,64 +24,25 @@
 #include <signal.h>
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <map>
 #include <string>
 
+#include "common_flags.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
+#include "serve/trainer.h"
 
 namespace {
 
 using namespace boat;
 using namespace boat::serve;
-
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        std::exit(2);
-      }
-      arg = arg.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        values_[arg] = argv[++i];
-      } else {
-        values_[arg] = "true";
-      }
-    }
-  }
-
-  std::string Get(const std::string& name, const std::string& def = "") const {
-    auto it = values_.find(name);
-    return it == values_.end() ? def : it->second;
-  }
-  int64_t GetInt(const std::string& name, int64_t def) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? def : std::strtoll(it->second.c_str(),
-                                                    nullptr, 10);
-  }
-  std::string Require(const std::string& name) const {
-    auto it = values_.find(name);
-    if (it == values_.end()) {
-      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
-      std::exit(2);
-    }
-    return it->second;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+using boat::tools::Flags;
 
 int Usage() {
   std::fprintf(stderr,
                "usage: boatd --model DIR [--port P] [--threads T]\n"
                "             [--max-batch N] [--linger-us U] [--queue N]\n"
-               "             [--max-connections N] [--selector NAME]\n");
+               "             [--max-connections N] [--selector NAME]\n"
+               "             [--chunk-queue N] [--max-chunk-records N]\n");
   return 2;
 }
 
@@ -100,8 +64,16 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
   ModelRegistry registry;
+  TrainerOptions trainer_options;
+  trainer_options.model_dir = model_dir;
+  trainer_options.selector = selector;
+  trainer_options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("chunk-queue", 64));
+  Trainer trainer(&registry, trainer_options);
   {
-    const Status status = registry.LoadAndSwap(model_dir, selector);
+    // Trainer::Start opens the BOAT session and installs the initial
+    // servable model, so the registry is never empty while serving.
+    const Status status = trainer.Start();
     if (!status.ok()) {
       std::fprintf(stderr, "boatd: cannot load model: %s\n",
                    status.ToString().c_str());
@@ -119,12 +91,15 @@ int main(int argc, char** argv) {
   options.max_connections =
       static_cast<int>(flags.GetInt("max-connections", 256));
   options.selector = selector;
+  options.max_chunk_records =
+      flags.GetInt("max-chunk-records", options.max_chunk_records);
 
-  BoatServer server(&registry, options);
+  BoatServer server(&registry, options, &trainer);
   {
     const Status status = server.Start();
     if (!status.ok()) {
       std::fprintf(stderr, "boatd: %s\n", status.ToString().c_str());
+      trainer.Shutdown();
       return 1;
     }
   }
@@ -143,7 +118,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "boatd: signal %d, draining\n", sig);
     break;
   }
+  // Server first (stop taking chunks), then trainer (drain queued chunks).
   server.Shutdown();
+  trainer.Shutdown();
   std::fprintf(stderr, "boatd: drained, exiting\n");
   return 0;
 }

@@ -1,0 +1,82 @@
+#include "common_flags.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace boat::tools {
+
+Flags::Flags(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // boolean flag
+    }
+  }
+}
+
+std::string Flags::Get(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Flags::Require(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+    std::exit(2);
+  }
+  return it->second;
+}
+
+BoatOptions DerivedBoatOptions(int64_t n) {
+  BoatOptions options;
+  options.sample_size = static_cast<size_t>(std::max<int64_t>(n / 10, 1));
+  options.bootstrap_count = 20;
+  options.bootstrap_subsample = static_cast<size_t>(
+      std::max<int64_t>(static_cast<int64_t>(options.sample_size) / 4, 1));
+  options.inmem_threshold = n / 20 + 1;
+  return options;
+}
+
+Result<BoatOptions> CommonBoatOptions(const Flags& flags, int64_t n) {
+  BoatOptions options = DerivedBoatOptions(n);
+  options.sample_size = static_cast<size_t>(
+      flags.GetInt("sample", static_cast<int64_t>(options.sample_size)));
+  options.bootstrap_count =
+      static_cast<int>(flags.GetInt("bootstraps", options.bootstrap_count));
+  options.bootstrap_subsample = static_cast<size_t>(flags.GetInt(
+      "subsample", std::max<int64_t>(
+                       static_cast<int64_t>(options.sample_size) / 4, 1)));
+  options.inmem_threshold = flags.GetInt("inmem", options.inmem_threshold);
+  options.limits.max_depth =
+      static_cast<int>(flags.GetInt("max-depth", options.limits.max_depth));
+  options.limits.stop_family_size =
+      flags.GetInt("stop-family", options.limits.stop_family_size);
+  options.enable_updates = !flags.Has("no-updates");
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  BOAT_RETURN_NOT_OK(options.Validate());
+  return options;
+}
+
+}  // namespace boat::tools

@@ -1,0 +1,52 @@
+// Shared command-line plumbing for the boat tools (boatc, boatd,
+// boat-loadgen) and the benchmark drivers: one --flag parser and one
+// BoatOptions construction path, so every entry point derives the same
+// data-size-scaled defaults and rejects bad configurations identically
+// (via BoatOptions::Validate()).
+
+#ifndef BOAT_TOOLS_COMMON_FLAGS_H_
+#define BOAT_TOOLS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "boat/options.h"
+#include "common/result.h"
+
+namespace boat::tools {
+
+/// \brief Minimal `--name value` / `--bool` parser. A flag followed by
+/// another `--flag` (or nothing) is boolean "true"; anything else consumes
+/// the next argument as its value. Non-flag positionals are fatal.
+class Flags {
+ public:
+  /// Parses argv[first..argc); exits(2) on a malformed command line.
+  Flags(int argc, char** argv, int first);
+
+  std::string Get(const std::string& name, const std::string& def = "") const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  /// Exits(2) with a message when the flag is absent.
+  std::string Require(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// \brief The data-size-derived BoatOptions defaults every tool shares:
+/// sample |D|/10, subsample sample/4, 20 bootstraps, in-memory switch at
+/// |D|/20+1. `n` is the training-set size.
+BoatOptions DerivedBoatOptions(int64_t n);
+
+/// \brief BoatOptions from the common training flags (--sample,
+/// --bootstraps, --subsample, --inmem, --max-depth, --stop-family,
+/// --no-updates, --seed, --threads), starting from DerivedBoatOptions(n)
+/// and validated with BoatOptions::Validate() so nonsense configs fail the
+/// same way at every entry point.
+Result<BoatOptions> CommonBoatOptions(const Flags& flags, int64_t n);
+
+}  // namespace boat::tools
+
+#endif  // BOAT_TOOLS_COMMON_FLAGS_H_
