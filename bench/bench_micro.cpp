@@ -282,6 +282,13 @@ void VerifyAndRecordGrowth() {
       return n * kPasses / watch.ElapsedSeconds();  // tuples per second
     };
 
+    // Host record first: the CI growth-scaling assertion keys off
+    // hardware_threads so it can skip (rather than fail) on boxes that
+    // cannot exhibit intra-tree scaling.
+    writer.Add("host",
+               {{"hardware_threads",
+                 static_cast<double>(std::thread::hardware_concurrency())}});
+
     const double row_rate = time_passes([&] {
       benchmark::DoNotOptimize(
           BuildTreeInMemoryRows(fx.schema, fx.train, *fx.selector, fx.limits)
@@ -300,6 +307,27 @@ void VerifyAndRecordGrowth() {
     writer.Add("columnar",
                {{"tuples_per_sec", columnar_rate},
                 {"speedup_vs_rows", columnar_rate / row_rate}});
+    // Intra-tree thread sweep: the same single-tree build at 1/2/4 worker
+    // threads (parallel root sorts, frontier fan-out, blocked partitions).
+    // Every thread count grows the byte-identical tree — enforced by
+    // growth_parallel_equivalence_test — so speedup_vs_t1 is pure
+    // scheduling gain; the CI bench-smoke job asserts columnar_t4 scales
+    // when the host has the cores for it.
+    double t1_rate = 0.0;
+    for (const int threads : {1, 2, 4}) {
+      GrowthLimits limits = fx.limits;
+      limits.num_threads = threads;
+      const double rate = time_passes([&] {
+        const ColumnDataset data(fx.schema, fx.train, threads);
+        benchmark::DoNotOptimize(
+            BuildTreeColumnar(data, *fx.selector, limits).num_nodes());
+      });
+      if (threads == 1) t1_rate = rate;
+      writer.Add("columnar_t" + std::to_string(threads),
+                 {{"tuples_per_sec", rate},
+                  {"threads", static_cast<double>(threads)},
+                  {"speedup_vs_t1", rate / t1_rate}});
+    }
     writer.Flush();
     return true;
   }();

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -76,6 +77,61 @@ int main() {
   BenchJsonWriter writer(env != nullptr && env[0] != '\0'
                              ? env
                              : "BENCH_streaming.json");
+
+  // Retrain thread-delta: the same ingest→apply→swap path on pristine
+  // copies of the base model, once with a single growth thread and once
+  // with every hardware core (TrainerOptions::num_threads = 0, what boatd
+  // defaults --train-threads to). The resulting models are byte-identical
+  // (growth_parallel_equivalence_test); the record isolates how much of a
+  // RETRAIN's latency the intra-tree parallel growth path recovers. On a
+  // single-core host the two legs tie and speedup_vs_t1 ~ 1.
+  {
+    namespace fs = std::filesystem;
+    config.function = 1;
+    config.seed = 8800;
+    const auto chunk = GenerateAgrawal(config, 8000);
+    double t1_seconds = 0.0;
+    for (const int threads : {1, 0}) {
+      const std::string copy =
+          temp->NewPath(threads == 1 ? "retrain-t1" : "retrain-tN");
+      std::error_code ec;
+      fs::copy(dir, copy, fs::copy_options::recursive, ec);
+      if (ec) {
+        std::fprintf(stderr, "model copy failed: %s\n",
+                     ec.message().c_str());
+        return 1;
+      }
+      serve::ModelRegistry registry;
+      serve::TrainerOptions trainer_options;
+      trainer_options.model_dir = copy;
+      trainer_options.num_threads = threads;
+      serve::Trainer trainer(&registry, trainer_options);
+      if (!trainer.Start().ok()) {
+        std::fprintf(stderr, "retrain-delta trainer start failed\n");
+        return 1;
+      }
+      Stopwatch watch;
+      if (!trainer.TrySubmit(ChunkOp::kInsert, chunk).has_value() ||
+          !trainer.Flush().ok()) {
+        std::fprintf(stderr, "retrain-delta apply failed\n");
+        return 1;
+      }
+      const double seconds = watch.ElapsedSeconds();
+      trainer.Shutdown();
+      if (threads == 1) {
+        t1_seconds = seconds;
+        writer.Add("streaming/retrain_t1",
+                   {{"ingest_swap_seconds", seconds}});
+      } else {
+        writer.Add("streaming/retrain_all_cores",
+                   {{"ingest_swap_seconds", seconds},
+                    {"threads",
+                     static_cast<double>(
+                         std::thread::hardware_concurrency())},
+                    {"speedup_vs_t1", t1_seconds / seconds}});
+      }
+    }
+  }
 
   std::printf("Streaming ingestion under load (base %lld records, probe "
               "%zu records x 4 connections, all replies checked)\n\n",

@@ -237,6 +237,16 @@ Result<SamplingPhaseResult> BuildCoarseFromSample(
       1, static_cast<int64_t>(static_cast<double>(opts.frontier_threshold) /
                               per_tuple_weight));
 
+  // One global thread budget for the phase: trees fan out first (they are
+  // the coarser work unit), and whatever budget the outer loop cannot use
+  // goes to intra-tree growth — so b+1 trees on a 2-core host build two at a
+  // time serially, while 2 trees on an 8-core host each grow with 4 threads.
+  const int budget = ResolveThreadCount(opts.num_threads);
+  const int outer_workers = static_cast<int>(
+      std::min<int64_t>(opts.bootstrap_count, budget));
+  bootstrap_limits.num_threads =
+      std::max(1, budget / std::max(outer_workers, 1));
+
   // Each tree draws its subsample from its own Split(i) stream, so tree i is
   // a pure function of (rng state, i): building the trees concurrently in
   // any order or on any thread count yields the identical coarse tree.
@@ -250,9 +260,9 @@ Result<SamplingPhaseResult> BuildCoarseFromSample(
   std::vector<std::optional<DecisionTree>> slots(
       static_cast<size_t>(opts.bootstrap_count));
   if (GrowthEngineIsColumnar()) {
-    ColumnDataset master(schema, result.sample);  // sealed before the fork
-    ParallelFor(opts.bootstrap_count,
-                ResolveThreadCount(opts.num_threads), [&](int64_t i) {
+    // Sealed before the fork; the root sorts use the whole budget.
+    ColumnDataset master(schema, result.sample, budget);
+    ParallelFor(opts.bootstrap_count, outer_workers, [&](int64_t i) {
                   Rng tree_rng = rng->Split(static_cast<uint64_t>(i));
                   const std::vector<uint32_t> picks =
                       SampleIndicesWithReplacement(
@@ -264,8 +274,7 @@ Result<SamplingPhaseResult> BuildCoarseFromSample(
                       master, weights, selector, bootstrap_limits);
                 });
   } else {
-    ParallelFor(opts.bootstrap_count,
-                ResolveThreadCount(opts.num_threads), [&](int64_t i) {
+    ParallelFor(opts.bootstrap_count, outer_workers, [&](int64_t i) {
                   Rng tree_rng = rng->Split(static_cast<uint64_t>(i));
                   std::vector<Tuple> subsample = SampleWithReplacement(
                       result.sample, opts.bootstrap_subsample, &tree_rng);

@@ -55,6 +55,11 @@ class BoatClassifier {
   /// \brief The underlying engine (model introspection, tests).
   const BoatEngine& engine() const { return *engine_; }
 
+  /// \brief Sets the growth-phase thread budget for subsequent updates
+  /// (0 = all hardware cores). Loaded classifiers default to 1 thread:
+  /// num_threads is host-specific and not persisted.
+  void SetNumThreads(int num_threads) { engine_->set_num_threads(num_threads); }
+
   /// \brief Wraps an already-built engine (used by the persistence layer).
   static std::unique_ptr<BoatClassifier> FromEngine(
       std::unique_ptr<BoatEngine> engine) {

@@ -56,6 +56,11 @@ BoatEngine::BoatEngine(Schema schema, const SplitSelector* selector,
       temp_(temp),
       recursion_depth_(recursion_depth),
       rng_(options_.seed) {
+  // The engine-level thread budget is the single source of truth; mirror it
+  // into the growth limits so every tree build this engine triggers —
+  // bootstrap trees, frontier subtrees, repairs, recursive child engines —
+  // scales without each call site re-plumbing a thread count.
+  options_.limits.num_threads = options_.num_threads;
   if (selector_->kind() == SelectorKind::kImpurity) {
     impurity_ =
         &static_cast<const ImpuritySplitSelector*>(selector_)->impurity();
@@ -708,7 +713,7 @@ Status BoatEngine::BuildFromFamily(ModelNode* node, BoatStats* stats) {
       data.Reserve(size);
       BOAT_RETURN_NOT_OK(node->family->ForEach(
           [&](const Tuple& t) { data.Append(t); }));
-      data.Seal();
+      data.Seal(options_.limits.num_threads);
       node->subtree = BuildSubtreeColumnar(data, *selector_, options_.limits,
                                            node->depth);
     } else {

@@ -74,6 +74,17 @@ class BoatEngine {
   const ModelNode& model_root() const { return *root_; }
   const Schema& schema() const { return schema_; }
 
+  /// \brief Re-points the growth-phase thread budget (0 = all hardware
+  /// cores); takes effect on the next build or update. Thread count is a
+  /// host property and is never persisted, so loaded engines default to 1 —
+  /// daemons call this after load. Never changes any tree: parallel growth
+  /// is byte-identical for every thread count.
+  void set_num_threads(int num_threads) {
+    options_.num_threads = num_threads;
+    options_.limits.num_threads = num_threads;
+  }
+  int num_threads() const { return options_.num_threads; }
+
   /// \brief Releases the model root (used by recursive invocations to graft
   /// a sub-model into the parent's tree).
   std::unique_ptr<ModelNode> ReleaseRoot() { return std::move(root_); }

@@ -71,6 +71,12 @@ Status BoatOptions::Validate() const {
         "BoatOptions: limits.stop_family_size must be >= 0 (got %lld)",
         static_cast<long long>(limits.stop_family_size)));
   }
+  if (limits.num_threads < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("BoatOptions: limits.num_threads must be >= 0 (got %d); "
+                  "use 0 for all hardware cores",
+                  limits.num_threads));
+  }
   return Status::OK();
 }
 

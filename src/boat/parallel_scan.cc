@@ -283,6 +283,7 @@ Status BoatEngine::RunCleanupScanParallel(TupleSource* db, int num_workers) {
     }
   };
 
+  // determinism-lint: allow(workers produce per-chunk results that merge_next folds in strict chunk-index order, so thread interleaving never reaches the accumulators)
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) workers.emplace_back(worker_body);
@@ -332,6 +333,7 @@ Status BoatEngine::RunCleanupScanParallel(TupleSource* db, int num_workers) {
   }
   work_cv.notify_all();
   while (next_merge < next_read) merge_next();  // drains even on error
+  // determinism-lint: allow(join of the pool above; merge order was already fixed by chunk index)
   for (std::thread& w : workers) w.join();
   return status;
 }

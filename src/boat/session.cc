@@ -43,8 +43,17 @@ Result<std::unique_ptr<Session>> Session::Train(TupleSource* db,
       std::unique_ptr<BoatClassifier> classifier,
       BoatClassifier::Train(db, sel.get(), boat_options, stats));
   BOAT_RETURN_NOT_OK(SaveClassifier(*classifier, dir));
-  return std::unique_ptr<Session>(new Session(
+  std::unique_ptr<Session> session(new Session(
       dir, options.selector, std::move(sel), std::move(classifier)));
+  // Keep the training-time thread budget sticky across rollback reloads —
+  // the manifest deliberately does not persist it (host property).
+  session->SetNumThreads(boat_options.num_threads);
+  return session;
+}
+
+void Session::SetNumThreads(int num_threads) {
+  num_threads_ = num_threads;
+  classifier_->SetNumThreads(num_threads);
 }
 
 Status Session::ValidateChunk(const std::vector<Tuple>& chunk) const {
@@ -88,6 +97,7 @@ Status Session::Reload() {
   BOAT_ASSIGN_OR_RETURN(std::unique_ptr<BoatClassifier> reloaded,
                         LoadClassifier(dir_, selector_.get()));
   classifier_ = std::move(reloaded);
+  if (num_threads_.has_value()) classifier_->SetNumThreads(*num_threads_);
   return Status::OK();
 }
 

@@ -26,6 +26,7 @@
 #define BOAT_BOAT_SESSION_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,13 @@ class Session {
   /// \brief Engine-level introspection (tests, STATS).
   const BoatEngine& engine() const { return classifier_->engine(); }
 
+  /// \brief Sets the growth-phase thread budget for every subsequent Apply
+  /// or retrain through this session (0 = all hardware cores). Sticky across
+  /// the rollback Reload path. Host-specific, so never persisted: freshly
+  /// opened sessions default to 1 until a caller (e.g. the serving Trainer)
+  /// raises it. Thread count never changes a tree.
+  void SetNumThreads(int num_threads);
+
  private:
   Session(std::string dir, std::string selector_name,
           std::unique_ptr<SplitSelector> selector,
@@ -126,6 +134,9 @@ class Session {
   std::unique_ptr<SplitSelector> selector_;
   std::unique_ptr<BoatClassifier> classifier_;
   uint64_t revision_ = 0;
+  /// Growth thread budget, reapplied after every Reload (the manifest does
+  /// not carry it). Unset = whatever the classifier loaded with (1).
+  std::optional<int> num_threads_;
 };
 
 }  // namespace boat

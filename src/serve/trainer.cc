@@ -40,6 +40,9 @@ Status Trainer::Start() {
   }
   BOAT_ASSIGN_OR_RETURN(session_,
                         Session::Open(options_.model_dir, options_.selector));
+  // Loaded sessions default to single-threaded growth (thread count is not
+  // persisted); give retrains the daemon's configured budget.
+  session_->SetNumThreads(options_.num_threads);
   schema_ = session_->schema();
   registry_->Install(std::make_shared<const ServableModel>(
       session_->tree(), options_.model_dir));

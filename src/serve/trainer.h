@@ -46,6 +46,11 @@ struct TrainerOptions {
   std::string selector = "gini";
   /// Chunks queued but not yet applied before Submit reports backpressure.
   size_t queue_capacity = 64;
+  /// Growth-phase thread budget for incremental retrains (0 = all hardware
+  /// cores). Applied to the session after open — loaded models default to 1
+  /// because thread count is host-specific and never persisted. Any value
+  /// produces the byte-identical model.
+  int num_threads = 1;
 };
 
 class Trainer {

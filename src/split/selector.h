@@ -38,6 +38,11 @@ struct GrowthLimits {
   /// paper's evaluation methodology ("we stopped tree construction for leaf
   /// nodes whose family would fit in-memory"). 0 disables the rule.
   int64_t stop_family_size = 0;
+  /// Worker threads for growing a *single* tree (columnar engine only;
+  /// 0 = all hardware cores). The tree is byte-identical for every value —
+  /// parallelism only reorders work, never results (see DESIGN.md,
+  /// "Parallel columnar growth"). Host-specific, so never persisted.
+  int num_threads = 1;
 };
 
 /// \brief A split selection method.

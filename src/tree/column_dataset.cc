@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/status.h"
 
 namespace boat {
@@ -15,11 +16,12 @@ ColumnDataset::ColumnDataset(const Schema& schema) : schema_(&schema) {
 }
 
 ColumnDataset::ColumnDataset(const Schema& schema,
-                             const std::vector<Tuple>& tuples)
+                             const std::vector<Tuple>& tuples,
+                             int num_threads)
     : ColumnDataset(schema) {
   Reserve(static_cast<int64_t>(tuples.size()));
   for (const Tuple& t : tuples) Append(t);
-  Seal();
+  Seal(num_threads);
 }
 
 void ColumnDataset::Reserve(int64_t rows) {
@@ -46,25 +48,31 @@ void ColumnDataset::Append(const Tuple& tuple) {
   labels_.push_back(tuple.label());
 }
 
-void ColumnDataset::Seal() {
+void ColumnDataset::Seal(int num_threads) {
   if (sealed_) return;
   sealed_ = true;
   const uint32_t n = static_cast<uint32_t>(labels_.size());
-  // Sorting (value, row) pairs keeps every comparison's operands adjacent in
-  // memory; sorting bare indices with a col[a] < col[b] comparator incurs
-  // two dependent cache misses per comparison instead.
-  std::vector<std::pair<double, uint32_t>> keyed;
+  std::vector<int> numeric_attrs;
   for (int attr = 0; attr < schema_->num_attributes(); ++attr) {
-    if (!schema_->IsNumerical(attr)) continue;
+    if (schema_->IsNumerical(attr)) numeric_attrs.push_back(attr);
+  }
+  // Each attribute's permutation depends only on its own column, so the
+  // sorts fan out across threads with no shared mutable state.
+  ParallelFor(static_cast<int64_t>(numeric_attrs.size()),
+              ResolveThreadCount(num_threads), [&](int64_t i) {
+    const int attr = numeric_attrs[static_cast<size_t>(i)];
     const double* col = numeric_cols_[attr].data();
-    keyed.resize(n);
+    // Sorting (value, row) pairs keeps every comparison's operands adjacent
+    // in memory; sorting bare indices with a col[a] < col[b] comparator
+    // incurs two dependent cache misses per comparison instead.
+    std::vector<std::pair<double, uint32_t>> keyed(n);
     for (uint32_t r = 0; r < n; ++r) keyed[r] = {col[r], r};
     // Ascending value, ties by row id — a stable, deterministic order.
     std::sort(keyed.begin(), keyed.end());
     std::vector<uint32_t>& order = sorted_[attr];
     order.resize(n);
-    for (uint32_t i = 0; i < n; ++i) order[i] = keyed[i].second;
-  }
+    for (uint32_t i2 = 0; i2 < n; ++i2) order[i2] = keyed[i2].second;
+  });
 }
 
 const std::vector<uint32_t>& ColumnDataset::sorted_order(int attr) const {

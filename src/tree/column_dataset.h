@@ -31,8 +31,10 @@ class ColumnDataset {
   /// \param schema must outlive the dataset.
   explicit ColumnDataset(const Schema& schema);
 
-  /// \brief Convenience: materialize and Seal() in one step.
-  ColumnDataset(const Schema& schema, const std::vector<Tuple>& tuples);
+  /// \brief Convenience: materialize and Seal() in one step. `num_threads`
+  /// parallelizes the root sorts (see Seal).
+  ColumnDataset(const Schema& schema, const std::vector<Tuple>& tuples,
+                int num_threads = 1);
 
   void Reserve(int64_t rows);
 
@@ -40,8 +42,11 @@ class ColumnDataset {
   void Append(const Tuple& tuple);
 
   /// \brief Sorts each numeric column's index permutation (ascending value,
-  /// ties by row id — a stable order). Idempotent.
-  void Seal();
+  /// ties by row id — a stable order). Idempotent. With num_threads != 1
+  /// (0 = all hardware cores) attributes sort concurrently; each permutation
+  /// is a pure function of its own column, so the result is identical for
+  /// every thread count.
+  void Seal(int num_threads = 1);
   bool sealed() const { return sealed_; }
 
   const Schema& schema() const { return *schema_; }

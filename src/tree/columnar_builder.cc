@@ -1,12 +1,25 @@
 #include "tree/columnar_builder.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
+#include "common/parallel.h"
 #include "common/status.h"
 
 namespace boat {
 
 namespace {
+
+// Scheduling knobs for intra-tree parallelism. None of them affect the
+// resulting tree — a different thread count or block size only reorders
+// work; every partition and every AVC-set comes out byte-identical to the
+// sequential build (DESIGN.md, "Parallel columnar growth").
+constexpr size_t kMinParallelRows = 2048;    // below: fully sequential build
+constexpr size_t kPartitionBlock = 1 << 12;  // rows per count/scatter block
+constexpr size_t kParallelPartitionMin = 1 << 13;  // below: serial partition
+constexpr size_t kFrontierPerThread = 4;  // target frontier items per worker
+constexpr int64_t kMarkGrain = 2048;      // stripe grain for parallel marking
 
 /// One tree growth over index ranges of a sealed ColumnDataset. Each numeric
 /// attribute gets a private SPRINT-style attribute list — (value, row, label)
@@ -15,6 +28,15 @@ namespace {
 /// A split stably partitions each array's [begin, end) range in place, so
 /// children are contiguous subranges, the root-time sort is never repeated,
 /// and every per-node AVC fill is a single sequential pass.
+///
+/// With limits.num_threads != 1 the build runs in three phases: the top of
+/// the tree is expanded breadth-first with every range-linear pass (AVC
+/// fill, side marking, partition) parallelized internally, then the
+/// remaining frontier nodes — disjoint [begin, end) ranges — fan out across
+/// workers that each grow their subtrees sequentially with a private scratch
+/// arena, and finally the subtrees are assembled in preorder. Every phase is
+/// deterministic by construction, so the tree is byte-identical to the
+/// single-threaded build.
 class ColumnarGrowth {
  public:
   ColumnarGrowth(const ColumnDataset& data, const SplitSelector& selector,
@@ -23,7 +45,8 @@ class ColumnarGrowth {
         selector_(selector),
         limits_(limits),
         weights_(weights),
-        schema_(data.schema()) {
+        schema_(data.schema()),
+        threads_(ResolveThreadCount(limits.num_threads)) {
     if (!data.sealed()) FatalError("ColumnarGrowth over unsealed dataset");
     const uint32_t n = static_cast<uint32_t>(data.num_rows());
     rows_.reserve(n);
@@ -31,18 +54,18 @@ class ColumnarGrowth {
       if (Weight(r) > 0) rows_.push_back(r);
     }
     lists_.resize(schema_.num_attributes());
-    for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
-      if (!schema_.IsNumerical(attr)) continue;
-      const double* col = data.numeric_column(attr).data();
-      std::vector<AttrEntry>& list = lists_[attr];
+    // Per-attribute list construction writes only its own slot; fan the
+    // attributes out when a thread budget is available.
+    ParallelFor(schema_.num_attributes(), threads_, [&](int64_t attr) {
+      if (!schema_.IsNumerical(static_cast<int>(attr))) return;
+      const double* col = data_.numeric_column(static_cast<int>(attr)).data();
+      std::vector<AttrEntry>& list = lists_[static_cast<size_t>(attr)];
       list.reserve(rows_.size());
-      for (const uint32_t r : data.sorted_order(attr)) {
-        if (Weight(r) > 0) list.push_back({col[r], r, data.label(r)});
+      for (const uint32_t r : data_.sorted_order(static_cast<int>(attr))) {
+        if (Weight(r) > 0) list.push_back({col[r], r, data_.label(r)});
       }
-    }
+    });
     go_left_.resize(n);
-    row_scratch_.reserve(rows_.size());
-    list_scratch_.reserve(rows_.size());
   }
 
   /// Number of live (positive-weight) rows across the whole dataset.
@@ -55,51 +78,15 @@ class ColumnarGrowth {
     return counts;
   }
 
-  /// `counts` is the range's per-class weight totals, computed by the parent
-  /// from its AVC-set (ChildCounts*) — the engine never rescans a family
-  /// just to count it.
-  std::unique_ptr<TreeNode> Build(size_t begin, size_t end, int depth,
-                                  std::vector<int64_t> counts) {
-    int64_t total = 0;
-    for (const int64_t c : counts) total += c;
-
-    const bool at_depth_limit = depth >= limits_.max_depth;
-    const bool too_small = total < limits_.min_tuples_to_split;
-    const bool below_stop_threshold =
-        limits_.stop_family_size > 0 && total <= limits_.stop_family_size;
-    int populated_classes = 0;
-    for (const int64_t c : counts) {
-      if (c > 0) ++populated_classes;
+  /// Grows the whole tree over the live rows, dispatching to the parallel
+  /// frontier scheme when a thread budget is available.
+  std::unique_ptr<TreeNode> BuildRoot(int depth) {
+    std::vector<int64_t> counts = RootCounts();
+    if (threads_ <= 1 || rows_.size() < kMinParallelRows) {
+      Scratch scratch;
+      return Build(0, rows_.size(), depth, std::move(counts), &scratch);
     }
-    // A pure family needs no AVC-group: no split selector would divide it.
-    if (at_depth_limit || too_small || below_stop_threshold ||
-        populated_classes <= 1) {
-      return TreeNode::Leaf(std::move(counts));
-    }
-
-    AvcGroup avc(schema_);
-    FillAvcGroup(begin, end, counts, &avc);
-    std::optional<Split> split = selector_.ChooseSplit(avc);
-    if (!split.has_value()) return TreeNode::Leaf(std::move(counts));
-
-    auto [left_counts, right_counts] =
-        split->is_numerical
-            ? ChildCountsNumeric(avc.numeric(split->attribute), *split)
-            : ChildCountsCategorical(avc.categorical(split->attribute),
-                                     *split);
-
-    const size_t left_rows = MarkSides(*split, begin, end);
-    PartitionRows(begin, end);
-    for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
-      if (schema_.IsNumerical(attr)) PartitionList(&lists_[attr], begin, end);
-    }
-
-    auto left = Build(begin, begin + left_rows, depth + 1,
-                      std::move(left_counts));
-    auto right = Build(begin + left_rows, end, depth + 1,
-                       std::move(right_counts));
-    return TreeNode::Internal(*std::move(split), std::move(counts),
-                              std::move(left), std::move(right));
+    return BuildParallel(depth, std::move(counts));
   }
 
  private:
@@ -112,50 +99,308 @@ class ColumnarGrowth {
     int32_t label;
   };
 
+  /// Per-worker growth arena: the right-side partition buffers and the
+  /// categorical subset membership table. One per fan-out worker (plus one
+  /// for the expansion phase), so subtree growth never allocates per node
+  /// and workers never share mutable scratch.
+  struct Scratch {
+    std::vector<uint32_t> row_scratch;    // right-side buffer, PartitionRows
+    std::vector<AttrEntry> list_scratch;  // right-side buffer, PartitionList
+    std::vector<uint8_t> in_subset;       // categorical subset membership
+  };
+
+  /// Shadow node used while the top of the tree is expanded breadth-first.
+  /// TreeNode requires both children at construction, so the expansion
+  /// records splits here and Assemble() converts to TreeNodes bottom-up —
+  /// in preorder, so serialization never sees the difference.
+  struct PendingNode {
+    size_t begin = 0;
+    size_t end = 0;
+    int depth = 0;
+    uint64_t id = 0;  // creation order; deterministic tie-break key
+    std::vector<int64_t> counts;
+    std::optional<Split> split;  // set when expanded to an internal node
+    std::unique_ptr<PendingNode> left;
+    std::unique_ptr<PendingNode> right;
+    std::unique_ptr<TreeNode> done;  // leaf, or worker-built subtree
+  };
+
   int64_t Weight(uint32_t row) const {
     return weights_ == nullptr ? 1 : weights_[row];
   }
 
-  void FillAvcGroup(size_t begin, size_t end,
-                    const std::vector<int64_t>& counts, AvcGroup* avc) {
-    const size_t k = static_cast<size_t>(schema_.num_classes());
+  /// The stop rules shared by the sequential build and the expansion phase.
+  bool IsLeafFamily(int depth, const std::vector<int64_t>& counts) const {
+    int64_t total = 0;
+    for (const int64_t c : counts) total += c;
+    const bool at_depth_limit = depth >= limits_.max_depth;
+    const bool too_small = total < limits_.min_tuples_to_split;
+    const bool below_stop_threshold =
+        limits_.stop_family_size > 0 && total <= limits_.stop_family_size;
+    int populated_classes = 0;
+    for (const int64_t c : counts) {
+      if (c > 0) ++populated_classes;
+    }
+    // A pure family needs no AVC-group: no split selector would divide it.
+    return at_depth_limit || too_small || below_stop_threshold ||
+           populated_classes <= 1;
+  }
+
+  /// `counts` is the range's per-class weight totals, computed by the parent
+  /// from its AVC-set (ChildCounts*) — the engine never rescans a family
+  /// just to count it.
+  std::unique_ptr<TreeNode> Build(size_t begin, size_t end, int depth,
+                                  std::vector<int64_t> counts,
+                                  Scratch* scratch) {
+    if (IsLeafFamily(depth, counts)) return TreeNode::Leaf(std::move(counts));
+
+    AvcGroup avc(schema_);
+    FillAvcGroup(begin, end, counts, &avc);
+    std::optional<Split> split = selector_.ChooseSplit(avc);
+    if (!split.has_value()) return TreeNode::Leaf(std::move(counts));
+
+    auto [left_counts, right_counts] =
+        split->is_numerical
+            ? ChildCountsNumeric(avc.numeric(split->attribute), *split)
+            : ChildCountsCategorical(avc.categorical(split->attribute),
+                                     *split);
+
+    const size_t left_rows = MarkSides(*split, begin, end, scratch);
+    PartitionRows(begin, end, scratch);
     for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
       if (schema_.IsNumerical(attr)) {
-        // One streaming pass over the presorted list aggregates the whole
-        // AVC-set; values_/counts_ come out exactly as a staged sort-and-
-        // merge Finalize would produce them.
-        std::vector<double> values;
-        std::vector<int64_t> cell_counts;
-        values.reserve(end - begin);  // distinct values <= range size
-        cell_counts.reserve((end - begin) * k);
-        const std::vector<AttrEntry>& list = lists_[attr];
-        for (size_t i = begin; i < end; ++i) {
-          const AttrEntry& e = list[i];
-          if (values.empty() || e.value != values.back()) {
-            values.push_back(e.value);
-            cell_counts.resize(cell_counts.size() + k, 0);
-          }
-          cell_counts[cell_counts.size() - k + static_cast<size_t>(e.label)] +=
-              Weight(e.row);
+        PartitionList(&lists_[attr], begin, end, scratch);
+      }
+    }
+
+    auto left = Build(begin, begin + left_rows, depth + 1,
+                      std::move(left_counts), scratch);
+    auto right = Build(begin + left_rows, end, depth + 1,
+                       std::move(right_counts), scratch);
+    return TreeNode::Internal(*std::move(split), std::move(counts),
+                              std::move(left), std::move(right));
+  }
+
+  // ------------------------------------------------ parallel frontier build
+
+  std::unique_ptr<TreeNode> BuildParallel(int root_depth,
+                                          std::vector<int64_t> counts) {
+    auto root = std::make_unique<PendingNode>();
+    root->begin = 0;
+    root->end = rows_.size();
+    root->depth = root_depth;
+    root->counts = std::move(counts);
+    uint64_t next_id = 1;
+
+    // Phase 1: expand the largest pending node (ties by creation order — a
+    // deterministic rule, though any rule yields the same tree) until the
+    // frontier can feed every worker or only small nodes remain. Each
+    // expansion step is itself parallelized across the node's range and
+    // attributes, so the top of the tree — where one node spans most rows —
+    // does not serialize the build.
+    std::vector<PendingNode*> frontier{root.get()};
+    const size_t target = kFrontierPerThread * static_cast<size_t>(threads_);
+    const size_t small_node =
+        std::max<size_t>(size_t{1024}, rows_.size() / (2 * target));
+    while (!frontier.empty() && frontier.size() < target) {
+      size_t pick = 0;
+      for (size_t i = 1; i < frontier.size(); ++i) {
+        const size_t si = frontier[i]->end - frontier[i]->begin;
+        const size_t sp = frontier[pick]->end - frontier[pick]->begin;
+        if (si > sp || (si == sp && frontier[i]->id < frontier[pick]->id)) {
+          pick = i;
         }
-        avc->mutable_numeric(attr)->InstallSorted(std::move(values),
-                                                  std::move(cell_counts));
-      } else {
-        CategoricalAvc* cat = avc->mutable_categorical(attr);
-        for (size_t i = begin; i < end; ++i) {
-          const uint32_t r = rows_[i];
-          cat->Add(data_.category(attr, r), data_.label(r), Weight(r));
+      }
+      PendingNode* p = frontier[pick];
+      if (p->end - p->begin <= small_node) break;  // largest is small: stop
+      frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(pick));
+      if (ExpandStep(p, &next_id)) {
+        frontier.push_back(p->left.get());
+        frontier.push_back(p->right.get());
+      }
+    }
+
+    // Phase 2: longest-processing-time assignment of the frontier's disjoint
+    // subtree ranges onto workers (sort by size desc, id asc; each item goes
+    // to the least-loaded worker — all of it deterministic), then one
+    // statically-striped fan-out. Workers touch disjoint [begin, end) ranges
+    // of rows_/lists_ and disjoint go_left_ rows, each with a private
+    // scratch arena.
+    if (!frontier.empty()) {
+      std::vector<PendingNode*> items = frontier;
+      std::sort(items.begin(), items.end(),
+                [](const PendingNode* a, const PendingNode* b) {
+                  const size_t sa = a->end - a->begin;
+                  const size_t sb = b->end - b->begin;
+                  if (sa != sb) return sa > sb;
+                  return a->id < b->id;
+                });
+      const int workers = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(threads_), items.size()));
+      std::vector<std::vector<PendingNode*>> buckets(
+          static_cast<size_t>(workers));
+      std::vector<size_t> load(static_cast<size_t>(workers), 0);
+      for (PendingNode* p : items) {
+        size_t w = 0;
+        for (size_t i = 1; i < load.size(); ++i) {
+          if (load[i] < load[w]) w = i;
+        }
+        buckets[w].push_back(p);
+        load[w] += (p->end - p->begin) + 1;
+      }
+      std::vector<Scratch> scratch(static_cast<size_t>(workers));
+      ParallelForStatic(workers, workers, /*grain=*/1,
+                        [&](int64_t wb, int64_t we, int) {
+                          for (int64_t w = wb; w < we; ++w) {
+                            for (PendingNode* p : buckets[static_cast<size_t>(w)]) {
+                              p->done = Build(p->begin, p->end, p->depth,
+                                              std::move(p->counts),
+                                              &scratch[static_cast<size_t>(w)]);
+                            }
+                          }
+                        });
+    }
+    return Assemble(root.get());
+  }
+
+  /// Runs one split step on a pending node, with every linear pass
+  /// parallelized: AVC fill across attributes, side marking across the
+  /// range, partitions via the blocked count/prefix/scatter scheme. Returns
+  /// false when the node settled as a leaf (done set), true when it split
+  /// (left/right created).
+  bool ExpandStep(PendingNode* p, uint64_t* next_id) {
+    if (IsLeafFamily(p->depth, p->counts)) {
+      p->done = TreeNode::Leaf(std::move(p->counts));
+      return false;
+    }
+    AvcGroup avc(schema_);
+    FillAvcGroupParallel(p->begin, p->end, p->counts, &avc);
+    std::optional<Split> split = selector_.ChooseSplit(avc);
+    if (!split.has_value()) {
+      p->done = TreeNode::Leaf(std::move(p->counts));
+      return false;
+    }
+    auto [left_counts, right_counts] =
+        split->is_numerical
+            ? ChildCountsNumeric(avc.numeric(split->attribute), *split)
+            : ChildCountsCategorical(avc.categorical(split->attribute),
+                                     *split);
+
+    const size_t left_rows = MarkSidesParallel(*split, p->begin, p->end);
+    if (p->end - p->begin >= kParallelPartitionMin) {
+      BlockedPartition(&rows_, &row_part_scratch_, p->begin, p->end,
+                       left_rows,
+                       [this](uint32_t r) { return go_left_[r] != 0; });
+      for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+        if (!schema_.IsNumerical(attr)) continue;
+        BlockedPartition(
+            &lists_[attr], &list_part_scratch_, p->begin, p->end, left_rows,
+            [this](const AttrEntry& e) { return go_left_[e.row] != 0; });
+      }
+    } else {
+      PartitionRows(p->begin, p->end, &expand_scratch_);
+      for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+        if (schema_.IsNumerical(attr)) {
+          PartitionList(&lists_[attr], p->begin, p->end, &expand_scratch_);
         }
       }
     }
+
+    p->split = std::move(split);
+    p->left = std::make_unique<PendingNode>();
+    p->left->begin = p->begin;
+    p->left->end = p->begin + left_rows;
+    p->left->depth = p->depth + 1;
+    p->left->id = (*next_id)++;
+    p->left->counts = std::move(left_counts);
+    p->right = std::make_unique<PendingNode>();
+    p->right->begin = p->begin + left_rows;
+    p->right->end = p->end;
+    p->right->depth = p->depth + 1;
+    p->right->id = (*next_id)++;
+    p->right->counts = std::move(right_counts);
+    return true;
+  }
+
+  /// Converts the shadow tree to TreeNodes, preorder — identical shape and
+  /// serialization to the purely recursive build.
+  std::unique_ptr<TreeNode> Assemble(PendingNode* p) {
+    if (p->done != nullptr) return std::move(p->done);
+    auto left = Assemble(p->left.get());
+    auto right = Assemble(p->right.get());
+    return TreeNode::Internal(*std::move(p->split), std::move(p->counts),
+                              std::move(left), std::move(right));
+  }
+
+  // ----------------------------------------------------------- AVC filling
+
+  /// One attribute's AVC-set over the range. Writes only that attribute's
+  /// slot of the (fully preallocated) AvcGroup, so distinct attributes fill
+  /// concurrently without synchronization.
+  void FillAvcAttr(int attr, size_t begin, size_t end, AvcGroup* avc) {
+    const size_t k = static_cast<size_t>(schema_.num_classes());
+    if (schema_.IsNumerical(attr)) {
+      // One streaming pass over the presorted list aggregates the whole
+      // AVC-set; values_/counts_ come out exactly as a staged sort-and-
+      // merge Finalize would produce them.
+      std::vector<double> values;
+      std::vector<int64_t> cell_counts;
+      values.reserve(end - begin);  // distinct values <= range size
+      cell_counts.reserve((end - begin) * k);
+      const std::vector<AttrEntry>& list = lists_[attr];
+      for (size_t i = begin; i < end; ++i) {
+        const AttrEntry& e = list[i];
+        if (values.empty() || e.value != values.back()) {
+          values.push_back(e.value);
+          cell_counts.resize(cell_counts.size() + k, 0);
+        }
+        cell_counts[cell_counts.size() - k + static_cast<size_t>(e.label)] +=
+            Weight(e.row);
+      }
+      avc->mutable_numeric(attr)->InstallSorted(std::move(values),
+                                                std::move(cell_counts));
+    } else {
+      CategoricalAvc* cat = avc->mutable_categorical(attr);
+      for (size_t i = begin; i < end; ++i) {
+        const uint32_t r = rows_[i];
+        cat->Add(data_.category(attr, r), data_.label(r), Weight(r));
+      }
+    }
+  }
+
+  void FillAvcGroup(size_t begin, size_t end,
+                    const std::vector<int64_t>& counts, AvcGroup* avc) {
+    for (int attr = 0; attr < schema_.num_attributes(); ++attr) {
+      FillAvcAttr(attr, begin, end, avc);
+    }
+    AddClassTotals(counts, avc);
+  }
+
+  /// Expansion-phase variant: attributes fan out across the thread budget.
+  /// Each attribute's fill is the identical sequential pass, so the group is
+  /// byte-equal to FillAvcGroup's.
+  void FillAvcGroupParallel(size_t begin, size_t end,
+                            const std::vector<int64_t>& counts,
+                            AvcGroup* avc) {
+    ParallelFor(schema_.num_attributes(), threads_, [&](int64_t attr) {
+      FillAvcAttr(static_cast<int>(attr), begin, end, avc);
+    });
+    AddClassTotals(counts, avc);
+  }
+
+  static void AddClassTotals(const std::vector<int64_t>& counts,
+                             AvcGroup* avc) {
     for (int32_t c = 0; c < static_cast<int32_t>(counts.size()); ++c) {
       if (counts[c] != 0) avc->AddToClassTotals(c, counts[c]);
     }
   }
 
+  // ------------------------------------------------------- marking / sides
+
   /// Flags every row of the range with its side under `split` and returns
   /// the number of left-bound rows (positions, not weights).
-  size_t MarkSides(const Split& split, size_t begin, size_t end) {
+  size_t MarkSides(const Split& split, size_t begin, size_t end,
+                   Scratch* scratch) {
     size_t left_rows = 0;
     if (split.is_numerical) {
       const double* col = data_.numeric_column(split.attribute).data();
@@ -167,11 +412,12 @@ class ColumnarGrowth {
       }
     } else {
       const int32_t card = schema_.attribute(split.attribute).cardinality;
-      in_subset_.assign(static_cast<size_t>(card), 0);
-      for (const int32_t c : split.subset) in_subset_[c] = 1;
+      scratch->in_subset.assign(static_cast<size_t>(card), 0);
+      for (const int32_t c : split.subset) scratch->in_subset[c] = 1;
       for (size_t i = begin; i < end; ++i) {
         const uint32_t r = rows_[i];
-        const bool left = in_subset_[data_.category(split.attribute, r)];
+        const bool left =
+            scratch->in_subset[data_.category(split.attribute, r)];
         go_left_[r] = left;
         left_rows += left;
       }
@@ -179,37 +425,148 @@ class ColumnarGrowth {
     return left_rows;
   }
 
+  /// Expansion-phase marking: static stripes over the range; every stripe
+  /// writes disjoint go_left_ rows, and the left count is a sum of per-
+  /// worker partials (integer addition — order-independent).
+  size_t MarkSidesParallel(const Split& split, size_t begin, size_t end) {
+    const int64_t n = static_cast<int64_t>(end - begin);
+    std::vector<size_t> partial(static_cast<size_t>(threads_), 0);
+    if (split.is_numerical) {
+      const double* col = data_.numeric_column(split.attribute).data();
+      ParallelForStatic(n, threads_, kMarkGrain,
+                        [&](int64_t b, int64_t e, int w) {
+                          size_t c = 0;
+                          for (int64_t i = b; i < e; ++i) {
+                            const uint32_t r =
+                                rows_[begin + static_cast<size_t>(i)];
+                            const bool left = col[r] <= split.value;
+                            go_left_[r] = left;
+                            c += left;
+                          }
+                          partial[static_cast<size_t>(w)] += c;
+                        });
+    } else {
+      const int32_t card = schema_.attribute(split.attribute).cardinality;
+      expand_scratch_.in_subset.assign(static_cast<size_t>(card), 0);
+      for (const int32_t c : split.subset) expand_scratch_.in_subset[c] = 1;
+      const uint8_t* in_subset = expand_scratch_.in_subset.data();
+      ParallelForStatic(
+          n, threads_, kMarkGrain, [&](int64_t b, int64_t e, int w) {
+            size_t c = 0;
+            for (int64_t i = b; i < e; ++i) {
+              const uint32_t r = rows_[begin + static_cast<size_t>(i)];
+              const bool left = in_subset[data_.category(split.attribute, r)];
+              go_left_[r] = left;
+              c += left;
+            }
+            partial[static_cast<size_t>(w)] += c;
+          });
+    }
+    size_t left_rows = 0;
+    for (const size_t c : partial) left_rows += c;
+    return left_rows;
+  }
+
+  // ----------------------------------------------------------- partitions
+
   // Stable in-place partition of an array's [begin, end) range: left rows
   // keep their relative order at the front, right rows at the back.
   // Stability keeps every array of the node aligned on the same row set.
 
-  void PartitionRows(size_t begin, size_t end) {
-    row_scratch_.clear();
+  void PartitionRows(size_t begin, size_t end, Scratch* scratch) {
+    scratch->row_scratch.clear();
     size_t out = begin;
     for (size_t i = begin; i < end; ++i) {
       const uint32_t r = rows_[i];
       if (go_left_[r]) {
         rows_[out++] = r;
       } else {
-        row_scratch_.push_back(r);
+        scratch->row_scratch.push_back(r);
       }
     }
-    std::copy(row_scratch_.begin(), row_scratch_.end(), rows_.begin() + out);
+    std::copy(scratch->row_scratch.begin(), scratch->row_scratch.end(),
+              rows_.begin() + static_cast<ptrdiff_t>(out));
   }
 
-  void PartitionList(std::vector<AttrEntry>* list, size_t begin, size_t end) {
+  void PartitionList(std::vector<AttrEntry>* list, size_t begin, size_t end,
+                     Scratch* scratch) {
     std::vector<AttrEntry>& a = *list;
-    list_scratch_.clear();
+    scratch->list_scratch.clear();
     size_t out = begin;
     for (size_t i = begin; i < end; ++i) {
       const AttrEntry e = a[i];
       if (go_left_[e.row]) {
         a[out++] = e;
       } else {
-        list_scratch_.push_back(e);
+        scratch->list_scratch.push_back(e);
       }
     }
-    std::copy(list_scratch_.begin(), list_scratch_.end(), a.begin() + out);
+    std::copy(scratch->list_scratch.begin(), scratch->list_scratch.end(),
+              a.begin() + static_cast<ptrdiff_t>(out));
+  }
+
+  /// Parallel stable partition for the top-of-tree nodes: fixed blocks count
+  /// their left rows, an exclusive prefix sum turns the counts into per-
+  /// block destination offsets, and a scatter pass writes each block's left
+  /// run to scratch[left_before(b)] and its right run to
+  /// scratch[total_left + right_before(b)] — two disjoint contiguous
+  /// destination ranges per block, so the scatter is race-free and the
+  /// output is the sequential stable partition by construction (block order
+  /// == index order). `total_left` comes from MarkSides* (every array of a
+  /// node holds exactly its live rows, so the count is shared).
+  template <typename T, typename IsLeft>
+  void BlockedPartition(std::vector<T>* arr, std::vector<T>* scratch,
+                        size_t begin, size_t end, size_t total_left,
+                        IsLeft is_left) {
+    const size_t n = end - begin;
+    if (scratch->size() < n) scratch->resize(n);
+    const size_t nb = (n + kPartitionBlock - 1) / kPartitionBlock;
+    block_lefts_.assign(nb, 0);
+    T* const a = arr->data() + begin;
+    T* const s = scratch->data();
+    ParallelForStatic(static_cast<int64_t>(nb), threads_, /*grain=*/1,
+                      [&](int64_t bb, int64_t be, int) {
+                        for (int64_t b = bb; b < be; ++b) {
+                          const size_t lo =
+                              static_cast<size_t>(b) * kPartitionBlock;
+                          const size_t hi =
+                              std::min(n, lo + kPartitionBlock);
+                          size_t c = 0;
+                          for (size_t i = lo; i < hi; ++i) {
+                            c += is_left(a[i]) ? 1 : 0;
+                          }
+                          block_lefts_[static_cast<size_t>(b)] = c;
+                        }
+                      });
+    size_t run = 0;  // exclusive prefix: lefts strictly before block b
+    for (size_t b = 0; b < nb; ++b) {
+      const size_t c = block_lefts_[b];
+      block_lefts_[b] = run;
+      run += c;
+    }
+    ParallelForStatic(
+        static_cast<int64_t>(nb), threads_, /*grain=*/1,
+        [&](int64_t bb, int64_t be, int) {
+          for (int64_t b = bb; b < be; ++b) {
+            const size_t lo = static_cast<size_t>(b) * kPartitionBlock;
+            const size_t hi = std::min(n, lo + kPartitionBlock);
+            size_t lpos = block_lefts_[static_cast<size_t>(b)];
+            size_t rpos = total_left + (lo - lpos);
+            for (size_t i = lo; i < hi; ++i) {
+              const T v = a[i];
+              if (is_left(v)) {
+                s[lpos++] = v;
+              } else {
+                s[rpos++] = v;
+              }
+            }
+          }
+        });
+    ParallelForStatic(static_cast<int64_t>(n), threads_,
+                      static_cast<int64_t>(kPartitionBlock),
+                      [&](int64_t b, int64_t e, int) {
+                        std::copy(s + b, s + e, a + b);
+                      });
   }
 
   const ColumnDataset& data_;
@@ -217,13 +574,17 @@ class ColumnarGrowth {
   GrowthLimits limits_;
   const int32_t* weights_;
   const Schema& schema_;
+  const int threads_;  // resolved growth thread budget (>= 1)
 
   std::vector<uint32_t> rows_;  // original-order row ids, node-partitioned
   std::vector<std::vector<AttrEntry>> lists_;  // per numeric attr, sorted
-  std::vector<uint8_t> go_left_;   // per row id: side under the current split
-  std::vector<uint32_t> row_scratch_;     // right-side buffer, PartitionRows
-  std::vector<AttrEntry> list_scratch_;   // right-side buffer, PartitionList
-  std::vector<uint8_t> in_subset_;  // categorical subset membership scratch
+  std::vector<uint8_t> go_left_;  // per row id: side under the current split
+
+  // Expansion-phase (single orchestrator thread) scratch.
+  Scratch expand_scratch_;
+  std::vector<uint32_t> row_part_scratch_;    // BlockedPartition, rows
+  std::vector<AttrEntry> list_part_scratch_;  // BlockedPartition, lists
+  std::vector<size_t> block_lefts_;           // per-block left counts/offsets
 };
 
 }  // namespace
@@ -233,8 +594,7 @@ std::unique_ptr<TreeNode> BuildSubtreeColumnar(const ColumnDataset& data,
                                                const GrowthLimits& limits,
                                                int depth) {
   ColumnarGrowth growth(data, selector, limits, /*weights=*/nullptr);
-  return growth.Build(0, static_cast<size_t>(data.num_rows()), depth,
-                      growth.RootCounts());
+  return growth.BuildRoot(depth);
 }
 
 std::unique_ptr<TreeNode> BuildSubtreeColumnarWeighted(
@@ -244,7 +604,7 @@ std::unique_ptr<TreeNode> BuildSubtreeColumnarWeighted(
     FatalError("BuildSubtreeColumnarWeighted: weights/rows size mismatch");
   }
   ColumnarGrowth growth(data, selector, limits, weights.data());
-  return growth.Build(0, growth.num_live_rows(), depth, growth.RootCounts());
+  return growth.BuildRoot(depth);
 }
 
 DecisionTree BuildTreeColumnar(const ColumnDataset& data,

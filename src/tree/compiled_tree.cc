@@ -24,25 +24,55 @@ constexpr int64_t kBlockTuples = 512;
 constexpr int64_t kOutGrain = 16;
 
 /// Below this batch size the per-tuple loop beats the transpose + sweep
-/// setup; outputs are identical either way.
+/// setup even when a caller asked for a block kernel explicitly; outputs
+/// are identical either way.
 constexpr int64_t kMinBlockBatch = 32;
 
-/// BOAT_SIMD environment override, mirroring BOAT_GROWTH_ENGINE: "off", "0",
-/// "scalar", or "false" force the scalar block kernel; anything else (or
-/// unset) allows CPU dispatch. Kernel choice never changes predictions —
-/// every kernel is byte-identical by contract (enforced by the equivalence
-/// matrix in tests/compiled_tree_test.cpp).
-bool SimdEnabledByEnv() {
+// kAuto's tuple/block crossover. The block kernels win by streaming a
+// batch too large for the cache through a transposed pane; the per-tuple
+// walk wins whenever the working set (batch + hot tree levels) stays
+// cache-resident, because the block path pays the transpose and the
+// level-synchronous sweep re-visits every live lane per level. Measured on
+// the Agrawal schema (see BENCH_inference.json for this host's t1 rates):
+// the tuple loop is 2-5x faster below ~2k tuples at every depth, the block
+// kernels break even around 2k tuples for deep (>= ~20 level) trees, and
+// shallow trees need ~16k tuples before blocking pays at all.
+constexpr int64_t kTupleCrossoverBatch = 2048;   ///< below: always tuple
+constexpr int kTupleCrossoverDepth = 20;         ///< deep-tree threshold
+constexpr int64_t kTupleCrossoverBatchShallow = 16384;  ///< shallow trees
+
+/// BOAT_SIMD environment override, mirroring BOAT_GROWTH_ENGINE. Kernel
+/// choice never changes predictions — every kernel is byte-identical by
+/// contract (enforced by the equivalence matrix in
+/// tests/compiled_tree_test.cpp).
+enum class SimdMode {
+  kAuto,         ///< unset/unknown: crossover dispatch, SIMD if available
+  kForceScalar,  ///< "off"/"0"/"scalar"/"false": scalar block kernel
+  kForceTuple,   ///< "tuple": per-tuple loop regardless of batch size
+  kForceBlock,   ///< "block"/"simd"/"on"/"1": block path, skip crossover
+};
+
+SimdMode SimdModeByEnv() {
   // determinism-lint: allow(kernel selection is output-invariant; all kernels produce byte-identical predictions)
   const char* env = std::getenv("BOAT_SIMD");
-  if (env == nullptr || env[0] == '\0') return true;
-  return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0 &&
-         std::strcmp(env, "scalar") != 0 && std::strcmp(env, "false") != 0;
+  if (env == nullptr || env[0] == '\0') return SimdMode::kAuto;
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+      std::strcmp(env, "scalar") == 0 || std::strcmp(env, "false") == 0) {
+    return SimdMode::kForceScalar;
+  }
+  if (std::strcmp(env, "tuple") == 0) return SimdMode::kForceTuple;
+  if (std::strcmp(env, "block") == 0 || std::strcmp(env, "simd") == 0 ||
+      std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0) {
+    return SimdMode::kForceBlock;
+  }
+  return SimdMode::kAuto;
 }
 
 }  // namespace
 
-CompiledTree::CompiledTree(const DecisionTree& tree) : schema_(tree.schema()) {
+CompiledTree::CompiledTree(const DecisionTree& tree)
+    : schema_(tree.schema()),
+      depth_(static_cast<int32_t>(tree.depth())) {
   // Per-attribute bitset widths: the declared cardinality, widened if any
   // split subset mentions a larger category (so the probe bound is exact).
   domain_bits_.assign(static_cast<size_t>(schema_.num_attributes()), 0);
@@ -169,8 +199,27 @@ void CompiledTree::PredictWithKernel(std::span<const Tuple> tuples,
   if (n == 0) return;
   const int threads = ResolveThreadCount(num_threads);
   if (kernel == PredictKernel::kAuto) {
-    kernel = SimdEnabledByEnv() ? PredictKernel::kSimd
-                               : PredictKernel::kScalarBlock;
+    switch (SimdModeByEnv()) {
+      case SimdMode::kForceScalar:
+        kernel = PredictKernel::kScalarBlock;
+        break;
+      case SimdMode::kForceTuple:
+        kernel = PredictKernel::kScalarTuple;
+        break;
+      case SimdMode::kForceBlock:
+        kernel = PredictKernel::kSimd;
+        break;
+      case SimdMode::kAuto:
+        // Batch-size/depth crossover (constants above): block the batch
+        // only when it is big enough — and, for shallow trees, much bigger
+        // — for the transpose + level sweeps to beat the per-tuple walk.
+        kernel = (n >= kTupleCrossoverBatch &&
+                  (depth_ >= kTupleCrossoverDepth ||
+                   n >= kTupleCrossoverBatchShallow))
+                     ? PredictKernel::kSimd
+                     : PredictKernel::kScalarTuple;
+        break;
+    }
   }
   // Static contiguous stripes (no shared shard counter — fixed-cost work
   // would serialize on it) with cache-line-aligned slab boundaries; every
@@ -240,7 +289,14 @@ bool CompiledTree::SimdAvailable() {
 }
 
 const char* CompiledTree::ActiveKernelName() {
-  return detail::ChooseBlockKernel(SimdEnabledByEnv()).name;
+  switch (SimdModeByEnv()) {
+    case SimdMode::kForceTuple:
+      return "tuple";
+    case SimdMode::kForceScalar:
+      return detail::ChooseBlockKernel(false).name;
+    default:
+      return detail::ChooseBlockKernel(true).name;
+  }
 }
 
 double CompiledTree::MisclassificationRate(std::span<const Tuple> tuples,

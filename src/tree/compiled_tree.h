@@ -19,7 +19,11 @@
 // optionally SIMD (AVX2/NEON) kernel — see tree/predict_kernels.h and
 // DESIGN.md, "Blocked batch inference". Every kernel x thread-count
 // combination produces predictions byte-identical to
-// DecisionTree::Classify; BOAT_SIMD=off forces the scalar block kernel.
+// DecisionTree::Classify. kAuto picks the per-tuple loop for batches below
+// a measured batch-size/depth crossover (small or cache-resident batches,
+// shallow trees) and the block path above it; BOAT_SIMD overrides the
+// choice: "off"/"scalar" forces the scalar block kernel, "tuple" forces
+// the per-tuple loop, "block"/"simd" forces block dispatch.
 
 #ifndef BOAT_TREE_COMPILED_TREE_H_
 #define BOAT_TREE_COMPILED_TREE_H_
@@ -37,7 +41,7 @@ namespace boat {
 /// All kernels produce byte-identical predictions; this exists for the
 /// equivalence tests, benchmarks, and the BOAT_SIMD escape hatch.
 enum class PredictKernel {
-  kAuto = 0,     ///< BOAT_SIMD env override, then CPU dispatch (the default)
+  kAuto = 0,     ///< BOAT_SIMD override, then batch/depth crossover dispatch
   kScalarTuple,  ///< reference per-tuple Classify loop (no blocking)
   kScalarBlock,  ///< blocked level-synchronous scalar kernel
   kSimd,         ///< SIMD block kernel; scalar block if unavailable
@@ -98,8 +102,10 @@ class CompiledTree {
   /// \brief True when a SIMD block kernel exists for this build and CPU.
   static bool SimdAvailable();
 
-  /// \brief Name of the block kernel kAuto resolves to right now
-  /// ("avx2", "neon", or "scalar"); re-reads BOAT_SIMD on every call.
+  /// \brief Name of the kernel family kAuto resolves to right now ("avx2",
+  /// "neon", "scalar", or "tuple" when BOAT_SIMD=tuple pins the per-tuple
+  /// loop); re-reads BOAT_SIMD on every call. In auto mode large batches
+  /// use the named block kernel and sub-crossover batches the tuple loop.
   static const char* ActiveKernelName();
 
   /// \brief Fraction of `tuples` whose label differs from the prediction.
@@ -119,6 +125,10 @@ class CompiledTree {
                   detail::BlockKernelFn fn) const;
 
   Schema schema_;
+  /// Max root-to-leaf depth of the source tree; input to kAuto's
+  /// batch-size/depth crossover (deep trees amortize the block transpose
+  /// sooner).
+  int32_t depth_ = 0;
   // Parallel node arrays, preorder. attr_[i] < 0 marks a leaf.
   std::vector<int32_t> attr_;           ///< split attribute; -1 = leaf
   std::vector<int32_t> left_;           ///< child id when predicate holds

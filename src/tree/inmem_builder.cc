@@ -86,7 +86,7 @@ std::unique_ptr<TreeNode> BuildSubtreeInMemory(const Schema& schema,
     return BuildSubtreeInMemoryRows(schema, std::move(tuples), selector,
                                     limits, depth);
   }
-  ColumnDataset data(schema, tuples);
+  ColumnDataset data(schema, tuples, limits.num_threads);
   tuples.clear();
   tuples.shrink_to_fit();
   return BuildSubtreeColumnar(data, selector, limits, depth);

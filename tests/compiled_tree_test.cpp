@@ -259,6 +259,14 @@ TEST(CompiledTreeTest, SimdEnvOverrideForcesScalarBlockKernel) {
     EXPECT_STREQ(CompiledTree::ActiveKernelName(), "scalar");
   }
   EXPECT_EQ(compiled.Predict(data, 2), baseline);
+  // "tuple" pins the per-tuple loop; "block" pins block dispatch past the
+  // crossover. Both are pure scheduling choices: output unchanged.
+  ASSERT_EQ(setenv("BOAT_SIMD", "tuple", 1), 0);
+  EXPECT_STREQ(CompiledTree::ActiveKernelName(), "tuple");
+  EXPECT_EQ(compiled.Predict(data, 2), baseline);
+  ASSERT_EQ(setenv("BOAT_SIMD", "block", 1), 0);
+  EXPECT_STRNE(CompiledTree::ActiveKernelName(), "tuple");
+  EXPECT_EQ(compiled.Predict(data, 2), baseline);
   if (saved != nullptr) {
     ASSERT_EQ(setenv("BOAT_SIMD", saved_value.c_str(), 1), 0);
   } else {

@@ -1,0 +1,198 @@
+// The tentpole contract of intra-tree parallel growth: the columnar engine
+// produces the byte-identical tree at every thread count, for every
+// selector, weighted or not, and all the way through the full BOAT pipeline
+// including the persisted model directory (manifest + S_n table files).
+// Thread count is a throughput knob, never a semantic one — this test is the
+// proof, and it runs under TSan in CI so "identical" also means "race-free".
+//
+// Dataset sizes here are chosen to actually cross the engine's parallel
+// thresholds (kMinParallelRows, kParallelPartitionMin in
+// tree/columnar_builder.cc): a dataset too small to fan out would pass
+// vacuously through the serial path.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "boat/session.h"
+#include "common/rng.h"
+#include "datagen/agrawal.h"
+#include "split/quest.h"
+#include "storage/temp_file.h"
+#include "storage/tuple_source.h"
+#include "tree/column_dataset.h"
+#include "tree/columnar_builder.h"
+#include "tree/inmem_builder.h"
+#include "tree/serialize.h"
+
+namespace boat {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::unique_ptr<SplitSelector> MakeSelector(const std::string& name) {
+  if (name == "quest") return std::make_unique<QuestSelector>();
+  return std::make_unique<ImpuritySplitSelector>(MakeImpurity(name));
+}
+
+/// Limits deep enough that the frontier fans out and large nodes take the
+/// blocked-partition path.
+GrowthLimits DeepLimits(int num_threads) {
+  GrowthLimits limits;
+  limits.max_depth = 24;
+  limits.stop_family_size = 50;
+  limits.num_threads = num_threads;
+  return limits;
+}
+
+std::vector<Tuple> Corpus(int function, uint64_t n, uint64_t seed) {
+  AgrawalConfig config;
+  config.function = function;
+  config.noise = 0.05;
+  config.seed = seed;
+  return GenerateAgrawal(config, n);
+}
+
+/// Reads every regular file under `dir` into a name -> bytes map. Model
+/// directories use only relative, deterministic file names
+/// (manifest.boatmodel, store-N.tbl, archive-*.tbl), so two runs are
+/// byte-identical iff these maps are equal.
+std::map<std::string, std::string> DirBytes(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    files[entry.path().filename().string()] = bytes.str();
+  }
+  return files;
+}
+
+class GrowthParallelEquivalenceTest
+    : public ::testing::TestWithParam<const char*> {};
+
+// Direct-builder matrix: the unweighted columnar build at 2 and 8 threads is
+// byte-identical to the 1-thread build — which itself is byte-identical to
+// the row-engine reference, so "parallel == serial == reference" holds as
+// one chain.
+TEST_P(GrowthParallelEquivalenceTest, UnweightedTreeIsThreadCountInvariant) {
+  const std::string name = GetParam();
+  const Schema schema = MakeAgrawalSchema();
+  const std::vector<Tuple> tuples = Corpus(1, 12000, 20260807);
+  std::unique_ptr<SplitSelector> selector = MakeSelector(name);
+
+  const DecisionTree reference =
+      BuildTreeInMemoryRows(schema, tuples, *selector, DeepLimits(1));
+  const std::string reference_bytes = SerializeTree(reference);
+  ASSERT_GT(reference.num_nodes(), 1u) << "vacuous case";
+
+  for (const int threads : {1, 2, 8}) {
+    const GrowthLimits limits = DeepLimits(threads);
+    const ColumnDataset data(schema, tuples, limits.num_threads);
+    const DecisionTree tree = BuildTreeColumnar(data, *selector, limits);
+    EXPECT_EQ(SerializeTree(tree), reference_bytes)
+        << "selector=" << name << " threads=" << threads;
+  }
+}
+
+// Weighted variant: a bootstrap-style weight vector (with zeros, so rows
+// drop out entirely) grows the same tree at every thread count.
+TEST_P(GrowthParallelEquivalenceTest, WeightedTreeIsThreadCountInvariant) {
+  const std::string name = GetParam();
+  const Schema schema = MakeAgrawalSchema();
+  const std::vector<Tuple> tuples = Corpus(6, 10000, 20260808);
+  std::unique_ptr<SplitSelector> selector = MakeSelector(name);
+
+  Rng rng(99);
+  std::vector<int32_t> weights(tuples.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<int32_t>(rng.UniformInt(0, 3));  // some zeros
+  }
+
+  std::string serial_bytes;
+  for (const int threads : {1, 2, 8}) {
+    const GrowthLimits limits = DeepLimits(threads);
+    const ColumnDataset data(schema, tuples, limits.num_threads);
+    const DecisionTree tree =
+        BuildTreeColumnarWeighted(data, weights, *selector, limits);
+    const std::string bytes = SerializeTree(tree);
+    if (threads == 1) {
+      serial_bytes = bytes;
+      ASSERT_FALSE(serial_bytes.empty());
+    } else {
+      EXPECT_EQ(bytes, serial_bytes)
+          << "selector=" << name << " threads=" << threads;
+    }
+  }
+}
+
+// Full BOAT pipeline through the Session facade: trees AND the persisted
+// model directories (manifest, S_n store files, archive segments) are
+// byte-identical across thread counts. This is the strongest form of the
+// claim — even the spilled tuple-store files the incremental path will
+// later read back must not depend on how many threads grew the tree.
+TEST_P(GrowthParallelEquivalenceTest, BoatPipelineAndStoreFilesMatch) {
+  const std::string name = GetParam();
+  const Schema schema = MakeAgrawalSchema();
+  const std::vector<Tuple> tuples = Corpus(2, 8000, 20260809);
+
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok()) << temp.status().ToString();
+
+  SessionOptions options;
+  options.selector = name;
+  options.boat.sample_size = 600;
+  options.boat.bootstrap_count = 8;
+  options.boat.bootstrap_subsample = 200;
+  options.boat.inmem_threshold = 250;
+  options.boat.store_memory_budget = 256;  // force S_n spills to table files
+  options.boat.seed = 17;
+
+  std::string serial_tree;
+  std::map<std::string, std::string> serial_files;
+  for (const int threads : {1, 2, 8}) {
+    options.boat.num_threads = threads;
+    std::vector<Tuple> copy = tuples;
+    VectorSource source(schema, copy);
+    const std::string dir =
+        temp->NewPath("model-" + name + "-t" + std::to_string(threads));
+    auto session = Session::Train(&source, dir, options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    const std::string tree_bytes = SerializeTree((*session)->tree());
+    std::map<std::string, std::string> files = DirBytes(dir);
+    ASSERT_FALSE(files.empty());
+    if (threads == 1) {
+      serial_tree = tree_bytes;
+      serial_files = std::move(files);
+      continue;
+    }
+    EXPECT_EQ(tree_bytes, serial_tree)
+        << "selector=" << name << " threads=" << threads;
+    ASSERT_EQ(files.size(), serial_files.size())
+        << "selector=" << name << " threads=" << threads;
+    for (const auto& [fname, bytes] : serial_files) {
+      const auto it = files.find(fname);
+      ASSERT_NE(it, files.end())
+          << "missing " << fname << " at threads=" << threads;
+      EXPECT_EQ(it->second, bytes)
+          << "file " << fname << " differs, selector=" << name
+          << " threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectors, GrowthParallelEquivalenceTest,
+                         ::testing::Values("gini", "entropy", "quest"),
+                         [](const ::testing::TestParamInfo<const char*>& p) {
+                           return std::string(p.param);
+                         });
+
+}  // namespace
+}  // namespace boat

@@ -3,6 +3,12 @@
 //   boatd --model model/ [--port 0] [--threads 1] [--max-batch 2048]
 //         [--linger-us 1000] [--queue 8192] [--max-connections 256]
 //         [--selector gini] [--chunk-queue 64] [--max-chunk-records 100000]
+//         [--train-threads 0]
+//
+// --threads sets the scoring workers; --train-threads sets the growth-phase
+// budget incremental retrains run with (0 = all hardware cores — the
+// default, so a RETRAIN under load uses the daemon's cores; the model is
+// byte-identical either way).
 //
 // Serves newline-delimited CSV records over TCP (see src/serve/wire.h for
 // the protocol) through the micro-batching BoatServer, and accepts
@@ -42,7 +48,8 @@ int Usage() {
                "usage: boatd --model DIR [--port P] [--threads T]\n"
                "             [--max-batch N] [--linger-us U] [--queue N]\n"
                "             [--max-connections N] [--selector NAME]\n"
-               "             [--chunk-queue N] [--max-chunk-records N]\n");
+               "             [--chunk-queue N] [--max-chunk-records N]\n"
+               "             [--train-threads T]\n");
   return 2;
 }
 
@@ -69,6 +76,8 @@ int main(int argc, char** argv) {
   trainer_options.selector = selector;
   trainer_options.queue_capacity =
       static_cast<size_t>(flags.GetInt("chunk-queue", 64));
+  trainer_options.num_threads =
+      static_cast<int>(flags.GetInt("train-threads", 0));
   Trainer trainer(&registry, trainer_options);
   {
     // Trainer::Start opens the BOAT session and installs the initial

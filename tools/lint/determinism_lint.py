@@ -22,6 +22,11 @@ directories LINTED_DIRS (src/tree/, src/split/, src/boat/, src/serve/):
     scoring and tree decisions must not depend on time; the serving code
     (src/serve/) may read clocks for latency measurement only, and each such
     site must be allowlisted with a justification
+  * raw thread primitives (std::thread/jthread/async) in the growth dirs
+    (src/tree/, src/split/, src/boat/ — not src/serve/, whose threads are
+    the serving runtime): parallel growth must go through the deterministic
+    ParallelFor/ParallelForStatic shapes in common/parallel.h; any raw
+    thread needs an allow() arguing its merge order cannot reach the tree
 
 A site that is provably safe can be allowlisted inline with a justification:
 
@@ -104,6 +109,27 @@ LINE_RULES = [
     ),
 ]
 
+# Directories whose parallelism must flow through common/parallel.h. The
+# ParallelFor/ParallelForStatic helpers have deterministic work shapes
+# (atomic-ticket or contiguous static stripes over disjoint output), which
+# is what makes "any thread count, byte-identical tree" provable one loop
+# at a time. A raw std::thread in growth code has no such structure, so
+# each one must carry an allow() stating why its merge order cannot reach
+# the tree. src/serve is exempt: its threads are the serving runtime
+# (accept/scoring/apply loops), not tree construction.
+GROWTH_DIRS = ("src/tree", "src/split", "src/boat")
+
+GROWTH_LINE_RULES = [
+    (
+        "raw-thread",
+        re.compile(r"\bstd::(?:thread|jthread|async)\b"),
+        "raw thread primitive in growth code; use ParallelFor/"
+        "ParallelForStatic (common/parallel.h) whose work shapes are "
+        "deterministic, or allow() with the argument for why the merge "
+        "order cannot affect the tree",
+    ),
+]
+
 
 def strip_comments_and_strings(line, in_block_comment):
     """Returns (code-only text, new in_block_comment).
@@ -164,7 +190,7 @@ RNG_CONSTRUCT_RE = re.compile(
 )
 
 
-def lint_file(path, rel):
+def lint_file(path, rel, extra_rules=()):
     findings = []
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
@@ -199,7 +225,7 @@ def lint_file(path, rel):
 
     for idx, code in enumerate(code_lines):
         lineno = idx + 1
-        for name, rule_re, msg in LINE_RULES:
+        for name, rule_re, msg in list(LINE_RULES) + list(extra_rules):
             if rule_re.search(code) and not allowed(idx):
                 findings.append((rel, lineno, name, msg))
 
@@ -258,7 +284,8 @@ def main(argv):
                     continue
                 path = os.path.join(dirpath, fn)
                 rel = os.path.relpath(path, root)
-                findings.extend(lint_file(path, rel))
+                extra = GROWTH_LINE_RULES if d in GROWTH_DIRS else ()
+                findings.extend(lint_file(path, rel, extra))
                 checked += 1
 
     for rel, lineno, rule, msg in sorted(findings):
