@@ -31,18 +31,17 @@
 // mutable state.
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "boat/cleanup.h"
+#include "common/sync.h"
 
 namespace boat {
 
@@ -251,9 +250,13 @@ Status BoatEngine::RunCleanupScanParallel(TupleSource* db, int num_workers) {
     return Status::OK();
   };
 
-  std::mutex mu;
-  std::condition_variable work_cv;   // workers: queue non-empty or done
-  std::condition_variable main_cv;   // caller: a result arrived
+  // Locals shared with the worker lambdas below; all of queue/done/
+  // no_more_work are accessed under mu only. (GUARDED_BY cannot annotate
+  // function locals, so the capability map lives in this comment; the
+  // MutexLock scopes below are still lock/unlock-checked by the analysis.)
+  Mutex mu;
+  CondVar work_cv;   // workers: queue non-empty or done
+  CondVar main_cv;   // caller: a result arrived
   std::deque<Chunk> queue;
   std::map<size_t, ChunkResult> done;
   bool no_more_work = false;
@@ -262,8 +265,8 @@ Status BoatEngine::RunCleanupScanParallel(TupleSource* db, int num_workers) {
     while (true) {
       Chunk chunk;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        work_cv.wait(lock, [&] { return !queue.empty() || no_more_work; });
+        MutexLock lock(mu);
+        work_cv.Wait(lock, [&] { return !queue.empty() || no_more_work; });
         if (queue.empty()) return;
         chunk = std::move(queue.front());
         queue.pop_front();
@@ -276,10 +279,10 @@ Status BoatEngine::RunCleanupScanParallel(TupleSource* db, int num_workers) {
         RouteTuple(schema_, impurity_mode, flat, t, &result);
       }
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         done.emplace(result.index, std::move(result));
       }
-      main_cv.notify_one();
+      main_cv.NotifyOne();
     }
   };
 
@@ -300,8 +303,8 @@ Status BoatEngine::RunCleanupScanParallel(TupleSource* db, int num_workers) {
   auto merge_next = [&]() {
     ChunkResult result;
     {
-      std::unique_lock<std::mutex> lock(mu);
-      main_cv.wait(lock, [&] { return done.count(next_merge) > 0; });
+      MutexLock lock(mu);
+      main_cv.Wait(lock, [&] { return done.count(next_merge) > 0; });
       auto it = done.find(next_merge);
       result = std::move(it->second);
       done.erase(it);
@@ -320,18 +323,18 @@ Status BoatEngine::RunCleanupScanParallel(TupleSource* db, int num_workers) {
     }
     if (chunk.tuples.empty()) break;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       queue.push_back(std::move(chunk));
     }
-    work_cv.notify_one();
+    work_cv.NotifyOne();
     ++next_read;
     while (status.ok() && next_read - next_merge >= cap) merge_next();
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     no_more_work = true;
   }
-  work_cv.notify_all();
+  work_cv.NotifyAll();
   while (next_merge < next_read) merge_next();  // drains even on error
   // determinism-lint: allow(join of the pool above; merge order was already fixed by chunk index)
   for (std::thread& w : workers) w.join();

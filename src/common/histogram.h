@@ -9,6 +9,15 @@
 // atomic increment, so hot serving paths never contend on a histogram lock;
 // the quantile/JSON side works from a consistent-enough snapshot (counts
 // only grow, and readers tolerate a tally that is mid-update).
+//
+// Memory orders, pinned (audited with the sync.h sweep): every bucket
+// access is memory_order_relaxed, and that is the strongest order this type
+// can use correctly by design. Invariant: each bucket is an independent
+// monotonic counter; no reader derives control flow or other memory access
+// from a count, so no acquire/release pairing exists to express. A Snapshot
+// taken concurrently with writers is per-bucket-atomic (not cross-bucket)
+// — STATS tolerates that by contract. These counters are genuinely
+// lock-free: the only non-atomic state is the constexpr bucket geometry.
 
 #ifndef BOAT_COMMON_HISTOGRAM_H_
 #define BOAT_COMMON_HISTOGRAM_H_
@@ -78,6 +87,8 @@ class Log2Histogram {
   std::string ToJson() const;
 
  private:
+  /// Lock-free relaxed-only monotonic tallies; single-bucket atomicity is
+  /// the whole consistency contract (see file comment).
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
 };
 

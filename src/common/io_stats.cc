@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace boat {
 
@@ -14,6 +15,13 @@ namespace {
 // no lock); snapshots from other threads use relaxed loads. std::atomic only
 // marks the cross-thread reads well-defined — the hot path stays lock- and
 // fence-free.
+//
+// Memory orders, pinned: every access is memory_order_relaxed. Invariant:
+// each counter is an independent monotonic tally with a single writer (the
+// owning thread); readers need no ordering with any other memory — exactness
+// is provided by joins (the growth-phase pool joins its workers before
+// anyone snapshots, and a join is a full happens-before edge), never by the
+// atomics themselves.
 struct alignas(64) ThreadSlab {
   std::atomic<uint64_t> tuples_read{0};
   std::atomic<uint64_t> tuples_written{0};
@@ -28,13 +36,13 @@ struct alignas(64) ThreadSlab {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<ThreadSlab*> live;  // guarded by mu
-  IoStats retired;                // totals of exited threads, guarded by mu
-  IoStats baseline;               // set by ResetIoStats, guarded by mu
+  Mutex mu;
+  std::vector<ThreadSlab*> live BOAT_GUARDED_BY(mu);
+  IoStats retired BOAT_GUARDED_BY(mu);   ///< totals of exited threads
+  IoStats baseline BOAT_GUARDED_BY(mu);  ///< set by ResetIoStats
 
-  // Raw aggregate (retired + live slabs); caller holds mu.
-  IoStats RawLocked() const {
+  // Raw aggregate (retired + live slabs).
+  IoStats RawLocked() const BOAT_REQUIRES(mu) {
     IoStats total = retired;
     for (const ThreadSlab* s : live) {
       total.tuples_read += s->tuples_read.load(std::memory_order_relaxed);
@@ -59,12 +67,12 @@ struct SlabHandle {
   ThreadSlab slab;
   SlabHandle() {
     Registry& r = GetRegistry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     r.live.push_back(&slab);
   }
   ~SlabHandle() {
     Registry& r = GetRegistry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     r.retired.tuples_read += slab.tuples_read.load(std::memory_order_relaxed);
     r.retired.tuples_written +=
         slab.tuples_written.load(std::memory_order_relaxed);
@@ -114,13 +122,13 @@ std::string IoStats::ToString() const {
 
 IoStats GetIoStats() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   return r.RawLocked() - r.baseline;
 }
 
 void ResetIoStats() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.baseline = r.RawLocked();
 }
 

@@ -4,6 +4,14 @@
 // threads spawned per phase (no global pool, no work stealing), with results
 // written to index-addressed slots so the outcome is identical for every
 // thread count. Determinism is the contract — see DESIGN.md.
+//
+// This header is deliberately lock-free (audited with the sync.h sweep):
+// the only shared mutable state is ParallelFor's relaxed atomic ticket, and
+// all cross-thread result publication rides the happens-before edges of
+// thread creation and join. There is nothing here for a mutex capability to
+// guard, so Clang's thread-safety analysis has no annotations to check —
+// the checkable contract is "fn writes only to slots addressed by its own
+// indices", enforced by the equivalence tests and TSan CI instead.
 
 #ifndef BOAT_COMMON_PARALLEL_H_
 #define BOAT_COMMON_PARALLEL_H_
@@ -37,6 +45,8 @@ void ParallelFor(int64_t n, int threads, Fn&& fn) {
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Relaxed is correct: the ticket only needs each index claimed exactly
+  // once (RMW atomicity); all result publication happens-before via join.
   std::atomic<int64_t> next{0};
   auto body = [&]() {
     while (true) {

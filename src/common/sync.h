@@ -1,0 +1,213 @@
+// Annotated synchronization primitives: the repo's only lock vocabulary.
+//
+// Every mutex and condition variable in the codebase goes through the
+// wrappers below (the determinism lint's raw-sync rule bans naked
+// std::mutex / std::condition_variable / std::lock_guard / std::unique_lock
+// everywhere outside this header), so every lock-protected invariant can be
+// stated in the type system and verified at compile time by Clang's Thread
+// Safety Analysis (-Wthread-safety; see DESIGN.md §11):
+//
+//   * fields carry BOAT_GUARDED_BY(mu_)  — any access without the lock is a
+//     build error under clang -Werror=thread-safety;
+//   * helpers that assume the lock carry BOAT_REQUIRES(mu_) — calling them
+//     without holding it is a build error;
+//   * lock/unlock mismatches (double lock, unlock-without-lock, returning
+//     with a lock held) are build errors.
+//
+// On compilers without the attributes (GCC builds, which tier-1 CI also
+// runs) every macro expands to nothing and the wrappers are zero-cost
+// forwarding shims over the std primitives, so behavior is identical — the
+// analysis is a static gate, not a runtime mechanism. The negative
+// compilation suite (tests/negative_compile/) proves the gate actually
+// rejects each violation class under clang.
+//
+// Condition-variable convention the analysis understands: wait with the
+// predicate overload and open the predicate with AssertHeld(), e.g.
+//
+//     MutexLock lock(mu_);
+//     cv_.Wait(lock, [&] {
+//       mu_.AssertHeld();  // lambda bodies are analyzed without caller
+//       return done_;      // context; this re-establishes the capability
+//     });
+//
+// CondVar::Wait releases and reacquires the mutex internally, but from the
+// analysis's point of view the MutexLock capability is held continuously —
+// which is exactly the guarantee the caller may rely on at every statement
+// it can observe (before the call, inside the predicate, after the call).
+
+#ifndef BOAT_COMMON_SYNC_H_
+#define BOAT_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+// ---------------------------------------------------------------------------
+// Capability annotation macros (Clang Thread Safety Analysis attributes).
+// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html. Non-Clang
+// compilers get empty expansions.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define BOAT_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define BOAT_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define BOAT_CAPABILITY(x) BOAT_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define BOAT_SCOPED_CAPABILITY \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define BOAT_GUARDED_BY(x) BOAT_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding the
+/// capability (the pointer itself is unguarded).
+#define BOAT_PT_GUARDED_BY(x) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define BOAT_REQUIRES(...) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define BOAT_ACQUIRE(...) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define BOAT_RELEASE(...) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning the given value.
+#define BOAT_TRY_ACQUIRE(...) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while the capability is held (it acquires
+/// the lock itself; calling it with the lock held would deadlock).
+#define BOAT_EXCLUDES(...) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (to the analysis only; no runtime effect here) that the
+/// capability is held from this statement on.
+#define BOAT_ASSERT_CAPABILITY(x) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define BOAT_RETURN_CAPABILITY(x) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Documents lock-ordering edges; the analysis reports cycles.
+#define BOAT_ACQUIRED_BEFORE(...) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define BOAT_ACQUIRED_AFTER(...) \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: the function body is not analyzed. Every use needs a
+/// comment arguing why the analysis cannot express the invariant.
+#define BOAT_NO_THREAD_SAFETY_ANALYSIS \
+  BOAT_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace boat {
+
+class CondVar;
+
+/// \brief Annotated exclusive mutex. Prefer the scoped MutexLock; Lock()/
+/// Unlock() exist for the rare non-scoped shapes and are fully checked.
+class BOAT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() BOAT_ACQUIRE() { mu_.lock(); }
+  void Unlock() BOAT_RELEASE() { mu_.unlock(); }
+  bool TryLock() BOAT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// \brief Tells the analysis the mutex is held from here on, with no
+  /// runtime effect. The one intended use is the first statement of a
+  /// CondVar predicate lambda (lambdas are analyzed without the caller's
+  /// capability context); anywhere else, prefer restructuring so the
+  /// analysis can see the lock.
+  void AssertHeld() const BOAT_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;  // the repo's one raw std::mutex (see raw-sync lint rule)
+};
+
+/// \brief RAII lock over a Mutex; the analysis tracks its scope as the
+/// capability's extent. Not movable: a MutexLock pins one critical section.
+class BOAT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BOAT_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() BOAT_RELEASE() {}  // lock_'s destructor performs the unlock
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// \brief Condition variable bound to Mutex/MutexLock. Wait() releases the
+/// lock while blocked and reacquires it before returning, so callers hold
+/// the capability at every point they can observe — which is why the
+/// methods carry no release/acquire annotations of their own.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// \brief Blocks until notified (or a spurious wakeup); callers must
+  /// re-check their predicate — or use the predicate overload below.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// \brief Blocks until `pred()` is true, re-checking after every wakeup
+  /// (spurious or notified). `pred` runs with the lock held; it must open
+  /// with `mu.AssertHeld()` if it reads guarded fields (see file comment).
+  template <typename Pred>
+  void Wait(MutexLock& lock, Pred pred) {
+    while (!pred()) Wait(lock);
+  }
+
+  /// \brief Single timed wait; returns false on timeout. Spurious wakeups
+  /// return true, so callers must re-check their predicate — or use the
+  /// predicate overload below.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(MutexLock& lock,
+                 const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::no_timeout;
+  }
+
+  /// \brief Blocks until `pred()` is true or `deadline` passes; returns the
+  /// final `pred()` value (false means timed out with the predicate still
+  /// false). Same AssertHeld convention as Wait.
+  template <typename Clock, typename Duration, typename Pred>
+  bool WaitUntil(MutexLock& lock,
+                 const std::chrono::time_point<Clock, Duration>& deadline,
+                 Pred pred) {
+    return cv_.wait_until(lock.lock_, deadline, std::move(pred));
+  }
+
+  /// \brief Wakes one waiter. Legal with or without the mutex held;
+  /// waiters' predicate re-check makes both orders equivalent (pinned by
+  /// SyncTest.NotifyUnderLockAndAfterUnlockAreEquivalent).
+  void NotifyOne() { cv_.notify_one(); }
+
+  /// \brief Wakes all waiters; same locking latitude as NotifyOne.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // raw primitive confined to this header
+};
+
+}  // namespace boat
+
+#endif  // BOAT_COMMON_SYNC_H_

@@ -28,7 +28,7 @@ ServableModel::ServableModel(const DecisionTree& tree, std::string dir)
       tree_nodes(tree.num_nodes()) {}
 
 void ModelRegistry::Install(std::shared_ptr<const ServableModel> model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (active_ != nullptr) reloads_.fetch_add(1, std::memory_order_relaxed);
   active_ = std::move(model);
 }

@@ -9,6 +9,10 @@
 // old model is freed when its last in-flight batch drops the reference
 // (RCU-style reclamation via shared_ptr refcounts). No request is ever
 // dropped or scored against a half-loaded model.
+//
+// Concurrency invariants are compile-time-checked (common/sync.h): the
+// active slot is guarded by mu_, and the only lock-free member is the
+// reload counter. See DESIGN.md §11 for the full capability map.
 
 #ifndef BOAT_SERVE_MODEL_REGISTRY_H_
 #define BOAT_SERVE_MODEL_REGISTRY_H_
@@ -16,10 +20,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "storage/schema.h"
 #include "tree/compiled_tree.h"
 #include "tree/decision_tree.h"
@@ -48,18 +52,20 @@ class ModelRegistry {
 
   /// \brief The active model (never null after the first Install/Load).
   /// Callers keep the shared_ptr for the duration of one batch.
-  std::shared_ptr<const ServableModel> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const ServableModel> Snapshot() const BOAT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return active_;
   }
 
   /// \brief Publishes `model` as the active model (atomic swap).
-  void Install(std::shared_ptr<const ServableModel> model);
+  void Install(std::shared_ptr<const ServableModel> model)
+      BOAT_EXCLUDES(mu_);
 
   /// \brief Loads a SaveClassifier directory (with the named split
   /// selector: gini|entropy|quest) and publishes it. On any error the
   /// previously active model stays in place.
-  Status LoadAndSwap(const std::string& dir, const std::string& selector);
+  Status LoadAndSwap(const std::string& dir, const std::string& selector)
+      BOAT_EXCLUDES(mu_);
 
   /// \brief Number of successful Install/LoadAndSwap calls after the first.
   int64_t reload_count() const {
@@ -68,14 +74,18 @@ class ModelRegistry {
 
   /// \brief Directory of the most recent successful LoadAndSwap ("" if the
   /// active model was installed in-process). Used by boatd's SIGHUP.
-  std::string last_dir() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::string last_dir() const BOAT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return active_ != nullptr ? active_->source_dir : "";
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const ServableModel> active_;
+  mutable Mutex mu_;
+  /// The RCU publish point: swapped only under mu_; readers copy the
+  /// shared_ptr under mu_ and then use the (immutable) model lock-free.
+  std::shared_ptr<const ServableModel> active_ BOAT_GUARDED_BY(mu_);
+  /// Relaxed is correct: a monotonic counter read only for STATS display;
+  /// no reader orders other memory against it.
   std::atomic<int64_t> reloads_{0};
 };
 

@@ -55,6 +55,7 @@ BoatServer::BoatServer(ModelRegistry* registry, ServerOptions options,
 BoatServer::~BoatServer() { Shutdown(); }
 
 Status BoatServer::Start() {
+  MutexLock lock(lifecycle_mu_);  // serializes against Shutdown
   if (registry_->Snapshot() == nullptr) {
     return Status::InvalidArgument("BoatServer: registry has no active model");
   }
@@ -100,14 +101,19 @@ Status BoatServer::Start() {
 }
 
 void BoatServer::Shutdown() {
-  if (!started_.load(std::memory_order_acquire)) return;
-  bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) {
-    // A concurrent/second Shutdown: wait for the first to finish by joining
-    // on the accept thread having been reaped.
-    if (accept_thread_.joinable()) return;  // first caller still running
-    return;
-  }
+  // lifecycle_mu_ serializes concurrent Shutdown callers (including the
+  // destructor racing an explicit call): the first caller drains while any
+  // later caller blocks here until the drain is complete, then returns via
+  // the shutdown_done_ check. The seed version let the second caller return
+  // mid-drain, so a destructor racing a Shutdown could free server state
+  // while the first caller was still joining threads (and two callers could
+  // join the same std::thread, which is UB). Regression:
+  // ServeE2eTest.ConcurrentShutdownCallsAreSerialized.
+  MutexLock lock(lifecycle_mu_);
+  if (!started_.load(std::memory_order_acquire) || shutdown_done_) return;
+  shutdown_done_ = true;
+  stopping_.store(true, std::memory_order_release);
+
   // Stop accepting. The accept loop polls with a timeout, so it notices
   // stopping_ even if this shutdown() call has no effect on the fd.
   ::shutdown(listen_fd_, SHUT_RDWR);
@@ -118,7 +124,7 @@ void BoatServer::Shutdown() {
   // Half-close every live connection's read side: handlers finish replying
   // to everything already received, then exit. No admitted request drops.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock conns_lock(conns_mu_);
     for (const auto& conn : conns_) {
       if (!conn->done.load(std::memory_order_acquire)) {
         ::shutdown(conn->fd, SHUT_RD);
@@ -126,7 +132,7 @@ void BoatServer::Shutdown() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock conns_lock(conns_mu_);
     for (const auto& conn : conns_) {
       if (conn->thread.joinable()) conn->thread.join();
       ::close(conn->fd);
@@ -137,20 +143,20 @@ void BoatServer::Shutdown() {
   // All requests are now in the queue (or replied); drain the workers.
   queue_.Close();
   {
-    std::lock_guard<std::mutex> lock(pause_mu_);
+    MutexLock pause_lock(pause_mu_);
     scoring_paused_ = false;
   }
-  pause_cv_.notify_all();
+  pause_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
   workers_.clear();
 }
 
 void BoatServer::SetScoringPausedForTest(bool paused) {
   {
-    std::lock_guard<std::mutex> lock(pause_mu_);
+    MutexLock lock(pause_mu_);
     scoring_paused_ = paused;
   }
-  pause_cv_.notify_all();
+  pause_cv_.NotifyAll();
 }
 
 void BoatServer::ReapFinishedLocked() {
@@ -179,7 +185,7 @@ void BoatServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     ReapFinishedLocked();
     int active = 0;
     for (const auto& conn : conns_) {
@@ -498,9 +504,11 @@ void BoatServer::ScoringWorker() {
     {
       // Test-only gate (see SetScoringPausedForTest): holding the popped
       // request here lets backpressure tests fill the queue exactly.
-      std::unique_lock<std::mutex> lock(pause_mu_);
-      pause_cv_.wait(lock,
-                     [&] { return !scoring_paused_ || queue_.closed(); });
+      MutexLock lock(pause_mu_);
+      pause_cv_.Wait(lock, [&] {
+        pause_mu_.AssertHeld();
+        return !scoring_paused_ || queue_.closed();
+      });
     }
     batch.clear();
     batch.push_back(std::move(*first));

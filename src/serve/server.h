@@ -22,17 +22,21 @@
 // Shutdown() (SIGTERM in boatd) is a graceful drain: stop accepting,
 // half-close every connection's read side (handlers finish replying to
 // everything already received), close the queue, join the workers. No
-// admitted request is dropped.
+// admitted request is dropped. Concurrent Shutdown calls (including the
+// destructor racing an explicit call) serialize on lifecycle_mu_: every
+// caller blocks until the drain is complete.
+//
+// Concurrency invariants are compile-time-checked via the annotated
+// primitives in common/sync.h; the full capability map (each mutex -> the
+// fields it guards -> the functions that acquire it) is in DESIGN.md §11.
 
 #ifndef BOAT_SERVE_SERVER_H_
 #define BOAT_SERVE_SERVER_H_
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +44,7 @@
 #include "common/bounded_queue.h"
 #include "common/histogram.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "serve/model_registry.h"
 #include "serve/trainer.h"
 #include "storage/tuple.h"
@@ -78,27 +83,30 @@ namespace internal {
 /// handler waits until every scored label has been written to its slot.
 class WaitGroup {
  public:
-  void Add(size_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Add(size_t n) BOAT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     pending_ += n;
   }
   /// \brief Marks `n` requests complete. Notifies under the lock so a
   /// waiter can never return (and destroy this WaitGroup) while the
   /// notification is still in flight.
-  void Done(size_t n = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Done(size_t n = 1) BOAT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     pending_ -= n;
-    if (pending_ == 0) cv_.notify_all();
+    if (pending_ == 0) cv_.NotifyAll();
   }
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return pending_ == 0; });
+  void Wait() BOAT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    cv_.Wait(lock, [&] {
+      mu_.AssertHeld();
+      return pending_ == 0;
+    });
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  size_t pending_ BOAT_GUARDED_BY(mu_) = 0;
 };
 
 /// \brief One admitted record: the parsed tuple, the label slot the scoring
@@ -126,13 +134,17 @@ class BoatServer {
   BoatServer& operator=(const BoatServer&) = delete;
 
   /// \brief Binds, listens, and spawns the accept and scoring threads.
-  Status Start();
+  Status Start() BOAT_EXCLUDES(lifecycle_mu_);
 
-  /// \brief The bound port (useful with options.port == 0).
+  /// \brief The bound port (useful with options.port == 0). Written exactly
+  /// once inside Start() before it returns; callers may only read it after
+  /// Start() succeeded, which orders the read on every caller thread.
   int port() const { return port_; }
 
-  /// \brief Graceful drain; idempotent, also run by the destructor.
-  void Shutdown();
+  /// \brief Graceful drain; idempotent and safe to call concurrently (every
+  /// caller returns only once the drain is complete). Also run by the
+  /// destructor.
+  void Shutdown() BOAT_EXCLUDES(lifecycle_mu_);
 
   /// \brief The STATS admin reply: one JSON object with request/batch
   /// counters, the batch-size histogram, latency quantiles, queue depth,
@@ -142,48 +154,65 @@ class BoatServer {
   /// \brief Test hook: while paused, scoring workers do not pop the
   /// admission queue, so the queue fills deterministically (backpressure
   /// tests). Never used by boatd.
-  void SetScoringPausedForTest(bool paused);
+  void SetScoringPausedForTest(bool paused) BOAT_EXCLUDES(pause_mu_);
 
  private:
   struct Conn {
     int fd = -1;
     std::thread thread;
+    /// release-store by the handler as its last action; acquire-load by the
+    /// reaper/Shutdown so joining implies the handler's writes are visible.
     std::atomic<bool> done{false};
   };
 
   void AcceptLoop();
   void HandleConnection(Conn* conn);
   void ScoringWorker();
-  /// Joins and closes finished connections; callers hold conns_mu_.
-  void ReapFinishedLocked();
+  /// Joins and closes finished connections.
+  void ReapFinishedLocked() BOAT_REQUIRES(conns_mu_);
 
   ModelRegistry* const registry_;
   const ServerOptions options_;
   Trainer* const trainer_;
 
+  /// Written once by Start() before any server thread exists and reset only
+  /// after every thread is joined (Shutdown); the accept loop's unguarded
+  /// reads are ordered by thread creation/join, not by a capability.
   int listen_fd_ = -1;
-  int port_ = 0;
+  int port_ = 0;  ///< see port(): write-once inside Start()
+
+  /// Serializes Start/Shutdown and guards the thread handles; never taken
+  /// by the server's own threads, so joining under it cannot deadlock.
+  Mutex lifecycle_mu_;
+  bool shutdown_done_ BOAT_GUARDED_BY(lifecycle_mu_) = false;
+  std::thread accept_thread_ BOAT_GUARDED_BY(lifecycle_mu_);
+  std::vector<std::thread> workers_ BOAT_GUARDED_BY(lifecycle_mu_);
+
+  /// started_: release-store as Start()'s final action; acquire-load in
+  /// Shutdown/StatsJson pairs with it so they observe a fully-built server.
   std::atomic<bool> started_{false};
+  /// stopping_: release-store by the first Shutdown; acquire-load in the
+  /// accept loop ends it and orders the fd teardown that follows.
   std::atomic<bool> stopping_{false};
 
   BoundedQueue<internal::Request> queue_;
-  std::thread accept_thread_;
-  std::vector<std::thread> workers_;
 
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  Mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_ BOAT_GUARDED_BY(conns_mu_);
 
-  std::mutex pause_mu_;
-  std::condition_variable pause_cv_;
-  bool scoring_paused_ = false;
+  Mutex pause_mu_;
+  CondVar pause_cv_;
+  bool scoring_paused_ BOAT_GUARDED_BY(pause_mu_) = false;
 
-  // Counters for STATS; relaxed atomics, monotonically increasing.
+  // Counters for STATS; relaxed atomics. Invariant for all four: monotonic
+  // tallies with no reader ordering other memory against them, so relaxed
+  // is the correct (and strongest useful) order.
   std::atomic<uint64_t> requests_{0};  ///< data-record lines admitted or not
   std::atomic<uint64_t> errors_{0};    ///< per-line ERR replies
   std::atomic<uint64_t> busy_{0};      ///< per-line BUSY replies
   std::atomic<uint64_t> batches_{0};
-  Log2Histogram batch_size_hist_;
-  Log2Histogram latency_us_hist_;
+  Log2Histogram batch_size_hist_;  ///< lock-free (see histogram.h)
+  Log2Histogram latency_us_hist_;  ///< lock-free (see histogram.h)
 };
 
 }  // namespace boat::serve

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "common/sync.h"
 
 namespace boat::serve {
 
@@ -35,6 +36,7 @@ Trainer::Trainer(ModelRegistry* registry, TrainerOptions options)
 Trainer::~Trainer() { Shutdown(); }
 
 Status Trainer::Start() {
+  MutexLock lock(lifecycle_mu_);
   if (started_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("Trainer: already started");
   }
@@ -52,12 +54,17 @@ Status Trainer::Start() {
 }
 
 void Trainer::Shutdown() {
-  if (!started_.exchange(false, std::memory_order_acq_rel)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
+  // Every caller — explicit Shutdown, a concurrent one, the destructor —
+  // serializes here and returns only once the apply thread is joined. The
+  // seed version gated on started_.exchange() and joined outside any lock,
+  // so two concurrent callers could both reach thread_.join() (UB) or one
+  // could return while the other was still draining; regression:
+  // TrainerTest.ConcurrentShutdownCallsAreSerialized.
+  MutexLock lock(lifecycle_mu_);
+  started_.store(false, std::memory_order_release);
   // Close() fails new pushes; the apply thread still drains every chunk
   // already queued, so an accepted Submit is never silently dropped.
+  // Idempotent, so repeated Shutdown calls are harmless.
   queue_.Close();
   if (thread_.joinable()) thread_.join();
 }
@@ -67,7 +74,7 @@ std::optional<uint64_t> Trainer::TrySubmit(ChunkOp op,
   if (!started_.load(std::memory_order_acquire)) return std::nullopt;
   // Sequence allocation and the push happen under one lock so queue order
   // equals seq order, which is what makes Flush's barrier exact.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PendingChunk pending;
   pending.seq = submitted_ + 1;
   pending.op = op;
@@ -83,9 +90,12 @@ Result<Trainer::RetrainResult> Trainer::Flush() {
   }
   RetrainResult result;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const uint64_t target = submitted_;
-    cv_.wait(lock, [&] { return completed_ >= target; });
+    cv_.Wait(lock, [&] {
+      mu_.AssertHeld();
+      return completed_ >= target;
+    });
     result.applied = applied_;
     result.failed = failed_;
   }
@@ -107,7 +117,7 @@ void Trainer::ApplyLoop() {
           session_->tree(), options_.model_dir));
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (status.ok()) {
         ++applied_;
       } else {
@@ -116,12 +126,12 @@ void Trainer::ApplyLoop() {
       }
       completed_ = item->seq;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 std::string Trainer::StatsJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return StrPrintf(
       "{\"queued\":%llu,\"applied\":%llu,\"failed\":%llu,"
       "\"last_error\":\"%s\"}",

@@ -19,15 +19,19 @@
 //
 // Threading: Submit/Flush/StatsJson are safe from any handler thread;
 // schema() returns a copy captured at Start() and is immutable afterwards.
+// Shutdown is safe to call concurrently (callers serialize on
+// lifecycle_mu_ and return only once the apply thread is joined). The
+// seq/flush protocol lives entirely under mu_, and the registry-install-
+// before-completed ordering in ApplyLoop is what makes a returned Flush
+// imply the swap is published — both invariants are stated as capability
+// annotations (common/sync.h) and mapped in DESIGN.md §11.
 
 #ifndef BOAT_SERVE_TRAINER_H_
 #define BOAT_SERVE_TRAINER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -35,6 +39,7 @@
 
 #include "boat/session.h"
 #include "common/bounded_queue.h"
+#include "common/sync.h"
 #include "serve/model_registry.h"
 
 namespace boat::serve {
@@ -65,11 +70,13 @@ class Trainer {
 
   /// \brief Opens the session, installs the initial ServableModel into the
   /// registry, and spawns the apply thread.
-  Status Start();
+  Status Start() BOAT_EXCLUDES(lifecycle_mu_);
 
   /// \brief Drains the queue (every queued chunk is still applied), then
-  /// joins the apply thread. Idempotent; also run by the destructor.
-  void Shutdown();
+  /// joins the apply thread. Idempotent and safe to call concurrently;
+  /// every caller returns only once the apply thread is joined. Also run
+  /// by the destructor.
+  void Shutdown() BOAT_EXCLUDES(lifecycle_mu_);
 
   /// \brief The training schema, captured at Start(). Stable storage —
   /// handler threads parse chunk payloads against it while the apply
@@ -78,7 +85,8 @@ class Trainer {
 
   /// \brief Queues one chunk; returns its sequence number, or nullopt when
   /// the trainer is saturated or not running (callers reply BUSY).
-  std::optional<uint64_t> TrySubmit(ChunkOp op, std::vector<Tuple> chunk);
+  std::optional<uint64_t> TrySubmit(ChunkOp op, std::vector<Tuple> chunk)
+      BOAT_EXCLUDES(mu_);
 
   struct RetrainResult {
     uint64_t applied = 0;      ///< chunks applied since Start
@@ -88,10 +96,10 @@ class Trainer {
 
   /// \brief RETRAIN barrier: blocks until every chunk submitted before this
   /// call has been applied or rejected (and any resulting swap published).
-  Result<RetrainResult> Flush();
+  Result<RetrainResult> Flush() BOAT_EXCLUDES(mu_);
 
   /// \brief One JSON object for the STATS reply's "trainer" section.
-  std::string StatsJson() const;
+  std::string StatsJson() const BOAT_EXCLUDES(mu_);
 
  private:
   struct PendingChunk {
@@ -105,20 +113,32 @@ class Trainer {
   ModelRegistry* const registry_;
   const TrainerOptions options_;
 
-  std::unique_ptr<Session> session_;  ///< apply-thread-owned after Start
-  Schema schema_;
+  /// Apply-thread-owned after Start: written by Start() before the thread
+  /// is spawned (thread creation is the happens-before edge), then touched
+  /// only from ApplyLoop until the join in Shutdown. No capability guards
+  /// it because no two threads may ever hold it concurrently by design.
+  std::unique_ptr<Session> session_;
+  Schema schema_;  ///< immutable after Start (see schema())
 
   BoundedQueue<PendingChunk> queue_;
-  std::thread thread_;
+
+  /// Serializes Start/Shutdown and guards the thread handle; never taken
+  /// by the apply thread, so joining under it cannot deadlock.
+  Mutex lifecycle_mu_;
+  std::thread thread_ BOAT_GUARDED_BY(lifecycle_mu_);
+
+  /// release-store in Start (last action) / Shutdown (first action);
+  /// acquire-loads in TrySubmit/Flush/StatsJson pair with Start's store so
+  /// a caller that sees true also sees the opened session and schema.
   std::atomic<bool> started_{false};
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t submitted_ = 0;  ///< seq of the newest accepted chunk
-  uint64_t completed_ = 0;  ///< seq of the newest applied/rejected chunk
-  uint64_t applied_ = 0;
-  uint64_t failed_ = 0;
-  std::string last_error_;
+  mutable Mutex mu_;
+  CondVar cv_;  ///< signals completed_ advancing (Flush barrier)
+  uint64_t submitted_ BOAT_GUARDED_BY(mu_) = 0;  ///< newest accepted seq
+  uint64_t completed_ BOAT_GUARDED_BY(mu_) = 0;  ///< newest finished seq
+  uint64_t applied_ BOAT_GUARDED_BY(mu_) = 0;
+  uint64_t failed_ BOAT_GUARDED_BY(mu_) = 0;
+  std::string last_error_ BOAT_GUARDED_BY(mu_);
 };
 
 }  // namespace boat::serve

@@ -1,0 +1,33 @@
+// Violation class 4: calling a BOAT_EXCLUDES(mu) function while holding mu —
+// the self-deadlock shape (the callee will try to acquire mu again). Every
+// public entry point of the serve layer carries this annotation.
+// Expected diagnostic: "cannot call function ... while mutex ... is held".
+
+#include "common/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push() BOAT_EXCLUDES(mu_) {
+    boat::MutexLock lock(mu_);
+    ++size_;
+  }
+
+  void PushTwice() {
+    boat::MutexLock lock(mu_);
+    Push();  // BAD: Push() excludes mu_, but we hold it -> deadlock
+  }
+
+ private:
+  boat::Mutex mu_;
+  long size_ BOAT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.PushTwice();
+  return 0;
+}

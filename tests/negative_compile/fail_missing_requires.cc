@@ -1,0 +1,29 @@
+// Violation class 2: calling a BOAT_REQUIRES(mu) helper without holding mu.
+// This is the contract every *Locked() helper in the repo relies on
+// (e.g. BoatServer::ReapFinishedLocked, io_stats Registry::RawLocked).
+// Expected diagnostic: "calling function ... requires holding mutex".
+
+#include "common/sync.h"
+
+namespace {
+
+class Ledger {
+ public:
+  void AddLocked(long n) BOAT_REQUIRES(mu_) { total_ += n; }
+
+  void Add(long n) {
+    AddLocked(n);  // BAD: caller does not hold mu_
+  }
+
+ private:
+  boat::Mutex mu_;
+  long total_ BOAT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger l;
+  l.Add(1);
+  return 0;
+}

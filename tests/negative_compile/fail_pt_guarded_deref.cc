@@ -1,0 +1,30 @@
+// Violation class 5: writing through a BOAT_PT_GUARDED_BY pointer without
+// the lock. The pointer itself may be read freely; the pointee is what the
+// capability protects (the ModelRegistry active-snapshot shape).
+// Expected diagnostic: "writing the value pointed to by ... requires holding".
+
+#include "common/sync.h"
+
+namespace {
+
+class Holder {
+ public:
+  explicit Holder(long* p) : data_(p) {}
+
+  void WritePointee(long v) {
+    *data_ = v;  // BAD: pointee guarded by mu_, which is not held
+  }
+
+ private:
+  boat::Mutex mu_;
+  long* data_ BOAT_PT_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  long v = 7;
+  Holder h(&v);
+  h.WritePointee(9);
+  return static_cast<int>(v);
+}

@@ -1,0 +1,25 @@
+// Violation class 1: touching a BOAT_GUARDED_BY field without its lock.
+// Expected diagnostic: -Wthread-safety-analysis "requires holding mutex".
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BAD: mu_ not held
+  }
+
+ private:
+  boat::Mutex mu_;
+  long value_ BOAT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Violation class 3: releasing a capability the scope never acquired.
+// Expected diagnostic: "releasing mutex ... that was not held".
+
+#include "common/sync.h"
+
+namespace {
+
+boat::Mutex g_mu;
+
+void BrokenRelease() {
+  g_mu.Unlock();  // BAD: never locked on this path
+}
+
+}  // namespace
+
+int main() {
+  BrokenRelease();
+  return 0;
+}

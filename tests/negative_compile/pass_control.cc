@@ -1,0 +1,75 @@
+// Positive control: the same code shapes as the fail_*.cc cases, written
+// correctly. Must compile cleanly under -Werror=thread-safety, proving the
+// gate rejects the violations and not the idioms themselves. Exercises every
+// sync.h surface the repo uses: MutexLock, GUARDED_BY, PT_GUARDED_BY,
+// REQUIRES helpers, EXCLUDES entry points, manual Lock/Unlock, TryLock,
+// and the CondVar predicate-wait convention (AssertHeld inside the lambda).
+
+#include "common/sync.h"
+
+namespace {
+
+class Correct {
+ public:
+  explicit Correct(long* p) : data_(p) {}
+
+  void Increment() BOAT_EXCLUDES(mu_) {
+    boat::MutexLock lock(mu_);
+    AddLocked(1);
+  }
+
+  long ReadPointee() BOAT_EXCLUDES(mu_) {
+    boat::MutexLock lock(mu_);
+    return *data_;
+  }
+
+  void ManualLockUnlock() BOAT_EXCLUDES(mu_) {
+    mu_.Lock();
+    ++value_;
+    mu_.Unlock();
+  }
+
+  bool TryIncrement() BOAT_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    ++value_;
+    mu_.Unlock();
+    return true;
+  }
+
+  void WaitPositive() BOAT_EXCLUDES(mu_) {
+    boat::MutexLock lock(mu_);
+    cv_.Wait(lock, [&] {
+      mu_.AssertHeld();
+      return value_ > 0;
+    });
+  }
+
+  void Signal() BOAT_EXCLUDES(mu_) {
+    {
+      boat::MutexLock lock(mu_);
+      ++value_;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  void AddLocked(long n) BOAT_REQUIRES(mu_) { value_ += n; }
+
+  boat::Mutex mu_;
+  boat::CondVar cv_;
+  long value_ BOAT_GUARDED_BY(mu_) = 0;
+  long* data_ BOAT_PT_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  long v = 7;
+  Correct c(&v);
+  c.Increment();
+  c.ManualLockUnlock();
+  (void)c.TryIncrement();
+  c.Signal();
+  c.WaitPositive();
+  return static_cast<int>(c.ReadPointee());
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Negative-compilation driver for the Clang thread-safety gate.
+
+Compiles every fail_*.cc in this directory with -fsyntax-only under
+-Werror=thread-safety and asserts each one (a) fails to compile and
+(b) fails *because of the analysis* (stderr mentions "thread-safety").
+Then compiles pass_control.cc and asserts it succeeds — without the
+positive control, a broken sync.h that rejects everything would make the
+whole suite pass vacuously.
+
+Usage:
+    run_negative_compile.py --compiler /usr/bin/clang++ --include-dir src \\
+        [--case fail_unguarded_access.cc]
+
+With --case, only that file runs (used by the per-case ctest entries so a
+failure names the violating class directly). Without it, all cases plus
+the control run.
+
+Requires a Clang compiler: the script probes for -Wthread-safety support
+and exits 77 (the automake SKIP code) if the compiler does not recognize
+it, so a GCC-configured tree reports the tests as skipped, not failed.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+SKIP_EXIT = 77  # conventional "test skipped" exit code
+
+TSA_FLAGS = [
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror=thread-safety",
+]
+
+
+def compile_cmd(compiler: str, include_dir: str, source: pathlib.Path):
+    return [
+        compiler,
+        "-std=c++20",
+        "-fsyntax-only",
+        f"-I{include_dir}",
+        *TSA_FLAGS,
+        str(source),
+    ]
+
+
+def compiler_supports_tsa(compiler: str, tmp: pathlib.Path) -> bool:
+    """True iff the compiler accepts -Wthread-safety (i.e. is Clang)."""
+    probe = tmp / "tsa_probe.cc"
+    probe.write_text("int main() { return 0; }\n")
+    try:
+        proc = subprocess.run(
+            [compiler, "-fsyntax-only", "-Werror", *TSA_FLAGS, str(probe)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    finally:
+        probe.unlink(missing_ok=True)
+    # GCC errors out on the unknown warning flag under -Werror.
+    return proc.returncode == 0
+
+
+def run_case(compiler: str, include_dir: str, source: pathlib.Path) -> bool:
+    expect_fail = source.name.startswith("fail_")
+    proc = subprocess.run(
+        compile_cmd(compiler, include_dir, source),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if expect_fail:
+        if proc.returncode == 0:
+            print(f"FAIL {source.name}: compiled cleanly, expected a "
+                  "thread-safety error")
+            return False
+        if "thread-safety" not in proc.stderr:
+            print(f"FAIL {source.name}: failed to compile, but not from the "
+                  "thread-safety analysis. stderr:")
+            print(proc.stderr)
+            return False
+        print(f"ok   {source.name}: rejected by the analysis as expected")
+        return True
+    if proc.returncode != 0:
+        print(f"FAIL {source.name}: positive control did not compile. stderr:")
+        print(proc.stderr)
+        return False
+    print(f"ok   {source.name}: compiled cleanly")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", required=True,
+                        help="C++ compiler to test (must be Clang)")
+    parser.add_argument("--include-dir", required=True,
+                        help="repo src/ directory (for common/sync.h)")
+    parser.add_argument("--case", dest="case", default=None,
+                        help="run only this source file (name or path)")
+    args = parser.parse_args()
+
+    here = pathlib.Path(__file__).resolve().parent
+    if not compiler_supports_tsa(args.compiler, here):
+        print(f"SKIP: {args.compiler} does not support -Wthread-safety "
+              "(not Clang); the thread-safety gate runs in the clang CI job")
+        return SKIP_EXIT
+
+    if args.case:
+        sources = [here / pathlib.Path(args.case).name]
+        if not sources[0].exists():
+            print(f"FAIL: no such case {args.case}")
+            return 1
+    else:
+        sources = sorted(here.glob("fail_*.cc")) + [here / "pass_control.cc"]
+        if len([s for s in sources if s.name.startswith("fail_")]) < 3:
+            print("FAIL: fewer than 3 violation cases present")
+            return 1
+
+    ok = all(run_case(args.compiler, args.include_dir, s) for s in sources)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

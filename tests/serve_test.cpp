@@ -518,6 +518,46 @@ TEST_F(ServeE2eTest, ShutdownDrainsIdleConnections) {
   EXPECT_TRUE(client.ReadEof());
 }
 
+// Regression for a lifecycle race the thread-safety sweep surfaced: the
+// seed Shutdown() gated on a stopping_ CAS and returned immediately for
+// every caller but the first — so a destructor racing an explicit
+// Shutdown() could tear the server down (or two callers join the same
+// std::thread, which is UB) while the winner was still mid-drain. Callers
+// now serialize on lifecycle_mu_ and each returns only once the drain is
+// complete: after ANY Shutdown() returns, the admitted requests must have
+// been answered and the connection closed. TSan CI runs this binary, so
+// the old unsynchronized join would also be flagged dynamically.
+TEST_F(ServeE2eTest, ConcurrentShutdownCallsAreSerialized) {
+  StartServer(ServerOptions{});
+  const auto tuples = Corpus(6, 20, 29);
+  const auto lines = serve::FormatRecordLines(model_->schema, tuples);
+
+  TestClient client(server_->port());
+  std::string all;
+  for (const auto& line : lines) all += line + "\n";
+  client.Send(all);
+
+  constexpr int kCallers = 4;
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&] { server_->Shutdown(); });
+  }
+  callers[0].join();
+  // Any returned caller implies the drain finished. The shutdown races the
+  // client's pipelined bytes, so the server owes replies only to the prefix
+  // it had received when the read sides were half-closed — but that prefix
+  // must be answered in order, correctly, and then closed cleanly.
+  size_t replied = 0;
+  for (std::string line; !(line = client.ReadLine()).empty(); ++replied) {
+    ASSERT_LT(replied, tuples.size());
+    EXPECT_EQ(line, ExpectedLabel(tuples[replied])) << "record " << replied;
+  }
+  EXPECT_TRUE(client.ReadEof());
+  for (int i = 1; i < kCallers; ++i) callers[i].join();
+  server_.reset();  // destructor's Shutdown must also be a clean no-op
+}
+
 TEST_F(ServeE2eTest, LoadGenAgainstServerChecksEveryLabel) {
   StartServer(ServerOptions{});
   const auto tuples = Corpus(6, 400, 7);

@@ -258,6 +258,36 @@ TEST_F(TrainerTest, FailedChunkKeepsTheLiveModelAndCountsAsFailed) {
   trainer.Shutdown();
 }
 
+// Regression for a lifecycle race the thread-safety sweep surfaced: the
+// seed Shutdown() gated on started_.exchange() and joined the apply thread
+// outside any lock, so two concurrent callers (e.g. an explicit Shutdown
+// racing the destructor) could both reach thread_.join() — UB — or one
+// could return while the queue was still draining. Callers now serialize
+// on lifecycle_mu_: when ANY Shutdown() returns, every accepted chunk has
+// been applied. TSan CI runs this binary, so the old unsynchronized join
+// would also be flagged dynamically.
+TEST_F(TrainerTest, ConcurrentShutdownCallsAreSerialized) {
+  ModelRegistry registry;
+  auto trainer = std::make_unique<Trainer>(&registry, Options());
+  ASSERT_TRUE(trainer->Start().ok());
+  const uint64_t before = registry.Snapshot()->fingerprint;
+  ASSERT_TRUE(
+      trainer->TrySubmit(ChunkOp::kInsert, Corpus(1, 400, 83)).has_value());
+
+  constexpr int kCallers = 4;
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&] { trainer->Shutdown(); });
+  }
+  callers[0].join();
+  // Any returned caller implies the drain finished: the accepted chunk was
+  // applied and its hot-swap published.
+  EXPECT_NE(registry.Snapshot()->fingerprint, before);
+  for (int i = 1; i < kCallers; ++i) callers[i].join();
+  trainer.reset();  // destructor's Shutdown must also be a clean no-op
+}
+
 // ------------------------------------------------------------ end-to-end
 
 /// Minimal blocking line client with a receive timeout so a server bug

@@ -27,6 +27,12 @@ directories LINTED_DIRS (src/tree/, src/split/, src/boat/, src/serve/):
     the serving runtime): parallel growth must go through the deterministic
     ParallelFor/ParallelForStatic shapes in common/parallel.h; any raw
     thread needs an allow() arguing its merge order cannot reach the tree
+  * raw synchronization primitives (std::mutex / std::condition_variable /
+    std::lock_guard / std::unique_lock / ...) anywhere under src/ or
+    tools/ except src/common/sync.h — the annotated boat::Mutex /
+    MutexLock / CondVar wrappers are the only legal primitives, because
+    they carry the Clang thread-safety capability attributes the CI gate
+    checks; a naked std::mutex is invisible to the analysis
 
 A site that is provably safe can be allowlisted inline with a justification:
 
@@ -130,6 +136,27 @@ GROWTH_LINE_RULES = [
     ),
 ]
 
+# Applied to every C++ file under SYNC_LINTED_ROOTS except SYNC_EXEMPT.
+# The annotated wrappers in common/sync.h are the only sync primitives the
+# Clang thread-safety gate can see; a naked std::mutex silently opts its
+# critical sections out of the compile-time checking.
+SYNC_LINTED_ROOTS = ("src", "tools")
+SYNC_EXEMPT = ("src/common/sync.h",)
+
+RAW_SYNC_RULES = [
+    (
+        "raw-sync",
+        re.compile(r"\bstd::(?:mutex|timed_mutex|recursive_mutex"
+                   r"|recursive_timed_mutex|shared_mutex|shared_timed_mutex"
+                   r"|condition_variable(?:_any)?|lock_guard|unique_lock"
+                   r"|scoped_lock|shared_lock)\b"),
+        "raw std sync primitive; use boat::Mutex/MutexLock/CondVar "
+        "(common/sync.h) so the Clang thread-safety gate can check the "
+        "locking contract, or allow() with the reason the annotated "
+        "wrappers cannot express this site",
+    ),
+]
+
 
 def strip_comments_and_strings(line, in_block_comment):
     """Returns (code-only text, new in_block_comment).
@@ -190,7 +217,7 @@ RNG_CONSTRUCT_RE = re.compile(
 )
 
 
-def lint_file(path, rel, extra_rules=()):
+def lint_file(path, rel, rules, structural=True):
     findings = []
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
@@ -225,9 +252,14 @@ def lint_file(path, rel, extra_rules=()):
 
     for idx, code in enumerate(code_lines):
         lineno = idx + 1
-        for name, rule_re, msg in list(LINE_RULES) + list(extra_rules):
+        for name, rule_re, msg in rules:
             if rule_re.search(code) and not allowed(idx):
                 findings.append((rel, lineno, name, msg))
+
+        # The structural checks (unordered-container iteration, Rng seed
+        # provenance) only make sense inside the determinism-linted dirs.
+        if not structural:
+            continue
 
         # Iteration over unordered containers: range-for or explicit
         # begin()/end() on a name declared unordered in this file.
@@ -284,8 +316,29 @@ def main(argv):
                     continue
                 path = os.path.join(dirpath, fn)
                 rel = os.path.relpath(path, root)
-                extra = GROWTH_LINE_RULES if d in GROWTH_DIRS else ()
-                findings.extend(lint_file(path, rel, extra))
+                rules = list(LINE_RULES) + list(RAW_SYNC_RULES)
+                if d in GROWTH_DIRS:
+                    rules += list(GROWTH_LINE_RULES)
+                findings.extend(lint_file(path, rel, rules))
+                checked += 1
+
+    # Raw-sync sweep over everything else under src/ and tools/ (the
+    # LINTED_DIRS files were already checked above with the full rule set).
+    linted_prefixes = tuple(d + os.sep for d in LINTED_DIRS)
+    for top in SYNC_LINTED_ROOTS:
+        full = os.path.join(root, top)
+        if not os.path.isdir(full):
+            continue
+        for dirpath, _, files in os.walk(full):
+            for fn in sorted(files):
+                if not fn.endswith((".h", ".cc", ".cpp")):
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, root)
+                if rel in SYNC_EXEMPT or rel.startswith(linted_prefixes):
+                    continue
+                findings.extend(
+                    lint_file(path, rel, RAW_SYNC_RULES, structural=False))
                 checked += 1
 
     for rel, lineno, rule, msg in sorted(findings):
