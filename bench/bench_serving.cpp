@@ -14,6 +14,13 @@
 // Latency columns are client-observed (send to reply) under full pipelining,
 // so they measure throughput-saturated queueing latency, not idle one-shot
 // round trips.
+//
+// A second sweep serves a four-model fleet (three single trees plus one
+// 5-member bagged bootstrap ensemble) from one server with wire v3 routed
+// mixed traffic, every reply checked against its own model's offline labels.
+// It writes BENCH_serving_fleet.json (BOAT_BENCH_SERVING_FLEET_JSON); the CI
+// serving-smoke job asserts fleet throughput at 1 thread stays within 15% of
+// the single-model serve_t1_b2048 row, i.e. fleet routing is near-free.
 
 #include <cstdint>
 #include <cstdio>
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "serve/fleet.h"
 #include "serve/loadgen.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
@@ -123,5 +131,110 @@ int main() {
     }
   }
   writer.Flush();
+
+  // ------------------------------------------------------- fleet sweep
+  // Three single-tree models plus one bagged ensemble behind one server,
+  // driven with routed mixed traffic (round-robin across the four ids).
+  auto selector2 = MakeGiniSelector();
+  std::vector<std::shared_ptr<const serve::ServableModel>> fleet_models;
+  for (const uint64_t seed : {7101, 7102, 7103}) {
+    config.seed = seed;
+    DecisionTree member =
+        BuildTreeInMemory(schema, GenerateAgrawal(config, 4000), *selector2);
+    fleet_models.push_back(
+        std::make_shared<const serve::ServableModel>(member, ""));
+  }
+  std::vector<DecisionTree> bag;
+  for (const uint64_t seed : {7201, 7202, 7203, 7204, 7205}) {
+    config.seed = seed;
+    bag.push_back(
+        BuildTreeInMemory(schema, GenerateAgrawal(config, 1500), *selector2));
+  }
+  fleet_models.push_back(
+      std::make_shared<const serve::ServableModel>(bag, ""));
+
+  const std::vector<std::string> fleet_ids = {"m0", "m1", "m2", "bag"};
+  std::vector<std::vector<int32_t>> fleet_expected(fleet_models.size());
+  for (size_t m = 0; m < fleet_models.size(); ++m) {
+    fleet_expected[m].reserve(corpus.size());
+    for (const Tuple& t : corpus) {
+      fleet_expected[m].push_back(fleet_models[m]->compiled.Classify(t));
+    }
+  }
+
+  const char* fleet_env = std::getenv("BOAT_BENCH_SERVING_FLEET_JSON");
+  BenchJsonWriter fleet_writer(fleet_env != nullptr && fleet_env[0] != '\0'
+                                   ? fleet_env
+                                   : "BENCH_serving_fleet.json");
+
+  std::printf("\nFleet serving throughput (3 trees + 1 ensemble of %zu "
+              "members, routed mixed traffic)\n\n",
+              bag.size());
+  std::printf("%8s %10s | %12s %10s %10s\n", "threads", "max_batch",
+              "throughput", "p50(us)", "p99(us)");
+  std::printf("--------------------+-----------------------------------\n");
+
+  for (const int threads : {1, 4}) {
+    const int max_batch = 2048;
+    std::vector<serve::ModelRegistry> registries(fleet_models.size());
+    serve::FleetRegistry fleet;
+    for (size_t m = 0; m < fleet_models.size(); ++m) {
+      registries[m].Install(fleet_models[m]);
+      CheckOk(fleet.AddExternal(fleet_ids[m], &registries[m]));
+    }
+    serve::ServerOptions options;
+    options.scoring_threads = threads;
+    options.max_batch = max_batch;
+    options.queue_capacity = 1 << 16;
+    serve::BoatServer server(&fleet, options);
+    CheckOk(server.Start());
+
+    std::vector<serve::RoutedModelCorpus> routed(fleet_models.size());
+    for (size_t m = 0; m < fleet_models.size(); ++m) {
+      routed[m].model_id = fleet_ids[m];
+      routed[m].record_lines = lines;
+      routed[m].expected_labels = &fleet_expected[m];
+    }
+    serve::LoadGenOptions load;
+    load.port = server.port();
+    load.connections = 4;
+    load.repeat = 2;
+    auto report = serve::RunRoutedLoadGen(load, routed);
+    CheckOk(report.status());
+    server.Shutdown();
+    if (report->ok != report->sent || report->mismatches != 0 ||
+        report->errors != 0 || report->busy != 0) {
+      std::fprintf(stderr,
+                   "fleet label check failed: sent %llu ok %llu mismatch "
+                   "%llu busy %llu err %llu\n",
+                   static_cast<unsigned long long>(report->sent),
+                   static_cast<unsigned long long>(report->ok),
+                   static_cast<unsigned long long>(report->mismatches),
+                   static_cast<unsigned long long>(report->busy),
+                   static_cast<unsigned long long>(report->errors));
+      return 1;
+    }
+
+    std::printf("%8d %10d | %10.0f/s %10llu %10llu\n", threads, max_batch,
+                report->throughput_rps,
+                static_cast<unsigned long long>(report->latency_p50_us),
+                static_cast<unsigned long long>(report->latency_p99_us));
+    char name[64];
+    std::snprintf(name, sizeof(name), "serve_fleet_t%d_b%d", threads,
+                  max_batch);
+    fleet_writer.Add(name,
+                     {
+                         {"threads", static_cast<double>(threads)},
+                         {"max_batch", static_cast<double>(max_batch)},
+                         {"models", static_cast<double>(fleet_models.size())},
+                         {"requests", static_cast<double>(report->sent)},
+                         {"throughput_rps", report->throughput_rps},
+                         {"p50_us",
+                          static_cast<double>(report->latency_p50_us)},
+                         {"p99_us",
+                          static_cast<double>(report->latency_p99_us)},
+                     });
+  }
+  fleet_writer.Flush();
   return 0;
 }

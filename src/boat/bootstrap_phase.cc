@@ -223,6 +223,7 @@ Result<SamplingPhaseResult> BuildCoarseFromSample(
         CombineBootstrapTrees(trees, &result.bootstrap_kills);
     Decorate(result.coarse_root.get(), result.sample, schema, selector, opts,
              /*scale=*/1.0);
+    if (opts.keep_bootstrap_trees) result.bootstrap_trees = std::move(trees);
     return result;
   }
 
@@ -293,6 +294,7 @@ Result<SamplingPhaseResult> BuildCoarseFromSample(
                        static_cast<double>(result.sample.size());
   Decorate(result.coarse_root.get(), result.sample, schema, selector, opts,
            scale);
+  if (opts.keep_bootstrap_trees) result.bootstrap_trees = std::move(trees);
   return result;
 }
 

@@ -39,6 +39,10 @@ struct SamplingPhaseOptions {
   /// side) so that moderate future drift stays inside them.
   bool exact_coarse = false;
   double exact_interval_widen = 0.02;
+  /// Move the bootstrap trees into SamplingPhaseResult::bootstrap_trees
+  /// after the coarse combine instead of destroying them (ensemble
+  /// emission; see BoatOptions::keep_bootstrap_trees).
+  bool keep_bootstrap_trees = false;
   /// Schema of the tuples; set automatically by RunSamplingPhase, required
   /// when calling BuildCoarseFromSample directly.
   const Schema* schema = nullptr;
@@ -50,6 +54,10 @@ struct SamplingPhaseResult {
   uint64_t db_size = 0;                   ///< |D|, counted during the scan
   std::unique_ptr<CoarseNode> coarse_root;
   uint64_t bootstrap_kills = 0;  ///< subtrees removed by disagreement
+  /// The b bootstrap trees themselves, populated only when
+  /// SamplingPhaseOptions::keep_bootstrap_trees is set (empty otherwise,
+  /// and always empty for an empty sample).
+  std::vector<DecisionTree> bootstrap_trees;
 };
 
 /// \brief Runs the sampling phase: one scan over `db` (reservoir sampling),

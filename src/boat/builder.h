@@ -55,6 +55,14 @@ class BoatClassifier {
   /// \brief The underlying engine (model introspection, tests).
   const BoatEngine& engine() const { return *engine_; }
 
+  /// \brief The b bootstrap trees of the sampling phase; non-empty only
+  /// when trained with options.keep_bootstrap_trees (ensemble emission).
+  /// Loaded classifiers always report empty — the trees are persisted
+  /// separately at train time (see SaveEnsemble).
+  const std::vector<DecisionTree>& bootstrap_trees() const {
+    return engine_->bootstrap_trees();
+  }
+
   /// \brief Sets the growth-phase thread budget for subsequent updates
   /// (0 = all hardware cores). Loaded classifiers default to 1 thread:
   /// num_threads is host-specific and not persisted.

@@ -908,6 +908,10 @@ Status BoatEngine::PreparePhase(std::vector<Tuple> sample, uint64_t db_size,
   sampling.max_buckets_per_attr = options_.max_buckets_per_attr;
   sampling.num_threads = options_.num_threads;
   sampling.exact_coarse = options_.exact_coarse;
+  // Only the top-level phase's trees form the ensemble; recursive frontier
+  // builds would contribute trees over sub-families of a different scale.
+  sampling.keep_bootstrap_trees =
+      options_.keep_bootstrap_trees && recursion_depth_ == 0;
   sampling.schema = &schema_;
 
   Rng sampling_rng = rng_.Split(1);
@@ -916,6 +920,7 @@ Status BoatEngine::PreparePhase(std::vector<Tuple> sample, uint64_t db_size,
       BuildCoarseFromSample(std::move(sample), db_size, *selector_, sampling,
                             &sampling_rng));
   db_size_ = phase.db_size;
+  bootstrap_trees_ = std::move(phase.bootstrap_trees);
   if (stats != nullptr) {
     stats->db_size += phase.db_size;
     stats->bootstrap_kills += phase.bootstrap_kills;

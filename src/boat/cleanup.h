@@ -85,6 +85,14 @@ class BoatEngine {
   }
   int num_threads() const { return options_.num_threads; }
 
+  /// \brief The bootstrap trees of the last top-level sampling phase; empty
+  /// unless the engine was built with options.keep_bootstrap_trees (and
+  /// always empty on loaded engines — the trees are captured at train time
+  /// and persisted separately, see SaveEnsemble).
+  const std::vector<DecisionTree>& bootstrap_trees() const {
+    return bootstrap_trees_;
+  }
+
   /// \brief Releases the model root (used by recursive invocations to graft
   /// a sub-model into the parent's tree).
   std::unique_ptr<ModelNode> ReleaseRoot() { return std::move(root_); }
@@ -155,6 +163,9 @@ class BoatEngine {
   /// |D| / |D'| — scales sample family sizes to full-data estimates.
   double sample_scale_ = 1.0;
   std::unique_ptr<ModelNode> root_;
+  /// Kept bootstrap trees of the top-level sampling phase (see
+  /// bootstrap_trees() above); owned here so they survive until persisted.
+  std::vector<DecisionTree> bootstrap_trees_;
   std::unique_ptr<DatasetArchive> archive_;
   /// Pending archive writes during a (possibly externally driven) build.
   std::vector<Tuple> archive_buffer_;

@@ -55,6 +55,12 @@ struct BoatOptions {
   /// maintenance-time subtree rebuilds, where durable model statistics
   /// matter more than scan savings.
   bool exact_coarse = false;
+  /// Keep the b bootstrap trees of the top-level sampling phase instead of
+  /// discarding them after the coarse combine, so the caller can persist
+  /// them as a bagged ensemble (see SaveEnsemble / CompiledEnsemble).
+  /// Training-time only: not part of the persisted model manifest, and
+  /// recursive BOAT invocations never keep their trees.
+  bool keep_bootstrap_trees = false;
   /// Maintenance-time subtree rebuilds materialize families up to this many
   /// tuples to derive exact coarse criteria (larger families fall back to
   /// bootstrap sampling). See DESIGN.md on threshold-crossing frontiers.

@@ -760,4 +760,103 @@ Result<std::unique_ptr<BoatClassifier>> LoadClassifier(
   return BoatClassifier::FromEngine(std::move(engine));
 }
 
+// ------------------------------------------------ bagged bootstrap ensembles
+
+Status SaveEnsemble(const Schema& schema,
+                    const std::vector<DecisionTree>& members,
+                    const std::string& dir) {
+  if (members.empty()) {
+    return Status::InvalidArgument("SaveEnsemble: no member trees");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create ensemble directory: " + dir);
+
+  std::string out;
+  out += "BOATENSEMBLE v1\n";
+  out += StrPrintf("schema %d %d\n", schema.num_classes(),
+                   schema.num_attributes());
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    out += StrPrintf("attr %c %d %s\n",
+                     attr.type == AttributeType::kNumerical ? 'n' : 'c',
+                     attr.cardinality, attr.name.c_str());
+  }
+  out += StrPrintf("members %zu\n", members.size());
+
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (!(members[i].schema() == schema)) {
+      return Status::InvalidArgument(
+          "SaveEnsemble: member schema differs from the ensemble schema");
+    }
+    BOAT_RETURN_NOT_OK(
+        SaveTree(members[i], dir + StrPrintf("/member-%zu.boattree", i)));
+  }
+
+  std::ofstream manifest(dir + "/manifest.boatensemble");
+  manifest << out;
+  // Flush before checking, for the same ENOSPC reason as the model manifest.
+  manifest.flush();
+  if (!manifest) return Status::IOError("cannot write ensemble manifest");
+  return Status::OK();
+}
+
+Result<LoadedEnsemble> LoadEnsemble(const std::string& dir) {
+  std::ifstream in(dir + "/manifest.boatensemble");
+  if (!in) return Status::NotFound("no ensemble manifest in " + dir);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(std::move(line));
+  size_t cursor = 0;
+  auto next = [&lines, &cursor]() -> Result<std::string> {
+    if (cursor >= lines.size()) {
+      return Status::Corruption("unexpected end of ensemble manifest");
+    }
+    return lines[cursor++];
+  };
+
+  BOAT_ASSIGN_OR_RETURN(std::string header, next());
+  if (header != "BOATENSEMBLE v1") {
+    return Status::Corruption("bad ensemble header: " + header);
+  }
+  BOAT_ASSIGN_OR_RETURN(std::string schema_line, next());
+  int k = 0;
+  int num_attrs = 0;
+  if (std::sscanf(schema_line.c_str(), "schema %d %d", &k, &num_attrs) != 2) {
+    return Status::Corruption("bad ensemble schema line");
+  }
+  std::vector<Attribute> attrs;
+  for (int a = 0; a < num_attrs; ++a) {
+    BOAT_ASSIGN_OR_RETURN(std::string attr_line, next());
+    char type = 0;
+    int cardinality = 0;
+    int name_offset = 0;
+    if (std::sscanf(attr_line.c_str(), "attr %c %d %n", &type, &cardinality,
+                    &name_offset) != 2) {
+      return Status::Corruption("bad ensemble attr line: " + attr_line);
+    }
+    const std::string name = attr_line.substr(name_offset);
+    attrs.push_back(type == 'n' ? Attribute::Numerical(name)
+                                : Attribute::Categorical(name, cardinality));
+  }
+  LoadedEnsemble loaded;
+  loaded.schema = Schema(std::move(attrs), k);
+  BOAT_RETURN_NOT_OK(loaded.schema.Validate());
+
+  BOAT_ASSIGN_OR_RETURN(std::string members_line, next());
+  size_t member_count = 0;
+  if (std::sscanf(members_line.c_str(), "members %zu", &member_count) != 1 ||
+      member_count == 0) {
+    return Status::Corruption("bad ensemble members line: " + members_line);
+  }
+  loaded.members.reserve(member_count);
+  for (size_t i = 0; i < member_count; ++i) {
+    BOAT_ASSIGN_OR_RETURN(
+        DecisionTree member,
+        LoadTree(dir + StrPrintf("/member-%zu.boattree", i), loaded.schema));
+    loaded.members.push_back(std::move(member));
+  }
+  return loaded;
+}
+
 }  // namespace boat

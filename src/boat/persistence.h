@@ -42,6 +42,30 @@ Status SaveClassifier(const BoatClassifier& classifier,
 Result<std::unique_ptr<BoatClassifier>> LoadClassifier(
     const std::string& dir, const SplitSelector* selector);
 
+// --- bagged bootstrap ensembles ---------------------------------------------
+//
+// A trained classifier's b bootstrap trees (BoatOptions::keep_bootstrap_trees)
+// can be persisted beside the main model as a bagged majority-vote ensemble:
+// `dir` holds a `manifest.boatensemble` (schema + member count) plus one
+// `member-<i>.boattree` per tree. Conventionally `dir` is
+// `<model_dir>/ensemble` — Session::Persist emits it there automatically when
+// the session's classifier kept its bootstrap trees.
+
+/// \brief Saves `members` (non-empty, all over `schema`) into `dir`.
+Status SaveEnsemble(const Schema& schema,
+                    const std::vector<DecisionTree>& members,
+                    const std::string& dir);
+
+/// \brief A loaded ensemble: the shared schema plus the member trees, ready
+/// to compile into a CompiledEnsemble.
+struct LoadedEnsemble {
+  Schema schema;
+  std::vector<DecisionTree> members;
+};
+
+/// \brief Loads an ensemble saved by SaveEnsemble.
+Result<LoadedEnsemble> LoadEnsemble(const std::string& dir);
+
 }  // namespace boat
 
 #endif  // BOAT_BOAT_PERSISTENCE_H_

@@ -42,12 +42,14 @@ Result<std::unique_ptr<Session>> Session::Train(TupleSource* db,
   BOAT_ASSIGN_OR_RETURN(
       std::unique_ptr<BoatClassifier> classifier,
       BoatClassifier::Train(db, sel.get(), boat_options, stats));
-  BOAT_RETURN_NOT_OK(SaveClassifier(*classifier, dir));
   std::unique_ptr<Session> session(new Session(
       dir, options.selector, std::move(sel), std::move(classifier)));
   // Keep the training-time thread budget sticky across rollback reloads —
   // the manifest deliberately does not persist it (host property).
   session->SetNumThreads(boat_options.num_threads);
+  // Persist() rather than a bare SaveClassifier so a training run with
+  // keep_bootstrap_trees also emits the ensemble directory.
+  BOAT_RETURN_NOT_OK(session->Persist());
   return session;
 }
 
@@ -139,6 +141,17 @@ Status Session::Apply(ChunkOp op, const std::vector<Tuple>& chunk,
   return Status::OK();
 }
 
-Status Session::Persist() { return SaveClassifier(*classifier_, dir_); }
+Status Session::Persist() {
+  BOAT_RETURN_NOT_OK(SaveClassifier(*classifier_, dir_));
+  // Fresh training with keep_bootstrap_trees also emits the bagged ensemble
+  // beside the model. Loaded classifiers report no bootstrap trees, so
+  // maintenance-time persists never touch (or clobber) an ensemble emitted
+  // at train time.
+  if (!classifier_->bootstrap_trees().empty()) {
+    BOAT_RETURN_NOT_OK(SaveEnsemble(schema(), classifier_->bootstrap_trees(),
+                                    dir_ + "/ensemble"));
+  }
+  return Status::OK();
+}
 
 }  // namespace boat

@@ -1,0 +1,139 @@
+#include "serve/fleet.h"
+
+#include <utility>
+
+#include "serve/wire.h"
+
+namespace boat::serve {
+
+Status FleetRegistry::Add(std::shared_ptr<FleetEntry> entry) {
+  if (!IsValidModelId(entry->id)) {
+    return Status::InvalidArgument(
+        "model id '" + entry->id +
+        "' is not a valid wire id ([A-Za-z0-9_.-], 1..64 bytes)");
+  }
+  MutexLock lock(mu_);
+  for (const std::shared_ptr<FleetEntry>& existing : entries_) {
+    if (existing->id == entry->id) {
+      return Status::InvalidArgument("duplicate model id '" + entry->id +
+                                     "'");
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status FleetRegistry::AddTrained(const std::string& id,
+                                 const TrainerOptions& options) {
+  auto entry = std::make_shared<FleetEntry>();
+  entry->id = id;
+  entry->source_dir = options.model_dir;
+  entry->selector = options.selector;
+  entry->owned_registry = std::make_unique<ModelRegistry>();
+  entry->registry = entry->owned_registry.get();
+  entry->owned_trainer =
+      std::make_unique<Trainer>(entry->registry, options);
+  entry->trainer = entry->owned_trainer.get();
+  // Start before publishing: a started trainer has installed the initial
+  // model, so a successfully added entry is immediately servable.
+  BOAT_RETURN_NOT_OK(entry->trainer->Start());
+  return Add(std::move(entry));
+}
+
+Status FleetRegistry::AddEnsemble(const std::string& id,
+                                  const std::string& dir) {
+  auto entry = std::make_shared<FleetEntry>();
+  entry->id = id;
+  entry->ensemble = true;
+  entry->source_dir = dir;
+  entry->owned_registry = std::make_unique<ModelRegistry>();
+  entry->registry = entry->owned_registry.get();
+  BOAT_RETURN_NOT_OK(entry->registry->LoadAndSwapEnsemble(dir));
+  return Add(std::move(entry));
+}
+
+Status FleetRegistry::AddExternal(const std::string& id,
+                                  ModelRegistry* registry, Trainer* trainer,
+                                  const std::string& selector) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("AddExternal: registry is null");
+  }
+  auto entry = std::make_shared<FleetEntry>();
+  entry->id = id;
+  entry->selector = selector;
+  entry->registry = registry;
+  entry->trainer = trainer;
+  return Add(std::move(entry));
+}
+
+Status FleetRegistry::Reload(const std::string& id, const std::string& dir) {
+  std::shared_ptr<FleetEntry> entry = this->entry(id);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown model '" + id + "'");
+  }
+  // Per-model isolation: only this entry's registry swaps; every other
+  // model's RCU slot — and any in-flight snapshot of this one — is
+  // untouched. On failure the entry keeps its last-good model.
+  return entry->ensemble ? entry->registry->LoadAndSwapEnsemble(dir)
+                         : entry->registry->LoadAndSwap(dir, entry->selector);
+}
+
+Status FleetRegistry::Evict(const std::string& id) {
+  std::shared_ptr<FleetEntry> entry = this->entry(id);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown model '" + id + "'");
+  }
+  entry->registry->Evict();
+  return Status::OK();
+}
+
+std::shared_ptr<const ServableModel> FleetRegistry::Snapshot(
+    const std::string& id) const {
+  std::shared_ptr<FleetEntry> entry = this->entry(id);
+  return entry == nullptr ? nullptr : entry->registry->Snapshot();
+}
+
+std::shared_ptr<FleetEntry> FleetRegistry::Find(const std::string& id) const {
+  if (entries_.empty()) return nullptr;
+  if (id.empty()) return entries_.front();  // wire v2: the default model
+  for (const std::shared_ptr<FleetEntry>& entry : entries_) {
+    if (entry->id == id) return entry;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<FleetEntry> FleetRegistry::entry(
+    const std::string& id) const {
+  MutexLock lock(mu_);
+  return Find(id);
+}
+
+std::vector<std::shared_ptr<FleetEntry>> FleetRegistry::entries() const {
+  MutexLock lock(mu_);
+  return entries_;
+}
+
+std::string FleetRegistry::default_id() const {
+  MutexLock lock(mu_);
+  return entries_.empty() ? "" : entries_.front()->id;
+}
+
+size_t FleetRegistry::size() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+void FleetRegistry::ShutdownTrainers() {
+  // Copy out under the lock, shut down outside it: Trainer::Shutdown joins
+  // an apply thread and must not run under fleet state locks.
+  std::vector<std::shared_ptr<FleetEntry>> entries;
+  {
+    MutexLock lock(mu_);
+    entries = entries_;
+  }
+  for (const std::shared_ptr<FleetEntry>& entry : entries) {
+    if (entry->owned_trainer != nullptr) entry->owned_trainer->Shutdown();
+  }
+}
+
+}  // namespace boat::serve

@@ -1,0 +1,131 @@
+// FleetRegistry: named models for one boatd process.
+//
+// One boatd historically served exactly one model. The fleet registry keys
+// N independent ModelRegistry slots (each with an optional Trainer for
+// streaming ingestion) by operator-chosen model ids, so a single daemon can
+// serve a whole fleet and wire v3 clients route per record with an `@<id>`
+// prefix (serve/wire.h). Three kinds of entries:
+//
+//   * AddTrained:  a SaveClassifier directory with a live Trainer — the
+//     fleet analog of classic `boatd --model DIR`: scoring, RELOAD, and
+//     INGEST/DELETE/RETRAIN all work, addressed at this id.
+//   * AddEnsemble: a SaveEnsemble directory served as a bagged majority-vote
+//     backend. Scoring and RELOAD work; streaming ingestion does not (an
+//     ensemble is a train-time artifact with no incremental maintenance).
+//   * AddExternal: caller-owned registry/trainer (tests, benchmarks,
+//     embedders that build models in process).
+//
+// The first entry added is the fleet's *default* model: every wire v2 line
+// (no `@` prefix) routes to it, which is what keeps single-model clients
+// working unchanged against a fleet-serving daemon.
+//
+// Isolation: each entry has its own ModelRegistry, so a reload or eviction
+// of one model swaps one RCU slot and cannot invalidate in-flight snapshots
+// of any other model; a failed per-model reload keeps that model's
+// last-good active (see ModelRegistry). The entry list itself is append-
+// only: BoatServer captures it at construction, so Add* calls must complete
+// before the server is built — after that the fleet's per-entry state is
+// only reached through the entries' internally synchronized components.
+
+#ifndef BOAT_SERVE_FLEET_H_
+#define BOAT_SERVE_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sync.h"
+#include "serve/model_registry.h"
+#include "serve/trainer.h"
+
+namespace boat::serve {
+
+/// \brief One named model of the fleet. The registry/trainer pointers are
+/// what the server routes to; the owned_ members keep fleet-constructed
+/// components alive. Immutable after the entry is added (the components
+/// they point to are internally synchronized).
+struct FleetEntry {
+  std::string id;
+  bool ensemble = false;   ///< bagged-ensemble backend (no trainer)
+  std::string source_dir;  ///< directory the entry was loaded from ("" =
+                           ///< in-process); SIGHUP re-reloads from here
+  std::string selector = "gini";  ///< split selector for model reloads
+  ModelRegistry* registry = nullptr;  ///< never null
+  Trainer* trainer = nullptr;         ///< null: no streaming ingestion
+  std::unique_ptr<ModelRegistry> owned_registry;
+  std::unique_ptr<Trainer> owned_trainer;
+};
+
+/// \brief Thread-safe, append-only collection of named models.
+class FleetRegistry {
+ public:
+  FleetRegistry() = default;
+
+  FleetRegistry(const FleetRegistry&) = delete;
+  FleetRegistry& operator=(const FleetRegistry&) = delete;
+
+  /// \brief Adds a trained model with a live Trainer over its directory
+  /// (options.model_dir). The trainer is started here; on any failure
+  /// nothing is added.
+  Status AddTrained(const std::string& id, const TrainerOptions& options)
+      BOAT_EXCLUDES(mu_);
+
+  /// \brief Adds a bagged-ensemble backend from a SaveEnsemble directory.
+  Status AddEnsemble(const std::string& id, const std::string& dir)
+      BOAT_EXCLUDES(mu_);
+
+  /// \brief Adds a caller-owned registry (and optional trainer); both must
+  /// outlive the fleet. `selector` is used by Reload for this entry.
+  Status AddExternal(const std::string& id, ModelRegistry* registry,
+                     Trainer* trainer = nullptr,
+                     const std::string& selector = "gini")
+      BOAT_EXCLUDES(mu_);
+
+  /// \brief Hot-reloads one model from `dir` (ensemble entries load a
+  /// SaveEnsemble directory, others a SaveClassifier directory with the
+  /// entry's selector). Failure keeps the entry's last-good model; other
+  /// entries are untouched either way.
+  Status Reload(const std::string& id, const std::string& dir)
+      BOAT_EXCLUDES(mu_);
+
+  /// \brief Drops one model's active slot (see ModelRegistry::Evict). The
+  /// entry stays addressable and a later Reload restores service.
+  Status Evict(const std::string& id) BOAT_EXCLUDES(mu_);
+
+  /// \brief Snapshot of the named model ("" = default), or null when the id
+  /// is unknown or the slot is evicted.
+  std::shared_ptr<const ServableModel> Snapshot(const std::string& id) const
+      BOAT_EXCLUDES(mu_);
+
+  /// \brief The entry for `id` ("" = default), or null when unknown.
+  std::shared_ptr<FleetEntry> entry(const std::string& id) const
+      BOAT_EXCLUDES(mu_);
+
+  /// \brief All entries, in insertion order (the first is the default).
+  std::vector<std::shared_ptr<FleetEntry>> entries() const
+      BOAT_EXCLUDES(mu_);
+
+  /// \brief Id of the default model ("" when the fleet is empty).
+  std::string default_id() const BOAT_EXCLUDES(mu_);
+
+  size_t size() const BOAT_EXCLUDES(mu_);
+
+  /// \brief Shuts down every fleet-owned trainer (drains queued chunks,
+  /// joins apply threads). Caller-owned trainers are untouched. Called by
+  /// boatd after the server has drained; idempotent.
+  void ShutdownTrainers() BOAT_EXCLUDES(mu_);
+
+ private:
+  Status Add(std::shared_ptr<FleetEntry> entry) BOAT_EXCLUDES(mu_);
+  std::shared_ptr<FleetEntry> Find(const std::string& id) const
+      BOAT_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  /// Insertion-ordered; ids unique; index 0 is the default model.
+  std::vector<std::shared_ptr<FleetEntry>> entries_ BOAT_GUARDED_BY(mu_);
+};
+
+}  // namespace boat::serve
+
+#endif  // BOAT_SERVE_FLEET_H_

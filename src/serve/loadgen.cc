@@ -6,11 +6,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <deque>
 #include <thread>
+#include <utility>
 
 #include "common/histogram.h"
 #include "common/str_util.h"
@@ -43,10 +45,15 @@ bool SendAll(int fd, const char* data, size_t len) {
   return true;
 }
 
+/// Drives one connection over the (possibly routed) combined corpus.
+/// `model_of_line`, when non-null, maps every corpus position to its model
+/// index, and per-model counters are recorded into `per_model` (sized to the
+/// model count) alongside the aggregate `stats`.
 void RunConnection(const LoadGenOptions& options,
                    const std::vector<std::string>& record_lines,
                    const std::vector<int32_t>* expected_labels,
-                   ConnStats* stats) {
+                   const std::vector<size_t>* model_of_line,
+                   std::vector<ConnStats>* per_model, ConnStats* stats) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     stats->failure = StrPrintf("socket: %s", std::strerror(errno));
@@ -84,6 +91,11 @@ void RunConnection(const LoadGenOptions& options,
     if (expected_labels == nullptr) return nullptr;
     return &(*expected_labels)[static_cast<size_t>(reply_index % corpus)];
   };
+  auto model_stats_for = [&](uint64_t index) -> ConnStats* {
+    if (model_of_line == nullptr) return nullptr;
+    return &(*per_model)[(*model_of_line)[static_cast<size_t>(index %
+                                                              corpus)]];
+  };
 
   while (next_reply < total) {
     // Fill the pipeline window, batching lines into one send.
@@ -95,6 +107,7 @@ void RunConnection(const LoadGenOptions& options,
         out += record_lines[static_cast<size_t>(next_to_send % corpus)];
         out += '\n';
         in_flight.push_back(send_time);
+        if (ConnStats* m = model_stats_for(next_to_send)) ++m->sent;
         ++next_to_send;
         ++stats->sent;
       }
@@ -124,26 +137,33 @@ void RunConnection(const LoadGenOptions& options,
 
         // determinism-lint: allow(client-side latency measurement; replies are label-checked, not time-dependent)
         const auto now = std::chrono::steady_clock::now();
+        ConnStats* model = model_stats_for(next_reply);
         if (!in_flight.empty()) {
           const auto us =
               std::chrono::duration_cast<std::chrono::microseconds>(
                   now - in_flight.front())
                   .count();
-          stats->latency_us.Record(us > 0 ? static_cast<uint64_t>(us) : 0);
+          const uint64_t clamped = us > 0 ? static_cast<uint64_t>(us) : 0;
+          stats->latency_us.Record(clamped);
+          if (model != nullptr) model->latency_us.Record(clamped);
           in_flight.pop_front();
         }
         const Reply parsed = ParseReply(reply);
         if (parsed.kind == Reply::Kind::kBusy) {
           ++stats->busy;
+          if (model != nullptr) ++model->busy;
         } else if (parsed.kind == Reply::Kind::kLabel) {
           const int32_t* want = expected_for(next_reply);
           if (want == nullptr || parsed.label == *want) {
             ++stats->ok;
+            if (model != nullptr) ++model->ok;
           } else {
             ++stats->mismatches;
+            if (model != nullptr) ++model->mismatches;
           }
         } else {
           ++stats->errors;
+          if (model != nullptr) ++model->errors;
         }
         ++next_reply;
       }
@@ -170,11 +190,13 @@ void RunConnection(const LoadGenOptions& options,
   ::close(fd);
 }
 
-}  // namespace
-
-Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
-                                 const std::vector<std::string>& record_lines,
-                                 const std::vector<int32_t>* expected_labels) {
+/// Shared engine behind RunLoadGen/RunRoutedLoadGen. `model_of_line` and
+/// `model_ids` are both null/empty for an unrouted run.
+Result<LoadGenReport> RunCombined(const LoadGenOptions& options,
+                                  const std::vector<std::string>& record_lines,
+                                  const std::vector<int32_t>* expected_labels,
+                                  const std::vector<size_t>* model_of_line,
+                                  const std::vector<std::string>& model_ids) {
   if (record_lines.empty()) {
     return Status::InvalidArgument("loadgen: empty corpus");
   }
@@ -185,16 +207,24 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
         expected_labels->size(), record_lines.size()));
   }
   const int conns = options.connections > 0 ? options.connections : 1;
+  const size_t model_count = model_ids.size();
   std::vector<ConnStats> stats(static_cast<size_t>(conns));
+  // ConnStats is non-copyable (atomic histogram buckets), so build each
+  // per-connection slice in place instead of fill-constructing.
+  std::vector<std::vector<ConnStats>> per_model_stats;
+  per_model_stats.reserve(static_cast<size_t>(conns));
+  for (int i = 0; i < conns; ++i) per_model_stats.emplace_back(model_count);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(conns));
 
   // determinism-lint: allow(wall-clock bracket around the run measures throughput only)
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < conns; ++i) {
-    threads.emplace_back(RunConnection, std::cref(options),
-                         std::cref(record_lines), expected_labels,
-                         &stats[static_cast<size_t>(i)]);
+    threads.emplace_back(
+        RunConnection, std::cref(options), std::cref(record_lines),
+        expected_labels, model_of_line,
+        &per_model_stats[static_cast<size_t>(i)],
+        &stats[static_cast<size_t>(i)]);
   }
   for (std::thread& t : threads) t.join();
   // determinism-lint: allow(wall-clock bracket around the run measures throughput only)
@@ -224,12 +254,109 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
           : 0;
   report.latency_p50_us = merged.ValueAtQuantile(0.5);
   report.latency_p99_us = merged.ValueAtQuantile(0.99);
+
+  for (size_t m = 0; m < model_count; ++m) {
+    ModelLoadGenStats slice;
+    slice.model_id = model_ids[m];
+    Log2Histogram model_hist;
+    for (const std::vector<ConnStats>& conn : per_model_stats) {
+      slice.sent += conn[m].sent;
+      slice.ok += conn[m].ok;
+      slice.mismatches += conn[m].mismatches;
+      slice.busy += conn[m].busy;
+      slice.errors += conn[m].errors;
+      model_hist.MergeFrom(conn[m].latency_us);
+    }
+    const uint64_t model_replies =
+        slice.ok + slice.mismatches + slice.busy + slice.errors;
+    // Shared wall clock: the per-model rps sum to the aggregate.
+    slice.throughput_rps =
+        report.wall_seconds > 0
+            ? static_cast<double>(model_replies) / report.wall_seconds
+            : 0;
+    slice.latency_p50_us = model_hist.ValueAtQuantile(0.5);
+    slice.latency_p99_us = model_hist.ValueAtQuantile(0.99);
+    report.per_model.push_back(std::move(slice));
+  }
   return report;
+}
+
+}  // namespace
+
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
+                                 const std::vector<std::string>& record_lines,
+                                 const std::vector<int32_t>* expected_labels) {
+  return RunCombined(options, record_lines, expected_labels,
+                     /*model_of_line=*/nullptr, /*model_ids=*/{});
+}
+
+Result<LoadGenReport> RunRoutedLoadGen(
+    const LoadGenOptions& options,
+    const std::vector<RoutedModelCorpus>& models) {
+  if (models.empty()) {
+    return Status::InvalidArgument("loadgen: no routed models");
+  }
+  size_t rounds = 0;
+  for (const RoutedModelCorpus& model : models) {
+    if (model.record_lines.empty()) {
+      return Status::InvalidArgument(
+          "loadgen: empty corpus for model '" + model.model_id + "'");
+    }
+    if (model.expected_labels != nullptr &&
+        model.expected_labels->size() != model.record_lines.size()) {
+      return Status::InvalidArgument(StrPrintf(
+          "loadgen: %zu expected labels for %zu records of model '%s'",
+          model.expected_labels->size(), model.record_lines.size(),
+          model.model_id.c_str()));
+    }
+    if (!model.model_id.empty() && !IsValidModelId(model.model_id)) {
+      return Status::InvalidArgument("loadgen: invalid model id '" +
+                                     model.model_id + "'");
+    }
+    rounds = std::max(rounds, model.record_lines.size());
+  }
+
+  // Interleave round-robin: round j emits one record of every model (model
+  // m's record j % len_m), so routed traffic alternates models record by
+  // record — the fairness-stressing shape, not model-sized blocks.
+  const size_t k = models.size();
+  // Labels are checked only when every model supplied expectations; a mixed
+  // run (some models unchecked) counts all numeric replies as ok.
+  const bool check = std::all_of(
+      models.begin(), models.end(),
+      [](const RoutedModelCorpus& m) { return m.expected_labels != nullptr; });
+  std::vector<std::string> combined;
+  std::vector<int32_t> expected;
+  std::vector<size_t> model_of_line;
+  std::vector<std::string> model_ids;
+  combined.reserve(rounds * k);
+  if (check) expected.reserve(rounds * k);
+  model_of_line.reserve(rounds * k);
+  model_ids.reserve(k);
+  for (const RoutedModelCorpus& model : models) {
+    model_ids.push_back(model.model_id);
+  }
+  for (size_t j = 0; j < rounds; ++j) {
+    for (size_t m = 0; m < k; ++m) {
+      const RoutedModelCorpus& model = models[m];
+      const size_t idx = j % model.record_lines.size();
+      std::string line;
+      if (!model.model_id.empty()) {
+        line = "@" + model.model_id + " ";
+      }
+      line += model.record_lines[idx];
+      combined.push_back(std::move(line));
+      model_of_line.push_back(m);
+      if (check) expected.push_back((*model.expected_labels)[idx]);
+    }
+  }
+  return RunCombined(options, combined, check ? &expected : nullptr,
+                     &model_of_line, model_ids);
 }
 
 Result<std::vector<Reply>> SendChunk(
     int port, ChunkOp op, const std::vector<std::string>& payload_lines,
-    bool retrain) {
+    bool retrain, const std::string& model_id) {
   if (payload_lines.empty()) {
     return Status::InvalidArgument("SendChunk: empty chunk");
   }
@@ -248,14 +375,15 @@ Result<std::vector<Reply>> SendChunk(
     ::close(fd);
     return s;
   }
+  const std::string route = model_id.empty() ? "" : "@" + model_id + " ";
   std::string out = StrPrintf(
-      "%s %zu\n", op == ChunkOp::kInsert ? "INGEST" : "DELETE",
-      payload_lines.size());
+      "%s%s %zu\n", route.c_str(),
+      op == ChunkOp::kInsert ? "INGEST" : "DELETE", payload_lines.size());
   for (const std::string& line : payload_lines) {
     out += line;
     out += '\n';
   }
-  if (retrain) out += "RETRAIN\n";
+  if (retrain) out += route + "RETRAIN\n";
   if (!SendAll(fd, out.data(), out.size())) {
     const Status s =
         Status::IOError(StrPrintf("send: %s", std::strerror(errno)));

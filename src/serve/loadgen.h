@@ -3,6 +3,13 @@
 // reply against precomputed expected labels, and reports client-observed
 // throughput and latency quantiles. Used by tools/boat-loadgen.cpp and
 // bench/bench_serving.cpp.
+//
+// Two entry points share one engine: RunLoadGen drives a single (default)
+// model with plain v2 lines; RunRoutedLoadGen interleaves per-record routed
+// traffic (`@<id> <record>`) across a fleet of named models round-robin and
+// reports both the aggregate and a per-model breakdown (each model's
+// throughput uses the shared wall clock, so the per-model rps sum to the
+// aggregate).
 
 #ifndef BOAT_SERVE_LOADGEN_H_
 #define BOAT_SERVE_LOADGEN_H_
@@ -29,6 +36,20 @@ struct LoadGenOptions {
   int window = 256;
 };
 
+/// \brief Per-model slice of a routed run (same counters as the aggregate).
+struct ModelLoadGenStats {
+  std::string model_id;  ///< "" = the default model (unrouted lines)
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t mismatches = 0;
+  uint64_t busy = 0;
+  uint64_t errors = 0;
+  /// Replies per second against the run's shared wall clock.
+  double throughput_rps = 0;
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p99_us = 0;
+};
+
 struct LoadGenReport {
   uint64_t sent = 0;
   uint64_t ok = 0;          ///< numeric replies matching the expected label
@@ -40,6 +61,20 @@ struct LoadGenReport {
   /// Client-observed per-request latency (send to reply), microseconds.
   uint64_t latency_p50_us = 0;
   uint64_t latency_p99_us = 0;
+  /// Routed runs only: one entry per model, in corpus order. Empty for
+  /// RunLoadGen.
+  std::vector<ModelLoadGenStats> per_model;
+};
+
+/// \brief One model's share of a routed run: the id it is addressed by on
+/// the wire ("" sends unrouted v2 lines, i.e. the server's default model),
+/// its record corpus, and optionally the labels every reply must match.
+struct RoutedModelCorpus {
+  std::string model_id;
+  std::vector<std::string> record_lines;
+  /// When non-null, must be aligned with record_lines; label replies for
+  /// this model are checked against it.
+  const std::vector<int32_t>* expected_labels = nullptr;
 };
 
 /// \brief Runs the load: every connection sends `record_lines` (repeat
@@ -52,15 +87,26 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
                                  const std::vector<std::string>& record_lines,
                                  const std::vector<int32_t>* expected_labels);
 
+/// \brief Routed fleet run: builds one interleaved corpus that cycles the
+/// models round-robin record by record (model m's record j sits at combined
+/// position j*k + m, wrapping shorter corpora), prefixes each line with the
+/// model's `@<id>` route, and drives it exactly like RunLoadGen. The report
+/// carries the aggregate plus a per-model breakdown.
+Result<LoadGenReport> RunRoutedLoadGen(
+    const LoadGenOptions& options,
+    const std::vector<RoutedModelCorpus>& models);
+
 /// \brief Streams one labeled chunk into a running server on 127.0.0.1:
 /// sends `INGEST <n>` (kInsert) or `DELETE <n>` (kDelete) followed by the
 /// payload lines (FormatLabeledRecordLines output), optionally a RETRAIN
-/// barrier, then half-closes and reads every reply. Returns one parsed
-/// Reply per command sent (the chunk reply, then the RETRAIN reply when
-/// requested); transport failures come back as a Status.
+/// barrier, then half-closes and reads every reply. A non-empty `model_id`
+/// routes the chunk (and the RETRAIN) to that model with the v3 `@<id>`
+/// prefix. Returns one parsed Reply per command sent (the chunk reply, then
+/// the RETRAIN reply when requested); transport failures come back as a
+/// Status.
 Result<std::vector<Reply>> SendChunk(
     int port, ChunkOp op, const std::vector<std::string>& payload_lines,
-    bool retrain);
+    bool retrain, const std::string& model_id = "");
 
 }  // namespace boat::serve
 

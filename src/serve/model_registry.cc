@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "boat/persistence.h"
 #include "boat/session.h"
 #include "tree/serialize.h"
 
@@ -18,6 +19,18 @@ uint64_t Fnv1a64(const std::string& bytes, uint64_t seed) {
   return h;
 }
 
+/// Fingerprint of an ensemble: the schema fingerprint folded through every
+/// member's serialized form in member order. A single-member ensemble hashes
+/// exactly like the single-tree constructor, so the two backends agree on
+/// fingerprints for the same one tree.
+uint64_t EnsembleFingerprint(const std::vector<DecisionTree>& members) {
+  uint64_t h = members.front().schema().Fingerprint();
+  for (const DecisionTree& member : members) {
+    h = Fnv1a64(SerializeTree(member), h);
+  }
+  return h;
+}
+
 }  // namespace
 
 ServableModel::ServableModel(const DecisionTree& tree, std::string dir)
@@ -25,7 +38,17 @@ ServableModel::ServableModel(const DecisionTree& tree, std::string dir)
       compiled(tree),
       fingerprint(Fnv1a64(SerializeTree(tree), tree.schema().Fingerprint())),
       source_dir(std::move(dir)),
-      tree_nodes(tree.num_nodes()) {}
+      tree_nodes(tree.num_nodes()),
+      ensemble_backend(false) {}
+
+ServableModel::ServableModel(const std::vector<DecisionTree>& members,
+                             std::string dir)
+    : schema(members.front().schema()),
+      compiled(members),
+      fingerprint(EnsembleFingerprint(members)),
+      source_dir(std::move(dir)),
+      tree_nodes(compiled.total_nodes()),
+      ensemble_backend(members.size() > 1) {}
 
 void ModelRegistry::Install(std::shared_ptr<const ServableModel> model) {
   MutexLock lock(mu_);
@@ -41,6 +64,18 @@ Status ModelRegistry::LoadAndSwap(const std::string& dir,
   return Status::OK();
 }
 
+Status ModelRegistry::LoadAndSwapEnsemble(const std::string& dir) {
+  BOAT_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> model,
+                        LoadServableEnsemble(dir));
+  Install(std::move(model));
+  return Status::OK();
+}
+
+void ModelRegistry::Evict() {
+  MutexLock lock(mu_);
+  active_.reset();
+}
+
 Result<std::shared_ptr<const ServableModel>> LoadServableModel(
     const std::string& dir, const std::string& selector) {
   // The session (and its selector) only has to outlive this scope: once the
@@ -48,6 +83,12 @@ Result<std::shared_ptr<const ServableModel>> LoadServableModel(
   auto session = Session::Open(dir, selector);
   if (!session.ok()) return session.status();
   return std::make_shared<const ServableModel>((*session)->tree(), dir);
+}
+
+Result<std::shared_ptr<const ServableModel>> LoadServableEnsemble(
+    const std::string& dir) {
+  BOAT_ASSIGN_OR_RETURN(LoadedEnsemble loaded, LoadEnsemble(dir));
+  return std::make_shared<const ServableModel>(loaded.members, dir);
 }
 
 }  // namespace boat::serve

@@ -1,6 +1,6 @@
 // ModelRegistry: the serving subsystem's hot-swappable model slot.
 //
-// A ServableModel is an immutable (Schema, CompiledTree, fingerprint)
+// A ServableModel is an immutable (Schema, CompiledEnsemble, fingerprint)
 // triple. The registry publishes the active model behind a shared_ptr: every
 // scoring batch takes one Snapshot() and scores the whole batch against it,
 // so a concurrent LoadAndSwap (RELOAD admin command or SIGHUP) never mutates
@@ -9,6 +9,12 @@
 // old model is freed when its last in-flight batch drops the reference
 // (RCU-style reclamation via shared_ptr refcounts). No request is ever
 // dropped or scored against a half-loaded model.
+//
+// Two servable backends share this type: a single compiled tree (the
+// classic SaveClassifier model, a one-member CompiledEnsemble with zero vote
+// overhead) and a bagged bootstrap ensemble (a SaveEnsemble directory,
+// served by majority vote). A registry slot holds either; per-model routing
+// over many registries is the FleetRegistry's job (serve/fleet.h).
 //
 // Concurrency invariants are compile-time-checked (common/sync.h): the
 // active slot is guarded by mu_, and the only lock-free member is the
@@ -21,28 +27,33 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/sync.h"
 #include "storage/schema.h"
-#include "tree/compiled_tree.h"
 #include "tree/decision_tree.h"
+#include "tree/ensemble.h"
 
 namespace boat::serve {
 
 /// \brief An immutable, ready-to-score model: the schema it validates
 /// requests against, the compiled inference layout, and a stable
-/// fingerprint (FNV-1a over the serialized tree, mixed with the schema
+/// fingerprint (FNV-1a over the serialized tree(s), mixed with the schema
 /// fingerprint) that STATS exposes so operators can tell which model
 /// revision is live.
 struct ServableModel {
   Schema schema;
-  CompiledTree compiled;
+  CompiledEnsemble compiled;
   uint64_t fingerprint;
   std::string source_dir;  ///< model directory, or "" for in-process installs
-  size_t tree_nodes;
+  size_t tree_nodes;       ///< total nodes across ensemble members
+  bool ensemble_backend;   ///< true when built from >1 bootstrap member
 
+  /// \brief Single-tree backend (classic SaveClassifier model).
   ServableModel(const DecisionTree& tree, std::string dir);
+  /// \brief Bagged-ensemble backend over `members` (non-empty, one schema).
+  ServableModel(const std::vector<DecisionTree>& members, std::string dir);
 };
 
 /// \brief Thread-safe holder of the active ServableModel.
@@ -50,8 +61,9 @@ class ModelRegistry {
  public:
   ModelRegistry() = default;
 
-  /// \brief The active model (never null after the first Install/Load).
-  /// Callers keep the shared_ptr for the duration of one batch.
+  /// \brief The active model (never null after the first Install/Load,
+  /// until an Evict). Callers keep the shared_ptr for the duration of one
+  /// batch.
   std::shared_ptr<const ServableModel> Snapshot() const BOAT_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return active_;
@@ -66,6 +78,17 @@ class ModelRegistry {
   /// previously active model stays in place.
   Status LoadAndSwap(const std::string& dir, const std::string& selector)
       BOAT_EXCLUDES(mu_);
+
+  /// \brief Loads a SaveEnsemble directory and publishes it as a bagged
+  /// majority-vote backend. On any error the previously active model stays
+  /// in place.
+  Status LoadAndSwapEnsemble(const std::string& dir) BOAT_EXCLUDES(mu_);
+
+  /// \brief Drops the active model (fleet eviction). In-flight snapshots
+  /// keep scoring against their reference; later snapshots see null and the
+  /// server answers per-line errors until a reload re-populates the slot.
+  /// Not counted as a reload.
+  void Evict() BOAT_EXCLUDES(mu_);
 
   /// \brief Number of successful Install/LoadAndSwap calls after the first.
   int64_t reload_count() const {
@@ -92,6 +115,10 @@ class ModelRegistry {
 /// \brief Builds a ServableModel by loading a SaveClassifier directory.
 Result<std::shared_ptr<const ServableModel>> LoadServableModel(
     const std::string& dir, const std::string& selector);
+
+/// \brief Builds a ServableModel by loading a SaveEnsemble directory.
+Result<std::shared_ptr<const ServableModel>> LoadServableEnsemble(
+    const std::string& dir);
 
 }  // namespace boat::serve
 

@@ -30,6 +30,10 @@ constexpr size_t kReplyWindow = 1024;
 /// matches the (hot-reloaded) active model; the handler turns it into ERR.
 constexpr int32_t kSchemaMismatchLabel = INT32_MIN;
 
+/// Sentinel for a record admitted to a lane whose model was evicted before
+/// its batch was scored; the handler turns it into ERR.
+constexpr int32_t kNoModelLabel = INT32_MIN + 1;
+
 bool SendAll(int fd, const char* data, size_t len) {
   while (len > 0) {
     const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
@@ -47,17 +51,50 @@ bool SendAll(int fd, const char* data, size_t len) {
 
 BoatServer::BoatServer(ModelRegistry* registry, ServerOptions options,
                        Trainer* trainer)
-    : registry_(registry),
-      options_(std::move(options)),
-      trainer_(trainer),
-      queue_(options_.queue_capacity) {}
+    : options_(std::move(options)) {
+  auto lane = std::make_unique<Lane>(options_.queue_capacity);
+  lane->id = "default";
+  lane->registry = registry;
+  lane->trainer = trainer;
+  lane->selector = options_.selector;
+  lane_by_id_[lane->id] = lane.get();
+  lanes_.push_back(std::move(lane));
+}
+
+BoatServer::BoatServer(FleetRegistry* fleet, ServerOptions options)
+    : options_(std::move(options)) {
+  for (const std::shared_ptr<FleetEntry>& entry : fleet->entries()) {
+    auto lane = std::make_unique<Lane>(options_.queue_capacity);
+    lane->id = entry->id;
+    lane->registry = entry->registry;
+    lane->trainer = entry->trainer;
+    lane->ensemble = entry->ensemble;
+    lane->selector =
+        entry->selector.empty() ? options_.selector : entry->selector;
+    lane->entry = entry;
+    lane_by_id_[lane->id] = lane.get();
+    lanes_.push_back(std::move(lane));
+  }
+}
 
 BoatServer::~BoatServer() { Shutdown(); }
 
+BoatServer::Lane* BoatServer::ResolveLane(const std::string& model_id) const {
+  if (model_id.empty()) return lanes_.front().get();
+  const auto it = lane_by_id_.find(model_id);
+  return it == lane_by_id_.end() ? nullptr : it->second;
+}
+
 Status BoatServer::Start() {
   MutexLock lock(lifecycle_mu_);  // serializes against Shutdown
-  if (registry_->Snapshot() == nullptr) {
-    return Status::InvalidArgument("BoatServer: registry has no active model");
+  if (lanes_.empty()) {
+    return Status::InvalidArgument("BoatServer: fleet has no models");
+  }
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    if (lane->registry->Snapshot() == nullptr) {
+      return Status::InvalidArgument(
+          "BoatServer: model '" + lane->id + "' has no active model");
+    }
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -93,7 +130,8 @@ Status BoatServer::Start() {
                                                    : 1;
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back(&BoatServer::ScoringWorker, this);
+    workers_.emplace_back(&BoatServer::ScoringWorker, this,
+                          static_cast<size_t>(i));
   }
   accept_thread_ = std::thread(&BoatServer::AcceptLoop, this);
   started_.store(true, std::memory_order_release);
@@ -140,8 +178,15 @@ void BoatServer::Shutdown() {
     conns_.clear();
   }
 
-  // All requests are now in the queue (or replied); drain the workers.
-  queue_.Close();
+  // All requests are now in their lanes (or replied); drain the workers:
+  // close every lane, raise the work-closed signal, and release any worker
+  // parked on the pause gate or the work condvar.
+  for (const std::unique_ptr<Lane>& lane : lanes_) lane->queue.Close();
+  {
+    MutexLock work_lock(work_mu_);
+    work_closed_ = true;
+  }
+  work_cv_.NotifyAll();
   {
     MutexLock pause_lock(pause_mu_);
     scoring_paused_ = false;
@@ -223,9 +268,27 @@ void BoatServer::HandleConnection(Conn* conn) {
   bool send_failed = false;
   bool skipping_long_line = false;
 
+  // Records admitted to lanes but not yet announced on the fleet work
+  // signal. Batched: one work_mu_ acquisition per reply window / recv burst
+  // instead of per record.
+  size_t unannounced = 0;
+  auto publish_work = [&]() {
+    if (unannounced == 0) return;
+    {
+      MutexLock lock(work_mu_);
+      work_pending_ += static_cast<int64_t>(unannounced);
+    }
+    work_cv_.NotifyAll();
+    unannounced = 0;
+  };
+
   // Waits for every submitted record of the window, then writes all replies
   // in request order. Returns false once the peer stops reading.
   auto flush = [&]() {
+    // Announce before waiting: wg.Wait() completes only after a worker has
+    // scored every admitted record, and workers may be asleep until the
+    // publish lands.
+    publish_work();
     wg.Wait();
     if (replies.empty()) return !send_failed;
     std::string out;
@@ -234,6 +297,8 @@ void BoatServer::HandleConnection(Conn* conn) {
         const int32_t label = slots[static_cast<size_t>(r.slot)];
         if (label == kSchemaMismatchLabel) {
           out += "ERR model schema changed mid-flight";
+        } else if (label == kNoModelLabel) {
+          out += "ERR model evicted";
         } else {
           out += StrPrintf("%d", label);
         }
@@ -254,16 +319,23 @@ void BoatServer::HandleConnection(Conn* conn) {
   struct ChunkState {
     ChunkOp op = ChunkOp::kInsert;
     int64_t remaining = 0;
+    Lane* lane = nullptr;  ///< routing target; null for an unknown model
     std::vector<Tuple> tuples;
     std::string error;  ///< first payload/validation failure; sticky
   };
   std::optional<ChunkState> chunk;
 
-  auto push_reply = [&](const Reply& reply) {
+  auto push_reply = [&](const Reply& reply, Lane* lane = nullptr) {
     if (reply.kind == Reply::Kind::kErr) {
       errors_.fetch_add(1, std::memory_order_relaxed);
+      if (lane != nullptr) {
+        lane->errors.fetch_add(1, std::memory_order_relaxed);
+      }
     } else if (reply.kind == Reply::Kind::kBusy) {
       busy_.fetch_add(1, std::memory_order_relaxed);
+      if (lane != nullptr) {
+        lane->busy.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     replies.push_back({FormatReply(reply), -1});
   };
@@ -274,15 +346,15 @@ void BoatServer::HandleConnection(Conn* conn) {
     ChunkState done = std::move(*chunk);
     chunk.reset();
     if (!done.error.empty()) {
-      push_reply(Reply::Err(done.error));
+      push_reply(Reply::Err(done.error), done.lane);
       return;
     }
     const char* what = done.op == ChunkOp::kInsert ? "ingest" : "delete";
     const size_t records = done.tuples.size();
     const std::optional<uint64_t> seq =
-        trainer_->TrySubmit(done.op, std::move(done.tuples));
+        done.lane->trainer->TrySubmit(done.op, std::move(done.tuples));
     if (!seq.has_value()) {
-      push_reply(Reply::Busy());
+      push_reply(Reply::Busy(), done.lane);
       return;
     }
     push_reply(Reply::Ok(StrPrintf(
@@ -298,8 +370,10 @@ void BoatServer::HandleConnection(Conn* conn) {
         chunk->error = "chunk payload line too long";
       } else {
         if (!line.empty() && line.back() == '\r') line.pop_back();
+        // error.empty() implies the chunk resolved to a lane with a live
+        // trainer (see Verb::kIngest below).
         Result<Tuple> tuple =
-            ParseLabeledRecordLine(line, trainer_->schema());
+            ParseLabeledRecordLine(line, chunk->lane->trainer->schema());
         if (!tuple.ok()) {
           chunk->error = "rejected chunk: " + tuple.status().message();
         } else {
@@ -325,14 +399,30 @@ void BoatServer::HandleConnection(Conn* conn) {
       push_reply(Reply::Err(parsed.status().message()));
       return;
     }
+    // Route: empty id = the default model; PING/QUIT ignore the target.
+    Lane* lane = ResolveLane(parsed->model_id);
+    const auto unknown_model = [&]() {
+      return Reply::Err("unknown model '" + parsed->model_id + "'");
+    };
     switch (parsed->verb) {
       case Verb::kRecord: {
         requests_.fetch_add(1, std::memory_order_relaxed);
+        if (lane == nullptr) {
+          push_reply(unknown_model());
+          return;
+        }
+        lane->requests.fetch_add(1, std::memory_order_relaxed);
         const std::shared_ptr<const ServableModel> model =
-            registry_->Snapshot();
-        Result<Tuple> tuple = ParseRecordLine(line, model->schema);
+            lane->registry->Snapshot();
+        if (model == nullptr) {
+          push_reply(
+              Reply::Err("model '" + lane->id + "' has no active model"),
+              lane);
+          return;
+        }
+        Result<Tuple> tuple = ParseRecordLine(parsed->args, model->schema);
         if (!tuple.ok()) {
-          push_reply(Reply::Err(tuple.status().message()));
+          push_reply(Reply::Err(tuple.status().message()), lane);
           return;
         }
         internal::Request req;
@@ -342,17 +432,24 @@ void BoatServer::HandleConnection(Conn* conn) {
         // determinism-lint: allow(latency-histogram timestamp; no prediction depends on it)
         req.admitted = std::chrono::steady_clock::now();
         wg.Add(1);
-        if (queue_.TryPush(std::move(req))) {
+        if (lane->queue.TryPush(std::move(req))) {
           replies.push_back({"", static_cast<int>(used_slots)});
           ++used_slots;
+          ++unannounced;
         } else {
           wg.Done();  // never admitted; nothing to wait for
-          push_reply(Reply::Busy());
+          push_reply(Reply::Busy(), lane);
         }
         return;
       }
       case Verb::kStats:
-        replies.push_back({StatsJson(), -1});
+        if (parsed->model_id.empty()) {
+          replies.push_back({StatsJson(), -1});
+        } else if (lane == nullptr) {
+          push_reply(unknown_model());
+        } else {
+          replies.push_back({LaneStatsJson(*lane), -1});
+        }
         return;
       case Verb::kPing:
         push_reply(Reply::Pong());
@@ -361,16 +458,24 @@ void BoatServer::HandleConnection(Conn* conn) {
         quit = true;
         return;
       case Verb::kReload: {
+        if (lane == nullptr) {
+          push_reply(unknown_model());
+          return;
+        }
         const std::string& dir = parsed->args;
-        const Status status = registry_->LoadAndSwap(dir, options_.selector);
+        // Per-model isolation: only this lane's registry swaps. A failure
+        // keeps the lane's last-good model active.
+        const Status status =
+            lane->ensemble ? lane->registry->LoadAndSwapEnsemble(dir)
+                           : lane->registry->LoadAndSwap(dir, lane->selector);
         if (status.ok()) {
           const std::shared_ptr<const ServableModel> model =
-              registry_->Snapshot();
+              lane->registry->Snapshot();
           push_reply(Reply::Ok(StrPrintf(
               "reloaded %s fingerprint %016llx", dir.c_str(),
               static_cast<unsigned long long>(model->fingerprint))));
         } else {
-          push_reply(Reply::Err(status.ToString()));
+          push_reply(Reply::Err(status.ToString()), lane);
         }
         return;
       }
@@ -383,7 +488,10 @@ void BoatServer::HandleConnection(Conn* conn) {
         chunk->op = parsed->verb == Verb::kIngest ? ChunkOp::kInsert
                                                   : ChunkOp::kDelete;
         chunk->remaining = parsed->payload_lines;
-        if (trainer_ == nullptr) {
+        chunk->lane = lane;
+        if (lane == nullptr) {
+          chunk->error = "unknown model '" + parsed->model_id + "'";
+        } else if (lane->trainer == nullptr) {
           chunk->error = "streaming ingestion requires boatd --model";
         } else if (parsed->payload_lines >
                    static_cast<int64_t>(options_.max_chunk_records)) {
@@ -398,13 +506,18 @@ void BoatServer::HandleConnection(Conn* conn) {
         return;
       }
       case Verb::kRetrain: {
-        if (trainer_ == nullptr) {
-          push_reply(Reply::Err("streaming ingestion requires boatd --model"));
+        if (lane == nullptr) {
+          push_reply(unknown_model());
           return;
         }
-        const Result<Trainer::RetrainResult> result = trainer_->Flush();
+        if (lane->trainer == nullptr) {
+          push_reply(Reply::Err("streaming ingestion requires boatd --model"),
+                     lane);
+          return;
+        }
+        const Result<Trainer::RetrainResult> result = lane->trainer->Flush();
         if (!result.ok()) {
-          push_reply(Reply::Err(result.status().ToString()));
+          push_reply(Reply::Err(result.status().ToString()), lane);
           return;
         }
         push_reply(Reply::Ok(StrPrintf(
@@ -483,13 +596,15 @@ void BoatServer::HandleConnection(Conn* conn) {
   }
 
   // Every submitted request points at this frame's slots; never leave
-  // before the scoring workers are done with them.
+  // before the scoring workers are done with them. Publish first —
+  // unannounced records would otherwise leave the workers asleep.
+  publish_work();
   wg.Wait();
   ::shutdown(fd, SHUT_RDWR);
   conn->done.store(true, std::memory_order_release);
 }
 
-void BoatServer::ScoringWorker() {
+void BoatServer::ScoringWorker(size_t worker_index) {
   const size_t max_batch =
       options_.max_batch > 0 ? static_cast<size_t>(options_.max_batch) : 1;
   std::vector<internal::Request> batch;
@@ -498,30 +613,79 @@ void BoatServer::ScoringWorker() {
   tuples.reserve(max_batch);
   std::vector<int32_t> out;
 
+  // Fairness between models: each worker scans the lanes round-robin from
+  // its own cursor (staggered by worker index so co-workers start on
+  // different lanes) and always resumes *past* the lane it just served, so
+  // one saturated model cannot starve the others.
+  const size_t lane_count = lanes_.size();
+  size_t cursor = worker_index % lane_count;
+
   for (;;) {
-    std::optional<internal::Request> first = queue_.Pop();
-    if (!first.has_value()) return;  // closed and drained
+    bool closed;
+    {
+      // Sleep until handlers announce work (or shutdown). The signed tally
+      // may lag pops (handlers publish in batches), so a wakeup is a hint,
+      // not a guarantee — the scan below is the source of truth.
+      MutexLock lock(work_mu_);
+      work_cv_.Wait(lock, [&] {
+        work_mu_.AssertHeld();
+        return work_pending_ > 0 || work_closed_;
+      });
+      closed = work_closed_;
+    }
+
+    Lane* lane = nullptr;
+    std::optional<internal::Request> first;
+    for (size_t probe = 0; probe < lane_count; ++probe) {
+      Lane* candidate = lanes_[(cursor + probe) % lane_count].get();
+      first = candidate->queue.TryPop();
+      if (first.has_value()) {
+        lane = candidate;
+        cursor = (cursor + probe + 1) % lane_count;
+        break;
+      }
+    }
+    if (lane == nullptr) {
+      if (closed) {
+        // Closed and every lane drained: done. (A co-worker may still be
+        // scoring its final batch; those records are no longer queued.)
+        bool all_empty = true;
+        for (const std::unique_ptr<Lane>& l : lanes_) {
+          if (l->queue.size() != 0) {
+            all_empty = false;
+            break;
+          }
+        }
+        if (all_empty) return;
+      }
+      // Spurious hint (another worker won the race, or the tally ran ahead
+      // of a pop's accounting): yield and re-check.
+      std::this_thread::yield();
+      continue;
+    }
+
     {
       // Test-only gate (see SetScoringPausedForTest): holding the popped
-      // request here lets backpressure tests fill the queue exactly.
+      // request here lets backpressure tests fill the lane exactly.
       MutexLock lock(pause_mu_);
       pause_cv_.Wait(lock, [&] {
         pause_mu_.AssertHeld();
-        return !scoring_paused_ || queue_.closed();
+        return !scoring_paused_ || lane->queue.closed();
       });
     }
     batch.clear();
     batch.push_back(std::move(*first));
-    // Greedy drain: take everything already queued under one lock, without
-    // waiting. Under a saturated pipeline this alone builds large batches,
-    // and waiting would only add latency.
-    queue_.PopAllInto(&batch, max_batch - batch.size());
+    // Greedy drain, confined to the chosen lane (batches never mix models):
+    // take everything already queued under one lock, without waiting. Under
+    // a saturated pipeline this alone builds large batches, and waiting
+    // would only add latency.
+    lane->queue.PopAllInto(&batch, max_batch - batch.size());
     if (batch.size() < max_batch && max_batch > 1 && options_.linger_us > 0) {
       // Gather: yield the CPU to the connection handlers that are parsing
       // the next records and drain again, as long as that makes progress.
       // The moment producers stall with records in hand we score what we
       // have — a wave in flight is never delayed by the linger. Only with a
-      // single record and an empty queue do we block (bounded by linger_us)
+      // single record and an empty lane do we block (bounded by linger_us)
       // for a companion record, so light concurrency still coalesces.
       // determinism-lint: allow(linger deadline bounds batch wait; predictions are batch-invariant)
       const auto deadline = std::chrono::steady_clock::now() +
@@ -529,11 +693,11 @@ void BoatServer::ScoringWorker() {
       for (;;) {
         std::this_thread::yield();
         const size_t got =
-            queue_.PopAllInto(&batch, max_batch - batch.size());
+            lane->queue.PopAllInto(&batch, max_batch - batch.size());
         if (batch.size() >= max_batch) break;
         if (got == 0) {
           if (batch.size() > 1) break;  // producers stalled; score now
-          std::optional<internal::Request> r = queue_.PopUntil(deadline);
+          std::optional<internal::Request> r = lane->queue.PopUntil(deadline);
           if (!r.has_value()) break;  // linger elapsed or queue closed
           batch.push_back(std::move(*r));
         }
@@ -541,35 +705,51 @@ void BoatServer::ScoringWorker() {
         if (std::chrono::steady_clock::now() >= deadline) break;
       }
     }
-
-    // One model snapshot per batch: a concurrent RELOAD swaps the registry
-    // pointer, never this batch's model (RCU-style; see model_registry.h).
-    const std::shared_ptr<const ServableModel> model = registry_->Snapshot();
-    const int arity = model->schema.num_attributes();
-    bool uniform = true;
-    for (const internal::Request& r : batch) {
-      if (r.tuple.num_values() != arity) {
-        uniform = false;
-        break;
-      }
+    {
+      // Account for the whole batch with one lock; see work_pending_'s
+      // invariant in server.h for why this may go transiently negative.
+      MutexLock lock(work_mu_);
+      work_pending_ -= static_cast<int64_t>(batch.size());
     }
-    // Reused buffer, no zero-fill: Predict (and the mismatch loop below)
-    // writes every slot it is sized to.
+
+    // One model snapshot per batch: a concurrent RELOAD swaps this lane's
+    // registry pointer, never this batch's model (RCU-style; see
+    // model_registry.h). Other lanes' reloads touch other registries.
+    const std::shared_ptr<const ServableModel> model =
+        lane->registry->Snapshot();
     out.resize(batch.size());
-    if (uniform) {
-      tuples.clear();
-      for (internal::Request& r : batch) tuples.push_back(std::move(r.tuple));
-      // Routes through the blocked (SIMD-dispatched) batch kernel for
-      // micro-batches of >= 32 records; smaller waves take the per-tuple
-      // path. Identical labels either way.
-      model->compiled.Predict(tuples, out, /*num_threads=*/1);
+    if (model == nullptr) {
+      // The model was evicted after admission; flag every record.
+      for (size_t i = 0; i < batch.size(); ++i) out[i] = kNoModelLabel;
     } else {
-      // A hot reload changed the schema arity between admission and
-      // scoring: score matching tuples, flag the rest.
-      for (size_t i = 0; i < batch.size(); ++i) {
-        out[i] = batch[i].tuple.num_values() == arity
-                     ? model->compiled.Classify(batch[i].tuple)
-                     : kSchemaMismatchLabel;
+      const int arity = model->schema.num_attributes();
+      bool uniform = true;
+      for (const internal::Request& r : batch) {
+        if (r.tuple.num_values() != arity) {
+          uniform = false;
+          break;
+        }
+      }
+      // Reused buffer, no zero-fill: Predict (and the mismatch loop below)
+      // writes every slot it is sized to.
+      if (uniform) {
+        tuples.clear();
+        for (internal::Request& r : batch) {
+          tuples.push_back(std::move(r.tuple));
+        }
+        // Routes through the blocked (SIMD-dispatched) batch kernel for
+        // micro-batches of >= 32 records; smaller waves take the per-tuple
+        // path. Identical labels either way. An ensemble-backed lane votes
+        // across its members with one batched Predict per member.
+        model->compiled.Predict(tuples, out, /*num_threads=*/1);
+      } else {
+        // A hot reload changed the schema arity between admission and
+        // scoring: score matching tuples, flag the rest.
+        for (size_t i = 0; i < batch.size(); ++i) {
+          out[i] = batch[i].tuple.num_values() == arity
+                       ? model->compiled.Classify(batch[i].tuple)
+                       : kSchemaMismatchLabel;
+        }
       }
     }
 
@@ -598,8 +778,45 @@ void BoatServer::ScoringWorker() {
   }
 }
 
+std::string BoatServer::LaneStatsJson(const Lane& lane) const {
+  const std::shared_ptr<const ServableModel> model = lane.registry->Snapshot();
+  std::string json = StrPrintf(
+      "{\"model_id\":\"%s\",\"requests\":%llu,\"errors\":%llu,"
+      "\"busy\":%llu,\"queue_depth\":%zu,\"reloads\":%lld,\"ensemble\":%s",
+      lane.id.c_str(),
+      static_cast<unsigned long long>(
+          lane.requests.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          lane.errors.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          lane.busy.load(std::memory_order_relaxed)),
+      lane.queue.size(), static_cast<long long>(lane.registry->reload_count()),
+      lane.ensemble ? "true" : "false");
+  if (lane.trainer != nullptr) {
+    json += ",\"trainer\":" + lane.trainer->StatsJson();
+  }
+  if (model != nullptr) {
+    json += StrPrintf(
+        ",\"model\":{\"fingerprint\":\"%016llx\",\"nodes\":%zu,"
+        "\"members\":%d,\"dir\":\"%s\"}",
+        static_cast<unsigned long long>(model->fingerprint),
+        model->tree_nodes, model->compiled.num_members(),
+        model->source_dir.c_str());
+  }
+  json += "}";
+  return json;
+}
+
 std::string BoatServer::StatsJson() const {
-  const std::shared_ptr<const ServableModel> model = registry_->Snapshot();
+  const Lane& default_lane = *lanes_.front();
+  const std::shared_ptr<const ServableModel> model =
+      default_lane.registry->Snapshot();
+  size_t queue_depth = 0;
+  int64_t reloads = 0;
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    queue_depth += lane->queue.size();
+    reloads += lane->registry->reload_count();
+  }
   std::string json = "{";
   json += StrPrintf(
       "\"requests\":%llu,\"errors\":%llu,\"busy\":%llu,\"batches\":%llu,"
@@ -610,10 +827,9 @@ std::string BoatServer::StatsJson() const {
       static_cast<unsigned long long>(busy_.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           batches_.load(std::memory_order_relaxed)),
-      queue_.size(),
-      static_cast<long long>(registry_->reload_count()));
-  if (trainer_ != nullptr) {
-    json += ",\"trainer\":" + trainer_->StatsJson();
+      queue_depth, static_cast<long long>(reloads));
+  if (default_lane.trainer != nullptr) {
+    json += ",\"trainer\":" + default_lane.trainer->StatsJson();
   }
   json += ",\"batch_size_hist\":" + batch_size_hist_.ToJson();
   json += StrPrintf(
@@ -627,6 +843,16 @@ std::string BoatServer::StatsJson() const {
         "\"dir\":\"%s\"}",
         static_cast<unsigned long long>(model->fingerprint),
         model->tree_nodes, model->source_dir.c_str());
+  }
+  if (lanes_.size() > 1) {
+    json += ",\"models\":{";
+    bool first = true;
+    for (const std::unique_ptr<Lane>& lane : lanes_) {
+      if (!first) json += ",";
+      first = false;
+      json += "\"" + lane->id + "\":" + LaneStatsJson(*lane);
+    }
+    json += "}";
   }
   json += "}";
   return json;

@@ -1,27 +1,33 @@
-// BoatServer: a micro-batching TCP model server over the CompiledTree
-// batch-inference path.
+// BoatServer: a micro-batching TCP model server over the CompiledEnsemble
+// batch-inference path, serving one model or a whole named fleet.
 //
-// Architecture (see DESIGN.md §8):
+// Architecture (see DESIGN.md §8 and §12):
 //   * one accept thread; one handler thread per connection (bounded by
 //     max_connections — excess connections get one BUSY line and a close);
 //   * handlers parse newline-delimited wire requests (serve/wire.h),
-//     validate them against the active model's schema, and submit accepted
-//     records to a bounded admission queue (common/bounded_queue.h). A full
-//     queue yields an immediate per-line BUSY reply — backpressure, not
-//     unbounded buffering;
-//   * scoring_threads batch workers pop the queue and gather a micro-batch:
-//     bulk-drain everything already queued, then alternate yield/drain while
-//     the handlers keep producing (blocking, bounded by linger_us, only when
-//     a single record is in hand). The whole batch is scored with one
-//     CompiledTree::Predict call against one ModelRegistry snapshot — this
-//     amortizes per-request synchronization and keeps hot-reload atomic per
-//     batch;
+//     resolve the target model from the v3 `@<id>` routing prefix (absent =
+//     the default model), validate records against that model's schema, and
+//     submit accepted records to the model's *lane* — a per-model bounded
+//     admission queue (common/bounded_queue.h). A full lane yields an
+//     immediate per-line BUSY reply — backpressure, not unbounded
+//     buffering, and one model's saturation never consumes another model's
+//     admission budget;
+//   * scoring_threads batch workers are shared across the fleet: each
+//     worker round-robins over the lanes from its own starting offset
+//     (fairness between models), claims the first lane with work, and
+//     gathers a micro-batch confined to that lane: bulk-drain everything
+//     already queued, then alternate yield/drain while the handlers keep
+//     producing (blocking, bounded by linger_us, only when a single record
+//     is in hand). The whole batch is scored with one
+//     CompiledEnsemble::Predict call against one snapshot of that lane's
+//     ModelRegistry — batches never mix models, so hot reload stays atomic
+//     per batch and per model;
 //   * replies are written strictly in request order per connection;
 //     handlers pipeline up to an internal reply window before waiting.
 //
 // Shutdown() (SIGTERM in boatd) is a graceful drain: stop accepting,
 // half-close every connection's read side (handlers finish replying to
-// everything already received), close the queue, join the workers. No
+// everything already received), close every lane, join the workers. No
 // admitted request is dropped. Concurrent Shutdown calls (including the
 // destructor racing an explicit call) serialize on lifecycle_mu_: every
 // caller blocks until the drain is complete.
@@ -36,6 +42,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -45,6 +52,7 @@
 #include "common/histogram.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "serve/fleet.h"
 #include "serve/model_registry.h"
 #include "serve/trainer.h"
 #include "storage/tuple.h"
@@ -54,23 +62,24 @@ namespace boat::serve {
 struct ServerOptions {
   /// TCP port to listen on; 0 picks an ephemeral port (see port()).
   int port = 0;
-  /// Number of micro-batch scoring worker threads.
+  /// Number of micro-batch scoring worker threads (shared by all models).
   int scoring_threads = 1;
   /// Maximum records per micro-batch.
   int max_batch = 2048;
   /// Upper bound on the time a worker spends gathering one micro-batch, in
   /// microseconds. A worker first bulk-drains everything already queued and
   /// keeps draining while producers make progress; it only sleeps (within
-  /// this bound) when exactly one record is in hand and the queue is empty,
+  /// this bound) when exactly one record is in hand and the lane is empty,
   /// so a saturated pipeline never waits out the linger.
   int64_t linger_us = 1000;
-  /// Admission-queue high-water mark; a full queue replies BUSY.
+  /// Per-lane admission high-water mark; a full lane replies BUSY.
   size_t queue_capacity = 8192;
   /// Request lines longer than this are rejected with ERR.
   size_t max_line_bytes = 64 * 1024;
   /// Connection cap; excess accepts receive one BUSY line and are closed.
   int max_connections = 256;
-  /// Split-selector name RELOAD passes to LoadClassifier.
+  /// Split-selector name RELOAD passes to LoadClassifier (fleet entries may
+  /// carry their own; this is the single-model default).
   std::string selector = "gini";
   /// INGEST/DELETE chunks larger than this are rejected (their payload is
   /// still consumed, so the protocol stays in sync).
@@ -122,12 +131,21 @@ struct Request {
 
 class BoatServer {
  public:
-  /// \brief `registry` must hold an active model before Start() and must
-  /// outlive the server. `trainer`, when non-null, enables the streaming
-  /// INGEST/DELETE/RETRAIN verbs (it must be started and must outlive the
-  /// server); when null those verbs reply ERR.
+  /// \brief Single-model server (wire v2 compatible; v3 lines may address
+  /// the model as `@default`). `registry` must hold an active model before
+  /// Start() and must outlive the server. `trainer`, when non-null, enables
+  /// the streaming INGEST/DELETE/RETRAIN verbs (it must be started and must
+  /// outlive the server); when null those verbs reply ERR.
   BoatServer(ModelRegistry* registry, ServerOptions options,
              Trainer* trainer = nullptr);
+
+  /// \brief Fleet server: one lane per fleet entry, in fleet order (the
+  /// first entry is the default model for unrouted lines). The fleet must
+  /// be fully populated before construction — the server captures the entry
+  /// list here — and every entry must hold an active model before Start().
+  /// `fleet` must outlive the server.
+  BoatServer(FleetRegistry* fleet, ServerOptions options);
+
   ~BoatServer();
 
   BoatServer(const BoatServer&) = delete;
@@ -147,16 +165,42 @@ class BoatServer {
   void Shutdown() BOAT_EXCLUDES(lifecycle_mu_);
 
   /// \brief The STATS admin reply: one JSON object with request/batch
-  /// counters, the batch-size histogram, latency quantiles, queue depth,
-  /// reload count, and the live model fingerprint.
+  /// counters, the batch-size histogram, latency quantiles, total queue
+  /// depth, reload count, the default model's fingerprint, and (fleet) a
+  /// per-model "models" section.
   std::string StatsJson() const;
 
-  /// \brief Test hook: while paused, scoring workers do not pop the
-  /// admission queue, so the queue fills deterministically (backpressure
-  /// tests). Never used by boatd.
+  /// \brief Test hook: while paused, scoring workers do not pop any lane,
+  /// so the queues fill deterministically (backpressure tests). Never used
+  /// by boatd.
   void SetScoringPausedForTest(bool paused) BOAT_EXCLUDES(pause_mu_);
 
  private:
+  /// One served model: its admission queue plus routing metadata and
+  /// per-model counters. Built in the constructors and immutable afterwards
+  /// (the vector/map are read lock-free by handlers and workers); the
+  /// queue and counters are internally synchronized.
+  struct Lane {
+    explicit Lane(size_t queue_capacity) : queue(queue_capacity) {}
+
+    std::string id;
+    ModelRegistry* registry = nullptr;  ///< never null
+    Trainer* trainer = nullptr;         ///< null: no streaming ingestion
+    bool ensemble = false;  ///< RELOAD loads a SaveEnsemble directory
+    std::string selector;   ///< RELOAD selector for tree-backed lanes
+    /// Keeps fleet-owned components (registry/trainer) alive for the
+    /// server's lifetime; null for the single-model constructor.
+    std::shared_ptr<FleetEntry> entry;
+
+    BoundedQueue<internal::Request> queue;
+
+    // Per-model counters for STATS; relaxed (monotonic tallies, no reader
+    // orders other memory against them).
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> busy{0};
+  };
+
   struct Conn {
     int fd = -1;
     std::thread thread;
@@ -167,13 +211,21 @@ class BoatServer {
 
   void AcceptLoop();
   void HandleConnection(Conn* conn);
-  void ScoringWorker();
+  void ScoringWorker(size_t worker_index);
   /// Joins and closes finished connections.
   void ReapFinishedLocked() BOAT_REQUIRES(conns_mu_);
+  /// Resolves a parsed model id ("" = default) to its lane, or null.
+  Lane* ResolveLane(const std::string& model_id) const;
+  /// One JSON object for `@<id> STATS` and the global "models" section.
+  std::string LaneStatsJson(const Lane& lane) const;
 
-  ModelRegistry* const registry_;
   const ServerOptions options_;
-  Trainer* const trainer_;
+
+  /// The fleet's lanes, in fleet order; lanes_[0] is the default model.
+  /// Both containers are built in the constructors and never change, so
+  /// handlers and workers read them without a lock.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::map<std::string, Lane*> lane_by_id_;
 
   /// Written once by Start() before any server thread exists and reset only
   /// after every thread is joined (Shutdown); the accept loop's unguarded
@@ -195,7 +247,17 @@ class BoatServer {
   /// accept loop ends it and orders the fd teardown that follows.
   std::atomic<bool> stopping_{false};
 
-  BoundedQueue<internal::Request> queue_;
+  /// Fleet work signal: handlers batch-announce admitted records here and
+  /// workers sleep on it when every lane is empty, so idle workers cost
+  /// nothing while busy pipelines pay one lock per reply window / batch.
+  /// work_pending_ is a *signed* tally: a worker may pop (and account for)
+  /// records before the admitting handler's batched publish lands, so the
+  /// counter is transiently negative by design — it converges to the true
+  /// queued total whenever producers and consumers quiesce.
+  Mutex work_mu_;
+  CondVar work_cv_;
+  int64_t work_pending_ BOAT_GUARDED_BY(work_mu_) = 0;
+  bool work_closed_ BOAT_GUARDED_BY(work_mu_) = false;
 
   Mutex conns_mu_;
   std::vector<std::unique_ptr<Conn>> conns_ BOAT_GUARDED_BY(conns_mu_);

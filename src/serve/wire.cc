@@ -13,6 +13,11 @@ bool IsAsciiLetter(char c) {
   return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
 }
 
+bool IsModelIdChar(char c) {
+  return IsAsciiLetter(c) || (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+         c == '-';
+}
+
 std::string Trim(const std::string& s) {
   size_t begin = 0;
   size_t end = s.size();
@@ -124,9 +129,9 @@ std::string FormatFields(const Schema& schema, const Tuple& t, bool labeled) {
   return line;
 }
 
-}  // namespace
-
-Result<Request> ParseRequest(const std::string& line) {
+/// The v2 grammar: `line` carries no routing prefix (or the prefix was
+/// already stripped by ParseRequest). For kRecord, args is `line` itself.
+Result<Request> ParseUnrouted(const std::string& line) {
   size_t i = 0;
   while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
   if (i >= line.size() || !IsAsciiLetter(line[i])) {
@@ -178,6 +183,48 @@ Result<Request> ParseRequest(const std::string& line) {
     return request;
   }
   return Status::InvalidArgument("unknown command");
+}
+
+}  // namespace
+
+bool IsValidModelId(const std::string& id) {
+  if (id.empty() || id.size() > kMaxModelIdBytes) return false;
+  for (const char c : id) {
+    if (!IsModelIdChar(c)) return false;
+  }
+  return true;
+}
+
+Result<Request> ParseRequest(const std::string& line) {
+  size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != '@') return ParseUnrouted(line);
+
+  // v3 routing prefix: @<id> <rest>. The id charset excludes whitespace, so
+  // the id ends at the first non-id character, which must be a separator.
+  const size_t id_begin = i + 1;
+  size_t id_end = id_begin;
+  while (id_end < line.size() && IsModelIdChar(line[id_end])) ++id_end;
+  const std::string id = line.substr(id_begin, id_end - id_begin);
+  if (!IsValidModelId(id)) {
+    return Status::InvalidArgument("malformed model id after '@'");
+  }
+  if (id_end >= line.size() ||
+      (line[id_end] != ' ' && line[id_end] != '\t')) {
+    return Status::InvalidArgument("model id must be followed by a request");
+  }
+  size_t rest_begin = id_end;
+  while (rest_begin < line.size() &&
+         (line[rest_begin] == ' ' || line[rest_begin] == '\t')) {
+    ++rest_begin;
+  }
+  const std::string rest = line.substr(rest_begin);
+  if (Trim(rest).empty()) {
+    return Status::InvalidArgument("model id must be followed by a request");
+  }
+  BOAT_ASSIGN_OR_RETURN(Request request, ParseUnrouted(rest));
+  request.model_id = id;
+  return request;
 }
 
 std::string FormatReply(const Reply& reply) {

@@ -1,4 +1,14 @@
-// boatd wire protocol v2: newline-delimited text over one TCP connection.
+// boatd wire protocol v3: newline-delimited text over one TCP connection.
+//
+// v3 adds fleet routing on top of v2: any request line may carry a model-id
+// prefix `@<id> ` (id over [A-Za-z0-9_.-], 1..kMaxModelIdBytes bytes,
+// followed by whitespace and the v2 request). '@' is not an ASCII letter and
+// not a CSV record character, so the v2 record/admin dichotomy is untouched
+// and every v2 line still parses exactly as before — it routes to the
+// server's default model (Request::model_id empty). `@m 1.5,2,3` scores a
+// record against model `m`; `@m STATS`, `@m RELOAD <dir>`, `@m INGEST <n>`,
+// `@m DELETE <n>` and `@m RETRAIN` address model m's registry and trainer.
+// PING/QUIT accept a prefix too (the id is validated, then ignored).
 //
 // Client -> server, one request per line:
 //   * data record:  CSV fields, exactly schema.num_attributes() of them, no
@@ -59,6 +69,14 @@ namespace boat::serve {
 /// only keeps the parsed count sane.
 inline constexpr int64_t kMaxWireChunkRecords = 1'000'000'000;
 
+/// \brief Ceiling on a v3 model-id prefix, in bytes. Ids are operator-chosen
+/// names, not data; the bound keeps hostile prefixes from inflating parses.
+inline constexpr size_t kMaxModelIdBytes = 64;
+
+/// \brief True iff `id` is a well-formed v3 model id: 1..kMaxModelIdBytes
+/// characters over [A-Za-z0-9_.-].
+bool IsValidModelId(const std::string& id);
+
 /// \brief Verb of one request line.
 enum class Verb {
   kRecord,   ///< CSV data record to classify
@@ -76,17 +94,25 @@ enum class Verb {
 /// raw line for kRecord and the trimmed argument for kReload.
 struct Request {
   Verb verb = Verb::kRecord;
-  /// kRecord: the raw line. kReload: the directory, trimmed. Else empty.
+  /// kRecord: the record line (for a routed line, the part after the model
+  /// id with leading whitespace stripped; otherwise the raw line). kReload:
+  /// the directory, trimmed. Else empty.
   std::string args;
   /// kIngest/kDelete: number of payload lines that follow, >= 1.
   int64_t payload_lines = 0;
+  /// v3 routing: the `@<id>` prefix, or empty for a v2 line (the server
+  /// routes empty to its default model).
+  std::string model_id;
 };
 
-/// \brief Parses one request line. Any line not starting with an ASCII
-/// letter is a record (record fields are numeric, admin verbs are words).
-/// Lines that start with a letter must be a well-formed admin verb; unknown
-/// verbs and malformed arguments (e.g. a non-numeric INGEST count) are
-/// errors. Never inspects record fields, so it needs no schema.
+/// \brief Parses one request line. A leading `@<id>` (after optional
+/// whitespace) routes the rest of the line to the named model; the rest —
+/// or the whole line when unrouted — follows the v2 rules: any line not
+/// starting with an ASCII letter is a record (record fields are numeric,
+/// admin verbs are words). Lines that start with a letter must be a
+/// well-formed admin verb; unknown verbs, malformed arguments (e.g. a
+/// non-numeric INGEST count) and malformed model ids are errors. Never
+/// inspects record fields, so it needs no schema.
 Result<Request> ParseRequest(const std::string& line);
 
 /// \brief One reply line, as written by the server and read back by

@@ -1,0 +1,118 @@
+#include "tree/ensemble.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace boat {
+
+namespace {
+
+/// Vote accumulation block: bounds the per-class counter pane to ~a few MB
+/// worst case (4096 tuples x k classes x 4 bytes) while keeping each
+/// member's batched Predict call large enough to hit the block kernels.
+constexpr size_t kVoteBlock = 4096;
+
+}  // namespace
+
+void EnsemblePredict(std::span<const CompiledTree> members, int num_classes,
+                     std::span<const Tuple> tuples, std::span<int32_t> out,
+                     std::span<double> confidence, int num_threads) {
+  assert(!members.empty());
+  assert(out.size() == tuples.size());
+  assert(confidence.empty() || confidence.size() == tuples.size());
+  if (members.size() == 1 && confidence.empty()) {
+    // Single member: the vote is the tree's own label; skip the counter
+    // pane entirely so a one-tree ensemble serves at bare-tree speed.
+    members[0].Predict(tuples, out, num_threads);
+    return;
+  }
+  const size_t k = static_cast<size_t>(num_classes);
+  std::vector<int32_t> scratch(std::min(kVoteBlock, tuples.size()));
+  std::vector<int32_t> votes;
+  for (size_t base = 0; base < tuples.size(); base += kVoteBlock) {
+    const size_t n = std::min(kVoteBlock, tuples.size() - base);
+    votes.assign(n * k, 0);
+    const std::span<const Tuple> block = tuples.subspan(base, n);
+    const std::span<int32_t> labels(scratch.data(), n);
+    for (const CompiledTree& member : members) {
+      member.Predict(block, labels, num_threads);
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t label = labels[i];
+        if (label >= 0 && static_cast<size_t>(label) < k) {
+          ++votes[i * k + static_cast<size_t>(label)];
+        }
+      }
+    }
+    // Argmax scans classes ascending with a strict >, so ties resolve to
+    // the lowest class id — deterministic for any member order or thread
+    // count (the thread count only stripes each member's Predict).
+    for (size_t i = 0; i < n; ++i) {
+      int32_t best = 0;
+      int32_t best_votes = votes[i * k];
+      for (size_t c = 1; c < k; ++c) {
+        if (votes[i * k + c] > best_votes) {
+          best = static_cast<int32_t>(c);
+          best_votes = votes[i * k + c];
+        }
+      }
+      out[base + i] = best;
+      if (!confidence.empty()) {
+        confidence[base + i] = static_cast<double>(best_votes) /
+                               static_cast<double>(members.size());
+      }
+    }
+  }
+}
+
+CompiledEnsemble::CompiledEnsemble(const DecisionTree& tree)
+    : num_classes_(tree.schema().num_classes()) {
+  members_.emplace_back(tree);
+}
+
+CompiledEnsemble::CompiledEnsemble(const std::vector<DecisionTree>& members) {
+  assert(!members.empty());
+  members_.reserve(members.size());
+  for (const DecisionTree& tree : members) members_.emplace_back(tree);
+  num_classes_ = members_.front().schema().num_classes();
+}
+
+int32_t CompiledEnsemble::Classify(const Tuple& tuple) const {
+  if (members_.size() == 1) return members_.front().Classify(tuple);
+  std::vector<int32_t> counts(static_cast<size_t>(num_classes_), 0);
+  for (const CompiledTree& member : members_) {
+    const int32_t label = member.Classify(tuple);
+    if (label >= 0 && label < num_classes_) {
+      ++counts[static_cast<size_t>(label)];
+    }
+  }
+  int32_t best = 0;
+  for (int32_t c = 1; c < num_classes_; ++c) {
+    if (counts[static_cast<size_t>(c)] > counts[static_cast<size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+void CompiledEnsemble::Predict(std::span<const Tuple> tuples,
+                               std::span<int32_t> out, int num_threads) const {
+  EnsemblePredict(members_, num_classes_, tuples, out, /*confidence=*/{},
+                  num_threads);
+}
+
+void CompiledEnsemble::PredictWithConfidence(std::span<const Tuple> tuples,
+                                             std::span<int32_t> out,
+                                             std::span<double> confidence,
+                                             int num_threads) const {
+  EnsemblePredict(members_, num_classes_, tuples, out, confidence,
+                  num_threads);
+}
+
+size_t CompiledEnsemble::total_nodes() const {
+  size_t nodes = 0;
+  for (const CompiledTree& member : members_) nodes += member.num_nodes();
+  return nodes;
+}
+
+}  // namespace boat

@@ -1,0 +1,83 @@
+// CompiledEnsemble: a bagged majority-vote classifier over one or more
+// CompiledTrees, sharing one schema.
+//
+// BOAT's sampling phase builds b bootstrap trees and (by default) discards
+// them after the cleanup scan. When they are kept (see
+// BoatOptions::keep_bootstrap_trees) they form a classic bagged ensemble:
+// each member votes with its leaf label and the ensemble answers the
+// majority class, with ties broken toward the lowest class id so the vote
+// is deterministic regardless of member order evaluation or thread count.
+//
+// Scoring runs one batched CompiledTree::Predict per member over a block of
+// tuples and accumulates per-class vote counts, so the ensemble inherits the
+// blocked/SIMD batch kernels instead of re-walking trees tuple-at-a-time.
+// A single-member ensemble delegates straight to CompiledTree::Predict and
+// is byte- and speed-identical to serving the tree directly — this is what
+// lets the serving layer hold every servable model as a CompiledEnsemble.
+
+#ifndef BOAT_TREE_ENSEMBLE_H_
+#define BOAT_TREE_ENSEMBLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tree/compiled_tree.h"
+#include "tree/decision_tree.h"
+
+namespace boat {
+
+/// \brief Bagged majority vote over compiled trees: out[i] = argmax_c
+/// |{m : members[m].Classify(tuples[i]) == c}|, ties toward the lower class
+/// id. When `confidence` is non-empty it must have tuples.size() elements
+/// and receives the winning vote fraction (votes_for_winner / num_members).
+/// All members must share one schema; `num_classes` is the vote width.
+/// Deterministic for every `num_threads` (the thread count only stripes the
+/// per-member batched Predict calls).
+void EnsemblePredict(std::span<const CompiledTree> members, int num_classes,
+                     std::span<const Tuple> tuples, std::span<int32_t> out,
+                     std::span<double> confidence, int num_threads = 1);
+
+/// \brief An immutable compiled ensemble. One member behaves exactly like a
+/// bare CompiledTree; b members behave like a bagged vote over them.
+class CompiledEnsemble {
+ public:
+  /// \brief Single-member ensemble: serving-compatible wrapper around one
+  /// compiled tree. Classify/Predict delegate with zero vote overhead.
+  explicit CompiledEnsemble(const DecisionTree& tree);
+
+  /// \brief Bagged ensemble over `members` (must be non-empty and share one
+  /// schema, e.g. the bootstrap trees of one sampling phase).
+  explicit CompiledEnsemble(const std::vector<DecisionTree>& members);
+
+  /// \brief Majority-vote label of one record (lowest class id on ties).
+  [[nodiscard]] int32_t Classify(const Tuple& tuple) const;
+
+  /// \brief Batched scoring: out[i] = Classify(tuples[i]). `out` must have
+  /// exactly tuples.size() elements and may be uninitialized. Identical
+  /// output for every thread count.
+  void Predict(std::span<const Tuple> tuples, std::span<int32_t> out,
+               int num_threads = 1) const;
+
+  /// \brief Predict plus per-record confidence: the winning class's vote
+  /// fraction in [1/num_members, 1]. A single-member ensemble always
+  /// reports 1.0.
+  void PredictWithConfidence(std::span<const Tuple> tuples,
+                             std::span<int32_t> out,
+                             std::span<double> confidence,
+                             int num_threads = 1) const;
+
+  const Schema& schema() const { return members_.front().schema(); }
+  int num_members() const { return static_cast<int>(members_.size()); }
+  const std::vector<CompiledTree>& members() const { return members_; }
+  /// \brief Sum of node counts across members (diagnostics / STATS).
+  size_t total_nodes() const;
+
+ private:
+  std::vector<CompiledTree> members_;
+  int num_classes_ = 0;
+};
+
+}  // namespace boat
+
+#endif  // BOAT_TREE_ENSEMBLE_H_

@@ -1,0 +1,718 @@
+// Fleet serving and ensemble backend tests: wire v3 routing grammar, the
+// bagged majority-vote CompiledEnsemble (thread-count invariance against a
+// scalar reference vote), ensemble persistence (Session::Train emission and
+// SaveEnsemble/LoadEnsemble round trip), the FleetRegistry (id validation,
+// per-model reload isolation, eviction), and end-to-end multi-model
+// BoatServer coverage over real sockets: per-record routed traffic
+// byte-identical to per-model offline classification, unknown-model ERR
+// without consuming the connection, per-model hot reload under load with
+// zero dropped requests, and routed loadgen with per-model expectations
+// (run in CI under -DBOAT_SANITIZE=thread).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "boat/persistence.h"
+#include "boat/session.h"
+#include "datagen/agrawal.h"
+#include "serve/fleet.h"
+#include "serve/loadgen.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "storage/temp_file.h"
+#include "storage/tuple_source.h"
+#include "tree/ensemble.h"
+#include "tree/inmem_builder.h"
+#include "tree/serialize.h"
+
+namespace boat {
+namespace {
+
+using serve::BoatServer;
+using serve::FleetEntry;
+using serve::FleetRegistry;
+using serve::ModelRegistry;
+using serve::Request;
+using serve::ServableModel;
+using serve::ServerOptions;
+using serve::Verb;
+
+// ------------------------------------------------------------- wire v3
+
+TEST(WireV3Test, ValidatesModelIds) {
+  EXPECT_TRUE(serve::IsValidModelId("a"));
+  EXPECT_TRUE(serve::IsValidModelId("model-2.prod_A"));
+  EXPECT_TRUE(serve::IsValidModelId(std::string(64, 'x')));
+  EXPECT_FALSE(serve::IsValidModelId(""));
+  EXPECT_FALSE(serve::IsValidModelId(std::string(65, 'x')));
+  EXPECT_FALSE(serve::IsValidModelId("has space"));
+  EXPECT_FALSE(serve::IsValidModelId("semi;colon"));
+  EXPECT_FALSE(serve::IsValidModelId("at@sign"));
+}
+
+TEST(WireV3Test, ParsesRoutedRequests) {
+  auto routed = serve::ParseRequest("@m0 1.5,2,3");
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed->verb, Verb::kRecord);
+  EXPECT_EQ(routed->model_id, "m0");
+  EXPECT_EQ(routed->args, "1.5,2,3");
+
+  auto stats = serve::ParseRequest("@prod.v2 STATS");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->verb, Verb::kStats);
+  EXPECT_EQ(stats->model_id, "prod.v2");
+
+  auto reload = serve::ParseRequest("@b RELOAD  /models/b ");
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->verb, Verb::kReload);
+  EXPECT_EQ(reload->model_id, "b");
+  EXPECT_EQ(reload->args, "/models/b");
+
+  auto ingest = serve::ParseRequest("@m INGEST 3");
+  ASSERT_TRUE(ingest.ok());
+  EXPECT_EQ(ingest->verb, Verb::kIngest);
+  EXPECT_EQ(ingest->model_id, "m");
+  EXPECT_EQ(ingest->payload_lines, 3);
+
+  auto retrain = serve::ParseRequest("@m RETRAIN");
+  ASSERT_TRUE(retrain.ok());
+  EXPECT_EQ(retrain->verb, Verb::kRetrain);
+  EXPECT_EQ(retrain->model_id, "m");
+
+  // A v2 line parses unchanged: empty model_id routes to the default model.
+  auto v2 = serve::ParseRequest("1.5,2,3");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->model_id, "");
+  EXPECT_EQ(v2->args, "1.5,2,3");
+  auto v2_admin = serve::ParseRequest("STATS");
+  ASSERT_TRUE(v2_admin.ok());
+  EXPECT_EQ(v2_admin->model_id, "");
+
+  // Malformed routing prefixes are per-line errors, never crashes.
+  EXPECT_FALSE(serve::ParseRequest("@").ok());
+  EXPECT_FALSE(serve::ParseRequest("@m").ok());           // no request
+  EXPECT_FALSE(serve::ParseRequest("@m ").ok());          // empty request
+  EXPECT_FALSE(serve::ParseRequest("@ STATS").ok());      // empty id
+  EXPECT_FALSE(serve::ParseRequest("@a@b STATS").ok());   // bad id charset
+  EXPECT_FALSE(
+      serve::ParseRequest("@" + std::string(65, 'x') + " STATS").ok());
+  EXPECT_FALSE(serve::ParseRequest("@m FROB").ok());  // bad routed verb
+}
+
+// ------------------------------------------------------------- ensemble
+
+std::vector<Tuple> Corpus(int function, uint64_t n, uint64_t seed) {
+  AgrawalConfig config;
+  config.function = function;
+  config.noise = 0.05;
+  config.seed = seed;
+  return GenerateAgrawal(config, n);
+}
+
+/// A small bag of deliberately different trees over one schema.
+std::vector<DecisionTree> MakeMembers(size_t count) {
+  auto selector = MakeGiniSelector();
+  std::vector<DecisionTree> members;
+  members.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int function = i % 2 == 0 ? 1 : 6;
+    members.push_back(BuildTreeInMemory(
+        MakeAgrawalSchema(), Corpus(function, 1200, 100 + i), *selector));
+  }
+  return members;
+}
+
+/// Reference scalar vote: per-member Classify, argmax with lowest-class-id
+/// tie break — the semantics CompiledEnsemble must reproduce at any thread
+/// count and any batching.
+int32_t ReferenceVote(const std::vector<DecisionTree>& members,
+                      const CompiledEnsemble& compiled, const Tuple& t,
+                      double* confidence) {
+  std::vector<int> votes(
+      static_cast<size_t>(MakeAgrawalSchema().num_classes()), 0);
+  for (size_t m = 0; m < members.size(); ++m) {
+    ++votes[static_cast<size_t>(compiled.members()[m].Classify(t))];
+  }
+  int32_t best = 0;
+  for (size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[static_cast<size_t>(best)]) {
+      best = static_cast<int32_t>(c);
+    }
+  }
+  *confidence = static_cast<double>(votes[static_cast<size_t>(best)]) /
+                static_cast<double>(members.size());
+  return best;
+}
+
+TEST(EnsembleTest, MajorityVoteMatchesReferenceAtAnyThreadCount) {
+  const auto members = MakeMembers(5);
+  const CompiledEnsemble compiled(members);
+  ASSERT_EQ(compiled.num_members(), 5);
+  const auto tuples = Corpus(6, 700, 42);
+
+  std::vector<int32_t> reference(tuples.size());
+  std::vector<double> reference_conf(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    reference[i] =
+        ReferenceVote(members, compiled, tuples[i], &reference_conf[i]);
+    EXPECT_EQ(compiled.Classify(tuples[i]), reference[i]) << "tuple " << i;
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    std::vector<int32_t> out(tuples.size());
+    std::vector<double> confidence(tuples.size());
+    compiled.PredictWithConfidence(tuples, out, confidence, threads);
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      EXPECT_EQ(out[i], reference[i]) << "threads " << threads << " tuple "
+                                      << i;
+      EXPECT_DOUBLE_EQ(confidence[i], reference_conf[i])
+          << "threads " << threads << " tuple " << i;
+    }
+    // Predict (no confidence) must agree with PredictWithConfidence.
+    std::vector<int32_t> plain(tuples.size());
+    compiled.Predict(tuples, plain, threads);
+    EXPECT_EQ(plain, out) << "threads " << threads;
+  }
+}
+
+TEST(EnsembleTest, SingleMemberEnsembleIsTheTree) {
+  auto selector = MakeGiniSelector();
+  const DecisionTree tree = BuildTreeInMemory(MakeAgrawalSchema(),
+                                              Corpus(1, 800, 7), *selector);
+  const CompiledTree single(tree);
+  const CompiledEnsemble compiled(tree);
+  const auto tuples = Corpus(1, 300, 8);
+  for (const Tuple& t : tuples) {
+    EXPECT_EQ(compiled.Classify(t), single.Classify(t));
+  }
+}
+
+TEST(EnsemblePersistenceTest, SaveLoadRoundTripIsExact) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const auto members = MakeMembers(4);
+  const std::string dir = temp->NewPath("ensemble_roundtrip");
+  ASSERT_TRUE(SaveEnsemble(MakeAgrawalSchema(), members, dir).ok());
+
+  auto loaded = LoadEnsemble(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->members.size(), members.size());
+  EXPECT_EQ(loaded->schema.Fingerprint(), MakeAgrawalSchema().Fingerprint());
+  for (size_t m = 0; m < members.size(); ++m) {
+    EXPECT_EQ(SerializeTree(loaded->members[m]), SerializeTree(members[m]))
+        << "member " << m;
+  }
+  // Empty and corrupt directories fail cleanly, never crash.
+  EXPECT_FALSE(LoadEnsemble(temp->NewPath("no_such_ensemble")).ok());
+  EXPECT_FALSE(
+      SaveEnsemble(MakeAgrawalSchema(), {}, temp->NewPath("empty")).ok());
+}
+
+TEST(EnsemblePersistenceTest, SessionTrainEmitsDeterministicEnsemble) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const Schema schema = MakeAgrawalSchema();
+  auto data = Corpus(6, 3000, 99);
+
+  SessionOptions options;
+  options.boat.sample_size = 600;
+  options.boat.bootstrap_count = 5;
+  options.boat.bootstrap_subsample = 200;
+  options.boat.inmem_threshold = 400;
+  options.boat.seed = 17;
+  options.boat.keep_bootstrap_trees = true;
+
+  std::vector<std::string> dirs;
+  for (int run = 0; run < 2; ++run) {
+    VectorSource source(schema, data);
+    const std::string dir =
+        temp->NewPath("ensemble_train_" + std::to_string(run));
+    auto session = Session::Train(&source, dir, options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    dirs.push_back(dir);
+  }
+
+  auto first = LoadEnsemble(dirs[0] + "/ensemble");
+  auto second = LoadEnsemble(dirs[1] + "/ensemble");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(first->members.size(), 5u);
+  for (size_t m = 0; m < first->members.size(); ++m) {
+    // Same data + seed -> byte-identical persisted members: the ensemble
+    // inherits BOAT's determinism guarantee.
+    EXPECT_EQ(SerializeTree(first->members[m]),
+              SerializeTree(second->members[m]))
+        << "member " << m;
+  }
+
+  // The servable wrapper loads it and votes like the in-memory compile.
+  auto servable = serve::LoadServableEnsemble(dirs[0] + "/ensemble");
+  ASSERT_TRUE(servable.ok());
+  EXPECT_TRUE((*servable)->ensemble_backend);
+  const CompiledEnsemble reference(first->members);
+  for (const Tuple& t : Corpus(6, 200, 123)) {
+    EXPECT_EQ((*servable)->compiled.Classify(t), reference.Classify(t));
+  }
+}
+
+// -------------------------------------------------------- fleet registry
+
+std::shared_ptr<const ServableModel> InMemoryModel(int function,
+                                                   uint64_t seed) {
+  auto selector = MakeGiniSelector();
+  DecisionTree tree = BuildTreeInMemory(MakeAgrawalSchema(),
+                                        Corpus(function, 2000, seed),
+                                        *selector);
+  return std::make_shared<const ServableModel>(tree, "");
+}
+
+TEST(FleetRegistryTest, ValidatesAndRoutesIds) {
+  FleetRegistry fleet;
+  ModelRegistry a;
+  ModelRegistry b;
+  a.Install(InMemoryModel(1, 1));
+  b.Install(InMemoryModel(6, 2));
+  ASSERT_TRUE(fleet.AddExternal("a", &a).ok());
+  ASSERT_TRUE(fleet.AddExternal("b", &b).ok());
+  EXPECT_FALSE(fleet.AddExternal("a", &b).ok());          // duplicate id
+  EXPECT_FALSE(fleet.AddExternal("bad id", &b).ok());     // invalid id
+  EXPECT_FALSE(fleet.AddExternal("", &b).ok());           // empty id
+  EXPECT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet.default_id(), "a");
+
+  // "" routes to the default (first) entry; unknown ids resolve to null.
+  EXPECT_EQ(fleet.Snapshot("")->fingerprint, a.Snapshot()->fingerprint);
+  EXPECT_EQ(fleet.Snapshot("b")->fingerprint, b.Snapshot()->fingerprint);
+  EXPECT_EQ(fleet.Snapshot("nosuch"), nullptr);
+  EXPECT_FALSE(fleet.Reload("nosuch", "/tmp/x").ok());
+  EXPECT_FALSE(fleet.Evict("nosuch").ok());
+}
+
+TEST(FleetRegistryTest, ReloadOfOneModelDoesNotInvalidateOthers) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+
+  std::vector<std::string> dirs;
+  for (const int function : {1, 6}) {
+    auto data = Corpus(function, 3000, 700 + static_cast<uint64_t>(function));
+    VectorSource source(schema, data);
+    BoatOptions options;
+    options.sample_size = 600;
+    options.bootstrap_count = 5;
+    options.bootstrap_subsample = 200;
+    options.inmem_threshold = 400;
+    options.seed = 9;
+    auto classifier =
+        BoatClassifier::Train(&source, selector.get(), options);
+    ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+    const std::string dir =
+        temp->NewPath("fleet_model_" + std::to_string(function));
+    ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+    dirs.push_back(dir);
+  }
+
+  ModelRegistry a;
+  ModelRegistry b;
+  ASSERT_TRUE(a.LoadAndSwap(dirs[0], "gini").ok());
+  ASSERT_TRUE(b.LoadAndSwap(dirs[1], "gini").ok());
+  FleetRegistry fleet;
+  ASSERT_TRUE(fleet.AddExternal("a", &a).ok());
+  ASSERT_TRUE(fleet.AddExternal("b", &b).ok());
+
+  // An in-flight snapshot of model a taken before reloading model b...
+  const std::shared_ptr<const ServableModel> a_before = fleet.Snapshot("a");
+  const uint64_t b_before = fleet.Snapshot("b")->fingerprint;
+  ASSERT_TRUE(fleet.Reload("b", dirs[0]).ok());
+  // ...is untouched: same object, and a's registry never reloaded.
+  EXPECT_EQ(fleet.Snapshot("a").get(), a_before.get());
+  EXPECT_EQ(a.reload_count(), 0);
+  EXPECT_EQ(b.reload_count(), 1);
+  EXPECT_NE(fleet.Snapshot("b")->fingerprint, b_before);
+
+  // A failed per-model reload keeps that model's last-good active.
+  const uint64_t b_good = fleet.Snapshot("b")->fingerprint;
+  EXPECT_FALSE(fleet.Reload("b", temp->NewPath("nonexistent")).ok());
+  EXPECT_EQ(fleet.Snapshot("b")->fingerprint, b_good);
+  EXPECT_EQ(b.reload_count(), 1);
+  EXPECT_EQ(fleet.Snapshot("a").get(), a_before.get());
+}
+
+// ------------------------------------------------------------ end-to-end
+
+/// Minimal blocking line client with a receive timeout so a server bug
+/// fails the test instead of hanging it.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0)
+        << std::strerror(errno);
+    timeval tv{/*tv_sec=*/20, /*tv_usec=*/0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// One reply line ("" on timeout/EOF).
+  std::string ReadLine() {
+    size_t nl;
+    while ((nl = buf_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Three named in-memory models behind one server; per-model expected
+/// labels come straight from each model's own compiled tree.
+class FleetE2eTest : public ::testing::Test {
+ protected:
+  void StartFleet(ServerOptions options) {
+    static const std::array<int, 3> kFunctions = {1, 6, 7};
+    for (size_t m = 0; m < kIds.size(); ++m) {
+      models_[m] = InMemoryModel(kFunctions[m], 1000 + m);
+      registries_[m].Install(models_[m]);
+      ASSERT_TRUE(fleet_.AddExternal(kIds[m], &registries_[m]).ok());
+    }
+    server_ = std::make_unique<BoatServer>(&fleet_, options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  std::string ExpectedLabel(size_t model, const Tuple& t) const {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d",
+                  models_[model]->compiled.Classify(t));
+    return buf;
+  }
+
+  const std::array<std::string, 3> kIds = {"alpha", "beta", "gamma"};
+  std::array<std::shared_ptr<const ServableModel>, 3> models_;
+  std::array<ModelRegistry, 3> registries_;
+  FleetRegistry fleet_;
+  std::unique_ptr<BoatServer> server_;
+};
+
+TEST_F(FleetE2eTest, RoutedRecordsMatchPerModelOfflineClassification) {
+  StartFleet(ServerOptions{});
+  const auto tuples = Corpus(6, 240, 555);
+  const auto lines =
+      serve::FormatRecordLines(models_[0]->schema, tuples);
+
+  // One pipelined burst interleaving the three models record by record;
+  // every reply must be byte-identical to that model's offline Classify.
+  TestClient client(server_->port());
+  std::string burst;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    burst += "@" + kIds[i % 3] + " " + lines[i] + "\n";
+  }
+  client.Send(burst);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(client.ReadLine(), ExpectedLabel(i % 3, tuples[i]))
+        << "record " << i << " model " << kIds[i % 3];
+  }
+
+  // Unrouted v2 lines score against the default (first) model.
+  client.Send(lines[0] + "\n@default" /* not an id in this fleet */
+              " STATS\n");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(0, tuples[0]));
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "ERR");
+}
+
+TEST_F(FleetE2eTest, UnknownModelIdIsAPerLineErrorNotAConnectionKiller) {
+  StartFleet(ServerOptions{});
+  const auto tuples = Corpus(6, 3, 66);
+  const auto lines = serve::FormatRecordLines(models_[0]->schema, tuples);
+
+  TestClient client(server_->port());
+  client.Send("@nosuch " + lines[0] + "\n" +       // unknown model record
+              "@beta " + lines[1] + "\n" +         // still served
+              "@nosuch STATS\n" +                  // unknown model admin
+              "@nosuch RELOAD /tmp/x\n" +          // unknown model reload
+              "@nosuch INGEST 2\n" +               // unknown model chunk...
+              lines[0] + "\n" + lines[1] + "\n" +  // ...payload consumed
+              "@alpha PING\n" +                    // routed PING: id ignored
+              "@gamma " + lines[2] + "\n");
+  EXPECT_EQ(client.ReadLine(), "ERR unknown model 'nosuch'");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(1, tuples[1]));
+  EXPECT_EQ(client.ReadLine(), "ERR unknown model 'nosuch'");
+  EXPECT_EQ(client.ReadLine(), "ERR unknown model 'nosuch'");
+  EXPECT_EQ(client.ReadLine(), "ERR unknown model 'nosuch'");
+  EXPECT_EQ(client.ReadLine(), "PONG");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(2, tuples[2]));
+}
+
+TEST_F(FleetE2eTest, PerModelStatsAndGlobalModelsSection) {
+  StartFleet(ServerOptions{});
+  const auto tuples = Corpus(6, 4, 77);
+  const auto lines = serve::FormatRecordLines(models_[0]->schema, tuples);
+
+  TestClient client(server_->port());
+  client.Send("@beta " + lines[0] + "\n");
+  ASSERT_EQ(client.ReadLine(), ExpectedLabel(1, tuples[0]));
+
+  client.Send("@beta STATS\n");
+  const std::string beta = client.ReadLine();
+  EXPECT_NE(beta.find("\"model_id\":\"beta\""), std::string::npos) << beta;
+  EXPECT_NE(beta.find("\"requests\":1"), std::string::npos) << beta;
+
+  client.Send("STATS\n");
+  const std::string global = client.ReadLine();
+  EXPECT_NE(global.find("\"models\":{"), std::string::npos) << global;
+  EXPECT_NE(global.find("\"alpha\":{"), std::string::npos) << global;
+  EXPECT_NE(global.find("\"gamma\":{"), std::string::npos) << global;
+}
+
+TEST_F(FleetE2eTest, EvictedModelAnswersErrUntilReinstalled) {
+  StartFleet(ServerOptions{});
+  const auto tuples = Corpus(6, 2, 88);
+  const auto lines = serve::FormatRecordLines(models_[0]->schema, tuples);
+
+  TestClient client(server_->port());
+  ASSERT_TRUE(fleet_.Evict("gamma").ok());
+  client.Send("@gamma " + lines[0] + "\n@alpha " + lines[1] + "\n");
+  EXPECT_EQ(client.ReadLine(), "ERR model 'gamma' has no active model");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(0, tuples[1]));
+
+  registries_[2].Install(models_[2]);
+  client.Send("@gamma " + lines[0] + "\n");
+  EXPECT_EQ(client.ReadLine(), ExpectedLabel(2, tuples[0]));
+}
+
+TEST_F(FleetE2eTest, RoutedLoadGenChecksPerModelLabels) {
+  ServerOptions options;
+  options.scoring_threads = 2;
+  StartFleet(options);
+  const auto tuples = Corpus(6, 150, 999);
+  const auto lines = serve::FormatRecordLines(models_[0]->schema, tuples);
+
+  std::array<std::vector<int32_t>, 3> expected;
+  for (size_t m = 0; m < 3; ++m) {
+    for (const Tuple& t : tuples) {
+      expected[m].push_back(models_[m]->compiled.Classify(t));
+    }
+  }
+  std::vector<serve::RoutedModelCorpus> corpora;
+  for (size_t m = 0; m < 3; ++m) {
+    serve::RoutedModelCorpus corpus;
+    corpus.model_id = kIds[m];
+    corpus.record_lines = lines;
+    corpus.expected_labels = &expected[m];
+    corpora.push_back(std::move(corpus));
+  }
+  serve::LoadGenOptions lg;
+  lg.port = server_->port();
+  lg.connections = 2;
+  lg.repeat = 3;
+  auto report = serve::RunRoutedLoadGen(lg, corpora);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->mismatches, 0u);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->busy, 0u);
+  EXPECT_EQ(report->ok, report->sent);
+  ASSERT_EQ(report->per_model.size(), 3u);
+  for (size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(report->per_model[m].model_id, kIds[m]);
+    EXPECT_EQ(report->per_model[m].mismatches, 0u);
+    EXPECT_EQ(report->per_model[m].ok, report->per_model[m].sent);
+    EXPECT_GT(report->per_model[m].throughput_rps, 0.0);
+  }
+}
+
+TEST(FleetReloadTest, PerModelReloadUnderLoadDropsNothing) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const Schema schema = MakeAgrawalSchema();
+  auto selector = MakeGiniSelector();
+
+  // Two saved models with the same schema but different trees.
+  std::vector<std::string> dirs;
+  for (const int function : {1, 6}) {
+    auto data = Corpus(function, 3000, 300 + static_cast<uint64_t>(function));
+    VectorSource source(schema, data);
+    BoatOptions options;
+    options.sample_size = 600;
+    options.bootstrap_count = 5;
+    options.bootstrap_subsample = 200;
+    options.inmem_threshold = 400;
+    options.seed = 9;
+    auto classifier =
+        BoatClassifier::Train(&source, selector.get(), options);
+    ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+    const std::string dir =
+        temp->NewPath("reload_model_" + std::to_string(function));
+    ASSERT_TRUE(SaveClassifier(**classifier, dir).ok());
+    dirs.push_back(dir);
+  }
+
+  ModelRegistry stable;
+  ModelRegistry swapped;
+  ASSERT_TRUE(stable.LoadAndSwap(dirs[0], "gini").ok());
+  ASSERT_TRUE(swapped.LoadAndSwap(dirs[0], "gini").ok());
+  FleetRegistry fleet;
+  ASSERT_TRUE(fleet.AddExternal("stable", &stable).ok());
+  ASSERT_TRUE(fleet.AddExternal("swapped", &swapped).ok());
+  ServerOptions options;
+  options.scoring_threads = 2;
+  BoatServer server(&fleet, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto tuples = Corpus(6, 150, 444);
+  const auto lines = serve::FormatRecordLines(schema, tuples);
+  // `stable` is never reloaded: its labels are pinned. `swapped` flips
+  // between the two models: each label must be valid under one of them.
+  std::vector<std::string> stable_labels(tuples.size());
+  std::vector<std::array<std::string, 2>> valid(tuples.size());
+  for (size_t d = 0; d < dirs.size(); ++d) {
+    auto model = serve::LoadServableModel(dirs[d], "gini");
+    ASSERT_TRUE(model.ok());
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%d",
+                    (*model)->compiled.Classify(tuples[i]));
+      valid[i][d] = buf;
+      if (d == 0) stable_labels[i] = buf;
+    }
+  }
+  const std::shared_ptr<const ServableModel> stable_before =
+      stable.Snapshot();
+
+  std::atomic<int> bad_replies{0};
+  std::atomic<int> transport_errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      TestClient client(server.port());
+      for (int pass = 0; pass < 10; ++pass) {
+        std::string burst;
+        for (const auto& line : lines) {
+          burst += "@stable " + line + "\n@swapped " + line + "\n";
+        }
+        client.Send(burst);
+        for (size_t i = 0; i < lines.size(); ++i) {
+          const std::string from_stable = client.ReadLine();
+          const std::string from_swapped = client.ReadLine();
+          if (from_stable.empty() || from_swapped.empty()) {
+            transport_errors.fetch_add(1);
+            return;
+          }
+          if (from_stable != stable_labels[i]) bad_replies.fetch_add(1);
+          if (from_swapped != valid[i][0] && from_swapped != valid[i][1]) {
+            bad_replies.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  std::thread reloader([&] {
+    TestClient admin(server.port());
+    for (int r = 0; r < 8; ++r) {
+      admin.Send("@swapped RELOAD " + dirs[static_cast<size_t>(r % 2 == 0)] +
+                 "\n");
+      const std::string reply = admin.ReadLine();
+      if (reply.substr(0, 2) != "OK") transport_errors.fetch_add(1);
+    }
+    // A failed reload mid-load is a clean ERR and keeps last-good serving.
+    admin.Send("@swapped RELOAD /nonexistent/model\n");
+    if (admin.ReadLine().substr(0, 3) != "ERR") transport_errors.fetch_add(1);
+  });
+  for (auto& t : clients) t.join();
+  reloader.join();
+  server.Shutdown();
+
+  EXPECT_EQ(bad_replies.load(), 0);
+  EXPECT_EQ(transport_errors.load(), 0);
+  EXPECT_GE(swapped.reload_count(), 8);
+  // Reload isolation: the untouched model's registry never swapped, and the
+  // snapshot taken before the storm is still the active object.
+  EXPECT_EQ(stable.reload_count(), 0);
+  EXPECT_EQ(stable.Snapshot().get(), stable_before.get());
+}
+
+TEST(FleetEnsembleE2eTest, EnsembleLaneVotesAndReloads) {
+  auto temp = TempFileManager::Create();
+  ASSERT_TRUE(temp.ok());
+  const auto members = MakeMembers(5);
+  const std::string dir = temp->NewPath("served_ensemble");
+  ASSERT_TRUE(SaveEnsemble(MakeAgrawalSchema(), members, dir).ok());
+
+  FleetRegistry fleet;
+  ModelRegistry single;
+  single.Install(InMemoryModel(6, 4242));
+  ASSERT_TRUE(fleet.AddExternal("tree", &single).ok());
+  ASSERT_TRUE(fleet.AddEnsemble("bag", dir).ok());
+
+  BoatServer server(&fleet, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const CompiledEnsemble reference(members);
+  const auto tuples = Corpus(6, 120, 31);
+  const auto lines = serve::FormatRecordLines(MakeAgrawalSchema(), tuples);
+
+  TestClient client(server.port());
+  std::string burst;
+  for (const auto& line : lines) burst += "@bag " + line + "\n";
+  client.Send(burst);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", reference.Classify(tuples[i]));
+    EXPECT_EQ(client.ReadLine(), buf) << "record " << i;
+  }
+
+  // RELOAD on an ensemble lane reloads a SaveEnsemble directory.
+  client.Send("@bag RELOAD " + dir + "\n");
+  EXPECT_EQ(client.ReadLine().substr(0, 2), "OK");
+  client.Send("@bag STATS\n");
+  const std::string stats = client.ReadLine();
+  EXPECT_NE(stats.find("\"ensemble\":true"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"reloads\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"members\":5"), std::string::npos) << stats;
+
+  // Streaming ingestion is undefined for a bagged train-time artifact.
+  client.Send("@bag RETRAIN\n");
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "ERR");
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace boat

@@ -2,7 +2,11 @@
 //
 // Properties, for arbitrary request-line bytes:
 //   1. ParseRequest never crashes; when it accepts a line the verb is
-//      valid and a chunk command carries a positive in-range count.
+//      valid, a chunk command carries a positive in-range count, and the
+//      v3 routing prefix is coherent: an unrouted (v2) record echoes the
+//      raw line back as its argument, while a routed line carries a
+//      well-formed model id and a non-empty rest-of-line. Every accepted
+//      model id satisfies IsValidModelId.
 //   2. ParseReply is total (never an error return, never a crash), and
 //      FormatReply → ParseReply is a fixpoint for whatever it produces.
 //   3. ParseRecordLine never crashes, and when it accepts a line the
@@ -11,6 +15,10 @@
 //   4. Round trip: a tuple accepted by ParseRecordLine, re-rendered with
 //      FormatRecordLines, parses again to the bit-identical tuple (this is
 //      the property the byte-identical serving guarantee rests on).
+//   5. Routing round trip: prefixing a rendered record with `@m0 ` parses
+//      to the same record routed at model `m0` — the v3 prefix never
+//      perturbs the v2 payload (so fleet routing preserves the
+//      byte-identical guarantee per model).
 //
 // The line is fuzzed against two schemas (all-numerical and mixed
 // numerical/categorical) chosen by the first input byte.
@@ -55,6 +63,11 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   const boat::Result<boat::serve::Request> request =
       boat::serve::ParseRequest(line);
   if (request.ok()) {
+    // v3: an accepted model id is always well-formed (or absent).
+    if (!request->model_id.empty() &&
+        !boat::serve::IsValidModelId(request->model_id)) {
+      std::abort();
+    }
     switch (request->verb) {
       case boat::serve::Verb::kIngest:
       case boat::serve::Verb::kDelete:
@@ -64,8 +77,14 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
         }
         break;
       case boat::serve::Verb::kRecord:
-        // A record request echoes the raw line back as its argument.
-        if (request->args != line) std::abort();
+        if (request->model_id.empty()) {
+          // An unrouted (v2) record echoes the raw line as its argument.
+          if (request->args != line) std::abort();
+        } else {
+          // A routed record is the rest of the line, never empty (`@m`
+          // with nothing after it is a parse error).
+          if (request->args.empty()) std::abort();
+        }
         break;
       case boat::serve::Verb::kStats:
       case boat::serve::Verb::kReload:
@@ -118,6 +137,16 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
                    rendered[0].c_str());
       std::abort();
     }
+  }
+
+  // Property 5: the v3 routing prefix is transparent to the payload.
+  const boat::Result<boat::serve::Request> routed =
+      boat::serve::ParseRequest("@m0 " + rendered[0]);
+  if (!routed.ok() || routed->verb != boat::serve::Verb::kRecord ||
+      routed->model_id != "m0" || routed->args != rendered[0]) {
+    std::fprintf(stderr, "routing prefix perturbed [%s]\n",
+                 rendered[0].c_str());
+    std::abort();
   }
   return 0;
 }

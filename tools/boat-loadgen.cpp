@@ -2,8 +2,10 @@
 //
 //   boat-loadgen --port P --data corpus.csv [--expected labels.txt]
 //                [--connections N] [--repeat R] [--window W] [--json]
+//   boat-loadgen --port P --data corpus.csv --model a --model b
+//                [--expected a=labels_a.txt] [--expected b=labels_b.txt] ...
 //   boat-loadgen --port P --ingest chunk.csv [--op insert|delete]
-//                [--retrain]
+//                [--retrain] [--model NAME]
 //
 // Scoring mode loads the CSV corpus, renders each record in the serving
 // wire format (src/serve/wire.h — %.17g numerics, so the server parses
@@ -13,19 +15,32 @@
 // any numeric reply that contradicts it counts as a mismatch and fails the
 // run. Exit status: 0 iff every reply was a correct label.
 //
+// Fleet mode: each (repeatable) --model NAME routes the corpus to that
+// named model with the wire v3 `@<NAME>` prefix, interleaved round-robin
+// record by record across the models. Per-model expectations come from
+// repeatable `--expected NAME=FILE` entries — each model's replies are
+// checked against its own label file, which is how the CI fleet smoke job
+// proves per-record routing byte-identical to offline classification. The
+// report (text and --json) carries a per-model breakdown.
+//
 // Ingest mode streams one labeled chunk to the daemon as an INGEST or
 // DELETE command (--op, default insert), optionally followed by a RETRAIN
 // barrier, and exits 0 iff every reply was OK — the shell-scriptable face
-// of the streaming-training protocol.
+// of the streaming-training protocol. --model NAME routes the chunk to the
+// named model.
 //
 // --json prints one JSON object: {"command":"loadgen","connections":...,
 // "repeat":..., "window":..., "sent":..., "ok":..., "mismatches":...,
 // "busy":..., "errors":..., "seconds":..., "throughput_rps":...,
-// "latency_p50_us":..., "latency_p99_us":...}.
+// "latency_p50_us":..., "latency_p99_us":...} plus, in fleet mode,
+// "models":{"<name>":{"sent":...,"ok":...,"mismatches":...,"busy":...,
+// "errors":...,"throughput_rps":...,"latency_p50_us":...,
+// "latency_p99_us":...},...}.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -60,7 +75,8 @@ int RunIngest(const Flags& flags, int port) {
   }
   const std::vector<std::string> lines =
       FormatLabeledRecordLines(dataset->schema, dataset->tuples);
-  auto replies = SendChunk(port, op, lines, flags.Has("retrain"));
+  auto replies =
+      SendChunk(port, op, lines, flags.Has("retrain"), flags.Get("model"));
   if (!replies.ok()) {
     std::fprintf(stderr, "boat-loadgen: %s\n",
                  replies.status().ToString().c_str());
@@ -72,6 +88,44 @@ int RunIngest(const Flags& flags, int port) {
     if (reply.kind != Reply::Kind::kOk) clean = false;
   }
   return clean ? 0 : 1;
+}
+
+/// Loads one `boatc classify --out` label file (one integer per line).
+bool LoadExpected(const std::string& path, size_t want,
+                  std::vector<int32_t>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "boat-loadgen: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out->push_back(
+        static_cast<int32_t>(std::strtol(line.c_str(), nullptr, 10)));
+  }
+  if (out->size() != want) {
+    std::fprintf(stderr,
+                 "boat-loadgen: %zu expected labels for %zu records in %s\n",
+                 out->size(), want, path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void PrintModelJson(const ModelLoadGenStats& m, bool first) {
+  std::printf(
+      "%s\"%s\":{\"sent\":%llu,\"ok\":%llu,\"mismatches\":%llu,"
+      "\"busy\":%llu,\"errors\":%llu,\"throughput_rps\":%.1f,"
+      "\"latency_p50_us\":%llu,\"latency_p99_us\":%llu}",
+      first ? "" : ",", m.model_id.c_str(),
+      static_cast<unsigned long long>(m.sent),
+      static_cast<unsigned long long>(m.ok),
+      static_cast<unsigned long long>(m.mismatches),
+      static_cast<unsigned long long>(m.busy),
+      static_cast<unsigned long long>(m.errors), m.throughput_rps,
+      static_cast<unsigned long long>(m.latency_p50_us),
+      static_cast<unsigned long long>(m.latency_p99_us));
 }
 
 }  // namespace
@@ -95,27 +149,20 @@ int main(int argc, char** argv) {
   const std::vector<std::string> lines =
       FormatRecordLines(dataset->schema, dataset->tuples);
 
-  std::vector<int32_t> expected;
-  const bool have_expected = flags.Has("expected");
-  if (have_expected) {
-    std::ifstream in(flags.Get("expected"));
-    if (!in) {
-      std::fprintf(stderr, "boat-loadgen: cannot open %s\n",
-                   flags.Get("expected").c_str());
-      return 1;
-    }
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      expected.push_back(
-          static_cast<int32_t>(std::strtol(line.c_str(), nullptr, 10)));
-    }
-    if (expected.size() != lines.size()) {
-      std::fprintf(stderr,
-                   "boat-loadgen: %zu expected labels for %zu records\n",
-                   expected.size(), lines.size());
-      return 1;
-    }
+  const std::vector<std::string> model_ids = flags.GetAll("model");
+  const std::vector<std::string> expected_flags = flags.GetAll("expected");
+
+  // Per-model label files (`NAME=FILE`); a bare FILE is the single-model
+  // form and belongs to the default model ("").
+  std::map<std::string, std::vector<int32_t>> expected_by_model;
+  for (const std::string& spec : expected_flags) {
+    const size_t eq = spec.find('=');
+    const std::string id = eq == std::string::npos ? "" : spec.substr(0, eq);
+    const std::string path =
+        eq == std::string::npos ? spec : spec.substr(eq + 1);
+    std::vector<int32_t>& labels = expected_by_model[id];
+    labels.clear();
+    if (!LoadExpected(path, lines.size(), &labels)) return 1;
   }
 
   LoadGenOptions options;
@@ -124,7 +171,25 @@ int main(int argc, char** argv) {
   options.repeat = static_cast<int>(flags.GetInt("repeat", 1));
   options.window = static_cast<int>(flags.GetInt("window", 256));
 
-  auto report = RunLoadGen(options, lines, have_expected ? &expected : nullptr);
+  Result<LoadGenReport> report = [&]() -> Result<LoadGenReport> {
+    if (model_ids.empty()) {
+      const auto it = expected_by_model.find("");
+      return RunLoadGen(
+          options, lines,
+          it == expected_by_model.end() ? nullptr : &it->second);
+    }
+    std::vector<RoutedModelCorpus> models;
+    models.reserve(model_ids.size());
+    for (const std::string& id : model_ids) {
+      RoutedModelCorpus corpus;
+      corpus.model_id = id;
+      corpus.record_lines = lines;
+      const auto it = expected_by_model.find(id);
+      if (it != expected_by_model.end()) corpus.expected_labels = &it->second;
+      models.push_back(std::move(corpus));
+    }
+    return RunRoutedLoadGen(options, models);
+  }();
   if (!report.ok()) {
     std::fprintf(stderr, "boat-loadgen: %s\n",
                  report.status().ToString().c_str());
@@ -137,7 +202,7 @@ int main(int argc, char** argv) {
         "\"window\":%d,\"sent\":%llu,\"ok\":%llu,\"mismatches\":%llu,"
         "\"busy\":%llu,\"errors\":%llu,\"seconds\":%.6f,"
         "\"throughput_rps\":%.1f,\"latency_p50_us\":%llu,"
-        "\"latency_p99_us\":%llu}\n",
+        "\"latency_p99_us\":%llu",
         options.connections, options.repeat, options.window,
         static_cast<unsigned long long>(report->sent),
         static_cast<unsigned long long>(report->ok),
@@ -147,6 +212,16 @@ int main(int argc, char** argv) {
         report->wall_seconds, report->throughput_rps,
         static_cast<unsigned long long>(report->latency_p50_us),
         static_cast<unsigned long long>(report->latency_p99_us));
+    if (!report->per_model.empty()) {
+      std::printf(",\"models\":{");
+      bool first = true;
+      for (const ModelLoadGenStats& m : report->per_model) {
+        PrintModelJson(m, first);
+        first = false;
+      }
+      std::printf("}");
+    }
+    std::printf("}\n");
   } else {
     std::printf(
         "%llu requests over %d connection(s) in %.3fs — %.0f req/s, "
@@ -160,6 +235,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report->mismatches),
                 static_cast<unsigned long long>(report->busy),
                 static_cast<unsigned long long>(report->errors));
+    for (const ModelLoadGenStats& m : report->per_model) {
+      std::printf(
+          "  model %-16s sent %llu ok %llu mismatches %llu busy %llu "
+          "errors %llu — %.0f req/s, p50 %lluus, p99 %lluus\n",
+          m.model_id.c_str(), static_cast<unsigned long long>(m.sent),
+          static_cast<unsigned long long>(m.ok),
+          static_cast<unsigned long long>(m.mismatches),
+          static_cast<unsigned long long>(m.busy),
+          static_cast<unsigned long long>(m.errors), m.throughput_rps,
+          static_cast<unsigned long long>(m.latency_p50_us),
+          static_cast<unsigned long long>(m.latency_p99_us));
+    }
   }
   const bool clean = report->mismatches == 0 && report->errors == 0 &&
                      report->busy == 0 &&

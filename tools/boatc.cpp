@@ -34,7 +34,9 @@
 #include <vector>
 
 #include "boat/boat.h"
+#include "boat/persistence.h"
 #include "common_flags.h"
+#include "tree/ensemble.h"
 
 namespace {
 
@@ -228,6 +230,10 @@ int CmdTrain(const Flags& flags) {
   const int64_t n = static_cast<int64_t>(data.tuples.size());
   auto options = tools::CommonBoatOptions(flags, n);
   Check(options.status());
+  // --emit-ensemble: keep the sampling phase's bootstrap trees and persist
+  // them as <model>/ensemble (a bagged majority-vote backend for boatd).
+  const bool emit_ensemble = flags.Has("emit-ensemble");
+  options->keep_bootstrap_trees = emit_ensemble;
 
   VectorSource source(data.schema, data.tuples);
   Stopwatch watch;
@@ -254,22 +260,27 @@ int CmdTrain(const Flags& flags) {
     Check(trained.status());
     classifier = std::move(*trained);
     Check(SaveClassifier(*classifier, model_dir));
+    if (emit_ensemble && !classifier->bootstrap_trees().empty()) {
+      // The Session path persists the ensemble inside Session::Train; the
+      // frozen path saves it explicitly.
+      Check(SaveEnsemble(data.schema, classifier->bootstrap_trees(),
+                         model_dir + "/ensemble"));
+    }
     tree = &classifier->tree();
   }
   const double seconds = watch.ElapsedSeconds();
   if (flags.Has("json")) {
-    std::printf("%s\n",
-                JsonObject()
-                    .Str("command", "train")
-                    .Double("seconds", seconds)
-                    .Int("records", n)
-                    .Int("threads", options->num_threads)
-                    .Str("selector", selector_name)
-                    .Raw("model", JsonTree(*tree))
-                    .Raw("stats", JsonStats(stats))
-                    .Str("model_dir", model_dir)
-                    .Render()
-                    .c_str());
+    JsonObject json;
+    json.Str("command", "train")
+        .Double("seconds", seconds)
+        .Int("records", n)
+        .Int("threads", options->num_threads)
+        .Str("selector", selector_name)
+        .Raw("model", JsonTree(*tree))
+        .Raw("stats", JsonStats(stats))
+        .Str("model_dir", model_dir);
+    if (emit_ensemble) json.Str("ensemble_dir", model_dir + "/ensemble");
+    std::printf("%s\n", json.Render().c_str());
     return 0;
   }
   std::printf(
@@ -277,6 +288,10 @@ int CmdTrain(const Flags& flags) {
       "model saved to %s\n",
       static_cast<long long>(n), seconds, tree->num_nodes(), tree->depth(),
       model_dir.c_str());
+  if (emit_ensemble) {
+    std::printf("  bootstrap ensemble saved to %s/ensemble\n",
+                model_dir.c_str());
+  }
   std::printf("  (selector %s, coarse nodes %llu, kills %llu, failed checks "
               "%llu)\n",
               selector_name.c_str(),
@@ -318,21 +333,49 @@ int CmdEvaluate(const Flags& flags) {
 }
 
 int CmdClassify(const Flags& flags) {
-  auto session = Session::Open(flags.Require("model"),
-                               flags.Get("selector", "gini"));
-  Check(session.status());
-  const Schema& schema = (*session)->schema();
-  LoadedData data = LoadData(flags.Require("data"), &schema);
+  const std::string model_dir = flags.Require("model");
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const bool use_ensemble = flags.Has("ensemble");
 
-  const CompiledTree compiled = (*session)->Compile();
+  // Either backend produces `predicted` plus a model-shape JSON fragment;
+  // everything below the scoring block is shared.
+  std::unique_ptr<Session> session;
+  std::unique_ptr<CompiledEnsemble> ensemble;
+  LoadedData data;
+  std::string model_json;
+  if (use_ensemble) {
+    // --ensemble: bagged majority vote over <model>/ensemble, the offline
+    // twin of boatd's ensemble backend (`--ensemble name=DIR`).
+    auto loaded = LoadEnsemble(model_dir + "/ensemble");
+    Check(loaded.status());
+    data = LoadData(flags.Require("data"), &loaded->schema);
+    ensemble = std::make_unique<CompiledEnsemble>(loaded->members);
+    model_json = JsonObject()
+                     .Int("members",
+                          static_cast<long long>(ensemble->num_members()))
+                     .Int("nodes",
+                          static_cast<long long>(ensemble->total_nodes()))
+                     .Render();
+  } else {
+    auto opened = Session::Open(model_dir, flags.Get("selector", "gini"));
+    Check(opened.status());
+    session = std::move(*opened);
+    data = LoadData(flags.Require("data"), &session->schema());
+    model_json = JsonTree(session->tree());
+  }
+
   Stopwatch watch;
   // Score into uninitialized-capacity storage: Predict writes every slot,
   // so the zero-fill of a sized vector would only add a pass over n int32s.
   const size_t n = data.tuples.size();
   const auto buffer = std::make_unique_for_overwrite<int32_t[]>(n);
   const std::span<int32_t> predicted(buffer.get(), n);
-  compiled.Predict(data.tuples, predicted, threads);
+  if (use_ensemble) {
+    ensemble->Predict(data.tuples, predicted, threads);
+  } else {
+    const CompiledTree compiled = session->Compile();
+    compiled.Predict(data.tuples, predicted, threads);
+  }
   const double seconds = watch.ElapsedSeconds();
 
   const std::string out_path = flags.Get("out");
@@ -350,7 +393,7 @@ int CmdClassify(const Flags& flags) {
         .Double("seconds", seconds)
         .Int("records", static_cast<long long>(predicted.size()))
         .Int("threads", threads)
-        .Raw("model", JsonTree((*session)->tree()));
+        .Raw("model", model_json);
     if (inline_labels) {
       std::string labels = "[";
       for (size_t i = 0; i < predicted.size(); ++i) {
@@ -460,11 +503,12 @@ int Usage() {
       "  train    --data FILE --model DIR [--selector gini|entropy|quest]\n"
       "           [--sample N] [--bootstraps B] [--subsample N] [--inmem N]\n"
       "           [--threads T (0 = all cores; any T gives the same tree)]\n"
-      "           [--max-depth D] [--stop-family N] [--no-updates] [--json]\n"
+      "           [--max-depth D] [--stop-family N] [--no-updates]\n"
+      "           [--emit-ensemble (also save <model>/ensemble)] [--json]\n"
       "  evaluate --model DIR --data FILE [--selector ...] [--threads T]\n"
       "           [--json]\n"
       "  classify --model DIR --data FILE [--out FILE] [--threads T]\n"
-      "           [--json]\n"
+      "           [--ensemble (bagged vote over <model>/ensemble)] [--json]\n"
       "  apply-chunk --model DIR (--insert FILE | --delete FILE)\n"
       "           [--selector ...] [--json]   (alias: update, deprecated)\n"
       "  inspect  --model DIR [--rules] [--dot]\n"

@@ -1,20 +1,27 @@
 // boatd — the BOAT model server daemon.
 //
-//   boatd --model model/ [--port 0] [--threads 1] [--max-batch 2048]
+//   boatd --model [name=]model/ [--model name2=other/]...
+//         [--ensemble name3=model/ensemble]...
+//         [--port 0] [--threads 1] [--max-batch 2048]
 //         [--linger-us 1000] [--queue 8192] [--max-connections 256]
 //         [--selector gini] [--chunk-queue 64] [--max-chunk-records 100000]
 //         [--train-threads 0]
 //
-// --threads sets the scoring workers; --train-threads sets the growth-phase
-// budget incremental retrains run with (0 = all hardware cores — the
-// default, so a RETRAIN under load uses the daemon's cores; the model is
-// byte-identical either way).
+// One daemon serves a whole fleet: every --model adds a named trained model
+// (a SaveClassifier directory with live streaming ingestion), every
+// --ensemble adds a named bagged bootstrap ensemble (a SaveEnsemble
+// directory, majority-vote scoring, no ingestion). A bare `--model DIR`
+// (no `name=`) keeps the classic single-model invocation working and names
+// the model `default`. The first flag in command-line order is the fleet's
+// default model: unrouted wire v2 lines score against it, and wire v3
+// clients address any model per record with an `@<name>` prefix (see
+// src/serve/wire.h).
 //
-// Serves newline-delimited CSV records over TCP (see src/serve/wire.h for
-// the protocol) through the micro-batching BoatServer, and accepts
-// streaming training chunks (INGEST/DELETE/RETRAIN) through a background
-// Trainer that applies them to the live BOAT engine and hot-swaps the
-// recompiled tree into the registry without dropping a single request.
+// --threads sets the scoring workers (shared across the fleet);
+// --train-threads sets the growth-phase budget incremental retrains run
+// with (0 = all hardware cores — the default, so a RETRAIN under load uses
+// the daemon's cores; the model is byte-identical either way).
+//
 // On startup prints exactly one line to stdout:
 //
 //   boatd listening on port <N>
@@ -22,8 +29,10 @@
 // so scripts can use --port 0 (ephemeral) and scrape the bound port.
 //
 // Signals (handled synchronously via sigwait, blocked in every thread):
-//   SIGHUP            reload the model from its original --model directory
-//                     (the RELOAD admin command can point elsewhere)
+//   SIGHUP            reload every model from its original directory
+//                     (the per-model RELOAD admin command can point
+//                     elsewhere); one model's failure keeps its last-good
+//                     and does not block the others
 //   SIGTERM, SIGINT   graceful drain: stop accepting, finish replying to
 //                     every received request, then exit 0
 
@@ -31,9 +40,11 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common_flags.h"
-#include "serve/model_registry.h"
+#include "serve/fleet.h"
 #include "serve/server.h"
 #include "serve/trainer.h"
 
@@ -45,12 +56,21 @@ using boat::tools::Flags;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: boatd --model DIR [--port P] [--threads T]\n"
-               "             [--max-batch N] [--linger-us U] [--queue N]\n"
-               "             [--max-connections N] [--selector NAME]\n"
-               "             [--chunk-queue N] [--max-chunk-records N]\n"
-               "             [--train-threads T]\n");
+               "usage: boatd --model [NAME=]DIR [--model NAME=DIR]...\n"
+               "             [--ensemble NAME=DIR]... [--port P]\n"
+               "             [--threads T] [--max-batch N] [--linger-us U]\n"
+               "             [--queue N] [--max-connections N]\n"
+               "             [--selector NAME] [--chunk-queue N]\n"
+               "             [--max-chunk-records N] [--train-threads T]\n");
   return 2;
+}
+
+/// Splits `[name=]dir` at the first '='; a bare directory gets the classic
+/// single-model name `default`.
+std::pair<std::string, std::string> SplitModelFlag(const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos) return {"default", spec};
+  return {spec.substr(0, eq), spec.substr(eq + 1)};
 }
 
 }  // namespace
@@ -58,7 +78,13 @@ int Usage() {
 int main(int argc, char** argv) {
   Flags flags(argc, argv, 1);
   if (flags.Get("help") == "true") return Usage();
-  const std::string model_dir = flags.Require("model");
+  const std::vector<std::string> model_flags = flags.GetAll("model");
+  const std::vector<std::string> ensemble_flags = flags.GetAll("ensemble");
+  if (model_flags.empty() && ensemble_flags.empty()) {
+    std::fprintf(stderr, "boatd: at least one --model or --ensemble is "
+                         "required\n");
+    return Usage();
+  }
   const std::string selector = flags.Get("selector", "gini");
 
   // Block the handled signals before any thread exists so every server
@@ -70,22 +96,34 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGHUP);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
-  ModelRegistry registry;
-  TrainerOptions trainer_options;
-  trainer_options.model_dir = model_dir;
-  trainer_options.selector = selector;
-  trainer_options.queue_capacity =
-      static_cast<size_t>(flags.GetInt("chunk-queue", 64));
-  trainer_options.num_threads =
-      static_cast<int>(flags.GetInt("train-threads", 0));
-  Trainer trainer(&registry, trainer_options);
-  {
-    // Trainer::Start opens the BOAT session and installs the initial
-    // servable model, so the registry is never empty while serving.
-    const Status status = trainer.Start();
+  FleetRegistry fleet;
+  for (const std::string& spec : model_flags) {
+    const auto [id, dir] = SplitModelFlag(spec);
+    TrainerOptions trainer_options;
+    trainer_options.model_dir = dir;
+    trainer_options.selector = selector;
+    trainer_options.queue_capacity =
+        static_cast<size_t>(flags.GetInt("chunk-queue", 64));
+    trainer_options.num_threads =
+        static_cast<int>(flags.GetInt("train-threads", 0));
+    // FleetRegistry::AddTrained starts the trainer, which opens the BOAT
+    // session and installs the initial servable model, so every added
+    // entry is immediately servable.
+    const Status status = fleet.AddTrained(id, trainer_options);
     if (!status.ok()) {
-      std::fprintf(stderr, "boatd: cannot load model: %s\n",
+      std::fprintf(stderr, "boatd: cannot load model '%s': %s\n", id.c_str(),
                    status.ToString().c_str());
+      fleet.ShutdownTrainers();
+      return 1;
+    }
+  }
+  for (const std::string& spec : ensemble_flags) {
+    const auto [id, dir] = SplitModelFlag(spec);
+    const Status status = fleet.AddEnsemble(id, dir);
+    if (!status.ok()) {
+      std::fprintf(stderr, "boatd: cannot load ensemble '%s': %s\n",
+                   id.c_str(), status.ToString().c_str());
+      fleet.ShutdownTrainers();
       return 1;
     }
   }
@@ -103,12 +141,12 @@ int main(int argc, char** argv) {
   options.max_chunk_records =
       flags.GetInt("max-chunk-records", options.max_chunk_records);
 
-  BoatServer server(&registry, options, &trainer);
+  BoatServer server(&fleet, options);
   {
     const Status status = server.Start();
     if (!status.ok()) {
       std::fprintf(stderr, "boatd: %s\n", status.ToString().c_str());
-      trainer.Shutdown();
+      fleet.ShutdownTrainers();
       return 1;
     }
   }
@@ -119,17 +157,20 @@ int main(int argc, char** argv) {
     int sig = 0;
     if (sigwait(&sigs, &sig) != 0) continue;
     if (sig == SIGHUP) {
-      const Status status = registry.LoadAndSwap(model_dir, selector);
-      std::fprintf(stderr, "boatd: SIGHUP reload of %s: %s\n",
-                   model_dir.c_str(), status.ToString().c_str());
+      for (const std::shared_ptr<FleetEntry>& entry : fleet.entries()) {
+        const Status status = fleet.Reload(entry->id, entry->source_dir);
+        std::fprintf(stderr, "boatd: SIGHUP reload of '%s' from %s: %s\n",
+                     entry->id.c_str(), entry->source_dir.c_str(),
+                     status.ToString().c_str());
+      }
       continue;
     }
     std::fprintf(stderr, "boatd: signal %d, draining\n", sig);
     break;
   }
-  // Server first (stop taking chunks), then trainer (drain queued chunks).
+  // Server first (stop taking chunks), then trainers (drain queued chunks).
   server.Shutdown();
-  trainer.Shutdown();
+  fleet.ShutdownTrainers();
   std::fprintf(stderr, "boatd: drained, exiting\n");
   return 0;
 }

@@ -15,11 +15,14 @@ Flags::Flags(int argc, char** argv, int first) {
       std::exit(2);
     }
     arg = arg.substr(2);
+    std::string value;
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      values_[arg] = argv[++i];
+      value = argv[++i];
     } else {
-      values_[arg] = "true";  // boolean flag
+      value = "true";  // boolean flag
     }
+    values_[arg] = value;
+    ordered_.emplace_back(std::move(arg), std::move(value));
   }
 }
 
@@ -37,6 +40,14 @@ int64_t Flags::GetInt(const std::string& name, int64_t def) const {
 double Flags::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
   return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<std::string> Flags::GetAll(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [flag, value] : ordered_) {
+    if (flag == name) out.push_back(value);
+  }
+  return out;
 }
 
 std::string Flags::Require(const std::string& name) const {

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "boat/options.h"
 #include "common/result.h"
@@ -19,6 +21,9 @@ namespace boat::tools {
 /// \brief Minimal `--name value` / `--bool` parser. A flag followed by
 /// another `--flag` (or nothing) is boolean "true"; anything else consumes
 /// the next argument as its value. Non-flag positionals are fatal.
+/// Repeating a flag is allowed: Get/GetInt see the last occurrence, GetAll
+/// returns every occurrence in command-line order (how boatd takes multiple
+/// --model entries and boat-loadgen multiple --expected files).
 class Flags {
  public:
   /// Parses argv[first..argc); exits(2) on a malformed command line.
@@ -30,9 +35,14 @@ class Flags {
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
   /// Exits(2) with a message when the flag is absent.
   std::string Require(const std::string& name) const;
+  /// Every value of a repeated flag, in command-line order (empty if the
+  /// flag never appeared).
+  std::vector<std::string> GetAll(const std::string& name) const;
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> values_;  ///< last occurrence wins
+  /// Every (name, value) pair in command-line order, for repeated flags.
+  std::vector<std::pair<std::string, std::string>> ordered_;
 };
 
 /// \brief The data-size-derived BoatOptions defaults every tool shares:
